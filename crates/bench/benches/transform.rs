@@ -1,0 +1,109 @@
+//! Experiment B7 — transformation overhead and the §3 size claim.
+//!
+//! The paper notes that `OV(C)` in reduced (non-ground) form is
+//! *polynomially bounded* in the size of `C` — one CWA rule per
+//! predicate instead of one fact per Herbrand-base element. This bench
+//! measures:
+//!
+//! * `build_ov/P`, `build_ev/P`, `build_3v/P` — transformation
+//!   construction time for programs with P predicates;
+//! * `ground_ov_reduced/P` vs `ground_ov_groundcwa/P` — ablation #5:
+//!   grounding the reduced (non-ground) CWA encoding against an
+//!   explicitly pre-grounded CWA component (same semantics, the size
+//!   blow-up paid at build time instead).
+//!
+//! Expected shape: construction is linear in P; the reduced form's
+//! source size is O(P) while the ground CWA form is O(P · |HU|) — both
+//! ground to the same instance count, so grounding time converges, and
+//! the win is in program size and build time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olp_core::{Literal, Rule, Term, World};
+use olp_ground::{ground_exhaustive, GroundConfig};
+use olp_transform::{
+    extended_version, ordered_version, ordered_version_ground_cwa, three_level_version,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A seminegative program with `p` predicates over `k` constants:
+/// facts for predicate 0, a copy chain `pi(X) ← p(i-1)(X)`.
+fn chain_program(world: &mut World, preds: usize, consts: usize) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    for c in 0..consts {
+        let cn = world.syms.intern(&format!("c{c}"));
+        let p0 = world.pred("p0", 1);
+        rules.push(Rule::fact(Literal::pos(p0, vec![Term::Const(cn)])));
+    }
+    let x = Term::Var(world.syms.intern("X"));
+    for i in 1..preds {
+        let hi = world.pred(&format!("p{i}"), 1);
+        let lo = world.pred(&format!("p{}", i - 1), 1);
+        rules.push(Rule::new(
+            Literal::pos(hi, vec![x.clone()]),
+            vec![olp_core::BodyItem::Lit(Literal::pos(lo, vec![x.clone()]))],
+        ));
+    }
+    rules
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let consts = 16;
+    for &preds in &[8usize, 32, 128] {
+        let mut world = World::new();
+        let rules = chain_program(&mut world, preds, consts);
+
+        group.bench_with_input(BenchmarkId::new("build_ov", preds), &preds, |b, _| {
+            b.iter(|| {
+                let mut w = world.clone();
+                black_box(ordered_version(&mut w, &rules))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("build_ev", preds), &preds, |b, _| {
+            b.iter(|| {
+                let mut w = world.clone();
+                black_box(extended_version(&mut w, &rules))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("build_3v", preds), &preds, |b, _| {
+            b.iter(|| {
+                let mut w = world.clone();
+                black_box(three_level_version(&mut w, &rules))
+            });
+        });
+
+        let gc = GroundConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("ground_ov_reduced", preds),
+            &preds,
+            |b, _| {
+                b.iter(|| {
+                    let mut w = world.clone();
+                    let (ov, _) = ordered_version(&mut w, &rules);
+                    black_box(ground_exhaustive(&mut w, &ov, &gc).unwrap())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ground_ov_groundcwa", preds),
+            &preds,
+            |b, _| {
+                b.iter(|| {
+                    let mut w = world.clone();
+                    let consts_syms: Vec<olp_core::Sym> =
+                        (0..consts).map(|k| w.syms.intern(&format!("c{k}"))).collect();
+                    let (ov, _) = ordered_version_ground_cwa(&mut w, &rules, &consts_syms);
+                    black_box(ground_exhaustive(&mut w, &ov, &gc).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,476 @@
+//! Regenerates the measured column of EXPERIMENTS.md: every figure and
+//! worked example of the paper, checked mechanically, plus quick
+//! timings for the shape benchmarks (run `cargo bench` for the full
+//! Criterion treatment).
+//!
+//! Run with: `cargo run --release -p olp-bench --bin experiments`
+
+use olp_bench::*;
+use olp_classic::{
+    founded_models, partial_stable_models, stable_models_total, well_founded_model,
+    NafProgram,
+};
+use olp_core::{CompId, Interpretation, World};
+use olp_ground::{ground_exhaustive, GroundConfig};
+use olp_parser::{parse_ground_literal, parse_program};
+use olp_semantics::{
+    enumerate_assumption_free, enumerate_models, has_total_model, is_assumption_free,
+    is_model, least_model, stable_models, View,
+};
+use olp_transform::{extended_version, ordered_version, three_level_version};
+use olp_workload::{
+    ancestor, defeating_pairs, expert_panel, taxonomy_chain, taxonomy_expected_fly,
+    GraphShape,
+};
+use std::time::Instant;
+
+struct Report {
+    rows: Vec<(String, String, String, bool)>,
+}
+
+impl Report {
+    fn new() -> Self {
+        Report { rows: Vec::new() }
+    }
+    fn row(&mut self, id: &str, claim: &str, measured: String, ok: bool) {
+        self.rows.push((id.to_string(), claim.to_string(), measured, ok));
+    }
+    fn print(&self) {
+        println!("| id | paper claim | measured | verdict |");
+        println!("|---|---|---|---|");
+        for (id, claim, measured, ok) in &self.rows {
+            println!(
+                "| {id} | {claim} | {measured} | {} |",
+                if *ok { "✓" } else { "✗ MISMATCH" }
+            );
+        }
+        let bad = self.rows.iter().filter(|r| !r.3).count();
+        println!(
+            "\n{} experiments, {} match the paper, {} mismatches",
+            self.rows.len(),
+            self.rows.len() - bad,
+            bad
+        );
+    }
+}
+
+fn lit(w: &mut World, s: &str) -> olp_core::GLit {
+    parse_ground_literal(w, s).unwrap()
+}
+
+fn interp(w: &mut World, lits: &[&str]) -> Interpretation {
+    Interpretation::from_literals(lits.iter().map(|s| lit(w, s))).unwrap()
+}
+
+fn main() {
+    let mut r = Report::new();
+
+    // ---------------------------------------------------------- E1/E2
+    {
+        let mut b = setup_exhaustive(FIG1_SRC);
+        let c1 = comp(&b, "c1");
+        let m = least_model(&View::new(&b.ground, c1));
+        let i1 = interp(
+            &mut b.world,
+            &[
+                "bird(pigeon)",
+                "bird(penguin)",
+                "ground_animal(penguin)",
+                "-ground_animal(pigeon)",
+                "fly(pigeon)",
+                "-fly(penguin)",
+            ],
+        );
+        r.row(
+            "E1 (Fig.1/Ex.1-3)",
+            "penguin does not fly in C1, pigeon does; I1 is the total least model",
+            format!("least model = {}", m.render(&b.world)),
+            m == i1 && m.is_total(b.ground.n_atoms),
+        );
+        let c2 = comp(&b, "c2");
+        let m2 = least_model(&View::new(&b.ground, c2));
+        let fly_p = lit(&mut b.world, "fly(penguin)");
+        r.row(
+            "E1 (view C2)",
+            "from C2 the penguin flies (exception invisible above)",
+            format!("fly(penguin) = {}", m2.holds(fly_p)),
+            m2.holds(fly_p),
+        );
+    }
+    {
+        let src = "bird(penguin). bird(pigeon). fly(X) :- bird(X).
+             -ground_animal(X) :- bird(X). ground_animal(penguin).
+             -fly(X) :- ground_animal(X).";
+        let mut b = setup_exhaustive(src);
+        let v = View::new(&b.ground, CompId(0));
+        let m = least_model(&v);
+        let i1_hat = interp(
+            &mut b.world,
+            &[
+                "bird(pigeon)",
+                "bird(penguin)",
+                "fly(pigeon)",
+                "-ground_animal(pigeon)",
+            ],
+        );
+        r.row(
+            "E2 (P̂1 collapsed)",
+            "defeating leaves fly(penguin), ground_animal(penguin) undefined; Î1 is the model",
+            format!("least model = {}", m.render(&b.world)),
+            m == i1_hat,
+        );
+    }
+
+    // ------------------------------------------------------------- E3
+    {
+        let b = setup_exhaustive(FIG2_SRC);
+        let c1 = comp(&b, "c1");
+        let v = View::new(&b.ground, c1);
+        let m = least_model(&v);
+        let total = has_total_model(&v, b.ground.n_atoms);
+        let af = enumerate_assumption_free(&v, b.ground.n_atoms);
+        r.row(
+            "E3 (Fig.2/Ex.2-4)",
+            "rich/poor defeat; empty AF model; no total model for P2 in C1",
+            format!(
+                "lfp = {}, total model exists = {}, #AF = {}",
+                m.render(&b.world),
+                total,
+                af.len()
+            ),
+            m.is_empty() && !total && af.len() == 1,
+        );
+    }
+
+    // ------------------------------------------------------------- E4
+    {
+        let scenarios = [
+            ("", "silent", (false, false)),
+            ("inflation(12).", "take_loan", (true, false)),
+            ("inflation(12). loan_rate(16).", "defeated", (false, false)),
+            ("inflation(19). loan_rate(16).", "take_loan (refined)", (true, false)),
+        ];
+        let mut all_ok = true;
+        let mut measured = String::new();
+        for (facts, label, expect) in scenarios {
+            let mut b = setup_exhaustive(&fig3_src(facts));
+            let myself = comp(&b, "myself");
+            let m = least_model(&View::new(&b.ground, myself));
+            let t = lit(&mut b.world, "take_loan");
+            let got = (m.holds(t), m.holds(t.complement()));
+            all_ok &= got == expect;
+            measured.push_str(&format!("[{label}: {:?}] ", got));
+        }
+        r.row(
+            "E4 (Fig.3 loan)",
+            "no facts→silent; infl 12→loan; +rate 16→defeated; infl 19→refinement wins",
+            measured,
+            all_ok,
+        );
+    }
+
+    // ------------------------------------------------------------- E5
+    {
+        let b = setup_exhaustive("a :- b. -a :- b.");
+        let v = View::new(&b.ground, CompId(0));
+        let models = enumerate_models(&v, b.ground.n_atoms, None);
+        let mut renders: Vec<String> =
+            models.iter().map(|m| m.render(&b.world)).collect();
+        renders.sort();
+        let mut expected: Vec<String> = ["{}", "{b}", "{-b}", "{-b, a}", "{-a, -b}"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        expected.sort();
+        r.row(
+            "E5 (P3, Ex.3)",
+            "models are exactly {b},{¬b},{a,¬b},{¬a,¬b},∅ (Herbrand base is NOT a model)",
+            format!("{renders:?}"),
+            renders == expected,
+        );
+    }
+
+    // ------------------------------------------------------------- E6
+    {
+        let mut b = setup_exhaustive("a :- b.");
+        let v = View::new(&b.ground, CompId(0));
+        let af = enumerate_assumption_free(&v, b.ground.n_atoms);
+        let nn = interp(&mut b.world, &["-a", "-b"]);
+        let nn_model = is_model(&v, &nn, b.ground.n_atoms);
+        let nn_af = is_assumption_free(&v, &nn);
+        let b2 = setup_exhaustive("module c2 { -a. -b. } module c1 < c2 { a :- b. }");
+        let c1 = comp(&b2, "c1");
+        let v2 = View::new(&b2.ground, c1);
+        let stable2 = stable_models(&v2, b2.ground.n_atoms);
+        r.row(
+            "E6 (P4, Ex.4)",
+            "∅ is the only AF model of {a←b}; {¬a,¬b} is a model but not AF; adding CWA C2 makes it the (stable) AF model",
+            format!(
+                "#AF = {} (∅: {}), {{¬a,¬b}} model = {nn_model}, AF = {nn_af}; with CWA stable = {:?}",
+                af.len(),
+                af[0].is_empty(),
+                stable2.iter().map(|m| m.render(&b2.world)).collect::<Vec<_>>()
+            ),
+            af.len() == 1 && nn_model && !nn_af && stable2.len() == 1 && stable2[0].len() == 2,
+        );
+    }
+
+    // ------------------------------------------------------------- E7
+    {
+        let b = setup_exhaustive(
+            "module c2 { a. b. c. }
+             module c1 < c2 { -a :- b, c. -b :- a. -b :- -b. }",
+        );
+        let c1 = comp(&b, "c1");
+        let v = View::new(&b.ground, c1);
+        let stable = stable_models(&v, b.ground.n_atoms);
+        let mut renders: Vec<String> =
+            stable.iter().map(|m| m.render(&b.world)).collect();
+        renders.sort();
+        let lm = least_model(&v);
+        r.row(
+            "E7 (P5, Ex.5)",
+            "two stable models {a,¬b,c} and {¬a,b,c}; {c} AF but not stable",
+            format!("stable = {renders:?}, lfp = {}", lm.render(&b.world)),
+            renders == vec!["{-a, b, c}".to_string(), "{-b, a, c}".to_string()]
+                && lm.render(&b.world) == "{c}",
+        );
+    }
+
+    // ------------------------------------------------------------- E8
+    {
+        let mut w = World::new();
+        let flat = parse_program(
+            &mut w,
+            "parent(a,b). parent(b,c).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        )
+        .unwrap();
+        let rules = flat.components[0].rules.clone();
+        let (ov, c) = ordered_version(&mut w, &rules);
+        let g = ground_exhaustive(&mut w, &ov, &GroundConfig::default()).unwrap();
+        let m = least_model(&View::new(&g, c));
+        let ok = m.is_total(g.n_atoms)
+            && m.holds(lit(&mut w, "anc(a,c)"))
+            && m.holds(lit(&mut w, "-anc(c,a)"));
+        r.row(
+            "E8 (Ex.6 ancestor OV)",
+            "OV = explicit CWA: total least model, anc = transitive closure, rest false",
+            format!("total = {}, |model| = {}", m.is_total(g.n_atoms), m.len()),
+            ok,
+        );
+    }
+
+    // ------------------------------------------------------------- E9
+    {
+        let mut w = World::new();
+        let flat = parse_program(&mut w, "p :- -p.").unwrap();
+        let rules = flat.components[0].rules.clone();
+        let gc = GroundConfig::default();
+        let flat_ground = ground_exhaustive(&mut w, &flat, &gc).unwrap();
+        let naf = NafProgram::from_ground(&flat_ground).unwrap();
+        let (ov, c) = ordered_version(&mut w, &rules);
+        let ovg = ground_exhaustive(&mut w, &ov, &gc).unwrap();
+        let m_p = interp(&mut w, &["p"]);
+        let three_valued = olp_classic::is_3valued_model(&naf, &m_p);
+        let ov_model = is_model(&View::new(&ovg, c), &m_p, ovg.n_atoms);
+        let (ev, ec) = extended_version(&mut w, &rules);
+        let evg = ground_exhaustive(&mut w, &ev, &gc).unwrap();
+        let ev_model = is_model(&View::new(&evg, ec), &m_p, evg.n_atoms);
+        r.row(
+            "E9 (Ex.7 p←¬p)",
+            "{p} is a 3-valued model of C but NOT a model of OV(C); EV(C) recovers it",
+            format!("3-valued = {three_valued}, OV model = {ov_model}, EV model = {ev_model}"),
+            three_valued && !ov_model && ev_model,
+        );
+    }
+
+    // ------------------------------------------------------------ E10
+    {
+        let mut w = World::new();
+        let flat = parse_program(
+            &mut w,
+            "bird(tweety). ground_animal(tweety). bird(robin).
+             fly(X) :- bird(X).
+             -fly(X) :- ground_animal(X).",
+        )
+        .unwrap();
+        let rules = flat.components[0].rules.clone();
+        let (tv, cm) = three_level_version(&mut w, &rules);
+        let g = ground_exhaustive(&mut w, &tv, &GroundConfig::default()).unwrap();
+        let stable = stable_models(&View::new(&g, cm), g.n_atoms);
+        let ok = stable.len() == 1
+            && stable[0].holds(lit(&mut w, "-fly(tweety)"))
+            && stable[0].holds(lit(&mut w, "fly(robin)"));
+        r.row(
+            "E10 (Ex.8/9 3V)",
+            "negative rules as exceptions: ground-animal birds do not fly, others do",
+            format!(
+                "unique stable = {}",
+                stable
+                    .first()
+                    .map(|m| m.render(&w))
+                    .unwrap_or_else(|| "-".into())
+            ),
+            ok,
+        );
+    }
+
+    // ------------------------------------------- T3/T4 one-shot checks
+    {
+        let mut w = World::new();
+        let flat = parse_program(&mut w, "p :- -q. q :- -p. r :- p. r :- q.").unwrap();
+        let rules = flat.components[0].rules.clone();
+        let gc = GroundConfig::default();
+        let fg = ground_exhaustive(&mut w, &flat, &gc).unwrap();
+        let (ov, c) = ordered_version(&mut w, &rules);
+        let ovg = ground_exhaustive(&mut w, &ov, &gc).unwrap();
+        let n = w.atoms.len();
+        let mut naf = NafProgram::from_ground(&fg).unwrap();
+        naf.n_atoms = n;
+        let ov_stable = stable_models(&View::new(&ovg, c), n);
+        let sz = partial_stable_models(&naf);
+        let gl = stable_models_total(&naf);
+        let wfm = well_founded_model(&naf);
+        let founded = founded_models(&naf);
+        let mut a: Vec<String> = ov_stable.iter().map(|m| m.render(&w)).collect();
+        a.sort();
+        let mut bb: Vec<String> = sz.iter().map(|m| m.render(&w)).collect();
+        bb.sort();
+        r.row(
+            "T3/Cor.1 (spot)",
+            "stable(OV) = SZ partial stable; total ones = GL stable; WFS is founded",
+            format!(
+                "stable(OV) = {a:?}, GL count = {}, WFS founded = {}",
+                gl.len(),
+                founded.contains(&wfm)
+            ),
+            a == bb && gl.len() == 2 && founded.contains(&wfm),
+        );
+    }
+
+    r.print();
+
+    // -------------------------------------------------- B-series shape
+    println!("\n## Shape measurements (quick; run `cargo bench` for Criterion)\n");
+
+    // B1: taxonomy scaling + correctness.
+    for &n in &[256usize, 1024, 4096] {
+        let mut w = World::new();
+        let prog = taxonomy_chain(&mut w, n, 4);
+        let t0 = Instant::now();
+        let g = ground_built_smart(&mut w, &prog);
+        let t_ground = t0.elapsed();
+        let view = View::new(&g, CompId(0));
+        let t1 = Instant::now();
+        let m = least_model(&view);
+        let t_fix = t1.elapsed();
+        let correct = (0..n).all(|s| {
+            let f = parse_ground_literal(&mut w, &format!("fly(s{s})")).unwrap();
+            m.holds(f) == taxonomy_expected_fly(n, 4, s)
+        });
+        println!(
+            "B1 taxonomy N={n}: ground(smart) {:?} ({} instances), lfp {:?}, verdicts correct: {correct}",
+            t_ground,
+            g.len(),
+            t_fix
+        );
+    }
+
+    // B1b: goal-directed proof vs whole-model materialisation.
+    for &n in &[1024usize, 4096] {
+        let mut w = World::new();
+        let prog = taxonomy_chain(&mut w, n, 4);
+        let g = ground_built_smart(&mut w, &prog);
+        let view = View::new(&g, CompId(0));
+        let q = parse_ground_literal(&mut w, "fly(s0)").unwrap();
+        let t0 = Instant::now();
+        let full = least_model(&view).holds(q);
+        let t_full = t0.elapsed();
+        let t1 = Instant::now();
+        let goal = olp_semantics::prove(&view, q);
+        let t_goal = t1.elapsed();
+        assert_eq!(full, goal);
+        println!(
+            "B1b prove N={n}: whole model {t_full:?} vs goal-directed {t_goal:?} (answers agree)"
+        );
+    }
+
+    // B2: defeating chains.
+    for &n in &[64usize, 256, 1024] {
+        let mut w = World::new();
+        let prog = defeating_pairs(&mut w, n);
+        let g = ground_built_smart(&mut w, &prog);
+        let view = View::new(&g, CompId(0));
+        let t = Instant::now();
+        let m = least_model(&view);
+        println!(
+            "B2 defeating N={n}: lfp {:?}, derived {} literals (expected 0)",
+            t.elapsed(),
+            m.len()
+        );
+    }
+
+    // B3: expert panels.
+    for &n in &[16usize, 64, 256] {
+        let mut w = World::new();
+        let prog = expert_panel(&mut w, n, 19, 16);
+        let t0 = Instant::now();
+        let g = ground_built_smart(&mut w, &prog);
+        let view = View::new(&g, CompId(0));
+        let m = least_model(&view);
+        let take = parse_ground_literal(&mut w, "take_loan").unwrap();
+        println!(
+            "B3 experts N={n}: end-to-end {:?}, verdict take_loan = {}",
+            t0.elapsed(),
+            if m.holds(take) {
+                "true"
+            } else if m.holds(take.complement()) {
+                "false"
+            } else {
+                "undefined"
+            }
+        );
+    }
+
+    // B4: ancestor smart vs exhaustive.
+    for &n in &[32usize, 64] {
+        let mut w1 = World::new();
+        let p1 = ancestor(&mut w1, GraphShape::Chain, n);
+        let t0 = Instant::now();
+        let gs = ground_built_smart(&mut w1, &p1);
+        let t_smart = t0.elapsed();
+        let t1 = Instant::now();
+        let ge = ground_built_exhaustive(&mut w1, &p1);
+        let t_ex = t1.elapsed();
+        println!(
+            "B4 ancestor chain N={n}: smart {:?} ({} inst) vs exhaustive {:?} ({} inst)",
+            t_smart,
+            gs.len(),
+            t_ex,
+            ge.len()
+        );
+    }
+
+    // B6: WFS vs ordered on win/move.
+    for &n in &[64usize, 256] {
+        let src = win_move_src(n);
+        let mut w = World::new();
+        let flat = parse_program(&mut w, &src).unwrap();
+        let rules = flat.components[0].rules.clone();
+        let gc = GroundConfig::default();
+        let fg = olp_ground::ground_smart(&mut w, &flat, &gc).unwrap();
+        let naf = NafProgram::from_ground(&fg).unwrap();
+        let t0 = Instant::now();
+        let _ = well_founded_model(&naf);
+        let t_wfs = t0.elapsed();
+        let (ov, c) = ordered_version(&mut w, &rules);
+        let ovg = olp_ground::ground_smart(&mut w, &ov, &gc).unwrap();
+        let view = View::new(&ovg, c);
+        let t1 = Instant::now();
+        let _ = least_model(&view);
+        let t_olp = t1.elapsed();
+        println!("B6 win/move N={n}: WFS {t_wfs:?} vs ordered OV lfp {t_olp:?}");
+    }
+}

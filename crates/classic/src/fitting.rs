@@ -1,0 +1,120 @@
+//! Fitting (Kripke–Kleene) semantics \[FB\].
+//!
+//! The least fixpoint of the 3-valued immediate-consequence operator
+//! `Φ`: an atom becomes **true** when some rule body is true, **false**
+//! when *every* rule body is false (in particular: no rules at all).
+//! Unlike the well-founded semantics it does not detect unfounded
+//! positive loops (`p ← q, q ← p` stays undefined), so
+//! `Fitting ⊆ WFS` as sets of literals.
+//!
+//! Reproduction note: this engine also witnesses a correspondence the
+//! paper does not state but which follows from its constructions —
+//! **the least model of `OV(C)` in `C` equals the Fitting model of
+//! `C`**: a CWA fact `¬p` fires in `V^∞` exactly when every rule for
+//! `p` is blocked (some body literal's complement derived), which is
+//! `Φ`'s falsity condition; a rule for `p` fires exactly when its body
+//! is derived, which is `Φ`'s truth condition. Property-tested in
+//! `tests/transform_correspondence.rs`.
+
+use crate::naf::NafProgram;
+use crate::partial::body_value;
+use olp_core::{AtomId, GLit, Interpretation, Truth};
+
+/// One application of the Fitting operator `Φ` to `i`.
+pub fn fitting_step(p: &NafProgram, i: &Interpretation) -> Interpretation {
+    let mut out = Interpretation::with_capacity(p.n_atoms);
+    for a in 0..p.n_atoms {
+        let atom = AtomId(a as u32);
+        let mut any_true = false;
+        let mut all_false = true;
+        for r in p.rules.iter().filter(|r| r.head == atom) {
+            match body_value(r, i) {
+                Truth::True => {
+                    any_true = true;
+                    all_false = false;
+                }
+                Truth::Undefined => all_false = false,
+                Truth::False => {}
+            }
+        }
+        if any_true {
+            out.insert(GLit::pos(atom)).expect("fresh");
+        } else if all_false {
+            out.insert(GLit::neg(atom)).expect("fresh");
+        }
+    }
+    out
+}
+
+/// The Fitting (Kripke–Kleene) model: `lfp Φ` under the knowledge
+/// ordering (iterate from everything-undefined).
+pub fn fitting_model(p: &NafProgram) -> Interpretation {
+    let mut cur = Interpretation::with_capacity(p.n_atoms);
+    loop {
+        let next = fitting_step(p, &cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naf::testutil::{atom, naf};
+    use crate::wfs::well_founded_model;
+
+    #[test]
+    fn facts_and_chains_resolve() {
+        let (mut w, p) = naf("a. b :- a. c :- b, -d.");
+        let m = fitting_model(&p);
+        assert_eq!(m.value(atom(&mut w, "a")), Truth::True);
+        assert_eq!(m.value(atom(&mut w, "b")), Truth::True);
+        assert_eq!(m.value(atom(&mut w, "d")), Truth::False, "no rules → false");
+        assert_eq!(m.value(atom(&mut w, "c")), Truth::True);
+    }
+
+    #[test]
+    fn positive_loop_stays_undefined_unlike_wfs() {
+        let (mut w, p) = naf("p :- q. q :- p.");
+        let m = fitting_model(&p);
+        assert_eq!(m.value(atom(&mut w, "p")), Truth::Undefined);
+        assert_eq!(m.value(atom(&mut w, "q")), Truth::Undefined);
+        let wfm = well_founded_model(&p);
+        assert_eq!(wfm.value(atom(&mut w, "p")), Truth::False);
+    }
+
+    #[test]
+    fn negative_loop_undefined_in_both() {
+        let (mut w, p) = naf("p :- -q. q :- -p.");
+        let m = fitting_model(&p);
+        assert_eq!(m.value(atom(&mut w, "p")), Truth::Undefined);
+        assert_eq!(m.value(atom(&mut w, "q")), Truth::Undefined);
+    }
+
+    #[test]
+    fn fitting_is_subset_of_wfs() {
+        for src in [
+            "a. b :- a. c :- b, -d.",
+            "p :- q. q :- p. r :- -p.",
+            "move(a,b). move(b,c). win(X) :- move(X,Y), -win(Y).",
+            "a :- -a. b :- -c.",
+        ] {
+            let (_, p) = naf(src);
+            let f = fitting_model(&p);
+            let w = well_founded_model(&p);
+            assert!(f.is_subset(&w), "Fitting ⊄ WFS for {src}");
+        }
+    }
+
+    #[test]
+    fn fitting_is_a_3valued_model() {
+        use crate::partial::is_3valued_model;
+        for src in ["a. b :- a, -c.", "p :- -q. q :- -p. r :- p."] {
+            let (_, p) = naf(src);
+            let f = fitting_model(&p);
+            assert!(is_3valued_model(&p, &f), "{src}");
+        }
+    }
+}

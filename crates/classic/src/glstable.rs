@@ -1,0 +1,251 @@
+//! Total stable models (Gelfond–Lifschitz \[GL1\]).
+//!
+//! `S` is stable iff `Γ(S) = S`. Enumeration is a DPLL-style search:
+//! the well-founded model seeds the forced true/false sets (WFS is a
+//! sound approximation of every stable model), Fitting-style unit
+//! propagation tightens partial assignments, and complete assignments
+//! are verified with the reduct. Exact; exponential in the number of
+//! WFS-undefined atoms.
+
+use crate::naf::NafProgram;
+use crate::tp::gamma;
+use crate::wfs::alternating_fixpoint;
+use olp_core::BitSet;
+
+/// Whether `s` is a (total) stable model: `Γ(s) = s`.
+pub fn is_stable_total(p: &NafProgram, s: &BitSet) -> bool {
+    gamma(p, s) == *s
+}
+
+/// Enumerates all total stable models of `p`.
+pub fn stable_models_total(p: &NafProgram) -> Vec<BitSet> {
+    let (wf_true, wf_possible) = alternating_fixpoint(p);
+    // Every stable model S satisfies wf_true ⊆ S ⊆ wf_possible.
+    let mut t = wf_true;
+    let mut f: BitSet = (0..p.n_atoms)
+        .filter(|&a| !wf_possible.contains(a))
+        .collect();
+    let mut out = Vec::new();
+    if !propagate(p, &mut t, &mut f) {
+        return out;
+    }
+    search(p, t, f, &mut out);
+    out
+}
+
+/// Fitting-style propagation on a partial assignment `(t, f)`:
+/// * a rule with satisfied body forces its head true;
+/// * an atom whose every rule is dead (some positive body atom false or
+///   some NAF atom true) is forced false.
+///
+/// Returns `false` on conflict.
+fn propagate(p: &NafProgram, t: &mut BitSet, f: &mut BitSet) -> bool {
+    loop {
+        let mut changed = false;
+        // Heads with satisfied bodies.
+        for r in &p.rules {
+            if t.contains(r.head.index()) {
+                continue;
+            }
+            let body_true = r.pos.iter().all(|a| t.contains(a.index()))
+                && r.neg.iter().all(|a| f.contains(a.index()));
+            if body_true {
+                if f.contains(r.head.index()) {
+                    return false;
+                }
+                t.insert(r.head.index());
+                changed = true;
+            }
+        }
+        // Atoms with all rules dead.
+        for a in 0..p.n_atoms {
+            if t.contains(a) || f.contains(a) {
+                continue;
+            }
+            let alive = p.rules.iter().any(|r| {
+                r.head.index() == a
+                    && r.pos.iter().all(|b| !f.contains(b.index()))
+                    && r.neg.iter().all(|b| !t.contains(b.index()))
+            });
+            if !alive {
+                f.insert(a);
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn search(p: &NafProgram, t: BitSet, f: BitSet, out: &mut Vec<BitSet>) {
+    // Find an unassigned atom.
+    let unassigned = (0..p.n_atoms).find(|&a| !t.contains(a) && !f.contains(a));
+    match unassigned {
+        None => {
+            if is_stable_total(p, &t) {
+                out.push(t);
+            }
+        }
+        Some(a) => {
+            // Branch true.
+            let mut t1 = t.clone();
+            let mut f1 = f.clone();
+            t1.insert(a);
+            if propagate(p, &mut t1, &mut f1) {
+                search(p, t1, f1, out);
+            }
+            // Branch false.
+            let mut t2 = t;
+            let mut f2 = f;
+            f2.insert(a);
+            if propagate(p, &mut t2, &mut f2) {
+                search(p, t2, f2, out);
+            }
+        }
+    }
+}
+
+/// Cautious (skeptical) stable consequences: atoms true in **every**
+/// total stable model. Empty-model-set convention: when no stable model
+/// exists, every atom is vacuously cautious — callers should check
+/// [`stable_models_total`] emptiness first; we return `None` to force
+/// that decision.
+pub fn cautious_stable(p: &NafProgram) -> Option<BitSet> {
+    let models = stable_models_total(p);
+    let mut it = models.into_iter();
+    let mut acc = it.next()?;
+    for m in it {
+        let drop: Vec<usize> = acc.iter().filter(|&a| !m.contains(a)).collect();
+        for a in drop {
+            acc.remove(a);
+        }
+    }
+    Some(acc)
+}
+
+/// Brave (credulous) stable consequences: atoms true in **some** total
+/// stable model (`None` when no stable model exists).
+pub fn brave_stable(p: &NafProgram) -> Option<BitSet> {
+    let models = stable_models_total(p);
+    let mut it = models.into_iter();
+    let mut acc = it.next()?;
+    for m in it {
+        acc.union_with(&m);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naf::testutil::{atom, naf};
+    use crate::stratified::{is_stratified, perfect_model};
+    use crate::wfs::well_founded_model;
+
+    fn render(w: &olp_core::World, ms: &[BitSet]) -> Vec<String> {
+        let mut v: Vec<String> = ms
+            .iter()
+            .map(|m| NafProgram::render_atoms(w, m))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn even_loop_has_two_stable_models() {
+        let (w, p) = naf("p :- -q. q :- -p.");
+        let ms = stable_models_total(&p);
+        assert_eq!(render(&w, &ms), vec!["{p}".to_string(), "{q}".to_string()]);
+    }
+
+    #[test]
+    fn odd_loop_has_no_stable_model() {
+        let (_, p) = naf("a :- -a.");
+        assert!(stable_models_total(&p).is_empty());
+    }
+
+    #[test]
+    fn odd_loop_with_side_atom_still_none() {
+        let (_, p) = naf("a :- -a. b.");
+        assert!(stable_models_total(&p).is_empty());
+    }
+
+    #[test]
+    fn stratified_has_unique_stable_model_equal_to_perfect() {
+        for src in [
+            "q. p :- -q. r :- -s.",
+            "edge(a,b). edge(b,c). reach(a). reach(Y) :- reach(X), edge(X,Y).
+             node(a). node(b). node(c).
+             unreachable(X) :- node(X), -reach(X).",
+        ] {
+            let (_, p) = naf(src);
+            assert!(is_stratified(&p));
+            let ms = stable_models_total(&p);
+            assert_eq!(ms.len(), 1, "{src}");
+            assert_eq!(ms[0], perfect_model(&p).unwrap(), "{src}");
+        }
+    }
+
+    #[test]
+    fn wfs_true_false_contained_in_every_stable_model() {
+        let (_, p) = naf("p :- -q. q :- -p. r :- p. r :- q. s :- -t.");
+        let wfm = well_founded_model(&p);
+        let ms = stable_models_total(&p);
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            for a in wfm.pos_atoms() {
+                assert!(m.contains(a.index()));
+            }
+            for a in wfm.neg_atoms() {
+                assert!(!m.contains(a.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn three_coloring_style_choice() {
+        // Choice between three exclusive options via NAF.
+        let (mut w, p) = naf(
+            "r :- -g, -b. g :- -r, -b. b :- -r, -g.",
+        );
+        let ms = stable_models_total(&p);
+        assert_eq!(ms.len(), 3);
+        for m in &ms {
+            assert_eq!(m.len(), 1);
+        }
+        let _ = atom(&mut w, "r");
+    }
+
+    #[test]
+    fn cautious_and_brave_bracket_wfs() {
+        let (mut w, p) = naf("p :- -q. q :- -p. r :- p. r :- q. s :- -t.");
+        let cautious = cautious_stable(&p).unwrap();
+        let brave = brave_stable(&p).unwrap();
+        // WFS-true ⊆ cautious ⊆ brave.
+        let wfm = well_founded_model(&p);
+        for a in wfm.pos_atoms() {
+            assert!(cautious.contains(a.index()));
+        }
+        assert!(cautious.is_subset(&brave));
+        // r holds in both stable models (case analysis): cautious.
+        assert!(cautious.contains(atom(&mut w, "r").index()));
+        // p holds in only one: brave but not cautious.
+        let pa = atom(&mut w, "p").index();
+        assert!(brave.contains(pa) && !cautious.contains(pa));
+        // No stable models → None.
+        let (_, odd) = naf("a :- -a.");
+        assert!(cautious_stable(&odd).is_none());
+        assert!(brave_stable(&odd).is_none());
+    }
+
+    #[test]
+    fn constraint_via_odd_loop_filters_models() {
+        // x :- -y. y :- -x.  plus "forbid y": f :- y, -f. kills the y
+        // model.
+        let (mut w, p) = naf("x :- -y. y :- -x. f :- y, -f.");
+        let ms = stable_models_total(&p);
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].contains(atom(&mut w, "x").index()));
+    }
+}

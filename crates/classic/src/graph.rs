@@ -1,0 +1,178 @@
+//! Atom dependency graph and strongly connected components.
+//!
+//! Used by stratification ([`crate::stratified`]): the head of a rule
+//! depends positively on its positive body atoms and negatively on its
+//! NAF body atoms. A ground program is stratified (callable by the
+//! perfect-model semantics [ABW, P1, P2]) iff no dependency cycle goes
+//! through a negative edge.
+
+use crate::naf::NafProgram;
+use olp_core::FxHashMap;
+
+/// Polarity of a dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Through a positive body literal.
+    Positive,
+    /// Through a NAF body literal.
+    Negative,
+}
+
+/// The atom dependency graph of a ground program.
+#[derive(Debug)]
+pub struct DepGraph {
+    /// Adjacency: `edges[a]` lists `(b, polarity)` when some rule with
+    /// head `a` has `b` in its body.
+    pub edges: Vec<Vec<(usize, Polarity)>>,
+    n: usize,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of `p` over atoms `0..n_atoms`.
+    pub fn new(p: &NafProgram) -> Self {
+        let n = p.n_atoms;
+        let mut edges: Vec<Vec<(usize, Polarity)>> = vec![Vec::new(); n];
+        let mut seen: FxHashMap<(usize, usize, bool), ()> = FxHashMap::default();
+        for r in &p.rules {
+            let h = r.head.index();
+            for &b in r.pos.iter() {
+                if seen.insert((h, b.index(), true), ()).is_none() {
+                    edges[h].push((b.index(), Polarity::Positive));
+                }
+            }
+            for &b in r.neg.iter() {
+                if seen.insert((h, b.index(), false), ()).is_none() {
+                    edges[h].push((b.index(), Polarity::Negative));
+                }
+            }
+        }
+        DepGraph { edges, n }
+    }
+
+    /// Number of nodes (atoms).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Tarjan's strongly connected components. Returns `scc_of[atom]`
+    /// and the number of components; component ids are in **reverse
+    /// topological order** (a component only depends on components with
+    /// *smaller* ids — i.e. id 0 is a sink/leaf).
+    pub fn sccs(&self) -> (Vec<u32>, usize) {
+        // Iterative Tarjan (explicit stack) to survive deep chains.
+        const UNSET: u32 = u32::MAX;
+        let n = self.n;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut scc_of = vec![UNSET; n];
+        let mut next_index = 0u32;
+        let mut next_scc = 0u32;
+
+        // Work stack frames: (node, child cursor).
+        for root in 0..n {
+            if index[root] != UNSET {
+                continue;
+            }
+            let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+                if *cursor == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&(w, _)) = self.edges[v].get(*cursor) {
+                    *cursor += 1;
+                    if index[w] == UNSET {
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    // Done with v.
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack");
+                            on_stack[w] = false;
+                            scc_of[w] = next_scc;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_scc += 1;
+                    }
+                    work.pop();
+                    if let Some(&mut (parent, _)) = work.last_mut() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        (scc_of, next_scc as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naf::testutil::{atom, naf};
+
+    #[test]
+    fn sccs_of_mutual_recursion() {
+        let (mut w, p) = naf("p :- q. q :- p. r :- p.");
+        let g = DepGraph::new(&p);
+        let (scc, _) = g.sccs();
+        let pa = atom(&mut w, "p").index();
+        let qa = atom(&mut w, "q").index();
+        let ra = atom(&mut w, "r").index();
+        assert_eq!(scc[pa], scc[qa]);
+        assert_ne!(scc[pa], scc[ra]);
+        // Reverse topological: r depends on the p/q component, so the
+        // p/q component has the smaller id.
+        assert!(scc[pa] < scc[ra]);
+    }
+
+    #[test]
+    fn polarity_recorded() {
+        let (mut w, p) = naf("p :- q, -r.");
+        let g = DepGraph::new(&p);
+        let pa = atom(&mut w, "p").index();
+        let qa = atom(&mut w, "q").index();
+        let ra = atom(&mut w, "r").index();
+        let mut pols: Vec<(usize, Polarity)> = g.edges[pa].clone();
+        pols.sort_by_key(|&(t, _)| t);
+        let mut want = vec![(qa, Polarity::Positive), (ra, Polarity::Negative)];
+        want.sort_by_key(|&(t, _)| t);
+        assert_eq!(pols, want);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 2000-atom positive chain — iterative Tarjan must not blow the
+        // stack.
+        let mut src = String::from("p0.\n");
+        for i in 1..2000 {
+            src.push_str(&format!("p{} :- p{}.\n", i, i - 1));
+        }
+        let (_, p) = naf(&src);
+        let g = DepGraph::new(&p);
+        let (_, n_sccs) = g.sccs();
+        assert_eq!(n_sccs, 2000);
+    }
+
+    #[test]
+    fn duplicate_edges_deduplicated() {
+        let (mut w, p) = naf("p :- q. p :- q, r.");
+        let g = DepGraph::new(&p);
+        let pa = atom(&mut w, "p").index();
+        assert_eq!(g.edges[pa].len(), 2); // q once, r once
+    }
+}

@@ -1,0 +1,60 @@
+//! # olp-classic — classical logic programming baselines
+//!
+//! From-scratch implementations of the classical semantics the paper
+//! compares against (§3): the immediate-consequence fixpoint for
+//! positive programs, stratified negation with perfect models,
+//! well-founded semantics (alternating fixpoint), total stable models
+//! (Gelfond–Lifschitz, DPLL-style enumeration over the well-founded
+//! residual), and Saccà–Zaniolo 3-valued founded / partial-stable
+//! models, and the Fitting (Kripke–Kleene) 3-valued fixpoint.
+//!
+//! These serve two roles: *baselines* for the benchmark suite, and the
+//! *right-hand side* of the paper's correspondence results
+//! (Propositions 3–5, Corollary 1), which the `olp-transform` crate
+//! validates mechanically.
+//!
+//! ```
+//! use olp_core::{Truth, World};
+//! use olp_ground::{ground_exhaustive, GroundConfig};
+//! use olp_parser::{parse_ground_literal, parse_program};
+//! use olp_classic::{well_founded_model, stable_models_total, NafProgram};
+//!
+//! let mut w = World::new();
+//! let prog = parse_program(&mut w, "
+//!     move(a,b). move(b,c).
+//!     win(X) :- move(X,Y), -win(Y).
+//! ").unwrap();
+//! let g = ground_exhaustive(&mut w, &prog, &GroundConfig::default()).unwrap();
+//! let p = NafProgram::from_ground(&g).unwrap();
+//!
+//! // b wins (it can move to the dead end c); a loses.
+//! let wfm = well_founded_model(&p);
+//! let win_b = parse_ground_literal(&mut w, "win(b)").unwrap();
+//! assert_eq!(wfm.value(win_b.atom()), Truth::True);
+//! assert_eq!(stable_models_total(&p).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fitting;
+pub mod glstable;
+pub mod graph;
+pub mod naf;
+pub mod partial;
+pub mod stratified;
+pub mod supported;
+pub mod tp;
+pub mod wfs;
+
+pub use fitting::{fitting_model, fitting_step};
+pub use glstable::{brave_stable, cautious_stable, is_stable_total, stable_models_total};
+pub use graph::{DepGraph, Polarity};
+pub use naf::{NafProgram, NafRule, NotSeminegative};
+pub use partial::{
+    body_value, founded_models, is_3valued_model, is_founded, partial_stable_models,
+    positive_version,
+};
+pub use stratified::{is_stratified, perfect_model};
+pub use supported::{is_supported, supported_models};
+pub use tp::{gamma, least_model_positive};
+pub use wfs::{alternating_fixpoint, greatest_unfounded_set, well_founded_model};

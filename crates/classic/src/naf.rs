@@ -1,0 +1,188 @@
+//! Ground normal logic programs (negation as failure).
+//!
+//! §3 of the paper relates ordered-program semantics to the classical
+//! semantics of *seminegative* programs — programs whose rule heads are
+//! positive and whose body negation is read as negation-as-failure by
+//! the classical proposals (stratified, well-founded, stable, founded).
+//! This crate implements those classical baselines from scratch over a
+//! ground representation: [`NafRule`] with positive head, positive body
+//! atoms, and NAF body atoms.
+
+use olp_core::{AtomId, BitSet, GLit, World};
+use olp_ground::GroundProgram;
+use std::fmt;
+
+/// A ground normal rule `h ← p1,…,pk, not n1,…,not nm`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NafRule {
+    /// Head atom.
+    pub head: AtomId,
+    /// Positive body atoms.
+    pub pos: Box<[AtomId]>,
+    /// Negated (NAF) body atoms.
+    pub neg: Box<[AtomId]>,
+}
+
+impl NafRule {
+    /// Builds a rule with canonicalised (sorted, deduplicated) bodies.
+    pub fn new(head: AtomId, mut pos: Vec<AtomId>, mut neg: Vec<AtomId>) -> Self {
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        NafRule {
+            head,
+            pos: pos.into_boxed_slice(),
+            neg: neg.into_boxed_slice(),
+        }
+    }
+}
+
+/// A ground normal (NAF) program.
+#[derive(Debug, Clone, Default)]
+pub struct NafProgram {
+    /// The rules.
+    pub rules: Vec<NafRule>,
+    /// Atom universe bound: atoms are `0..n_atoms`.
+    pub n_atoms: usize,
+}
+
+/// Error converting a ground ordered program: a rule has a negated head
+/// (the program is not seminegative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotSeminegative {
+    /// Index of the offending rule in the source ground program.
+    pub rule: usize,
+}
+
+impl fmt::Display for NotSeminegative {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rule {} has a negated head: not a seminegative program",
+            self.rule
+        )
+    }
+}
+
+impl std::error::Error for NotSeminegative {}
+
+impl NafProgram {
+    /// Converts a ground (seminegative) ordered program, reading body
+    /// negation as NAF. Component structure is ignored — classical
+    /// semantics see one flat rule set.
+    pub fn from_ground(gp: &GroundProgram) -> Result<NafProgram, NotSeminegative> {
+        let mut rules = Vec::with_capacity(gp.rules.len());
+        for (ri, r) in gp.rules.iter().enumerate() {
+            if !r.head.is_pos() {
+                return Err(NotSeminegative { rule: ri });
+            }
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for &b in r.body.iter() {
+                if b.is_pos() {
+                    pos.push(b.atom());
+                } else {
+                    neg.push(b.atom());
+                }
+            }
+            rules.push(NafRule::new(r.head.atom(), pos, neg));
+        }
+        Ok(NafProgram {
+            rules,
+            n_atoms: gp.n_atoms,
+        })
+    }
+
+    /// Whether the program is positive (no NAF literals at all).
+    pub fn is_positive(&self) -> bool {
+        self.rules.iter().all(|r| r.neg.is_empty())
+    }
+
+    /// Renders a set of true atoms as `{atom, …}` (sorted, stable).
+    pub fn render_atoms(world: &World, s: &BitSet) -> String {
+        let mut parts: Vec<String> = s
+            .iter()
+            .map(|i| world.atom_str(AtomId(i as u32)))
+            .collect();
+        parts.sort();
+        format!("{{{}}}", parts.join(", "))
+    }
+
+    /// The total 2-valued interpretation with exactly `s` true, as a
+    /// 3-valued [`olp_core::Interpretation`] over `0..n_atoms`.
+    pub fn total_interpretation(&self, s: &BitSet) -> olp_core::Interpretation {
+        let mut i = olp_core::Interpretation::with_capacity(self.n_atoms);
+        for a in 0..self.n_atoms {
+            let lit = if s.contains(a) {
+                GLit::pos(AtomId(a as u32))
+            } else {
+                GLit::neg(AtomId(a as u32))
+            };
+            i.insert(lit).expect("total assignment is consistent");
+        }
+        i
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use olp_ground::{ground_exhaustive, GroundConfig};
+    use olp_parser::parse_program;
+
+    /// Parses + grounds a seminegative program for tests.
+    pub fn naf(src: &str) -> (World, NafProgram) {
+        let mut w = World::new();
+        let p = parse_program(&mut w, src).unwrap();
+        let g = ground_exhaustive(&mut w, &p, &GroundConfig::default()).unwrap();
+        (w, NafProgram::from_ground(&g).unwrap())
+    }
+
+    /// Looks up an atom id by rendering; panics when absent.
+    pub fn atom(w: &mut World, s: &str) -> AtomId {
+        olp_parser::parse_ground_literal(w, s).unwrap().atom()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use olp_ground::{ground_exhaustive, GroundConfig};
+    use olp_parser::parse_program;
+
+    #[test]
+    fn conversion_splits_polarity() {
+        let (mut w, p) = naf("p(a). q(X) :- p(X), -r(X).");
+        assert_eq!(p.rules.len(), 2);
+        let r = p
+            .rules
+            .iter()
+            .find(|r| !r.pos.is_empty() || !r.neg.is_empty())
+            .unwrap();
+        assert_eq!(r.pos.as_ref(), [atom(&mut w, "p(a)")]);
+        assert_eq!(r.neg.as_ref(), [atom(&mut w, "r(a)")]);
+        assert!(!p.is_positive());
+    }
+
+    #[test]
+    fn negated_head_rejected() {
+        let mut w = World::new();
+        let prog = parse_program(&mut w, "-p :- q.").unwrap();
+        let g = ground_exhaustive(&mut w, &prog, &GroundConfig::default()).unwrap();
+        assert!(NafProgram::from_ground(&g).is_err());
+    }
+
+    #[test]
+    fn total_interpretation_round_trip() {
+        let (mut w, p) = naf("a. b :- a, -c.");
+        let mut s = BitSet::new();
+        s.insert(atom(&mut w, "a").index());
+        s.insert(atom(&mut w, "b").index());
+        let i = p.total_interpretation(&s);
+        assert!(i.is_total(p.n_atoms));
+        assert_eq!(i.pos_atoms().count(), 2);
+        assert_eq!(i.neg_atoms().count(), p.n_atoms - 2);
+    }
+}

@@ -1,0 +1,319 @@
+//! 3-valued models (Przymusinski \[P3\]) and founded / partial-stable
+//! models (Saccà–Zaniolo \[SZ\]) of seminegative programs.
+//!
+//! These are the classical notions §3 of the paper maps onto ordered
+//! programs:
+//!
+//! * `M` is a **3-valued model** iff `value(H(r)) ≥ value(B(r))` for
+//!   every ground rule, with `F < U < T`, body value = min, empty body
+//!   = `T`, and `value(not A)` the complement of `value(A)` (Prop. 3/5
+//!   relate these to models of `OV(C)` / `EV(C)`).
+//! * `M` is **founded** iff `T_{C_M}^∞(∅) = M⁺`, where the *positive
+//!   version* `C_M` deletes every non-applied rule and strips NAF
+//!   literals from the rest (Prop. 4 ⇔ assumption-free models of
+//!   `OV(C)`).
+//! * `M` is **(partial) stable** iff it is maximally founded (Cor. 1 ⇔
+//!   stable models of `OV(C)`; for total `M` this is Gelfond–Lifschitz
+//!   stability).
+
+use crate::naf::{NafProgram, NafRule};
+use olp_core::{AtomId, BitSet, GLit, Interpretation, Truth};
+
+fn truth_rank(t: Truth) -> u8 {
+    match t {
+        Truth::False => 0,
+        Truth::Undefined => 1,
+        Truth::True => 2,
+    }
+}
+
+fn neg_truth(t: Truth) -> Truth {
+    match t {
+        Truth::True => Truth::False,
+        Truth::False => Truth::True,
+        Truth::Undefined => Truth::Undefined,
+    }
+}
+
+/// `value(B(r))` under `m`: the minimum over the body literals
+/// (`T` for an empty body).
+pub fn body_value(r: &NafRule, m: &Interpretation) -> Truth {
+    let mut min = Truth::True;
+    for &a in r.pos.iter() {
+        let v = m.value(a);
+        if truth_rank(v) < truth_rank(min) {
+            min = v;
+        }
+    }
+    for &a in r.neg.iter() {
+        let v = neg_truth(m.value(a));
+        if truth_rank(v) < truth_rank(min) {
+            min = v;
+        }
+    }
+    min
+}
+
+/// Whether `m` is a 3-valued model of `p`.
+pub fn is_3valued_model(p: &NafProgram, m: &Interpretation) -> bool {
+    p.rules
+        .iter()
+        .all(|r| truth_rank(m.value(r.head)) >= truth_rank(body_value(r, m)))
+}
+
+/// The positive version `C_M`: applied rules (body true, head in `M⁺`)
+/// with NAF literals stripped.
+pub fn positive_version(p: &NafProgram, m: &Interpretation) -> Vec<(AtomId, Box<[AtomId]>)> {
+    p.rules
+        .iter()
+        .filter(|r| {
+            m.value(r.head) == Truth::True && body_value(r, m) == Truth::True
+        })
+        .map(|r| (r.head, r.pos.clone()))
+        .collect()
+}
+
+/// Whether `m` is **founded**: (i) the `T` fixpoint of its positive
+/// version rebuilds exactly `M⁺`, and (ii) every *undefined* atom has a
+/// witness — a rule whose body is not false.
+///
+/// Condition (ii) reconstructs the \[SZ\] notion precisely enough for the
+/// paper's Proposition 4 to hold (it matches Przymusiński's 3-valued
+/// stable reduct, where an atom with no live rule is *false*, never
+/// undefined): under `OV(C)` the closed-world component forces exactly
+/// this — an atom may stay undefined only while a non-blocked rule for
+/// it overrules the CWA fact. Without (ii), `{p0}` with `q` undefined
+/// would count as founded for the program `{p0.}` even though `q` has
+/// no rules at all, while `OV` makes `¬q` mandatory; the paper's
+/// Prop. 4 proof sketch silently assumes (ii). Validated by the
+/// `prop4_ov_assumption_free_eq_founded` property test.
+pub fn is_founded(p: &NafProgram, m: &Interpretation) -> bool {
+    // (ii) witnessed undefinedness.
+    for a in 0..p.n_atoms {
+        let atom = AtomId(a as u32);
+        if m.value(atom) == Truth::Undefined {
+            let witnessed = p
+                .rules
+                .iter()
+                .any(|r| r.head == atom && body_value(r, m) != Truth::False);
+            if !witnessed {
+                return false;
+            }
+        }
+    }
+    let rules = positive_version(p, m);
+    // Positive closure.
+    let mut t = BitSet::with_capacity(p.n_atoms);
+    loop {
+        let mut changed = false;
+        for (h, body) in &rules {
+            if !t.contains(h.index()) && body.iter().all(|b| t.contains(b.index())) {
+                t.insert(h.index());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let m_pos: BitSet = m.pos_atoms().map(|a| a.index()).collect();
+    t == m_pos
+}
+
+/// Enumerates all founded 3-valued models of `p`. Exponential; for the
+/// correspondence experiments and small programs.
+pub fn founded_models(p: &NafProgram) -> Vec<Interpretation> {
+    let mut out = Vec::new();
+    let mut cur = Interpretation::with_capacity(p.n_atoms);
+    fn rec(
+        p: &NafProgram,
+        at: usize,
+        cur: &mut Interpretation,
+        out: &mut Vec<Interpretation>,
+    ) {
+        if at == p.n_atoms {
+            if is_3valued_model(p, cur) && is_founded(p, cur) {
+                out.push(cur.clone());
+            }
+            return;
+        }
+        let a = AtomId(at as u32);
+        rec(p, at + 1, cur, out);
+        cur.insert(GLit::pos(a)).expect("fresh");
+        rec(p, at + 1, cur, out);
+        cur.remove(GLit::pos(a));
+        cur.insert(GLit::neg(a)).expect("fresh");
+        rec(p, at + 1, cur, out);
+        cur.remove(GLit::neg(a));
+    }
+    rec(p, 0, &mut cur, &mut out);
+    out
+}
+
+/// The **partial stable models**: maximal founded models under
+/// literal-set inclusion.
+pub fn partial_stable_models(p: &NafProgram) -> Vec<Interpretation> {
+    let founded = founded_models(p);
+    founded
+        .iter()
+        .filter(|m| !founded.iter().any(|n| m.is_proper_subset(n)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glstable::stable_models_total;
+    use crate::naf::testutil::{atom, naf};
+    use crate::wfs::well_founded_model;
+
+    fn interp(pairs: &[(AtomId, bool)]) -> Interpretation {
+        Interpretation::from_literals(pairs.iter().map(|&(a, v)| {
+            if v {
+                GLit::pos(a)
+            } else {
+                GLit::neg(a)
+            }
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn example7_p_not_p() {
+        // C = { p :- -p }: {p} is a 3-valued model, but not founded.
+        let (mut w, p) = naf("p :- -p.");
+        let pa = atom(&mut w, "p");
+        let m_p = interp(&[(pa, true)]);
+        assert!(is_3valued_model(&p, &m_p));
+        assert!(!is_founded(&p, &m_p));
+        // The empty interpretation is NOT a 3-valued model (body value U
+        // > head value U is fine… value(-p)=U, head U: U ≥ U ✓ — it IS
+        // a model), and it is founded.
+        let empty = Interpretation::new();
+        assert!(is_3valued_model(&p, &empty));
+        assert!(is_founded(&p, &empty));
+        // {−p} is not a 3-valued model: body value(¬p)=T > head F.
+        let m_np = interp(&[(pa, false)]);
+        assert!(!is_3valued_model(&p, &m_np));
+        // So the only partial stable model is ∅.
+        let ps = partial_stable_models(&p);
+        assert_eq!(ps.len(), 1);
+        assert!(ps[0].is_empty());
+    }
+
+    #[test]
+    fn founded_requires_noncircular_support() {
+        let (mut w, p) = naf("p :- q. q :- p.");
+        let pa = atom(&mut w, "p");
+        let qa = atom(&mut w, "q");
+        let both = interp(&[(pa, true), (qa, true)]);
+        assert!(is_3valued_model(&p, &both));
+        assert!(!is_founded(&p, &both));
+        let none = interp(&[(pa, false), (qa, false)]);
+        assert!(is_3valued_model(&p, &none));
+        assert!(is_founded(&p, &none), "false atoms need no support");
+    }
+
+    #[test]
+    fn wfs_is_a_founded_model_and_least_partial_stable() {
+        for src in [
+            "p :- -q. q :- -p. r :- p. r :- q.",
+            "a :- -a. b :- -c.",
+            "move(a,b). move(b,c). win(X) :- move(X,Y), -win(Y).",
+        ] {
+            let (_, p) = naf(src);
+            let wfm = well_founded_model(&p);
+            assert!(is_3valued_model(&p, &wfm), "{src}");
+            assert!(is_founded(&p, &wfm), "{src}");
+            // WFS ⊆ every partial stable model [P3].
+            for ps in partial_stable_models(&p) {
+                assert!(wfm.is_subset(&ps), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_partial_stable_models_are_gl_stable() {
+        let (_, p) = naf("p :- -q. q :- -p.");
+        let ps = partial_stable_models(&p);
+        assert_eq!(ps.len(), 2);
+        let gl = stable_models_total(&p);
+        assert_eq!(gl.len(), 2);
+        for m in &ps {
+            assert!(m.is_total(p.n_atoms));
+            let m_pos: BitSet = m.pos_atoms().map(|a| a.index()).collect();
+            assert!(gl.contains(&m_pos));
+        }
+    }
+
+    #[test]
+    fn odd_loop_partial_stable_is_empty_model() {
+        // a :- -a. has no total stable model, but ∅ is partial stable.
+        let (_, p) = naf("a :- -a.");
+        let ps = partial_stable_models(&p);
+        assert_eq!(ps.len(), 1);
+        assert!(ps[0].is_empty());
+        assert!(stable_models_total(&p).is_empty());
+    }
+
+    #[test]
+    fn maximal_3valued_models_are_total() {
+        // §3 of the paper: "every exhaustive model for C is total" —
+        // any non-total 3-valued model extends by setting every
+        // undefined atom true (heads only rise; false heads keep false
+        // bodies because false literals are unchanged).
+        for src in [
+            "a. b :- a, -c.",
+            "p :- -q. q :- -p. r :- p.",
+            "x :- y. y :- x. z :- -x.",
+        ] {
+            let (_, p) = naf(src);
+            // Enumerate all 3-valued models, find the ⊆-maximal ones.
+            let mut models = Vec::new();
+            let mut cur = Interpretation::with_capacity(p.n_atoms);
+            fn rec(
+                p: &NafProgram,
+                at: usize,
+                cur: &mut Interpretation,
+                out: &mut Vec<Interpretation>,
+            ) {
+                if at == p.n_atoms {
+                    if is_3valued_model(p, cur) {
+                        out.push(cur.clone());
+                    }
+                    return;
+                }
+                let a = AtomId(at as u32);
+                rec(p, at + 1, cur, out);
+                cur.insert(GLit::pos(a)).unwrap();
+                rec(p, at + 1, cur, out);
+                cur.remove(GLit::pos(a));
+                cur.insert(GLit::neg(a)).unwrap();
+                rec(p, at + 1, cur, out);
+                cur.remove(GLit::neg(a));
+            }
+            rec(&p, 0, &mut cur, &mut models);
+            for m in &models {
+                let maximal = !models.iter().any(|n| m.is_proper_subset(n));
+                if maximal {
+                    assert!(m.is_total(p.n_atoms), "{src}: maximal but not total");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn body_value_is_min_and_empty_is_true() {
+        let (mut w, p) = naf("h :- a, -b.");
+        let a = atom(&mut w, "a");
+        let b = atom(&mut w, "b");
+        let r = p.rules.iter().find(|r| !r.pos.is_empty()).unwrap();
+        assert_eq!(body_value(r, &interp(&[(a, true), (b, false)])), Truth::True);
+        assert_eq!(body_value(r, &interp(&[(a, true), (b, true)])), Truth::False);
+        assert_eq!(body_value(r, &interp(&[(a, true)])), Truth::Undefined);
+        assert_eq!(body_value(r, &interp(&[(b, true)])), Truth::False);
+        let fact = p.rules.iter().find(|r| r.pos.is_empty() && r.neg.is_empty());
+        assert!(fact.is_none()); // no facts in this program
+    }
+}

@@ -1,0 +1,149 @@
+//! Stratified programs and the perfect model (Apt–Blair–Walker \[ABW\],
+//! Przymusinski \[P1, P2\]).
+//!
+//! A ground program is **stratified** when no dependency cycle passes
+//! through a NAF edge. Stratified programs have a canonical *perfect
+//! model*, computed stratum by stratum: within a stratum only positive
+//! recursion remains, and NAF literals refer to strata already fully
+//! evaluated (closed-world).
+
+use crate::graph::{DepGraph, Polarity};
+use crate::naf::NafProgram;
+use olp_core::BitSet;
+
+/// Whether `p` is stratified: no SCC of the dependency graph contains
+/// an internal negative edge.
+pub fn is_stratified(p: &NafProgram) -> bool {
+    let g = DepGraph::new(p);
+    let (scc_of, _) = g.sccs();
+    for (a, edges) in g.edges.iter().enumerate() {
+        for &(b, pol) in edges {
+            if pol == Polarity::Negative && scc_of[a] == scc_of[b] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The perfect model of a stratified program, or `None` if `p` is not
+/// stratified.
+///
+/// Evaluation: SCC ids from Tarjan come in reverse topological order
+/// (dependencies first), so a single pass over components in id order
+/// sees every NAF-referenced atom fully decided.
+pub fn perfect_model(p: &NafProgram) -> Option<BitSet> {
+    let g = DepGraph::new(p);
+    let (scc_of, n_sccs) = g.sccs();
+    // Reject non-stratified input.
+    for (a, edges) in g.edges.iter().enumerate() {
+        for &(b, pol) in edges {
+            if pol == Polarity::Negative && scc_of[a] == scc_of[b] {
+                return None;
+            }
+        }
+    }
+    // Group rules by the SCC of their head.
+    let mut rules_of: Vec<Vec<u32>> = vec![Vec::new(); n_sccs];
+    for (ri, r) in p.rules.iter().enumerate() {
+        rules_of[scc_of[r.head.index()] as usize].push(ri as u32);
+    }
+    let mut m = BitSet::with_capacity(p.n_atoms);
+    for comp_rules in &rules_of {
+        // Within the stratum: positive fixpoint; NAF atoms are in lower
+        // strata (or outside any cycle) and already decided — closed
+        // world: not in `m` means false.
+        loop {
+            let mut changed = false;
+            for &ri in comp_rules {
+                let r = &p.rules[ri as usize];
+                if m.contains(r.head.index()) {
+                    continue;
+                }
+                let pos_ok = r.pos.iter().all(|a| m.contains(a.index()));
+                let neg_ok = r.neg.iter().all(|a| !m.contains(a.index()));
+                if pos_ok && neg_ok {
+                    m.insert(r.head.index());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naf::testutil::{atom, naf};
+    use crate::tp::gamma;
+    use crate::wfs::well_founded_model;
+    use olp_core::Truth;
+
+    #[test]
+    fn positive_programs_are_stratified() {
+        let (_, p) = naf("p :- q. q :- p. r.");
+        assert!(is_stratified(&p));
+        let m = perfect_model(&p).unwrap();
+        assert_eq!(m.len(), 1); // only r
+    }
+
+    #[test]
+    fn negative_cycle_not_stratified() {
+        let (_, p) = naf("p :- -q. q :- -p.");
+        assert!(!is_stratified(&p));
+        assert!(perfect_model(&p).is_none());
+        // Odd loop too.
+        let (_, p2) = naf("a :- -a.");
+        assert!(!is_stratified(&p2));
+    }
+
+    #[test]
+    fn negation_across_strata_is_fine() {
+        let (mut w, p) = naf("q. p :- -q. r :- -s.");
+        assert!(is_stratified(&p));
+        let m = perfect_model(&p).unwrap();
+        assert!(m.contains(atom(&mut w, "q").index()));
+        assert!(!m.contains(atom(&mut w, "p").index()));
+        assert!(m.contains(atom(&mut w, "r").index()));
+    }
+
+    #[test]
+    fn perfect_model_matches_wfs_and_gamma_on_stratified() {
+        // On stratified programs: perfect model = total WFS = unique
+        // stable model (Γ fixpoint).
+        for src in [
+            "q. p :- -q. r :- -s.",
+            "edge(a,b). edge(b,c). reach(a).
+             reach(Y) :- reach(X), edge(X,Y).
+             unreachable(X) :- node(X), -reach(X).
+             node(a). node(b). node(c).",
+            "even(zero).",
+        ] {
+            let (_, p) = naf(src);
+            assert!(is_stratified(&p), "{src}");
+            let pm = perfect_model(&p).unwrap();
+            let wfm = well_founded_model(&p);
+            assert!(wfm.is_total(p.n_atoms), "{src}: WFS not total");
+            let wf_true: BitSet = wfm.pos_atoms().map(|a| a.index()).collect();
+            assert_eq!(pm, wf_true, "{src}: perfect ≠ WFS");
+            assert_eq!(gamma(&p, &pm), pm, "{src}: perfect not Γ-stable");
+        }
+    }
+
+    #[test]
+    fn mixed_recursion_positive_cycle_with_external_negation() {
+        let (mut w, p) = naf("p :- q, -blocked. q :- p. seed :- -blocked.");
+        // p/q positive cycle, negation points outside it: stratified.
+        assert!(is_stratified(&p));
+        let m = perfect_model(&p).unwrap();
+        // blocked is false, but p/q remain unfounded (no base case).
+        assert!(!m.contains(atom(&mut w, "p").index()));
+        assert!(m.contains(atom(&mut w, "seed").index()));
+        let wfm = well_founded_model(&p);
+        assert_eq!(wfm.value(atom(&mut w, "p")), Truth::False);
+    }
+}

@@ -1,0 +1,100 @@
+//! Supported models (Clark's completion \[Cl\]).
+//!
+//! A total 2-valued interpretation `S` is **supported** when an atom is
+//! true *iff* some rule for it has a satisfied body — the models of the
+//! program's Clark completion. Supported models are the weakest member
+//! of the classical family: every stable model is supported, but a
+//! supported model may rest on positive circular support
+//! (`p ← p` makes `{p}` supported, not stable).
+//!
+//! Included as a baseline endpoint for the semantics-lattice property
+//! tests: `stable ⊆ supported`, and `WFS`-true atoms belong to every
+//! supported model that extends the well-founded core.
+
+use crate::naf::NafProgram;
+use olp_core::BitSet;
+
+/// Whether `s` (the set of true atoms) is a supported model.
+pub fn is_supported(p: &NafProgram, s: &BitSet) -> bool {
+    for a in 0..p.n_atoms {
+        let has_support = p.rules.iter().any(|r| {
+            r.head.index() == a
+                && r.pos.iter().all(|b| s.contains(b.index()))
+                && r.neg.iter().all(|b| !s.contains(b.index()))
+        });
+        if s.contains(a) != has_support {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates all supported models. Exponential (2^n over mentioned
+/// atoms); for validation suites and small programs.
+pub fn supported_models(p: &NafProgram) -> Vec<BitSet> {
+    assert!(
+        p.n_atoms <= 24,
+        "supported-model enumeration is 2^n; refusing n_atoms = {}",
+        p.n_atoms
+    );
+    let mut out = Vec::new();
+    for bits in 0u64..(1u64 << p.n_atoms) {
+        let s: BitSet = (0..p.n_atoms).filter(|&a| bits & (1 << a) != 0).collect();
+        if is_supported(p, &s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glstable::stable_models_total;
+    use crate::naf::testutil::{atom, naf};
+
+    #[test]
+    fn circular_support_is_supported_but_not_stable() {
+        let (mut w, p) = naf("p :- p.");
+        let sup = supported_models(&p);
+        assert_eq!(sup.len(), 2, "∅ and {{p}}");
+        let pa = atom(&mut w, "p").index();
+        assert!(sup.iter().any(|s| s.contains(pa)));
+        let stable = stable_models_total(&p);
+        assert_eq!(stable.len(), 1);
+        assert!(stable[0].is_empty());
+    }
+
+    #[test]
+    fn every_stable_model_is_supported() {
+        for src in [
+            "p :- -q. q :- -p.",
+            "a. b :- a, -c. c :- -b.",
+            "x :- y. y :- -z.",
+        ] {
+            let (_, p) = naf(src);
+            let sup = supported_models(&p);
+            for s in stable_models_total(&p) {
+                assert!(sup.contains(&s), "{src}");
+                assert!(is_supported(&p, &s), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn facts_force_truth_and_absence_forces_falsity() {
+        let (mut w, p) = naf("a. b :- a.");
+        let sup = supported_models(&p);
+        assert_eq!(sup.len(), 1);
+        assert!(sup[0].contains(atom(&mut w, "a").index()));
+        assert!(sup[0].contains(atom(&mut w, "b").index()));
+    }
+
+    #[test]
+    fn odd_loop_has_no_supported_model() {
+        // a :- -a: a true needs a false and vice versa — completion is
+        // unsatisfiable.
+        let (_, p) = naf("a :- -a.");
+        assert!(supported_models(&p).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! The immediate-consequence operator `T_P` and the Gelfond–Lifschitz
+//! transform `Γ`.
+//!
+//! * [`least_model_positive`] — the unique minimal (Herbrand) model of a
+//!   positive program, by semi-naive counter-based closure (van
+//!   Emden–Kowalski; \[L, U\] in the paper's references).
+//! * [`gamma`] — `Γ(S)`: the least model of the reduct `P^S` (delete
+//!   rules with a NAF atom in `S`; drop remaining NAF literals). Stable
+//!   models are the fixpoints of `Γ` \[GL1\]; the well-founded model is
+//!   built from the alternating fixpoint of `Γ²` (see [`crate::wfs`]).
+
+use crate::naf::NafProgram;
+use olp_core::{AtomId, BitSet, FxHashMap};
+
+/// Least model of a **positive** program.
+///
+/// # Panics
+/// Panics (debug assertion) if the program has NAF literals; use
+/// [`gamma`] for those.
+pub fn least_model_positive(p: &NafProgram) -> BitSet {
+    debug_assert!(p.is_positive(), "least_model_positive needs a positive program");
+    gamma_inner(p, None)
+}
+
+/// `Γ(S)`: least model of the Gelfond–Lifschitz reduct `P^S`.
+pub fn gamma(p: &NafProgram, s: &BitSet) -> BitSet {
+    gamma_inner(p, Some(s))
+}
+
+fn gamma_inner(p: &NafProgram, s: Option<&BitSet>) -> BitSet {
+    // Counter-based closure over the reduct. Rules killed by the reduct
+    // are skipped up front.
+    let mut unsat: Vec<u32> = Vec::with_capacity(p.rules.len());
+    let mut by_pos: FxHashMap<AtomId, Vec<u32>> = FxHashMap::default();
+    let mut alive: Vec<bool> = Vec::with_capacity(p.rules.len());
+    for (ri, r) in p.rules.iter().enumerate() {
+        let killed = match s {
+            Some(s) => r.neg.iter().any(|n| s.contains(n.index())),
+            None => false,
+        };
+        alive.push(!killed);
+        unsat.push(r.pos.len() as u32);
+        if !killed {
+            for &a in r.pos.iter() {
+                by_pos.entry(a).or_default().push(ri as u32);
+            }
+        }
+    }
+    let mut m = BitSet::with_capacity(p.n_atoms);
+    let mut queue: Vec<AtomId> = Vec::new();
+    for (ri, r) in p.rules.iter().enumerate() {
+        if alive[ri] && unsat[ri] == 0 && m.insert(r.head.index()) {
+            queue.push(r.head);
+        }
+    }
+    while let Some(a) = queue.pop() {
+        if let Some(deps) = by_pos.get(&a) {
+            for &ri in deps {
+                unsat[ri as usize] -= 1;
+                if unsat[ri as usize] == 0 {
+                    let h = p.rules[ri as usize].head;
+                    if m.insert(h.index()) {
+                        queue.push(h);
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naf::testutil::{atom, naf};
+
+    #[test]
+    fn ancestor_least_model() {
+        let (mut w, p) = naf(
+            "parent(a,b). parent(b,c).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        );
+        let m = least_model_positive(&p);
+        for s in ["anc(a,b)", "anc(b,c)", "anc(a,c)"] {
+            assert!(m.contains(atom(&mut w, s).index()), "{s} missing");
+        }
+        assert!(!m.contains(atom(&mut w, "anc(c,a)").index()));
+        // 2 parent facts + 3 anc atoms.
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn gamma_reduct_semantics() {
+        // p :- not q.  q :- not p. — Γ({p}) = {p}, Γ({q}) = {q},
+        // Γ(∅) = {p, q}: the two stable models are the Γ fixpoints.
+        let (mut w, p) = naf("p :- -q. q :- -p.");
+        let pa = atom(&mut w, "p").index();
+        let qa = atom(&mut w, "q").index();
+
+        let mut sp = BitSet::new();
+        sp.insert(pa);
+        assert_eq!(gamma(&p, &sp), sp);
+
+        let mut sq = BitSet::new();
+        sq.insert(qa);
+        assert_eq!(gamma(&p, &sq), sq);
+
+        let g0 = gamma(&p, &BitSet::new());
+        assert!(g0.contains(pa) && g0.contains(qa));
+
+        // Γ({p,q}) = ∅ — not a fixpoint.
+        let mut both = BitSet::new();
+        both.insert(pa);
+        both.insert(qa);
+        assert!(gamma(&p, &both).is_empty());
+    }
+
+    #[test]
+    fn gamma_is_antimonotone() {
+        let (_, p) = naf("a :- -b. b :- -c. c :- -a. d :- a, -e.");
+        // S ⊆ S' ⇒ Γ(S') ⊆ Γ(S).
+        let sets: Vec<BitSet> = (0..1u32 << p.n_atoms.min(5))
+            .map(|bits| {
+                (0..p.n_atoms.min(5))
+                    .filter(|i| bits & (1 << i) != 0)
+                    .collect()
+            })
+            .collect();
+        for s1 in &sets {
+            for s2 in &sets {
+                if s1.is_subset(s2) {
+                    assert!(gamma(&p, s2).is_subset(&gamma(&p, s1)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program() {
+        let (_, p) = naf("");
+        assert!(least_model_positive(&p).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Well-founded semantics (Van Gelder–Ross–Schlipf, \[VRS\]) via the
+//! alternating fixpoint of `Γ²`.
+//!
+//! `Γ` is antimonotone, so `Γ²` is monotone. Iterating `Γ²` from `∅`
+//! climbs to its least fixpoint `T∞` = the **well-founded true** atoms;
+//! `Γ(T∞)` is the greatest fixpoint = the atoms *not* well-founded
+//! false. Everything in between is undefined. The complement of
+//! `Γ(T∞)` is exactly the greatest unfounded set w.r.t. the partial
+//! model — the notion the paper's assumption sets generalise.
+
+use crate::naf::NafProgram;
+use crate::tp::gamma;
+use olp_core::{AtomId, BitSet, GLit, Interpretation};
+
+/// The well-founded model of `p`, as a 3-valued [`Interpretation`]:
+/// true atoms positive, well-founded-false atoms negative, the rest
+/// undefined.
+pub fn well_founded_model(p: &NafProgram) -> Interpretation {
+    let (t, possible) = alternating_fixpoint(p);
+    let mut i = Interpretation::with_capacity(p.n_atoms);
+    for a in t.iter() {
+        i.insert(GLit::pos(AtomId(a as u32)))
+            .expect("true/false parts are disjoint");
+    }
+    for a in 0..p.n_atoms {
+        if !possible.contains(a) {
+            i.insert(GLit::neg(AtomId(a as u32)))
+                .expect("true ⊆ possible, so no clash");
+        }
+    }
+    i
+}
+
+/// The raw alternating fixpoint: `(lfp Γ², Γ(lfp Γ²))` — i.e. (true
+/// atoms, possibly-true atoms).
+pub fn alternating_fixpoint(p: &NafProgram) -> (BitSet, BitSet) {
+    let mut t = BitSet::with_capacity(p.n_atoms);
+    loop {
+        let possible = gamma(p, &t);
+        let t2 = gamma(p, &possible);
+        if t2 == t {
+            return (t, possible);
+        }
+        t = t2;
+    }
+}
+
+/// The greatest unfounded set of `p` w.r.t. the well-founded model: the
+/// atoms that are well-founded false.
+pub fn greatest_unfounded_set(p: &NafProgram) -> BitSet {
+    let (_, possible) = alternating_fixpoint(p);
+    (0..p.n_atoms).filter(|&a| !possible.contains(a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naf::testutil::{atom, naf};
+    use olp_core::Truth;
+
+    #[test]
+    fn stratified_program_total_wfs() {
+        // win/lose on an acyclic graph: WFS is total.
+        let (mut w, p) = naf(
+            "edge(a,b). edge(b,c).
+             reach(a).
+             reach(Y) :- reach(X), edge(X,Y).
+             stuck(X) :- reach(X), -moved(X).
+             moved(X) :- edge(X,Y), reach(X).",
+        );
+        let m = well_founded_model(&p);
+        assert!(m.is_total(p.n_atoms));
+        assert_eq!(m.value(atom(&mut w, "reach(c)")), Truth::True);
+        assert_eq!(m.value(atom(&mut w, "moved(c)")), Truth::False);
+        assert_eq!(m.value(atom(&mut w, "stuck(c)")), Truth::True);
+        assert_eq!(m.value(atom(&mut w, "stuck(a)")), Truth::False);
+    }
+
+    #[test]
+    fn two_cycle_is_undefined() {
+        // p :- not q. q :- not p. — the classic undefined pair.
+        let (mut w, p) = naf("p :- -q. q :- -p.");
+        let m = well_founded_model(&p);
+        assert_eq!(m.value(atom(&mut w, "p")), Truth::Undefined);
+        assert_eq!(m.value(atom(&mut w, "q")), Truth::Undefined);
+    }
+
+    #[test]
+    fn odd_loop_is_undefined_but_consequences_resolve() {
+        // a :- not a. — undefined; b :- not c. with c unfounded → b true.
+        let (mut w, p) = naf("a :- -a. b :- -c.");
+        let m = well_founded_model(&p);
+        assert_eq!(m.value(atom(&mut w, "a")), Truth::Undefined);
+        assert_eq!(m.value(atom(&mut w, "b")), Truth::True);
+        assert_eq!(m.value(atom(&mut w, "c")), Truth::False);
+    }
+
+    #[test]
+    fn unfounded_positive_loop_is_false() {
+        // p :- q. q :- p. — unfounded; both false in WFS.
+        let (mut w, p) = naf("p :- q. q :- p.");
+        let m = well_founded_model(&p);
+        assert_eq!(m.value(atom(&mut w, "p")), Truth::False);
+        assert_eq!(m.value(atom(&mut w, "q")), Truth::False);
+        let gus = greatest_unfounded_set(&p);
+        assert_eq!(gus.len(), 2);
+    }
+
+    #[test]
+    fn win_move_game_mixed_values() {
+        // The canonical WFS example: win(X) :- move(X,Y), not win(Y).
+        // Chain a→b→c: win(b) true (move to dead-end c), win(a) false?
+        // a moves only to b which is winning → win(a) false; c has no
+        // moves → win(c) false.
+        let (mut w, p) = naf(
+            "move(a,b). move(b,c).
+             win(X) :- move(X,Y), -win(Y).",
+        );
+        let m = well_founded_model(&p);
+        assert_eq!(m.value(atom(&mut w, "win(c)")), Truth::False);
+        assert_eq!(m.value(atom(&mut w, "win(b)")), Truth::True);
+        assert_eq!(m.value(atom(&mut w, "win(a)")), Truth::False);
+        // Add a draw cycle d ↔ e: both undefined.
+        let (mut w2, p2) = naf(
+            "move(d,e). move(e,d).
+             win(X) :- move(X,Y), -win(Y).",
+        );
+        let m2 = well_founded_model(&p2);
+        assert_eq!(m2.value(atom(&mut w2, "win(d)")), Truth::Undefined);
+        assert_eq!(m2.value(atom(&mut w2, "win(e)")), Truth::Undefined);
+    }
+}

@@ -1,0 +1,131 @@
+//! A local implementation of the FxHash algorithm (the hash used by the
+//! Rust compiler, originally from Firefox).
+//!
+//! The workspace keys most maps by small `u32` ids ([`crate::Sym`],
+//! [`crate::AtomId`], …), for which SipHash (the standard-library
+//! default) is needlessly slow. The Rust Performance Book recommends
+//! FxHash for exactly this shape of key; the algorithm is ~15 lines, so
+//! we implement it locally rather than pull in an extra dependency
+//! (see DESIGN.md, dependency policy).
+//!
+//! This is **not** a DoS-resistant hash. Nothing in this workspace hashes
+//! attacker-controlled data into long-lived tables, so that trade-off is
+//! acceptable — the same judgement rustc itself makes.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the original Firefox implementation
+/// (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: a single 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with FxHash. Drop-in replacement for
+/// `std::collections::HashMap` across the workspace.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` hashed with FxHash.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(b"penguin"), hash_of(b"penguin"));
+        assert_eq!(hash_of(b""), 0);
+    }
+
+    #[test]
+    fn distinguishes_nearby_inputs() {
+        assert_ne!(hash_of(b"penguin"), hash_of(b"penguim"));
+        assert_ne!(hash_of(b"ab"), hash_of(b"ba"));
+        // Inputs that differ only in a trailing zero byte must differ:
+        // the remainder is zero-padded, so this exercises the length
+        // sensitivity of the chunking.
+        assert_ne!(hash_of(&[1, 2, 3]), hash_of(&[1, 2, 3, 0, 0, 0, 0, 0, 1]));
+    }
+
+    #[test]
+    fn integer_writes_match_between_widths_only_by_value() {
+        let mut a = FxHasher::default();
+        a.write_u32(7);
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        // Same accumulated value: both add 7 as u64. This is fine — we
+        // never mix key types within one map.
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m[&1], "one");
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i * 2654435761 % 97);
+        }
+        assert_eq!(s.len(), 97);
+    }
+}

@@ -1,0 +1,215 @@
+//! Literals: signed atoms.
+//!
+//! The paper's distinguishing feature is that **classical negation may
+//! appear in rule heads** (not only bodies), so literals carry an
+//! explicit [`Sign`]. Two representations exist:
+//!
+//! * [`Literal`] — non-ground, as written in rules (predicate + term
+//!   arguments + sign);
+//! * [`GLit`] — ground and packed into a single `u32`: the [`AtomId`]
+//!   shifted left one bit, with the sign in bit 0. A ground rule body is
+//!   a flat `Box<[GLit]>`, and literal complementation is an XOR.
+
+use crate::gterm::AtomId;
+use crate::pred::PredId;
+use crate::term::Term;
+
+/// Polarity of a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// A positive literal `A`.
+    Pos,
+    /// A negative literal `¬A` (classical negation).
+    Neg,
+}
+
+impl Sign {
+    /// The opposite sign.
+    #[inline]
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Pos => Sign::Neg,
+            Sign::Neg => Sign::Pos,
+        }
+    }
+
+    /// `true` for [`Sign::Pos`].
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        matches!(self, Sign::Pos)
+    }
+}
+
+/// A non-ground literal `p(t…)` or `¬p(t…)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Polarity.
+    pub sign: Sign,
+    /// Predicate.
+    pub pred: PredId,
+    /// Argument terms; length equals the predicate arity.
+    pub args: Vec<Term>,
+}
+
+impl Literal {
+    /// Builds a positive literal.
+    pub fn pos(pred: PredId, args: Vec<Term>) -> Self {
+        Literal {
+            sign: Sign::Pos,
+            pred,
+            args,
+        }
+    }
+
+    /// Builds a negative literal.
+    pub fn neg(pred: PredId, args: Vec<Term>) -> Self {
+        Literal {
+            sign: Sign::Neg,
+            pred,
+            args,
+        }
+    }
+
+    /// The complementary literal (same atom, flipped sign).
+    pub fn complement(&self) -> Literal {
+        Literal {
+            sign: self.sign.flip(),
+            pred: self.pred,
+            args: self.args.clone(),
+        }
+    }
+
+    /// Whether all argument terms are variable-free.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Collects the variables occurring in the arguments into `out`
+    /// (deduplicated, first-occurrence order).
+    pub fn collect_vars(&self, out: &mut Vec<crate::symbol::Sym>) {
+        for t in &self.args {
+            t.collect_vars(out);
+        }
+    }
+}
+
+/// A packed ground literal: `AtomId` in the high 31 bits, sign in bit 0
+/// (0 = positive, 1 = negative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GLit(u32);
+
+impl GLit {
+    /// The positive literal over `atom`.
+    #[inline]
+    pub fn pos(atom: AtomId) -> GLit {
+        debug_assert!(atom.0 < u32::MAX / 2, "atom id overflow in GLit");
+        GLit(atom.0 << 1)
+    }
+
+    /// The negative literal over `atom`.
+    #[inline]
+    pub fn neg(atom: AtomId) -> GLit {
+        debug_assert!(atom.0 < u32::MAX / 2, "atom id overflow in GLit");
+        GLit((atom.0 << 1) | 1)
+    }
+
+    /// Builds a literal with the given sign.
+    #[inline]
+    pub fn new(sign: Sign, atom: AtomId) -> GLit {
+        match sign {
+            Sign::Pos => GLit::pos(atom),
+            Sign::Neg => GLit::neg(atom),
+        }
+    }
+
+    /// The underlying atom.
+    #[inline]
+    pub fn atom(self) -> AtomId {
+        AtomId(self.0 >> 1)
+    }
+
+    /// The polarity.
+    #[inline]
+    pub fn sign(self) -> Sign {
+        if self.0 & 1 == 0 {
+            Sign::Pos
+        } else {
+            Sign::Neg
+        }
+    }
+
+    /// `true` if positive.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal `¬A` / `A`.
+    #[inline]
+    pub fn complement(self) -> GLit {
+        GLit(self.0 ^ 1)
+    }
+
+    /// The raw packed code. Useful as a dense index: literals over atoms
+    /// `0..n` occupy codes `0..2n`.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a literal from [`GLit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> GLit {
+        GLit(code as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_flip_is_involutive() {
+        assert_eq!(Sign::Pos.flip(), Sign::Neg);
+        assert_eq!(Sign::Neg.flip(), Sign::Pos);
+        assert_eq!(Sign::Pos.flip().flip(), Sign::Pos);
+        assert!(Sign::Pos.is_pos());
+        assert!(!Sign::Neg.is_pos());
+    }
+
+    #[test]
+    fn glit_packs_and_unpacks() {
+        let a = AtomId(42);
+        let p = GLit::pos(a);
+        let n = GLit::neg(a);
+        assert_eq!(p.atom(), a);
+        assert_eq!(n.atom(), a);
+        assert_eq!(p.sign(), Sign::Pos);
+        assert_eq!(n.sign(), Sign::Neg);
+        assert!(p.is_pos());
+        assert!(!n.is_pos());
+        assert_ne!(p, n);
+        assert_eq!(GLit::new(Sign::Pos, a), p);
+        assert_eq!(GLit::new(Sign::Neg, a), n);
+    }
+
+    #[test]
+    fn complement_is_involutive_and_changes_only_sign() {
+        let a = AtomId(7);
+        let p = GLit::pos(a);
+        assert_eq!(p.complement(), GLit::neg(a));
+        assert_eq!(p.complement().complement(), p);
+        assert_eq!(p.complement().atom(), a);
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        assert_eq!(GLit::pos(AtomId(0)).code(), 0);
+        assert_eq!(GLit::neg(AtomId(0)).code(), 1);
+        assert_eq!(GLit::pos(AtomId(1)).code(), 2);
+        assert_eq!(GLit::neg(AtomId(1)).code(), 3);
+        for code in 0..16 {
+            assert_eq!(GLit::from_code(code).code(), code);
+        }
+    }
+}

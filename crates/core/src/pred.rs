@@ -1,0 +1,132 @@
+//! Predicate table.
+//!
+//! A *predicate* in the paper is a symbol with an arity; `p/1` and `p/2`
+//! are distinct predicates. [`PredTable`] interns `(Sym, arity)` pairs to
+//! dense [`PredId`]s so per-predicate indexes (used heavily by the
+//! grounder) can be plain vectors.
+
+use crate::fxhash::FxHashMap;
+use crate::symbol::Sym;
+
+/// An interned predicate (name + arity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// The raw index, for use as a dense-array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata for one predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredInfo {
+    /// Predicate symbol (its name).
+    pub name: Sym,
+    /// Number of arguments.
+    pub arity: u32,
+}
+
+/// Bidirectional `(name, arity)` ↔ [`PredId`] table.
+#[derive(Debug, Default, Clone)]
+pub struct PredTable {
+    infos: Vec<PredInfo>,
+    by_key: FxHashMap<(Sym, u32), PredId>,
+}
+
+impl PredTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the predicate `name/arity`.
+    pub fn intern(&mut self, name: Sym, arity: u32) -> PredId {
+        if let Some(&p) = self.by_key.get(&(name, arity)) {
+            return p;
+        }
+        let id = PredId(u32::try_from(self.infos.len()).expect("predicate table overflow"));
+        self.infos.push(PredInfo { name, arity });
+        self.by_key.insert((name, arity), id);
+        id
+    }
+
+    /// Looks up a predicate without interning.
+    pub fn get(&self, name: Sym, arity: u32) -> Option<PredId> {
+        self.by_key.get(&(name, arity)).copied()
+    }
+
+    /// Metadata for `pred`.
+    pub fn info(&self, pred: PredId) -> PredInfo {
+        self.infos[pred.index()]
+    }
+
+    /// The arity of `pred`.
+    pub fn arity(&self, pred: PredId) -> u32 {
+        self.infos[pred.index()].arity
+    }
+
+    /// Number of predicates interned so far.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterates over all predicate ids in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, PredInfo)> + '_ {
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, &info)| (PredId(i as u32), info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn same_name_different_arity_is_different_pred() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let mut preds = PredTable::new();
+        let p1 = preds.intern(p, 1);
+        let p2 = preds.intern(p, 2);
+        assert_ne!(p1, p2);
+        assert_eq!(preds.arity(p1), 1);
+        assert_eq!(preds.arity(p2), 2);
+    }
+
+    #[test]
+    fn intern_idempotent_and_get() {
+        let mut syms = SymbolTable::new();
+        let f = syms.intern("fly");
+        let mut preds = PredTable::new();
+        assert_eq!(preds.get(f, 1), None);
+        let a = preds.intern(f, 1);
+        let b = preds.intern(f, 1);
+        assert_eq!(a, b);
+        assert_eq!(preds.get(f, 1), Some(a));
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn info_round_trips() {
+        let mut syms = SymbolTable::new();
+        let name = syms.intern("anc");
+        let mut preds = PredTable::new();
+        let id = preds.intern(name, 2);
+        let info = preds.info(id);
+        assert_eq!(info.name, name);
+        assert_eq!(info.arity, 2);
+        let all: Vec<_> = preds.iter().collect();
+        assert_eq!(all, vec![(id, info)]);
+    }
+}

@@ -1,0 +1,408 @@
+//! Components and ordered programs.
+//!
+//! Definition 1 of the paper: an *ordered program* is a finite partially
+//! ordered set of negative programs, its *components*. The order `≤` is
+//! an "isa"-style hierarchy: `C1 < C2` makes `C1` the more **specific**
+//! component — `C1` inherits the rules of `C2`, and `C1`'s own rules may
+//! *overrule* them. The view of the program from component `C` is
+//! `C* = { r | r ∈ C_j, C ≤ C_j }` (the rules of `C` and of everything
+//! above it).
+//!
+//! Users declare the covering edges (`lower < upper`); [`Order`] is the
+//! reflexive–transitive closure, validated to be antisymmetric (acyclic
+//! on distinct components).
+
+use crate::bitset::BitSet;
+use crate::rule::Rule;
+use crate::symbol::Sym;
+use std::fmt;
+
+/// Index of a component within an [`OrderedProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// The raw index, for use as a dense-array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One component (module/object): a named set of rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// The component's name.
+    pub name: Sym,
+    /// Its local rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Component {
+    /// Creates an empty component.
+    pub fn new(name: Sym) -> Self {
+        Component {
+            name,
+            rules: Vec::new(),
+        }
+    }
+}
+
+/// Error constructing the component partial order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderError {
+    /// The declared `<` edges contain a cycle through the given
+    /// component, so `<` is not a strict partial order.
+    Cycle(CompId),
+    /// An edge refers to a component index out of range.
+    UnknownComponent(CompId),
+    /// A component is declared strictly below itself (`c < c`).
+    SelfEdge(CompId),
+}
+
+impl fmt::Display for OrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderError::Cycle(c) => write!(f, "cycle in component order through component {}", c.0),
+            OrderError::UnknownComponent(c) => {
+                write!(f, "order edge mentions unknown component {}", c.0)
+            }
+            OrderError::SelfEdge(c) => write!(f, "component {} declared below itself", c.0),
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+/// The reflexive–transitive closure of the declared component order.
+///
+/// Row `c` of `leq` is the **up-set** of `c`: all `j` with `c ≤ j`. This
+/// is exactly the set of components whose rules appear in `C*`.
+#[derive(Debug, Clone)]
+pub struct Order {
+    n: usize,
+    leq: Vec<BitSet>,
+}
+
+impl Order {
+    /// Builds the closure from covering edges `(lower, upper)` over `n`
+    /// components.
+    pub fn from_edges(n: usize, edges: &[(CompId, CompId)]) -> Result<Order, OrderError> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(lo, hi) in edges {
+            if lo.index() >= n {
+                return Err(OrderError::UnknownComponent(lo));
+            }
+            if hi.index() >= n {
+                return Err(OrderError::UnknownComponent(hi));
+            }
+            if lo == hi {
+                return Err(OrderError::SelfEdge(lo));
+            }
+            adj[lo.index()].push(hi.index());
+        }
+        // DFS-based transitive closure with cycle detection. Component
+        // counts are small (a handful to a few hundred), so O(n·e) with
+        // bitset rows is more than adequate.
+        let mut leq: Vec<BitSet> = (0..n)
+            .map(|_| BitSet::with_capacity(n))
+            .collect();
+        // Detect cycles with a colour DFS first.
+        let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+        fn dfs_cycle(v: usize, adj: &[Vec<usize>], colour: &mut [u8]) -> Option<usize> {
+            colour[v] = 1;
+            for &w in &adj[v] {
+                match colour[w] {
+                    1 => return Some(w),
+                    0 => {
+                        if let Some(c) = dfs_cycle(w, adj, colour) {
+                            return Some(c);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            colour[v] = 2;
+            None
+        }
+        for v in 0..n {
+            if colour[v] == 0 {
+                if let Some(c) = dfs_cycle(v, &adj, &mut colour) {
+                    return Err(OrderError::Cycle(CompId(c as u32)));
+                }
+            }
+        }
+        // Reachability per node (iterative worklist; order is acyclic).
+        for (v, row) in leq.iter_mut().enumerate() {
+            let mut stack = vec![v];
+            while let Some(u) = stack.pop() {
+                if row.insert(u) {
+                    stack.extend(adj[u].iter().copied());
+                }
+            }
+        }
+        Ok(Order { n, leq })
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `a ≤ b` in the component order.
+    #[inline]
+    pub fn leq(&self, a: CompId, b: CompId) -> bool {
+        self.leq[a.index()].contains(b.index())
+    }
+
+    /// `a < b` (strictly).
+    #[inline]
+    pub fn lt(&self, a: CompId, b: CompId) -> bool {
+        a != b && self.leq(a, b)
+    }
+
+    /// `a <> b`: distinct and incomparable (Def. 2's defeating
+    /// side-condition, together with equality).
+    #[inline]
+    pub fn incomparable(&self, a: CompId, b: CompId) -> bool {
+        a != b && !self.leq(a, b) && !self.leq(b, a)
+    }
+
+    /// Whether a rule from component `attacker` can **overrule** a rule
+    /// from component `victim` in any view: `attacker < victim`.
+    #[inline]
+    pub fn can_overrule(&self, attacker: CompId, victim: CompId) -> bool {
+        self.lt(attacker, victim)
+    }
+
+    /// Whether a rule from `attacker` can **defeat** a rule from
+    /// `victim`: the components are equal or incomparable (Def. 2).
+    #[inline]
+    pub fn can_defeat(&self, attacker: CompId, victim: CompId) -> bool {
+        attacker == victim || self.incomparable(attacker, victim)
+    }
+
+    /// The up-set of `c`: components `j` with `c ≤ j`, i.e. those whose
+    /// rules belong to the view `C*`.
+    pub fn upset(&self, c: CompId) -> impl Iterator<Item = CompId> + '_ {
+        self.leq[c.index()].iter().map(|i| CompId(i as u32))
+    }
+
+    /// Membership in the view: does component `j`'s rule set belong to
+    /// `c*`?
+    #[inline]
+    pub fn in_view(&self, c: CompId, j: CompId) -> bool {
+        self.leq(c, j)
+    }
+}
+
+/// An ordered program: components plus declared `<` edges.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedProgram {
+    /// The components, indexed by [`CompId`].
+    pub components: Vec<Component>,
+    /// Declared covering edges `(lower, upper)`, i.e. `lower < upper`.
+    pub edges: Vec<(CompId, CompId)>,
+}
+
+impl OrderedProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an empty component, returning its id.
+    pub fn add_component(&mut self, name: Sym) -> CompId {
+        let id = CompId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(Component::new(name));
+        id
+    }
+
+    /// Adds a rule to component `c`.
+    pub fn add_rule(&mut self, c: CompId, rule: Rule) {
+        self.components[c.index()].rules.push(rule);
+    }
+
+    /// Declares `lower < upper`.
+    pub fn add_edge(&mut self, lower: CompId, upper: CompId) {
+        self.edges.push((lower, upper));
+    }
+
+    /// Finds a component by name.
+    pub fn component_by_name(&self, name: Sym) -> Option<CompId> {
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CompId(i as u32))
+    }
+
+    /// Computes (and validates) the partial order.
+    pub fn order(&self) -> Result<Order, OrderError> {
+        Order::from_edges(self.components.len(), &self.edges)
+    }
+
+    /// Total number of rules across all components.
+    pub fn rule_count(&self) -> usize {
+        self.components.iter().map(|c| c.rules.len()).sum()
+    }
+
+    /// Iterates over `(component, rule)` pairs.
+    pub fn rules(&self) -> impl Iterator<Item = (CompId, &Rule)> {
+        self.components.iter().enumerate().flat_map(|(ci, c)| {
+            c.rules.iter().map(move |r| (CompId(ci as u32), r))
+        })
+    }
+
+    /// The unsafe rules of the program: `(component, rule index within
+    /// the component)` for every rule with a variable not bound by any
+    /// body literal. Unsafe rules are legal (the exhaustive grounder
+    /// ranges them over the Herbrand universe, the smart grounder over
+    /// the active domain) but usually indicate a typo — tooling surfaces
+    /// them as warnings.
+    pub fn unsafe_rules(&self) -> Vec<(CompId, usize)> {
+        let mut out = Vec::new();
+        for (ci, c) in self.components.iter().enumerate() {
+            for (ri, r) in c.rules.iter().enumerate() {
+                if !r.is_safe() {
+                    out.push((CompId(ci as u32), ri));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn prog(n: usize, edges: &[(u32, u32)]) -> OrderedProgram {
+        let mut syms = SymbolTable::new();
+        let mut p = OrderedProgram::new();
+        for i in 0..n {
+            p.add_component(syms.intern(&format!("c{i}")));
+        }
+        for &(a, b) in edges {
+            p.add_edge(CompId(a), CompId(b));
+        }
+        p
+    }
+
+    #[test]
+    fn two_component_chain() {
+        // Fig. 1: C1 < C2.
+        let p = prog(2, &[(0, 1)]);
+        let o = p.order().unwrap();
+        assert!(o.lt(CompId(0), CompId(1)));
+        assert!(!o.lt(CompId(1), CompId(0)));
+        assert!(o.leq(CompId(0), CompId(0)));
+        assert!(!o.incomparable(CompId(0), CompId(1)));
+        assert!(o.can_overrule(CompId(0), CompId(1)));
+        assert!(!o.can_overrule(CompId(1), CompId(0)));
+        assert!(!o.can_defeat(CompId(0), CompId(1)));
+        assert!(o.can_defeat(CompId(0), CompId(0)));
+        // View of C1 is {C1, C2}; view of C2 is {C2}.
+        let up0: Vec<_> = o.upset(CompId(0)).collect();
+        assert_eq!(up0, vec![CompId(0), CompId(1)]);
+        let up1: Vec<_> = o.upset(CompId(1)).collect();
+        assert_eq!(up1, vec![CompId(1)]);
+    }
+
+    #[test]
+    fn diamond_transitivity_and_incomparability() {
+        // Fig. 2 / loan shape: c0 < c1, c0 < c2, c2 < c3.
+        let p = prog(4, &[(0, 1), (0, 2), (2, 3)]);
+        let o = p.order().unwrap();
+        assert!(o.lt(CompId(0), CompId(3)), "transitive");
+        assert!(o.incomparable(CompId(1), CompId(2)));
+        assert!(o.incomparable(CompId(1), CompId(3)));
+        assert!(o.can_defeat(CompId(1), CompId(2)));
+        assert!(!o.can_defeat(CompId(2), CompId(3)));
+        assert!(o.can_overrule(CompId(2), CompId(3)));
+        let up0: Vec<_> = o.upset(CompId(0)).collect();
+        assert_eq!(up0.len(), 4);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let p = prog(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(matches!(p.order(), Err(OrderError::Cycle(_))));
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let p = prog(1, &[(0, 0)]);
+        assert_eq!(p.order().unwrap_err(), OrderError::SelfEdge(CompId(0)));
+    }
+
+    #[test]
+    fn unknown_component_rejected() {
+        let p = prog(1, &[(0, 5)]);
+        assert_eq!(
+            p.order().unwrap_err(),
+            OrderError::UnknownComponent(CompId(5))
+        );
+    }
+
+    #[test]
+    fn singleton_program() {
+        let p = prog(1, &[]);
+        let o = p.order().unwrap();
+        assert!(o.leq(CompId(0), CompId(0)));
+        assert!(!o.lt(CompId(0), CompId(0)));
+        assert!(o.can_defeat(CompId(0), CompId(0)));
+        assert!(!o.can_overrule(CompId(0), CompId(0)));
+    }
+
+    #[test]
+    fn unsafe_rules_reported() {
+        use crate::literal::Literal;
+        use crate::rule::{BodyItem, Rule};
+        use crate::term::Term;
+        let mut syms = SymbolTable::new();
+        let mut preds = crate::pred::PredTable::new();
+        let x = syms.intern("X");
+        let y = syms.intern("Y");
+        let p = preds.intern(syms.intern("p"), 1);
+        let q = preds.intern(syms.intern("q"), 1);
+        let mut prog = OrderedProgram::new();
+        let c = prog.add_component(syms.intern("m"));
+        // safe: p(X) :- q(X)
+        prog.add_rule(
+            c,
+            Rule::new(
+                Literal::pos(p, vec![Term::Var(x)]),
+                vec![BodyItem::Lit(Literal::pos(q, vec![Term::Var(x)]))],
+            ),
+        );
+        // unsafe: p(X) :- q(Y)
+        prog.add_rule(
+            c,
+            Rule::new(
+                Literal::pos(p, vec![Term::Var(x)]),
+                vec![BodyItem::Lit(Literal::pos(q, vec![Term::Var(y)]))],
+            ),
+        );
+        assert_eq!(prog.unsafe_rules(), vec![(c, 1)]);
+    }
+
+    #[test]
+    fn component_lookup_and_counts() {
+        let mut syms = SymbolTable::new();
+        let mut p = OrderedProgram::new();
+        let n1 = syms.intern("myself");
+        let n2 = syms.intern("expert2");
+        let c1 = p.add_component(n1);
+        let c2 = p.add_component(n2);
+        assert_eq!(p.component_by_name(n1), Some(c1));
+        assert_eq!(p.component_by_name(n2), Some(c2));
+        assert_eq!(p.component_by_name(syms.intern("nobody")), None);
+        assert_eq!(p.rule_count(), 0);
+    }
+}

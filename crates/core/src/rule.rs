@@ -1,0 +1,665 @@
+//! Rules.
+//!
+//! A rule is `Q0 ← Q1, …, Qm` where `Q0` (the head) is a literal that may
+//! be **negative** — the paper calls such rules *negative rules* — and the
+//! body is a list of literals and arithmetic comparisons. The paper's
+//! loan program (Fig. 3) uses comparisons such as `X > Y + 2`, so bodies
+//! admit [`Cmp`] items over integer arithmetic.
+//!
+//! Terminology from §2, kept as predicates on [`Rule`]:
+//! * *seminegative rule* — positive head (body literals of any sign);
+//! * *positive rule* (Horn clause) — positive head and all-positive body;
+//! * *fact* — empty body;
+//! * *ground* — variable-free.
+
+use crate::literal::{Literal, Sign};
+use crate::symbol::Sym;
+use crate::term::{Bindings, Term};
+use std::fmt;
+
+/// Arithmetic comparison operators usable in rule bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two integers.
+    #[inline]
+    pub fn eval(self, l: i64, r: i64) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+
+    /// Surface-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// Errors raised while evaluating arithmetic in a rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable in a comparison was not bound by the literal part of
+    /// the body (the rule is unsafe).
+    UnboundVar(Sym),
+    /// A non-integer term (constant or compound) appeared in arithmetic.
+    NotAnInteger,
+    /// Division or modulo by zero.
+    DivByZero,
+    /// Integer overflow during evaluation.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(s) => write!(f, "unbound variable {s} in comparison"),
+            EvalError::NotAnInteger => write!(f, "non-integer term in arithmetic"),
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::Overflow => write!(f, "integer overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// An integer arithmetic expression over terms, e.g. `Y + 2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Aexp {
+    /// A term; must evaluate to an integer (an `Int` literal or a
+    /// variable bound to one).
+    Term(Term),
+    /// `l + r`
+    Add(Box<Aexp>, Box<Aexp>),
+    /// `l - r`
+    Sub(Box<Aexp>, Box<Aexp>),
+    /// `l * r`
+    Mul(Box<Aexp>, Box<Aexp>),
+    /// `l / r` (truncating; division by zero is an evaluation error)
+    Div(Box<Aexp>, Box<Aexp>),
+    /// `l mod r`
+    Mod(Box<Aexp>, Box<Aexp>),
+    /// `-e`
+    Neg(Box<Aexp>),
+}
+
+impl Aexp {
+    /// Evaluates under `bindings`, resolving bound variables through the
+    /// term `store`.
+    pub fn eval(
+        &self,
+        store: &crate::gterm::TermStore,
+        bindings: &Bindings,
+    ) -> Result<i64, EvalError> {
+        match self {
+            Aexp::Term(Term::Int(i)) => Ok(*i),
+            Aexp::Term(Term::Var(v)) => {
+                let id = bindings.get(v).ok_or(EvalError::UnboundVar(*v))?;
+                store.as_int(*id).ok_or(EvalError::NotAnInteger)
+            }
+            Aexp::Term(_) => Err(EvalError::NotAnInteger),
+            Aexp::Add(l, r) => l
+                .eval(store, bindings)?
+                .checked_add(r.eval(store, bindings)?)
+                .ok_or(EvalError::Overflow),
+            Aexp::Sub(l, r) => l
+                .eval(store, bindings)?
+                .checked_sub(r.eval(store, bindings)?)
+                .ok_or(EvalError::Overflow),
+            Aexp::Mul(l, r) => l
+                .eval(store, bindings)?
+                .checked_mul(r.eval(store, bindings)?)
+                .ok_or(EvalError::Overflow),
+            Aexp::Div(l, r) => {
+                let rv = r.eval(store, bindings)?;
+                if rv == 0 {
+                    return Err(EvalError::DivByZero);
+                }
+                l.eval(store, bindings)?
+                    .checked_div(rv)
+                    .ok_or(EvalError::Overflow)
+            }
+            Aexp::Mod(l, r) => {
+                let rv = r.eval(store, bindings)?;
+                if rv == 0 {
+                    return Err(EvalError::DivByZero);
+                }
+                l.eval(store, bindings)?
+                    .checked_rem(rv)
+                    .ok_or(EvalError::Overflow)
+            }
+            Aexp::Neg(e) => e
+                .eval(store, bindings)?
+                .checked_neg()
+                .ok_or(EvalError::Overflow),
+        }
+    }
+
+    /// Appends each variable (first occurrence) to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Sym>) {
+        match self {
+            Aexp::Term(t) => t.collect_vars(out),
+            Aexp::Add(l, r) | Aexp::Sub(l, r) | Aexp::Mul(l, r) | Aexp::Div(l, r)
+            | Aexp::Mod(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Aexp::Neg(e) => e.collect_vars(out),
+        }
+    }
+}
+
+/// An arithmetic comparison in a rule body, e.g. `X > Y + 2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cmp {
+    /// The operator.
+    pub op: CmpOp,
+    /// Left-hand expression.
+    pub lhs: Aexp,
+    /// Right-hand expression.
+    pub rhs: Aexp,
+}
+
+/// Structural equality of the ground instantiation of pattern `t`
+/// against the stored ground term `g`. `None` if `t` has an unbound
+/// variable.
+fn ground_term_eq(
+    store: &crate::gterm::TermStore,
+    bindings: &Bindings,
+    g: crate::gterm::GTermId,
+    t: &Term,
+) -> Option<bool> {
+    use crate::gterm::GTerm;
+    Some(match t {
+        Term::Var(v) => *bindings.get(v)? == g,
+        Term::Const(c) => matches!(store.get(g), GTerm::Const(c2) if c2 == c),
+        Term::Int(i) => matches!(store.get(g), GTerm::Int(i2) if i2 == i),
+        Term::App(f, args) => match store.get(g) {
+            GTerm::Func(f2, gargs) if f2 == f && gargs.len() == args.len() => {
+                let gargs = gargs.clone();
+                for (ga, a) in gargs.iter().zip(args) {
+                    if !ground_term_eq(store, bindings, *ga, a)? {
+                        return Some(false);
+                    }
+                }
+                true
+            }
+            _ => false,
+        },
+    })
+}
+
+/// Structural equality of the ground instantiations of two term
+/// patterns. `None` if either has an unbound variable.
+fn terms_eq(
+    store: &crate::gterm::TermStore,
+    bindings: &Bindings,
+    a: &Term,
+    b: &Term,
+) -> Option<bool> {
+    Some(match (a, b) {
+        (Term::Var(v), _) => {
+            let g = *bindings.get(v)?;
+            ground_term_eq(store, bindings, g, b)?
+        }
+        (_, Term::Var(w)) => {
+            let g = *bindings.get(w)?;
+            ground_term_eq(store, bindings, g, a)?
+        }
+        (Term::Const(c), Term::Const(d)) => c == d,
+        (Term::Int(i), Term::Int(j)) => i == j,
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            if f != g || fa.len() != ga.len() {
+                return Some(false);
+            }
+            for (x, y) in fa.iter().zip(ga) {
+                if !terms_eq(store, bindings, x, y)? {
+                    return Some(false);
+                }
+            }
+            true
+        }
+        _ => false,
+    })
+}
+
+impl Cmp {
+    /// Evaluates under `bindings`.
+    ///
+    /// `<`, `<=`, `>`, `>=` (and any arithmetic operators) require
+    /// integer operands. `=` and `!=` additionally work as *structural
+    /// term (dis)equality* when either side is a non-integer term — the
+    /// paper's colour-choice program (Ex. 9) compares constants with
+    /// `X ≠ Y`.
+    pub fn eval(
+        &self,
+        store: &crate::gterm::TermStore,
+        bindings: &Bindings,
+    ) -> Result<bool, EvalError> {
+        match (self.lhs.eval(store, bindings), self.rhs.eval(store, bindings)) {
+            (Ok(l), Ok(r)) => Ok(self.op.eval(l, r)),
+            (l, r) if matches!(self.op, CmpOp::Eq | CmpOp::Ne) => {
+                // Fall back to structural equality for `=` / `!=` on
+                // bare terms (unbound variables still error).
+                if let (Aexp::Term(a), Aexp::Term(b)) = (&self.lhs, &self.rhs) {
+                    let eq = terms_eq(store, bindings, a, b).ok_or_else(|| {
+                        l.err().or(r.err()).unwrap_or(EvalError::NotAnInteger)
+                    })?;
+                    Ok(match self.op {
+                        CmpOp::Eq => eq,
+                        _ => !eq,
+                    })
+                } else {
+                    Err(l.err().or(r.err()).expect("at least one side failed"))
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => Err(e),
+        }
+    }
+
+    /// Appends each variable (first occurrence) to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Sym>) {
+        self.lhs.collect_vars(out);
+        self.rhs.collect_vars(out);
+    }
+}
+
+/// One item in a rule body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BodyItem {
+    /// A (possibly negative) literal.
+    Lit(Literal),
+    /// An arithmetic comparison.
+    Cmp(Cmp),
+}
+
+impl BodyItem {
+    /// The literal, if this item is one.
+    pub fn as_lit(&self) -> Option<&Literal> {
+        match self {
+            BodyItem::Lit(l) => Some(l),
+            BodyItem::Cmp(_) => None,
+        }
+    }
+}
+
+/// A rule `head ← body`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// The head literal (possibly negative — a *negative rule*).
+    pub head: Literal,
+    /// The body items, in source order.
+    pub body: Vec<BodyItem>,
+}
+
+impl Rule {
+    /// Builds a rule.
+    pub fn new(head: Literal, body: Vec<BodyItem>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Builds a fact (empty body).
+    pub fn fact(head: Literal) -> Self {
+        Rule {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// A *fact* has an empty body.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// A *seminegative* rule has a positive head.
+    pub fn is_seminegative(&self) -> bool {
+        self.head.sign == Sign::Pos
+    }
+
+    /// A *positive* rule (Horn clause) has a positive head and an
+    /// all-positive literal body.
+    pub fn is_positive(&self) -> bool {
+        self.head.sign == Sign::Pos
+            && self
+                .body
+                .iter()
+                .all(|b| b.as_lit().map(|l| l.sign == Sign::Pos).unwrap_or(true))
+    }
+
+    /// Whether the rule is variable-free.
+    pub fn is_ground(&self) -> bool {
+        self.vars().is_empty()
+    }
+
+    /// The body literals (skipping comparisons).
+    pub fn body_lits(&self) -> impl Iterator<Item = &Literal> {
+        self.body.iter().filter_map(BodyItem::as_lit)
+    }
+
+    /// The body comparisons.
+    pub fn body_cmps(&self) -> impl Iterator<Item = &Cmp> {
+        self.body.iter().filter_map(|b| match b {
+            BodyItem::Cmp(c) => Some(c),
+            BodyItem::Lit(_) => None,
+        })
+    }
+
+    /// All variables of the rule, first-occurrence order (head first).
+    pub fn vars(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.head.collect_vars(&mut out);
+        for item in &self.body {
+            match item {
+                BodyItem::Lit(l) => l.collect_vars(&mut out),
+                BodyItem::Cmp(c) => c.collect_vars(&mut out),
+            }
+        }
+        out
+    }
+
+    /// A rule is **safe** when every variable occurs in at least one body
+    /// literal (of either sign). Safe rules have finitely many relevant
+    /// instantiations over the materialised Herbrand universe; the smart
+    /// grounder requires safety, the exhaustive grounder merely prefers
+    /// it.
+    pub fn is_safe(&self) -> bool {
+        let mut body_vars = Vec::new();
+        for l in self.body_lits() {
+            l.collect_vars(&mut body_vars);
+        }
+        self.vars().iter().all(|v| body_vars.contains(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gterm::TermStore;
+    use crate::pred::PredTable;
+    use crate::symbol::SymbolTable;
+
+    struct Fix {
+        syms: SymbolTable,
+        preds: PredTable,
+        store: TermStore,
+    }
+
+    fn fix() -> Fix {
+        Fix {
+            syms: SymbolTable::new(),
+            preds: PredTable::new(),
+            store: TermStore::new(),
+        }
+    }
+
+    #[test]
+    fn cmpop_eval_table() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(!CmpOp::Ne.eval(2, 2));
+    }
+
+    #[test]
+    fn aexp_eval_arithmetic() {
+        let f = fix();
+        let b = Bindings::default();
+        // (3 + 4) * 2 - 1 = 13
+        let e = Aexp::Sub(
+            Box::new(Aexp::Mul(
+                Box::new(Aexp::Add(
+                    Box::new(Aexp::Term(Term::Int(3))),
+                    Box::new(Aexp::Term(Term::Int(4))),
+                )),
+                Box::new(Aexp::Term(Term::Int(2))),
+            )),
+            Box::new(Aexp::Term(Term::Int(1))),
+        );
+        assert_eq!(e.eval(&f.store, &b), Ok(13));
+        let div = Aexp::Div(
+            Box::new(Aexp::Term(Term::Int(7))),
+            Box::new(Aexp::Term(Term::Int(2))),
+        );
+        assert_eq!(div.eval(&f.store, &b), Ok(3));
+        let m = Aexp::Mod(
+            Box::new(Aexp::Term(Term::Int(7))),
+            Box::new(Aexp::Term(Term::Int(2))),
+        );
+        assert_eq!(m.eval(&f.store, &b), Ok(1));
+        let neg = Aexp::Neg(Box::new(Aexp::Term(Term::Int(5))));
+        assert_eq!(neg.eval(&f.store, &b), Ok(-5));
+    }
+
+    #[test]
+    fn aexp_eval_errors() {
+        let mut f = fix();
+        let x = f.syms.intern("X");
+        let c = f.syms.intern("c");
+        let b = Bindings::default();
+        assert_eq!(
+            Aexp::Term(Term::Var(x)).eval(&f.store, &b),
+            Err(EvalError::UnboundVar(x))
+        );
+        let gc = f.store.constant(c);
+        let mut b2 = Bindings::default();
+        b2.insert(x, gc);
+        assert_eq!(
+            Aexp::Term(Term::Var(x)).eval(&f.store, &b2),
+            Err(EvalError::NotAnInteger)
+        );
+        let div0 = Aexp::Div(
+            Box::new(Aexp::Term(Term::Int(1))),
+            Box::new(Aexp::Term(Term::Int(0))),
+        );
+        assert_eq!(div0.eval(&f.store, &b), Err(EvalError::DivByZero));
+        let ovf = Aexp::Add(
+            Box::new(Aexp::Term(Term::Int(i64::MAX))),
+            Box::new(Aexp::Term(Term::Int(1))),
+        );
+        assert_eq!(ovf.eval(&f.store, &b), Err(EvalError::Overflow));
+    }
+
+    #[test]
+    fn cmp_eval_with_bindings() {
+        let mut f = fix();
+        let x = f.syms.intern("X");
+        let y = f.syms.intern("Y");
+        let gi12 = f.store.int(12);
+        let gi16 = f.store.int(16);
+        let mut b = Bindings::default();
+        b.insert(x, gi12);
+        b.insert(y, gi16);
+        // Loan program, Expert3: X > Y + 2 with X=12, Y=16 → false.
+        let c = Cmp {
+            op: CmpOp::Gt,
+            lhs: Aexp::Term(Term::Var(x)),
+            rhs: Aexp::Add(
+                Box::new(Aexp::Term(Term::Var(y))),
+                Box::new(Aexp::Term(Term::Int(2))),
+            ),
+        };
+        assert_eq!(c.eval(&f.store, &b), Ok(false));
+        // With X=19, Y=16 → true.
+        let gi19 = f.store.int(19);
+        b.insert(x, gi19);
+        assert_eq!(c.eval(&f.store, &b), Ok(true));
+    }
+
+    #[test]
+    fn eq_ne_work_on_non_integer_terms() {
+        let mut f = fix();
+        let x = f.syms.intern("X");
+        let y = f.syms.intern("Y");
+        let red = f.store.constant(f.syms.intern("red"));
+        let blue = f.store.constant(f.syms.intern("blue"));
+        let mut b = Bindings::default();
+        b.insert(x, red);
+        b.insert(y, blue);
+        let ne = Cmp {
+            op: CmpOp::Ne,
+            lhs: Aexp::Term(Term::Var(x)),
+            rhs: Aexp::Term(Term::Var(y)),
+        };
+        assert_eq!(ne.eval(&f.store, &b), Ok(true));
+        b.insert(y, red);
+        assert_eq!(ne.eval(&f.store, &b), Ok(false));
+        // Constant against bound variable.
+        let eq = Cmp {
+            op: CmpOp::Eq,
+            lhs: Aexp::Term(Term::Var(x)),
+            rhs: Aexp::Term(Term::Const(f.syms.intern("red"))),
+        };
+        assert_eq!(eq.eval(&f.store, &b), Ok(true));
+        // Unbound variable still errors.
+        let z = f.syms.intern("Z");
+        let bad = Cmp {
+            op: CmpOp::Eq,
+            lhs: Aexp::Term(Term::Var(z)),
+            rhs: Aexp::Term(Term::Var(x)),
+        };
+        assert_eq!(bad.eval(&f.store, &b), Err(EvalError::UnboundVar(z)));
+        // Ordering comparisons on constants stay errors.
+        let lt = Cmp {
+            op: CmpOp::Lt,
+            lhs: Aexp::Term(Term::Var(x)),
+            rhs: Aexp::Term(Term::Var(y)),
+        };
+        assert_eq!(lt.eval(&f.store, &b), Err(EvalError::NotAnInteger));
+    }
+
+    #[test]
+    fn eq_on_compound_terms_is_structural() {
+        let mut f = fix();
+        let s = f.syms.intern("s");
+        let x = f.syms.intern("X");
+        let zero = f.store.constant(f.syms.intern("zero"));
+        let s_zero = f.store.func(s, &[zero]);
+        let mut b = Bindings::default();
+        b.insert(x, s_zero);
+        let eq = Cmp {
+            op: CmpOp::Eq,
+            lhs: Aexp::Term(Term::Var(x)),
+            rhs: Aexp::Term(Term::App(
+                s,
+                vec![Term::Const(f.syms.intern("zero"))],
+            )),
+        };
+        assert_eq!(eq.eval(&f.store, &b), Ok(true));
+        let ne_shape = Cmp {
+            op: CmpOp::Eq,
+            lhs: Aexp::Term(Term::Var(x)),
+            rhs: Aexp::Term(Term::Const(f.syms.intern("zero"))),
+        };
+        assert_eq!(ne_shape.eval(&f.store, &b), Ok(false));
+    }
+
+    #[test]
+    fn rule_classification() {
+        let mut f = fix();
+        let p = f.preds.intern(f.syms.intern("p"), 0);
+        let q = f.preds.intern(f.syms.intern("q"), 0);
+        let pos = Rule::new(
+            Literal::pos(p, vec![]),
+            vec![BodyItem::Lit(Literal::pos(q, vec![]))],
+        );
+        assert!(pos.is_positive() && pos.is_seminegative() && !pos.is_fact());
+        let semineg = Rule::new(
+            Literal::pos(p, vec![]),
+            vec![BodyItem::Lit(Literal::neg(q, vec![]))],
+        );
+        assert!(!semineg.is_positive() && semineg.is_seminegative());
+        let negative = Rule::new(
+            Literal::neg(p, vec![]),
+            vec![BodyItem::Lit(Literal::pos(q, vec![]))],
+        );
+        assert!(!negative.is_positive() && !negative.is_seminegative());
+        let fact = Rule::fact(Literal::pos(p, vec![]));
+        assert!(fact.is_fact() && fact.is_ground());
+    }
+
+    #[test]
+    fn safety() {
+        let mut f = fix();
+        let x = f.syms.intern("X");
+        let y = f.syms.intern("Y");
+        let p = f.preds.intern(f.syms.intern("p"), 1);
+        let q = f.preds.intern(f.syms.intern("q"), 1);
+        // p(X) ← q(X): safe.
+        let safe = Rule::new(
+            Literal::pos(p, vec![Term::Var(x)]),
+            vec![BodyItem::Lit(Literal::pos(q, vec![Term::Var(x)]))],
+        );
+        assert!(safe.is_safe());
+        // p(X) ← q(Y): unsafe (head var not in body).
+        let unsafe_rule = Rule::new(
+            Literal::pos(p, vec![Term::Var(x)]),
+            vec![BodyItem::Lit(Literal::pos(q, vec![Term::Var(y)]))],
+        );
+        assert!(!unsafe_rule.is_safe());
+        // p(X) ← ¬q(X): safe (negative body literal binds too, per the
+        // paper's classical — not NAF — reading of body negation).
+        let neg_safe = Rule::new(
+            Literal::pos(p, vec![Term::Var(x)]),
+            vec![BodyItem::Lit(Literal::neg(q, vec![Term::Var(x)]))],
+        );
+        assert!(neg_safe.is_safe());
+        // p(X) ← q(X), X > Y: unsafe (Y only in comparison).
+        let cmp_unsafe = Rule::new(
+            Literal::pos(p, vec![Term::Var(x)]),
+            vec![
+                BodyItem::Lit(Literal::pos(q, vec![Term::Var(x)])),
+                BodyItem::Cmp(Cmp {
+                    op: CmpOp::Gt,
+                    lhs: Aexp::Term(Term::Var(x)),
+                    rhs: Aexp::Term(Term::Var(y)),
+                }),
+            ],
+        );
+        assert!(!cmp_unsafe.is_safe());
+    }
+
+    #[test]
+    fn vars_first_occurrence_order() {
+        let mut f = fix();
+        let x = f.syms.intern("X");
+        let y = f.syms.intern("Y");
+        let p = f.preds.intern(f.syms.intern("p"), 2);
+        let q = f.preds.intern(f.syms.intern("q"), 2);
+        let r = Rule::new(
+            Literal::pos(p, vec![Term::Var(y), Term::Var(x)]),
+            vec![BodyItem::Lit(Literal::pos(q, vec![Term::Var(x), Term::Var(y)]))],
+        );
+        assert_eq!(r.vars(), vec![y, x]);
+        assert_eq!(r.body_lits().count(), 1);
+        assert_eq!(r.body_cmps().count(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! String interning.
+//!
+//! Every identifier in a program — constants, function symbols, predicate
+//! names, variable names, component names — is interned once into a
+//! [`SymbolTable`] and referred to by a [`Sym`] (`u32`). Interning makes
+//! symbol equality a register compare and keeps every downstream struct
+//! `Copy`-friendly.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned string. Only meaningful relative to the [`SymbolTable`]
+/// (in practice: the [`crate::World`]) that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw index, for use as a dense-array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional string ↔ [`Sym`] table.
+///
+/// Strings are stored once; lookups are by FxHash. The table never
+/// forgets a symbol (programs are small relative to the data they
+/// derive), which keeps ids stable for the lifetime of a [`crate::World`].
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    by_name: FxHashMap<Box<str>, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let id = Sym(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` was produced by a different table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_ref()))
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("penguin");
+        let b = t.intern("penguin");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("bird");
+        let b = t.intern("fly");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "bird");
+        assert_eq!(t.name(b), "fly");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.get("x"), None);
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Sym> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        let collected: Vec<(Sym, String)> =
+            t.iter().map(|(s, n)| (s, n.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (syms[0], "a".to_string()),
+                (syms[1], "b".to_string()),
+                (syms[2], "c".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        t.intern("q");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Non-ground terms, as they appear in rules before grounding.
+//!
+//! A term is a variable, a constant, an integer, or a compound
+//! `f(t1, …, tn)` (recursively). Variables are identified by their
+//! interned name ([`Sym`]); the parser guarantees distinct variables have
+//! distinct symbols within a rule.
+
+use crate::fxhash::FxHashMap;
+use crate::gterm::{GTermId, TermStore};
+use crate::symbol::Sym;
+
+/// A (possibly non-ground) term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable, e.g. `X`.
+    Var(Sym),
+    /// A constant symbol, e.g. `penguin`.
+    Const(Sym),
+    /// An integer constant, e.g. `16`.
+    Int(i64),
+    /// A compound term `f(t1, …, tn)`, `n ≥ 1`.
+    App(Sym, Vec<Term>),
+}
+
+/// A substitution from variables to interned ground terms, used while
+/// instantiating a rule.
+pub type Bindings = FxHashMap<Sym, GTermId>;
+
+impl Term {
+    /// Whether the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) | Term::Int(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Appends each variable (first occurrence only) to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Sym>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Const(_) | Term::Int(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Instantiates the term under `bindings`, interning the resulting
+    /// ground term into `store`. Returns `None` if some variable is
+    /// unbound.
+    pub fn intern(&self, store: &mut TermStore, bindings: &Bindings) -> Option<GTermId> {
+        match self {
+            Term::Var(v) => bindings.get(v).copied(),
+            Term::Const(c) => Some(store.constant(*c)),
+            Term::Int(i) => Some(store.int(*i)),
+            Term::App(f, args) => {
+                let mut ids = Vec::with_capacity(args.len());
+                for a in args {
+                    ids.push(a.intern(store, bindings)?);
+                }
+                Some(store.func(*f, &ids))
+            }
+        }
+    }
+
+    /// Matches this *pattern* against the ground term `g`, extending
+    /// `bindings`. Returns `false` (leaving `bindings` possibly extended
+    /// with partial matches — callers must treat it as poisoned on
+    /// failure) when the shapes disagree or a variable is already bound
+    /// to a different term.
+    pub fn match_ground(
+        &self,
+        g: GTermId,
+        store: &TermStore,
+        bindings: &mut Bindings,
+    ) -> bool {
+        use crate::gterm::GTerm;
+        match self {
+            Term::Var(v) => match bindings.get(v) {
+                Some(&bound) => bound == g,
+                None => {
+                    bindings.insert(*v, g);
+                    true
+                }
+            },
+            Term::Const(c) => matches!(store.get(g), GTerm::Const(c2) if c2 == c),
+            Term::Int(i) => matches!(store.get(g), GTerm::Int(i2) if i2 == i),
+            Term::App(f, args) => match store.get(g) {
+                GTerm::Func(f2, gargs) if f2 == f && gargs.len() == args.len() => {
+                    // Clone the child list: `store` is borrowed immutably
+                    // and recursion re-borrows it.
+                    let gargs = gargs.clone();
+                    args.iter()
+                        .zip(gargs.iter())
+                        .all(|(p, &ga)| p.match_ground(ga, store, bindings))
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn syms() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn groundness() {
+        let mut s = syms();
+        let x = Term::Var(s.intern("X"));
+        let c = Term::Const(s.intern("c"));
+        let f = s.intern("f");
+        assert!(!x.is_ground());
+        assert!(c.is_ground());
+        assert!(Term::Int(3).is_ground());
+        assert!(!Term::App(f, vec![c.clone(), x.clone()]).is_ground());
+        assert!(Term::App(f, vec![c.clone(), Term::Int(1)]).is_ground());
+    }
+
+    #[test]
+    fn collect_vars_dedups_in_order() {
+        let mut s = syms();
+        let x = s.intern("X");
+        let y = s.intern("Y");
+        let f = s.intern("f");
+        let t = Term::App(
+            f,
+            vec![Term::Var(x), Term::Var(y), Term::Var(x), Term::Int(1)],
+        );
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec![x, y]);
+    }
+
+    #[test]
+    fn intern_requires_all_bindings() {
+        let mut s = syms();
+        let x = s.intern("X");
+        let f = s.intern("f");
+        let mut store = TermStore::new();
+        let t = Term::App(f, vec![Term::Var(x)]);
+        let mut b = Bindings::default();
+        assert_eq!(t.intern(&mut store, &b), None);
+        let g = store.int(5);
+        b.insert(x, g);
+        let id = t.intern(&mut store, &b).unwrap();
+        assert_eq!(store.depth(id), 1);
+    }
+
+    #[test]
+    fn match_ground_binds_and_checks() {
+        let mut s = syms();
+        let x = s.intern("X");
+        let f = s.intern("f");
+        let c = s.intern("c");
+        let mut store = TermStore::new();
+        let gc = store.constant(c);
+        let gf = store.func(f, &[gc]);
+
+        // f(X) matches f(c) binding X := c.
+        let pat = Term::App(f, vec![Term::Var(x)]);
+        let mut b = Bindings::default();
+        assert!(pat.match_ground(gf, &store, &mut b));
+        assert_eq!(b[&x], gc);
+
+        // A bound variable must agree.
+        let gi = store.int(9);
+        let pat2 = Term::Var(x);
+        assert!(!pat2.match_ground(gi, &store, &mut b));
+        assert!(pat2.match_ground(gc, &store, &mut b));
+
+        // Shape mismatch fails.
+        let pat3 = Term::App(f, vec![Term::Int(3)]);
+        let mut b2 = Bindings::default();
+        assert!(!pat3.match_ground(gf, &store, &mut b2));
+        assert!(!Term::Const(c).match_ground(gf, &store, &mut b2));
+    }
+}

@@ -1,0 +1,217 @@
+//! The [`World`]: single-ownership bundle of all interners, plus
+//! human-readable rendering of every id type.
+
+use crate::gterm::{AtomId, AtomStore, GTerm, GTermId, TermStore};
+use crate::literal::{GLit, Literal, Sign};
+use crate::pred::{PredId, PredTable};
+use crate::rule::{Aexp, BodyItem, Cmp, Rule};
+use crate::symbol::SymbolTable;
+use crate::term::Term;
+
+/// All interning state for one program/session.
+///
+/// Everything downstream (parser, grounder, semantics, KB layer) works
+/// against one `World`, usually `&mut` while building and `&` while
+/// solving. Ids from one `World` must not be mixed with another's.
+#[derive(Debug, Default, Clone)]
+pub struct World {
+    /// String interner.
+    pub syms: SymbolTable,
+    /// Predicate interner.
+    pub preds: PredTable,
+    /// Ground-term arena.
+    pub terms: TermStore,
+    /// Ground-atom arena.
+    pub atoms: AtomStore,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a predicate by name and arity.
+    pub fn pred(&mut self, name: &str, arity: u32) -> PredId {
+        let s = self.syms.intern(name);
+        self.preds.intern(s, arity)
+    }
+
+    /// Interns a constant ground term by name.
+    pub fn constant(&mut self, name: &str) -> GTermId {
+        let s = self.syms.intern(name);
+        self.terms.constant(s)
+    }
+
+    /// Interns an integer ground term.
+    pub fn int(&mut self, i: i64) -> GTermId {
+        self.terms.int(i)
+    }
+
+    /// Interns a ground atom from a predicate name and ground args.
+    pub fn ground_atom(&mut self, name: &str, args: &[GTermId]) -> AtomId {
+        let p = self.pred(name, args.len() as u32);
+        self.atoms.intern(p, args)
+    }
+
+    /// A non-ground variable term by name.
+    pub fn var(&mut self, name: &str) -> Term {
+        Term::Var(self.syms.intern(name))
+    }
+
+    // ---- rendering -------------------------------------------------
+
+    /// Renders a ground term.
+    pub fn term_str(&self, t: GTermId) -> String {
+        match self.terms.get(t) {
+            GTerm::Const(s) => self.syms.name(*s).to_string(),
+            GTerm::Int(i) => i.to_string(),
+            GTerm::Func(f, args) => {
+                let inner: Vec<String> = args.iter().map(|&a| self.term_str(a)).collect();
+                format!("{}({})", self.syms.name(*f), inner.join(","))
+            }
+        }
+    }
+
+    /// Renders a non-ground term.
+    pub fn nterm_str(&self, t: &Term) -> String {
+        match t {
+            Term::Var(v) => self.syms.name(*v).to_string(),
+            Term::Const(c) => self.syms.name(*c).to_string(),
+            Term::Int(i) => i.to_string(),
+            Term::App(f, args) => {
+                let inner: Vec<String> = args.iter().map(|a| self.nterm_str(a)).collect();
+                format!("{}({})", self.syms.name(*f), inner.join(","))
+            }
+        }
+    }
+
+    /// Renders a ground atom.
+    pub fn atom_str(&self, a: AtomId) -> String {
+        let ga = self.atoms.get(a);
+        let name = self.syms.name(self.preds.info(ga.pred).name);
+        if ga.args.is_empty() {
+            name.to_string()
+        } else {
+            let inner: Vec<String> = ga.args.iter().map(|&t| self.term_str(t)).collect();
+            format!("{}({})", name, inner.join(","))
+        }
+    }
+
+    /// Renders a packed ground literal.
+    pub fn glit_str(&self, l: GLit) -> String {
+        match l.sign() {
+            Sign::Pos => self.atom_str(l.atom()),
+            Sign::Neg => format!("-{}", self.atom_str(l.atom())),
+        }
+    }
+
+    /// Renders a non-ground literal.
+    pub fn lit_str(&self, l: &Literal) -> String {
+        let name = self.syms.name(self.preds.info(l.pred).name);
+        let base = if l.args.is_empty() {
+            name.to_string()
+        } else {
+            let inner: Vec<String> = l.args.iter().map(|t| self.nterm_str(t)).collect();
+            format!("{}({})", name, inner.join(","))
+        };
+        match l.sign {
+            Sign::Pos => base,
+            Sign::Neg => format!("-{base}"),
+        }
+    }
+
+    fn aexp_str(&self, e: &Aexp) -> String {
+        match e {
+            Aexp::Term(t) => self.nterm_str(t),
+            Aexp::Add(l, r) => format!("({} + {})", self.aexp_str(l), self.aexp_str(r)),
+            Aexp::Sub(l, r) => format!("({} - {})", self.aexp_str(l), self.aexp_str(r)),
+            Aexp::Mul(l, r) => format!("({} * {})", self.aexp_str(l), self.aexp_str(r)),
+            Aexp::Div(l, r) => format!("({} / {})", self.aexp_str(l), self.aexp_str(r)),
+            Aexp::Mod(l, r) => format!("({} mod {})", self.aexp_str(l), self.aexp_str(r)),
+            Aexp::Neg(x) => format!("-{}", self.aexp_str(x)),
+        }
+    }
+
+    /// Renders a comparison.
+    pub fn cmp_str(&self, c: &Cmp) -> String {
+        format!(
+            "{} {} {}",
+            self.aexp_str(&c.lhs),
+            c.op.symbol(),
+            self.aexp_str(&c.rhs)
+        )
+    }
+
+    /// Renders a rule in surface syntax (`head :- body.`).
+    pub fn rule_str(&self, r: &Rule) -> String {
+        let head = self.lit_str(&r.head);
+        if r.body.is_empty() {
+            return format!("{head}.");
+        }
+        let body: Vec<String> = r
+            .body
+            .iter()
+            .map(|b| match b {
+                BodyItem::Lit(l) => self.lit_str(l),
+                BodyItem::Cmp(c) => self.cmp_str(c),
+            })
+            .collect();
+        format!("{head} :- {}.", body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_round_trip_shapes() {
+        let mut w = World::new();
+        let penguin = w.constant("penguin");
+        let a = w.ground_atom("bird", &[penguin]);
+        assert_eq!(w.atom_str(a), "bird(penguin)");
+        assert_eq!(w.glit_str(GLit::pos(a)), "bird(penguin)");
+        assert_eq!(w.glit_str(GLit::neg(a)), "-bird(penguin)");
+
+        let zero = w.ground_atom("halt", &[]);
+        assert_eq!(w.atom_str(zero), "halt");
+
+        let f = w.syms.intern("s");
+        let n0 = w.int(0);
+        let s0 = w.terms.func(f, &[n0]);
+        let nat = w.ground_atom("nat", &[s0]);
+        assert_eq!(w.atom_str(nat), "nat(s(0))");
+    }
+
+    #[test]
+    fn rule_rendering() {
+        let mut w = World::new();
+        let x = w.syms.intern("X");
+        let bird = w.pred("bird", 1);
+        let fly = w.pred("fly", 1);
+        let r = Rule::new(
+            Literal::pos(fly, vec![Term::Var(x)]),
+            vec![BodyItem::Lit(Literal::pos(bird, vec![Term::Var(x)]))],
+        );
+        assert_eq!(w.rule_str(&r), "fly(X) :- bird(X).");
+        let f = Rule::fact(Literal::neg(fly, vec![Term::Const(w.syms.intern("penguin"))]));
+        assert_eq!(w.rule_str(&f), "-fly(penguin).");
+    }
+
+    #[test]
+    fn cmp_rendering() {
+        let mut w = World::new();
+        let x = w.syms.intern("X");
+        let y = w.syms.intern("Y");
+        let c = Cmp {
+            op: crate::rule::CmpOp::Gt,
+            lhs: Aexp::Term(Term::Var(x)),
+            rhs: Aexp::Add(
+                Box::new(Aexp::Term(Term::Var(y))),
+                Box::new(Aexp::Term(Term::Int(2))),
+            ),
+        };
+        assert_eq!(w.cmp_str(&c), "X > (Y + 2)");
+    }
+}

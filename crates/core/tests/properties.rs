@@ -1,0 +1,172 @@
+//! Property tests for the core data structures: the bit set against a
+//! reference model, interpretation consistency, partial-order laws for
+//! the component order, literal packing, and hash-consing invariants.
+
+use olp_core::{AtomId, BitSet, CompId, GLit, Interpretation, Order, Sign, Truth, World};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(u16),
+    Remove(u16),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        8 => any::<u16>().prop_map(|v| SetOp::Insert(v % 512)),
+        4 => any::<u16>().prop_map(|v| SetOp::Remove(v % 512)),
+        1 => Just(SetOp::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BitSet behaves exactly like HashSet<usize> under arbitrary
+    /// operation sequences, and equal contents compare equal regardless
+    /// of history.
+    #[test]
+    fn bitset_matches_reference(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut b = BitSet::new();
+        let mut h: HashSet<usize> = HashSet::new();
+        for op in &ops {
+            match op {
+                SetOp::Insert(v) => {
+                    prop_assert_eq!(b.insert(*v as usize), h.insert(*v as usize));
+                }
+                SetOp::Remove(v) => {
+                    prop_assert_eq!(b.remove(*v as usize), h.remove(&(*v as usize)));
+                }
+                SetOp::Clear => {
+                    b.clear();
+                    h.clear();
+                }
+            }
+            prop_assert_eq!(b.len(), h.len());
+        }
+        let mut from_b: Vec<usize> = b.iter().collect();
+        let mut from_h: Vec<usize> = h.iter().copied().collect();
+        from_b.sort_unstable();
+        from_h.sort_unstable();
+        prop_assert_eq!(from_b, from_h);
+        // History-independence of equality.
+        let fresh: BitSet = h.iter().copied().collect();
+        prop_assert_eq!(b, fresh);
+    }
+
+    /// Subset/union/difference agree with the reference.
+    #[test]
+    fn bitset_algebra(xs in prop::collection::hash_set(0usize..300, 0..40),
+                      ys in prop::collection::hash_set(0usize..300, 0..40)) {
+        let a: BitSet = xs.iter().copied().collect();
+        let b: BitSet = ys.iter().copied().collect();
+        prop_assert_eq!(a.is_subset(&b), xs.is_subset(&ys));
+        prop_assert_eq!(a.intersects(&b), !xs.is_disjoint(&ys));
+        let mut u = a.clone();
+        u.union_with(&b);
+        let ru: BitSet = xs.union(&ys).copied().collect();
+        prop_assert_eq!(&u, &ru);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        let rd: BitSet = xs.difference(&ys).copied().collect();
+        prop_assert_eq!(&d, &rd);
+    }
+
+    /// Interpretations never hold complementary literals; truth values
+    /// track insertions/removals.
+    #[test]
+    fn interpretation_consistency(ops in prop::collection::vec(
+        (0u32..64, any::<bool>(), any::<bool>()), 0..80)) {
+        let mut i = Interpretation::new();
+        for &(atom, neg, remove) in &ops {
+            let l = GLit::new(if neg { Sign::Neg } else { Sign::Pos }, AtomId(atom));
+            if remove {
+                i.remove(l);
+            } else {
+                // Insertion either succeeds or reports the conflicting
+                // complement; never both signs at once.
+                let _ = i.insert(l);
+            }
+            match i.value(AtomId(atom)) {
+                Truth::True => prop_assert!(i.holds(GLit::pos(AtomId(atom)))
+                    && !i.holds(GLit::neg(AtomId(atom)))),
+                Truth::False => prop_assert!(!i.holds(GLit::pos(AtomId(atom)))
+                    && i.holds(GLit::neg(AtomId(atom)))),
+                Truth::Undefined => prop_assert!(!i.holds(GLit::pos(AtomId(atom)))
+                    && !i.holds(GLit::neg(AtomId(atom)))),
+            }
+        }
+        prop_assert_eq!(i.len(), i.literals().count());
+    }
+
+    /// GLit packing is a bijection on (sign, atom).
+    #[test]
+    fn glit_roundtrip(atom in 0u32..1_000_000, neg in any::<bool>()) {
+        let sign = if neg { Sign::Neg } else { Sign::Pos };
+        let l = GLit::new(sign, AtomId(atom));
+        prop_assert_eq!(l.atom(), AtomId(atom));
+        prop_assert_eq!(l.sign(), sign);
+        prop_assert_eq!(l.complement().complement(), l);
+        prop_assert_eq!(GLit::from_code(l.code()), l);
+    }
+
+    /// The component order closure is a partial order (reflexive,
+    /// transitive, antisymmetric) for every acyclic edge set, and
+    /// can_overrule/can_defeat partition correctly.
+    #[test]
+    fn order_laws(n in 1usize..8, raw in prop::collection::vec((0usize..8, 0usize..8), 0..12)) {
+        let edges: Vec<(CompId, CompId)> = raw
+            .into_iter()
+            .filter(|&(a, b)| a < b && b < n)
+            .map(|(a, b)| (CompId(a as u32), CompId(b as u32)))
+            .collect();
+        let order = Order::from_edges(n, &edges).expect("a<b edges are acyclic");
+        for a in 0..n as u32 {
+            prop_assert!(order.leq(CompId(a), CompId(a)), "reflexive");
+            for b in 0..n as u32 {
+                for c in 0..n as u32 {
+                    if order.leq(CompId(a), CompId(b)) && order.leq(CompId(b), CompId(c)) {
+                        prop_assert!(order.leq(CompId(a), CompId(c)), "transitive");
+                    }
+                }
+                if a != b {
+                    prop_assert!(
+                        !(order.leq(CompId(a), CompId(b)) && order.leq(CompId(b), CompId(a))),
+                        "antisymmetric"
+                    );
+                    // Exactly one of: a<b, b<a, incomparable.
+                    let lt = order.lt(CompId(a), CompId(b));
+                    let gt = order.lt(CompId(b), CompId(a));
+                    let inc = order.incomparable(CompId(a), CompId(b));
+                    prop_assert_eq!(usize::from(lt) + usize::from(gt) + usize::from(inc), 1);
+                    // Attack classes are disjoint.
+                    prop_assert!(
+                        !(order.can_overrule(CompId(a), CompId(b))
+                            && order.can_defeat(CompId(a), CompId(b)))
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hash-consing: interning the same ground structure twice yields
+    /// the same id; distinct structures yield distinct ids.
+    #[test]
+    fn hash_consing(names in prop::collection::vec("[a-z]{1,6}", 1..10)) {
+        let mut w = World::new();
+        let ids: Vec<_> = names.iter().map(|n| w.constant(n)).collect();
+        let again: Vec<_> = names.iter().map(|n| w.constant(n)).collect();
+        prop_assert_eq!(&ids, &again);
+        for (i, a) in names.iter().enumerate() {
+            for (j, b) in names.iter().enumerate() {
+                prop_assert_eq!(ids[i] == ids[j], a == b);
+            }
+        }
+        // Atoms too.
+        let atoms: Vec<_> = ids.iter().map(|&t| w.ground_atom("p", &[t])).collect();
+        let atoms2: Vec<_> = ids.iter().map(|&t| w.ground_atom("p", &[t])).collect();
+        prop_assert_eq!(atoms, atoms2);
+    }
+}

@@ -1,0 +1,248 @@
+//! The exhaustive (reference) grounder.
+//!
+//! Instantiates every rule with **every** substitution of its variables
+//! over the depth-bounded Herbrand universe, keeping instances whose
+//! comparisons evaluate to true. This is `ground(P)` exactly as defined
+//! in §2 of the paper (modulo the depth bound), and is the semantic
+//! reference the smart grounder is validated against.
+//!
+//! A comparison that cannot be evaluated (unbound variable, non-integer
+//! term, division by zero, overflow) makes the instance **false** — the
+//! instance is dropped, matching the convention that built-ins only hold
+//! for well-typed ground instances.
+
+use crate::program::{GroundProgram, GroundRule};
+use crate::universe::{herbrand_universe, signature, GroundConfig, GroundError};
+use olp_core::term::Bindings;
+use olp_core::{BodyItem, CompId, GLit, Literal, OrderedProgram, Rule, World};
+
+/// Instantiates `lit` under `bindings`, interning the ground atom.
+fn intern_lit(world: &mut World, lit: &Literal, bindings: &Bindings) -> GLit {
+    let mut args = Vec::with_capacity(lit.args.len());
+    for t in &lit.args {
+        args.push(
+            t.intern(&mut world.terms, bindings)
+                .expect("all rule variables are bound during exhaustive grounding"),
+        );
+    }
+    let atom = world.atoms.intern(lit.pred, &args);
+    GLit::new(lit.sign, atom)
+}
+
+/// Instantiates a single rule over the universe, appending instances.
+fn instantiate_rule(
+    world: &mut World,
+    rule: &Rule,
+    comp: CompId,
+    universe: &[olp_core::GTermId],
+    budget: &mut usize,
+    cfg: &GroundConfig,
+    out: &mut Vec<GroundRule>,
+) -> Result<(), GroundError> {
+    let vars = rule.vars();
+    let k = vars.len();
+    let mut bindings = Bindings::default();
+
+    // Fast path: ground rule.
+    if k == 0 {
+        if *budget == 0 {
+            return Err(GroundError::TooManyInstances(cfg.max_instances));
+        }
+        *budget -= 1;
+        emit(world, rule, comp, &bindings, out);
+        return Ok(());
+    }
+    if universe.is_empty() {
+        // Nothing to range over: no instances.
+        return Ok(());
+    }
+    // Mixed-radix counter over universe^k.
+    let mut idx = vec![0usize; k];
+    loop {
+        if *budget == 0 {
+            return Err(GroundError::TooManyInstances(cfg.max_instances));
+        }
+        *budget -= 1;
+        bindings.clear();
+        for (v, &i) in vars.iter().zip(idx.iter()) {
+            bindings.insert(*v, universe[i]);
+        }
+        emit(world, rule, comp, &bindings, out);
+        // Advance.
+        let mut p = 0;
+        loop {
+            if p == k {
+                return Ok(());
+            }
+            idx[p] += 1;
+            if idx[p] < universe.len() {
+                break;
+            }
+            idx[p] = 0;
+            p += 1;
+        }
+    }
+}
+
+/// Evaluates comparisons and interns one instance if they hold.
+fn emit(
+    world: &mut World,
+    rule: &Rule,
+    comp: CompId,
+    bindings: &Bindings,
+    out: &mut Vec<GroundRule>,
+) {
+    for cmp in rule.body_cmps() {
+        match cmp.eval(&world.terms, bindings) {
+            Ok(true) => {}
+            // False or ill-typed: instance dropped.
+            Ok(false) | Err(_) => return,
+        }
+    }
+    let head = intern_lit(world, &rule.head, bindings);
+    let mut body = Vec::new();
+    for item in &rule.body {
+        if let BodyItem::Lit(l) = item {
+            body.push(intern_lit(world, l, bindings));
+        }
+    }
+    out.push(GroundRule::new(head, body, comp));
+}
+
+/// Grounds an ordered program exhaustively.
+pub fn ground_exhaustive(
+    world: &mut World,
+    prog: &OrderedProgram,
+    cfg: &GroundConfig,
+) -> Result<GroundProgram, GroundError> {
+    let order = prog.order()?;
+    let sig = signature(world, prog);
+    let universe = herbrand_universe(world, &sig, cfg)?;
+    let mut budget = cfg.max_instances;
+    let mut rules = Vec::new();
+    for (comp, rule) in prog.rules() {
+        instantiate_rule(world, rule, comp, &universe, &mut budget, cfg, &mut rules)?;
+    }
+    Ok(GroundProgram::new(rules, order, world.atoms.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_parser::{parse_ground_literal, parse_program};
+
+    fn ground(src: &str) -> (World, GroundProgram) {
+        let mut w = World::new();
+        let p = parse_program(&mut w, src).unwrap();
+        let g = ground_exhaustive(&mut w, &p, &GroundConfig::default()).unwrap();
+        (w, g)
+    }
+
+    #[test]
+    fn fig1_grounding_counts() {
+        let (_, g) = ground(
+            "module c2 {
+                bird(penguin). bird(pigeon).
+                fly(X) :- bird(X).
+                -ground_animal(X) :- bird(X).
+             }
+             module c1 < c2 {
+                ground_animal(penguin).
+                -fly(X) :- ground_animal(X).
+             }",
+        );
+        // c2: 2 facts + 2 rules × 2 constants = 6; c1: 1 fact + 1 rule ×
+        // 2 constants = 3.
+        assert_eq!(g.len(), 9);
+        // View of c1 sees everything; view of c2 sees only c2's 6.
+        assert_eq!(g.view(olp_core::CompId(1)).len(), 9);
+        assert_eq!(g.view(olp_core::CompId(0)).len(), 6);
+    }
+
+    #[test]
+    fn comparisons_filter_instances() {
+        let (mut w, g) = ground(
+            "inflation(12).
+             take_loan :- inflation(X), X > 11.
+             no_loan :- inflation(X), X > 99.",
+        );
+        // inflation(12) fact + take_loan instance (12 > 11 holds); the
+        // no_loan instance is dropped (12 > 99 fails).
+        assert_eq!(g.len(), 2);
+        let tl = parse_ground_literal(&mut w, "take_loan").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == tl));
+    }
+
+    #[test]
+    fn arithmetic_in_comparisons() {
+        let (mut w, g) = ground(
+            "inflation(19). loan_rate(16).
+             take_loan :- inflation(X), loan_rate(Y), X > Y + 2.",
+        );
+        assert_eq!(g.len(), 3);
+        let tl = parse_ground_literal(&mut w, "take_loan").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == tl));
+    }
+
+    #[test]
+    fn negated_heads_ground() {
+        let (mut w, g) = ground("bird(tweety). -fly(X) :- bird(X).");
+        let nf = parse_ground_literal(&mut w, "-fly(tweety)").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == nf && r.body.len() == 1));
+    }
+
+    #[test]
+    fn function_symbols_bounded_depth() {
+        let mut w = World::new();
+        let p = parse_program(&mut w, "nat(zero). nat(s(X)) :- nat(X).").unwrap();
+        let cfg = GroundConfig {
+            max_depth: 3,
+            ..Default::default()
+        };
+        let g = ground_exhaustive(&mut w, &p, &cfg).unwrap();
+        // 1 fact + one instance of the rule per universe term (4 terms).
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn instance_budget_enforced() {
+        let mut w = World::new();
+        let p = parse_program(
+            &mut w,
+            "p(a). p(b). p(c). q(X,Y,Z) :- p(X), p(Y), p(Z).",
+        )
+        .unwrap();
+        let cfg = GroundConfig {
+            max_instances: 10,
+            ..Default::default()
+        };
+        assert_eq!(
+            ground_exhaustive(&mut w, &p, &cfg).unwrap_err(),
+            GroundError::TooManyInstances(10)
+        );
+    }
+
+    #[test]
+    fn unsafe_rule_ranges_over_universe() {
+        // CWA-style non-ground fact: -p(X). (as produced by OV's reduced
+        // form) must instantiate over the whole universe.
+        let (_, g) = ground("q(a). q(b). -p(X).");
+        assert_eq!(g.rules.iter().filter(|r| !r.head.is_pos()).count(), 2);
+    }
+
+    #[test]
+    fn body_with_contradictory_literals_kept() {
+        // p :- q, -q is never applicable but *is* a legal rule; statuses
+        // are the semantics engine's business.
+        let (_, g) = ground("p :- q, -q. q.");
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_rule_instances_dedup_within_component() {
+        // fly(X) :- bird(X) and fly(Y) :- bird(Y) produce identical
+        // instances.
+        let (_, g) = ground("bird(a). fly(X) :- bird(X). fly(Y) :- bird(Y).");
+        assert_eq!(g.len(), 2);
+    }
+}

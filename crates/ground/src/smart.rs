@@ -1,0 +1,689 @@
+//! The smart (relevance-restricted, join-based) grounder.
+//!
+//! ## Why exhaustive grounding is not enough
+//!
+//! [`crate::ground_exhaustive`] instantiates each rule `|HU|^k` times
+//! (`k` = number of variables). Real knowledge bases (the paper's
+//! ancestor program over a `parent` relation, scaled taxonomies) need
+//! the classical Datalog trick: only instantiate a rule when its body
+//! can actually be satisfied, found by *joining* body literals against
+//! what is derivable.
+//!
+//! ## What "derivable" means with negated heads
+//!
+//! Ordered programs have no negation-as-failure: a body literal `L`
+//! (positive **or** negative) is true in an interpretation only if `L`
+//! itself was derived by some rule. The **derivability closure** `D` is
+//! the least set of signed literals closed under: if every body literal
+//! of an instance is in `D` and its comparisons hold, its head is in
+//! `D` — ignoring blocking/overruling entirely. `D` over-approximates
+//! every *assumption-free* model (each literal of such a model is the
+//! head of an applied rule whose body is again in the model, inductively
+//! grounding out in facts), so instances whose bodies are not within `D`
+//! can never become applicable in the semantics we compute.
+//!
+//! ## The eternal-attacker construction
+//!
+//! Overruling and defeating (Def. 2) do **not** require the attacking
+//! rule to be applicable — only *non-blocked*. A rule instance is ever
+//! *blockable* only if some body literal's complement is derivable; an
+//! instance with no such literal is never blocked, so it attacks its
+//! head-complement forever (whether or not it can ever fire). Dropping
+//! it would be unsound — it could wrongly let a higher rule fire. For
+//! every such **eternal attacker** we emit one representative per
+//! (head, component): body `[#undef]` where `#undef` is a fresh atom no
+//! rule derives or refutes — permanently undefined, hence permanently
+//! non-blocked and never applicable, exactly reproducing the attack
+//! (any firing potential was already captured by phase 1). Blockable
+//! attacker instances are emitted as-is, so the engine can observe
+//! their blocking literals precisely.
+//!
+//! ## Scope
+//!
+//! The result is sound and complete w.r.t. the exhaustive grounding for
+//! the **least model `V^∞(∅)`, assumption-free models, and stable
+//! models** restricted to derivable atoms (everything else in the
+//! Herbrand base is undefined in those models anyway). Arbitrary models
+//! of Def. 3 — which may contain unfounded "assumptions" — are outside
+//! its scope; use the exhaustive grounder for those. The equivalence is
+//! property-tested in `tests/smart_vs_exhaustive.rs`.
+
+use crate::program::{GroundProgram, GroundRule};
+use crate::universe::{signature, GroundConfig, GroundError};
+use olp_core::term::Bindings;
+use olp_core::{
+    AtomId, CompId, FxHashMap, FxHashSet, GLit, GTerm, GTermId, Literal, OrderedProgram,
+    PredId, Sign, Sym, World,
+};
+use std::collections::VecDeque;
+
+/// A rule compiled for joining.
+struct CRule {
+    comp: CompId,
+    head: Literal,
+    lits: Vec<Literal>,
+    cmps: Vec<olp_core::Cmp>,
+    vars: Vec<Sym>,
+    /// Variables that appear in no body literal (head-only or
+    /// comparison-only): they must be enumerated over the active domain.
+    residual: Vec<Sym>,
+}
+
+struct Smart<'w> {
+    world: &'w mut World,
+    rules: Vec<CRule>,
+    /// Derivability closure, as a set and a per-(pred, sign) index.
+    d_set: FxHashSet<GLit>,
+    d_by: FxHashMap<(PredId, Sign), Vec<AtomId>>,
+    /// Active domain: ground terms occurring in derivable atoms or in
+    /// the program text.
+    adom: Vec<GTermId>,
+    adom_set: FxHashSet<GTermId>,
+    queue: VecDeque<GLit>,
+    /// `(rule, body position)` pairs indexed by the (pred, sign) a new
+    /// literal could drive.
+    drivers: FxHashMap<(PredId, Sign), Vec<(usize, usize)>>,
+    /// Rules with residual variables or empty literal bodies: re-run
+    /// whenever the active domain grows.
+    adom_dependent: Vec<usize>,
+    out: Vec<GroundRule>,
+    budget: usize,
+    max_instances: usize,
+    /// Same depth bound as the exhaustive grounder: an instance whose
+    /// variable bindings exceed it is dropped, which keeps derivations
+    /// through function symbols (e.g. `even(s(s(X))) ← even(X)`)
+    /// terminating and matches the exhaustive universe bound.
+    max_depth: u32,
+}
+
+impl<'w> Smart<'w> {
+    fn spend(&mut self, n: usize) -> Result<(), GroundError> {
+        if self.budget < n {
+            return Err(GroundError::TooManyInstances(self.max_instances));
+        }
+        self.budget -= n;
+        Ok(())
+    }
+
+    fn adom_add_term(&mut self, t: GTermId) {
+        if self.adom_set.insert(t) {
+            self.adom.push(t);
+            if let GTerm::Func(_, args) = self.world.terms.get(t).clone() {
+                for a in args.iter() {
+                    self.adom_add_term(*a);
+                }
+            }
+        }
+    }
+
+    fn d_add(&mut self, l: GLit) {
+        if self.d_set.insert(l) {
+            let atom = self.world.atoms.get(l.atom()).clone();
+            self.d_by
+                .entry((atom.pred, l.sign()))
+                .or_default()
+                .push(l.atom());
+            for &t in atom.args.iter() {
+                self.adom_add_term(t);
+            }
+            self.queue.push_back(l);
+        }
+    }
+
+    fn intern_lit(&mut self, lit: &Literal, b: &Bindings) -> GLit {
+        let mut args = Vec::with_capacity(lit.args.len());
+        for t in &lit.args {
+            args.push(
+                t.intern(&mut self.world.terms, b)
+                    .expect("variables bound at emission"),
+            );
+        }
+        GLit::new(lit.sign, self.world.atoms.intern(lit.pred, &args))
+    }
+
+    /// Completes `bindings` at a leaf of the join: enumerates residual
+    /// variables over the active domain, checks comparisons, and emits
+    /// the instance (adding its head to `D`).
+    fn finish(&mut self, rule_ix: usize, b: &mut Bindings) -> Result<(), GroundError> {
+        let residual: Vec<Sym> = self.rules[rule_ix]
+            .residual
+            .iter()
+            .copied()
+            .filter(|v| !b.contains_key(v))
+            .collect();
+        if residual.is_empty() {
+            return self.emit(rule_ix, b);
+        }
+        let adom = self.adom.clone();
+        if adom.is_empty() {
+            return Ok(());
+        }
+        let k = residual.len();
+        let mut idx = vec![0usize; k];
+        loop {
+            for (v, &i) in residual.iter().zip(idx.iter()) {
+                b.insert(*v, adom[i]);
+            }
+            self.emit(rule_ix, b)?;
+            let mut p = 0;
+            loop {
+                if p == k {
+                    for v in &residual {
+                        b.remove(v);
+                    }
+                    return Ok(());
+                }
+                idx[p] += 1;
+                if idx[p] < adom.len() {
+                    break;
+                }
+                idx[p] = 0;
+                p += 1;
+            }
+        }
+    }
+
+    fn emit(&mut self, rule_ix: usize, b: &Bindings) -> Result<(), GroundError> {
+        self.spend(1)?;
+        if b.values().any(|&t| self.world.terms.depth(t) > self.max_depth) {
+            return Ok(());
+        }
+        for cmp in &self.rules[rule_ix].cmps {
+            match cmp.eval(&self.world.terms, b) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return Ok(()),
+            }
+        }
+        let head_lit = self.rules[rule_ix].head.clone();
+        let body_lits = self.rules[rule_ix].lits.clone();
+        let head = self.intern_lit(&head_lit, b);
+        let body: Vec<GLit> = body_lits.iter().map(|l| self.intern_lit(l, b)).collect();
+        let comp = self.rules[rule_ix].comp;
+        self.d_add(head);
+        self.out.push(GroundRule::new(head, body, comp));
+        Ok(())
+    }
+
+    /// Joins body positions `order[from..]` against the current `D`.
+    fn join(
+        &mut self,
+        rule_ix: usize,
+        positions: &[usize],
+        from: usize,
+        b: &mut Bindings,
+    ) -> Result<(), GroundError> {
+        if from == positions.len() {
+            return self.finish(rule_ix, b);
+        }
+        let pos = positions[from];
+        let lit = self.rules[rule_ix].lits[pos].clone();
+        let candidates: Vec<AtomId> = self
+            .d_by
+            .get(&(lit.pred, lit.sign)).cloned()
+            .unwrap_or_default();
+        // Variables this literal can newly bind (everything else in `b`
+        // predates the match and must survive the undo).
+        let mut lit_vars = Vec::new();
+        lit.collect_vars(&mut lit_vars);
+        for cand in candidates {
+            self.spend(1)?;
+            let preexisting: Vec<Sym> =
+                lit_vars.iter().copied().filter(|v| b.contains_key(v)).collect();
+            if self.match_lit(&lit, cand, b) {
+                self.join(rule_ix, positions, from + 1, b)?;
+            }
+            // Undo: drop exactly the variables this match introduced.
+            for v in &lit_vars {
+                if !preexisting.contains(v) {
+                    b.remove(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn match_lit(&self, lit: &Literal, atom: AtomId, b: &mut Bindings) -> bool {
+        let args = self.world.atoms.get(atom).args.clone();
+        debug_assert_eq!(args.len(), lit.args.len());
+        lit.args
+            .iter()
+            .zip(args.iter())
+            .all(|(pat, &g)| pat.match_ground(g, &self.world.terms, b))
+    }
+
+    /// Processes one derived literal against every rule position it can
+    /// drive.
+    fn process(&mut self, l: GLit) -> Result<(), GroundError> {
+        let pred = self.world.atoms.get(l.atom()).pred;
+        let driven = self
+            .drivers
+            .get(&(pred, l.sign()))
+            .cloned()
+            .unwrap_or_default();
+        for (rule_ix, pos) in driven {
+            let lit = self.rules[rule_ix].lits[pos].clone();
+            let mut b = Bindings::default();
+            if !self.match_lit(&lit, l.atom(), &mut b) {
+                continue;
+            }
+            let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len())
+                .filter(|&p| p != pos)
+                .collect();
+            self.join(rule_ix, &positions, 0, &mut b)?;
+        }
+        Ok(())
+    }
+
+    /// Phase 1: derivability closure + firing instances.
+    fn closure(&mut self) -> Result<(), GroundError> {
+        let mut last_adom = usize::MAX;
+        loop {
+            // (Re-)run active-domain-dependent rules (facts — which also
+            // seeds the closure — and rules with residual variables)
+            // whenever the domain has grown.
+            if self.adom.len() != last_adom {
+                last_adom = self.adom.len();
+                for rule_ix in self.adom_dependent.clone() {
+                    let positions: Vec<usize> =
+                        (0..self.rules[rule_ix].lits.len()).collect();
+                    let mut b = Bindings::default();
+                    self.join(rule_ix, &positions, 0, &mut b)?;
+                }
+                continue; // emissions may have grown the domain again
+            }
+            match self.queue.pop_front() {
+                Some(l) => self.process(l)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Phase 2: attacker instances (real + eternal representatives).
+    fn attackers(&mut self) -> Result<(), GroundError> {
+        let mut sentinel: Option<GLit> = None;
+        let mut eternal_seen: FxHashSet<(GLit, CompId)> = FxHashSet::default();
+        let adom = self.adom.clone();
+
+        for rule_ix in 0..self.rules.len() {
+            let head = self.rules[rule_ix].head.clone();
+            // Victims are derivable literals whose complement this head
+            // can become: same predicate, opposite sign. Fast path for
+            // ground heads (facts, ground rules): the only possible
+            // victim is the head's own atom — scanning every derivable
+            // complement and rejecting all but one match would make
+            // fact-heavy programs quadratic.
+            let victims: Vec<AtomId> = if head.is_ground() {
+                let empty = Bindings::default();
+                let mut args = Vec::with_capacity(head.args.len());
+                for t in &head.args {
+                    args.push(
+                        t.intern(&mut self.world.terms, &empty)
+                            .expect("ground head interning cannot fail"),
+                    );
+                }
+                let atom = self.world.atoms.intern(head.pred, &args);
+                if self.d_set.contains(&GLit::new(head.sign.flip(), atom)) {
+                    vec![atom]
+                } else {
+                    Vec::new()
+                }
+            } else {
+                self.d_by
+                    .get(&(head.pred, head.sign.flip()))
+                    .cloned()
+                    .unwrap_or_default()
+            };
+            'victims: for victim in victims {
+                let mut b = Bindings::default();
+                if !self.match_lit(&head, victim, &mut b) {
+                    continue;
+                }
+                // Enumerate all remaining variables over the active
+                // domain; classify each instance.
+                let free: Vec<Sym> = self.rules[rule_ix]
+                    .vars
+                    .iter()
+                    .copied()
+                    .filter(|v| !b.contains_key(v))
+                    .collect();
+                let k = free.len();
+                let mut idx = vec![0usize; k];
+                if k > 0 && adom.is_empty() {
+                    continue;
+                }
+                loop {
+                    for (v, &i) in free.iter().zip(idx.iter()) {
+                        b.insert(*v, adom[i]);
+                    }
+                    self.spend(1)?;
+                    // Comparisons must hold (and bindings must respect
+                    // the depth bound) for the instance to exist.
+                    let cmps_ok = self.rules[rule_ix].cmps.iter().all(|c| {
+                        matches!(c.eval(&self.world.terms, &b), Ok(true))
+                    }) && !b
+                        .values()
+                        .any(|&t| self.world.terms.depth(t) > self.max_depth);
+                    if cmps_ok {
+                        // Classify. The instance can ever be *blocked*
+                        // iff some body literal's complement is
+                        // derivable. Blockable instances must be kept
+                        // precise; an unblockable one is an **eternal
+                        // attacker** — it suppresses this victim in
+                        // every interpretation within scope — so a
+                        // single sentinel-bodied representative
+                        // suffices (its potential firings were already
+                        // emitted by phase 1).
+                        let body_lits = self.rules[rule_ix].lits.clone();
+                        let mut body = Vec::with_capacity(body_lits.len());
+                        let mut blockable = false;
+                        let mut body_derivable = true;
+                        for l in &body_lits {
+                            let gl = self.intern_lit(l, &b);
+                            if self.d_set.contains(&gl.complement()) {
+                                blockable = true;
+                            }
+                            if !self.d_set.contains(&gl) {
+                                body_derivable = false;
+                            }
+                            body.push(gl);
+                        }
+                        // The victim match binds every head variable, so
+                        // the instance head is exactly the complement of
+                        // the victim literal: same atom, the rule head's
+                        // sign.
+                        let head_glit = GLit::new(head.sign, victim);
+                        let comp = self.rules[rule_ix].comp;
+                        if blockable {
+                            self.out.push(GroundRule::new(head_glit, body, comp));
+                        } else if body_derivable {
+                            // Unblockable *and* fully derivable: the
+                            // phase-1 firing instance is already present
+                            // and is itself a permanently non-blocked
+                            // attacker — nothing to add, and it
+                            // dominates every other instance against
+                            // this victim.
+                            continue 'victims;
+                        } else {
+                            if eternal_seen.insert((head_glit, comp)) {
+                                let s = *sentinel.get_or_insert_with(|| {
+                                    GLit::pos(self.world.ground_atom("#undef", &[]))
+                                });
+                                self.out.push(GroundRule::new(head_glit, vec![s], comp));
+                            }
+                            // An eternal attacker dominates every other
+                            // instance of this rule against this victim.
+                            continue 'victims;
+                        }
+                    }
+                    // Advance the counter.
+                    if k == 0 {
+                        break;
+                    }
+                    let mut p = 0;
+                    loop {
+                        if p == k {
+                            break;
+                        }
+                        idx[p] += 1;
+                        if idx[p] < adom.len() {
+                            break;
+                        }
+                        idx[p] = 0;
+                        p += 1;
+                    }
+                    if p == k {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Grounds an ordered program with the relevance-restricted strategy.
+///
+/// See the module documentation for the exact scope of equivalence with
+/// [`crate::ground_exhaustive`].
+pub fn ground_smart(
+    world: &mut World,
+    prog: &OrderedProgram,
+    cfg: &GroundConfig,
+) -> Result<GroundProgram, GroundError> {
+    ground_smart_seeded(world, prog, cfg, &[])
+}
+
+/// [`ground_smart`] with extra ground terms seeded into the active
+/// domain. Needed when `prog` is a *fragment* of a larger program (see
+/// [`crate::demand`]): attacker instances quantify over the Herbrand
+/// universe, so constants that only occur in dropped rules still
+/// enlarge the space of never-blockable attackers and must be retained
+/// for the semantics of the fragment to match the whole.
+pub fn ground_smart_seeded(
+    world: &mut World,
+    prog: &OrderedProgram,
+    cfg: &GroundConfig,
+    domain_seed: &[GTermId],
+) -> Result<GroundProgram, GroundError> {
+    let order = prog.order()?;
+    let sig = signature(world, prog);
+    let mut rules = Vec::new();
+    for (comp, rule) in prog.rules() {
+        let vars = rule.vars();
+        let lits: Vec<Literal> = rule.body_lits().cloned().collect();
+        let cmps: Vec<olp_core::Cmp> = rule.body_cmps().cloned().collect();
+        let mut body_vars = Vec::new();
+        for l in &lits {
+            l.collect_vars(&mut body_vars);
+        }
+        let residual: Vec<Sym> = vars
+            .iter()
+            .copied()
+            .filter(|v| !body_vars.contains(v))
+            .collect();
+        rules.push(CRule {
+            comp,
+            head: rule.head.clone(),
+            lits,
+            cmps,
+            vars,
+            residual,
+        });
+    }
+
+    let mut drivers: FxHashMap<(PredId, Sign), Vec<(usize, usize)>> = FxHashMap::default();
+    let mut adom_dependent = Vec::new();
+    for (ix, r) in rules.iter().enumerate() {
+        for (pos, l) in r.lits.iter().enumerate() {
+            drivers.entry((l.pred, l.sign)).or_default().push((ix, pos));
+        }
+        if r.lits.is_empty() || !r.residual.is_empty() {
+            adom_dependent.push(ix);
+        }
+    }
+
+    let mut s = Smart {
+        world,
+        rules,
+        d_set: FxHashSet::default(),
+        d_by: FxHashMap::default(),
+        adom: Vec::new(),
+        adom_set: FxHashSet::default(),
+        queue: VecDeque::new(),
+        drivers,
+        adom_dependent,
+        out: Vec::new(),
+        budget: cfg.max_instances,
+        max_instances: cfg.max_instances,
+        max_depth: cfg.max_depth,
+    };
+    for &c in &sig.constants {
+        s.adom_add_term(c);
+    }
+    for &c in domain_seed {
+        s.adom_add_term(c);
+    }
+    s.closure()?;
+    s.attackers()?;
+    let n_atoms = s.world.atoms.len();
+    let out = s.out;
+    Ok(GroundProgram::new(out, order, n_atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ground_exhaustive;
+    use olp_parser::{parse_ground_literal, parse_program};
+
+    fn smart(src: &str) -> (World, GroundProgram) {
+        let mut w = World::new();
+        let p = parse_program(&mut w, src).unwrap();
+        let g = ground_smart(&mut w, &p, &GroundConfig::default()).unwrap();
+        (w, g)
+    }
+
+    #[test]
+    fn facts_and_joins() {
+        let (mut w, g) = smart(
+            "parent(a,b). parent(b,c).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        );
+        let ac = parse_ground_literal(&mut w, "anc(a,c)").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == ac));
+        // No instance for anc(c, a): not derivable.
+        let ca = parse_ground_literal(&mut w, "anc(c,a)").unwrap();
+        assert!(!g.rules.iter().any(|r| r.head == ca));
+    }
+
+    #[test]
+    fn smart_is_smaller_than_exhaustive_on_ancestor() {
+        let src = "parent(a,b). parent(b,c). parent(c,d).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).";
+        let mut w1 = World::new();
+        let p1 = parse_program(&mut w1, src).unwrap();
+        let ge = ground_exhaustive(&mut w1, &p1, &GroundConfig::default()).unwrap();
+        let (_, gs) = smart(src);
+        assert!(gs.len() < ge.len(), "smart {} < exhaustive {}", gs.len(), ge.len());
+    }
+
+    #[test]
+    fn negative_literals_join_too() {
+        // -q(a) is derivable; p(a) should fire through the negative
+        // body literal.
+        let (mut w, g) = smart("-q(a). p(X) :- -q(X).");
+        let pa = parse_ground_literal(&mut w, "p(a)").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == pa));
+    }
+
+    #[test]
+    fn eternal_attacker_emitted_for_underivable_body() {
+        // `a.` in upper c2; `-a :- b.` in lower c1 where b is never
+        // derivable: the attack must survive grounding (a is then never
+        // derivable in c1's view — checked at the semantics level; here
+        // we check the instance exists with the sentinel body).
+        let (w, g) = smart(
+            "module c2 { a. }
+             module c1 < c2 { -a :- b. }",
+        );
+        let eternal = g
+            .rules
+            .iter()
+            .find(|r| !r.head.is_pos() && r.body.len() == 1)
+            .expect("eternal attacker present");
+        assert_eq!(w.atom_str(eternal.body[0].atom()), "#undef");
+    }
+
+    #[test]
+    fn blockable_attacker_kept_precise() {
+        // -b is derivable (via `-b :- a`), so the attacker `-a :- b`
+        // can be blocked and must be emitted with its real body; no
+        // sentinel collapse.
+        let (mut w, g) = smart(
+            "module c2 { a. b. }
+             module c1 < c2 { -a :- b. -b :- a. }",
+        );
+        let b_lit = parse_ground_literal(&mut w, "b").unwrap();
+        assert!(g
+            .rules
+            .iter()
+            .any(|r| !r.head.is_pos() && r.body.as_ref() == [b_lit]));
+        assert!(w.syms.get("#undef").is_none());
+    }
+
+    #[test]
+    fn unblockable_derivable_attacker_needs_no_sentinel() {
+        // `-a :- b` with b derivable but -b NOT derivable: the attacker
+        // is unblockable, but its phase-1 firing instance is already a
+        // permanently non-blocked attacker — no sentinel is emitted.
+        let (mut w, g) = smart(
+            "module c2 { a. b. }
+             module c1 < c2 { -a :- b. }",
+        );
+        let b_lit = parse_ground_literal(&mut w, "b").unwrap();
+        let na = parse_ground_literal(&mut w, "-a").unwrap();
+        assert!(g
+            .rules
+            .iter()
+            .any(|r| r.head == na && r.body.as_ref() == [b_lit]));
+        assert!(w.syms.get("#undef").is_none());
+    }
+
+    #[test]
+    fn cwa_style_nonground_facts_instantiate_over_adom() {
+        let (_, g) = smart("q(a). q(b). -p(X).");
+        assert_eq!(
+            g.rules.iter().filter(|r| !r.head.is_pos()).count(),
+            2,
+            "-p(a) and -p(b)"
+        );
+    }
+
+    #[test]
+    fn comparisons_respected() {
+        let (mut w, g) = smart("inflation(12). take_loan :- inflation(X), X > 11.");
+        let tl = parse_ground_literal(&mut w, "take_loan").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == tl));
+        let (mut w2, g2) = smart("inflation(10). take_loan :- inflation(X), X > 11.");
+        let tl2 = parse_ground_literal(&mut w2, "take_loan").unwrap();
+        assert!(!g2.rules.iter().any(|r| r.head == tl2));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut w = World::new();
+        let p = parse_program(
+            &mut w,
+            "p(a). p(b). p(c). q(X,Y,Z) :- p(X), p(Y), p(Z).",
+        )
+        .unwrap();
+        let cfg = GroundConfig {
+            max_instances: 5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            ground_smart(&mut w, &p, &cfg),
+            Err(GroundError::TooManyInstances(5))
+        ));
+    }
+
+    #[test]
+    fn function_symbols_through_derivation_terminate_at_depth_bound() {
+        // Recursion through a function symbol: the closure grows the
+        // active domain with derived terms and is cut off by the same
+        // depth bound the exhaustive grounder uses (default 2), so the
+        // fixpoint terminates instead of unfolding s(s(…)) forever.
+        let (mut w, g) = smart("even(zero). even(s(s(X))) :- even(X).");
+        let e2 = parse_ground_literal(&mut w, "even(s(s(zero)))").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == e2));
+        // Depth 4 heads exist (binding X = s(s(zero)) has depth 2, at
+        // the bound); depth 6 heads do not (X would need depth 4).
+        let e4 = parse_ground_literal(&mut w, "even(s(s(s(s(zero)))))").unwrap();
+        assert!(g.rules.iter().any(|r| r.head == e4));
+        let e6 =
+            parse_ground_literal(&mut w, "even(s(s(s(s(s(s(zero)))))))").unwrap();
+        assert!(!g.rules.iter().any(|r| r.head == e6));
+    }
+}

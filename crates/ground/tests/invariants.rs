@@ -1,0 +1,117 @@
+//! Structural invariants of ground programs, property-tested over the
+//! exhaustive grounder on random inputs built locally (the richer
+//! generators live in `olp-workload`, which depends on this crate — so
+//! these tests build their own small random programs).
+
+use olp_core::{BodyItem, CompId, Literal, OrderedProgram, Rule, Sign, Term, World};
+use olp_ground::{ground_exhaustive, GroundConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct MiniRule {
+    comp: usize,
+    head: (usize, bool),
+    body: Vec<(usize, bool)>,
+}
+
+fn rules_strategy() -> impl Strategy<Value = Vec<MiniRule>> {
+    prop::collection::vec(
+        (
+            0..3usize,
+            (0..5usize, any::<bool>()),
+            prop::collection::vec((0..5usize, any::<bool>()), 0..3),
+        )
+            .prop_map(|(comp, head, body)| MiniRule { comp, head, body }),
+        0..12,
+    )
+}
+
+fn build(world: &mut World, rules: &[MiniRule]) -> OrderedProgram {
+    let mut prog = OrderedProgram::new();
+    for i in 0..3 {
+        let s = world.syms.intern(&format!("c{i}"));
+        prog.add_component(s);
+    }
+    // Fixed acyclic order: c0 < c1 < c2.
+    prog.add_edge(CompId(0), CompId(1));
+    prog.add_edge(CompId(1), CompId(2));
+    let lit = |world: &mut World, (p, neg): (usize, bool)| {
+        let pred = world.pred(&format!("p{p}"), 0);
+        Literal {
+            sign: if neg { Sign::Neg } else { Sign::Pos },
+            pred,
+            args: vec![],
+        }
+    };
+    for r in rules {
+        let head = lit(world, r.head);
+        let body = r
+            .body
+            .iter()
+            .map(|&b| BodyItem::Lit(lit(world, b)))
+            .collect();
+        prog.add_rule(CompId(r.comp as u32), Rule::new(head, body));
+    }
+    // One non-propositional rule exercising terms.
+    let x = Term::Var(world.syms.intern("X"));
+    let qp = world.pred("q", 1);
+    let rp = world.pred("r", 1);
+    let a = Term::Const(world.syms.intern("a"));
+    prog.add_rule(CompId(0), Rule::fact(Literal::pos(qp, vec![a])));
+    prog.add_rule(
+        CompId(0),
+        Rule::new(
+            Literal::pos(rp, vec![x.clone()]),
+            vec![BodyItem::Lit(Literal::pos(qp, vec![x]))],
+        ),
+    );
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ground_program_invariants(rules in rules_strategy()) {
+        let mut w = World::new();
+        let prog = build(&mut w, &rules);
+        let g = ground_exhaustive(&mut w, &prog, &GroundConfig::default()).unwrap();
+
+        // 1. No duplicate (comp, head, body) instances.
+        let mut seen = std::collections::HashSet::new();
+        for r in &g.rules {
+            prop_assert!(
+                seen.insert((r.comp, r.head, r.body.clone())),
+                "duplicate ground instance"
+            );
+        }
+        // 2. Bodies are sorted and deduplicated.
+        for r in &g.rules {
+            let mut sorted = r.body.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&*r.body, &sorted[..]);
+        }
+        // 3. Every view contains exactly the rules of its up-set.
+        let order = prog.order().unwrap();
+        for c in 0..3u32 {
+            let view = g.view(CompId(c));
+            for &ri in view {
+                prop_assert!(order.in_view(CompId(c), g.rules[ri as usize].comp));
+            }
+            let expect = g
+                .rules
+                .iter()
+                .filter(|r| order.in_view(CompId(c), r.comp))
+                .count();
+            prop_assert_eq!(view.len(), expect);
+        }
+        // 4. Atom ids referenced by rules are within n_atoms.
+        for r in &g.rules {
+            prop_assert!((r.head.atom().index()) < g.n_atoms);
+            for b in r.body.iter() {
+                prop_assert!((b.atom().index()) < g.n_atoms);
+            }
+        }
+    }
+}

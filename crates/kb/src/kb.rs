@@ -1,0 +1,664 @@
+//! The knowledge base: objects, isa-inheritance, queries.
+//!
+//! This is the paper's §1/§5 pitch made concrete: modules are
+//! **objects**; the `<` order is an **isa** hierarchy providing rule
+//! inheritance; local rules *overrule* inherited ones (defaults and
+//! exceptions); a more specific object can be read as a new **version**
+//! of a more general one. [`KbBuilder`] assembles objects, rules and
+//! extensional relations; [`Kb`] grounds once and answers truth queries
+//! per object against cached least models, with stable-model queries
+//! for the choice-style programs.
+
+use crate::relation::Relation;
+use olp_core::{CompId, FxHashMap, Interpretation, Literal, Rule, Term, Truth, World};
+use olp_ground::{ground_exhaustive, ground_smart, GroundConfig, GroundError, GroundProgram};
+use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
+use olp_semantics::{least_model, stable_models, View};
+use std::fmt;
+
+/// Which grounder [`KbBuilder::build`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroundStrategy {
+    /// Join-based, relevance-restricted (default; right for KB-scale
+    /// data).
+    #[default]
+    Smart,
+    /// Full instantiation (reference; small programs).
+    Exhaustive,
+}
+
+/// Errors from building or querying a knowledge base.
+#[derive(Debug)]
+pub enum KbError {
+    /// Rule or query text failed to parse.
+    Parse(ParseError),
+    /// Grounding failed (resource bound or invalid order).
+    Ground(GroundError),
+    /// An object name was used before being declared.
+    UnknownObject(String),
+    /// The query literal was not ground.
+    NonGroundQuery(String),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Parse(e) => write!(f, "{e}"),
+            KbError::Ground(e) => write!(f, "{e}"),
+            KbError::UnknownObject(n) => write!(f, "unknown object `{n}`"),
+            KbError::NonGroundQuery(q) => write!(f, "query `{q}` is not ground"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+impl From<ParseError> for KbError {
+    fn from(e: ParseError) -> Self {
+        KbError::Parse(e)
+    }
+}
+
+impl From<GroundError> for KbError {
+    fn from(e: GroundError) -> Self {
+        KbError::Ground(e)
+    }
+}
+
+/// Builder for a knowledge base.
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    world: World,
+    prog: olp_core::OrderedProgram,
+}
+
+impl KbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or reopens) an object.
+    pub fn object(&mut self, name: &str) -> CompId {
+        let sym = self.world.syms.intern(name);
+        self.prog
+            .component_by_name(sym)
+            .unwrap_or_else(|| self.prog.add_component(sym))
+    }
+
+    /// Declares `child isa parent` (child inherits parent's rules and
+    /// may overrule them). Creates either object on demand.
+    pub fn isa(&mut self, child: &str, parent: &str) -> &mut Self {
+        let c = self.object(child);
+        let p = self.object(parent);
+        self.prog.add_edge(c, p);
+        self
+    }
+
+    /// Declares `name` as a new **version** of `base`: same isa
+    /// machinery, different reading — local redefinitions shadow the
+    /// base object's rules (§5).
+    pub fn version_of(&mut self, name: &str, base: &str) -> &mut Self {
+        self.isa(name, base)
+    }
+
+    /// Adds one rule (surface syntax, e.g. `"fly(X) :- bird(X)."`) to
+    /// an object.
+    pub fn rule(&mut self, object: &str, src: &str) -> Result<&mut Self, KbError> {
+        let c = self.object(object);
+        let r = parse_rule(&mut self.world, src)?;
+        self.prog.add_rule(c, r);
+        Ok(self)
+    }
+
+    /// Adds a block of rules (surface syntax, plain `.`-separated
+    /// rules) to an object.
+    pub fn rules(&mut self, object: &str, src: &str) -> Result<&mut Self, KbError> {
+        let c = self.object(object);
+        let parsed = parse_program(&mut self.world, src)?;
+        for comp in parsed.components {
+            for r in comp.rules {
+                self.prog.add_rule(c, r.clone());
+            }
+        }
+        Ok(self)
+    }
+
+    /// Loads every tuple of `rel` into `object` as facts
+    /// `rel.name(t1,…,tn).`.
+    pub fn load_relation(&mut self, object: &str, rel: &Relation) -> &mut Self {
+        let c = self.object(object);
+        let pred = self.world.pred(&rel.name, rel.arity);
+        for tuple in rel.scan() {
+            // Facts over already-interned ground terms: wrap each id in
+            // a constant-like Term by rendering is wasteful; instead we
+            // keep the ground id via a synthetic rule built directly.
+            let args: Vec<Term> = tuple
+                .iter()
+                .map(|&t| ground_term_to_term(&self.world, t))
+                .collect();
+            self.prog
+                .add_rule(c, Rule::fact(Literal::pos(pred, args)));
+        }
+        self
+    }
+
+    /// Direct access to the world (e.g. to intern relation terms).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Grounds the program and returns a queryable [`Kb`].
+    pub fn build(self, strategy: GroundStrategy) -> Result<Kb, KbError> {
+        self.build_with(strategy, &GroundConfig::default())
+    }
+
+    /// [`KbBuilder::build`] with explicit grounding bounds.
+    pub fn build_with(
+        mut self,
+        strategy: GroundStrategy,
+        cfg: &GroundConfig,
+    ) -> Result<Kb, KbError> {
+        let ground = match strategy {
+            GroundStrategy::Smart => ground_smart(&mut self.world, &self.prog, cfg)?,
+            GroundStrategy::Exhaustive => {
+                ground_exhaustive(&mut self.world, &self.prog, cfg)?
+            }
+        };
+        Ok(Kb {
+            world: self.world,
+            prog: self.prog,
+            ground,
+            least_cache: FxHashMap::default(),
+            strategy,
+            cfg: cfg.clone(),
+        })
+    }
+}
+
+/// Converts an interned ground term back to a syntax [`Term`] (used
+/// when loading relations as facts).
+fn ground_term_to_term(world: &World, t: olp_core::GTermId) -> Term {
+    use olp_core::GTerm;
+    match world.terms.get(t) {
+        GTerm::Const(s) => Term::Const(*s),
+        GTerm::Int(i) => Term::Int(*i),
+        GTerm::Func(f, args) => Term::App(
+            *f,
+            args.iter().map(|&a| ground_term_to_term(world, a)).collect(),
+        ),
+    }
+}
+
+/// A ground, queryable knowledge base.
+#[derive(Debug)]
+pub struct Kb {
+    world: World,
+    prog: olp_core::OrderedProgram,
+    ground: GroundProgram,
+    least_cache: FxHashMap<CompId, Interpretation>,
+    strategy: GroundStrategy,
+    cfg: GroundConfig,
+}
+
+impl Kb {
+    fn comp(&self, object: &str) -> Result<CompId, KbError> {
+        let sym = self
+            .world
+            .syms
+            .get(object)
+            .ok_or_else(|| KbError::UnknownObject(object.to_string()))?;
+        self.prog
+            .component_by_name(sym)
+            .ok_or_else(|| KbError::UnknownObject(object.to_string()))
+    }
+
+    /// The least model of the program *in* `object`, cached.
+    pub fn model(&mut self, object: &str) -> Result<&Interpretation, KbError> {
+        let c = self.comp(object)?;
+        if !self.least_cache.contains_key(&c) {
+            let m = least_model(&View::new(&self.ground, c));
+            self.least_cache.insert(c, m);
+        }
+        Ok(&self.least_cache[&c])
+    }
+
+    /// Truth of a ground literal (e.g. `"fly(penguin)"` or
+    /// `"-fly(penguin)"`) from `object`'s point of view, under the
+    /// least (assumption-free) model. A negative query returns `True`
+    /// when the negative literal is derivable.
+    pub fn truth(&mut self, object: &str, query: &str) -> Result<Truth, KbError> {
+        let lit = parse_ground_literal(&mut self.world, query)
+            .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
+        let m = self.model(object)?;
+        Ok(if m.holds(lit) {
+            Truth::True
+        } else if m.holds(lit.complement()) {
+            Truth::False
+        } else {
+            Truth::Undefined
+        })
+    }
+
+    /// Whether the query literal is derivably true in `object`.
+    pub fn ask(&mut self, object: &str, query: &str) -> Result<bool, KbError> {
+        Ok(self.truth(object, query)? == Truth::True)
+    }
+
+    /// All true atoms of predicate `name/arity` in `object`'s least
+    /// model, rendered.
+    pub fn query_pred(
+        &mut self,
+        object: &str,
+        name: &str,
+        arity: u32,
+    ) -> Result<Vec<String>, KbError> {
+        let pred = match self
+            .world
+            .syms
+            .get(name)
+            .and_then(|s| self.world.preds.get(s, arity))
+        {
+            Some(p) => p,
+            None => return Ok(Vec::new()),
+        };
+        let c = self.comp(object)?;
+        if !self.least_cache.contains_key(&c) {
+            let m = least_model(&View::new(&self.ground, c));
+            self.least_cache.insert(c, m);
+        }
+        let m = &self.least_cache[&c];
+        let mut out: Vec<String> = self
+            .world
+            .atoms
+            .of_pred(pred)
+            .iter()
+            .filter(|&&a| m.holds(olp_core::GLit::pos(a)))
+            .map(|&a| self.world.atom_str(a))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Answers a (possibly non-ground) query pattern, e.g. `"fly(X)"`
+    /// or `"-fly(X)"`: every binding of the pattern's variables whose
+    /// instance is **true** in `object`'s least model, rendered as
+    /// `var=term` pairs in first-occurrence order. A ground pattern
+    /// returns one empty binding when it holds and nothing otherwise.
+    pub fn query(&mut self, object: &str, pattern: &str) -> Result<Vec<String>, KbError> {
+        let lit = olp_parser::parse_literal(&mut self.world, pattern)
+            .map_err(KbError::Parse)?;
+        let c = self.comp(object)?;
+        if !self.least_cache.contains_key(&c) {
+            let m = least_model(&View::new(&self.ground, c));
+            self.least_cache.insert(c, m);
+        }
+        let m = &self.least_cache[&c];
+        let mut vars = Vec::new();
+        lit.collect_vars(&mut vars);
+        let mut out = Vec::new();
+        let candidates: Vec<olp_core::AtomId> =
+            self.world.atoms.of_pred(lit.pred).to_vec();
+        for atom in candidates {
+            if !m.holds(olp_core::GLit::new(lit.sign, atom)) {
+                continue;
+            }
+            let args = self.world.atoms.get(atom).args.clone();
+            let mut b = olp_core::term::Bindings::default();
+            let matched = lit
+                .args
+                .iter()
+                .zip(args.iter())
+                .all(|(pat, &g)| pat.match_ground(g, &self.world.terms, &mut b));
+            if matched {
+                let binding: Vec<String> = vars
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{}={}",
+                            self.world.syms.name(*v),
+                            self.world.term_str(b[v])
+                        )
+                    })
+                    .collect();
+                out.push(binding.join(", "));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Explains why `query` holds (a proof tree) or does not (the fate
+    /// of every candidate rule), rendered as indented text.
+    pub fn explain(&mut self, object: &str, query: &str) -> Result<String, KbError> {
+        let lit = parse_ground_literal(&mut self.world, query)
+            .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
+        let c = self.comp(object)?;
+        if !self.least_cache.contains_key(&c) {
+            let m = least_model(&View::new(&self.ground, c));
+            self.least_cache.insert(c, m);
+        }
+        let m = &self.least_cache[&c];
+        let view = View::new(&self.ground, c);
+        let why = olp_semantics::explain_in(&view, m, lit);
+        Ok(olp_semantics::render_why(&self.world, &view, &why))
+    }
+
+    /// Goal-directed proof: is `query` in `object`'s least model?
+    /// Avoids materialising the full model (useful for large KBs with
+    /// small relevance cones).
+    pub fn prove(&mut self, object: &str, query: &str) -> Result<bool, KbError> {
+        let lit = parse_ground_literal(&mut self.world, query)
+            .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
+        let c = self.comp(object)?;
+        Ok(olp_semantics::prove(&View::new(&self.ground, c), lit))
+    }
+
+    /// Asserts a new rule (or fact) into `object` and re-grounds. All
+    /// cached models are invalidated — mutation is coarse-grained by
+    /// design (grounding is the cheap part at KB scale; model caches
+    /// are the expensive state).
+    pub fn assert_rule(&mut self, object: &str, src: &str) -> Result<(), KbError> {
+        let c = self.comp(object)?;
+        let r = parse_rule(&mut self.world, src)?;
+        self.prog.add_rule(c, r);
+        self.refresh()
+    }
+
+    /// Retracts the first rule of `object` syntactically equal to `src`
+    /// (after parsing); returns whether one was removed. Re-grounds on
+    /// success.
+    pub fn retract_rule(&mut self, object: &str, src: &str) -> Result<bool, KbError> {
+        let c = self.comp(object)?;
+        let r = parse_rule(&mut self.world, src)?;
+        let rules = &mut self.prog.components[c.index()].rules;
+        match rules.iter().position(|existing| *existing == r) {
+            Some(i) => {
+                rules.remove(i);
+                self.refresh()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn refresh(&mut self) -> Result<(), KbError> {
+        self.least_cache.clear();
+        self.ground = match self.strategy {
+            GroundStrategy::Smart => ground_smart(&mut self.world, &self.prog, &self.cfg)?,
+            GroundStrategy::Exhaustive => {
+                ground_exhaustive(&mut self.world, &self.prog, &self.cfg)?
+            }
+        };
+        Ok(())
+    }
+
+    /// The skeptical consequences in `object`: literals true in every
+    /// stable model (exponential; see
+    /// [`olp_semantics::skeptical_consequences`]).
+    pub fn skeptical(&mut self, object: &str) -> Result<Interpretation, KbError> {
+        let c = self.comp(object)?;
+        Ok(olp_semantics::skeptical_consequences(
+            &View::new(&self.ground, c),
+            self.ground.n_atoms,
+        ))
+    }
+
+    /// The stable models of the program in `object` (Definition 9).
+    /// Exponential in the contested part; use for choice-style KBs.
+    pub fn stable(&mut self, object: &str) -> Result<Vec<Interpretation>, KbError> {
+        let c = self.comp(object)?;
+        Ok(stable_models(
+            &View::new(&self.ground, c),
+            self.ground.n_atoms,
+        ))
+    }
+
+    /// Differences between two objects' least models: the literals on
+    /// which their verdicts disagree, rendered as
+    /// `atom: <truth in a> -> <truth in b>`, sorted. The versioning
+    /// use-case (§5): `kb.diff("v2", "v3")` is the semantic changelog.
+    pub fn diff(&mut self, a: &str, b: &str) -> Result<Vec<String>, KbError> {
+        // Materialise both models (cached).
+        self.model(a)?;
+        self.model(b)?;
+        let ca = self.comp(a)?;
+        let cb = self.comp(b)?;
+        let ma = self.least_cache[&ca].clone();
+        let mb = &self.least_cache[&cb];
+        let mut out = Vec::new();
+        for i in 0..self.ground.n_atoms {
+            let atom = olp_core::AtomId(i as u32);
+            let va = ma.value(atom);
+            let vb = mb.value(atom);
+            if va != vb {
+                out.push(format!("{}: {} -> {}", self.world.atom_str(atom), va, vb));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Renders an interpretation against this KB's symbol table.
+    pub fn render(&self, i: &Interpretation) -> String {
+        i.render(&self.world)
+    }
+
+    /// The names of all objects in the knowledge base, in declaration
+    /// order.
+    pub fn objects(&self) -> Vec<&str> {
+        self.prog
+            .components
+            .iter()
+            .map(|c| self.world.syms.name(c.name))
+            .collect()
+    }
+
+    /// Read-only world access.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The underlying ground program (for diagnostics and benches).
+    pub fn ground_program(&self) -> &GroundProgram {
+        &self.ground
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn penguin_kb(strategy: GroundStrategy) -> Kb {
+        let mut b = KbBuilder::new();
+        b.rules(
+            "bird",
+            "bird(penguin). bird(pigeon).
+             fly(X) :- bird(X).
+             -ground_animal(X) :- bird(X).",
+        )
+        .unwrap();
+        b.isa("penguin_view", "bird");
+        b.rules(
+            "penguin_view",
+            "ground_animal(penguin).
+             -fly(X) :- ground_animal(X).",
+        )
+        .unwrap();
+        b.build(strategy).unwrap()
+    }
+
+    #[test]
+    fn inheritance_with_exceptions_both_strategies() {
+        for strategy in [GroundStrategy::Exhaustive, GroundStrategy::Smart] {
+            let mut kb = penguin_kb(strategy);
+            assert_eq!(kb.truth("penguin_view", "fly(penguin)").unwrap(), Truth::False);
+            assert_eq!(kb.truth("penguin_view", "fly(pigeon)").unwrap(), Truth::True);
+            assert_eq!(kb.truth("bird", "fly(penguin)").unwrap(), Truth::True);
+            assert!(kb.ask("penguin_view", "-fly(penguin)").unwrap());
+        }
+    }
+
+    #[test]
+    fn relations_feed_recursive_rules() {
+        let mut b = KbBuilder::new();
+        let mut parent = Relation::new("parent", 2);
+        for (x, y) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            parent.insert_consts(b.world_mut(), &[x, y]).unwrap();
+        }
+        b.load_relation("genealogy", &parent);
+        b.rules(
+            "genealogy",
+            "anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        )
+        .unwrap();
+        let mut kb = b.build(GroundStrategy::Smart).unwrap();
+        assert!(kb.ask("genealogy", "anc(a,d)").unwrap());
+        assert_eq!(kb.truth("genealogy", "anc(d,a)").unwrap(), Truth::Undefined);
+        let ancs = kb.query_pred("genealogy", "anc", 2).unwrap();
+        assert_eq!(ancs.len(), 6); // 3 + 2 + 1 pairs on a 4-chain
+    }
+
+    #[test]
+    fn versioning_shadows_base() {
+        let mut b = KbBuilder::new();
+        b.rule("pricing_v1", "price(42).").unwrap();
+        b.version_of("pricing_v2", "pricing_v1");
+        b.rules("pricing_v2", "-price(42). price(45).").unwrap();
+        let mut kb = b.build(GroundStrategy::Exhaustive).unwrap();
+        assert_eq!(kb.truth("pricing_v1", "price(42)").unwrap(), Truth::True);
+        assert_eq!(kb.truth("pricing_v2", "price(42)").unwrap(), Truth::False);
+        assert_eq!(kb.truth("pricing_v2", "price(45)").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn unknown_object_and_nonground_query_error() {
+        let mut kb = penguin_kb(GroundStrategy::Exhaustive);
+        assert!(matches!(
+            kb.truth("nobody", "fly(pigeon)"),
+            Err(KbError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            kb.truth("bird", "fly(X)"),
+            Err(KbError::NonGroundQuery(_))
+        ));
+    }
+
+    #[test]
+    fn stable_models_for_defeating_kb() {
+        // Mutually defeating experts under an empty child: empty stable
+        // set contains only the empty model.
+        let mut b = KbBuilder::new();
+        b.rule("expert_a", "hire(candidate).").unwrap();
+        b.rule("expert_b", "-hire(candidate).").unwrap();
+        b.isa("committee", "expert_a");
+        b.isa("committee", "expert_b");
+        let mut kb = b.build(GroundStrategy::Exhaustive).unwrap();
+        assert_eq!(
+            kb.truth("committee", "hire(candidate)").unwrap(),
+            Truth::Undefined
+        );
+        let stable = kb.stable("committee").unwrap();
+        assert_eq!(stable.len(), 1);
+        assert!(stable[0].is_empty());
+    }
+
+    #[test]
+    fn nonground_queries_enumerate_bindings() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        let flyers = kb.query("penguin_view", "fly(X)").unwrap();
+        assert_eq!(flyers, vec!["X=pigeon"]);
+        let grounded = kb.query("penguin_view", "-fly(X)").unwrap();
+        assert_eq!(grounded, vec!["X=penguin"]);
+        // Ground pattern: one empty binding iff it holds.
+        assert_eq!(kb.query("penguin_view", "fly(pigeon)").unwrap(), vec![""]);
+        assert!(kb.query("penguin_view", "fly(penguin)").unwrap().is_empty());
+        // Multi-variable patterns.
+        let mut b = KbBuilder::new();
+        b.rules("g", "parent(a,b). parent(b,c). anc(X,Y) :- parent(X,Y).
+                      anc(X,Y) :- parent(X,Z), anc(Z,Y).")
+            .unwrap();
+        let mut kb2 = b.build(GroundStrategy::Smart).unwrap();
+        let ancs = kb2.query("g", "anc(X, Y)").unwrap();
+        assert_eq!(ancs, vec!["X=a, Y=b", "X=a, Y=c", "X=b, Y=c"]);
+    }
+
+    #[test]
+    fn explain_and_prove_round_trip() {
+        let mut kb = penguin_kb(GroundStrategy::Exhaustive);
+        let text = kb.explain("penguin_view", "-fly(penguin)").unwrap();
+        assert!(text.contains("ground_animal(penguin)"));
+        let text2 = kb.explain("penguin_view", "fly(penguin)").unwrap();
+        assert!(text2.contains("overruled"));
+        assert!(kb.prove("penguin_view", "-fly(penguin)").unwrap());
+        assert!(!kb.prove("penguin_view", "fly(penguin)").unwrap());
+        assert!(kb.prove("bird", "fly(penguin)").unwrap());
+    }
+
+    #[test]
+    fn assert_and_retract_reground() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        // A new bird inherits the default.
+        kb.assert_rule("bird", "bird(sparrow).").unwrap();
+        assert_eq!(kb.truth("penguin_view", "fly(sparrow)").unwrap(), Truth::True);
+        // Make it an exception.
+        kb.assert_rule("penguin_view", "ground_animal(sparrow).").unwrap();
+        assert_eq!(kb.truth("penguin_view", "fly(sparrow)").unwrap(), Truth::False);
+        // Retract the exception fact: back to flying.
+        assert!(kb
+            .retract_rule("penguin_view", "ground_animal(sparrow).")
+            .unwrap());
+        assert_eq!(kb.truth("penguin_view", "fly(sparrow)").unwrap(), Truth::True);
+        // Retracting something absent reports false and changes nothing.
+        assert!(!kb.retract_rule("penguin_view", "ground_animal(dodo).").unwrap());
+    }
+
+    #[test]
+    fn skeptical_surface() {
+        let mut b = KbBuilder::new();
+        b.rules("opts", "a. b.").unwrap();
+        b.isa("chooser", "opts");
+        b.rules("chooser", "-a :- b. -b :- a. r :- a. r :- b.").unwrap();
+        let mut kb = b.build(GroundStrategy::Exhaustive).unwrap();
+        let sk = kb.skeptical("chooser").unwrap();
+        let rendered = kb.render(&sk);
+        assert_eq!(rendered, "{r}");
+        assert_eq!(kb.truth("chooser", "r").unwrap(), Truth::Undefined,
+            "the least model cannot do case analysis; skeptical can");
+    }
+
+    #[test]
+    fn objects_listed_in_declaration_order() {
+        let kb = penguin_kb(GroundStrategy::Smart);
+        assert_eq!(kb.objects(), vec!["bird", "penguin_view"]);
+    }
+
+    #[test]
+    fn diff_between_versions() {
+        let mut b = KbBuilder::new();
+        b.rule("v1", "price(42).").unwrap();
+        b.version_of("v2", "v1");
+        b.rules("v2", "-price(42). price(45).").unwrap();
+        let mut kb = b.build(GroundStrategy::Exhaustive).unwrap();
+        let d = kb.diff("v1", "v2").unwrap();
+        assert_eq!(
+            d,
+            vec![
+                "price(42): true -> false".to_string(),
+                "price(45): undefined -> true".to_string(),
+            ]
+        );
+        assert!(kb.diff("v1", "v1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn model_caching_is_per_object() {
+        let mut kb = penguin_kb(GroundStrategy::Exhaustive);
+        let m1 = kb.model("bird").unwrap().clone();
+        let m2 = kb.model("penguin_view").unwrap().clone();
+        assert_ne!(m1, m2);
+        // Second access hits the cache (same result).
+        assert_eq!(kb.model("bird").unwrap(), &m1);
+    }
+}

@@ -1,0 +1,154 @@
+//! EDB relations.
+//!
+//! The paper's Example 6 defines `parent` "through a database relation"
+//! — ordered logic programming is pitched as a knowledge-base language
+//! over extensional data. [`Relation`] is a minimal in-memory relation:
+//! fixed arity, interned-term tuples, hash index on the first column
+//! (the access path the recursive examples use), and a loader that
+//! turns tuples into component facts.
+
+use olp_core::{FxHashMap, GTermId, World};
+use std::fmt;
+
+/// Error raised on arity mismatch when inserting a tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArityMismatch {
+    /// The relation's declared arity.
+    pub expected: u32,
+    /// The offending tuple length.
+    pub got: usize,
+}
+
+impl fmt::Display for ArityMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tuple arity {} does not match relation arity {}", self.got, self.expected)
+    }
+}
+
+impl std::error::Error for ArityMismatch {}
+
+/// An in-memory extensional relation.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Relation (predicate) name.
+    pub name: String,
+    /// Number of columns.
+    pub arity: u32,
+    tuples: Vec<Box<[GTermId]>>,
+    /// Hash index on the first column (empty for 0-ary relations).
+    index_first: FxHashMap<GTermId, Vec<u32>>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: impl Into<String>, arity: u32) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: Vec::new(),
+            index_first: FxHashMap::default(),
+        }
+    }
+
+    /// Inserts a tuple of interned terms.
+    pub fn insert(&mut self, tuple: &[GTermId]) -> Result<(), ArityMismatch> {
+        if tuple.len() != self.arity as usize {
+            return Err(ArityMismatch {
+                expected: self.arity,
+                got: tuple.len(),
+            });
+        }
+        let id = self.tuples.len() as u32;
+        self.tuples.push(tuple.into());
+        if let Some(&first) = tuple.first() {
+            self.index_first.entry(first).or_default().push(id);
+        }
+        Ok(())
+    }
+
+    /// Convenience: interns constants by name and inserts.
+    pub fn insert_consts(
+        &mut self,
+        world: &mut World,
+        names: &[&str],
+    ) -> Result<(), ArityMismatch> {
+        let tuple: Vec<GTermId> = names.iter().map(|n| world.constant(n)).collect();
+        self.insert(&tuple)
+    }
+
+    /// Convenience: interns integers and inserts.
+    pub fn insert_ints(
+        &mut self,
+        world: &mut World,
+        values: &[i64],
+    ) -> Result<(), ArityMismatch> {
+        let tuple: Vec<GTermId> = values.iter().map(|&v| world.int(v)).collect();
+        self.insert(&tuple)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Full scan.
+    pub fn scan(&self) -> impl Iterator<Item = &[GTermId]> {
+        self.tuples.iter().map(AsRef::as_ref)
+    }
+
+    /// Index lookup: tuples whose first column equals `key`.
+    pub fn lookup_first(&self, key: GTermId) -> impl Iterator<Item = &[GTermId]> {
+        self.index_first
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .map(move |&i| self.tuples[i as usize].as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_scan_lookup() {
+        let mut w = World::new();
+        let mut r = Relation::new("parent", 2);
+        r.insert_consts(&mut w, &["a", "b"]).unwrap();
+        r.insert_consts(&mut w, &["a", "c"]).unwrap();
+        r.insert_consts(&mut w, &["b", "d"]).unwrap();
+        assert_eq!(r.len(), 3);
+        let a = w.constant("a");
+        assert_eq!(r.lookup_first(a).count(), 2);
+        let d = w.constant("d");
+        assert_eq!(r.lookup_first(d).count(), 0);
+        assert_eq!(r.scan().count(), 3);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut w = World::new();
+        let mut r = Relation::new("p", 2);
+        let a = w.constant("a");
+        assert_eq!(
+            r.insert(&[a]),
+            Err(ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn int_columns() {
+        let mut w = World::new();
+        let mut r = Relation::new("rate", 1);
+        r.insert_ints(&mut w, &[16]).unwrap();
+        assert_eq!(w.terms.as_int(r.scan().next().unwrap()[0]), Some(16));
+    }
+}

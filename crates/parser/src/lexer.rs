@@ -1,0 +1,350 @@
+//! Lexer for the ordered-logic surface syntax.
+//!
+//! Tokens follow Prolog conventions: identifiers starting with a lower
+//! case letter are constants/functors/predicate names, identifiers
+//! starting with an upper case letter or `_` are variables. `%` and `//`
+//! start line comments. `:-` separates head from body; `-` is both the
+//! classical-negation prefix and arithmetic minus (the parser
+//! disambiguates).
+
+use std::fmt;
+
+/// A source position (1-based line and column) for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// lower-case identifier (constant / functor / predicate / keyword)
+    Ident(String),
+    /// variable (upper-case or `_`-leading identifier)
+    Var(String),
+    /// integer literal
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    If,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// end of input
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Var(s) => write!(f, "variable `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::If => write!(f, "`:-`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `src` fully (appending an [`Tok::Eof`] sentinel).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // whitespace
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // comments: `%` or `//` to end of line
+        if c == '%' || (c == '/' && bytes.get(i + 1) == Some(&b'/')) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                bump!();
+            }
+            continue;
+        }
+        let start = pos!();
+        // identifiers & variables
+        if c.is_ascii_alphabetic() || c == '_' {
+            let s = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                bump!();
+            }
+            let word = &src[s..i];
+            let tok = if c.is_ascii_uppercase() || c == '_' {
+                Tok::Var(word.to_string())
+            } else {
+                Tok::Ident(word.to_string())
+            };
+            out.push(Token { tok, pos: start });
+            continue;
+        }
+        // integers
+        if c.is_ascii_digit() {
+            let s = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                bump!();
+            }
+            let text = &src[s..i];
+            let val: i64 = text.parse().map_err(|_| LexError {
+                pos: start,
+                msg: format!("integer literal `{text}` out of range"),
+            })?;
+            out.push(Token {
+                tok: Tok::Int(val),
+                pos: start,
+            });
+            continue;
+        }
+        // operators & punctuation (byte-pair match: slicing the &str at
+        // arbitrary byte offsets would panic inside multi-byte UTF-8)
+        let two = if i + 1 < bytes.len() {
+            Some((bytes[i], bytes[i + 1]))
+        } else {
+            None
+        };
+        let (tok, width) = match two {
+            Some((b':', b'-')) => (Tok::If, 2),
+            Some((b'<', b'=')) => (Tok::Le, 2),
+            Some((b'>', b'=')) => (Tok::Ge, 2),
+            Some((b'=', b'=')) => (Tok::Eq, 2),
+            Some((b'!', b'=')) => (Tok::Ne, 2),
+            Some((b'<', b'>')) => (Tok::Ne, 2),
+            _ => match c {
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                '{' => (Tok::LBrace, 1),
+                '}' => (Tok::RBrace, 1),
+                ',' => (Tok::Comma, 1),
+                '.' => (Tok::Dot, 1),
+                '<' => (Tok::Lt, 1),
+                '>' => (Tok::Gt, 1),
+                '=' => (Tok::Eq, 1),
+                '+' => (Tok::Plus, 1),
+                '-' => (Tok::Minus, 1),
+                '~' => (Tok::Minus, 1), // `~p` accepted as alias for `-p`
+                '*' => (Tok::Star, 1),
+                '/' => (Tok::Slash, 1),
+                _ => {
+                    return Err(LexError {
+                        pos: start,
+                        msg: format!("unexpected character `{c}`"),
+                    })
+                }
+            },
+        };
+        for _ in 0..width {
+            bump!();
+        }
+        out.push(Token { tok, pos: start });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_vars_ints() {
+        assert_eq!(
+            toks("bird X _y 42"),
+            vec![
+                Tok::Ident("bird".into()),
+                Tok::Var("X".into()),
+                Tok::Var("_y".into()),
+                Tok::Int(42),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rule_tokens() {
+        assert_eq!(
+            toks("fly(X) :- bird(X)."),
+            vec![
+                Tok::Ident("fly".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::If,
+                Tok::Ident("bird".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = == != <>"),
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a % comment\nb // another\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tilde_is_minus_alias() {
+        assert_eq!(
+            toks("~fly"),
+            vec![Tok::Minus, Tok::Ident("fly".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = lex("p :- q ? r").unwrap_err();
+        assert!(err.msg.contains('?'));
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn big_int_overflow_errors() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # olp-parser — surface syntax for ordered logic programs
+//!
+//! A lexer, recursive-descent parser and pretty-printer for the textual
+//! form of ordered logic programs. Example (Fig. 1 of the paper):
+//!
+//! ```
+//! use olp_core::World;
+//! use olp_parser::parse_program;
+//!
+//! let mut world = World::new();
+//! let program = parse_program(&mut world, "
+//!     module c2 {
+//!         bird(penguin).
+//!         bird(pigeon).
+//!         fly(X) :- bird(X).
+//!         -ground_animal(X) :- bird(X).
+//!     }
+//!     module c1 < c2 {
+//!         ground_animal(penguin).
+//!         -fly(X) :- ground_animal(X).
+//!     }
+//! ").unwrap();
+//! assert_eq!(program.components.len(), 2);
+//! ```
+//!
+//! See [`parser`] for the grammar. [`mod@print`] renders programs back to
+//! parseable text (round-tripping is property-tested).
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod print;
+
+pub use lexer::{LexError, Pos, Tok, Token};
+pub use parser::{parse_ground_literal, parse_literal, parse_program, parse_rule, ParseError};
+pub use print::program_to_string;

@@ -1,0 +1,635 @@
+//! Recursive-descent parser producing [`OrderedProgram`]s.
+//!
+//! ## Surface syntax
+//!
+//! ```text
+//! program     := item*
+//! item        := module | order | rule
+//! module      := "module" name ("<" name ("," name)*)? "{" rule* "}"
+//! order       := "order" name "<" name ("<" name)* "."
+//! rule        := literal (":-" body)? "."
+//! body        := bodyitem ("," bodyitem)*
+//! bodyitem    := literal | comparison
+//! literal     := "-"? atom
+//! atom        := ident ("(" term ("," term)* ")")?
+//! term        := VAR | INT | "-" INT | ident ("(" term ("," term)* ")")?
+//! comparison  := aexpr ("<"|"<="|">"|">="|"="|"=="|"!="|"<>") aexpr
+//! aexpr       := aterm (("+"|"-") aterm)*
+//! aterm       := afactor (("*"|"/"|"mod") afactor)*
+//! afactor     := INT | VAR | "(" aexpr ")" | "-" afactor | term
+//! ```
+//!
+//! Rules outside any `module` block go to an implicit module `main`.
+//! Modules may be re-opened; `module a < b { … }` both declares the
+//! rules of `a` and the order edge `a < b` (i.e. `a` is more specific
+//! and inherits from `b`). A body item starting with a variable,
+//! integer, or `(` is a comparison; one starting with an identifier is a
+//! literal — so arithmetic is over variables and integers only, exactly
+//! what the paper's loan program needs.
+
+use crate::lexer::{lex, LexError, Pos, Tok, Token};
+use olp_core::{
+    Aexp, BodyItem, Cmp, CmpOp, GLit, Literal, OrderedProgram, Rule, Sign, Term, World,
+};
+use std::fmt;
+
+/// Parse errors (including lexical ones), with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            pos: e.pos,
+            msg: e.msg,
+        }
+    }
+}
+
+struct Parser<'w> {
+    toks: Vec<Token>,
+    at: usize,
+    world: &'w mut World,
+}
+
+impl<'w> Parser<'w> {
+    fn new(world: &'w mut World, src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            at: 0,
+            world,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.at + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other}")),
+        }
+    }
+
+    // ---- terms ------------------------------------------------------
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().clone() {
+            Tok::Var(v) => {
+                self.bump();
+                Ok(Term::Var(self.world.syms.intern(&v)))
+            }
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Term::Int(i))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Int(i) => {
+                        self.bump();
+                        Ok(Term::Int(-i))
+                    }
+                    other => self.err(format!(
+                        "expected integer after `-` in term position, found {other}"
+                    )),
+                }
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                let sym = self.world.syms.intern(&name);
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&Tok::RParen, "`)` closing term arguments")?;
+                    Ok(Term::App(sym, args))
+                } else {
+                    Ok(Term::Const(sym))
+                }
+            }
+            other => self.err(format!("expected a term, found {other}")),
+        }
+    }
+
+    // ---- literals -----------------------------------------------------
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        let sign = if *self.peek() == Tok::Minus {
+            self.bump();
+            Sign::Neg
+        } else {
+            Sign::Pos
+        };
+        let name = self.ident("a predicate name")?;
+        let sym = self.world.syms.intern(&name);
+        let mut args = Vec::new();
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            args.push(self.term()?);
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                args.push(self.term()?);
+            }
+            self.expect(&Tok::RParen, "`)` closing literal arguments")?;
+        }
+        let pred = self.world.preds.intern(sym, args.len() as u32);
+        Ok(Literal { sign, pred, args })
+    }
+
+    // ---- arithmetic ----------------------------------------------------
+
+    fn afactor(&mut self) -> Result<Aexp, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Aexp::Term(Term::Int(i)))
+            }
+            Tok::Var(v) => {
+                self.bump();
+                Ok(Aexp::Term(Term::Var(self.world.syms.intern(&v))))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.aexpr()?;
+                self.expect(&Tok::RParen, "`)` closing arithmetic group")?;
+                Ok(e)
+            }
+            Tok::Minus => {
+                self.bump();
+                // Constant-fold negative integer literals so that the
+                // printed form of `Term::Int(-1)` round-trips to the
+                // same AST instead of `Neg(Int(1))`.
+                if let Tok::Int(i) = *self.peek() {
+                    self.bump();
+                    return Ok(Aexp::Term(Term::Int(-i)));
+                }
+                Ok(Aexp::Neg(Box::new(self.afactor()?)))
+            }
+            // A constant or compound term: meaningful for the
+            // structural `=` / `!=` comparisons (e.g. `P = p(a, a)`),
+            // ill-typed (instance dropped) under ordering/arithmetic.
+            Tok::Ident(_) => Ok(Aexp::Term(self.term()?)),
+            other => self.err(format!(
+                "expected an arithmetic factor (integer, variable, `(`, term), found {other}"
+            )),
+        }
+    }
+
+    fn aterm(&mut self) -> Result<Aexp, ParseError> {
+        let mut e = self.afactor()?;
+        loop {
+            match self.peek() {
+                Tok::Star => {
+                    self.bump();
+                    e = Aexp::Mul(Box::new(e), Box::new(self.afactor()?));
+                }
+                Tok::Slash => {
+                    self.bump();
+                    e = Aexp::Div(Box::new(e), Box::new(self.afactor()?));
+                }
+                Tok::Ident(s) if s == "mod" => {
+                    self.bump();
+                    e = Aexp::Mod(Box::new(e), Box::new(self.afactor()?));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn aexpr(&mut self) -> Result<Aexp, ParseError> {
+        let mut e = self.aterm()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    e = Aexp::Add(Box::new(e), Box::new(self.aterm()?));
+                }
+                Tok::Minus => {
+                    self.bump();
+                    e = Aexp::Sub(Box::new(e), Box::new(self.aterm()?));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek() {
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            other => return self.err(format!("expected a comparison operator, found {other}")),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    // ---- rules ---------------------------------------------------------
+
+    fn body_item(&mut self) -> Result<BodyItem, ParseError> {
+        let starts_cmp = match self.peek() {
+            Tok::Var(_) | Tok::Int(_) | Tok::LParen => true,
+            Tok::Minus => !matches!(self.peek2(), Tok::Ident(_)),
+            _ => false,
+        };
+        if starts_cmp {
+            let lhs = self.aexpr()?;
+            let op = self.cmp_op()?;
+            let rhs = self.aexpr()?;
+            Ok(BodyItem::Cmp(Cmp { op, lhs, rhs }))
+        } else {
+            Ok(BodyItem::Lit(self.literal()?))
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.literal()?;
+        let mut body = Vec::new();
+        if *self.peek() == Tok::If {
+            self.bump();
+            body.push(self.body_item()?);
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                body.push(self.body_item()?);
+            }
+        }
+        self.expect(&Tok::Dot, "`.` ending the rule")?;
+        Ok(Rule { head, body })
+    }
+
+    // ---- program ---------------------------------------------------------
+
+    fn program(&mut self) -> Result<OrderedProgram, ParseError> {
+        let mut prog = OrderedProgram::new();
+        let mut default_comp = None;
+        while *self.peek() != Tok::Eof {
+            match self.peek().clone() {
+                Tok::Ident(kw) if kw == "module" => {
+                    self.bump();
+                    let name = self.ident("a module name")?;
+                    let sym = self.world.syms.intern(&name);
+                    let comp = prog
+                        .component_by_name(sym)
+                        .unwrap_or_else(|| prog.add_component(sym));
+                    // Optional inline order: `module a < b, c { … }`.
+                    if *self.peek() == Tok::Lt {
+                        self.bump();
+                        loop {
+                            let upper_name = self.ident("a module name after `<`")?;
+                            let upper_sym = self.world.syms.intern(&upper_name);
+                            let upper = prog
+                                .component_by_name(upper_sym)
+                                .unwrap_or_else(|| prog.add_component(upper_sym));
+                            prog.add_edge(comp, upper);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::LBrace, "`{` opening the module body")?;
+                    while *self.peek() != Tok::RBrace {
+                        if *self.peek() == Tok::Eof {
+                            return self.err("unterminated module body (missing `}`)");
+                        }
+                        let r = self.rule()?;
+                        prog.add_rule(comp, r);
+                    }
+                    self.bump(); // consume `}`
+                }
+                Tok::Ident(kw) if kw == "order" => {
+                    self.bump();
+                    let first = self.ident("a module name")?;
+                    let mut cur_sym = self.world.syms.intern(&first);
+                    let mut cur = prog
+                        .component_by_name(cur_sym)
+                        .unwrap_or_else(|| prog.add_component(cur_sym));
+                    self.expect(&Tok::Lt, "`<` in order declaration")?;
+                    loop {
+                        let next = self.ident("a module name")?;
+                        cur_sym = self.world.syms.intern(&next);
+                        let next_id = prog
+                            .component_by_name(cur_sym)
+                            .unwrap_or_else(|| prog.add_component(cur_sym));
+                        prog.add_edge(cur, next_id);
+                        cur = next_id;
+                        if *self.peek() == Tok::Lt {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::Dot, "`.` ending the order declaration")?;
+                }
+                _ => {
+                    let r = self.rule()?;
+                    let comp = *default_comp.get_or_insert_with(|| {
+                        let sym = self.world.syms.intern("main");
+                        prog.component_by_name(sym)
+                            .unwrap_or_else(|| prog.add_component(sym))
+                    });
+                    prog.add_rule(comp, r);
+                }
+            }
+        }
+        Ok(prog)
+    }
+}
+
+/// Parses a full ordered program.
+pub fn parse_program(world: &mut World, src: &str) -> Result<OrderedProgram, ParseError> {
+    let mut p = Parser::new(world, src)?;
+    p.program()
+}
+
+/// Parses a single rule (ending with `.`).
+pub fn parse_rule(world: &mut World, src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(world, src)?;
+    let r = p.rule()?;
+    if *p.peek() != Tok::Eof {
+        return p.err("trailing input after rule");
+    }
+    Ok(r)
+}
+
+/// Parses a single (possibly non-ground) literal, e.g. a query pattern
+/// `"fly(X)"`. A trailing `.` is permitted.
+pub fn parse_literal(world: &mut World, src: &str) -> Result<olp_core::Literal, ParseError> {
+    let mut p = Parser::new(world, src)?;
+    let lit = p.literal()?;
+    if *p.peek() == Tok::Dot {
+        p.bump();
+    }
+    if *p.peek() != Tok::Eof {
+        return p.err("trailing input after literal");
+    }
+    Ok(lit)
+}
+
+/// Parses a single **ground** literal (no trailing `.` required) and
+/// interns it, e.g. for queries: `"-fly(penguin)"`.
+pub fn parse_ground_literal(world: &mut World, src: &str) -> Result<GLit, ParseError> {
+    let mut p = Parser::new(world, src)?;
+    let lit = p.literal()?;
+    if *p.peek() == Tok::Dot {
+        p.bump();
+    }
+    if *p.peek() != Tok::Eof {
+        return p.err("trailing input after literal");
+    }
+    if !lit.is_ground() {
+        return Err(ParseError {
+            pos: Pos { line: 1, col: 1 },
+            msg: "query literal must be ground".into(),
+        });
+    }
+    let empty = olp_core::term::Bindings::default();
+    let mut args = Vec::with_capacity(lit.args.len());
+    for t in &lit.args {
+        args.push(
+            t.intern(&mut world.terms, &empty)
+                .expect("ground term interning cannot fail"),
+        );
+    }
+    let atom = world.atoms.intern(lit.pred, &args);
+    Ok(GLit::new(lit.sign, atom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_core::CompId;
+
+    fn parse(src: &str) -> (World, OrderedProgram) {
+        let mut w = World::new();
+        let p = parse_program(&mut w, src).unwrap();
+        (w, p)
+    }
+
+    #[test]
+    fn fig1_penguin_program() {
+        let (w, p) = parse(
+            "module c2 {
+                bird(penguin).
+                bird(pigeon).
+                fly(X) :- bird(X).
+                -ground_animal(X) :- bird(X).
+             }
+             module c1 < c2 {
+                ground_animal(penguin).
+                -fly(X) :- ground_animal(X).
+             }",
+        );
+        assert_eq!(p.components.len(), 2);
+        assert_eq!(p.components[0].rules.len(), 4);
+        assert_eq!(p.components[1].rules.len(), 2);
+        let o = p.order().unwrap();
+        let c2 = p.component_by_name(w.syms.get("c2").unwrap()).unwrap();
+        let c1 = p.component_by_name(w.syms.get("c1").unwrap()).unwrap();
+        assert!(o.lt(c1, c2));
+        // Check the negated-head rule parsed with a negative head.
+        let neg_rule = &p.components[0].rules[3];
+        assert_eq!(neg_rule.head.sign, Sign::Neg);
+        assert_eq!(w.rule_str(neg_rule), "-ground_animal(X) :- bird(X).");
+    }
+
+    #[test]
+    fn default_module_for_bare_rules() {
+        let (w, p) = parse("a :- b. b.");
+        assert_eq!(p.components.len(), 1);
+        assert_eq!(
+            w.syms.name(p.components[0].name),
+            "main"
+        );
+        assert_eq!(p.components[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn order_declaration_chain() {
+        let (_, p) = parse(
+            "module a { x. }
+             module b { y. }
+             module c { z. }
+             order a < b < c.",
+        );
+        let o = p.order().unwrap();
+        assert!(o.lt(CompId(0), CompId(1)));
+        assert!(o.lt(CompId(1), CompId(2)));
+        assert!(o.lt(CompId(0), CompId(2)));
+    }
+
+    #[test]
+    fn module_reopening_merges() {
+        let (_, p) = parse("module m { a. } module m { b. }");
+        assert_eq!(p.components.len(), 1);
+        assert_eq!(p.components[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn inline_multi_parent() {
+        let (_, p) = parse("module kid < ma, pa { x. }");
+        assert_eq!(p.components.len(), 3);
+        let o = p.order().unwrap();
+        assert!(o.lt(CompId(0), CompId(1)));
+        assert!(o.lt(CompId(0), CompId(2)));
+        assert!(o.incomparable(CompId(1), CompId(2)));
+    }
+
+    #[test]
+    fn loan_program_comparisons() {
+        let (w, p) = parse(
+            "module expert2 { take_loan :- inflation(X), X > 11. }
+             module expert4 { -take_loan :- loan_rate(X), X > 14. }
+             module expert3 < expert4 {
+                take_loan :- inflation(X), loan_rate(Y), X > Y + 2.
+             }
+             module myself < expert2, expert3 { }",
+        );
+        assert_eq!(p.components.len(), 4);
+        let r = &p.components[2].rules[0];
+        assert_eq!(
+            w.rule_str(r),
+            "take_loan :- inflation(X), loan_rate(Y), X > (Y + 2)."
+        );
+        assert_eq!(r.body_cmps().count(), 1);
+        assert_eq!(r.body_lits().count(), 2);
+    }
+
+    #[test]
+    fn negative_body_literal_vs_negative_number() {
+        let mut w = World::new();
+        let r = parse_rule(&mut w, "p(X) :- q(X), -r(X), X > -3.").unwrap();
+        assert_eq!(r.body.len(), 3);
+        assert!(matches!(&r.body[1], BodyItem::Lit(l) if l.sign == Sign::Neg));
+        assert!(matches!(&r.body[2], BodyItem::Cmp(_)));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let mut w = World::new();
+        let r = parse_rule(&mut w, "p :- X = 1 + 2 * 3.").unwrap();
+        let BodyItem::Cmp(c) = &r.body[0] else {
+            panic!()
+        };
+        // 1 + (2*3), not (1+2)*3.
+        assert_eq!(w.cmp_str(c), "X = (1 + (2 * 3))");
+    }
+
+    #[test]
+    fn mod_and_division() {
+        let mut w = World::new();
+        let r = parse_rule(&mut w, "p :- X mod 2 = 0, Y / 2 > 1.").unwrap();
+        assert_eq!(r.body.len(), 2);
+    }
+
+    #[test]
+    fn compound_terms_parse() {
+        let mut w = World::new();
+        let r = parse_rule(&mut w, "nat(s(s(zero))).").unwrap();
+        assert!(r.head.is_ground());
+        assert_eq!(w.rule_str(&r), "nat(s(s(zero))).");
+    }
+
+    #[test]
+    fn tilde_negation_alias() {
+        let mut w = World::new();
+        let r = parse_rule(&mut w, "~fly(X) :- ground_animal(X).").unwrap();
+        assert_eq!(r.head.sign, Sign::Neg);
+    }
+
+    #[test]
+    fn parse_ground_literal_queries() {
+        let mut w = World::new();
+        let l1 = parse_ground_literal(&mut w, "fly(penguin)").unwrap();
+        let l2 = parse_ground_literal(&mut w, "-fly(penguin)").unwrap();
+        assert_eq!(l1.atom(), l2.atom());
+        assert_eq!(l1.complement(), l2);
+        assert!(parse_ground_literal(&mut w, "fly(X)").is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let mut w = World::new();
+        let e = parse_program(&mut w, "p :- q r.").unwrap_err();
+        assert_eq!(e.pos.line, 1);
+        assert!(e.msg.contains("expected"));
+        let e2 = parse_program(&mut w, "module m { p.").unwrap_err();
+        assert!(e2.msg.contains("unterminated") || e2.msg.contains('}'));
+    }
+
+    #[test]
+    fn empty_module_ok() {
+        let (_, p) = parse("module myself < expert2 { }");
+        assert_eq!(p.components[0].rules.len(), 0);
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let mut w = World::new();
+        let r = parse_rule(&mut w, "take_loan :- sunny.").unwrap();
+        assert!(r.head.args.is_empty());
+    }
+
+    #[test]
+    fn cycle_in_order_is_reported_by_order() {
+        let (_, p) = parse("order a < b. order b < a.");
+        assert!(p.order().is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Property: pretty-printing then re-parsing an ordered program is the
+//! identity (on components and order edges).
+//!
+//! Programs are generated structurally with proptest strategies over
+//! the full AST surface: multi-module programs, negated heads, compound
+//! terms, integer arguments, comparisons with arithmetic.
+
+use olp_core::{
+    Aexp, BodyItem, Cmp, CmpOp, Literal, OrderedProgram, Rule, Sign, Term, World,
+};
+use olp_parser::{parse_program, program_to_string};
+use proptest::prelude::*;
+
+/// Identifier pools. Kept clear of the parser keywords (`module`,
+/// `order`, `mod`).
+const PREDS: &[&str] = &["p", "q", "r", "fly", "bird", "anc", "take_loan"];
+const CONSTS: &[&str] = &["a", "b", "penguin", "mimmo", "zero"];
+const FUNCS: &[&str] = &["s", "f", "pair"];
+const VARS: &[&str] = &["X", "Y", "Z", "Acc"];
+const MODS: &[&str] = &["m0", "m1", "m2", "m3"];
+
+#[derive(Debug, Clone)]
+enum GTerm {
+    Var(usize),
+    Const(usize),
+    Int(i64),
+    App(usize, Vec<GTerm>),
+}
+
+fn term_strategy() -> impl Strategy<Value = GTerm> {
+    let leaf = prop_oneof![
+        (0..VARS.len()).prop_map(GTerm::Var),
+        (0..CONSTS.len()).prop_map(GTerm::Const),
+        (-20i64..100).prop_map(GTerm::Int),
+    ];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        ((0..FUNCS.len()), prop::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| GTerm::App(f, args))
+    })
+}
+
+#[derive(Debug, Clone)]
+struct GLit {
+    neg: bool,
+    pred: usize,
+    args: Vec<GTerm>,
+}
+
+fn lit_strategy() -> impl Strategy<Value = GLit> {
+    (
+        any::<bool>(),
+        0..PREDS.len(),
+        prop::collection::vec(term_strategy(), 0..3),
+    )
+        .prop_map(|(neg, pred, args)| GLit { neg, pred, args })
+}
+
+#[derive(Debug, Clone)]
+enum GBody {
+    Lit(GLit),
+    // lhs var, op index, rhs int, with optional addition
+    Cmp(usize, usize, i64, Option<i64>),
+}
+
+fn body_strategy() -> impl Strategy<Value = GBody> {
+    prop_oneof![
+        lit_strategy().prop_map(GBody::Lit),
+        ((0..VARS.len()), 0..6usize, -20i64..100, prop::option::of(-5i64..5))
+            .prop_map(|(v, op, rhs, add)| GBody::Cmp(v, op, rhs, add)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct GRule {
+    head: GLit,
+    body: Vec<GBody>,
+}
+
+fn rule_strategy() -> impl Strategy<Value = GRule> {
+    (lit_strategy(), prop::collection::vec(body_strategy(), 0..4))
+        .prop_map(|(head, body)| GRule { head, body })
+}
+
+#[derive(Debug, Clone)]
+struct GProgram {
+    /// Rules per module (up to 4 modules, identified by index).
+    modules: Vec<Vec<GRule>>,
+    /// Order edges (lower index < higher index ⇒ acyclic).
+    edges: Vec<(usize, usize)>,
+}
+
+fn program_strategy() -> impl Strategy<Value = GProgram> {
+    (2..=4usize)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(prop::collection::vec(rule_strategy(), 0..5), n..=n),
+                prop::collection::vec((0..n, 0..n), 0..4),
+            )
+        })
+        .prop_map(|(modules, raw_edges)| {
+            let edges = raw_edges
+                .into_iter()
+                .filter(|&(a, b)| a < b)
+                .collect();
+            GProgram { modules, edges }
+        })
+}
+
+fn build_term(w: &mut World, t: &GTerm) -> Term {
+    match t {
+        GTerm::Var(v) => Term::Var(w.syms.intern(VARS[*v])),
+        GTerm::Const(c) => Term::Const(w.syms.intern(CONSTS[*c])),
+        GTerm::Int(i) => Term::Int(*i),
+        GTerm::App(f, args) => Term::App(
+            w.syms.intern(FUNCS[*f]),
+            args.iter().map(|a| build_term(w, a)).collect(),
+        ),
+    }
+}
+
+fn build_lit(w: &mut World, l: &GLit) -> Literal {
+    let args: Vec<Term> = l.args.iter().map(|t| build_term(w, t)).collect();
+    let pred = w.pred(PREDS[l.pred], args.len() as u32);
+    Literal {
+        sign: if l.neg { Sign::Neg } else { Sign::Pos },
+        pred,
+        args,
+    }
+}
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Eq,
+    CmpOp::Ne,
+];
+
+fn build_program(w: &mut World, g: &GProgram) -> OrderedProgram {
+    let mut prog = OrderedProgram::new();
+    for (mi, rules) in g.modules.iter().enumerate() {
+        let c = prog.add_component(w.syms.intern(MODS[mi]));
+        for r in rules {
+            let head = build_lit(w, &r.head);
+            let body: Vec<BodyItem> = r
+                .body
+                .iter()
+                .map(|b| match b {
+                    GBody::Lit(l) => BodyItem::Lit(build_lit(w, l)),
+                    GBody::Cmp(v, op, rhs, add) => {
+                        let lhs = Aexp::Term(Term::Var(w.syms.intern(VARS[*v])));
+                        let rhs_expr = match add {
+                            None => Aexp::Term(Term::Int(*rhs)),
+                            Some(k) => Aexp::Add(
+                                Box::new(Aexp::Term(Term::Int(*rhs))),
+                                Box::new(Aexp::Term(Term::Int(*k))),
+                            ),
+                        };
+                        BodyItem::Cmp(Cmp {
+                            op: OPS[*op % OPS.len()],
+                            lhs,
+                            rhs: rhs_expr,
+                        })
+                    }
+                })
+                .collect();
+            prog.add_rule(c, Rule::new(head, body));
+        }
+    }
+    for &(a, b) in &g.edges {
+        prog.add_edge(
+            olp_core::CompId(a as u32),
+            olp_core::CompId(b as u32),
+        );
+    }
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(g in program_strategy()) {
+        let mut w = World::new();
+        let original = build_program(&mut w, &g);
+        let printed = program_to_string(&w, &original);
+        let reparsed = parse_program(&mut w, &printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        prop_assert_eq!(
+            &original.components, &reparsed.components,
+            "components differ\n---\n{}", printed
+        );
+        // Edge multiset may differ in order only.
+        let mut e1 = original.edges.clone();
+        let mut e2 = reparsed.edges.clone();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        prop_assert_eq!(e1, e2, "edges differ\n---\n{}", printed);
+    }
+
+    /// Lexing arbitrary bytes never panics (errors are fine).
+    #[test]
+    fn lexer_never_panics(src in "\\PC*") {
+        let _ = olp_parser::lexer::lex(&src);
+    }
+
+    /// Parsing arbitrary token soup never panics.
+    #[test]
+    fn parser_never_panics(src in "[a-zA-Z0-9_ (){},.:<>=+*/%~-]{0,120}") {
+        let mut w = World::new();
+        let _ = parse_program(&mut w, &src);
+    }
+}

@@ -1,0 +1,411 @@
+//! The ordered immediate transformation `V_{P,C}` and its least
+//! fixpoint (Definition 4, Lemma 1, Proposition 1, Theorem 1b).
+//!
+//! `V_{P,C}(I) = { H(r) | r ∈ ground(C*), B(r) ⊆ I, r neither overruled
+//! nor defeated w.r.t. I }`. The transformation is monotone (growing `I`
+//! can only satisfy more bodies and *block* more attackers — attacks
+//! only ever weaken), so the least fixpoint exists and equals the limit
+//! of `V^k(∅)`.
+//!
+//! Two engines:
+//! * [`v_step`] / [`least_model_naive`] — a literal transcription of the
+//!   definition: full passes until nothing changes. Reference + ablation
+//!   baseline.
+//! * [`least_model`] — incremental worklist engine: per-rule counters of
+//!   unsatisfied body literals and of still-active (non-blocked)
+//!   overrulers/defeaters; deriving a literal decrements counters via
+//!   the view's body index and transposed attack lists. Each
+//!   rule/literal is touched O(1) times per edge, so the fixpoint is
+//!   linear in the size of the ground view.
+
+use olp_core::Interpretation;
+use crate::view::View;
+
+/// One application of `V_{P,C}` to `i`.
+///
+/// Returns the *new* interpretation `V(i)` (not the union — `V` is not
+/// inflationary in general, but its iterates from `∅` are increasing).
+pub fn v_step(view: &View, i: &Interpretation) -> Interpretation {
+    let mut out = Interpretation::new();
+    for (li, r) in view.rules() {
+        if view.applicable(li, i) && !view.overruled(li, i) && !view.defeated(li, i) {
+            out.insert(r.head)
+                .expect("V preserves consistency (Lemma 1)");
+        }
+    }
+    out
+}
+
+/// Least fixpoint of `V_{P,C}` by naive iteration from `∅`.
+pub fn least_model_naive(view: &View) -> Interpretation {
+    let mut cur = Interpretation::new();
+    loop {
+        let next = v_step(view, &cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+/// Least fixpoint of `V_{P,C}` by incremental worklist iteration.
+///
+/// By Theorem 1(b) this is the **least model** of the program in the
+/// component, the intersection of all models, and is assumption-free.
+pub fn least_model(view: &View) -> Interpretation {
+    least_model_impl(view, None)
+}
+
+/// [`least_model`] restricted to the rules where `mask` is `true` —
+/// rules outside the mask neither fire nor attack. Used by the
+/// goal-directed prover ([`crate::prove::prove`]), which guarantees the mask
+/// is closed under derivation/blocking/attack dependencies.
+pub fn least_model_restricted(view: &View, mask: &[bool]) -> Interpretation {
+    least_model_impl(view, Some(mask))
+}
+
+fn least_model_impl(view: &View, mask: Option<&[bool]>) -> Interpretation {
+    let n = view.len();
+    let enabled = |li: u32| mask.is_none_or(|m| m[li as usize]);
+    let mut unsat = vec![0u32; n];
+    let mut over = vec![0u32; n];
+    let mut defeat = vec![0u32; n];
+    let mut blocked = vec![false; n];
+    let mut fired = vec![false; n];
+
+    for (li, r) in view.rules() {
+        unsat[li as usize] = r.body.len() as u32;
+        over[li as usize] = view
+            .overrulers(li)
+            .iter()
+            .filter(|&&a| enabled(a))
+            .count() as u32;
+        defeat[li as usize] = view
+            .defeaters(li)
+            .iter()
+            .filter(|&&a| enabled(a))
+            .count() as u32;
+    }
+
+    let mut i = Interpretation::new();
+    let mut queue: Vec<olp_core::GLit> = Vec::new();
+
+    // Seed: rules with empty bodies and no attackers at all.
+    for (li, r) in view.rules() {
+        let l = li as usize;
+        if enabled(li) && unsat[l] == 0 && over[l] == 0 && defeat[l] == 0 && !fired[l] {
+            fired[l] = true;
+            if i.insert(r.head).expect("V preserves consistency") {
+                queue.push(r.head);
+            }
+        }
+    }
+
+    while let Some(lit) = queue.pop() {
+        // 1. Body satisfaction: rules with `lit` in the body get closer
+        //    to applicability.
+        for &li in view.rules_with_body_lit(lit) {
+            let l = li as usize;
+            unsat[l] -= 1;
+            if enabled(li) && unsat[l] == 0 && over[l] == 0 && defeat[l] == 0 && !fired[l] {
+                fired[l] = true;
+                let head = view.rule(li).head;
+                if i.insert(head).expect("V preserves consistency") {
+                    queue.push(head);
+                }
+            }
+        }
+        // 2. Blocking: rules with the *complement* of `lit` in the body
+        //    become blocked; their victims lose an active attacker.
+        for &li in view.rules_with_body_lit(lit.complement()) {
+            let l = li as usize;
+            if blocked[l] {
+                continue;
+            }
+            blocked[l] = true;
+            if !enabled(li) {
+                continue;
+            }
+            for &v in view.victims_overrule(li) {
+                let vz = v as usize;
+                over[vz] -= 1;
+                if enabled(v) && unsat[vz] == 0 && over[vz] == 0 && defeat[vz] == 0 && !fired[vz] {
+                    fired[vz] = true;
+                    let head = view.rule(v).head;
+                    if i.insert(head).expect("V preserves consistency") {
+                        queue.push(head);
+                    }
+                }
+            }
+            for &v in view.victims_defeat(li) {
+                let vz = v as usize;
+                defeat[vz] -= 1;
+                if enabled(v) && unsat[vz] == 0 && over[vz] == 0 && defeat[vz] == 0 && !fired[vz] {
+                    fired[vz] = true;
+                    let head = view.rule(v).head;
+                    if i.insert(head).expect("V preserves consistency") {
+                        queue.push(head);
+                    }
+                }
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_core::{CompId, World};
+    use olp_ground::{ground_exhaustive, GroundConfig, GroundProgram};
+    use olp_parser::{parse_ground_literal, parse_program};
+
+    fn ground(src: &str) -> (World, GroundProgram) {
+        let mut w = World::new();
+        let p = parse_program(&mut w, src).unwrap();
+        let g = ground_exhaustive(&mut w, &p, &GroundConfig::default()).unwrap();
+        (w, g)
+    }
+
+    fn expect_model(w: &mut World, m: &Interpretation, lits: &[&str], n_atoms: usize) {
+        let want = Interpretation::from_literals(
+            lits.iter().map(|s| parse_ground_literal(w, s).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(
+            m.render(w),
+            want.render(w),
+            "least model mismatch (n_atoms = {n_atoms})"
+        );
+    }
+
+    const FIG1: &str = "module c2 {
+        bird(penguin). bird(pigeon).
+        fly(X) :- bird(X).
+        -ground_animal(X) :- bird(X).
+     }
+     module c1 < c2 {
+        ground_animal(penguin).
+        -fly(X) :- ground_animal(X).
+     }";
+
+    #[test]
+    fn fig1_least_model_in_c1_is_i1() {
+        // The penguin does not fly in C1 (overruling); the pigeon does.
+        let (mut w, g) = ground(FIG1);
+        let v = View::new(&g, CompId(1)); // c1
+        let m = least_model(&v);
+        expect_model(
+            &mut w,
+            &m,
+            &[
+                "bird(penguin)",
+                "bird(pigeon)",
+                "ground_animal(penguin)",
+                "-ground_animal(pigeon)",
+                "fly(pigeon)",
+                "-fly(penguin)",
+            ],
+            g.n_atoms,
+        );
+        assert!(m.is_total(g.n_atoms));
+    }
+
+    #[test]
+    fn fig1_least_model_in_c2_has_flying_penguin() {
+        // From C2's point of view the penguin flies: C1's exception is
+        // invisible above.
+        let (mut w, g) = ground(FIG1);
+        let v = View::new(&g, CompId(0)); // c2
+        let m = least_model(&v);
+        expect_model(
+            &mut w,
+            &m,
+            &[
+                "bird(penguin)",
+                "bird(pigeon)",
+                "-ground_animal(penguin)",
+                "-ground_animal(pigeon)",
+                "fly(pigeon)",
+                "fly(penguin)",
+            ],
+            g.n_atoms,
+        );
+    }
+
+    #[test]
+    fn collapsed_fig1_defeats_instead() {
+        // P̂1 (Example 3): the least model leaves fly(penguin) and
+        // ground_animal(penguin) undefined.
+        let (mut w, g) = ground(
+            "bird(penguin). bird(pigeon).
+             fly(X) :- bird(X).
+             -ground_animal(X) :- bird(X).
+             ground_animal(penguin).
+             -fly(X) :- ground_animal(X).",
+        );
+        let v = View::new(&g, CompId(0));
+        let m = least_model(&v);
+        expect_model(
+            &mut w,
+            &m,
+            &[
+                "bird(penguin)",
+                "bird(pigeon)",
+                "-ground_animal(pigeon)",
+                "fly(pigeon)",
+            ],
+            g.n_atoms,
+        );
+        let fp = parse_ground_literal(&mut w, "fly(penguin)").unwrap();
+        assert!(!m.holds(fp) && !m.holds(fp.complement()));
+    }
+
+    #[test]
+    fn fig2_defeating_gives_empty_model_in_c1() {
+        // P2 (Fig. 2): C3 and C2 are incomparable from C1; rich/poor
+        // defeat each other, so nothing about mimmo is derivable.
+        let (_, g) = ground(
+            "module c3 { rich(mimmo). -poor(X) :- rich(X). }
+             module c2 { poor(mimmo). -rich(X) :- poor(X). }
+             module c1 < c2, c3 { free_ticket(X) :- poor(X). }",
+        );
+        let c1 = CompId(2);
+        let v = View::new(&g, c1);
+        let m = least_model(&v);
+        assert!(m.is_empty(), "got {:?}", m.len());
+    }
+
+    #[test]
+    fn fig2_component_views_differ() {
+        let (mut w, g) = ground(
+            "module c3 { rich(mimmo). -poor(X) :- rich(X). }
+             module c2 { poor(mimmo). -rich(X) :- poor(X). }
+             module c1 < c2, c3 { free_ticket(X) :- poor(X). }",
+        );
+        // In C3's own view, mimmo is rich and not poor.
+        let m3 = least_model(&View::new(&g, CompId(0)));
+        expect_model(&mut w, &m3, &["rich(mimmo)", "-poor(mimmo)"], g.n_atoms);
+        // In C2's own view, mimmo is poor and not rich.
+        let m2 = least_model(&View::new(&g, CompId(1)));
+        expect_model(&mut w, &m2, &["poor(mimmo)", "-rich(mimmo)"], g.n_atoms);
+    }
+
+    #[test]
+    fn naive_and_incremental_agree_on_examples() {
+        for src in [
+            FIG1,
+            "module c3 { rich(mimmo). -poor(X) :- rich(X). }
+             module c2 { poor(mimmo). -rich(X) :- poor(X). }
+             module c1 < c2, c3 { free_ticket(X) :- poor(X). }",
+            "a :- b. -a :- b. b.",
+            "module c2 { a. b. c. }
+             module c1 < c2 { -a :- b, c. -b :- a. -b :- -b. }",
+        ] {
+            let (_, g) = ground(src);
+            for c in 0..g.order.len() {
+                let v = View::new(&g, CompId(c as u32));
+                assert_eq!(
+                    least_model(&v),
+                    least_model_naive(&v),
+                    "engines disagree on {src} in component {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eternal_attacker_blocks_derivation() {
+        // `a.` in upper component, `-a :- b.` in lower with b never
+        // derivable: `a` must NOT be in the least model of the lower
+        // component (the non-blocked lower rule overrules it), but IS in
+        // the upper component's own view.
+        let (mut w, g) = ground(
+            "module c2 { a. }
+             module c1 < c2 { -a :- b. }",
+        );
+        let a = parse_ground_literal(&mut w, "a").unwrap();
+        let m_upper = least_model(&View::new(&g, CompId(0)));
+        assert!(m_upper.holds(a));
+        let m_lower = least_model(&View::new(&g, CompId(1)));
+        assert!(!m_lower.holds(a));
+        assert!(m_lower.is_empty());
+    }
+
+    #[test]
+    fn loan_program_scenarios() {
+        // Fig. 3 with the three §1 scenarios.
+        let base = "module expert2 { take_loan :- inflation(X), X > 11. }
+             module expert4 { -take_loan :- loan_rate(X), X > 14. }
+             module expert3 < expert4 {
+                take_loan :- inflation(X), loan_rate(Y), X > Y + 2.
+             }
+             module myself < expert2, expert3 { %FACTS% }";
+
+        let check = |facts: &str| -> (World, Option<bool>) {
+            let src = base.replace("%FACTS%", facts);
+            let (mut w, g) = ground(&src);
+            let myself = CompId(3);
+            let m = least_model(&View::new(&g, myself));
+            let tl = parse_ground_literal(&mut w, "take_loan").unwrap();
+            let val = if m.holds(tl) {
+                Some(true)
+            } else if m.holds(tl.complement()) {
+                Some(false)
+            } else {
+                None
+            };
+            (w, val)
+        };
+
+        // Scenario 0: no facts — nothing derivable.
+        assert_eq!(check("").1, None);
+        // Scenario 1: inflation(12) — expert2 fires, take_loan true.
+        assert_eq!(check("inflation(12).").1, Some(true));
+        // Scenario 2: inflation(12), loan_rate(16) — expert2 vs expert4
+        // defeat each other; undefined.
+        assert_eq!(check("inflation(12). loan_rate(16).").1, None);
+        // Scenario 3: inflation(19), loan_rate(16) — expert3 overrules
+        // expert4; take_loan true.
+        assert_eq!(check("inflation(19). loan_rate(16).").1, Some(true));
+    }
+
+    #[test]
+    fn p3_least_model_is_empty() {
+        // Example 3 tail: { a :- b.  -a :- b. } has least model ∅.
+        let (_, g) = ground("a :- b. -a :- b.");
+        let m = least_model(&View::new(&g, CompId(0)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn example4_two_components_cwa() {
+        // P4 extended (Example 4): adding a component C2 above with
+        // facts -a., -b. makes {-a, -b} the least (assumption-free)
+        // model of C1's view.
+        let (mut w, g) = ground(
+            "module c2 { -a. -b. }
+             module c1 < c2 { a :- b. }",
+        );
+        let m = least_model(&View::new(&g, CompId(1)));
+        expect_model(&mut w, &m, &["-a", "-b"], g.n_atoms);
+    }
+
+    #[test]
+    fn self_defeating_fact_pair() {
+        // p. and -p. in one component: mutual defeat, nothing derived.
+        let (_, g) = ground("p. -p.");
+        let m = least_model(&View::new(&g, CompId(0)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn lower_fact_beats_upper_fact() {
+        let (mut w, g) = ground("module low < high { p. } module high { -p. }");
+        let low = CompId(0);
+        let m = least_model(&View::new(&g, low));
+        let p = parse_ground_literal(&mut w, "p").unwrap();
+        assert!(m.holds(p));
+        assert!(!m.holds(p.complement()));
+    }
+}

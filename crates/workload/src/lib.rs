@@ -1,0 +1,630 @@
+//! # olp-workload — synthetic workload generators
+//!
+//! Deterministic (seeded) program generators for the benchmark suite
+//! and the property-test suites. Each generator scales one of the
+//! paper's motivating shapes:
+//!
+//! * [`taxonomy_chain`] — Fig. 1 at size N: a specialisation chain of
+//!   components carving nested exception classes out of a species
+//!   population (exceptions, exceptions-to-exceptions, …). The expected
+//!   answer per species is analytically known, so benches double as
+//!   correctness checks.
+//! * [`defeating_pairs`] — Fig. 2 at size N: N incomparable
+//!   expert-pairs asserting contradictory facts, all inherited by one
+//!   consumer — a pure stress test of defeat bookkeeping.
+//! * [`expert_panel`] — Fig. 3 at size N: numeric-threshold loan
+//!   experts with refinement edges.
+//! * [`ancestor`] — Example 6 over generated `parent` relations
+//!   (chain / binary tree / random graph).
+//! * [`random_ordered`] / [`random_seminegative`] / [`random_negative`]
+//!   — seeded random propositional programs for the theorem-validation
+//!   property tests (T1–T5 in DESIGN.md).
+//!
+//! ```
+//! use olp_core::World;
+//! use olp_workload::{taxonomy_chain, taxonomy_expected_fly};
+//!
+//! let mut w = World::new();
+//! let prog = taxonomy_chain(&mut w, 32, 3);
+//! assert_eq!(prog.components.len(), 4);
+//! // The generator's analytic ground truth doubles as a correctness
+//! // oracle for the benchmarks:
+//! assert!(taxonomy_expected_fly(32, 3, 31));   // uncovered: flies
+//! assert!(!taxonomy_expected_fly(32, 3, 0));   // deepest odd layer
+//! ```
+
+#![warn(missing_docs)]
+
+use olp_core::{BodyItem, CmpOp, Literal, OrderedProgram, Rule, Sign, Term, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds `pred(args…)` as a literal.
+fn lit(world: &mut World, sign: Sign, name: &str, args: Vec<Term>) -> Literal {
+    let pred = world.pred(name, args.len() as u32);
+    Literal { sign, pred, args }
+}
+
+fn const_term(world: &mut World, name: &str) -> Term {
+    Term::Const(world.syms.intern(name))
+}
+
+fn var(world: &mut World, name: &str) -> Term {
+    Term::Var(world.syms.intern(name))
+}
+
+/// Fig. 1 scaled: `n_species` birds; `n_layers` nested exception
+/// classes (layer at depth `d` covers the first `n_species / 2^d`
+/// species and alternates the flying verdict). Returns the program;
+/// component 0 is the most specific (query there).
+///
+/// Ground truth: see [`taxonomy_expected_fly`].
+pub fn taxonomy_chain(
+    world: &mut World,
+    n_species: usize,
+    n_layers: usize,
+) -> OrderedProgram {
+    let mut prog = OrderedProgram::new();
+    // comps[0] = most specific … comps[n_layers] = most general.
+    let comps: Vec<_> = (0..=n_layers)
+        .map(|i| {
+            let sym = world.syms.intern(&format!("layer{i}"));
+            prog.add_component(sym)
+        })
+        .collect();
+    for w in comps.windows(2) {
+        prog.add_edge(w[0], w[1]);
+    }
+    let general = comps[n_layers];
+    for s in 0..n_species {
+        let t = const_term(world, &format!("s{s}"));
+        let head = lit(world, Sign::Pos, "bird", vec![t]);
+        prog.add_rule(general, Rule::fact(head));
+    }
+    let x = var(world, "X");
+    let fly_head = lit(world, Sign::Pos, "fly", vec![x.clone()]);
+    let bird_body = lit(world, Sign::Pos, "bird", vec![x.clone()]);
+    prog.add_rule(general, Rule::new(fly_head, vec![BodyItem::Lit(bird_body)]));
+    // Closed-world defaults for class membership, in the general layer
+    // so the membership facts (in strictly lower layers) overrule them.
+    // Without these, an exception rule over an underivable class would
+    // stay non-blocked and suppress the verdict for every species.
+    for depth in 1..=n_layers {
+        let head = lit(world, Sign::Neg, &format!("class{depth}"), vec![x.clone()]);
+        let body = lit(world, Sign::Pos, "bird", vec![x.clone()]);
+        prog.add_rule(general, Rule::new(head, vec![BodyItem::Lit(body)]));
+    }
+    for i in (0..n_layers).rev() {
+        let depth = n_layers - i; // 1 = directly below the general layer
+        let cover = n_species >> depth;
+        let class = format!("class{depth}");
+        for s in 0..cover {
+            let t = const_term(world, &format!("s{s}"));
+            let head = lit(world, Sign::Pos, &class, vec![t]);
+            prog.add_rule(comps[i], Rule::fact(head));
+        }
+        let sign = if depth % 2 == 1 { Sign::Neg } else { Sign::Pos };
+        let head = lit(world, sign, "fly", vec![x.clone()]);
+        let body = lit(world, Sign::Pos, &class, vec![x.clone()]);
+        prog.add_rule(comps[i], Rule::new(head, vec![BodyItem::Lit(body)]));
+    }
+    prog
+}
+
+/// The analytically expected verdict for species `s` in
+/// [`taxonomy_chain`]: `true` = flies.
+pub fn taxonomy_expected_fly(n_species: usize, n_layers: usize, s: usize) -> bool {
+    let mut verdict = true;
+    for depth in 1..=n_layers {
+        if s < n_species >> depth {
+            verdict = depth % 2 == 0;
+        }
+    }
+    verdict
+}
+
+/// Fig. 2 scaled: `n_pairs` pairs of incomparable components asserting
+/// `p_i.` and `-p_i.`, plus one consumer below all of them with
+/// `q_i ← p_i`. In the consumer's view everything is defeated: the
+/// least model is empty.
+pub fn defeating_pairs(world: &mut World, n_pairs: usize) -> OrderedProgram {
+    let mut prog = OrderedProgram::new();
+    let consumer_sym = world.syms.intern("consumer");
+    let consumer = prog.add_component(consumer_sym);
+    for i in 0..n_pairs {
+        let a_sym = world.syms.intern(&format!("pro{i}"));
+        let a = prog.add_component(a_sym);
+        let b_sym = world.syms.intern(&format!("con{i}"));
+        let b = prog.add_component(b_sym);
+        prog.add_edge(consumer, a);
+        prog.add_edge(consumer, b);
+        let p = format!("p{i}");
+        let head_pos = lit(world, Sign::Pos, &p, vec![]);
+        prog.add_rule(a, Rule::fact(head_pos));
+        let head_neg = lit(world, Sign::Neg, &p, vec![]);
+        prog.add_rule(b, Rule::fact(head_neg));
+        let q = lit(world, Sign::Pos, &format!("q{i}"), vec![]);
+        let body = lit(world, Sign::Pos, &p, vec![]);
+        prog.add_rule(consumer, Rule::new(q, vec![BodyItem::Lit(body)]));
+    }
+    prog
+}
+
+/// Fig. 3 scaled: `n_experts` loan experts above a `myself` component
+/// (component 0). Even experts are pro-loan on `inflation`; odd
+/// experts are anti-loan on `loan_rate` and each is refined by a
+/// subordinate pro-loan expert comparing both indicators (`X > Y + 2`,
+/// as in the paper). `myself` holds the scenario facts.
+pub fn expert_panel(
+    world: &mut World,
+    n_experts: usize,
+    inflation: i64,
+    loan_rate: i64,
+) -> OrderedProgram {
+    let mut prog = OrderedProgram::new();
+    let myself_sym = world.syms.intern("myself");
+    let myself = prog.add_component(myself_sym);
+    let x = var(world, "X");
+    let y = var(world, "Y");
+    let mut anti_experts = Vec::new();
+    for i in 0..n_experts {
+        let e_sym = world.syms.intern(&format!("expert{i}"));
+        let e = prog.add_component(e_sym);
+        prog.add_edge(myself, e);
+        let threshold = 10 + (i as i64 % 7);
+        if i % 2 == 0 {
+            let head = lit(world, Sign::Pos, "take_loan", vec![]);
+            let body = lit(world, Sign::Pos, "inflation", vec![x.clone()]);
+            let cmp = olp_core::Cmp {
+                op: CmpOp::Gt,
+                lhs: olp_core::Aexp::Term(x.clone()),
+                rhs: olp_core::Aexp::Term(Term::Int(threshold)),
+            };
+            prog.add_rule(
+                e,
+                Rule::new(head, vec![BodyItem::Lit(body), BodyItem::Cmp(cmp)]),
+            );
+        } else {
+            let head = lit(world, Sign::Neg, "take_loan", vec![]);
+            let body = lit(world, Sign::Pos, "loan_rate", vec![x.clone()]);
+            let cmp = olp_core::Cmp {
+                op: CmpOp::Gt,
+                lhs: olp_core::Aexp::Term(x.clone()),
+                rhs: olp_core::Aexp::Term(Term::Int(threshold + 3)),
+            };
+            prog.add_rule(
+                e,
+                Rule::new(head, vec![BodyItem::Lit(body), BodyItem::Cmp(cmp)]),
+            );
+            anti_experts.push(i);
+        }
+    }
+    // One refiner per anti-loan expert, subordinate to *every* anti-loan
+    // expert: a refinement that only outranked its own expert would be
+    // defeated by the other (incomparable) anti experts, leaving the
+    // verdict undefined at larger panel sizes.
+    for &i in &anti_experts {
+        let r_sym = world.syms.intern(&format!("refiner{i}"));
+        let refiner = prog.add_component(r_sym);
+        prog.add_edge(myself, refiner);
+        for &j in &anti_experts {
+            let e = prog
+                .component_by_name(world.syms.intern(&format!("expert{j}")))
+                .expect("expert exists");
+            prog.add_edge(refiner, e);
+        }
+        let head = lit(world, Sign::Pos, "take_loan", vec![]);
+        let b1 = lit(world, Sign::Pos, "inflation", vec![x.clone()]);
+        let b2 = lit(world, Sign::Pos, "loan_rate", vec![y.clone()]);
+        let cmp = olp_core::Cmp {
+            op: CmpOp::Gt,
+            lhs: olp_core::Aexp::Term(x.clone()),
+            rhs: olp_core::Aexp::Add(
+                Box::new(olp_core::Aexp::Term(y.clone())),
+                Box::new(olp_core::Aexp::Term(Term::Int(2))),
+            ),
+        };
+        prog.add_rule(
+            refiner,
+            Rule::new(
+                head,
+                vec![BodyItem::Lit(b1), BodyItem::Lit(b2), BodyItem::Cmp(cmp)],
+            ),
+        );
+    }
+    let infl = lit(world, Sign::Pos, "inflation", vec![Term::Int(inflation)]);
+    prog.add_rule(myself, Rule::fact(infl));
+    let rate = lit(world, Sign::Pos, "loan_rate", vec![Term::Int(loan_rate)]);
+    prog.add_rule(myself, Rule::fact(rate));
+    prog
+}
+
+/// Shape of the generated `parent` relation for [`ancestor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphShape {
+    /// `n0 → n1 → … → n_{k-1}`.
+    Chain,
+    /// Complete binary tree, edges parent→child.
+    BinaryTree,
+    /// `edges` random edges over the nodes (seeded).
+    Random {
+        /// Number of edges to draw.
+        edges: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Example 6 scaled: the ancestor program over a generated `parent`
+/// relation with `n` nodes.
+pub fn ancestor(world: &mut World, shape: GraphShape, n: usize) -> OrderedProgram {
+    let mut prog = OrderedProgram::new();
+    let main_sym = world.syms.intern("main");
+    let main = prog.add_component(main_sym);
+    let edge = |world: &mut World, prog: &mut OrderedProgram, a: usize, b: usize| {
+        let ta = const_term(world, &format!("n{a}"));
+        let tb = const_term(world, &format!("n{b}"));
+        let head = lit(world, Sign::Pos, "parent", vec![ta, tb]);
+        prog.add_rule(main, Rule::fact(head));
+    };
+    match shape {
+        GraphShape::Chain => {
+            for i in 1..n {
+                edge(world, &mut prog, i - 1, i);
+            }
+        }
+        GraphShape::BinaryTree => {
+            for i in 1..n {
+                edge(world, &mut prog, (i - 1) / 2, i);
+            }
+        }
+        GraphShape::Random { edges, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..edges {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                edge(world, &mut prog, a, b);
+            }
+        }
+    }
+    let x = var(world, "X");
+    let y = var(world, "Y");
+    let z = var(world, "Z");
+    let h1 = lit(world, Sign::Pos, "anc", vec![x.clone(), y.clone()]);
+    let b1 = lit(world, Sign::Pos, "parent", vec![x.clone(), y.clone()]);
+    prog.add_rule(main, Rule::new(h1, vec![BodyItem::Lit(b1)]));
+    let h2 = lit(world, Sign::Pos, "anc", vec![x.clone(), y.clone()]);
+    let b2a = lit(world, Sign::Pos, "parent", vec![x.clone(), z.clone()]);
+    let b2b = lit(world, Sign::Pos, "anc", vec![z.clone(), y.clone()]);
+    prog.add_rule(
+        main,
+        Rule::new(h2, vec![BodyItem::Lit(b2a), BodyItem::Lit(b2b)]),
+    );
+    prog
+}
+
+/// Parameters for [`random_datalog`]: non-ground random programs over
+/// unary/binary predicates.
+#[derive(Debug, Clone)]
+pub struct DatalogCfg {
+    /// Number of constants (`k0…`).
+    pub n_consts: usize,
+    /// Number of unary predicates (`u0…`).
+    pub n_unary: usize,
+    /// Number of binary predicates (`b0…`).
+    pub n_binary: usize,
+    /// Number of ground facts.
+    pub n_facts: usize,
+    /// Number of non-ground rules.
+    pub n_rules: usize,
+    /// Probability of a negated head.
+    pub neg_head_prob: f64,
+    /// Probability each body literal is negative.
+    pub neg_body_prob: f64,
+    /// Number of components (edges chain them, most specific first).
+    pub n_components: usize,
+}
+
+impl Default for DatalogCfg {
+    fn default() -> Self {
+        DatalogCfg {
+            n_consts: 4,
+            n_unary: 3,
+            n_binary: 2,
+            n_facts: 6,
+            n_rules: 8,
+            neg_head_prob: 0.3,
+            neg_body_prob: 0.3,
+            n_components: 2,
+        }
+    }
+}
+
+/// A random **safe** non-ground ordered program: every head variable
+/// occurs in some body literal (rules are completed with a covering
+/// positive unary literal when the random draw leaves a head variable
+/// unbound). Used to exercise the grounders beyond the propositional
+/// fragment.
+pub fn random_datalog(world: &mut World, cfg: &DatalogCfg, seed: u64) -> OrderedProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prog = OrderedProgram::new();
+    let comps: Vec<_> = (0..cfg.n_components.max(1))
+        .map(|i| {
+            let sym = world.syms.intern(&format!("c{i}"));
+            prog.add_component(sym)
+        })
+        .collect();
+    for w2 in comps.windows(2) {
+        prog.add_edge(w2[0], w2[1]);
+    }
+    let var_names = ["X", "Y", "Z"];
+    let rand_pred = |rng: &mut StdRng| -> (String, u32) {
+        if rng.gen_range(0..cfg.n_unary + cfg.n_binary) < cfg.n_unary {
+            (format!("u{}", rng.gen_range(0..cfg.n_unary)), 1)
+        } else {
+            (format!("b{}", rng.gen_range(0..cfg.n_binary)), 2)
+        }
+    };
+    // Ground facts (always positive heads, spread across components).
+    for _ in 0..cfg.n_facts {
+        let (name, arity) = rand_pred(&mut rng);
+        let args: Vec<Term> = (0..arity)
+            .map(|_| const_term(world, &format!("k{}", rng.gen_range(0..cfg.n_consts))))
+            .collect();
+        let comp = comps[rng.gen_range(0..comps.len())];
+        let head = lit(world, Sign::Pos, &name, args);
+        prog.add_rule(comp, Rule::fact(head));
+    }
+    // Non-ground rules, forced safe.
+    for _ in 0..cfg.n_rules {
+        let (hname, harity) = rand_pred(&mut rng);
+        let hsign = if rng.gen_bool(cfg.neg_head_prob) {
+            Sign::Neg
+        } else {
+            Sign::Pos
+        };
+        let hargs: Vec<Term> = (0..harity)
+            .map(|_| var(world, var_names[rng.gen_range(0..var_names.len())]))
+            .collect();
+        let mut body = Vec::new();
+        let mut body_vars: Vec<olp_core::Sym> = Vec::new();
+        for _ in 0..rng.gen_range(1..=2usize) {
+            let (bname, barity) = rand_pred(&mut rng);
+            let bsign = if rng.gen_bool(cfg.neg_body_prob) {
+                Sign::Neg
+            } else {
+                Sign::Pos
+            };
+            let bargs: Vec<Term> = (0..barity)
+                .map(|_| {
+                    let v = var(world, var_names[rng.gen_range(0..var_names.len())]);
+                    if let Term::Var(s) = v {
+                        if !body_vars.contains(&s) {
+                            body_vars.push(s);
+                        }
+                    }
+                    v
+                })
+                .collect();
+            body.push(BodyItem::Lit(lit(world, bsign, &bname, bargs)));
+        }
+        // Safety completion: cover unbound head variables.
+        let mut head_vars = Vec::new();
+        for t in &hargs {
+            t.collect_vars(&mut head_vars);
+        }
+        for hv in head_vars {
+            if !body_vars.contains(&hv) {
+                let cover = lit(
+                    world,
+                    Sign::Pos,
+                    &format!("u{}", rng.gen_range(0..cfg.n_unary)),
+                    vec![Term::Var(hv)],
+                );
+                body.push(BodyItem::Lit(cover));
+                body_vars.push(hv);
+            }
+        }
+        let head = lit(world, hsign, &hname, hargs);
+        let comp = comps[rng.gen_range(0..comps.len())];
+        prog.add_rule(comp, Rule::new(head, body));
+    }
+    prog
+}
+
+/// Parameters for the random propositional generators.
+#[derive(Debug, Clone)]
+pub struct RandomCfg {
+    /// Number of propositional atoms (`p0…`).
+    pub n_atoms: usize,
+    /// Number of rules.
+    pub n_rules: usize,
+    /// Maximum body length (uniform 0..=max).
+    pub max_body: usize,
+    /// Probability of a negated head (0 for seminegative programs).
+    pub neg_head_prob: f64,
+    /// Probability each body literal is negative.
+    pub neg_body_prob: f64,
+    /// Number of components (1 for flat programs).
+    pub n_components: usize,
+    /// Probability of an order edge `c_i < c_j` for each `i < j`.
+    pub edge_prob: f64,
+}
+
+impl Default for RandomCfg {
+    fn default() -> Self {
+        RandomCfg {
+            n_atoms: 6,
+            n_rules: 10,
+            max_body: 3,
+            neg_head_prob: 0.3,
+            neg_body_prob: 0.4,
+            n_components: 3,
+            edge_prob: 0.5,
+        }
+    }
+}
+
+/// A random ordered propositional program (for the theorem property
+/// tests). Edges only go from lower-indexed to higher-indexed
+/// components, so the declared order is always acyclic.
+pub fn random_ordered(world: &mut World, cfg: &RandomCfg, seed: u64) -> OrderedProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prog = OrderedProgram::new();
+    let comps: Vec<_> = (0..cfg.n_components.max(1))
+        .map(|i| {
+            let sym = world.syms.intern(&format!("c{i}"));
+            prog.add_component(sym)
+        })
+        .collect();
+    for i in 0..comps.len() {
+        for j in (i + 1)..comps.len() {
+            if rng.gen_bool(cfg.edge_prob) {
+                prog.add_edge(comps[i], comps[j]);
+            }
+        }
+    }
+    for _ in 0..cfg.n_rules {
+        let comp = comps[rng.gen_range(0..comps.len())];
+        let head_sign = if rng.gen_bool(cfg.neg_head_prob) {
+            Sign::Neg
+        } else {
+            Sign::Pos
+        };
+        let head_atom = rng.gen_range(0..cfg.n_atoms);
+        let head = lit(world, head_sign, &format!("p{head_atom}"), vec![]);
+        let body_len = rng.gen_range(0..=cfg.max_body);
+        let mut body = Vec::with_capacity(body_len);
+        for _ in 0..body_len {
+            let sign = if rng.gen_bool(cfg.neg_body_prob) {
+                Sign::Neg
+            } else {
+                Sign::Pos
+            };
+            let atom = rng.gen_range(0..cfg.n_atoms);
+            body.push(BodyItem::Lit(lit(world, sign, &format!("p{atom}"), vec![])));
+        }
+        prog.add_rule(comp, Rule::new(head, body));
+    }
+    prog
+}
+
+/// A random flat **seminegative** program (positive heads only).
+pub fn random_seminegative(world: &mut World, cfg: &RandomCfg, seed: u64) -> OrderedProgram {
+    let flat = RandomCfg {
+        neg_head_prob: 0.0,
+        n_components: 1,
+        ..cfg.clone()
+    };
+    random_ordered(world, &flat, seed)
+}
+
+/// A random flat **negative** program (mixed-sign heads, one
+/// component).
+pub fn random_negative(world: &mut World, cfg: &RandomCfg, seed: u64) -> OrderedProgram {
+    let flat = RandomCfg {
+        n_components: 1,
+        ..cfg.clone()
+    };
+    random_ordered(world, &flat, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_shape() {
+        let mut w = World::new();
+        let p = taxonomy_chain(&mut w, 16, 3);
+        assert_eq!(p.components.len(), 4);
+        assert!(p.order().is_ok());
+        // 16 bird facts + 1 fly rule + 3 class CWA rules.
+        assert_eq!(p.components[3].rules.len(), 20);
+        // Exception layers cover 8, 4, 2 species (+1 rule each).
+        assert_eq!(p.components[2].rules.len(), 9);
+        assert_eq!(p.components[1].rules.len(), 5);
+        assert_eq!(p.components[0].rules.len(), 3);
+    }
+
+    #[test]
+    fn taxonomy_expected_matches_definition() {
+        // n=16, 3 layers: species 0..2 deepest depth 3 (odd → no fly),
+        // 2..4 depth 2 (fly), 4..8 depth 1 (no fly), 8..16 base (fly).
+        assert!(!taxonomy_expected_fly(16, 3, 0));
+        assert!(!taxonomy_expected_fly(16, 3, 1));
+        assert!(taxonomy_expected_fly(16, 3, 2));
+        assert!(taxonomy_expected_fly(16, 3, 3));
+        assert!(!taxonomy_expected_fly(16, 3, 4));
+        assert!(!taxonomy_expected_fly(16, 3, 7));
+        assert!(taxonomy_expected_fly(16, 3, 8));
+        assert!(taxonomy_expected_fly(16, 3, 15));
+    }
+
+    #[test]
+    fn defeating_pairs_shape() {
+        let mut w = World::new();
+        let p = defeating_pairs(&mut w, 5);
+        assert_eq!(p.components.len(), 11);
+        let o = p.order().unwrap();
+        assert!(o.incomparable(olp_core::CompId(1), olp_core::CompId(2)));
+    }
+
+    #[test]
+    fn expert_panel_shape() {
+        let mut w = World::new();
+        let p = expert_panel(&mut w, 4, 12, 16);
+        // myself + 4 experts + 2 refiners (for odd experts 1 and 3).
+        assert_eq!(p.components.len(), 7);
+        assert!(p.order().is_ok());
+    }
+
+    #[test]
+    fn ancestor_shapes() {
+        let mut w = World::new();
+        let chain = ancestor(&mut w, GraphShape::Chain, 5);
+        assert_eq!(chain.rule_count(), 6); // 4 edges + 2 rules
+        let mut w2 = World::new();
+        let tree = ancestor(&mut w2, GraphShape::BinaryTree, 7);
+        assert_eq!(tree.rule_count(), 8);
+        let mut w3 = World::new();
+        let rnd = ancestor(&mut w3, GraphShape::Random { edges: 10, seed: 1 }, 5);
+        assert_eq!(rnd.rule_count(), 12);
+    }
+
+    #[test]
+    fn random_datalog_is_safe_and_deterministic() {
+        let cfg = DatalogCfg::default();
+        let mut w1 = World::new();
+        let p1 = random_datalog(&mut w1, &cfg, 99);
+        let mut w2 = World::new();
+        let p2 = random_datalog(&mut w2, &cfg, 99);
+        assert_eq!(p1.components, p2.components);
+        assert!(p1.order().is_ok());
+        // Every rule is safe (the generator completes coverage).
+        assert!(p1.unsafe_rules().is_empty());
+        // Facts are ground.
+        for (_, r) in p1.rules() {
+            if r.is_fact() {
+                assert!(r.is_ground());
+            }
+        }
+    }
+
+    #[test]
+    fn random_generators_are_deterministic_and_valid() {
+        let cfg = RandomCfg::default();
+        let mut w1 = World::new();
+        let p1 = random_ordered(&mut w1, &cfg, 42);
+        let mut w2 = World::new();
+        let p2 = random_ordered(&mut w2, &cfg, 42);
+        assert_eq!(p1.components, p2.components);
+        assert_eq!(p1.edges, p2.edges);
+        assert!(p1.order().is_ok());
+
+        let mut w3 = World::new();
+        let sn = random_seminegative(&mut w3, &cfg, 7);
+        assert!(sn.rules().all(|(_, r)| r.head.sign == Sign::Pos));
+        assert_eq!(sn.components.len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Legal reasoning: statutes, exceptions, amendments and lex specialis.
+//!
+//! Run with: `cargo run --example legal_reasoning`
+//!
+//! Law is the textbook non-monotonic domain the paper's machinery was
+//! built for (§1: "represent uncertain knowledge as required in
+//! advanced knowledge base applications"):
+//!
+//! * a general statute grants a default (contracts are enforceable);
+//! * specific provisions carve out exceptions (unsigned contracts are
+//!   not), and exceptions have exceptions (… unless performance has
+//!   already begun);
+//! * an amendment is a more specific module that *overrules* the
+//!   provision it amends without textually deleting it — exactly the
+//!   paper's versioning reading of the isa hierarchy;
+//! * conflicting doctrines from incomparable sources **defeat** each
+//!   other, leaving the question open rather than picking a side.
+
+use ordered_logic::prelude::*;
+
+fn main() {
+    let mut b = KbBuilder::new();
+
+    // The case file: extensional facts.
+    b.rules(
+        "case_facts",
+        "contract(c1). contract(c2). contract(c3).
+         signed(c1). signed(c3).
+         performance_begun(c2).
+         consumer_deal(c3).",
+    )
+    .unwrap();
+
+    // Statute (most general): contracts are enforceable; closed-world
+    // defaults for the case-file predicates live here so lower facts
+    // can overrule them.
+    b.isa("case_facts", "statute"); // facts are the most specific layer
+    b.rules(
+        "statute",
+        "enforceable(X) :- contract(X).
+         -signed(X) :- contract(X).
+         -performance_begun(X) :- contract(X).
+         -consumer_deal(X) :- contract(X).",
+    )
+    .unwrap();
+
+    // Provision 12(b): unsigned contracts are not enforceable.
+    // More specific than the statute, more general than the case facts.
+    b.isa("provision_12b", "statute");
+    b.isa("case_facts", "provision_12b");
+    b.rules(
+        "provision_12b",
+        "-enforceable(X) :- contract(X), -signed(X).",
+    )
+    .unwrap();
+
+    // Amendment 3 (later law, lex posterior): even an unsigned contract
+    // is enforceable once performance has begun. Sits below 12(b) so it
+    // overrules it where both apply.
+    b.isa("amendment_3", "provision_12b");
+    b.isa("case_facts", "amendment_3");
+    b.rules(
+        "amendment_3",
+        "enforceable(X) :- contract(X), performance_begun(X).",
+    )
+    .unwrap();
+
+    let mut kb = b.build(GroundStrategy::Smart).expect("grounds");
+
+    println!("=== Contract enforceability (view: case_facts) ===\n");
+    for c in ["c1", "c2", "c3"] {
+        let verdict = kb.truth("case_facts", &format!("enforceable({c})")).unwrap();
+        let why = kb.explain("case_facts", &format!("enforceable({c})")).unwrap();
+        println!("contract {c}: {verdict:?}");
+        for line in why.lines() {
+            println!("    {line}");
+        }
+    }
+    println!(
+        "c1: signed → the statute applies.\n\
+         c2: unsigned, but performance began → amendment 3 overrules 12(b).\n\
+         c3: signed consumer deal → enforceable by the statute.\n"
+    );
+
+    // Two incomparable doctrines disagree about punitive damages in
+    // consumer deals: neither outranks the other, so from the court's
+    // view the claims defeat each other — the question stays open.
+    let mut b2 = KbBuilder::new();
+    b2.rules("facts", "consumer_deal(c3). breach(c3).").unwrap();
+    b2.isa("facts", "doctrine_a");
+    b2.isa("facts", "doctrine_b");
+    b2.rules(
+        "doctrine_a",
+        "punitive_damages(X) :- consumer_deal(X), breach(X).",
+    )
+    .unwrap();
+    b2.rules(
+        "doctrine_b",
+        "-punitive_damages(X) :- consumer_deal(X), breach(X).",
+    )
+    .unwrap();
+    let mut court = b2.build(GroundStrategy::Smart).expect("grounds");
+    println!("=== Conflicting doctrines (defeating) ===\n");
+    let v = court.truth("facts", "punitive_damages(c3)").unwrap();
+    println!("punitive_damages(c3) from the court's view: {v:?}");
+    println!("{}", court.explain("facts", "punitive_damages(c3)").unwrap());
+    println!(
+        "Each doctrine keeps its own opinion (query their modules to see \
+         it) — the combined view refuses to decide. That refusal, not an \
+         arbitrary tie-break, is the paper's semantics of conflict."
+    );
+}

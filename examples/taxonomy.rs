@@ -1,0 +1,116 @@
+//! A knowledge base with extensional relations, multi-level defaults
+//! and versioning — the §1/§5 "knowledge base system" pitch.
+//!
+//! Run with: `cargo run --example taxonomy`
+//!
+//! Three levels of specialisation: animals (defaults) → birds
+//! (override: birds fly) → penguins (override the override). Species
+//! membership comes from an EDB relation, and a *versioned* module
+//! revises a classification without touching the original.
+
+use ordered_logic::prelude::*;
+
+fn main() {
+    let mut b = KbBuilder::new();
+
+    // Extensional data: species and their classes.
+    let mut is_bird = Relation::new("bird", 1);
+    for s in ["pigeon", "eagle", "penguin", "ostrich"] {
+        is_bird.insert_consts(b.world_mut(), &[s]).unwrap();
+    }
+    let mut is_mammal = Relation::new("mammal", 1);
+    for s in ["dog", "bat", "whale"] {
+        is_mammal.insert_consts(b.world_mut(), &[s]).unwrap();
+    }
+
+    // Level 3 (most general): animal-wide defaults. Defaults —
+    // including the closed-world ones (`-bird(X) :- mammal(X)`,
+    // `-grounded(X) :- …`) — must sit *above* the facts that override
+    // them: rules in the same component would mutually defeat, and an
+    // exception rule whose body could never be refuted would overrule
+    // the flying default forever (§3's point: assumptions must be
+    // declared, and they live upstairs).
+    b.rules(
+        "animal",
+        "-fly(X) :- animal(X).
+         walks(X) :- animal(X).
+         -bird(X) :- mammal(X).
+         -mammal(X) :- bird(X).
+         -grounded(X) :- bird(X).
+         -grounded(X) :- mammal(X).",
+    )
+    .unwrap();
+
+    // Level 2: birds are animals; birds fly (overrides the default);
+    // bats fly too (fact-level exception to the mammal default).
+    b.isa("birds", "animal");
+    b.load_relation("birds", &is_bird);
+    b.load_relation("birds", &is_mammal);
+    b.rules(
+        "birds",
+        "animal(X) :- bird(X).
+         animal(X) :- mammal(X).
+         fly(X) :- bird(X).
+         fly(bat).",
+    )
+    .unwrap();
+
+    // Level 1 (most specific): flightless birds — the `grounded` facts
+    // overrule the inherited `-grounded` default, and the exception
+    // rule overrules the inherited flying rule.
+    b.isa("flightless", "birds");
+    b.rules(
+        "flightless",
+        "grounded(penguin). grounded(ostrich).
+         -fly(X) :- grounded(X).",
+    )
+    .unwrap();
+
+    let mut kb = b.build(GroundStrategy::Smart).expect("grounds");
+
+    println!("=== Taxonomy with defaults and exceptions ===\n");
+    println!("{:<10} {:>12} {:>12}", "species", "fly?", "walks?");
+    for s in ["pigeon", "eagle", "penguin", "ostrich", "dog", "bat", "whale"] {
+        let fly = format!("{:?}", kb.truth("flightless", &format!("fly({s})")).unwrap());
+        let walks = format!("{:?}", kb.truth("flightless", &format!("walks({s})")).unwrap());
+        println!("{s:<10} {fly:>12} {walks:>12}");
+    }
+
+    // The same questions one level up: penguins fly there.
+    println!("\nFrom the `birds` module (exceptions invisible):");
+    println!(
+        "  fly(penguin) → {:?}",
+        kb.truth("birds", "fly(penguin)").unwrap()
+    );
+
+    println!("\nAll flyers according to `flightless`:");
+    for a in kb.query_pred("flightless", "fly", 1).unwrap() {
+        println!("  {a}");
+    }
+
+    // Versioning: revise the classification without touching the base.
+    let mut b2 = KbBuilder::new();
+    b2.rules("zoo_v1", "exhibit(penguin). exhibit(lion). ticket_price(10).")
+        .unwrap();
+    b2.version_of("zoo_v2", "zoo_v1");
+    b2.rules(
+        "zoo_v2",
+        "-exhibit(lion). exhibit(otter).
+         -ticket_price(10). ticket_price(12).",
+    )
+    .unwrap();
+    let mut zoo = b2.build(GroundStrategy::Smart).expect("grounds");
+    println!("\n=== Versioning (a version is a more specific module) ===");
+    for v in ["zoo_v1", "zoo_v2"] {
+        println!(
+            "{v}: exhibits = {:?}, price(10) = {:?}, price(12) = {:?}",
+            zoo.query_pred(v, "exhibit", 1).unwrap(),
+            zoo.truth(v, "ticket_price(10)").unwrap(),
+            zoo.truth(v, "ticket_price(12)").unwrap(),
+        );
+    }
+    println!("\nsemantic changelog v1 → v2:");
+    for change in zoo.diff("zoo_v1", "zoo_v2").unwrap() {
+        println!("  {change}");
+    }
+}

@@ -1,0 +1,370 @@
+//! `olp` — command-line front end for ordered logic programs.
+//!
+//! ```text
+//! olp check  FILE                          parse, order-check, ground, print stats
+//! olp models FILE [COMPONENT] [FLAGS]      print models per component
+//!        --least (default) | --stable | --af | --skeptical | --all-semantics
+//! olp query  FILE COMPONENT PATTERN        answer a query (ground or with variables)
+//!        --explain                         print a proof / refutation for ground queries
+//! common flags:
+//!        --exhaustive                      use the reference grounder (default: smart)
+//! ```
+
+use ordered_logic::prelude::*;
+use ordered_logic::semantics::{
+    credulous_consequences, enumerate_assumption_free, explain_in, render_why,
+    skeptical_consequences,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  olp check  FILE [--exhaustive]
+  olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive]
+  olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive]
+  olp repl   FILE [--exhaustive]"
+    );
+    ExitCode::from(2)
+}
+
+struct Loaded {
+    world: World,
+    prog: OrderedProgram,
+    ground: GroundProgram,
+}
+
+fn load(path: &str, exhaustive: bool) -> Result<Loaded, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut world = World::new();
+    let prog = parse_program(&mut world, &src).map_err(|e| e.to_string())?;
+    prog.order().map_err(|e| e.to_string())?;
+    let cfg = GroundConfig::default();
+    let ground = if exhaustive {
+        ground_exhaustive(&mut world, &prog, &cfg)
+    } else {
+        ground_smart(&mut world, &prog, &cfg)
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(Loaded {
+        world,
+        prog,
+        ground,
+    })
+}
+
+fn find_component(l: &Loaded, name: &str) -> Result<CompId, String> {
+    l.world
+        .syms
+        .get(name)
+        .and_then(|s| l.prog.component_by_name(s))
+        .ok_or_else(|| {
+            let names: Vec<&str> = l
+                .prog
+                .components
+                .iter()
+                .map(|c| l.world.syms.name(c.name))
+                .collect();
+            format!("unknown component `{name}` (have: {})", names.join(", "))
+        })
+}
+
+fn cmd_check(path: &str, exhaustive: bool) -> Result<(), String> {
+    let l = load(path, exhaustive)?;
+    println!(
+        "{path}: OK — {} components, {} rules, {} ground instances, {} atoms",
+        l.prog.components.len(),
+        l.prog.rule_count(),
+        l.ground.len(),
+        l.ground.n_atoms
+    );
+    let unsafe_rules = l.prog.unsafe_rules();
+    for (c, ri) in &unsafe_rules {
+        println!(
+            "  warning: unsafe rule (variable unbound by any body literal): {} in module {}",
+            l.world.rule_str(&l.prog.components[c.index()].rules[*ri]),
+            l.world.syms.name(l.prog.components[c.index()].name)
+        );
+    }
+    let order = l.prog.order().expect("validated");
+    for (ci, c) in l.prog.components.iter().enumerate() {
+        let id = CompId(ci as u32);
+        let above: Vec<&str> = order
+            .upset(id)
+            .filter(|&j| j != id)
+            .map(|j| l.world.syms.name(l.prog.components[j.index()].name))
+            .collect();
+        let view = View::new(&l.ground, id);
+        let stats = view.stats();
+        let conflicts = view.mutual_defeats();
+        println!(
+            "  {} — {} rules, sees {} ground instances ({} overrule / {} defeat edges){}",
+            l.world.syms.name(c.name),
+            c.rules.len(),
+            stats.rules,
+            stats.overrule_edges,
+            stats.defeat_edges,
+            if above.is_empty() {
+                String::new()
+            } else {
+                format!(", inherits from {}", above.join(" < "))
+            }
+        );
+        for (h, r1, r2) in conflicts.iter().take(5) {
+            println!(
+                "    conflict: {} contested by unranked rules {} / {}",
+                l.world.glit_str(*h),
+                l.ground.rule_str(&l.world, view.global_index(*r1)),
+                l.ground.rule_str(&l.world, view.global_index(*r2)),
+            );
+        }
+        if conflicts.len() > 5 {
+            println!("    … and {} more conflicts", conflicts.len() - 5);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_models(path: &str, component: Option<&str>, mode: &str, exhaustive: bool) -> Result<(), String> {
+    let l = load(path, exhaustive)?;
+    let comps: Vec<CompId> = match component {
+        Some(name) => vec![find_component(&l, name)?],
+        None => (0..l.prog.components.len() as u32).map(CompId).collect(),
+    };
+    for c in comps {
+        let name = l.world.syms.name(l.prog.components[c.index()].name);
+        println!("component `{name}`:");
+        let view = View::new(&l.ground, c);
+        let show_least = matches!(mode, "least" | "all");
+        let show_stable = matches!(mode, "stable" | "all");
+        let show_af = matches!(mode, "af" | "all");
+        let show_sk = matches!(mode, "skeptical" | "all");
+        let show_cred = matches!(mode, "credulous" | "all");
+        if show_least {
+            println!("  least model: {}", least_model(&view).render(&l.world));
+        }
+        if show_af {
+            for m in enumerate_assumption_free(&view, l.ground.n_atoms) {
+                println!("  assumption-free: {}", m.render(&l.world));
+            }
+        }
+        if show_stable {
+            for m in stable_models(&view, l.ground.n_atoms) {
+                let total = if m.is_total(l.ground.n_atoms) {
+                    " (total)"
+                } else {
+                    ""
+                };
+                println!("  stable: {}{total}", m.render(&l.world));
+            }
+        }
+        if show_sk {
+            println!(
+                "  skeptical: {}",
+                skeptical_consequences(&view, l.ground.n_atoms).render(&l.world)
+            );
+        }
+        if show_cred {
+            let lits: Vec<String> = credulous_consequences(&view, l.ground.n_atoms)
+                .iter()
+                .map(|&lit| l.world.glit_str(lit))
+                .collect();
+            println!("  credulous: {{{}}}", lits.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(
+    path: &str,
+    component: &str,
+    pattern: &str,
+    explain: bool,
+    exhaustive: bool,
+) -> Result<(), String> {
+    let mut l = load(path, exhaustive)?;
+    let c = find_component(&l, component)?;
+    cmd_query_loaded(&mut l, c, pattern, explain)
+}
+
+fn cmd_repl(path: &str, exhaustive: bool) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+    let mut l = load(path, exhaustive)?;
+    let mut current = CompId(0);
+    let name_of = |l: &Loaded, c: CompId| -> String {
+        l.world
+            .syms
+            .name(l.prog.components[c.index()].name)
+            .to_string()
+    };
+    println!(
+        "loaded {path}: {} components. Commands: use <component> | models | stable | \
+         explain <literal> | <query> | quit",
+        l.prog.components.len()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("olp:{}> ", name_of(&l, current));
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            return Ok(());
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = match line.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "quit" | "exit" | ":q" => return Ok(()),
+            "use" => match find_component(&l, rest) {
+                Ok(c) => current = c,
+                Err(e) => println!("error: {e}"),
+            },
+            "models" => {
+                let view = View::new(&l.ground, current);
+                println!("least model: {}", least_model(&view).render(&l.world));
+            }
+            "stable" => {
+                let view = View::new(&l.ground, current);
+                for m in stable_models(&view, l.ground.n_atoms) {
+                    println!("stable: {}", m.render(&l.world));
+                }
+            }
+            "explain" => {
+                match parse_ground_literal(&mut l.world, rest) {
+                    Ok(q) => {
+                        let view = View::new(&l.ground, current);
+                        let m = least_model(&view);
+                        let why = explain_in(&view, &m, q);
+                        print!("{}", render_why(&l.world, &view, &why));
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            _ => {
+                // Treat the whole line as a query (ground or pattern).
+                let comp_name = name_of(&l, current);
+                if let Err(e) = cmd_query_loaded(&mut l, current, line, false) {
+                    println!("error in `{comp_name}`: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Query against an already-loaded program (shared by `query` and the
+/// REPL).
+fn cmd_query_loaded(
+    l: &mut Loaded,
+    c: CompId,
+    pattern: &str,
+    explain: bool,
+) -> Result<(), String> {
+    let view = View::new(&l.ground, c);
+    let m = least_model(&view);
+    let lit = ordered_logic::parser::parse_literal(&mut l.world, pattern)
+        .map_err(|e| e.to_string())?;
+    if lit.is_ground() {
+        let q = parse_ground_literal(&mut l.world, pattern).map_err(|e| e.to_string())?;
+        let verdict = if m.holds(q) {
+            "true"
+        } else if m.holds(q.complement()) {
+            "false"
+        } else {
+            "undefined"
+        };
+        let comp_name = l
+            .world
+            .syms
+            .name(l.prog.components[c.index()].name)
+            .to_string();
+        println!("{pattern} in `{comp_name}`: {verdict}");
+        if explain {
+            let why = explain_in(&view, &m, q);
+            print!("{}", render_why(&l.world, &view, &why));
+        }
+    } else {
+        let mut vars = Vec::new();
+        lit.collect_vars(&mut vars);
+        let mut hits = 0usize;
+        let candidates: Vec<_> = l.world.atoms.of_pred(lit.pred).to_vec();
+        for atom in candidates {
+            if !m.holds(ordered_logic::core::GLit::new(lit.sign, atom)) {
+                continue;
+            }
+            let args = l.world.atoms.get(atom).args.clone();
+            let mut b = ordered_logic::core::term::Bindings::default();
+            if lit
+                .args
+                .iter()
+                .zip(args.iter())
+                .all(|(p, &g)| p.match_ground(g, &l.world.terms, &mut b))
+            {
+                let binding: Vec<String> = vars
+                    .iter()
+                    .map(|v| format!("{} = {}", l.world.syms.name(*v), l.world.term_str(b[v])))
+                    .collect();
+                println!("{}", binding.join(", "));
+                hits += 1;
+            }
+        }
+        println!("({hits} answers)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let pos: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let exhaustive = flags.contains(&"--exhaustive");
+
+    let result = match pos.as_slice() {
+        ["check", file] => cmd_check(file, exhaustive),
+        ["models", file, rest @ ..] => {
+            let mode = if flags.contains(&"--stable") {
+                "stable"
+            } else if flags.contains(&"--af") {
+                "af"
+            } else if flags.contains(&"--skeptical") {
+                "skeptical"
+            } else if flags.contains(&"--credulous") {
+                "credulous"
+            } else if flags.contains(&"--all-semantics") {
+                "all"
+            } else {
+                "least"
+            };
+            cmd_models(file, rest.first().copied(), mode, exhaustive)
+        }
+        ["query", file, component, pattern] => cmd_query(
+            file,
+            component,
+            pattern,
+            flags.contains(&"--explain"),
+            exhaustive,
+        ),
+        ["repl", file] => cmd_repl(file, exhaustive),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

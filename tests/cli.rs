@@ -1,0 +1,129 @@
+//! End-to-end tests of the `olp` command-line binary against the
+//! shipped sample programs (`examples/programs/*.olp`).
+
+use std::process::Command;
+
+fn olp(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_olp"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn sample(name: &str) -> String {
+    format!("{}/examples/programs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_reports_structure() {
+    let (out, _, ok) = olp(&["check", &sample("penguin.olp")]);
+    assert!(ok);
+    assert!(out.contains("2 components"));
+    assert!(out.contains("inherits from c2"));
+    assert!(out.contains("overrule"));
+}
+
+#[test]
+fn models_least_default() {
+    let (out, _, ok) = olp(&["models", &sample("penguin.olp"), "c1"]);
+    assert!(ok);
+    assert!(out.contains("-fly(penguin)"));
+    assert!(out.contains("fly(pigeon)"));
+}
+
+#[test]
+fn models_stable_on_p5() {
+    let (out, _, ok) = olp(&["models", &sample("p5.olp"), "c1", "--stable"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("{-b, a, c} (total)"));
+    assert!(out.contains("{-a, b, c} (total)"));
+}
+
+#[test]
+fn models_skeptical_on_p5() {
+    let (out, _, ok) = olp(&["models", &sample("p5.olp"), "c1", "--skeptical"]);
+    assert!(ok);
+    assert!(out.contains("skeptical: {c}"));
+}
+
+#[test]
+fn models_credulous_on_p5() {
+    let (out, _, ok) = olp(&["models", &sample("p5.olp"), "c1", "--credulous"]);
+    assert!(ok);
+    assert!(out.contains("credulous: {a, -a, b, -b, c}"), "{out}");
+}
+
+#[test]
+fn query_ground_with_explanation() {
+    let (out, _, ok) = olp(&[
+        "query",
+        &sample("penguin.olp"),
+        "c1",
+        "fly(penguin)",
+        "--explain",
+    ]);
+    assert!(ok);
+    assert!(out.contains("false"));
+    assert!(out.contains("overruled by"));
+}
+
+#[test]
+fn query_pattern_enumerates() {
+    let (out, _, ok) = olp(&["query", &sample("penguin.olp"), "c1", "fly(X)"]);
+    assert!(ok);
+    assert!(out.contains("X = pigeon"));
+    assert!(out.contains("(1 answers)"));
+}
+
+#[test]
+fn loan_scenario_resolves() {
+    let (out, _, ok) = olp(&["query", &sample("loan.olp"), "myself", "take_loan"]);
+    assert!(ok);
+    assert!(out.contains("true"), "{out}");
+}
+
+#[test]
+fn unknown_component_is_a_clean_error() {
+    let (_, err, ok) = olp(&["query", &sample("penguin.olp"), "nobody", "fly(X)"]);
+    assert!(!ok);
+    assert!(err.contains("unknown component"));
+    assert!(err.contains("c1"), "suggests existing names: {err}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (_, err, ok) = olp(&["check", "/nonexistent.olp"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn bad_usage_prints_usage() {
+    let (_, err, ok) = olp(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn check_warns_on_unsafe_rules() {
+    let dir = std::env::temp_dir().join("olp_cli_unsafe.olp");
+    std::fs::write(&dir, "q(a).
+p(X) :- q(Y).
+").unwrap();
+    let (out, _, ok) = olp(&["check", dir.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("warning: unsafe rule"), "{out}");
+    assert!(out.contains("p(X) :- q(Y)."));
+}
+
+#[test]
+fn exhaustive_flag_accepted() {
+    let (out, _, ok) = olp(&["check", &sample("p5.olp"), "--exhaustive"]);
+    assert!(ok);
+    assert!(out.contains("OK"));
+}

@@ -1,0 +1,219 @@
+//! Realistic knowledge-base scenarios exercising the full stack through
+//! the `olp-kb` API — the §1/§5 application claims of the paper, as
+//! integration tests: default-deny security policy, role hierarchies
+//! with revocations, and configuration versioning.
+
+use ordered_logic::prelude::*;
+
+/// Firewall policy: default deny, service allows, incident lockdown.
+/// Policy layers are modules; more specific layers overrule.
+#[test]
+fn firewall_default_deny_with_overrides() {
+    let mut b = KbBuilder::new();
+
+    // Base layer: the inventory, the default-deny stance, and the
+    // closed-world default for `compromised` (defaults live *above*
+    // the layers whose facts override them — see docs/TUTORIAL.md §4).
+    b.rules(
+        "base",
+        "host(web1). host(web2). host(db1). host(bastion).
+         port(p22). port(p80). port(p443). port(p5432).
+         -allow(H, P) :- host(H), port(P).
+         -compromised(H) :- host(H).",
+    )
+    .unwrap();
+
+    // Service layer (more specific): open the service ports.
+    b.isa("services", "base");
+    b.rules(
+        "services",
+        "webserver(web1). webserver(web2).
+         allow(H, p80) :- webserver(H).
+         allow(H, p443) :- webserver(H).
+         allow(db1, p5432).
+         allow(bastion, p22).",
+    )
+    .unwrap();
+
+    // Incident layer (most specific): lock down web2 entirely.
+    b.isa("incident", "services");
+    b.rules(
+        "incident",
+        "compromised(web2).
+         -allow(H, P) :- compromised(H), port(P).",
+    )
+    .unwrap();
+
+    let mut kb = b.build(GroundStrategy::Smart).unwrap();
+
+    // From the service layer: web traffic is open, everything else shut.
+    assert_eq!(kb.truth("services", "allow(web1, p80)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("services", "allow(web1, p22)").unwrap(), Truth::False);
+    assert_eq!(kb.truth("services", "allow(db1, p5432)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("services", "allow(web2, p443)").unwrap(), Truth::True);
+
+    // From the incident layer: web2 is fully locked down, web1 intact.
+    assert_eq!(kb.truth("incident", "allow(web2, p443)").unwrap(), Truth::False);
+    assert_eq!(kb.truth("incident", "allow(web2, p80)").unwrap(), Truth::False);
+    assert_eq!(kb.truth("incident", "allow(web1, p80)").unwrap(), Truth::True);
+
+    // The whole allow surface from the incident view: exactly 4 grants.
+    let grants = kb.query("incident", "allow(H, P)").unwrap();
+    assert_eq!(
+        grants,
+        vec![
+            "H=bastion, P=p22",
+            "H=db1, P=p5432",
+            "H=web1, P=p443",
+            "H=web1, P=p80",
+        ]
+    );
+
+    // Explanations point at the responsible layer.
+    let why = kb.explain("incident", "allow(web2, p80)").unwrap();
+    assert!(why.contains("overruled"), "{why}");
+    assert!(why.contains("compromised(web2)"), "{why}");
+}
+
+/// Role hierarchy: employee < manager grants flow down; a targeted
+/// revocation from an incomparable compliance module defeats rather
+/// than silently losing.
+#[test]
+fn roles_grants_and_conflicting_revocation() {
+    let mut b = KbBuilder::new();
+    // Defaults above, facts below: the `manager(alice)` fact overrules
+    // the non-manager default instead of defeating it.
+    b.rules("defaults", "-manager(X) :- employee(X).").unwrap();
+    b.isa("org", "defaults");
+    b.rules(
+        "org",
+        "employee(alice). employee(bob). manager(alice).
+         doc(handbook). doc(payroll).",
+    )
+    .unwrap();
+    // HR policy and compliance policy are peers (incomparable).
+    b.isa("hr", "org");
+    b.rules(
+        "hr",
+        "read(X, handbook) :- employee(X).
+         read(X, payroll) :- manager(X).",
+    )
+    .unwrap();
+    b.isa("compliance", "org");
+    b.rules("compliance", "-read(alice, payroll).").unwrap();
+    // The access decision point sees both.
+    b.isa("pdp", "hr");
+    b.isa("pdp", "compliance");
+    let mut kb = b.build(GroundStrategy::Smart).unwrap();
+
+    // Uncontested grants flow through.
+    assert_eq!(kb.truth("pdp", "read(bob, handbook)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("pdp", "read(alice, handbook)").unwrap(), Truth::True);
+    // HR grants alice payroll; compliance revokes: incomparable modules
+    // defeat — the PDP reports *undefined*, i.e. "needs escalation",
+    // rather than picking a winner.
+    assert_eq!(kb.truth("pdp", "read(alice, payroll)").unwrap(), Truth::Undefined);
+    // Each policy module still holds its own opinion.
+    assert_eq!(kb.truth("hr", "read(alice, payroll)").unwrap(), Truth::True);
+    assert_eq!(
+        kb.truth("compliance", "read(alice, payroll)").unwrap(),
+        Truth::False
+    );
+    // The manager default was overruled for alice by the explicit fact
+    // in the strictly-lower org module.
+    assert_eq!(kb.truth("pdp", "manager(alice)").unwrap(), Truth::True);
+    // bob is not a manager (the default fires unopposed).
+    assert_eq!(kb.truth("pdp", "manager(bob)").unwrap(), Truth::False);
+}
+
+/// The same role KB with the CWA default moved *above* the facts: the
+/// textbook fix for the same-module defeat in the previous scenario.
+#[test]
+fn roles_with_layered_cwa_resolve_cleanly() {
+    let mut b = KbBuilder::new();
+    b.rules("defaults", "-manager(X) :- employee(X).").unwrap();
+    b.isa("org", "defaults");
+    b.rules(
+        "org",
+        "employee(alice). employee(bob). manager(alice).",
+    )
+    .unwrap();
+    let mut kb = b.build(GroundStrategy::Smart).unwrap();
+    assert_eq!(kb.truth("org", "manager(alice)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("org", "manager(bob)").unwrap(), Truth::False);
+}
+
+/// Configuration versioning: each release is a module below its
+/// predecessor; queries against any version answer from its own era.
+#[test]
+fn config_versioning_chain() {
+    let mut b = KbBuilder::new();
+    b.rules(
+        "v1",
+        "setting(timeout, 30). setting(retries, 3). feature(dark_mode).",
+    )
+    .unwrap();
+    b.version_of("v2", "v1");
+    b.rules(
+        "v2",
+        "-setting(timeout, 30). setting(timeout, 60).",
+    )
+    .unwrap();
+    b.version_of("v3", "v2");
+    b.rules(
+        "v3",
+        "-feature(dark_mode).
+         feature(themes).
+         -setting(retries, 3). setting(retries, 5).",
+    )
+    .unwrap();
+    let mut kb = b.build(GroundStrategy::Smart).unwrap();
+
+    // v1 semantics untouched by later versions.
+    assert_eq!(kb.truth("v1", "setting(timeout, 30)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("v1", "feature(dark_mode)").unwrap(), Truth::True);
+    // v2 overrides timeout only.
+    assert_eq!(kb.truth("v2", "setting(timeout, 30)").unwrap(), Truth::False);
+    assert_eq!(kb.truth("v2", "setting(timeout, 60)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("v2", "setting(retries, 3)").unwrap(), Truth::True);
+    // v3 sees the whole chain with its own overrides.
+    assert_eq!(kb.truth("v3", "setting(timeout, 60)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("v3", "setting(retries, 5)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("v3", "setting(retries, 3)").unwrap(), Truth::False);
+    assert_eq!(kb.truth("v3", "feature(dark_mode)").unwrap(), Truth::False);
+    assert_eq!(kb.truth("v3", "feature(themes)").unwrap(), Truth::True);
+
+    // Hotfix flow: assert into v3 live.
+    kb.assert_rule("v3", "setting(timeout, 90).").unwrap();
+    kb.assert_rule("v3", "-setting(timeout, 60).").unwrap();
+    assert_eq!(kb.truth("v3", "setting(timeout, 90)").unwrap(), Truth::True);
+    assert_eq!(kb.truth("v3", "setting(timeout, 60)").unwrap(), Truth::False);
+    // v2 untouched by the v3 hotfix.
+    assert_eq!(kb.truth("v2", "setting(timeout, 60)").unwrap(), Truth::True);
+}
+
+/// Both grounding strategies agree on a non-trivial KB.
+#[test]
+fn strategies_agree_on_firewall() {
+    let build = |strategy| {
+        let mut b = KbBuilder::new();
+        b.rules(
+            "base",
+            "host(w). host(d). port(p1). port(p2).
+             -allow(H, P) :- host(H), port(P).",
+        )
+        .unwrap();
+        b.isa("svc", "base");
+        b.rules("svc", "allow(w, p1).").unwrap();
+        b.build(strategy).unwrap()
+    };
+    let mut smart = build(GroundStrategy::Smart);
+    let mut exhaustive = build(GroundStrategy::Exhaustive);
+    for q in ["allow(w, p1)", "allow(w, p2)", "allow(d, p1)"] {
+        assert_eq!(
+            smart.truth("svc", q).unwrap(),
+            exhaustive.truth("svc", q).unwrap(),
+            "{q}"
+        );
+    }
+}
