@@ -32,7 +32,10 @@ fn bench_ancestor(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
-    for (shape, label) in [(GraphShape::Chain, "chain"), (GraphShape::BinaryTree, "tree")] {
+    for (shape, label) in [
+        (GraphShape::Chain, "chain"),
+        (GraphShape::BinaryTree, "tree"),
+    ] {
         for &n in &[32usize, 128] {
             let mut world = World::new();
             let prog = ancestor(&mut world, shape, n);
@@ -56,9 +59,7 @@ fn bench_ancestor(c: &mut Criterion) {
                     |b, _| {
                         b.iter(|| {
                             let mut w = world.clone();
-                            black_box(
-                                ground_exhaustive(&mut w, &prog, &big_config()).unwrap(),
-                            )
+                            black_box(ground_exhaustive(&mut w, &prog, &big_config()).unwrap())
                         });
                     },
                 );

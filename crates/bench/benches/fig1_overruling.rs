@@ -19,10 +19,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use olp_bench::{big_config, ground_built_smart};
-use olp_core::{CompId, World};
+use olp_core::{Budget, CompId, World};
 use olp_ground::ground_exhaustive;
-use olp_semantics::{least_model, least_model_naive, prove, View};
 use olp_parser::parse_ground_literal;
+use olp_semantics::{least_model, least_model_budgeted, least_model_naive, prove, View};
 use olp_workload::taxonomy_chain;
 use std::hint::black_box;
 use std::time::Duration;
@@ -42,6 +42,14 @@ fn bench_fig1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("least_model", n), &n, |b, _| {
             let view = View::new(&ground, most_specific);
             b.iter(|| black_box(least_model(&view)));
+        });
+        // Governor overhead guard: the same fixpoint under a generous
+        // budget (never trips, so the entire delta is tick accounting).
+        // Target: within 5% of the unbudgeted `least_model` at N = 256.
+        group.bench_with_input(BenchmarkId::new("budget_overhead", n), &n, |b, _| {
+            let view = View::new(&ground, most_specific);
+            let budget = Budget::with_steps(u64::MAX);
+            b.iter(|| black_box(least_model_budgeted(&view, &budget)));
         });
         if n <= 256 {
             group.bench_with_input(BenchmarkId::new("least_model_naive", n), &n, |b, _| {

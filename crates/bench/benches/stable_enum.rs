@@ -61,10 +61,14 @@ fn bench_stable(c: &mut Criterion) {
         let mut naf = NafProgram::from_ground(&flat_ground).unwrap();
         naf.n_atoms = n;
 
-        group.bench_with_input(BenchmarkId::new("ordered_stable", n_atoms), &n_atoms, |b, _| {
-            let view = View::new(&ov, ov_c);
-            b.iter(|| black_box(stable_models_naive(&view, n)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ordered_stable", n_atoms),
+            &n_atoms,
+            |b, _| {
+                let view = View::new(&ov, ov_c);
+                b.iter(|| black_box(stable_models_naive(&view, n)));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("ordered_stable_propagating", n_atoms),
             &n_atoms,
@@ -78,9 +82,7 @@ fn bench_stable(c: &mut Criterion) {
             &n_atoms,
             |b, _| {
                 let view = View::new(&ov, ov_c);
-                b.iter(|| {
-                    black_box(olp_semantics::stable_models_parallel(&view, n, 4))
-                });
+                b.iter(|| black_box(olp_semantics::stable_models_parallel(&view, n, 4)));
             },
         );
         group.bench_with_input(

@@ -94,8 +94,9 @@ fn bench_transform(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut w = world.clone();
-                    let consts_syms: Vec<olp_core::Sym> =
-                        (0..consts).map(|k| w.syms.intern(&format!("c{k}"))).collect();
+                    let consts_syms: Vec<olp_core::Sym> = (0..consts)
+                        .map(|k| w.syms.intern(&format!("c{k}")))
+                        .collect();
                     let (ov, _) = ordered_version_ground_cwa(&mut w, &rules, &consts_syms);
                     black_box(ground_exhaustive(&mut w, &ov, &gc).unwrap())
                 });

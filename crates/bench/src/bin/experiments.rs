@@ -7,20 +7,18 @@
 
 use olp_bench::*;
 use olp_classic::{
-    founded_models, partial_stable_models, stable_models_total, well_founded_model,
-    NafProgram,
+    founded_models, partial_stable_models, stable_models_total, well_founded_model, NafProgram,
 };
 use olp_core::{CompId, Interpretation, World};
 use olp_ground::{ground_exhaustive, GroundConfig};
 use olp_parser::{parse_ground_literal, parse_program};
 use olp_semantics::{
-    enumerate_assumption_free, enumerate_models, has_total_model, is_assumption_free,
-    is_model, least_model, stable_models, View,
+    enumerate_assumption_free, enumerate_models, has_total_model, is_assumption_free, is_model,
+    least_model, stable_models, View,
 };
 use olp_transform::{extended_version, ordered_version, three_level_version};
 use olp_workload::{
-    ancestor, defeating_pairs, expert_panel, taxonomy_chain, taxonomy_expected_fly,
-    GraphShape,
+    ancestor, defeating_pairs, expert_panel, taxonomy_chain, taxonomy_expected_fly, GraphShape,
 };
 use std::time::Instant;
 
@@ -33,7 +31,8 @@ impl Report {
         Report { rows: Vec::new() }
     }
     fn row(&mut self, id: &str, claim: &str, measured: String, ok: bool) {
-        self.rows.push((id.to_string(), claim.to_string(), measured, ok));
+        self.rows
+            .push((id.to_string(), claim.to_string(), measured, ok));
     }
     fn print(&self) {
         println!("| id | paper claim | measured | verdict |");
@@ -148,7 +147,11 @@ fn main() {
             ("", "silent", (false, false)),
             ("inflation(12).", "take_loan", (true, false)),
             ("inflation(12). loan_rate(16).", "defeated", (false, false)),
-            ("inflation(19). loan_rate(16).", "take_loan (refined)", (true, false)),
+            (
+                "inflation(19). loan_rate(16).",
+                "take_loan (refined)",
+                (true, false),
+            ),
         ];
         let mut all_ok = true;
         let mut measured = String::new();
@@ -174,8 +177,7 @@ fn main() {
         let b = setup_exhaustive("a :- b. -a :- b.");
         let v = View::new(&b.ground, CompId(0));
         let models = enumerate_models(&v, b.ground.n_atoms, None);
-        let mut renders: Vec<String> =
-            models.iter().map(|m| m.render(&b.world)).collect();
+        let mut renders: Vec<String> = models.iter().map(|m| m.render(&b.world)).collect();
         renders.sort();
         let mut expected: Vec<String> = ["{}", "{b}", "{-b}", "{-b, a}", "{-a, -b}"]
             .iter()
@@ -224,8 +226,7 @@ fn main() {
         let c1 = comp(&b, "c1");
         let v = View::new(&b.ground, c1);
         let stable = stable_models(&v, b.ground.n_atoms);
-        let mut renders: Vec<String> =
-            stable.iter().map(|m| m.render(&b.world)).collect();
+        let mut renders: Vec<String> = stable.iter().map(|m| m.render(&b.world)).collect();
         renders.sort();
         let lm = least_model(&v);
         r.row(

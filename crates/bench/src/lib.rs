@@ -23,8 +23,7 @@ pub struct Bench {
 pub fn setup_exhaustive(src: &str) -> Bench {
     let mut world = World::new();
     let prog = parse_program(&mut world, src).expect("parses");
-    let ground =
-        ground_exhaustive(&mut world, &prog, &GroundConfig::default()).expect("grounds");
+    let ground = ground_exhaustive(&mut world, &prog, &GroundConfig::default()).expect("grounds");
     Bench {
         world,
         prog,
@@ -48,6 +47,7 @@ pub fn big_config() -> GroundConfig {
         max_depth: 2,
         max_terms: 1_000_000,
         max_instances: 200_000_000,
+        ..Default::default()
     }
 }
 

@@ -144,10 +144,7 @@ mod tests {
     use crate::wfs::well_founded_model;
 
     fn render(w: &olp_core::World, ms: &[BitSet]) -> Vec<String> {
-        let mut v: Vec<String> = ms
-            .iter()
-            .map(|m| NafProgram::render_atoms(w, m))
-            .collect();
+        let mut v: Vec<String> = ms.iter().map(|m| NafProgram::render_atoms(w, m)).collect();
         v.sort();
         v
     }
@@ -206,9 +203,7 @@ mod tests {
     #[test]
     fn three_coloring_style_choice() {
         // Choice between three exclusive options via NAF.
-        let (mut w, p) = naf(
-            "r :- -g, -b. g :- -r, -b. b :- -r, -g.",
-        );
+        let (mut w, p) = naf("r :- -g, -b. g :- -r, -b. b :- -r, -g.");
         let ms = stable_models_total(&p);
         assert_eq!(ms.len(), 3);
         for m in &ms {

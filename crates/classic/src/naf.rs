@@ -101,10 +101,7 @@ impl NafProgram {
 
     /// Renders a set of true atoms as `{atom, …}` (sorted, stable).
     pub fn render_atoms(world: &World, s: &BitSet) -> String {
-        let mut parts: Vec<String> = s
-            .iter()
-            .map(|i| world.atom_str(AtomId(i as u32)))
-            .collect();
+        let mut parts: Vec<String> = s.iter().map(|i| world.atom_str(AtomId(i as u32))).collect();
         parts.sort();
         format!("{{{}}}", parts.join(", "))
     }

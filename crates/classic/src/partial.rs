@@ -66,9 +66,7 @@ pub fn is_3valued_model(p: &NafProgram, m: &Interpretation) -> bool {
 pub fn positive_version(p: &NafProgram, m: &Interpretation) -> Vec<(AtomId, Box<[AtomId]>)> {
     p.rules
         .iter()
-        .filter(|r| {
-            m.value(r.head) == Truth::True && body_value(r, m) == Truth::True
-        })
+        .filter(|r| m.value(r.head) == Truth::True && body_value(r, m) == Truth::True)
         .map(|r| (r.head, r.pos.clone()))
         .collect()
 }
@@ -125,12 +123,7 @@ pub fn is_founded(p: &NafProgram, m: &Interpretation) -> bool {
 pub fn founded_models(p: &NafProgram) -> Vec<Interpretation> {
     let mut out = Vec::new();
     let mut cur = Interpretation::with_capacity(p.n_atoms);
-    fn rec(
-        p: &NafProgram,
-        at: usize,
-        cur: &mut Interpretation,
-        out: &mut Vec<Interpretation>,
-    ) {
+    fn rec(p: &NafProgram, at: usize, cur: &mut Interpretation, out: &mut Vec<Interpretation>) {
         if at == p.n_atoms {
             if is_3valued_model(p, cur) && is_founded(p, cur) {
                 out.push(cur.clone());
@@ -169,13 +162,15 @@ mod tests {
     use crate::wfs::well_founded_model;
 
     fn interp(pairs: &[(AtomId, bool)]) -> Interpretation {
-        Interpretation::from_literals(pairs.iter().map(|&(a, v)| {
-            if v {
-                GLit::pos(a)
-            } else {
-                GLit::neg(a)
-            }
-        }))
+        Interpretation::from_literals(pairs.iter().map(
+            |&(a, v)| {
+                if v {
+                    GLit::pos(a)
+                } else {
+                    GLit::neg(a)
+                }
+            },
+        ))
         .unwrap()
     }
 
@@ -309,11 +304,20 @@ mod tests {
         let a = atom(&mut w, "a");
         let b = atom(&mut w, "b");
         let r = p.rules.iter().find(|r| !r.pos.is_empty()).unwrap();
-        assert_eq!(body_value(r, &interp(&[(a, true), (b, false)])), Truth::True);
-        assert_eq!(body_value(r, &interp(&[(a, true), (b, true)])), Truth::False);
+        assert_eq!(
+            body_value(r, &interp(&[(a, true), (b, false)])),
+            Truth::True
+        );
+        assert_eq!(
+            body_value(r, &interp(&[(a, true), (b, true)])),
+            Truth::False
+        );
         assert_eq!(body_value(r, &interp(&[(a, true)])), Truth::Undefined);
         assert_eq!(body_value(r, &interp(&[(b, true)])), Truth::False);
-        let fact = p.rules.iter().find(|r| r.pos.is_empty() && r.neg.is_empty());
+        let fact = p
+            .rules
+            .iter()
+            .find(|r| r.pos.is_empty() && r.neg.is_empty());
         assert!(fact.is_none()); // no facts in this program
     }
 }

@@ -18,7 +18,10 @@ use olp_core::{AtomId, BitSet, FxHashMap};
 /// Panics (debug assertion) if the program has NAF literals; use
 /// [`gamma`] for those.
 pub fn least_model_positive(p: &NafProgram) -> BitSet {
-    debug_assert!(p.is_positive(), "least_model_positive needs a positive program");
+    debug_assert!(
+        p.is_positive(),
+        "least_model_positive needs a positive program"
+    );
     gamma_inner(p, None)
 }
 
@@ -76,11 +79,9 @@ mod tests {
 
     #[test]
     fn ancestor_least_model() {
-        let (mut w, p) = naf(
-            "parent(a,b). parent(b,c).
+        let (mut w, p) = naf("parent(a,b). parent(b,c).
              anc(X,Y) :- parent(X,Y).
-             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
-        );
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).");
         let m = least_model_positive(&p);
         for s in ["anc(a,b)", "anc(b,c)", "anc(a,c)"] {
             assert!(m.contains(atom(&mut w, s).index()), "{s} missing");

@@ -61,13 +61,11 @@ mod tests {
     #[test]
     fn stratified_program_total_wfs() {
         // win/lose on an acyclic graph: WFS is total.
-        let (mut w, p) = naf(
-            "edge(a,b). edge(b,c).
+        let (mut w, p) = naf("edge(a,b). edge(b,c).
              reach(a).
              reach(Y) :- reach(X), edge(X,Y).
              stuck(X) :- reach(X), -moved(X).
-             moved(X) :- edge(X,Y), reach(X).",
-        );
+             moved(X) :- edge(X,Y), reach(X).");
         let m = well_founded_model(&p);
         assert!(m.is_total(p.n_atoms));
         assert_eq!(m.value(atom(&mut w, "reach(c)")), Truth::True);
@@ -112,19 +110,15 @@ mod tests {
         // Chain a→b→c: win(b) true (move to dead-end c), win(a) false?
         // a moves only to b which is winning → win(a) false; c has no
         // moves → win(c) false.
-        let (mut w, p) = naf(
-            "move(a,b). move(b,c).
-             win(X) :- move(X,Y), -win(Y).",
-        );
+        let (mut w, p) = naf("move(a,b). move(b,c).
+             win(X) :- move(X,Y), -win(Y).");
         let m = well_founded_model(&p);
         assert_eq!(m.value(atom(&mut w, "win(c)")), Truth::False);
         assert_eq!(m.value(atom(&mut w, "win(b)")), Truth::True);
         assert_eq!(m.value(atom(&mut w, "win(a)")), Truth::False);
         // Add a draw cycle d ↔ e: both undefined.
-        let (mut w2, p2) = naf(
-            "move(d,e). move(e,d).
-             win(X) :- move(X,Y), -win(Y).",
-        );
+        let (mut w2, p2) = naf("move(d,e). move(e,d).
+             win(X) :- move(X,Y), -win(Y).");
         let m2 = well_founded_model(&p2);
         assert_eq!(m2.value(atom(&mut w2, "win(d)")), Truth::Undefined);
         assert_eq!(m2.value(atom(&mut w2, "win(e)")), Truth::Undefined);

@@ -93,9 +93,10 @@ impl BitSet {
 
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().enumerate().all(|(i, &w)| {
-            w & !other.words.get(i).copied().unwrap_or(0) == 0
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// Whether the sets intersect.

@@ -98,9 +98,7 @@ impl TermStore {
     pub fn depth(&self, id: GTermId) -> u32 {
         match self.get(id) {
             GTerm::Const(_) | GTerm::Int(_) => 0,
-            GTerm::Func(_, args) => {
-                1 + args.iter().map(|&a| self.depth(a)).max().unwrap_or(0)
-            }
+            GTerm::Func(_, args) => 1 + args.iter().map(|&a| self.depth(a)).max().unwrap_or(0),
         }
     }
 

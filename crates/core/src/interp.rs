@@ -39,7 +39,10 @@ pub struct Inconsistency(pub GLit);
 
 impl std::fmt::Display for Inconsistency {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "inserting literal would make interpretation inconsistent")
+        write!(
+            f,
+            "inserting literal would make interpretation inconsistent"
+        )
     }
 }
 
@@ -229,8 +232,8 @@ mod tests {
     #[test]
     fn subset_ordering() {
         let a = Interpretation::from_literals([GLit::pos(AtomId(0))]).unwrap();
-        let b = Interpretation::from_literals([GLit::pos(AtomId(0)), GLit::neg(AtomId(1))])
-            .unwrap();
+        let b =
+            Interpretation::from_literals([GLit::pos(AtomId(0)), GLit::neg(AtomId(1))]).unwrap();
         assert!(a.is_subset(&b));
         assert!(a.is_proper_subset(&b));
         assert!(!b.is_subset(&a));
@@ -243,8 +246,8 @@ mod tests {
 
     #[test]
     fn literal_iteration_and_undefined() {
-        let i = Interpretation::from_literals([GLit::neg(AtomId(2)), GLit::pos(AtomId(0))])
-            .unwrap();
+        let i =
+            Interpretation::from_literals([GLit::neg(AtomId(2)), GLit::pos(AtomId(0))]).unwrap();
         let lits: Vec<GLit> = i.literals().collect();
         assert_eq!(lits, vec![GLit::pos(AtomId(0)), GLit::neg(AtomId(2))]);
         let undef: Vec<AtomId> = i.undefined_atoms(4).collect();
@@ -253,10 +256,8 @@ mod tests {
 
     #[test]
     fn from_literals_detects_conflict() {
-        assert!(Interpretation::from_literals([
-            GLit::pos(AtomId(1)),
-            GLit::neg(AtomId(1))
-        ])
-        .is_err());
+        assert!(
+            Interpretation::from_literals([GLit::pos(AtomId(1)), GLit::neg(AtomId(1))]).is_err()
+        );
     }
 }

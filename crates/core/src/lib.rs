@@ -39,11 +39,14 @@
 //! * [`rule`] — rules and body items.
 //! * [`program`] — components, ordered programs, the component partial order.
 //! * [`bitset`] — a small dense bit set used throughout the workspace.
+//! * [`budget`] — the engine-wide resource governor (step budgets,
+//!   deadlines, cancellation, anytime [`Eval`] outcomes).
 //! * [`world`] — the [`World`] bundle of interners.
 
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod budget;
 pub mod fxhash;
 pub mod gterm;
 pub mod interp;
@@ -56,6 +59,7 @@ pub mod term;
 pub mod world;
 
 pub use bitset::BitSet;
+pub use budget::{Budget, Eval, InterruptReason, Interrupted, Ticker};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use gterm::{AtomId, AtomStore, GTerm, GTermId, GroundAtom, TermStore};
 pub use interp::{Inconsistency, Interpretation, Truth};

@@ -104,9 +104,7 @@ impl Order {
         // DFS-based transitive closure with cycle detection. Component
         // counts are small (a handful to a few hundred), so O(n·e) with
         // bitset rows is more than adequate.
-        let mut leq: Vec<BitSet> = (0..n)
-            .map(|_| BitSet::with_capacity(n))
-            .collect();
+        let mut leq: Vec<BitSet> = (0..n).map(|_| BitSet::with_capacity(n)).collect();
         // Detect cycles with a colour DFS first.
         let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
         fn dfs_cycle(v: usize, adj: &[Vec<usize>], colour: &mut [u8]) -> Option<usize> {
@@ -253,9 +251,10 @@ impl OrderedProgram {
 
     /// Iterates over `(component, rule)` pairs.
     pub fn rules(&self) -> impl Iterator<Item = (CompId, &Rule)> {
-        self.components.iter().enumerate().flat_map(|(ci, c)| {
-            c.rules.iter().map(move |r| (CompId(ci as u32), r))
-        })
+        self.components
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, c)| c.rules.iter().map(move |r| (CompId(ci as u32), r)))
     }
 
     /// The unsafe rules of the program: `(component, rule index within

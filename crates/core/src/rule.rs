@@ -164,7 +164,10 @@ impl Aexp {
     pub fn collect_vars(&self, out: &mut Vec<Sym>) {
         match self {
             Aexp::Term(t) => t.collect_vars(out),
-            Aexp::Add(l, r) | Aexp::Sub(l, r) | Aexp::Mul(l, r) | Aexp::Div(l, r)
+            Aexp::Add(l, r)
+            | Aexp::Sub(l, r)
+            | Aexp::Mul(l, r)
+            | Aexp::Div(l, r)
             | Aexp::Mod(l, r) => {
                 l.collect_vars(out);
                 r.collect_vars(out);
@@ -261,15 +264,17 @@ impl Cmp {
         store: &crate::gterm::TermStore,
         bindings: &Bindings,
     ) -> Result<bool, EvalError> {
-        match (self.lhs.eval(store, bindings), self.rhs.eval(store, bindings)) {
+        match (
+            self.lhs.eval(store, bindings),
+            self.rhs.eval(store, bindings),
+        ) {
             (Ok(l), Ok(r)) => Ok(self.op.eval(l, r)),
             (l, r) if matches!(self.op, CmpOp::Eq | CmpOp::Ne) => {
                 // Fall back to structural equality for `=` / `!=` on
                 // bare terms (unbound variables still error).
                 if let (Aexp::Term(a), Aexp::Term(b)) = (&self.lhs, &self.rhs) {
-                    let eq = terms_eq(store, bindings, a, b).ok_or_else(|| {
-                        l.err().or(r.err()).unwrap_or(EvalError::NotAnInteger)
-                    })?;
+                    let eq = terms_eq(store, bindings, a, b)
+                        .ok_or_else(|| l.err().or(r.err()).unwrap_or(EvalError::NotAnInteger))?;
                     Ok(match self.op {
                         CmpOp::Eq => eq,
                         _ => !eq,
@@ -568,10 +573,7 @@ mod tests {
         let eq = Cmp {
             op: CmpOp::Eq,
             lhs: Aexp::Term(Term::Var(x)),
-            rhs: Aexp::Term(Term::App(
-                s,
-                vec![Term::Const(f.syms.intern("zero"))],
-            )),
+            rhs: Aexp::Term(Term::App(s, vec![Term::Const(f.syms.intern("zero"))])),
         };
         assert_eq!(eq.eval(&f.store, &b), Ok(true));
         let ne_shape = Cmp {
@@ -656,7 +658,10 @@ mod tests {
         let q = f.preds.intern(f.syms.intern("q"), 2);
         let r = Rule::new(
             Literal::pos(p, vec![Term::Var(y), Term::Var(x)]),
-            vec![BodyItem::Lit(Literal::pos(q, vec![Term::Var(x), Term::Var(y)]))],
+            vec![BodyItem::Lit(Literal::pos(
+                q,
+                vec![Term::Var(x), Term::Var(y)],
+            ))],
         );
         assert_eq!(r.vars(), vec![y, x]);
         assert_eq!(r.body_lits().count(), 1);

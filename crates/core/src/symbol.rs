@@ -125,8 +125,7 @@ mod tests {
     fn iter_visits_in_id_order() {
         let mut t = SymbolTable::new();
         let syms: Vec<Sym> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
-        let collected: Vec<(Sym, String)> =
-            t.iter().map(|(s, n)| (s, n.to_string())).collect();
+        let collected: Vec<(Sym, String)> = t.iter().map(|(s, n)| (s, n.to_string())).collect();
         assert_eq!(
             collected,
             vec![

@@ -76,12 +76,7 @@ impl Term {
     /// with partial matches — callers must treat it as poisoned on
     /// failure) when the shapes disagree or a variable is already bound
     /// to a different term.
-    pub fn match_ground(
-        &self,
-        g: GTermId,
-        store: &TermStore,
-        bindings: &mut Bindings,
-    ) -> bool {
+    pub fn match_ground(&self, g: GTermId, store: &TermStore, bindings: &mut Bindings) -> bool {
         use crate::gterm::GTerm;
         match self {
             Term::Var(v) => match bindings.get(v) {

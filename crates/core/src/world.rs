@@ -195,7 +195,10 @@ mod tests {
             vec![BodyItem::Lit(Literal::pos(bird, vec![Term::Var(x)]))],
         );
         assert_eq!(w.rule_str(&r), "fly(X) :- bird(X).");
-        let f = Rule::fact(Literal::neg(fly, vec![Term::Const(w.syms.intern("penguin"))]));
+        let f = Rule::fact(Literal::neg(
+            fly,
+            vec![Term::Const(w.syms.intern("penguin"))],
+        ));
         assert_eq!(w.rule_str(&f), "-fly(penguin).");
     }
 

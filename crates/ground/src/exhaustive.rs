@@ -49,6 +49,7 @@ fn instantiate_rule(
             return Err(GroundError::TooManyInstances(cfg.max_instances));
         }
         *budget -= 1;
+        cfg.budget.tick()?;
         emit(world, rule, comp, &bindings, out);
         return Ok(());
     }
@@ -63,6 +64,7 @@ fn instantiate_rule(
             return Err(GroundError::TooManyInstances(cfg.max_instances));
         }
         *budget -= 1;
+        cfg.budget.tick()?;
         bindings.clear();
         for (v, &i) in vars.iter().zip(idx.iter()) {
             bindings.insert(*v, universe[i]);
@@ -207,11 +209,7 @@ mod tests {
     #[test]
     fn instance_budget_enforced() {
         let mut w = World::new();
-        let p = parse_program(
-            &mut w,
-            "p(a). p(b). p(c). q(X,Y,Z) :- p(X), p(Y), p(Z).",
-        )
-        .unwrap();
+        let p = parse_program(&mut w, "p(a). p(b). p(c). q(X,Y,Z) :- p(X), p(Y), p(Z).").unwrap();
         let cfg = GroundConfig {
             max_instances: 10,
             ..Default::default()

@@ -63,9 +63,7 @@ impl GroundProgram {
     pub fn new(mut rules: Vec<GroundRule>, order: Order, n_atoms: usize) -> Self {
         // Canonical dedup across (comp, head, body). Sorting keeps the
         // construction deterministic independent of grounding order.
-        rules.sort_unstable_by(|a, b| {
-            (a.comp, a.head, &a.body).cmp(&(b.comp, b.head, &b.body))
-        });
+        rules.sort_unstable_by(|a, b| (a.comp, a.head, &a.body).cmp(&(b.comp, b.head, &b.body)));
         rules.dedup();
         let views = (0..order.len())
             .map(|c| {

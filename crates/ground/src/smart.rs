@@ -52,8 +52,8 @@ use crate::program::{GroundProgram, GroundRule};
 use crate::universe::{signature, GroundConfig, GroundError};
 use olp_core::term::Bindings;
 use olp_core::{
-    AtomId, CompId, FxHashMap, FxHashSet, GLit, GTerm, GTermId, Literal, OrderedProgram,
-    PredId, Sign, Sym, World,
+    AtomId, CompId, FxHashMap, FxHashSet, GLit, GTerm, GTermId, Literal, OrderedProgram, PredId,
+    Sign, Sym, World,
 };
 use std::collections::VecDeque;
 
@@ -89,6 +89,9 @@ struct Smart<'w> {
     out: Vec<GroundRule>,
     budget: usize,
     max_instances: usize,
+    /// Shared governor (deadline / step budget / cancellation); charged
+    /// alongside the local instance budget in [`Smart::spend`].
+    gov: olp_core::Budget,
     /// Same depth bound as the exhaustive grounder: an instance whose
     /// variable bindings exceed it is dropped, which keeps derivations
     /// through function symbols (e.g. `even(s(s(X))) ← even(X)`)
@@ -102,6 +105,7 @@ impl<'w> Smart<'w> {
             return Err(GroundError::TooManyInstances(self.max_instances));
         }
         self.budget -= n;
+        self.gov.charge(n as u64)?;
         Ok(())
     }
 
@@ -185,7 +189,9 @@ impl<'w> Smart<'w> {
 
     fn emit(&mut self, rule_ix: usize, b: &Bindings) -> Result<(), GroundError> {
         self.spend(1)?;
-        if b.values().any(|&t| self.world.terms.depth(t) > self.max_depth) {
+        if b.values()
+            .any(|&t| self.world.terms.depth(t) > self.max_depth)
+        {
             return Ok(());
         }
         for cmp in &self.rules[rule_ix].cmps {
@@ -219,7 +225,8 @@ impl<'w> Smart<'w> {
         let lit = self.rules[rule_ix].lits[pos].clone();
         let candidates: Vec<AtomId> = self
             .d_by
-            .get(&(lit.pred, lit.sign)).cloned()
+            .get(&(lit.pred, lit.sign))
+            .cloned()
             .unwrap_or_default();
         // Variables this literal can newly bind (everything else in `b`
         // predates the match and must survive the undo).
@@ -227,8 +234,11 @@ impl<'w> Smart<'w> {
         lit.collect_vars(&mut lit_vars);
         for cand in candidates {
             self.spend(1)?;
-            let preexisting: Vec<Sym> =
-                lit_vars.iter().copied().filter(|v| b.contains_key(v)).collect();
+            let preexisting: Vec<Sym> = lit_vars
+                .iter()
+                .copied()
+                .filter(|v| b.contains_key(v))
+                .collect();
             if self.match_lit(&lit, cand, b) {
                 self.join(rule_ix, positions, from + 1, b)?;
             }
@@ -284,8 +294,7 @@ impl<'w> Smart<'w> {
             if self.adom.len() != last_adom {
                 last_adom = self.adom.len();
                 for rule_ix in self.adom_dependent.clone() {
-                    let positions: Vec<usize> =
-                        (0..self.rules[rule_ix].lits.len()).collect();
+                    let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len()).collect();
                     let mut b = Bindings::default();
                     self.join(rule_ix, &positions, 0, &mut b)?;
                 }
@@ -358,11 +367,13 @@ impl<'w> Smart<'w> {
                     self.spend(1)?;
                     // Comparisons must hold (and bindings must respect
                     // the depth bound) for the instance to exist.
-                    let cmps_ok = self.rules[rule_ix].cmps.iter().all(|c| {
-                        matches!(c.eval(&self.world.terms, &b), Ok(true))
-                    }) && !b
-                        .values()
-                        .any(|&t| self.world.terms.depth(t) > self.max_depth);
+                    let cmps_ok = self.rules[rule_ix]
+                        .cmps
+                        .iter()
+                        .all(|c| matches!(c.eval(&self.world.terms, &b), Ok(true)))
+                        && !b
+                            .values()
+                            .any(|&t| self.world.terms.depth(t) > self.max_depth);
                     if cmps_ok {
                         // Classify. The instance can ever be *blocked*
                         // iff some body literal's complement is
@@ -515,6 +526,7 @@ pub fn ground_smart_seeded(
         out: Vec::new(),
         budget: cfg.max_instances,
         max_instances: cfg.max_instances,
+        gov: cfg.budget.clone(),
         max_depth: cfg.max_depth,
     };
     for &c in &sig.constants {
@@ -566,7 +578,12 @@ mod tests {
         let p1 = parse_program(&mut w1, src).unwrap();
         let ge = ground_exhaustive(&mut w1, &p1, &GroundConfig::default()).unwrap();
         let (_, gs) = smart(src);
-        assert!(gs.len() < ge.len(), "smart {} < exhaustive {}", gs.len(), ge.len());
+        assert!(
+            gs.len() < ge.len(),
+            "smart {} < exhaustive {}",
+            gs.len(),
+            ge.len()
+        );
     }
 
     #[test]
@@ -654,11 +671,7 @@ mod tests {
     #[test]
     fn budget_enforced() {
         let mut w = World::new();
-        let p = parse_program(
-            &mut w,
-            "p(a). p(b). p(c). q(X,Y,Z) :- p(X), p(Y), p(Z).",
-        )
-        .unwrap();
+        let p = parse_program(&mut w, "p(a). p(b). p(c). q(X,Y,Z) :- p(X), p(Y), p(Z).").unwrap();
         let cfg = GroundConfig {
             max_instances: 5,
             ..Default::default()
@@ -682,8 +695,7 @@ mod tests {
         // the bound); depth 6 heads do not (X would need depth 4).
         let e4 = parse_ground_literal(&mut w, "even(s(s(s(s(zero)))))").unwrap();
         assert!(g.rules.iter().any(|r| r.head == e4));
-        let e6 =
-            parse_ground_literal(&mut w, "even(s(s(s(s(s(s(zero)))))))").unwrap();
+        let e6 = parse_ground_literal(&mut w, "even(s(s(s(s(s(s(zero)))))))").unwrap();
         assert!(!g.rules.iter().any(|r| r.head == e6));
     }
 }

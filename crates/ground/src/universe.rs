@@ -6,7 +6,9 @@
 //! size-bounded by [`GroundConfig::max_terms`]; function-free programs
 //! are unaffected by either bound.
 
-use olp_core::{BodyItem, FxHashSet, GTermId, OrderedProgram, Sym, Term, World};
+use olp_core::{
+    BodyItem, Budget, FxHashSet, GTermId, InterruptReason, OrderedProgram, Sym, Term, World,
+};
 use std::fmt;
 
 /// Resource limits and bounds for grounding.
@@ -19,6 +21,9 @@ pub struct GroundConfig {
     pub max_terms: usize,
     /// Hard cap on the number of rule instantiations *attempted*.
     pub max_instances: usize,
+    /// Shared resource governor: deadline, step budget, cancellation.
+    /// The default is unlimited; the instance caps above still apply.
+    pub budget: Budget,
 }
 
 impl Default for GroundConfig {
@@ -27,6 +32,7 @@ impl Default for GroundConfig {
             max_depth: 2,
             max_terms: 100_000,
             max_instances: 10_000_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -40,23 +46,41 @@ pub enum GroundError {
     TooManyInstances(usize),
     /// The component order is invalid.
     Order(olp_core::OrderError),
+    /// The [`GroundConfig::budget`] ran out (deadline, step budget, or
+    /// cancellation). Grounding is all-or-nothing — a partially ground
+    /// program has no useful semantics — so exhaustion is an error, not
+    /// a partial result.
+    Interrupted(InterruptReason),
 }
 
 impl fmt::Display for GroundError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GroundError::TooManyTerms(n) => {
-                write!(f, "Herbrand universe exceeded {n} terms; raise max_terms or lower max_depth")
+                write!(
+                    f,
+                    "Herbrand universe exceeded {n} terms; raise max_terms or lower max_depth"
+                )
             }
             GroundError::TooManyInstances(n) => {
-                write!(f, "grounding exceeded {n} rule instantiations; raise max_instances")
+                write!(
+                    f,
+                    "grounding exceeded {n} rule instantiations; raise max_instances"
+                )
             }
             GroundError::Order(e) => write!(f, "invalid component order: {e}"),
+            GroundError::Interrupted(r) => write!(f, "grounding interrupted: {r}"),
         }
     }
 }
 
 impl std::error::Error for GroundError {}
+
+impl From<InterruptReason> for GroundError {
+    fn from(r: InterruptReason) -> Self {
+        GroundError::Interrupted(r)
+    }
+}
 
 impl From<olp_core::OrderError> for GroundError {
     fn from(e: olp_core::OrderError) -> Self {
@@ -122,14 +146,13 @@ pub fn signature(world: &mut World, prog: &OrderedProgram) -> Signature {
                     walk_term(t, world, &mut sig);
                 }
             } else {
-                sig.has_vars = sig.has_vars
-                    || {
-                        let mut vs = Vec::new();
-                        if let BodyItem::Cmp(c) = item {
-                            c.collect_vars(&mut vs);
-                        }
-                        !vs.is_empty()
-                    };
+                sig.has_vars = sig.has_vars || {
+                    let mut vs = Vec::new();
+                    if let BodyItem::Cmp(c) = item {
+                        c.collect_vars(&mut vs);
+                    }
+                    !vs.is_empty()
+                };
             }
         }
     }
@@ -165,6 +188,7 @@ pub fn herbrand_universe(
             // one argument is from `frontier`.
             let mut idx = vec![0usize; arity];
             loop {
+                cfg.budget.tick()?;
                 let args: Vec<GTermId> = idx.iter().map(|&i| universe[i]).collect();
                 if args.iter().any(|a| frontier.contains(a)) {
                     let t = world.terms.func(f, &args);

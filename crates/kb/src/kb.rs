@@ -10,11 +10,14 @@
 //! for the choice-style programs.
 
 use crate::relation::Relation;
-use olp_core::{CompId, FxHashMap, Interpretation, Literal, Rule, Term, Truth, World};
+use olp_core::{
+    Budget, CompId, Eval, FxHashMap, Interpretation, Literal, Rule, Term, Truth, World,
+};
 use olp_ground::{ground_exhaustive, ground_smart, GroundConfig, GroundError, GroundProgram};
 use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
-use olp_semantics::{least_model, stable_models, View};
+use olp_semantics::{least_model, least_model_budgeted, stable_models, View};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Which grounder [`KbBuilder::build`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +65,55 @@ impl From<ParseError> for KbError {
 impl From<GroundError> for KbError {
     fn from(e: GroundError) -> Self {
         KbError::Ground(e)
+    }
+}
+
+/// Resource limits for a single query. The default is unlimited.
+///
+/// Budgeted query methods (`model_with`, `truth_with`, `query_with`,
+/// `skeptical_with`, `stable_with`) return an [`Eval`]: `Complete` when
+/// the computation finished within the limits, `Interrupted` with an
+/// *anytime* partial result otherwise (see each method for what the
+/// partial result guarantees).
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Absolute wall-clock deadline for the call.
+    pub deadline: Option<Instant>,
+    /// Cap on engine work units (rule firings / search nodes / ticks).
+    pub max_steps: Option<u64>,
+    /// Cap on the number of stable models enumerated (stable/skeptical
+    /// queries only).
+    pub max_models: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Unlimited options (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets the step cap.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Sets the model cap.
+    pub fn max_models(mut self, max_models: usize) -> Self {
+        self.max_models = Some(max_models);
+        self
+    }
+
+    /// The [`Budget`] these options describe (a fresh one per call —
+    /// step counts do not carry over between queries).
+    pub fn budget(&self) -> Budget {
+        Budget::limited(self.max_steps, self.deadline)
     }
 }
 
@@ -137,8 +189,7 @@ impl KbBuilder {
                 .iter()
                 .map(|&t| ground_term_to_term(&self.world, t))
                 .collect();
-            self.prog
-                .add_rule(c, Rule::fact(Literal::pos(pred, args)));
+            self.prog.add_rule(c, Rule::fact(Literal::pos(pred, args)));
         }
         self
     }
@@ -161,9 +212,7 @@ impl KbBuilder {
     ) -> Result<Kb, KbError> {
         let ground = match strategy {
             GroundStrategy::Smart => ground_smart(&mut self.world, &self.prog, cfg)?,
-            GroundStrategy::Exhaustive => {
-                ground_exhaustive(&mut self.world, &self.prog, cfg)?
-            }
+            GroundStrategy::Exhaustive => ground_exhaustive(&mut self.world, &self.prog, cfg)?,
         };
         Ok(Kb {
             world: self.world,
@@ -185,7 +234,9 @@ fn ground_term_to_term(world: &World, t: olp_core::GTermId) -> Term {
         GTerm::Int(i) => Term::Int(*i),
         GTerm::Func(f, args) => Term::App(
             *f,
-            args.iter().map(|&a| ground_term_to_term(world, a)).collect(),
+            args.iter()
+                .map(|&a| ground_term_to_term(world, a))
+                .collect(),
         ),
     }
 }
@@ -223,6 +274,27 @@ impl Kb {
         Ok(&self.least_cache[&c])
     }
 
+    /// [`Kb::model`] under [`QueryOptions`] limits. Only a `Complete`
+    /// model is cached; an `Interrupted` result carries the partial
+    /// interpretation computed so far, which is a **sound
+    /// under-approximation** of the least model (every literal in it is
+    /// genuinely derivable).
+    pub fn model_with(
+        &mut self,
+        object: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<Interpretation>, KbError> {
+        let c = self.comp(object)?;
+        if let Some(m) = self.least_cache.get(&c) {
+            return Ok(Eval::Complete(m.clone()));
+        }
+        let eval = least_model_budgeted(&View::new(&self.ground, c), &opts.budget());
+        if let Eval::Complete(m) = &eval {
+            self.least_cache.insert(c, m.clone());
+        }
+        Ok(eval)
+    }
+
     /// Truth of a ground literal (e.g. `"fly(penguin)"` or
     /// `"-fly(penguin)"`) from `object`'s point of view, under the
     /// least (assumption-free) model. A negative query returns `True`
@@ -238,6 +310,31 @@ impl Kb {
         } else {
             Truth::Undefined
         })
+    }
+
+    /// [`Kb::truth`] under [`QueryOptions`] limits.
+    ///
+    /// On a partial result, `True` and `False` verdicts are final (the
+    /// partial model only contains genuinely derivable literals);
+    /// `Undefined` is provisional — an uninterrupted run might still
+    /// decide the query.
+    pub fn truth_with(
+        &mut self,
+        object: &str,
+        query: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<Truth>, KbError> {
+        let lit = parse_ground_literal(&mut self.world, query)
+            .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
+        Ok(self.model_with(object, opts)?.map(|m| {
+            if m.holds(lit) {
+                Truth::True
+            } else if m.holds(lit.complement()) {
+                Truth::False
+            } else {
+                Truth::Undefined
+            }
+        }))
     }
 
     /// Whether the query literal is derivably true in `object`.
@@ -286,24 +383,40 @@ impl Kb {
     /// `var=term` pairs in first-occurrence order. A ground pattern
     /// returns one empty binding when it holds and nothing otherwise.
     pub fn query(&mut self, object: &str, pattern: &str) -> Result<Vec<String>, KbError> {
-        let lit = olp_parser::parse_literal(&mut self.world, pattern)
-            .map_err(KbError::Parse)?;
+        let lit = olp_parser::parse_literal(&mut self.world, pattern).map_err(KbError::Parse)?;
         let c = self.comp(object)?;
         if !self.least_cache.contains_key(&c) {
             let m = least_model(&View::new(&self.ground, c));
             self.least_cache.insert(c, m);
         }
-        let m = &self.least_cache[&c];
+        Ok(self.enumerate_bindings(&lit, &self.least_cache[&c]))
+    }
+
+    /// [`Kb::query`] under [`QueryOptions`] limits. On a partial
+    /// result, every returned binding is genuinely true (the partial
+    /// model under-approximates), but further bindings may be missing.
+    pub fn query_with(
+        &mut self,
+        object: &str,
+        pattern: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<Vec<String>>, KbError> {
+        let lit = olp_parser::parse_literal(&mut self.world, pattern).map_err(KbError::Parse)?;
+        let eval = self.model_with(object, opts)?;
+        Ok(eval.map(|m| self.enumerate_bindings(&lit, &m)))
+    }
+
+    /// Every binding of `lit`'s variables whose instance is true in
+    /// `m`, rendered `var=term` and sorted.
+    fn enumerate_bindings(&self, lit: &Literal, m: &Interpretation) -> Vec<String> {
         let mut vars = Vec::new();
         lit.collect_vars(&mut vars);
         let mut out = Vec::new();
-        let candidates: Vec<olp_core::AtomId> =
-            self.world.atoms.of_pred(lit.pred).to_vec();
-        for atom in candidates {
+        for &atom in self.world.atoms.of_pred(lit.pred) {
             if !m.holds(olp_core::GLit::new(lit.sign, atom)) {
                 continue;
             }
-            let args = self.world.atoms.get(atom).args.clone();
+            let args = &self.world.atoms.get(atom).args;
             let mut b = olp_core::term::Bindings::default();
             let matched = lit
                 .args
@@ -313,19 +426,13 @@ impl Kb {
             if matched {
                 let binding: Vec<String> = vars
                     .iter()
-                    .map(|v| {
-                        format!(
-                            "{}={}",
-                            self.world.syms.name(*v),
-                            self.world.term_str(b[v])
-                        )
-                    })
+                    .map(|v| format!("{}={}", self.world.syms.name(*v), self.world.term_str(b[v])))
                     .collect();
                 out.push(binding.join(", "));
             }
         }
         out.sort();
-        Ok(out)
+        out
     }
 
     /// Explains why `query` holds (a proof tree) or does not (the fate
@@ -404,6 +511,25 @@ impl Kb {
         ))
     }
 
+    /// [`Kb::skeptical`] under [`QueryOptions`] limits.
+    ///
+    /// **Caveat:** a partial skeptical set intersects only the stable
+    /// models found before interruption, so it may *over*-approximate
+    /// (contain literals a complete run would drop). Treat it as
+    /// "consequences of the explored models", not safe conclusions.
+    pub fn skeptical_with(
+        &mut self,
+        object: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<Interpretation>, KbError> {
+        let c = self.comp(object)?;
+        Ok(olp_semantics::skeptical_consequences_budgeted(
+            &View::new(&self.ground, c),
+            self.ground.n_atoms,
+            &opts.budget(),
+        ))
+    }
+
     /// The stable models of the program in `object` (Definition 9).
     /// Exponential in the contested part; use for choice-style KBs.
     pub fn stable(&mut self, object: &str) -> Result<Vec<Interpretation>, KbError> {
@@ -411,6 +537,24 @@ impl Kb {
         Ok(stable_models(
             &View::new(&self.ground, c),
             self.ground.n_atoms,
+        ))
+    }
+
+    /// [`Kb::stable`] under [`QueryOptions`] limits (including
+    /// `max_models`). Every model in a partial result is a genuine
+    /// assumption-free model, maximal among those explored; models the
+    /// search had not reached are missing.
+    pub fn stable_with(
+        &mut self,
+        object: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<Vec<Interpretation>>, KbError> {
+        let c = self.comp(object)?;
+        Ok(olp_semantics::stable_models_budgeted(
+            &View::new(&self.ground, c),
+            self.ground.n_atoms,
+            &opts.budget(),
+            opts.max_models,
         ))
     }
 
@@ -492,8 +636,14 @@ mod tests {
     fn inheritance_with_exceptions_both_strategies() {
         for strategy in [GroundStrategy::Exhaustive, GroundStrategy::Smart] {
             let mut kb = penguin_kb(strategy);
-            assert_eq!(kb.truth("penguin_view", "fly(penguin)").unwrap(), Truth::False);
-            assert_eq!(kb.truth("penguin_view", "fly(pigeon)").unwrap(), Truth::True);
+            assert_eq!(
+                kb.truth("penguin_view", "fly(penguin)").unwrap(),
+                Truth::False
+            );
+            assert_eq!(
+                kb.truth("penguin_view", "fly(pigeon)").unwrap(),
+                Truth::True
+            );
             assert_eq!(kb.truth("bird", "fly(penguin)").unwrap(), Truth::True);
             assert!(kb.ask("penguin_view", "-fly(penguin)").unwrap());
         }
@@ -576,9 +726,12 @@ mod tests {
         assert!(kb.query("penguin_view", "fly(penguin)").unwrap().is_empty());
         // Multi-variable patterns.
         let mut b = KbBuilder::new();
-        b.rules("g", "parent(a,b). parent(b,c). anc(X,Y) :- parent(X,Y).
-                      anc(X,Y) :- parent(X,Z), anc(Z,Y).")
-            .unwrap();
+        b.rules(
+            "g",
+            "parent(a,b). parent(b,c). anc(X,Y) :- parent(X,Y).
+                      anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        )
+        .unwrap();
         let mut kb2 = b.build(GroundStrategy::Smart).unwrap();
         let ancs = kb2.query("g", "anc(X, Y)").unwrap();
         assert_eq!(ancs, vec!["X=a, Y=b", "X=a, Y=c", "X=b, Y=c"]);
@@ -601,17 +754,29 @@ mod tests {
         let mut kb = penguin_kb(GroundStrategy::Smart);
         // A new bird inherits the default.
         kb.assert_rule("bird", "bird(sparrow).").unwrap();
-        assert_eq!(kb.truth("penguin_view", "fly(sparrow)").unwrap(), Truth::True);
+        assert_eq!(
+            kb.truth("penguin_view", "fly(sparrow)").unwrap(),
+            Truth::True
+        );
         // Make it an exception.
-        kb.assert_rule("penguin_view", "ground_animal(sparrow).").unwrap();
-        assert_eq!(kb.truth("penguin_view", "fly(sparrow)").unwrap(), Truth::False);
+        kb.assert_rule("penguin_view", "ground_animal(sparrow).")
+            .unwrap();
+        assert_eq!(
+            kb.truth("penguin_view", "fly(sparrow)").unwrap(),
+            Truth::False
+        );
         // Retract the exception fact: back to flying.
         assert!(kb
             .retract_rule("penguin_view", "ground_animal(sparrow).")
             .unwrap());
-        assert_eq!(kb.truth("penguin_view", "fly(sparrow)").unwrap(), Truth::True);
+        assert_eq!(
+            kb.truth("penguin_view", "fly(sparrow)").unwrap(),
+            Truth::True
+        );
         // Retracting something absent reports false and changes nothing.
-        assert!(!kb.retract_rule("penguin_view", "ground_animal(dodo).").unwrap());
+        assert!(!kb
+            .retract_rule("penguin_view", "ground_animal(dodo).")
+            .unwrap());
     }
 
     #[test]
@@ -619,13 +784,17 @@ mod tests {
         let mut b = KbBuilder::new();
         b.rules("opts", "a. b.").unwrap();
         b.isa("chooser", "opts");
-        b.rules("chooser", "-a :- b. -b :- a. r :- a. r :- b.").unwrap();
+        b.rules("chooser", "-a :- b. -b :- a. r :- a. r :- b.")
+            .unwrap();
         let mut kb = b.build(GroundStrategy::Exhaustive).unwrap();
         let sk = kb.skeptical("chooser").unwrap();
         let rendered = kb.render(&sk);
         assert_eq!(rendered, "{r}");
-        assert_eq!(kb.truth("chooser", "r").unwrap(), Truth::Undefined,
-            "the least model cannot do case analysis; skeptical can");
+        assert_eq!(
+            kb.truth("chooser", "r").unwrap(),
+            Truth::Undefined,
+            "the least model cannot do case analysis; skeptical can"
+        );
     }
 
     #[test]
@@ -650,6 +819,58 @@ mod tests {
             ]
         );
         assert!(kb.diff("v1", "v1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn budgeted_queries_complete_with_headroom() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        let opts = QueryOptions::new().max_steps(1_000_000);
+        let ev = kb
+            .truth_with("penguin_view", "fly(penguin)", &opts)
+            .unwrap();
+        assert!(ev.is_complete());
+        assert_eq!(*ev.value(), Truth::False);
+        let q = kb.query_with("penguin_view", "fly(X)", &opts).unwrap();
+        assert_eq!(q.into_value(), vec!["X=pigeon"]);
+        let st = kb.stable_with("penguin_view", &opts).unwrap();
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn exhausted_budget_yields_partial_not_panic() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        let opts = QueryOptions::new().max_steps(1);
+        let ev = kb.model_with("penguin_view", &opts).unwrap();
+        assert!(ev.is_partial());
+        // The partial model under-approximates: re-run unbudgeted and
+        // check containment.
+        let partial = ev.into_value();
+        let full = kb.model("penguin_view").unwrap();
+        assert!(partial.is_subset(full));
+        // A complete model was never cached by the failed attempt, but
+        // the unbudgeted call above cached one; now the budgeted call
+        // hits the cache and completes even with max_steps(1).
+        let ev2 = kb.model_with("penguin_view", &opts).unwrap();
+        assert!(ev2.is_complete());
+    }
+
+    #[test]
+    fn model_cap_truncates_stable_enumeration() {
+        let mut b = KbBuilder::new();
+        b.rules("opts", "a. b.").unwrap();
+        b.isa("chooser", "opts");
+        b.rules("chooser", "-a :- b. -b :- a.").unwrap();
+        let mut kb = b.build(GroundStrategy::Exhaustive).unwrap();
+        let all = kb.stable("chooser").unwrap();
+        assert_eq!(all.len(), 2);
+        let capped = kb
+            .stable_with("chooser", &QueryOptions::new().max_models(1))
+            .unwrap();
+        assert!(capped.is_partial());
+        for m in capped.value() {
+            // Every partial member is a genuine assumption-free model.
+            assert!(all.iter().any(|full| m.is_subset(full)));
+        }
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct ArityMismatch {
 
 impl fmt::Display for ArityMismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tuple arity {} does not match relation arity {}", self.got, self.expected)
+        write!(
+            f,
+            "tuple arity {} does not match relation arity {}",
+            self.got, self.expected
+        )
     }
 }
 
@@ -77,11 +81,7 @@ impl Relation {
     }
 
     /// Convenience: interns integers and inserts.
-    pub fn insert_ints(
-        &mut self,
-        world: &mut World,
-        values: &[i64],
-    ) -> Result<(), ArityMismatch> {
+    pub fn insert_ints(&mut self, world: &mut World, values: &[i64]) -> Result<(), ArityMismatch> {
         let tuple: Vec<GTermId> = values.iter().map(|&v| world.int(v)).collect();
         self.insert(&tuple)
     }

@@ -494,10 +494,7 @@ mod tests {
     fn default_module_for_bare_rules() {
         let (w, p) = parse("a :- b. b.");
         assert_eq!(p.components.len(), 1);
-        assert_eq!(
-            w.syms.name(p.components[0].name),
-            "main"
-        );
+        assert_eq!(w.syms.name(p.components[0].name), "main");
         assert_eq!(p.components[0].rules.len(), 2);
     }
 

@@ -1,0 +1,115 @@
+//! Parser hardening: arbitrary byte soup and mutilated versions of the
+//! shipped sample programs must never panic the parser, and every
+//! rejection must carry a usable source position (1-based line/column
+//! within the input) rendered as `parse error at line:col: msg`.
+
+use olp_core::World;
+use olp_parser::{parse_program, ParseError};
+use proptest::prelude::*;
+
+/// The paper's sample programs, embedded so the test is hermetic.
+const SAMPLES: &[&str] = &[
+    include_str!("../../../examples/programs/penguin.olp"),
+    include_str!("../../../examples/programs/loan.olp"),
+    include_str!("../../../examples/programs/p5.olp"),
+];
+
+/// A rejection must point inside the input (or just past its end, for
+/// unexpected-EOF errors) and must render with the position.
+fn assert_error_is_diagnostic(src: &str, err: &ParseError) {
+    let n_lines = src.lines().count().max(1) as u32;
+    assert!(err.pos.line >= 1, "line is 1-based: {err}");
+    assert!(err.pos.col >= 1, "col is 1-based: {err}");
+    assert!(
+        err.pos.line <= n_lines + 1,
+        "line {} out of range for {n_lines}-line input",
+        err.pos.line
+    );
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains(&format!("{}:{}", err.pos.line, err.pos.col)),
+        "rendered error must cite line:col, got {rendered:?}"
+    );
+}
+
+/// Feed a candidate program through the parser; the only acceptable
+/// outcomes are Ok or a positioned ParseError — never a panic.
+fn check(src: &str) {
+    let mut w = World::new();
+    if let Err(e) = parse_program(&mut w, src) {
+        assert_error_is_diagnostic(src, &e);
+    }
+}
+
+proptest! {
+    /// Raw byte soup (lossily decoded: the public entry point takes
+    /// &str, so invalid UTF-8 cannot reach the parser).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        check(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// ASCII soup biased toward the parser's own alphabet, so deeper
+    /// paths (module headers, rules, comparisons) are actually reached.
+    #[test]
+    fn grammar_flavored_soup_never_panics(
+        picks in prop::collection::vec(0usize..20, 0..64)
+    ) {
+        const FRAGMENTS: &[&str] = &[
+            "module ", "order ", "< ", "{ ", "} ", ":- ", ". ", ", ",
+            "-", "p(X)", "q(a, b)", "X > Y + 2", "f(s(zero))", "%c\n",
+            "take_loan", "17", "(", ")", "!=", "\n",
+        ];
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        check(&src);
+    }
+
+    /// Truncating a valid program at an arbitrary char boundary.
+    #[test]
+    fn truncated_samples_never_panic(which in 0usize..3, cut in 0usize..400) {
+        let sample = SAMPLES[which];
+        let cut = sample
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([sample.len()])
+            .take_while(|&i| i <= cut.min(sample.len()))
+            .last()
+            .unwrap_or(0);
+        check(&sample[..cut]);
+    }
+
+    /// Single-byte mutations of a valid program (replace one char with
+    /// a printable ASCII char).
+    #[test]
+    fn mutated_samples_never_panic(
+        which in 0usize..3,
+        at in 0usize..400,
+        replacement in 0x20u8..0x7f
+    ) {
+        let sample = SAMPLES[which];
+        let mut chars: Vec<char> = sample.chars().collect();
+        if !chars.is_empty() {
+            let at = at % chars.len();
+            chars[at] = replacement as char;
+        }
+        check(&chars.iter().collect::<String>());
+    }
+}
+
+#[test]
+fn samples_parse_clean() {
+    // Baseline: the unmutated samples are valid, so the fuzz tests
+    // above really do start from parseable inputs.
+    for s in SAMPLES {
+        let mut w = World::new();
+        parse_program(&mut w, s).expect("sample program parses");
+    }
+}
+
+#[test]
+fn error_positions_are_exact() {
+    let mut w = World::new();
+    let err = parse_program(&mut w, "module m {\n  p :- q,\n}").unwrap_err();
+    assert_eq!(err.pos.line, 3, "error on the line with the stray brace");
+    assert!(err.to_string().starts_with("parse error at 3:"));
+}

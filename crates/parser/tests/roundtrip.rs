@@ -5,9 +5,7 @@
 //! the full AST surface: multi-module programs, negated heads, compound
 //! terms, integer arguments, comparisons with arithmetic.
 
-use olp_core::{
-    Aexp, BodyItem, Cmp, CmpOp, Literal, OrderedProgram, Rule, Sign, Term, World,
-};
+use olp_core::{Aexp, BodyItem, Cmp, CmpOp, Literal, OrderedProgram, Rule, Sign, Term, World};
 use olp_parser::{parse_program, program_to_string};
 use proptest::prelude::*;
 
@@ -65,7 +63,12 @@ enum GBody {
 fn body_strategy() -> impl Strategy<Value = GBody> {
     prop_oneof![
         lit_strategy().prop_map(GBody::Lit),
-        ((0..VARS.len()), 0..6usize, -20i64..100, prop::option::of(-5i64..5))
+        (
+            (0..VARS.len()),
+            0..6usize,
+            -20i64..100,
+            prop::option::of(-5i64..5)
+        )
             .prop_map(|(v, op, rhs, add)| GBody::Cmp(v, op, rhs, add)),
     ]
 }
@@ -98,10 +101,7 @@ fn program_strategy() -> impl Strategy<Value = GProgram> {
             )
         })
         .prop_map(|(modules, raw_edges)| {
-            let edges = raw_edges
-                .into_iter()
-                .filter(|&(a, b)| a < b)
-                .collect();
+            let edges = raw_edges.into_iter().filter(|&(a, b)| a < b).collect();
             GProgram { modules, edges }
         })
 }
@@ -169,10 +169,7 @@ fn build_program(w: &mut World, g: &GProgram) -> OrderedProgram {
         }
     }
     for &(a, b) in &g.edges {
-        prog.add_edge(
-            olp_core::CompId(a as u32),
-            olp_core::CompId(b as u32),
-        );
+        prog.add_edge(olp_core::CompId(a as u32), olp_core::CompId(b as u32));
     }
     prog
 }

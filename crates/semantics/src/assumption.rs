@@ -19,8 +19,8 @@
 //!   version*, Def. 8) keeps exactly the applied rules and `T` is the
 //!   classical immediate-consequence operator.
 
-use olp_core::Interpretation;
 use crate::view::View;
+use olp_core::Interpretation;
 use olp_core::{FxHashMap, FxHashSet, GLit};
 
 /// The enabled version `C^M`: the applied, **unattacked** rules of the
@@ -41,9 +41,7 @@ use olp_core::{FxHashMap, FxHashSet, GLit};
 /// it.
 pub fn enabled_version(view: &View, m: &Interpretation) -> Vec<(GLit, Box<[GLit]>)> {
     view.rules()
-        .filter(|&(li, _)| {
-            view.applied(li, m) && !view.overruled(li, m) && !view.defeated(li, m)
-        })
+        .filter(|&(li, _)| view.applied(li, m) && !view.overruled(li, m) && !view.defeated(li, m))
         .map(|(_, r)| (r.head, r.body.clone()))
         .collect()
 }
@@ -61,7 +59,10 @@ pub fn t_fixpoint(rules: &[(GLit, Box<[GLit]>)]) -> Interpretation {
     let mut i = Interpretation::new();
     let mut queue: Vec<GLit> = Vec::new();
     for (ri, (head, _)) in rules.iter().enumerate() {
-        if unsat[ri] == 0 && i.insert(*head).expect("enabled rules have consistent heads") {
+        if unsat[ri] == 0
+            && i.insert(*head)
+                .expect("enabled rules have consistent heads")
+        {
             queue.push(*head);
         }
     }
@@ -145,10 +146,8 @@ mod tests {
     }
 
     fn interp(w: &mut World, lits: &[&str]) -> Interpretation {
-        Interpretation::from_literals(
-            lits.iter().map(|s| parse_ground_literal(w, s).unwrap()),
-        )
-        .unwrap()
+        Interpretation::from_literals(lits.iter().map(|s| parse_ground_literal(w, s).unwrap()))
+            .unwrap()
     }
 
     #[test]
@@ -245,7 +244,10 @@ mod tests {
         let v = View::new(&g, CompId(0));
         let m = interp(&mut w, &["p3"]);
         assert!(is_model(&v, &m, g.n_atoms));
-        assert!(!has_no_assumption_set(&v, &m), "Def. 6: {{p3}} is an assumption set");
+        assert!(
+            !has_no_assumption_set(&v, &m),
+            "Def. 6: {{p3}} is an assumption set"
+        );
         assert!(!is_assumption_free(&v, &m), "Thm. 1a must agree");
         assert_eq!(
             greatest_assumption_set(&v, &m).len(),

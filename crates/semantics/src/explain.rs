@@ -14,9 +14,9 @@
 //!   blocking literal), *overruled* / *defeated* (with the active
 //!   attacker), or *not applicable* (with the missing body literals).
 
-use crate::fixpoint::least_model;
+use crate::fixpoint::{least_model, least_model_budgeted};
 use crate::view::{LocalIdx, View};
-use olp_core::{FxHashMap, GLit, Interpretation, World};
+use olp_core::{Budget, Eval, FxHashMap, GLit, Interpretation, World};
 
 /// A proof tree for a derived literal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +72,21 @@ pub fn explain(view: &View, lit: GLit) -> Why {
     explain_in(view, &m, lit)
 }
 
+/// [`explain`] under a [`Budget`]: the least-model computation may be
+/// interrupted, in which case the explanation is built against the
+/// partial model.
+///
+/// **Anytime guarantee:** a partial worklist prefix is closed under its
+/// own firings (every fired rule's conditions are monotone in the
+/// growing interpretation), so a `Proved` tree built on a partial model
+/// is a *genuine* proof, valid in the full least model too. A
+/// `NotProved` record on a partial result is provisional: it reports
+/// the rule fates *relative to the explored prefix* — the literal may
+/// still be derived by the unexplored remainder.
+pub fn explain_budgeted(view: &View, lit: GLit, budget: &Budget) -> Eval<Why> {
+    least_model_budgeted(view, budget).map(|m| explain_in(view, &m, lit))
+}
+
 /// Explains `lit` against a precomputed least model `m` of `view`.
 ///
 /// The proof tree is built from derivation ranks, so it is acyclic even
@@ -124,12 +139,7 @@ fn derivation_ranks(view: &View, m: &Interpretation) -> FxHashMap<GLit, u32> {
     }
 }
 
-fn build_proof(
-    view: &View,
-    m: &Interpretation,
-    ranks: &FxHashMap<GLit, u32>,
-    lit: GLit,
-) -> Proof {
+fn build_proof(view: &View, m: &Interpretation, ranks: &FxHashMap<GLit, u32>, lit: GLit) -> Proof {
     let my_rank = *ranks
         .get(&lit)
         .expect("literal in the least model has a derivation rank");
@@ -166,12 +176,7 @@ fn build_proof(
 fn fate_of(view: &View, m: &Interpretation, li: LocalIdx) -> Fate {
     // Blocking is reported first (strongest evidence), then attacks,
     // then inapplicability.
-    if let Some(&on) = view
-        .rule(li)
-        .body
-        .iter()
-        .find(|b| m.holds(b.complement()))
-    {
+    if let Some(&on) = view.rule(li).body.iter().find(|b| m.holds(b.complement())) {
         return Fate::Blocked { on };
     }
     if let Some(&by) = view.overrulers(li).iter().find(|&&a| !view.blocked(a, m)) {
@@ -291,7 +296,10 @@ mod tests {
         };
         assert_eq!(p.lit, no_fly);
         assert_eq!(p.premises.len(), 1, "via ground_animal(penguin)");
-        assert!(p.premises[0].premises.is_empty(), "a fact needs no premises");
+        assert!(
+            p.premises[0].premises.is_empty(),
+            "a fact needs no premises"
+        );
         let text = render_why(&w, &v, &why);
         assert!(text.contains("-fly(penguin)"));
         assert!(text.contains("ground_animal(penguin)"));
@@ -336,9 +344,7 @@ mod tests {
         let Why::NotProved(fates_q) = explain(&v, q) else {
             panic!("q is underivable")
         };
-        assert!(
-            matches!(&fates_q[0].1, Fate::NotApplicable { missing } if missing.len() == 1)
-        );
+        assert!(matches!(&fates_q[0].1, Fate::NotApplicable { missing } if missing.len() == 1));
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //!   rule/literal is touched O(1) times per edge, so the fixpoint is
 //!   linear in the size of the ground view.
 
-use olp_core::Interpretation;
 use crate::view::View;
+use olp_core::{Budget, Eval, Interpretation, Interrupted};
 
 /// One application of `V_{P,C}` to `i`.
 ///
@@ -38,13 +38,35 @@ pub fn v_step(view: &View, i: &Interpretation) -> Interpretation {
 
 /// Least fixpoint of `V_{P,C}` by naive iteration from `∅`.
 pub fn least_model_naive(view: &View) -> Interpretation {
+    least_model_naive_budgeted(view, &Budget::unlimited()).into_value()
+}
+
+/// [`least_model_naive`] under a [`Budget`].
+///
+/// On interruption the partial result is the **last completed
+/// iterate** `V^k(∅)`. The iterates from `∅` are increasing (Lemma 1),
+/// so that iterate is a sound under-approximation of the least model.
+pub fn least_model_naive_budgeted(view: &View, budget: &Budget) -> Eval<Interpretation> {
     let mut cur = Interpretation::new();
+    let mut ticker = budget.ticker();
     loop {
-        let next = v_step(view, &cur);
-        if next == cur {
-            return cur;
+        let mut out = Interpretation::new();
+        for (li, r) in view.rules() {
+            if let Err(reason) = ticker.tick() {
+                return Eval::Interrupted(Interrupted {
+                    reason,
+                    partial: cur,
+                });
+            }
+            if view.applicable(li, &cur) && !view.overruled(li, &cur) && !view.defeated(li, &cur) {
+                out.insert(r.head)
+                    .expect("V preserves consistency (Lemma 1)");
+            }
         }
-        cur = next;
+        if out == cur {
+            return Eval::Complete(cur);
+        }
+        cur = out;
     }
 }
 
@@ -53,7 +75,16 @@ pub fn least_model_naive(view: &View) -> Interpretation {
 /// By Theorem 1(b) this is the **least model** of the program in the
 /// component, the intersection of all models, and is assumption-free.
 pub fn least_model(view: &View) -> Interpretation {
-    least_model_impl(view, None)
+    least_model_impl(view, None, &Budget::unlimited()).into_value()
+}
+
+/// [`least_model`] under a [`Budget`].
+///
+/// On interruption the partial result contains only literals already
+/// derived by fired rules, i.e. a prefix of the monotone worklist
+/// closure — always a subset of the unbudgeted least model.
+pub fn least_model_budgeted(view: &View, budget: &Budget) -> Eval<Interpretation> {
+    least_model_impl(view, None, budget)
 }
 
 /// [`least_model`] restricted to the rules where `mask` is `true` —
@@ -61,10 +92,21 @@ pub fn least_model(view: &View) -> Interpretation {
 /// goal-directed prover ([`crate::prove::prove`]), which guarantees the mask
 /// is closed under derivation/blocking/attack dependencies.
 pub fn least_model_restricted(view: &View, mask: &[bool]) -> Interpretation {
-    least_model_impl(view, Some(mask))
+    least_model_impl(view, Some(mask), &Budget::unlimited()).into_value()
 }
 
-fn least_model_impl(view: &View, mask: Option<&[bool]>) -> Interpretation {
+/// [`least_model_restricted`] under a [`Budget`] (same partial-result
+/// guarantee as [`least_model_budgeted`], relative to the masked
+/// program).
+pub fn least_model_restricted_budgeted(
+    view: &View,
+    mask: &[bool],
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    least_model_impl(view, Some(mask), budget)
+}
+
+fn least_model_impl(view: &View, mask: Option<&[bool]>, budget: &Budget) -> Eval<Interpretation> {
     let n = view.len();
     let enabled = |li: u32| mask.is_none_or(|m| m[li as usize]);
     let mut unsat = vec![0u32; n];
@@ -75,23 +117,21 @@ fn least_model_impl(view: &View, mask: Option<&[bool]>) -> Interpretation {
 
     for (li, r) in view.rules() {
         unsat[li as usize] = r.body.len() as u32;
-        over[li as usize] = view
-            .overrulers(li)
-            .iter()
-            .filter(|&&a| enabled(a))
-            .count() as u32;
-        defeat[li as usize] = view
-            .defeaters(li)
-            .iter()
-            .filter(|&&a| enabled(a))
-            .count() as u32;
+        over[li as usize] = view.overrulers(li).iter().filter(|&&a| enabled(a)).count() as u32;
+        defeat[li as usize] = view.defeaters(li).iter().filter(|&&a| enabled(a)).count() as u32;
     }
 
     let mut i = Interpretation::new();
     let mut queue: Vec<olp_core::GLit> = Vec::new();
+    let mut interrupted = None;
+    let mut ticker = budget.ticker();
 
     // Seed: rules with empty bodies and no attackers at all.
     for (li, r) in view.rules() {
+        if let Err(reason) = ticker.tick() {
+            interrupted = Some(reason);
+            break;
+        }
         let l = li as usize;
         if enabled(li) && unsat[l] == 0 && over[l] == 0 && defeat[l] == 0 && !fired[l] {
             fired[l] = true;
@@ -101,7 +141,12 @@ fn least_model_impl(view: &View, mask: Option<&[bool]>) -> Interpretation {
         }
     }
 
-    while let Some(lit) = queue.pop() {
+    'work: while interrupted.is_none() {
+        let Some(lit) = queue.pop() else { break };
+        if let Err(reason) = ticker.tick() {
+            interrupted = Some(reason);
+            break 'work;
+        }
         // 1. Body satisfaction: rules with `lit` in the body get closer
         //    to applicability.
         for &li in view.rules_with_body_lit(lit) {
@@ -121,6 +166,10 @@ fn least_model_impl(view: &View, mask: Option<&[bool]>) -> Interpretation {
             let l = li as usize;
             if blocked[l] {
                 continue;
+            }
+            if let Err(reason) = ticker.tick() {
+                interrupted = Some(reason);
+                break 'work;
             }
             blocked[l] = true;
             if !enabled(li) {
@@ -150,7 +199,14 @@ fn least_model_impl(view: &View, mask: Option<&[bool]>) -> Interpretation {
             }
         }
     }
-    i
+    // Every inserted literal was derived by a fired rule whose body
+    // held and whose attackers were blocked at fire time — conditions
+    // monotone in `i` — so `i` is a prefix of the increasing worklist
+    // closure and a sound under-approximation of the least model.
+    match interrupted {
+        None => Eval::Complete(i),
+        Some(reason) => Eval::Interrupted(Interrupted { reason, partial: i }),
+    }
 }
 
 #[cfg(test)]
@@ -168,10 +224,9 @@ mod tests {
     }
 
     fn expect_model(w: &mut World, m: &Interpretation, lits: &[&str], n_atoms: usize) {
-        let want = Interpretation::from_literals(
-            lits.iter().map(|s| parse_ground_literal(w, s).unwrap()),
-        )
-        .unwrap();
+        let want =
+            Interpretation::from_literals(lits.iter().map(|s| parse_ground_literal(w, s).unwrap()))
+                .unwrap();
         assert_eq!(
             m.render(w),
             want.render(w),

@@ -65,21 +65,30 @@ pub mod stable_solver;
 pub mod view;
 
 pub use assumption::{
-    enabled_version, greatest_assumption_set, has_no_assumption_set, is_assumption_free,
-    t_fixpoint,
+    enabled_version, greatest_assumption_set, has_no_assumption_set, is_assumption_free, t_fixpoint,
 };
-pub use explain::{explain, explain_in, render_why, Fate, Proof, Why};
-pub use fixpoint::{least_model, least_model_naive, least_model_restricted, v_step};
-pub use prove::{prove, relevance_cone};
-pub use skeptical::{credulous_consequences, skeptical_consequences};
-pub use olp_core::{Inconsistency, Interpretation, Truth};
+pub use explain::{explain, explain_budgeted, explain_in, render_why, Fate, Proof, Why};
+pub use fixpoint::{
+    least_model, least_model_budgeted, least_model_naive, least_model_naive_budgeted,
+    least_model_restricted, least_model_restricted_budgeted, v_step,
+};
 pub use model::{check_model, is_model, ModelViolation};
+pub use olp_core::{
+    Budget, Eval, Inconsistency, Interpretation, InterruptReason, Interrupted, Truth,
+};
+pub use prove::{prove, prove_budgeted, relevance_cone, relevance_cone_budgeted};
+pub use skeptical::{
+    credulous_consequences, credulous_consequences_budgeted, skeptical_consequences,
+    skeptical_consequences_budgeted,
+};
 pub use stable::{
-    derivability_closure, enumerate_assumption_free, enumerate_models,
-    extend_to_exhaustive, has_total_model, is_exhaustive, maximal_only, stable_models, stable_models_naive,
+    derivability_closure, enumerate_assumption_free, enumerate_assumption_free_budgeted,
+    enumerate_models, extend_to_exhaustive, has_total_model, is_exhaustive, maximal_only,
+    stable_models, stable_models_budgeted, stable_models_naive,
 };
 pub use stable_solver::{
-    enumerate_assumption_free_parallel, enumerate_assumption_free_propagating,
+    enumerate_assumption_free_parallel, enumerate_assumption_free_parallel_budgeted,
+    enumerate_assumption_free_propagating, enumerate_assumption_free_propagating_budgeted,
     stable_models_parallel, stable_models_propagating,
 };
 pub use view::{LocalIdx, View, ViewStats};
@@ -92,8 +101,7 @@ pub fn interp_intersection(ms: &[Interpretation]) -> Interpretation {
         None => return Interpretation::new(),
     };
     for m in &ms[1..] {
-        let drop: Vec<olp_core::GLit> =
-            out.literals().filter(|&l| !m.holds(l)).collect();
+        let drop: Vec<olp_core::GLit> = out.literals().filter(|&l| !m.holds(l)).collect();
         for l in drop {
             out.remove(l);
         }

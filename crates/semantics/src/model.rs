@@ -10,8 +10,8 @@
 //!   either sign of it is overruled or defeated — a value may stay
 //!   undefined only when its derivations are suppressed.
 
-use olp_core::Interpretation;
 use crate::view::View;
+use olp_core::Interpretation;
 use olp_core::{AtomId, GLit, Sign};
 
 /// Checks Definition 3 for `m` in the component of `view`.
@@ -33,8 +33,7 @@ pub fn is_model(view: &View, m: &Interpretation, n_atoms: usize) -> bool {
         for sign in [Sign::Pos, Sign::Neg] {
             let h = GLit::new(sign, atom);
             for &li in view.rules_with_head(h) {
-                if view.applicable(li, m) && !view.overruled(li, m) && !view.defeated(li, m)
-                {
+                if view.applicable(li, m) && !view.overruled(li, m) && !view.defeated(li, m) {
                     return false;
                 }
             }
@@ -67,11 +66,7 @@ pub enum ModelViolation {
 }
 
 /// Like [`is_model`] but returns the first violation found.
-pub fn check_model(
-    view: &View,
-    m: &Interpretation,
-    n_atoms: usize,
-) -> Result<(), ModelViolation> {
+pub fn check_model(view: &View, m: &Interpretation, n_atoms: usize) -> Result<(), ModelViolation> {
     for lit in m.literals() {
         for &li in view.rules_with_head(lit.complement()) {
             if !view.blocked(li, m) && !view.overruled_by_applied(li, m) {
@@ -82,8 +77,7 @@ pub fn check_model(
     for atom in m.undefined_atoms(n_atoms) {
         for sign in [Sign::Pos, Sign::Neg] {
             for &li in view.rules_with_head(GLit::new(sign, atom)) {
-                if view.applicable(li, m) && !view.overruled(li, m) && !view.defeated(li, m)
-                {
+                if view.applicable(li, m) && !view.overruled(li, m) && !view.defeated(li, m) {
                     return Err(ModelViolation::Underivable { atom, rule: li });
                 }
             }
@@ -107,10 +101,8 @@ mod tests {
     }
 
     fn interp(w: &mut World, lits: &[&str]) -> Interpretation {
-        Interpretation::from_literals(
-            lits.iter().map(|s| parse_ground_literal(w, s).unwrap()),
-        )
-        .unwrap()
+        Interpretation::from_literals(lits.iter().map(|s| parse_ground_literal(w, s).unwrap()))
+            .unwrap()
     }
 
     const FIG1: &str = "module c2 {

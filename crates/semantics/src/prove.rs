@@ -19,12 +19,24 @@
 //! are closed over. Agreement with the global least model is
 //! property-tested in the crate tests and `tests/theorems.rs`.
 
-use crate::fixpoint::least_model_restricted;
+use crate::fixpoint::least_model_restricted_budgeted;
 use crate::view::{LocalIdx, View};
-use olp_core::{FxHashSet, GLit};
+use olp_core::{Budget, Eval, FxHashSet, GLit, InterruptReason, Interrupted};
 
 /// The set of view-local rule indices that can influence `query`.
 pub fn relevance_cone(view: &View, query: GLit) -> Vec<LocalIdx> {
+    relevance_cone_budgeted(view, query, &Budget::unlimited())
+        .expect("unlimited budget cannot interrupt")
+}
+
+/// [`relevance_cone`] under a [`Budget`]. The cone is all-or-nothing
+/// (a truncated cone would not be closed under influence edges), so an
+/// interruption yields `Err` rather than a partial cone.
+pub fn relevance_cone_budgeted(
+    view: &View,
+    query: GLit,
+    budget: &Budget,
+) -> Result<Vec<LocalIdx>, InterruptReason> {
     let mut lits: FxHashSet<GLit> = FxHashSet::default();
     let mut rules: FxHashSet<LocalIdx> = FxHashSet::default();
     let mut lit_stack = vec![query];
@@ -32,6 +44,7 @@ pub fn relevance_cone(view: &View, query: GLit) -> Vec<LocalIdx> {
 
     while !lit_stack.is_empty() || !rule_stack.is_empty() {
         while let Some(l) = lit_stack.pop() {
+            budget.tick()?;
             if !lits.insert(l) {
                 continue;
             }
@@ -40,6 +53,7 @@ pub fn relevance_cone(view: &View, query: GLit) -> Vec<LocalIdx> {
             }
         }
         while let Some(li) = rule_stack.pop() {
+            budget.tick()?;
             if !rules.insert(li) {
                 continue;
             }
@@ -60,18 +74,38 @@ pub fn relevance_cone(view: &View, query: GLit) -> Vec<LocalIdx> {
     }
     let mut out: Vec<LocalIdx> = rules.into_iter().collect();
     out.sort_unstable();
-    out
+    Ok(out)
 }
 
 /// Whether `query` is in the least model of the view, computed
 /// goal-directedly over its relevance cone.
 pub fn prove(view: &View, query: GLit) -> bool {
-    let cone = relevance_cone(view, query);
+    prove_budgeted(view, query, &Budget::unlimited()).into_value()
+}
+
+/// [`prove`] under a [`Budget`].
+///
+/// **Anytime guarantee:** the partial answer is a *sound
+/// under-approximation* — a partial `true` means the literal really is
+/// in the least model (the restricted fixpoint's partial result is a
+/// subset of its least fixpoint); a partial `false` means "not proven
+/// within budget", never "disproven".
+pub fn prove_budgeted(view: &View, query: GLit, budget: &Budget) -> Eval<bool> {
+    let cone = match relevance_cone_budgeted(view, query, budget) {
+        Ok(cone) => cone,
+        // No fixpoint was run, so nothing is proven yet.
+        Err(reason) => {
+            return Eval::Interrupted(Interrupted {
+                reason,
+                partial: false,
+            })
+        }
+    };
     let mut mask = vec![false; view.len()];
     for li in &cone {
         mask[*li as usize] = true;
     }
-    least_model_restricted(view, &mask).holds(query)
+    least_model_restricted_budgeted(view, &mask, budget).map(|m| m.holds(query))
 }
 
 #[cfg(test)]
@@ -178,7 +212,11 @@ mod tests {
             };
             for _ in 0..10 {
                 let head_atom = (next() % 5) as usize;
-                let head_sign = if next() % 3 == 0 { Sign::Neg } else { Sign::Pos };
+                let head_sign = if next() % 3 == 0 {
+                    Sign::Neg
+                } else {
+                    Sign::Pos
+                };
                 let pred = w.pred(&format!("p{head_atom}"), 0);
                 let head = Literal {
                     sign: head_sign,
@@ -188,7 +226,11 @@ mod tests {
                 let mut body = Vec::new();
                 for _ in 0..(next() % 3) {
                     let ba = (next() % 5) as usize;
-                    let bs = if next() % 2 == 0 { Sign::Pos } else { Sign::Neg };
+                    let bs = if next() % 2 == 0 {
+                        Sign::Pos
+                    } else {
+                        Sign::Neg
+                    };
                     let bp = w.pred(&format!("p{ba}"), 0);
                     body.push(BodyItem::Lit(Literal {
                         sign: bs,

@@ -21,14 +21,30 @@
 //! Cost: stable-model enumeration (exponential in the contested core).
 
 use crate::interp_intersection;
-use crate::stable::stable_models;
+use crate::stable::{stable_models, stable_models_budgeted};
 use crate::view::View;
-use olp_core::Interpretation;
+use olp_core::{Budget, Eval, Interpretation};
 
 /// The literals true in **every** stable model of the view.
 pub fn skeptical_consequences(view: &View, n_atoms: usize) -> Interpretation {
     let stable = stable_models(view, n_atoms);
     interp_intersection(&stable)
+}
+
+/// [`skeptical_consequences`] under a [`Budget`].
+///
+/// **Caveat (over-approximation):** a partial result intersects only
+/// the stable models *found so far*. Missing models can only shrink an
+/// intersection, so a partial skeptical set may contain literals that a
+/// complete run would drop — the opposite polarity from the engine's
+/// other anytime results. Callers must treat a `Partial` skeptical set
+/// as "consequences of the explored models", not as safe conclusions.
+pub fn skeptical_consequences_budgeted(
+    view: &View,
+    n_atoms: usize,
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    stable_models_budgeted(view, n_atoms, budget, None).map(|ms| interp_intersection(&ms))
 }
 
 /// The literals true in **some** stable model (credulous/brave
@@ -43,6 +59,29 @@ pub fn credulous_consequences(view: &View, n_atoms: usize) -> Vec<olp_core::GLit
     out.sort_unstable();
     out.dedup();
     out
+}
+
+/// [`credulous_consequences`] under a [`Budget`].
+///
+/// **Anytime guarantee:** every literal in a partial result holds in
+/// some explored assumption-free model that is maximal among those
+/// explored. A partial credulous set is a *subset of the credulous
+/// consequences over assumption-free models*; literals witnessed only
+/// by unexplored models are missing.
+pub fn credulous_consequences_budgeted(
+    view: &View,
+    n_atoms: usize,
+    budget: &Budget,
+) -> Eval<Vec<olp_core::GLit>> {
+    stable_models_budgeted(view, n_atoms, budget, None).map(|ms| {
+        let mut out: Vec<olp_core::GLit> = ms
+            .iter()
+            .flat_map(|m| m.literals().collect::<Vec<_>>())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    })
 }
 
 #[cfg(test)]

@@ -15,30 +15,63 @@
 //!   universe and is meant for small `n` only.
 
 use crate::assumption::is_assumption_free;
-use olp_core::Interpretation;
 use crate::model::is_model;
 use crate::view::View;
-use olp_core::{AtomId, FxHashSet, GLit};
+use olp_core::Interpretation;
+use olp_core::{AtomId, Budget, Eval, FxHashSet, GLit, InterruptReason, Interrupted};
 
 /// Enumerates every assumption-free model of the view.
 ///
 /// Exact but exponential in the number of derivable atoms; intended for
 /// programs whose *contested* part is small (the paper's examples, the
 /// benchmark generators). The result always contains the least model.
-pub fn enumerate_assumption_free(view: &View, _n_atoms: usize) -> Vec<Interpretation> {
-    let d = derivability_closure(view);
+pub fn enumerate_assumption_free(view: &View, n_atoms: usize) -> Vec<Interpretation> {
+    enumerate_assumption_free_budgeted(view, n_atoms, &Budget::unlimited(), None).into_value()
+}
+
+/// [`enumerate_assumption_free`] under a [`Budget`], optionally capped
+/// at `max_models` results.
+///
+/// **Anytime guarantee:** every interpretation in a partial result
+/// passed the exact leaf checks (model + assumption-free), so the
+/// partial list is always a subset of the unbudgeted enumeration —
+/// just possibly incomplete.
+pub fn enumerate_assumption_free_budgeted(
+    view: &View,
+    _n_atoms: usize,
+    budget: &Budget,
+    max_models: Option<usize>,
+) -> Eval<Vec<Interpretation>> {
+    let d = match derivability_closure_budgeted(view, budget) {
+        Ok(d) => d,
+        Err(reason) => {
+            return Eval::Interrupted(Interrupted {
+                reason,
+                partial: Vec::new(),
+            })
+        }
+    };
 
     // Branch atoms: atoms derivable in at least one sign; per-atom
     // candidate values derived from which signs are derivable.
-    let mut atoms: Vec<AtomId> = d.iter().map(|l| l.atom()).collect::<FxHashSet<_>>()
+    let mut atoms: Vec<AtomId> = d
+        .iter()
+        .map(|l| l.atom())
+        .collect::<FxHashSet<_>>()
         .into_iter()
         .collect();
     atoms.sort_unstable();
 
     let mut out = Vec::new();
     let mut cur = Interpretation::new();
-    search_af(view, &d, &atoms, 0, &mut cur, &mut out);
-    out
+    let cap = max_models.unwrap_or(usize::MAX);
+    match search_af(view, &d, &atoms, 0, &mut cur, &mut out, budget, cap) {
+        Ok(()) => Eval::Complete(out),
+        Err(reason) => Eval::Interrupted(Interrupted {
+            reason,
+            partial: out,
+        }),
+    }
 }
 
 /// The derivability closure `D` of a view: the `T`-fixpoint of all its
@@ -48,29 +81,42 @@ pub fn enumerate_assumption_free(view: &View, _n_atoms: usize) -> Vec<Interpreta
 /// [`crate::assumption::t_fixpoint`] it tolerates complementary heads —
 /// it is a *bound*, not an interpretation.
 pub fn derivability_closure(view: &View) -> FxHashSet<GLit> {
+    derivability_closure_budgeted(view, &Budget::unlimited())
+        .expect("unlimited budget cannot interrupt")
+}
+
+pub(crate) fn derivability_closure_budgeted(
+    view: &View,
+    budget: &Budget,
+) -> Result<FxHashSet<GLit>, InterruptReason> {
     let all_rules: Vec<(GLit, Box<[GLit]>)> = view
         .rules()
         .map(|(_, r)| (r.head, r.body.clone()))
         .collect();
-    t_closure_both_signs(&all_rules)
+    t_closure_both_signs(&all_rules, budget)
 }
 
-fn t_closure_both_signs(rules: &[(GLit, Box<[GLit]>)]) -> FxHashSet<GLit> {
+fn t_closure_both_signs(
+    rules: &[(GLit, Box<[GLit]>)],
+    budget: &Budget,
+) -> Result<FxHashSet<GLit>, InterruptReason> {
     let mut d: FxHashSet<GLit> = FxHashSet::default();
     loop {
         let mut changed = false;
         for (head, body) in rules {
+            budget.tick()?;
             if !d.contains(head) && body.iter().all(|b| d.contains(b)) {
                 d.insert(*head);
                 changed = true;
             }
         }
         if !changed {
-            return d;
+            return Ok(d);
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search_af(
     view: &View,
     d: &FxHashSet<GLit>,
@@ -78,28 +124,37 @@ fn search_af(
     at: usize,
     cur: &mut Interpretation,
     out: &mut Vec<Interpretation>,
-) {
+    budget: &Budget,
+    cap: usize,
+) -> Result<(), InterruptReason> {
+    budget.tick()?;
     if at == atoms.len() {
         if is_model_for_af_search(view, cur) && is_assumption_free(view, cur) {
             out.push(cur.clone());
+            if out.len() >= cap {
+                return Err(InterruptReason::ModelCap);
+            }
         }
-        return;
+        return Ok(());
     }
     let a = atoms[at];
     // Undefined branch.
-    search_af(view, d, atoms, at + 1, cur, out);
+    search_af(view, d, atoms, at + 1, cur, out, budget, cap)?;
     // True branch (only if the positive literal is derivable).
     if d.contains(&GLit::pos(a)) {
         cur.insert(GLit::pos(a)).expect("fresh atom");
-        search_af(view, d, atoms, at + 1, cur, out);
+        let r = search_af(view, d, atoms, at + 1, cur, out, budget, cap);
         cur.remove(GLit::pos(a));
+        r?;
     }
     // False branch.
     if d.contains(&GLit::neg(a)) {
         cur.insert(GLit::neg(a)).expect("fresh atom");
-        search_af(view, d, atoms, at + 1, cur, out);
+        let r = search_af(view, d, atoms, at + 1, cur, out, budget, cap);
         cur.remove(GLit::neg(a));
+        r?;
     }
+    Ok(())
 }
 
 /// Definition 3 evaluated by iterating rules instead of the atom
@@ -182,10 +237,9 @@ fn search_all(
 pub fn maximal_only(models: Vec<Interpretation>) -> Vec<Interpretation> {
     let mut out: Vec<Interpretation> = Vec::new();
     for m in &models {
-        if !models.iter().any(|n| m.is_proper_subset(n))
-            && !out.contains(m) {
-                out.push(m.clone());
-            }
+        if !models.iter().any(|n| m.is_proper_subset(n)) && !out.contains(m) {
+            out.push(m.clone());
+        }
     }
     out
 }
@@ -200,6 +254,44 @@ pub fn stable_models(view: &View, n_atoms: usize) -> Vec<Interpretation> {
     maximal_only(crate::stable_solver::enumerate_assumption_free_propagating(
         view, n_atoms,
     ))
+}
+
+/// [`stable_models`] under a [`Budget`], optionally capped at
+/// `max_models` *assumption-free* models explored.
+///
+/// **Anytime guarantee:** every interpretation in a partial result is
+/// a genuine assumption-free model (a member of the unbudgeted
+/// assumption-free enumeration). Maximality, however, is relative to
+/// the models found before the interruption — with a partial result a
+/// listed model may be subsumed by an undiscovered larger one, so
+/// treat partial entries as "best stable candidates so far".
+pub fn stable_models_budgeted(
+    view: &View,
+    n_atoms: usize,
+    budget: &Budget,
+    max_models: Option<usize>,
+) -> Eval<Vec<Interpretation>> {
+    match crate::stable_solver::enumerate_assumption_free_propagating_budgeted(
+        view, n_atoms, budget, max_models,
+    ) {
+        Eval::Complete(ms) => Eval::Complete(maximal_only(ms)),
+        Eval::Interrupted(Interrupted { reason, partial }) => {
+            // The budget is already spent here, and `maximal_only` is
+            // quadratic — on a large partial list it could cost far more
+            // than the limit it just enforced (a 1-second deadline must
+            // not be followed by a 10-second filter). Filter only when
+            // it is provably cheap; otherwise return the raw
+            // assumption-free list, which satisfies the same anytime
+            // guarantee (every member is a genuine AF model).
+            const CHEAP_FILTER: usize = 1024;
+            let partial = if partial.len() <= CHEAP_FILTER {
+                maximal_only(partial)
+            } else {
+                partial
+            };
+            Eval::Interrupted(Interrupted { reason, partial })
+        }
+    }
 }
 
 /// [`stable_models`] via the reference (non-propagating) enumerator.
@@ -218,11 +310,7 @@ pub fn has_total_model(view: &View, n_atoms: usize) -> bool {
 /// Extends a model to an **exhaustive** model (Proposition 2): a model
 /// that is a proper subset of no other model. Exact via enumeration of
 /// superset models; exponential; small programs only.
-pub fn extend_to_exhaustive(
-    view: &View,
-    m: &Interpretation,
-    n_atoms: usize,
-) -> Interpretation {
+pub fn extend_to_exhaustive(view: &View, m: &Interpretation, n_atoms: usize) -> Interpretation {
     let supers = enumerate_models(view, n_atoms, Some(m));
     // `m` itself is among the candidates when it is a model; Prop. 2
     // guarantees a maximal one exists.
@@ -378,8 +466,8 @@ mod tests {
     #[test]
     fn maximal_only_filters_correctly() {
         let a = Interpretation::from_literals([GLit::pos(AtomId(0))]).unwrap();
-        let ab = Interpretation::from_literals([GLit::pos(AtomId(0)), GLit::pos(AtomId(1))])
-            .unwrap();
+        let ab =
+            Interpretation::from_literals([GLit::pos(AtomId(0)), GLit::pos(AtomId(1))]).unwrap();
         let c = Interpretation::from_literals([GLit::neg(AtomId(2))]).unwrap();
         let out = maximal_only(vec![a.clone(), ab.clone(), c.clone(), ab.clone()]);
         assert_eq!(out.len(), 2);

@@ -25,12 +25,91 @@
 use crate::assumption::is_assumption_free;
 use crate::stable::maximal_only;
 use crate::view::{LocalIdx, View};
-use olp_core::{AtomId, FxHashMap, FxHashSet, GLit, Interpretation, Sign};
+use olp_core::{
+    AtomId, Budget, Eval, FxHashMap, FxHashSet, GLit, Interpretation, InterruptReason, Interrupted,
+    Sign,
+};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 
 const UNKNOWN: u8 = 0;
 const TRUE: u8 = 1;
 const FALSE: u8 = 2;
 const UNDEF: u8 = 3;
+
+fn encode_reason(r: InterruptReason) -> u8 {
+    match r {
+        InterruptReason::Steps => 1,
+        InterruptReason::Deadline => 2,
+        InterruptReason::Cancelled => 3,
+        InterruptReason::ModelCap => 4,
+    }
+}
+
+fn decode_reason(code: u8) -> InterruptReason {
+    match code {
+        1 => InterruptReason::Steps,
+        2 => InterruptReason::Deadline,
+        4 => InterruptReason::ModelCap,
+        _ => InterruptReason::Cancelled,
+    }
+}
+
+/// Shared governor state for one enumeration: the budget handle plus
+/// the cross-worker model count and first-interrupt latch. Sequential
+/// searches use a private instance; the parallel enumerator shares one
+/// across its crossbeam workers so a cap or budget trip stops all of
+/// them cooperatively.
+struct Governor<'b> {
+    budget: &'b Budget,
+    /// Stop enumerating once this many models have been found.
+    cap: usize,
+    found: AtomicUsize,
+    stopped: AtomicBool,
+    reason: AtomicU8,
+}
+
+impl<'b> Governor<'b> {
+    fn new(budget: &'b Budget, max_models: Option<usize>) -> Self {
+        Governor {
+            budget,
+            cap: max_models.unwrap_or(usize::MAX),
+            found: AtomicUsize::new(0),
+            stopped: AtomicBool::new(false),
+            reason: AtomicU8::new(0),
+        }
+    }
+
+    /// Latch the first interrupt reason and raise the stop flag.
+    fn trip(&self, r: InterruptReason) -> InterruptReason {
+        let _ =
+            self.reason
+                .compare_exchange(0, encode_reason(r), Ordering::Relaxed, Ordering::Relaxed);
+        self.stopped.store(true, Ordering::Release);
+        decode_reason(self.reason.load(Ordering::Relaxed))
+    }
+
+    /// Per-node gate: observes a prior trip, the model cap, and the
+    /// budget (one tick charged per call).
+    #[inline]
+    fn gate(&self) -> Result<(), InterruptReason> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(decode_reason(self.reason.load(Ordering::Relaxed)));
+        }
+        if self.found.load(Ordering::Relaxed) >= self.cap {
+            return Err(self.trip(InterruptReason::ModelCap));
+        }
+        self.budget.tick().map_err(|r| self.trip(r))
+    }
+
+    /// The latched trip reason, if any worker tripped the governor.
+    fn tripped_reason(&self) -> Option<InterruptReason> {
+        if self.stopped.load(Ordering::Acquire) {
+            Some(decode_reason(self.reason.load(Ordering::Relaxed)))
+        } else {
+            None
+        }
+    }
+}
 
 struct Solver<'a, 'g> {
     view: &'a View<'g>,
@@ -124,11 +203,12 @@ impl<'a, 'g> Solver<'a, 'g> {
         self.set(assign, l.atom(), v)
     }
 
-    /// Runs P1/P2 to fixpoint; `false` on conflict.
-    fn propagate(&self, assign: &mut [u8]) -> bool {
+    /// Runs P1/P2 to fixpoint; `Ok(false)` on conflict.
+    fn propagate(&self, assign: &mut [u8], gov: &Governor) -> Result<bool, InterruptReason> {
         loop {
             let mut changed = false;
             for (li, r) in self.view.rules() {
+                gov.budget.tick().map_err(|r| gov.trip(r))?;
                 // P1: forced firing.
                 if self.surely_applicable(assign, li)
                     && self
@@ -145,7 +225,7 @@ impl<'a, 'g> Solver<'a, 'g> {
                     match self.atom_state(assign, r.head.atom()) {
                         UNKNOWN => {
                             if !self.force_lit(assign, r.head) {
-                                return false;
+                                return Ok(false);
                             }
                             changed = true;
                         }
@@ -155,7 +235,7 @@ impl<'a, 'g> Solver<'a, 'g> {
                                 Sign::Neg => FALSE,
                             };
                             if s != want {
-                                return false;
+                                return Ok(false);
                             }
                         }
                     }
@@ -173,10 +253,10 @@ impl<'a, 'g> Solver<'a, 'g> {
                         .filter(|&b| !self.complement_impossible(assign, b))
                         .collect();
                     match refutable.len() {
-                        0 => return false,
+                        0 => return Ok(false),
                         1 => {
                             if !self.force_lit(assign, refutable[0].complement()) {
-                                return false;
+                                return Ok(false);
                             }
                             changed = true;
                         }
@@ -185,14 +265,15 @@ impl<'a, 'g> Solver<'a, 'g> {
                 }
             }
             if !changed {
-                return true;
+                return Ok(true);
             }
         }
     }
 
-    fn search(&mut self, assign: &mut [u8]) {
-        if !self.propagate(assign) {
-            return;
+    fn search(&mut self, assign: &mut [u8], gov: &Governor) -> Result<(), InterruptReason> {
+        gov.gate()?;
+        if !self.propagate(assign, gov)? {
+            return Ok(());
         }
         match assign.iter().position(|&s| s == UNKNOWN) {
             None => {
@@ -206,14 +287,18 @@ impl<'a, 'g> Solver<'a, 'g> {
                         _ => continue,
                     };
                     if m.insert(lit).is_err() {
-                        return; // unreachable: one slot per atom
+                        return Ok(()); // unreachable: one slot per atom
                     }
                 }
                 if crate::stable::is_model_for_af_search(self.view, &m)
                     && is_assumption_free(self.view, &m)
                 {
                     self.out.push(m);
+                    if gov.found.fetch_add(1, Ordering::Relaxed) + 1 >= gov.cap {
+                        return Err(gov.trip(InterruptReason::ModelCap));
+                    }
                 }
+                Ok(())
             }
             Some(i) => {
                 let atom = self.atoms[i];
@@ -228,8 +313,9 @@ impl<'a, 'g> Solver<'a, 'g> {
                 for v in options {
                     let mut child = assign.to_vec();
                     child[i] = v;
-                    self.search(&mut child);
+                    self.search(&mut child, gov)?;
                 }
+                Ok(())
             }
         }
     }
@@ -238,11 +324,32 @@ impl<'a, 'g> Solver<'a, 'g> {
 /// Enumerates every assumption-free model with unit propagation.
 /// Set-equal to [`crate::stable::enumerate_assumption_free`], usually
 /// much faster on programs with forced structure.
-pub fn enumerate_assumption_free_propagating(
+pub fn enumerate_assumption_free_propagating(view: &View, n_atoms: usize) -> Vec<Interpretation> {
+    enumerate_assumption_free_propagating_budgeted(view, n_atoms, &Budget::unlimited(), None)
+        .into_value()
+}
+
+/// [`enumerate_assumption_free_propagating`] under a [`Budget`],
+/// optionally capped at `max_models` results.
+///
+/// **Anytime guarantee:** every interpretation in a partial result
+/// passed the exact leaf checks, so the partial list is a subset of
+/// the unbudgeted enumeration.
+pub fn enumerate_assumption_free_propagating_budgeted(
     view: &View,
     _n_atoms: usize,
-) -> Vec<Interpretation> {
-    let d = crate::stable::derivability_closure(view);
+    budget: &Budget,
+    max_models: Option<usize>,
+) -> Eval<Vec<Interpretation>> {
+    let d = match crate::stable::derivability_closure_budgeted(view, budget) {
+        Ok(d) => d,
+        Err(reason) => {
+            return Eval::Interrupted(Interrupted {
+                reason,
+                partial: Vec::new(),
+            })
+        }
+    };
     let mut atoms: Vec<AtomId> = d
         .iter()
         .map(|l| l.atom())
@@ -250,8 +357,8 @@ pub fn enumerate_assumption_free_propagating(
         .into_iter()
         .collect();
     atoms.sort_unstable();
-    let slot: FxHashMap<AtomId, usize> =
-        atoms.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let slot: FxHashMap<AtomId, usize> = atoms.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let gov = Governor::new(budget, max_models);
     let mut solver = Solver {
         view,
         d,
@@ -260,8 +367,13 @@ pub fn enumerate_assumption_free_propagating(
         out: Vec::new(),
     };
     let mut assign = vec![UNKNOWN; solver.atoms.len()];
-    solver.search(&mut assign);
-    solver.out
+    match solver.search(&mut assign, &gov) {
+        Ok(()) => Eval::Complete(solver.out),
+        Err(reason) => Eval::Interrupted(Interrupted {
+            reason,
+            partial: solver.out,
+        }),
+    }
 }
 
 /// Stable models via the propagating enumerator.
@@ -276,10 +388,36 @@ pub fn stable_models_propagating(view: &View, n_atoms: usize) -> Vec<Interpretat
 /// enumerators; worthwhile when the contested core is large.
 pub fn enumerate_assumption_free_parallel(
     view: &View,
-    _n_atoms: usize,
+    n_atoms: usize,
     threads: usize,
 ) -> Vec<Interpretation> {
-    let d = crate::stable::derivability_closure(view);
+    enumerate_assumption_free_parallel_budgeted(view, n_atoms, threads, &Budget::unlimited(), None)
+        .into_value()
+}
+
+/// [`enumerate_assumption_free_parallel`] under a shared [`Budget`].
+///
+/// All workers share one [`Governor`], so cancellation / exhaustion on
+/// any thread stops the whole fleet promptly; the partial result is the
+/// merged, deduplicated union of what every worker had verified so far
+/// (each entry passed the exact leaf checks, so the partial list is a
+/// subset of the unbudgeted enumeration).
+pub fn enumerate_assumption_free_parallel_budgeted(
+    view: &View,
+    _n_atoms: usize,
+    threads: usize,
+    budget: &Budget,
+    max_models: Option<usize>,
+) -> Eval<Vec<Interpretation>> {
+    let d = match crate::stable::derivability_closure_budgeted(view, budget) {
+        Ok(d) => d,
+        Err(reason) => {
+            return Eval::Interrupted(Interrupted {
+                reason,
+                partial: Vec::new(),
+            })
+        }
+    };
     let mut atoms: Vec<AtomId> = d
         .iter()
         .map(|l| l.atom())
@@ -287,9 +425,9 @@ pub fn enumerate_assumption_free_parallel(
         .into_iter()
         .collect();
     atoms.sort_unstable();
-    let slot: FxHashMap<AtomId, usize> =
-        atoms.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let slot: FxHashMap<AtomId, usize> = atoms.iter().enumerate().map(|(i, &a)| (a, i)).collect();
     let threads = threads.max(1);
+    let gov = Governor::new(budget, max_models);
 
     // Breadth-first expansion of the prefix frontier, with propagation
     // applied at every step so dead prefixes never spawn work.
@@ -303,10 +441,7 @@ pub fn enumerate_assumption_free_parallel(
     let mut frontier: Vec<Vec<u8>> = vec![vec![UNKNOWN; seed_solver.atoms.len()]];
     let mut leaves: Vec<Vec<u8>> = Vec::new();
     while frontier.len() < threads * 2 {
-        let Some(pos) = frontier
-            .iter()
-            .position(|a| a.contains(&UNKNOWN))
-        else {
+        let Some(pos) = frontier.iter().position(|a| a.contains(&UNKNOWN)) else {
             break;
         };
         let assign = frontier.swap_remove(pos);
@@ -325,11 +460,22 @@ pub fn enumerate_assumption_free_parallel(
         for v in options {
             let mut child = assign.to_vec();
             child[i] = v;
-            if seed_solver.propagate(&mut child) {
-                if child.contains(&UNKNOWN) {
-                    frontier.push(child);
-                } else {
-                    leaves.push(child);
+            match seed_solver.propagate(&mut child, &gov) {
+                Ok(true) => {
+                    if child.contains(&UNKNOWN) {
+                        frontier.push(child);
+                    } else {
+                        leaves.push(child);
+                    }
+                }
+                Ok(false) => {}
+                // Interrupted before any leaf was verified: no model in
+                // the partial result is unsound, so return the empty list.
+                Err(reason) => {
+                    return Eval::Interrupted(Interrupted {
+                        reason,
+                        partial: Vec::new(),
+                    })
                 }
             }
         }
@@ -339,7 +485,9 @@ pub fn enumerate_assumption_free_parallel(
     }
     frontier.extend(leaves);
 
-    // Complete each prefix on a worker thread.
+    // Complete each prefix on a worker thread. Every worker shares the
+    // one governor, so the first budget trip (on any thread) stops the
+    // whole fleet at its next gate.
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<Vec<Interpretation>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -349,6 +497,7 @@ pub fn enumerate_assumption_free_parallel(
                 let d = &d;
                 let atoms = &atoms;
                 let slot = &slot;
+                let gov = &gov;
                 scope.spawn(move |_| {
                     let mut solver = Solver {
                         view,
@@ -363,12 +512,19 @@ pub fn enumerate_assumption_free_parallel(
                             return solver.out;
                         }
                         let mut assign = frontier[i].clone();
-                        solver.search(&mut assign);
+                        if solver.search(&mut assign, gov).is_err() {
+                            // Keep whatever this worker verified; the
+                            // reason is latched in the governor.
+                            return solver.out;
+                        }
                     }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     })
     .expect("scope");
 
@@ -382,15 +538,19 @@ pub fn enumerate_assumption_free_parallel(
             .cmp(&b.literals().collect::<Vec<_>>())
     });
     out.dedup();
-    out
+    match gov.tripped_reason() {
+        // A ModelCap trip with the cap actually reached is still a cap
+        // interruption (the enumeration is intentionally truncated).
+        Some(reason) => Eval::Interrupted(Interrupted {
+            reason,
+            partial: out,
+        }),
+        None => Eval::Complete(out),
+    }
 }
 
 /// Stable models via the parallel enumerator.
-pub fn stable_models_parallel(
-    view: &View,
-    n_atoms: usize,
-    threads: usize,
-) -> Vec<Interpretation> {
+pub fn stable_models_parallel(view: &View, n_atoms: usize, threads: usize) -> Vec<Interpretation> {
     maximal_only(enumerate_assumption_free_parallel(view, n_atoms, threads))
 }
 

@@ -293,12 +293,14 @@ mod tests {
             .map(|s| parse_ground_literal(w, s).unwrap())
             .collect();
         v.rules()
-            .find(|(_, r)| r.head == h && {
-                let mut b: Vec<GLit> = r.body.to_vec();
-                let mut want = body.clone();
-                b.sort_unstable();
-                want.sort_unstable();
-                b == want
+            .find(|(_, r)| {
+                r.head == h && {
+                    let mut b: Vec<GLit> = r.body.to_vec();
+                    let mut want = body.clone();
+                    b.sort_unstable();
+                    want.sort_unstable();
+                    b == want
+                }
             })
             .map(|(li, _)| li)
             .unwrap_or_else(|| panic!("rule {head} :- {body:?} not found"))
@@ -405,10 +407,7 @@ mod tests {
         let g = ground_exhaustive(&mut w, &p, &GroundConfig::default()).unwrap();
         let conflicts = View::new(&g, CompId(2)).mutual_defeats();
         // rich(mimmo) and poor(mimmo) are each contested.
-        let heads: Vec<String> = conflicts
-            .iter()
-            .map(|&(h, _, _)| w.glit_str(h))
-            .collect();
+        let heads: Vec<String> = conflicts.iter().map(|&(h, _, _)| w.glit_str(h)).collect();
         assert!(heads.contains(&"rich(mimmo)".to_string()), "{heads:?}");
         assert!(heads.contains(&"poor(mimmo)".to_string()));
 
@@ -423,8 +422,10 @@ mod tests {
             let g1 = ground_exhaustive(&mut w1, &p1, &GroundConfig::default()).unwrap();
             (w1, g1)
         };
-        assert!(View::new(&g1, CompId(1)).mutual_defeats().is_empty(),
-            "ordered contradiction is overruling, not mutual defeat");
+        assert!(
+            View::new(&g1, CompId(1)).mutual_defeats().is_empty(),
+            "ordered contradiction is overruling, not mutual defeat"
+        );
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub fn is_model_direct(rules: &[GroundRule], i: &Interpretation) -> bool {
             return false;
         }
         let needed = match hv {
-            Truth::False => Truth::True,     // applied exception
+            Truth::False => Truth::True,          // applied exception
             Truth::Undefined => Truth::Undefined, // non-blocked exception
             Truth::True => unreachable!("a true head is never violated"),
         };
@@ -100,10 +100,7 @@ pub fn is_model_direct(rules: &[GroundRule], i: &Interpretation) -> bool {
 /// exact. For negative programs the primary assumption-freeness check
 /// is [`is_assumption_free_direct`], which also demands support for
 /// negative literals (see its documentation).
-pub fn greatest_assumption_set_direct(
-    rules: &[GroundRule],
-    i: &Interpretation,
-) -> Vec<AtomId> {
+pub fn greatest_assumption_set_direct(rules: &[GroundRule], i: &Interpretation) -> Vec<AtomId> {
     let mut x: FxHashSet<AtomId> = i.pos_atoms().collect();
     loop {
         let mut removed = false;
@@ -163,12 +160,9 @@ pub fn is_assumption_free_direct(rules: &[GroundRule], i: &Interpretation) -> bo
             atoms.insert(b.atom());
         }
     }
-    let non_blocked = |r: &GroundRule| -> bool {
-        r.body.iter().all(|&b| lit_value(i, b) != Truth::False)
-    };
-    let applied = |r: &GroundRule| -> bool {
-        i.holds(r.head) && body_value(i, r) == Truth::True
-    };
+    let non_blocked =
+        |r: &GroundRule| -> bool { r.body.iter().all(|&b| lit_value(i, b) != Truth::False) };
+    let applied = |r: &GroundRule| -> bool { i.holds(r.head) && body_value(i, r) == Truth::True };
     let mut enabled: Vec<(GLit, Box<[GLit]>)> = Vec::new();
     // Closed-world defaults.
     for &a in &atoms {
@@ -217,10 +211,7 @@ pub fn is_assumption_free_direct(rules: &[GroundRule], i: &Interpretation) -> bo
 
 /// Enumerates all assumption-free models (Def. 11 a+b) over the atoms
 /// mentioned by the rules. Exponential; for validation suites.
-pub fn assumption_free_models_direct(
-    rules: &[GroundRule],
-    n_atoms: usize,
-) -> Vec<Interpretation> {
+pub fn assumption_free_models_direct(rules: &[GroundRule], n_atoms: usize) -> Vec<Interpretation> {
     let mut mentioned = BitSet::with_capacity(n_atoms);
     for r in rules {
         mentioned.insert(r.head.atom().index());
@@ -356,7 +347,9 @@ mod tests {
         // is none, so not a model.
         let (mut w, rules, _) = ground_flat("q. p :- q.");
         let i = Interpretation::from_literals(
-            ["q", "-p"].iter().map(|s| parse_ground_literal(&mut w, s).unwrap()),
+            ["q", "-p"]
+                .iter()
+                .map(|s| parse_ground_literal(&mut w, s).unwrap()),
         )
         .unwrap();
         assert!(!is_model_direct(&rules, &i));
@@ -366,7 +359,9 @@ mod tests {
     fn assumption_sets_catch_circular_positive_support() {
         let (mut w, rules, _) = ground_flat("p :- q. q :- p.");
         let i = Interpretation::from_literals(
-            ["p", "q"].iter().map(|s| parse_ground_literal(&mut w, s).unwrap()),
+            ["p", "q"]
+                .iter()
+                .map(|s| parse_ground_literal(&mut w, s).unwrap()),
         )
         .unwrap();
         assert!(is_model_direct(&rules, &i));
@@ -379,8 +374,8 @@ mod tests {
         // p :- q with q undefined: {p} has body value U; X={p} is an
         // assumption set (condition value(B) ≤ U).
         let (mut w, rules, _) = ground_flat("p :- q.");
-        let i = Interpretation::from_literals([parse_ground_literal(&mut w, "p").unwrap()])
-            .unwrap();
+        let i =
+            Interpretation::from_literals([parse_ground_literal(&mut w, "p").unwrap()]).unwrap();
         assert!(!is_assumption_free_direct(&rules, &i));
     }
 }

@@ -18,8 +18,7 @@
 //!   the general rules above them. The meaning is taken in `C⁻`.
 
 use olp_core::{
-    BodyItem, CompId, FxHashSet, Literal, OrderedProgram, PredId, Rule, Sign, Sym, Term,
-    World,
+    BodyItem, CompId, FxHashSet, Literal, OrderedProgram, PredId, Rule, Sign, Sym, Term, World,
 };
 
 /// Collects every predicate occurring in `rules` (heads and bodies).
@@ -326,10 +325,7 @@ mod tests {
         // The §3 claim: the reduced OV adds one rule per predicate, not
         // one per Herbrand-base element.
         let mut w = World::new();
-        let rules = rules_of(
-            &mut w,
-            "p(a). p(b). p(c). p(d). q(X,Y) :- p(X), p(Y).",
-        );
+        let rules = rules_of(&mut w, "p(a). p(b). p(c). p(d). q(X,Y) :- p(X), p(Y).");
         let (ov, _) = ordered_version(&mut w, &rules);
         assert_eq!(ov.components[1].rules.len(), 2); // p/1 and q/2 only
     }

@@ -59,11 +59,7 @@ fn var(world: &mut World, name: &str) -> Term {
 /// component 0 is the most specific (query there).
 ///
 /// Ground truth: see [`taxonomy_expected_fly`].
-pub fn taxonomy_chain(
-    world: &mut World,
-    n_species: usize,
-    n_layers: usize,
-) -> OrderedProgram {
+pub fn taxonomy_chain(world: &mut World, n_species: usize, n_layers: usize) -> OrderedProgram {
     let mut prog = OrderedProgram::new();
     // comps[0] = most specific … comps[n_layers] = most general.
     let comps: Vec<_> = (0..=n_layers)

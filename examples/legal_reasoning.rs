@@ -69,8 +69,12 @@ fn main() {
 
     println!("=== Contract enforceability (view: case_facts) ===\n");
     for c in ["c1", "c2", "c3"] {
-        let verdict = kb.truth("case_facts", &format!("enforceable({c})")).unwrap();
-        let why = kb.explain("case_facts", &format!("enforceable({c})")).unwrap();
+        let verdict = kb
+            .truth("case_facts", &format!("enforceable({c})"))
+            .unwrap();
+        let why = kb
+            .explain("case_facts", &format!("enforceable({c})"))
+            .unwrap();
         println!("contract {c}: {verdict:?}");
         for line in why.lines() {
             println!("    {line}");
@@ -103,7 +107,10 @@ fn main() {
     println!("=== Conflicting doctrines (defeating) ===\n");
     let v = court.truth("facts", "punitive_damages(c3)").unwrap();
     println!("punitive_damages(c3) from the court's view: {v:?}");
-    println!("{}", court.explain("facts", "punitive_damages(c3)").unwrap());
+    println!(
+        "{}",
+        court.explain("facts", "punitive_damages(c3)").unwrap()
+    );
     println!(
         "Each doctrine keeps its own opinion (query their modules to see \
          it) — the combined view refuses to decide. That refusal, not an \

@@ -26,8 +26,7 @@ fn loan_program(world: &mut World, facts: &str) -> OrderedProgram {
 fn advise(facts: &str) -> (&'static str, String) {
     let mut world = World::new();
     let prog = loan_program(&mut world, facts);
-    let ground =
-        ground_exhaustive(&mut world, &prog, &GroundConfig::default()).expect("grounds");
+    let ground = ground_exhaustive(&mut world, &prog, &GroundConfig::default()).expect("grounds");
     let myself = prog
         .component_by_name(world.syms.get("myself").unwrap())
         .unwrap();

@@ -21,8 +21,9 @@ module c1 < c2 {
 fn main() {
     let dump = std::env::args().any(|a| a == "--dump");
     let src = match std::env::args().filter(|a| a != "--dump").nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => {
             println!("(no file given — exploring the built-in Example 5 program)\n");
             DEMO.to_string()

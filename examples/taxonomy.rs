@@ -70,9 +70,17 @@ fn main() {
 
     println!("=== Taxonomy with defaults and exceptions ===\n");
     println!("{:<10} {:>12} {:>12}", "species", "fly?", "walks?");
-    for s in ["pigeon", "eagle", "penguin", "ostrich", "dog", "bat", "whale"] {
-        let fly = format!("{:?}", kb.truth("flightless", &format!("fly({s})")).unwrap());
-        let walks = format!("{:?}", kb.truth("flightless", &format!("walks({s})")).unwrap());
+    for s in [
+        "pigeon", "eagle", "penguin", "ostrich", "dog", "bat", "whale",
+    ] {
+        let fly = format!(
+            "{:?}",
+            kb.truth("flightless", &format!("fly({s})")).unwrap()
+        );
+        let walks = format!(
+            "{:?}",
+            kb.truth("flightless", &format!("walks({s})")).unwrap()
+        );
         println!("{s:<10} {fly:>12} {walks:>12}");
     }
 
@@ -90,8 +98,11 @@ fn main() {
 
     // Versioning: revise the classification without touching the base.
     let mut b2 = KbBuilder::new();
-    b2.rules("zoo_v1", "exhibit(penguin). exhibit(lion). ticket_price(10).")
-        .unwrap();
+    b2.rules(
+        "zoo_v1",
+        "exhibit(penguin). exhibit(lion). ticket_price(10).",
+    )
+    .unwrap();
     b2.version_of("zoo_v2", "zoo_v1");
     b2.rules(
         "zoo_v2",

@@ -8,14 +8,22 @@
 //!        --explain                         print a proof / refutation for ground queries
 //! common flags:
 //!        --exhaustive                      use the reference grounder (default: smart)
+//!        --timeout SECS                    wall-clock limit; partial results, exit 124
+//!        --max-steps N                     engine work-unit limit; same degradation
+//!        --max-models N                    stop model enumeration after N models
 //! ```
+//!
+//! When a limit is hit the command prints whatever was computed so far,
+//! marks it with a `PARTIAL` banner, and exits with code **124** (the
+//! `timeout(1)` convention).
 
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
-    credulous_consequences, enumerate_assumption_free, explain_in, render_why,
-    skeptical_consequences,
+    credulous_consequences_budgeted, enumerate_assumption_free_budgeted, explain_in,
+    least_model_budgeted, render_why, skeptical_consequences_budgeted, stable_models_budgeted,
 };
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -23,10 +31,74 @@ fn usage() -> ExitCode {
   olp check  FILE [--exhaustive]
   olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive]
   olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive]
-  olp repl   FILE [--exhaustive]"
+  olp repl   FILE [--exhaustive]
+resource limits (any command):
+  --timeout SECS     wall-clock limit (fractions allowed); exits 124 when hit
+  --max-steps N      cap on engine work units; exits 124 when hit
+  --max-models N     cap on enumerated models (models/stable/af)"
     );
     ExitCode::from(2)
 }
+
+/// Resource limits parsed from the command line.
+#[derive(Debug, Clone, Default)]
+struct Limits {
+    timeout: Option<Duration>,
+    max_steps: Option<u64>,
+    max_models: Option<usize>,
+}
+
+impl Limits {
+    fn set(&mut self, name: &str, val: &str) -> Result<(), String> {
+        match name {
+            "timeout" => {
+                let secs: f64 = val
+                    .parse()
+                    .map_err(|_| format!("--timeout: `{val}` is not a number of seconds"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("--timeout: `{val}` must be a non-negative number"));
+                }
+                self.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "max-steps" => {
+                self.max_steps =
+                    Some(val.parse().map_err(|_| {
+                        format!("--max-steps: `{val}` is not a non-negative integer")
+                    })?);
+            }
+            "max-models" => {
+                self.max_models =
+                    Some(val.parse().map_err(|_| {
+                        format!("--max-models: `{val}` is not a non-negative integer")
+                    })?);
+            }
+            _ => return Err(format!("unknown limit flag --{name}")),
+        }
+        Ok(())
+    }
+
+    /// A fresh budget whose deadline starts now.
+    fn budget(&self) -> Budget {
+        Budget::limited(self.max_steps, self.timeout.map(|t| Instant::now() + t))
+    }
+}
+
+/// How a command failed: an ordinary error (exit 1) or resource
+/// exhaustion before any partial result could be shown (exit 124).
+enum CliFail {
+    Msg(String),
+    Exhausted(String),
+}
+
+impl From<String> for CliFail {
+    fn from(e: String) -> Self {
+        CliFail::Msg(e)
+    }
+}
+
+/// `Ok(true)` means the command finished but produced partial results
+/// (exit 124 after printing).
+type CmdResult = Result<bool, CliFail>;
 
 struct Loaded {
     world: World,
@@ -34,19 +106,27 @@ struct Loaded {
     ground: GroundProgram,
 }
 
-fn load(path: &str, exhaustive: bool) -> Result<Loaded, String> {
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn load(path: &str, exhaustive: bool, budget: &Budget) -> Result<Loaded, CliFail> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliFail::Msg(format!("cannot read {path}: {e}")))?;
     let mut world = World::new();
-    let prog = parse_program(&mut world, &src).map_err(|e| e.to_string())?;
-    prog.order().map_err(|e| e.to_string())?;
-    let cfg = GroundConfig::default();
+    let prog = parse_program(&mut world, &src).map_err(|e| CliFail::Msg(e.to_string()))?;
+    prog.order().map_err(|e| CliFail::Msg(e.to_string()))?;
+    let cfg = GroundConfig {
+        budget: budget.clone(),
+        ..GroundConfig::default()
+    };
     let ground = if exhaustive {
         ground_exhaustive(&mut world, &prog, &cfg)
     } else {
         ground_smart(&mut world, &prog, &cfg)
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| match e {
+        ordered_logic::ground::GroundError::Interrupted(r) => {
+            CliFail::Exhausted(format!("grounding interrupted: {r}"))
+        }
+        other => CliFail::Msg(other.to_string()),
+    })?;
     Ok(Loaded {
         world,
         prog,
@@ -70,8 +150,14 @@ fn find_component(l: &Loaded, name: &str) -> Result<CompId, String> {
         })
 }
 
-fn cmd_check(path: &str, exhaustive: bool) -> Result<(), String> {
-    let l = load(path, exhaustive)?;
+/// The `PARTIAL` banner printed when a limit interrupts a computation.
+fn partial_banner(what: &str, reason: InterruptReason) -> String {
+    format!("  PARTIAL {what} ({reason}): showing results computed so far")
+}
+
+fn cmd_check(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
+    let budget = limits.budget();
+    let l = load(path, exhaustive, &budget)?;
     println!(
         "{path}: OK — {} components, {} rules, {} ground instances, {} atoms",
         l.prog.components.len(),
@@ -87,7 +173,7 @@ fn cmd_check(path: &str, exhaustive: bool) -> Result<(), String> {
             l.world.syms.name(l.prog.components[c.index()].name)
         );
     }
-    let order = l.prog.order().expect("validated");
+    let order = l.prog.order().map_err(|e| CliFail::Msg(e.to_string()))?;
     for (ci, c) in l.prog.components.iter().enumerate() {
         let id = CompId(ci as u32);
         let above: Vec<&str> = order
@@ -123,15 +209,23 @@ fn cmd_check(path: &str, exhaustive: bool) -> Result<(), String> {
             println!("    … and {} more conflicts", conflicts.len() - 5);
         }
     }
-    Ok(())
+    Ok(false)
 }
 
-fn cmd_models(path: &str, component: Option<&str>, mode: &str, exhaustive: bool) -> Result<(), String> {
-    let l = load(path, exhaustive)?;
+fn cmd_models(
+    path: &str,
+    component: Option<&str>,
+    mode: &str,
+    exhaustive: bool,
+    limits: &Limits,
+) -> CmdResult {
+    let budget = limits.budget();
+    let l = load(path, exhaustive, &budget)?;
     let comps: Vec<CompId> = match component {
         Some(name) => vec![find_component(&l, name)?],
         None => (0..l.prog.components.len() as u32).map(CompId).collect(),
     };
+    let mut partial = false;
     for c in comps {
         let name = l.world.syms.name(l.prog.components[c.index()].name);
         println!("component `{name}`:");
@@ -142,15 +236,35 @@ fn cmd_models(path: &str, component: Option<&str>, mode: &str, exhaustive: bool)
         let show_sk = matches!(mode, "skeptical" | "all");
         let show_cred = matches!(mode, "credulous" | "all");
         if show_least {
-            println!("  least model: {}", least_model(&view).render(&l.world));
+            let ev = least_model_budgeted(&view, &budget);
+            if let Some(reason) = ev.reason() {
+                println!("{}", partial_banner("least model", reason));
+                partial = true;
+            }
+            println!("  least model: {}", ev.value().render(&l.world));
         }
         if show_af {
-            for m in enumerate_assumption_free(&view, l.ground.n_atoms) {
+            let ev = enumerate_assumption_free_budgeted(
+                &view,
+                l.ground.n_atoms,
+                &budget,
+                limits.max_models,
+            );
+            if let Some(reason) = ev.reason() {
+                println!("{}", partial_banner("enumeration", reason));
+                partial = true;
+            }
+            for m in ev.value() {
                 println!("  assumption-free: {}", m.render(&l.world));
             }
         }
         if show_stable {
-            for m in stable_models(&view, l.ground.n_atoms) {
+            let ev = stable_models_budgeted(&view, l.ground.n_atoms, &budget, limits.max_models);
+            if let Some(reason) = ev.reason() {
+                println!("{}", partial_banner("enumeration", reason));
+                partial = true;
+            }
+            for m in ev.value() {
                 let total = if m.is_total(l.ground.n_atoms) {
                     " (total)"
                 } else {
@@ -160,20 +274,28 @@ fn cmd_models(path: &str, component: Option<&str>, mode: &str, exhaustive: bool)
             }
         }
         if show_sk {
-            println!(
-                "  skeptical: {}",
-                skeptical_consequences(&view, l.ground.n_atoms).render(&l.world)
-            );
+            let ev = skeptical_consequences_budgeted(&view, l.ground.n_atoms, &budget);
+            if let Some(reason) = ev.reason() {
+                println!("{}", partial_banner("skeptical set", reason));
+                partial = true;
+            }
+            println!("  skeptical: {}", ev.value().render(&l.world));
         }
         if show_cred {
-            let lits: Vec<String> = credulous_consequences(&view, l.ground.n_atoms)
+            let ev = credulous_consequences_budgeted(&view, l.ground.n_atoms, &budget);
+            if let Some(reason) = ev.reason() {
+                println!("{}", partial_banner("credulous set", reason));
+                partial = true;
+            }
+            let lits: Vec<String> = ev
+                .value()
                 .iter()
                 .map(|&lit| l.world.glit_str(lit))
                 .collect();
             println!("  credulous: {{{}}}", lits.join(", "));
         }
     }
-    Ok(())
+    Ok(partial)
 }
 
 fn cmd_query(
@@ -182,15 +304,18 @@ fn cmd_query(
     pattern: &str,
     explain: bool,
     exhaustive: bool,
-) -> Result<(), String> {
-    let mut l = load(path, exhaustive)?;
+    limits: &Limits,
+) -> CmdResult {
+    let budget = limits.budget();
+    let mut l = load(path, exhaustive, &budget)?;
     let c = find_component(&l, component)?;
-    cmd_query_loaded(&mut l, c, pattern, explain)
+    cmd_query_loaded(&mut l, c, pattern, explain, &budget).map_err(CliFail::Msg)
 }
 
-fn cmd_repl(path: &str, exhaustive: bool) -> Result<(), String> {
+fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
     use std::io::{BufRead, Write};
-    let mut l = load(path, exhaustive)?;
+    // The REPL applies limits per command, not to the whole session.
+    let mut l = load(path, exhaustive, &limits.budget())?;
     let mut current = CompId(0);
     let name_of = |l: &Loaded, c: CompId| -> String {
         l.world
@@ -209,7 +334,7 @@ fn cmd_repl(path: &str, exhaustive: bool) -> Result<(), String> {
         std::io::stdout().flush().ok();
         let mut line = String::new();
         if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
-            return Ok(());
+            return Ok(false);
         }
         let line = line.trim();
         if line.is_empty() {
@@ -220,36 +345,50 @@ fn cmd_repl(path: &str, exhaustive: bool) -> Result<(), String> {
             None => (line, ""),
         };
         match cmd {
-            "quit" | "exit" | ":q" => return Ok(()),
+            "quit" | "exit" | ":q" => return Ok(false),
             "use" => match find_component(&l, rest) {
                 Ok(c) => current = c,
                 Err(e) => println!("error: {e}"),
             },
             "models" => {
                 let view = View::new(&l.ground, current);
-                println!("least model: {}", least_model(&view).render(&l.world));
+                let ev = least_model_budgeted(&view, &limits.budget());
+                if let Some(reason) = ev.reason() {
+                    println!("{}", partial_banner("least model", reason));
+                }
+                println!("least model: {}", ev.value().render(&l.world));
             }
             "stable" => {
                 let view = View::new(&l.ground, current);
-                for m in stable_models(&view, l.ground.n_atoms) {
+                let ev = stable_models_budgeted(
+                    &view,
+                    l.ground.n_atoms,
+                    &limits.budget(),
+                    limits.max_models,
+                );
+                if let Some(reason) = ev.reason() {
+                    println!("{}", partial_banner("enumeration", reason));
+                }
+                for m in ev.value() {
                     println!("stable: {}", m.render(&l.world));
                 }
             }
-            "explain" => {
-                match parse_ground_literal(&mut l.world, rest) {
-                    Ok(q) => {
-                        let view = View::new(&l.ground, current);
-                        let m = least_model(&view);
-                        let why = explain_in(&view, &m, q);
-                        print!("{}", render_why(&l.world, &view, &why));
+            "explain" => match parse_ground_literal(&mut l.world, rest) {
+                Ok(q) => {
+                    let view = View::new(&l.ground, current);
+                    let ev = least_model_budgeted(&view, &limits.budget());
+                    if let Some(reason) = ev.reason() {
+                        println!("{}", partial_banner("least model", reason));
                     }
-                    Err(e) => println!("error: {e}"),
+                    let why = explain_in(&view, ev.value(), q);
+                    print!("{}", render_why(&l.world, &view, &why));
                 }
-            }
+                Err(e) => println!("error: {e}"),
+            },
             _ => {
                 // Treat the whole line as a query (ground or pattern).
                 let comp_name = name_of(&l, current);
-                if let Err(e) = cmd_query_loaded(&mut l, current, line, false) {
+                if let Err(e) = cmd_query_loaded(&mut l, current, line, false, &limits.budget()) {
                     println!("error in `{comp_name}`: {e}");
                 }
             }
@@ -258,17 +397,28 @@ fn cmd_repl(path: &str, exhaustive: bool) -> Result<(), String> {
 }
 
 /// Query against an already-loaded program (shared by `query` and the
-/// REPL).
+/// REPL). `Ok(true)` means the model computation was interrupted: the
+/// verdict is printed with a `(partial)` suffix and the command exits
+/// 124.
 fn cmd_query_loaded(
     l: &mut Loaded,
     c: CompId,
     pattern: &str,
     explain: bool,
-) -> Result<(), String> {
+    budget: &Budget,
+) -> Result<bool, String> {
     let view = View::new(&l.ground, c);
-    let m = least_model(&view);
-    let lit = ordered_logic::parser::parse_literal(&mut l.world, pattern)
-        .map_err(|e| e.to_string())?;
+    let ev = least_model_budgeted(&view, budget);
+    let suffix = match ev.reason() {
+        Some(reason) => {
+            println!("{}", partial_banner("least model", reason));
+            " (partial)"
+        }
+        None => "",
+    };
+    let m = ev.value();
+    let lit =
+        ordered_logic::parser::parse_literal(&mut l.world, pattern).map_err(|e| e.to_string())?;
     if lit.is_ground() {
         let q = parse_ground_literal(&mut l.world, pattern).map_err(|e| e.to_string())?;
         let verdict = if m.holds(q) {
@@ -283,9 +433,9 @@ fn cmd_query_loaded(
             .syms
             .name(l.prog.components[c.index()].name)
             .to_string();
-        println!("{pattern} in `{comp_name}`: {verdict}");
+        println!("{pattern} in `{comp_name}`: {verdict}{suffix}");
         if explain {
-            let why = explain_in(&view, &m, q);
+            let why = explain_in(&view, m, q);
             print!("{}", render_why(&l.world, &view, &why));
         }
     } else {
@@ -313,27 +463,56 @@ fn cmd_query_loaded(
                 hits += 1;
             }
         }
-        println!("({hits} answers)");
+        println!("({hits} answers){suffix}");
     }
-    Ok(())
+    Ok(!suffix.is_empty())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flags: Vec<&str> = args
-        .iter()
-        .filter(|a| a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let pos: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut flags: Vec<String> = Vec::new();
+    let mut pos: Vec<String> = Vec::new();
+    let mut limits = Limits::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(body) = a.strip_prefix("--") {
+            let (name, inline_val) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            if matches!(name, "timeout" | "max-steps" | "max-models") {
+                let val = match inline_val {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        match args.get(i) {
+                            Some(v) => v.clone(),
+                            None => {
+                                eprintln!("error: --{name} requires a value");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                };
+                if let Err(e) = limits.set(name, &val) {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            } else {
+                flags.push(format!("--{name}"));
+            }
+        } else {
+            pos.push(a.clone());
+        }
+        i += 1;
+    }
+    let flags: Vec<&str> = flags.iter().map(String::as_str).collect();
+    let pos: Vec<&str> = pos.iter().map(String::as_str).collect();
     let exhaustive = flags.contains(&"--exhaustive");
 
     let result = match pos.as_slice() {
-        ["check", file] => cmd_check(file, exhaustive),
+        ["check", file] => cmd_check(file, exhaustive, &limits),
         ["models", file, rest @ ..] => {
             let mode = if flags.contains(&"--stable") {
                 "stable"
@@ -348,7 +527,7 @@ fn main() -> ExitCode {
             } else {
                 "least"
             };
-            cmd_models(file, rest.first().copied(), mode, exhaustive)
+            cmd_models(file, rest.first().copied(), mode, exhaustive, &limits)
         }
         ["query", file, component, pattern] => cmd_query(
             file,
@@ -356,13 +535,19 @@ fn main() -> ExitCode {
             pattern,
             flags.contains(&"--explain"),
             exhaustive,
+            &limits,
         ),
-        ["repl", file] => cmd_repl(file, exhaustive),
+        ["repl", file] => cmd_repl(file, exhaustive, &limits),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(124),
+        Err(CliFail::Exhausted(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(124)
+        }
+        Err(CliFail::Msg(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

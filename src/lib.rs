@@ -57,14 +57,15 @@ pub use olp_transform as transform;
 /// The most common imports in one place.
 pub mod prelude {
     pub use olp_core::{
-        CompId, GLit, Interpretation, OrderedProgram, Rule, Sign, Truth, World,
+        Budget, CompId, Eval, GLit, Interpretation, InterruptReason, Interrupted, OrderedProgram,
+        Rule, Sign, Truth, World,
     };
     pub use olp_ground::{ground_exhaustive, ground_smart, GroundConfig, GroundProgram};
-    pub use olp_kb::{GroundStrategy, Kb, KbBuilder, Relation};
+    pub use olp_kb::{GroundStrategy, Kb, KbBuilder, QueryOptions, Relation};
     pub use olp_parser::{parse_ground_literal, parse_program, parse_rule};
     pub use olp_semantics::{
-        enumerate_assumption_free, explain, is_assumption_free, is_model, least_model,
-        prove, render_why, skeptical_consequences, stable_models, View,
+        enumerate_assumption_free, explain, is_assumption_free, is_model, least_model, prove,
+        render_why, skeptical_consequences, stable_models, View,
     };
     pub use olp_transform::{extended_version, ordered_version, three_level_version};
 }

@@ -1,0 +1,254 @@
+//! Fault-injection tests for the resource governor: random workloads
+//! are interrupted at random points (step budgets, expired deadlines,
+//! cancellation) and every partial result must uphold its documented
+//! anytime guarantee:
+//!
+//! * no panic anywhere in the engine;
+//! * a partial fixpoint is a **subset** of the unbudgeted least model
+//!   (sound under-approximation);
+//! * partial model enumerations (assumption-free, sequential and
+//!   parallel; stable) are **subsets of the unbudgeted assumption-free
+//!   enumeration** — every member is a genuine model, only coverage is
+//!   lost (for interrupted stable lists maximality is relative to the
+//!   explored portion, so the reference is the AF enumeration, not the
+//!   stable list);
+//! * a partial `prove` never answers `true` wrongly;
+//! * unlimited budgets always complete with the exact answers.
+
+use olp_workload::{random_ordered, RandomCfg};
+use ordered_logic::core::{Budget, Eval, InterruptReason, World};
+use ordered_logic::ground::{ground_exhaustive, GroundConfig, GroundError, GroundProgram};
+use ordered_logic::semantics::{
+    credulous_consequences_budgeted, enumerate_assumption_free_budgeted,
+    enumerate_assumption_free_parallel_budgeted, enumerate_assumption_free_propagating,
+    enumerate_assumption_free_propagating_budgeted, explain_budgeted, least_model,
+    least_model_budgeted, least_model_naive_budgeted, prove_budgeted,
+    skeptical_consequences_budgeted, stable_models_budgeted, View, Why,
+};
+use proptest::prelude::*;
+
+fn workload(seed: u64) -> (World, GroundProgram) {
+    let mut w = World::new();
+    let cfg = RandomCfg {
+        n_atoms: 6,
+        n_rules: 12,
+        max_body: 3,
+        neg_head_prob: 0.35,
+        neg_body_prob: 0.4,
+        n_components: 3,
+        edge_prob: 0.5,
+    };
+    let prog = random_ordered(&mut w, &cfg, seed);
+    let g = ground_exhaustive(&mut w, &prog, &GroundConfig::default())
+        .expect("propositional programs always ground");
+    (w, g)
+}
+
+/// Canonical form for set-membership checks across enumerations.
+fn lits_of(m: &ordered_logic::core::Interpretation) -> Vec<ordered_logic::core::GLit> {
+    let mut v: Vec<_> = m.literals().collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn partial_fixpoints_under_approximate(seed in 0u64..40, steps in 0u64..3000) {
+        let (_, g) = workload(seed);
+        for ci in 0..g.order.len() {
+            let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+            let full = least_model(&view);
+            for eval in [
+                least_model_budgeted(&view, &Budget::with_steps(steps)),
+                least_model_naive_budgeted(&view, &Budget::with_steps(steps)),
+            ] {
+                match eval {
+                    Eval::Complete(m) => prop_assert_eq!(&m, &full),
+                    Eval::Interrupted(i) => {
+                        prop_assert_eq!(i.reason, InterruptReason::Steps);
+                        prop_assert!(
+                            i.partial.is_subset(&full),
+                            "partial fixpoint must under-approximate (seed {})",
+                            seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_enumerations_are_subsets(seed in 0u64..25, steps in 0u64..4000) {
+        let (_, g) = workload(seed);
+        for ci in 0..g.order.len() {
+            let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+            let full: Vec<Vec<_>> = enumerate_assumption_free_propagating(&view, g.n_atoms)
+                .iter()
+                .map(lits_of)
+                .collect();
+            let budgeted = [
+                enumerate_assumption_free_budgeted(
+                    &view, g.n_atoms, &Budget::with_steps(steps), None),
+                enumerate_assumption_free_propagating_budgeted(
+                    &view, g.n_atoms, &Budget::with_steps(steps), None),
+                enumerate_assumption_free_parallel_budgeted(
+                    &view, g.n_atoms, 2, &Budget::with_steps(steps), None),
+                stable_models_budgeted(
+                    &view, g.n_atoms, &Budget::with_steps(steps), None),
+            ];
+            for eval in budgeted {
+                for m in eval.value() {
+                    prop_assert!(
+                        full.contains(&lits_of(m)),
+                        "every (partial) member must be a genuine AF model (seed {})",
+                        seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_prove_never_lies(seed in 0u64..40, steps in 0u64..800) {
+        let (mut w, g) = workload(seed);
+        for ci in 0..g.order.len() {
+            let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+            let full = least_model(&view);
+            for atom_i in 0..3u32 {
+                let q = ordered_logic::parser::parse_ground_literal(
+                    &mut w, &format!("p{atom_i}")).expect("atom parses");
+                match prove_budgeted(&view, q, &Budget::with_steps(steps)) {
+                    Eval::Complete(ans) => prop_assert_eq!(ans, full.holds(q)),
+                    Eval::Interrupted(i) => {
+                        if i.partial {
+                            prop_assert!(full.holds(q), "partial `true` must be final");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_explanations_are_genuine_proofs(seed in 0u64..30, steps in 0u64..1500) {
+        let (mut w, g) = workload(seed);
+        for ci in 0..g.order.len() {
+            let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+            let full = least_model(&view);
+            let q = ordered_logic::parser::parse_ground_literal(&mut w, "p0")
+                .expect("atom parses");
+            if let Eval::Interrupted(i) =
+                explain_budgeted(&view, q, &Budget::with_steps(steps))
+            {
+                if let Why::Proved(proof) = i.partial {
+                    // A proof built on a partial model is valid in the
+                    // full least model too.
+                    prop_assert!(full.holds(proof.lit));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_cap_is_respected(seed in 0u64..25, cap in 1usize..4) {
+        let (_, g) = workload(seed);
+        for ci in 0..g.order.len() {
+            let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+            let full_count =
+                enumerate_assumption_free_propagating(&view, g.n_atoms).len();
+            let eval = enumerate_assumption_free_propagating_budgeted(
+                &view, g.n_atoms, &Budget::unlimited(), Some(cap));
+            match eval {
+                Eval::Complete(ms) => prop_assert!(ms.len() <= cap && full_count <= cap),
+                Eval::Interrupted(i) => {
+                    prop_assert_eq!(i.reason, InterruptReason::ModelCap);
+                    prop_assert!(i.partial.len() >= cap.min(full_count));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consequence_partials_do_not_panic(seed in 0u64..25, steps in 0u64..2000) {
+        let (_, g) = workload(seed);
+        for ci in 0..g.order.len() {
+            let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+            // Credulous partials under-approximate: every literal is
+            // witnessed by a genuine AF model.
+            let full_af = enumerate_assumption_free_propagating(&view, g.n_atoms);
+            let cred = credulous_consequences_budgeted(
+                &view, g.n_atoms, &Budget::with_steps(steps));
+            for &l in cred.value() {
+                prop_assert!(full_af.iter().any(|m| m.holds(l)));
+            }
+            // Skeptical partials are documented over-approximations;
+            // here we only require no panic and a consistent result.
+            let _ = skeptical_consequences_budgeted(
+                &view, g.n_atoms, &Budget::with_steps(steps));
+        }
+    }
+
+    #[test]
+    fn grounding_budget_interrupts_cleanly(seed in 0u64..20, steps in 1u64..200) {
+        let mut w = World::new();
+        let prog = olp_workload::taxonomy_chain(&mut w, 8, 2);
+        let cfg = GroundConfig {
+            budget: Budget::with_steps(steps),
+            ..GroundConfig::default()
+        };
+        match ground_exhaustive(&mut w, &prog, &cfg) {
+            Ok(_) => {}
+            Err(GroundError::Interrupted(r)) => {
+                prop_assert_eq!(r, InterruptReason::Steps);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+        // Unused but keeps the strategy exercised across seeds.
+        let _ = seed;
+    }
+}
+
+#[test]
+fn expired_deadline_interrupts_immediately() {
+    let (_, g) = workload(7);
+    let view = View::new(&g, ordered_logic::core::CompId(0));
+    let budget = Budget::limited(None, Some(std::time::Instant::now()));
+    // Deadlines are probed, not checked every tick, so a small prefix of
+    // work may complete; the result must still be sound.
+    let full = least_model(&view);
+    match least_model_budgeted(&view, &budget) {
+        Eval::Complete(m) => assert_eq!(m, full),
+        Eval::Interrupted(i) => {
+            assert_eq!(i.reason, InterruptReason::Deadline);
+            assert!(i.partial.is_subset(&full));
+        }
+    }
+}
+
+#[test]
+fn cancellation_stops_the_parallel_enumerator() {
+    let (_, g) = workload(3);
+    let view = View::new(&g, ordered_logic::core::CompId(g.order.len() as u32 - 1));
+    let budget = Budget::cancellable();
+    budget.cancel();
+    let eval = enumerate_assumption_free_parallel_budgeted(&view, g.n_atoms, 2, &budget, None);
+    match eval {
+        // Tiny searches may finish inside the first probe interval.
+        Eval::Complete(_) => {}
+        Eval::Interrupted(i) => assert_eq!(i.reason, InterruptReason::Cancelled),
+    }
+}
+
+#[test]
+fn unlimited_budget_is_always_complete() {
+    for seed in 0..10 {
+        let (_, g) = workload(seed);
+        for ci in 0..g.order.len() {
+            let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+            assert!(least_model_budgeted(&view, &Budget::unlimited()).is_complete());
+            assert!(
+                stable_models_budgeted(&view, g.n_atoms, &Budget::unlimited(), None).is_complete()
+            );
+        }
+    }
+}

@@ -4,6 +4,13 @@
 use std::process::Command;
 
 fn olp(args: &[&str]) -> (String, String, bool) {
+    let (out, err, code) = olp_code(args);
+    (out, err, code == 0)
+}
+
+/// Like [`olp`] but exposes the exact exit code, needed by the
+/// resource-limit tests (124 = exhausted, 2 = usage, 1 = error).
+fn olp_code(args: &[&str]) -> (String, String, i32) {
     let out = Command::new(env!("CARGO_BIN_EXE_olp"))
         .args(args)
         .output()
@@ -11,8 +18,26 @@ fn olp(args: &[&str]) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code().expect("not killed by signal"),
     )
+}
+
+/// A program whose stable-model enumeration is combinatorial: `n`
+/// mutually defeating pairs in an incomparable layout give 2^n stable
+/// models, enough to outlast any small budget.
+fn big_choice(n: usize) -> String {
+    let dir = std::env::temp_dir().join(format!("olp_cli_big_choice_{n}.olp"));
+    let mut src = String::from("module c2 {\n");
+    for i in 0..n {
+        src.push_str(&format!("  a{i}. b{i}.\n"));
+    }
+    src.push_str("}\nmodule c1 < c2 {\n");
+    for i in 0..n {
+        src.push_str(&format!("  -a{i} :- b{i}.\n  -b{i} :- a{i}.\n"));
+    }
+    src.push_str("}\n");
+    std::fs::write(&dir, src).unwrap();
+    dir.to_str().unwrap().to_owned()
 }
 
 fn sample(name: &str) -> String {
@@ -112,9 +137,13 @@ fn bad_usage_prints_usage() {
 #[test]
 fn check_warns_on_unsafe_rules() {
     let dir = std::env::temp_dir().join("olp_cli_unsafe.olp");
-    std::fs::write(&dir, "q(a).
+    std::fs::write(
+        &dir,
+        "q(a).
 p(X) :- q(Y).
-").unwrap();
+",
+    )
+    .unwrap();
     let (out, _, ok) = olp(&["check", dir.to_str().unwrap()]);
     assert!(ok);
     assert!(out.contains("warning: unsafe rule"), "{out}");
@@ -126,4 +155,119 @@ fn exhaustive_flag_accepted() {
     let (out, _, ok) = olp(&["check", &sample("p5.olp"), "--exhaustive"]);
     assert!(ok);
     assert!(out.contains("OK"));
+}
+
+// ---- resource limits ------------------------------------------------
+
+#[test]
+fn timeout_exits_124_promptly_with_partial_banner() {
+    let file = big_choice(24);
+    let start = std::time::Instant::now();
+    let (out, _, code) = olp_code(&["models", &file, "c1", "--stable", "--timeout", "0.5"]);
+    let elapsed = start.elapsed();
+    assert_eq!(code, 124, "{out}");
+    assert!(out.contains("PARTIAL"), "banner expected: {out}");
+    assert!(out.contains("deadline exceeded"), "{out}");
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "deadline must stop a 2^24-model enumeration quickly, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn max_steps_exits_124() {
+    let (out, err, code) = olp_code(&["models", &sample("penguin.olp"), "c1", "--max-steps", "1"]);
+    assert_eq!(code, 124, "out: {out} err: {err}");
+    // With a 1-step budget even grounding trips; either message is a
+    // legitimate exhaustion report.
+    assert!(
+        out.contains("PARTIAL") || err.contains("interrupted"),
+        "out: {out} err: {err}"
+    );
+}
+
+#[test]
+fn max_models_truncates_stable_enumeration() {
+    let (out, _, code) = olp_code(&[
+        "models",
+        &sample("p5.olp"),
+        "c1",
+        "--stable",
+        "--max-models",
+        "1",
+    ]);
+    assert_eq!(code, 124, "{out}");
+    assert!(out.contains("PARTIAL"), "{out}");
+    assert!(out.contains("model cap reached"), "{out}");
+}
+
+#[test]
+fn generous_limits_leave_results_exact() {
+    // Same invocation as `models_stable_on_p5`, but budgeted: ample
+    // limits must not change the answer or the exit code.
+    let (out, _, code) = olp_code(&[
+        "models",
+        &sample("p5.olp"),
+        "c1",
+        "--stable",
+        "--timeout=30",
+        "--max-steps=100000000",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("{-b, a, c} (total)"));
+    assert!(out.contains("{-a, b, c} (total)"));
+    assert!(!out.contains("PARTIAL"), "{out}");
+}
+
+#[test]
+fn budgeted_query_marks_partial_verdicts() {
+    // Sweep the step budget from starvation to completion: every
+    // under-budget run must exit 124 with a diagnosed interruption, and
+    // somewhere between "grounding trips" and "enough" the query itself
+    // must get interrupted and flag its verdict `(partial)`.
+    let mut saw_partial_verdict = false;
+    let mut completed = false;
+    for k in 1..=200u32 {
+        let (out, err, code) = olp_code(&[
+            "query",
+            &sample("loan.olp"),
+            "myself",
+            "take_loan",
+            "--max-steps",
+            &k.to_string(),
+        ]);
+        match code {
+            0 => {
+                assert!(out.contains("true"), "k={k}: {out}");
+                completed = true;
+                break;
+            }
+            124 => {
+                assert!(
+                    out.contains("(partial)") || err.contains("interrupted"),
+                    "k={k}: out: {out} err: {err}"
+                );
+                saw_partial_verdict |= out.contains("(partial)");
+            }
+            other => panic!("k={k}: unexpected exit {other}: {out} {err}"),
+        }
+    }
+    assert!(completed, "budget of 200 steps should suffice for loan.olp");
+    assert!(
+        saw_partial_verdict,
+        "some budget should interrupt the query after grounding succeeds"
+    );
+}
+
+#[test]
+fn bad_limit_value_is_a_usage_error() {
+    for args in [
+        ["check", "x.olp", "--timeout", "banana"],
+        ["check", "x.olp", "--max-steps", "-3"],
+        ["check", "x.olp", "--timeout", "-1"],
+    ] {
+        let (_, err, code) = olp_code(&args);
+        assert_eq!(code, 2, "{args:?}");
+        assert!(err.contains("error:"), "{args:?}: {err}");
+    }
 }

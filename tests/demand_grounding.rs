@@ -1,9 +1,9 @@
 //! Demand-driven grounding agrees with full grounding on the query's
 //! predicates (semantics-level verification of `olp_ground::demand`).
 
-use ordered_logic::prelude::*;
-use ordered_logic::ground::ground_smart_for;
 use olp_workload::{random_datalog, DatalogCfg};
+use ordered_logic::ground::ground_smart_for;
+use ordered_logic::prelude::*;
 use proptest::prelude::*;
 
 const TWO_ISLANDS: &str = "module up {
@@ -29,7 +29,12 @@ fn demand_grounding_is_smaller_and_agrees() {
     let p = parse_program(&mut w, TWO_ISLANDS).unwrap();
     let fly = w.pred("fly", 1);
     let g = ground_smart_for(&mut w, &p, &cfg, fly).unwrap();
-    assert!(g.len() < g_full.len(), "demand {} < full {}", g.len(), g_full.len());
+    assert!(
+        g.len() < g_full.len(),
+        "demand {} < full {}",
+        g.len(),
+        g_full.len()
+    );
 
     for comp in [CompId(0), CompId(1)] {
         let m_full = least_model(&View::new(&g_full, comp));
@@ -67,7 +72,10 @@ fn dropped_rule_constants_still_feed_attackers() {
     let m = least_model(&View::new(&g, CompId(0)));
     let q = parse_ground_literal(&mut w, "u0(k3)").unwrap();
 
-    assert!(!m_full.holds(q_full), "u0(k3) is suppressed in the full program");
+    assert!(
+        !m_full.holds(q_full),
+        "u0(k3) is suppressed in the full program"
+    );
     assert_eq!(m_full.holds(q_full), m.holds(q));
 }
 

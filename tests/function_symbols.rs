@@ -4,10 +4,7 @@
 
 use ordered_logic::prelude::*;
 
-fn ground_with_depth(
-    src: &str,
-    depth: u32,
-) -> (World, OrderedProgram, GroundProgram) {
+fn ground_with_depth(src: &str, depth: u32) -> (World, OrderedProgram, GroundProgram) {
     let mut w = World::new();
     let p = parse_program(&mut w, src).unwrap();
     let cfg = GroundConfig {
@@ -131,6 +128,7 @@ fn term_cap_errors_cleanly() {
         max_depth: 8,
         max_terms: 200,
         max_instances: 1_000_000,
+        ..GroundConfig::default()
     };
     // The binary tree universe explodes doubly-exponentially; the
     // bound must trip, not hang.

@@ -47,15 +47,36 @@ fn firewall_default_deny_with_overrides() {
     let mut kb = b.build(GroundStrategy::Smart).unwrap();
 
     // From the service layer: web traffic is open, everything else shut.
-    assert_eq!(kb.truth("services", "allow(web1, p80)").unwrap(), Truth::True);
-    assert_eq!(kb.truth("services", "allow(web1, p22)").unwrap(), Truth::False);
-    assert_eq!(kb.truth("services", "allow(db1, p5432)").unwrap(), Truth::True);
-    assert_eq!(kb.truth("services", "allow(web2, p443)").unwrap(), Truth::True);
+    assert_eq!(
+        kb.truth("services", "allow(web1, p80)").unwrap(),
+        Truth::True
+    );
+    assert_eq!(
+        kb.truth("services", "allow(web1, p22)").unwrap(),
+        Truth::False
+    );
+    assert_eq!(
+        kb.truth("services", "allow(db1, p5432)").unwrap(),
+        Truth::True
+    );
+    assert_eq!(
+        kb.truth("services", "allow(web2, p443)").unwrap(),
+        Truth::True
+    );
 
     // From the incident layer: web2 is fully locked down, web1 intact.
-    assert_eq!(kb.truth("incident", "allow(web2, p443)").unwrap(), Truth::False);
-    assert_eq!(kb.truth("incident", "allow(web2, p80)").unwrap(), Truth::False);
-    assert_eq!(kb.truth("incident", "allow(web1, p80)").unwrap(), Truth::True);
+    assert_eq!(
+        kb.truth("incident", "allow(web2, p443)").unwrap(),
+        Truth::False
+    );
+    assert_eq!(
+        kb.truth("incident", "allow(web2, p80)").unwrap(),
+        Truth::False
+    );
+    assert_eq!(
+        kb.truth("incident", "allow(web1, p80)").unwrap(),
+        Truth::True
+    );
 
     // The whole allow surface from the incident view: exactly 4 grants.
     let grants = kb.query("incident", "allow(H, P)").unwrap();
@@ -108,11 +129,17 @@ fn roles_grants_and_conflicting_revocation() {
 
     // Uncontested grants flow through.
     assert_eq!(kb.truth("pdp", "read(bob, handbook)").unwrap(), Truth::True);
-    assert_eq!(kb.truth("pdp", "read(alice, handbook)").unwrap(), Truth::True);
+    assert_eq!(
+        kb.truth("pdp", "read(alice, handbook)").unwrap(),
+        Truth::True
+    );
     // HR grants alice payroll; compliance revokes: incomparable modules
     // defeat — the PDP reports *undefined*, i.e. "needs escalation",
     // rather than picking a winner.
-    assert_eq!(kb.truth("pdp", "read(alice, payroll)").unwrap(), Truth::Undefined);
+    assert_eq!(
+        kb.truth("pdp", "read(alice, payroll)").unwrap(),
+        Truth::Undefined
+    );
     // Each policy module still holds its own opinion.
     assert_eq!(kb.truth("hr", "read(alice, payroll)").unwrap(), Truth::True);
     assert_eq!(
@@ -133,11 +160,8 @@ fn roles_with_layered_cwa_resolve_cleanly() {
     let mut b = KbBuilder::new();
     b.rules("defaults", "-manager(X) :- employee(X).").unwrap();
     b.isa("org", "defaults");
-    b.rules(
-        "org",
-        "employee(alice). employee(bob). manager(alice).",
-    )
-    .unwrap();
+    b.rules("org", "employee(alice). employee(bob). manager(alice).")
+        .unwrap();
     let mut kb = b.build(GroundStrategy::Smart).unwrap();
     assert_eq!(kb.truth("org", "manager(alice)").unwrap(), Truth::True);
     assert_eq!(kb.truth("org", "manager(bob)").unwrap(), Truth::False);
@@ -154,11 +178,8 @@ fn config_versioning_chain() {
     )
     .unwrap();
     b.version_of("v2", "v1");
-    b.rules(
-        "v2",
-        "-setting(timeout, 30). setting(timeout, 60).",
-    )
-    .unwrap();
+    b.rules("v2", "-setting(timeout, 30). setting(timeout, 60).")
+        .unwrap();
     b.version_of("v3", "v2");
     b.rules(
         "v3",
@@ -173,7 +194,10 @@ fn config_versioning_chain() {
     assert_eq!(kb.truth("v1", "setting(timeout, 30)").unwrap(), Truth::True);
     assert_eq!(kb.truth("v1", "feature(dark_mode)").unwrap(), Truth::True);
     // v2 overrides timeout only.
-    assert_eq!(kb.truth("v2", "setting(timeout, 30)").unwrap(), Truth::False);
+    assert_eq!(
+        kb.truth("v2", "setting(timeout, 30)").unwrap(),
+        Truth::False
+    );
     assert_eq!(kb.truth("v2", "setting(timeout, 60)").unwrap(), Truth::True);
     assert_eq!(kb.truth("v2", "setting(retries, 3)").unwrap(), Truth::True);
     // v3 sees the whole chain with its own overrides.
@@ -187,7 +211,10 @@ fn config_versioning_chain() {
     kb.assert_rule("v3", "setting(timeout, 90).").unwrap();
     kb.assert_rule("v3", "-setting(timeout, 60).").unwrap();
     assert_eq!(kb.truth("v3", "setting(timeout, 90)").unwrap(), Truth::True);
-    assert_eq!(kb.truth("v3", "setting(timeout, 60)").unwrap(), Truth::False);
+    assert_eq!(
+        kb.truth("v3", "setting(timeout, 60)").unwrap(),
+        Truth::False
+    );
     // v2 untouched by the v3 hotfix.
     assert_eq!(kb.truth("v2", "setting(timeout, 60)").unwrap(), Truth::True);
 }

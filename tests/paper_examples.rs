@@ -6,9 +6,7 @@
 //! Vermeir, "Extending Logic Programming", SIGMOD 1990.
 
 use ordered_logic::prelude::*;
-use ordered_logic::semantics::{
-    enumerate_assumption_free, enumerate_models, has_total_model,
-};
+use ordered_logic::semantics::{enumerate_assumption_free, enumerate_models, has_total_model};
 
 fn setup(src: &str) -> (World, OrderedProgram, GroundProgram) {
     let mut w = World::new();
@@ -23,10 +21,7 @@ fn comp(w: &World, p: &OrderedProgram, name: &str) -> CompId {
 }
 
 fn interp(w: &mut World, lits: &[&str]) -> Interpretation {
-    Interpretation::from_literals(
-        lits.iter().map(|s| parse_ground_literal(w, s).unwrap()),
-    )
-    .unwrap()
+    Interpretation::from_literals(lits.iter().map(|s| parse_ground_literal(w, s).unwrap())).unwrap()
 }
 
 const FIG1: &str = "module c2 {

@@ -4,12 +4,12 @@
 //! stable models — on random ordered programs and on the workload
 //! generators.
 
+use olp_workload::{
+    ancestor, defeating_pairs, expert_panel, random_ordered, taxonomy_chain, taxonomy_expected_fly,
+    GraphShape, RandomCfg,
+};
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::enumerate_assumption_free;
-use olp_workload::{
-    ancestor, defeating_pairs, expert_panel, random_ordered, taxonomy_chain,
-    taxonomy_expected_fly, GraphShape, RandomCfg,
-};
 use proptest::prelude::*;
 
 /// Renders a model set for order-insensitive comparison.

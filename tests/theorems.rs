@@ -5,12 +5,12 @@
 //! `olp-workload`; each property is the literal statement of a lemma,
 //! proposition or theorem.
 
+use olp_workload::{random_ordered, RandomCfg};
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
     enumerate_models, extend_to_exhaustive, greatest_assumption_set, has_no_assumption_set,
     is_exhaustive, least_model_naive, v_step,
 };
-use olp_workload::{random_ordered, RandomCfg};
 use proptest::prelude::*;
 
 fn small_cfg(n_atoms: usize, n_rules: usize, n_components: usize) -> RandomCfg {

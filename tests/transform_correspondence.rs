@@ -13,17 +13,16 @@
 //! * Thm. 2 — for negative programs, Definition 10 (3-level semantics)
 //!   = Definition 11 (direct semantics).
 
+use olp_core::{BitSet, GLit, Rule};
+use olp_workload::{random_negative, random_seminegative, RandomCfg};
 use ordered_logic::classic::{
     founded_models, is_3valued_model, partial_stable_models, stable_models_total, NafProgram,
 };
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{enumerate_assumption_free, enumerate_models};
 use ordered_logic::transform::{
-    assumption_free_models_direct, is_assumption_free_direct, is_model_direct,
-    stable_models_direct,
+    assumption_free_models_direct, is_assumption_free_direct, is_model_direct, stable_models_direct,
 };
-use olp_core::{BitSet, GLit, Rule};
-use olp_workload::{random_negative, random_seminegative, RandomCfg};
 use proptest::prelude::*;
 
 fn cfg(n_atoms: usize, n_rules: usize) -> RandomCfg {

@@ -1,0 +1,224 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of criterion its benches use:
+//! [`Criterion::benchmark_group`], group tuning knobs, `bench_function`
+//! / `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros. Statistics are
+//! simple (mean / median / min over a time-boxed measurement loop) and
+//! printed to stdout; there is no HTML report, baseline storage, or
+//! outlier analysis.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parse harness CLI args (`--bench` is ignored; a bare positional
+    /// argument becomes a substring filter, as with real criterion).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "-q" | "--quiet" | "--noplot" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Minimum number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the routine before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Time budget for the measurement loop.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark case.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.id.clone(), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark case that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, case: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, case);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+    }
+
+    /// End the group (kept for API compatibility; statistics are
+    /// printed as each case finishes).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Repeatedly run `routine`, warming up then measuring until the
+    /// group's time budget or sample count is satisfied.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            let enough_samples = self.samples.len() >= self.sample_size;
+            let out_of_time = measure_start.elapsed() >= self.measurement;
+            if (enough_samples && out_of_time) || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name}: no samples (closure never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{name}: mean {} median {} min {} (n={})",
+            fmt_dur(mean),
+            fmt_dur(median),
+            fmt_dur(min),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,90 @@
+//! Offline drop-in subset of the `crossbeam` crate API.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are used by this
+//! workspace (the parallel stable-model enumerator). Since Rust 1.63
+//! the standard library provides scoped threads, so this shim adapts
+//! `std::thread::scope` to crossbeam's signature: the spawned closure
+//! receives a `&Scope` argument and `scope` returns a
+//! `thread::Result` (std's version propagates panics instead; this
+//! shim therefore always returns `Ok` or unwinds, which is a strict
+//! subset of crossbeam's observable behaviour).
+
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam-utils `thread` module subset).
+pub mod thread {
+    /// Result type used by [`scope`] and `join`, as in `std::thread`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle mirroring `crossbeam_utils::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic
+        /// payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the
+        /// closure receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All threads are joined before `scope`
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_sum_over_borrowed_slice() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_arg() {
+        let n: usize = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21usize).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,211 @@
+//! Regex-lite `&str` strategies.
+//!
+//! A pattern string is a sequence of atoms, each optionally followed
+//! by a quantifier. Supported atoms: literal characters, `\`-escaped
+//! literals, character classes `[...]` (with `a-z` ranges and a
+//! trailing literal `-`), `.` (any printable), and the unicode
+//! category escape `\PC` (any non-control character) as used by
+//! proptest patterns in this workspace. Quantifiers: `*` (0..=16),
+//! `+` (1..=16), `?`, `{m}`, `{m,n}`. Unsupported syntax panics at
+//! generation time with a clear message — better than silently
+//! generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+    /// Any non-control character (`\PC`, `.`).
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        *chars
+                            .get(i)
+                            .unwrap_or_else(|| panic!("pattern {pat:?}: trailing backslash"))
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (a `-` right before `]` is literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "pattern {pat:?}: bad class range {c}-{hi}");
+                        for v in c as u32..=hi as u32 {
+                            if let Some(m) = char::from_u32(v) {
+                                members.push(m);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        members.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "pattern {pat:?}: unterminated class");
+                i += 1; // consume ']'
+                assert!(!members.is_empty(), "pattern {pat:?}: empty class");
+                Atom::Class(members)
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // Only the `\PC` (non-control) category is used.
+                        assert_eq!(
+                            chars.get(i + 1),
+                            Some(&'C'),
+                            "pattern {pat:?}: unsupported category escape"
+                        );
+                        i += 2;
+                        Atom::Printable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Lit(c)
+                    }
+                    None => panic!("pattern {pat:?}: trailing backslash"),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Printable
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '^' | '$'),
+                    "pattern {pat:?}: unsupported regex syntax {c:?}"
+                );
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && chars[i] != '}' {
+                    i += 1;
+                }
+                assert!(i < chars.len(), "pattern {pat:?}: unterminated quantifier");
+                let body: String = chars[start..i].iter().collect();
+                i += 1; // consume '}'
+                let parts: Vec<&str> = body.split(',').collect();
+                let parse = |s: &str| -> u32 {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("pattern {pat:?}: bad quantifier {body:?}"))
+                };
+                match parts.as_slice() {
+                    [n] => (parse(n), parse(n)),
+                    [m, n] => (parse(m), parse(n)),
+                    _ => panic!("pattern {pat:?}: bad quantifier {body:?}"),
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Mostly-ASCII printable pool for `\PC` / `.`, salted with a few
+/// multibyte characters so UTF-8 handling gets exercised.
+fn printable(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'λ', '中', '🦀', '±', '☃', '\u{2028}'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = rng.in_range(piece.min as u64, piece.max as u64);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(members) => {
+                        out.push(members[rng.below(members.len() as u64) as usize])
+                    }
+                    Atom::Printable => out.push(printable(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_punct() {
+        let mut rng = TestRng::new(2);
+        let pat = "[a-zA-Z0-9_ (){},.:<>=+*/%~-]{0,120}";
+        for _ in 0..100 {
+            let s = pat.generate(&mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_ (){},.:<>=+*/%~-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_category() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}
