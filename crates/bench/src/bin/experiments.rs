@@ -13,14 +13,17 @@ use olp_core::{CompId, Interpretation, World};
 use olp_ground::{ground_exhaustive, GroundConfig};
 use olp_parser::{parse_ground_literal, parse_program};
 use olp_semantics::{
-    enumerate_assumption_free, enumerate_models, has_total_model, is_assumption_free, is_model,
-    least_model, stable_models, View,
+    enumerate_assumption_free, enumerate_assumption_free_decomposed,
+    enumerate_assumption_free_propagating, enumerate_models, has_total_model, is_assumption_free,
+    is_model, least_model, stable_models, stable_models_decomposed,
+    stable_models_monolithic_budgeted, View,
 };
 use olp_transform::{extended_version, ordered_version, three_level_version};
 use olp_workload::{
-    ancestor, defeating_pairs, expert_panel, taxonomy_chain, taxonomy_expected_fly, GraphShape,
+    ancestor, defeating_cliques, defeating_pairs, expert_panel, taxonomy_chain,
+    taxonomy_expected_fly, GraphShape,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Report {
     rows: Vec<(String, String, String, bool)>,
@@ -473,5 +476,90 @@ fn main() {
         let _ = least_model(&view);
         let t_olp = t1.elapsed();
         println!("B6 win/move N={n}: WFS {t_wfs:?} vs ordered OV lfp {t_olp:?}");
+    }
+
+    // B8: component-wise evaluation — monolithic vs decomposed engines
+    // on k independent defeating cliques. Differential check (identical
+    // model sets) plus the ≥10x acceptance gate at k = 6, emitted as
+    // BENCH_decomp.json for machine consumption.
+    {
+        fn rendered(ms: &[Interpretation], w: &World) -> Vec<String> {
+            let mut v: Vec<String> = ms.iter().map(|m| m.render(w)).collect();
+            v.sort();
+            v
+        }
+        // Best-of-3 to keep the gate robust against scheduler noise.
+        fn best_of_3<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+            let mut best = Duration::MAX;
+            let mut out = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let v = f();
+                best = best.min(t.elapsed());
+                out = Some(v);
+            }
+            (best, out.unwrap())
+        }
+        let mut json_rows = Vec::new();
+        for &k in &[2usize, 4, 6] {
+            let mut w = World::new();
+            let prog = defeating_cliques(&mut w, k);
+            let g = ground_built_exhaustive(&mut w, &prog);
+            let view = View::new(&g, CompId(0));
+            let n = g.n_atoms;
+            let (t_af_mono, af_mono) =
+                best_of_3(|| enumerate_assumption_free_propagating(&view, n));
+            let (t_af_dec, af_dec) = best_of_3(|| enumerate_assumption_free_decomposed(&view, n));
+            assert_eq!(
+                rendered(&af_mono, &w),
+                rendered(&af_dec, &w),
+                "decomposed AF set differs from monolithic at k={k}"
+            );
+            let (t_st_mono, st_mono) = best_of_3(|| {
+                stable_models_monolithic_budgeted(&view, n, &olp_core::Budget::unlimited(), None)
+                    .into_value()
+            });
+            let (t_st_dec, st_dec) = best_of_3(|| stable_models_decomposed(&view, n));
+            assert_eq!(
+                rendered(&st_mono, &w),
+                rendered(&st_dec, &w),
+                "decomposed stable set differs from monolithic at k={k}"
+            );
+            let af_speedup = t_af_mono.as_secs_f64() / t_af_dec.as_secs_f64().max(1e-9);
+            let st_speedup = t_st_mono.as_secs_f64() / t_st_dec.as_secs_f64().max(1e-9);
+            println!(
+                "B8 decomp k={k}: AF mono {t_af_mono:?} vs dec {t_af_dec:?} ({af_speedup:.1}x), \
+                 stable mono {t_st_mono:?} vs dec {t_st_dec:?} ({st_speedup:.1}x), \
+                 sets identical ({} AF / {} stable models){}",
+                af_mono.len(),
+                st_mono.len(),
+                if k == 6 && st_speedup >= 10.0 {
+                    " — ≥10x gate: PASS"
+                } else if k == 6 {
+                    " — ≥10x gate: FAIL"
+                } else {
+                    ""
+                }
+            );
+            json_rows.push(format!(
+                "  {{\"k\": {k}, \"n_af_models\": {}, \"n_stable_models\": {}, \
+                 \"af_monolithic_ns\": {}, \"af_decomposed_ns\": {}, \"af_speedup\": {af_speedup:.2}, \
+                 \"stable_monolithic_ns\": {}, \"stable_decomposed_ns\": {}, \"stable_speedup\": {st_speedup:.2}}}",
+                af_mono.len(),
+                st_mono.len(),
+                t_af_mono.as_nanos(),
+                t_af_dec.as_nanos(),
+                t_st_mono.as_nanos(),
+                t_st_dec.as_nanos(),
+            ));
+        }
+        let json = format!(
+            "{{\n\"workload\": \"defeating_cliques\",\n\"rows\": [\n{}\n]\n}}\n",
+            json_rows.join(",\n")
+        );
+        match std::fs::write("BENCH_decomp.json", &json) {
+            Ok(()) => println!("B8 decomp: wrote BENCH_decomp.json"),
+            Err(e) => println!("B8 decomp: could not write BENCH_decomp.json: {e}"),
+        }
     }
 }

@@ -64,59 +64,14 @@ impl DepGraph {
     /// topological order** (a component only depends on components with
     /// *smaller* ids — i.e. id 0 is a sink/leaf).
     pub fn sccs(&self) -> (Vec<u32>, usize) {
-        // Iterative Tarjan (explicit stack) to survive deep chains.
-        const UNSET: u32 = u32::MAX;
-        let n = self.n;
-        let mut index = vec![UNSET; n];
-        let mut low = vec![0u32; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<usize> = Vec::new();
-        let mut scc_of = vec![UNSET; n];
-        let mut next_index = 0u32;
-        let mut next_scc = 0u32;
-
-        // Work stack frames: (node, child cursor).
-        for root in 0..n {
-            if index[root] != UNSET {
-                continue;
-            }
-            let mut work: Vec<(usize, usize)> = vec![(root, 0)];
-            while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
-                if *cursor == 0 {
-                    index[v] = next_index;
-                    low[v] = next_index;
-                    next_index += 1;
-                    stack.push(v);
-                    on_stack[v] = true;
-                }
-                if let Some(&(w, _)) = self.edges[v].get(*cursor) {
-                    *cursor += 1;
-                    if index[w] == UNSET {
-                        work.push((w, 0));
-                    } else if on_stack[w] {
-                        low[v] = low[v].min(index[w]);
-                    }
-                } else {
-                    // Done with v.
-                    if low[v] == index[v] {
-                        loop {
-                            let w = stack.pop().expect("tarjan stack");
-                            on_stack[w] = false;
-                            scc_of[w] = next_scc;
-                            if w == v {
-                                break;
-                            }
-                        }
-                        next_scc += 1;
-                    }
-                    work.pop();
-                    if let Some(&mut (parent, _)) = work.last_mut() {
-                        low[parent] = low[parent].min(low[v]);
-                    }
-                }
-            }
-        }
-        (scc_of, next_scc as usize)
+        // Delegate to the shared iterative Tarjan; polarity is
+        // irrelevant for connectivity.
+        let adj: Vec<Vec<u32>> = self
+            .edges
+            .iter()
+            .map(|outs| outs.iter().map(|&(w, _)| w as u32).collect())
+            .collect();
+        olp_core::tarjan_scc(&adj)
     }
 }
 

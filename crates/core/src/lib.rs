@@ -41,6 +41,8 @@
 //! * [`bitset`] — a small dense bit set used throughout the workspace.
 //! * [`budget`] — the engine-wide resource governor (step budgets,
 //!   deadlines, cancellation, anytime [`Eval`] outcomes).
+//! * [`scc`] — generic iterative Tarjan strongly-connected components,
+//!   shared by every dependency-graph consumer.
 //! * [`world`] — the [`World`] bundle of interners.
 
 #![warn(missing_docs)]
@@ -54,6 +56,7 @@ pub mod literal;
 pub mod pred;
 pub mod program;
 pub mod rule;
+pub mod scc;
 pub mod symbol;
 pub mod term;
 pub mod world;
@@ -67,6 +70,7 @@ pub use literal::{GLit, Literal, Sign};
 pub use pred::{PredId, PredTable};
 pub use program::{CompId, Component, Order, OrderError, OrderedProgram};
 pub use rule::{Aexp, BodyItem, Cmp, CmpOp, EvalError, Rule};
+pub use scc::tarjan_scc;
 pub use symbol::{Sym, SymbolTable};
 pub use term::Term;
 pub use world::World;

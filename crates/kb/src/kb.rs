@@ -15,7 +15,10 @@ use olp_core::{
 };
 use olp_ground::{ground_exhaustive, ground_smart, GroundConfig, GroundError, GroundProgram};
 use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
-use olp_semantics::{least_model, least_model_budgeted, stable_models, View};
+use olp_semantics::{
+    least_model, least_model_budgeted, least_model_monolithic_budgeted, stable_models,
+    stable_models_budgeted, stable_models_monolithic_budgeted, View,
+};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -75,7 +78,7 @@ impl From<GroundError> for KbError {
 /// the computation finished within the limits, `Interrupted` with an
 /// *anytime* partial result otherwise (see each method for what the
 /// partial result guarantees).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct QueryOptions {
     /// Absolute wall-clock deadline for the call.
     pub deadline: Option<Instant>,
@@ -84,6 +87,21 @@ pub struct QueryOptions {
     /// Cap on the number of stable models enumerated (stable/skeptical
     /// queries only).
     pub max_models: Option<usize>,
+    /// Evaluate component-wise (SCC condensation / independent rule
+    /// groups). On by default; [`QueryOptions::no_decomp`] forces the
+    /// monolithic engines (escape hatch and differential baseline).
+    pub decomp: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            max_steps: None,
+            max_models: None,
+            decomp: true,
+        }
+    }
 }
 
 impl QueryOptions {
@@ -107,6 +125,13 @@ impl QueryOptions {
     /// Sets the model cap.
     pub fn max_models(mut self, max_models: usize) -> Self {
         self.max_models = Some(max_models);
+        self
+    }
+
+    /// Disables component-wise evaluation for this query (runs the
+    /// monolithic fixpoint / enumeration engines instead).
+    pub fn no_decomp(mut self) -> Self {
+        self.decomp = false;
         self
     }
 
@@ -288,7 +313,12 @@ impl Kb {
         if let Some(m) = self.least_cache.get(&c) {
             return Ok(Eval::Complete(m.clone()));
         }
-        let eval = least_model_budgeted(&View::new(&self.ground, c), &opts.budget());
+        let view = View::new(&self.ground, c);
+        let eval = if opts.decomp {
+            least_model_budgeted(&view, &opts.budget())
+        } else {
+            least_model_monolithic_budgeted(&view, &opts.budget())
+        };
         if let Eval::Complete(m) = &eval {
             self.least_cache.insert(c, m.clone());
         }
@@ -550,12 +580,17 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<Vec<Interpretation>>, KbError> {
         let c = self.comp(object)?;
-        Ok(olp_semantics::stable_models_budgeted(
-            &View::new(&self.ground, c),
-            self.ground.n_atoms,
-            &opts.budget(),
-            opts.max_models,
-        ))
+        let view = View::new(&self.ground, c);
+        Ok(if opts.decomp {
+            stable_models_budgeted(&view, self.ground.n_atoms, &opts.budget(), opts.max_models)
+        } else {
+            stable_models_monolithic_budgeted(
+                &view,
+                self.ground.n_atoms,
+                &opts.budget(),
+                opts.max_models,
+            )
+        })
     }
 
     /// Differences between two objects' least models: the literals on
@@ -870,6 +905,32 @@ mod tests {
         for m in capped.value() {
             // Every partial member is a genuine assumption-free model.
             assert!(all.iter().any(|full| m.is_subset(full)));
+        }
+    }
+
+    #[test]
+    fn no_decomp_matches_default_engines() {
+        // Two fresh KBs so the least-model cache can't mask the engine
+        // choice.
+        let mut mono = penguin_kb(GroundStrategy::Smart);
+        let mut dec = penguin_kb(GroundStrategy::Smart);
+        let m_mono = mono
+            .model_with("penguin_view", &QueryOptions::new().no_decomp())
+            .unwrap();
+        let m_dec = dec
+            .model_with("penguin_view", &QueryOptions::new())
+            .unwrap();
+        assert!(m_mono.is_complete() && m_dec.is_complete());
+        assert_eq!(m_mono.value(), m_dec.value());
+        let st_mono = mono
+            .stable_with("penguin_view", &QueryOptions::new().no_decomp())
+            .unwrap();
+        let st_dec = dec
+            .stable_with("penguin_view", &QueryOptions::new())
+            .unwrap();
+        assert_eq!(st_mono.value().len(), st_dec.value().len());
+        for m in st_mono.value() {
+            assert!(st_dec.value().contains(m));
         }
     }
 

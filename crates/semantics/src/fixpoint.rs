@@ -7,16 +7,20 @@
 //! only ever weaken), so the least fixpoint exists and equals the limit
 //! of `V^k(∅)`.
 //!
-//! Two engines:
+//! Three engines:
 //! * [`v_step`] / [`least_model_naive`] — a literal transcription of the
 //!   definition: full passes until nothing changes. Reference + ablation
 //!   baseline.
-//! * [`least_model`] — incremental worklist engine: per-rule counters of
-//!   unsatisfied body literals and of still-active (non-blocked)
-//!   overrulers/defeaters; deriving a literal decrements counters via
-//!   the view's body index and transposed attack lists. Each
-//!   rule/literal is touched O(1) times per edge, so the fixpoint is
-//!   linear in the size of the ground view.
+//! * [`least_model_monolithic`] — incremental worklist engine: per-rule
+//!   counters of unsatisfied body literals and of still-active
+//!   (non-blocked) overrulers/defeaters; deriving a literal decrements
+//!   counters via the view's body index and transposed attack lists.
+//!   Each rule/literal is touched O(1) times per edge, so the fixpoint
+//!   is linear in the size of the ground view.
+//! * [`least_model`] — the default: the same worklist run
+//!   stratum-by-stratum over the SCC condensation of the dependency
+//!   graph ([`crate::decomp`]), which confines counters and queue to one
+//!   stratum at a time.
 
 use crate::view::View;
 use olp_core::{Budget, Eval, Interpretation, Interrupted};
@@ -74,16 +78,37 @@ pub fn least_model_naive_budgeted(view: &View, budget: &Budget) -> Eval<Interpre
 ///
 /// By Theorem 1(b) this is the **least model** of the program in the
 /// component, the intersection of all models, and is assumption-free.
+///
+/// Evaluation is **stratified** by default: the worklist runs
+/// stratum-by-stratum over the SCC condensation of the dependency graph
+/// ([`crate::decomp`]). Use [`least_model_monolithic`] to skip the
+/// condensation (the `--no-decomp` escape hatch).
 pub fn least_model(view: &View) -> Interpretation {
-    least_model_impl(view, None, &Budget::unlimited()).into_value()
+    crate::decomp::least_model_stratified(view)
 }
 
 /// [`least_model`] under a [`Budget`].
 ///
+/// On interruption the partial result is every completed stratum in
+/// full plus a monotone prefix of the current one — always a subset of
+/// the unbudgeted least model.
+pub fn least_model_budgeted(view: &View, budget: &Budget) -> Eval<Interpretation> {
+    crate::decomp::least_model_stratified_budgeted(view, budget)
+}
+
+/// Least fixpoint of `V_{P,C}` by a single monolithic worklist, without
+/// the stratified decomposition. Kept as the `--no-decomp` escape hatch
+/// and the differential-testing baseline for [`least_model`].
+pub fn least_model_monolithic(view: &View) -> Interpretation {
+    least_model_impl(view, None, &Budget::unlimited()).into_value()
+}
+
+/// [`least_model_monolithic`] under a [`Budget`].
+///
 /// On interruption the partial result contains only literals already
 /// derived by fired rules, i.e. a prefix of the monotone worklist
 /// closure — always a subset of the unbudgeted least model.
-pub fn least_model_budgeted(view: &View, budget: &Budget) -> Eval<Interpretation> {
+pub fn least_model_monolithic_budgeted(view: &View, budget: &Budget) -> Eval<Interpretation> {
     least_model_impl(view, None, budget)
 }
 

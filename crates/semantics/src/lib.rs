@@ -16,7 +16,10 @@
 //!   Definitions 6–8 and Theorem 1a;
 //! * [`stable_models`] and friends — Definition 9 (maximal
 //!   assumption-free models), exhaustive models (Def. 5b, Prop. 2),
-//!   total models (Def. 5a).
+//!   total models (Def. 5a);
+//! * [`Decomposition`] — SCC condensation of the dependency graph:
+//!   stratified fixpoints and product-form enumeration over independent
+//!   rule groups (on by default in [`least_model`] / [`stable_models`]).
 //!
 //! ## Quick example (the paper's Fig. 1)
 //!
@@ -55,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod assumption;
+pub mod decomp;
 pub mod explain;
 pub mod fixpoint;
 pub mod model;
@@ -67,10 +71,16 @@ pub mod view;
 pub use assumption::{
     enabled_version, greatest_assumption_set, has_no_assumption_set, is_assumption_free, t_fixpoint,
 };
+pub use decomp::{
+    enumerate_assumption_free_decomposed, enumerate_assumption_free_decomposed_budgeted,
+    least_model_stratified, least_model_stratified_budgeted, least_model_stratified_with,
+    stable_models_decomposed, stable_models_decomposed_budgeted, Decomposition,
+};
 pub use explain::{explain, explain_budgeted, explain_in, render_why, Fate, Proof, Why};
 pub use fixpoint::{
-    least_model, least_model_budgeted, least_model_naive, least_model_naive_budgeted,
-    least_model_restricted, least_model_restricted_budgeted, v_step,
+    least_model, least_model_budgeted, least_model_monolithic, least_model_monolithic_budgeted,
+    least_model_naive, least_model_naive_budgeted, least_model_restricted,
+    least_model_restricted_budgeted, v_step,
 };
 pub use model::{check_model, is_model, ModelViolation};
 pub use olp_core::{
@@ -84,7 +94,7 @@ pub use skeptical::{
 pub use stable::{
     derivability_closure, enumerate_assumption_free, enumerate_assumption_free_budgeted,
     enumerate_models, extend_to_exhaustive, has_total_model, is_exhaustive, maximal_only,
-    stable_models, stable_models_budgeted, stable_models_naive,
+    stable_models, stable_models_budgeted, stable_models_monolithic_budgeted, stable_models_naive,
 };
 pub use stable_solver::{
     enumerate_assumption_free_parallel, enumerate_assumption_free_parallel_budgeted,

@@ -246,14 +246,16 @@ pub fn maximal_only(models: Vec<Interpretation>) -> Vec<Interpretation> {
 
 /// The **stable models**: maximal assumption-free models (Definition 9).
 ///
-/// Uses the propagating enumerator
+/// Splits the view into independent rule groups first
+/// ([`crate::decomp::stable_models_decomposed`]) and solves each with
+/// the propagating enumerator
 /// ([`crate::stable_solver::enumerate_assumption_free_propagating`]);
 /// the plain enumerator ([`enumerate_assumption_free`]) is kept as the
-/// differential-testing reference (`stable_models_naive`).
+/// differential-testing reference (`stable_models_naive`), and
+/// [`crate::stable_solver::stable_models_propagating`] as the
+/// undecomposed (`--no-decomp`) path.
 pub fn stable_models(view: &View, n_atoms: usize) -> Vec<Interpretation> {
-    maximal_only(crate::stable_solver::enumerate_assumption_free_propagating(
-        view, n_atoms,
-    ))
+    crate::decomp::stable_models_decomposed(view, n_atoms)
 }
 
 /// [`stable_models`] under a [`Budget`], optionally capped at
@@ -266,6 +268,18 @@ pub fn stable_models(view: &View, n_atoms: usize) -> Vec<Interpretation> {
 /// listed model may be subsumed by an undiscovered larger one, so
 /// treat partial entries as "best stable candidates so far".
 pub fn stable_models_budgeted(
+    view: &View,
+    n_atoms: usize,
+    budget: &Budget,
+    max_models: Option<usize>,
+) -> Eval<Vec<Interpretation>> {
+    crate::decomp::stable_models_decomposed_budgeted(view, n_atoms, budget, max_models)
+}
+
+/// [`stable_models_budgeted`] without the group decomposition: one
+/// monolithic propagating search over the whole view. The `--no-decomp`
+/// escape hatch, and the fallback when the view is a single group.
+pub fn stable_models_monolithic_budgeted(
     view: &View,
     n_atoms: usize,
     budget: &Budget,

@@ -45,12 +45,20 @@ fn encode_reason(r: InterruptReason) -> u8 {
     }
 }
 
+/// Inverse of [`encode_reason`]. Code 0 is the governor's "no reason
+/// latched yet" sentinel and is never decoded (every decode site reads
+/// the cell only after a trip stored a non-zero code); any other
+/// unknown code is a logic error, not a silent `Cancelled`.
 fn decode_reason(code: u8) -> InterruptReason {
     match code {
         1 => InterruptReason::Steps,
         2 => InterruptReason::Deadline,
+        3 => InterruptReason::Cancelled,
         4 => InterruptReason::ModelCap,
-        _ => InterruptReason::Cancelled,
+        other => {
+            debug_assert!(false, "decode_reason: unknown reason code {other}");
+            InterruptReason::Cancelled
+        }
     }
 }
 
@@ -111,6 +119,7 @@ impl<'b> Governor<'b> {
     }
 }
 
+#[derive(Clone)]
 struct Solver<'a, 'g> {
     view: &'a View<'g>,
     /// Derivability closure (bound on every AF model).
@@ -118,10 +127,69 @@ struct Solver<'a, 'g> {
     /// Branch atoms and their index in the assignment vector.
     atoms: Vec<AtomId>,
     slot: FxHashMap<AtomId, usize>,
+    /// Watched-literal index: `watchers[s]` lists the rules whose P1/P2
+    /// status can change when the branch atom in slot `s` is assigned —
+    /// the rules watching the atom through their own body, their head,
+    /// or the body of one of their potential overrulers/defeaters.
+    watchers: Vec<Vec<LocalIdx>>,
     out: Vec<Interpretation>,
 }
 
 impl<'a, 'g> Solver<'a, 'g> {
+    fn new(view: &'a View<'g>, d: FxHashSet<GLit>, atoms: Vec<AtomId>) -> Self {
+        let slot: FxHashMap<AtomId, usize> =
+            atoms.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        // The P1 condition of a rule reads its body atoms, its head atom
+        // and its attackers' body atoms; P2 reads its head atom and its
+        // body atoms. Register the rule as a watcher of each (branch)
+        // atom in that union, so propagation only ever revisits rules
+        // that can actually have changed.
+        let mut watchers: Vec<Vec<LocalIdx>> = vec![Vec::new(); atoms.len()];
+        for (li, r) in view.rules() {
+            let mut watched: Vec<usize> = Vec::new();
+            let add = |a: AtomId, watched: &mut Vec<usize>| {
+                if let Some(&s) = slot.get(&a) {
+                    watched.push(s);
+                }
+            };
+            add(r.head.atom(), &mut watched);
+            for &b in r.body.iter() {
+                add(b.atom(), &mut watched);
+            }
+            for &a in view.overrulers(li).iter().chain(view.defeaters(li)) {
+                for &b in view.rule(a).body.iter() {
+                    add(b.atom(), &mut watched);
+                }
+            }
+            watched.sort_unstable();
+            watched.dedup();
+            for s in watched {
+                watchers[s].push(li);
+            }
+        }
+        Solver {
+            view,
+            d,
+            atoms,
+            slot,
+            watchers,
+            out: Vec::new(),
+        }
+    }
+
+    /// All rules — the dirty seed for a fresh (root) assignment.
+    fn all_rules(&self) -> Vec<LocalIdx> {
+        (0..self.view.len() as LocalIdx).collect()
+    }
+
+    /// Push every watcher of `atom` onto the dirty queue (called after
+    /// `atom`'s assignment changed).
+    #[inline]
+    fn wake(&self, atom: AtomId, dirty: &mut Vec<LocalIdx>) {
+        if let Some(&s) = self.slot.get(&atom) {
+            dirty.extend_from_slice(&self.watchers[s]);
+        }
+    }
     /// `Some(state)` if the literal's atom is a branch atom, else the
     /// atom is permanently undefined (treated as assigned `UNDEF`).
     #[inline]
@@ -203,76 +271,86 @@ impl<'a, 'g> Solver<'a, 'g> {
         self.set(assign, l.atom(), v)
     }
 
-    /// Runs P1/P2 to fixpoint; `Ok(false)` on conflict.
-    fn propagate(&self, assign: &mut [u8], gov: &Governor) -> Result<bool, InterruptReason> {
-        loop {
-            let mut changed = false;
-            for (li, r) in self.view.rules() {
-                gov.budget.tick().map_err(|r| gov.trip(r))?;
-                // P1: forced firing.
-                if self.surely_applicable(assign, li)
-                    && self
-                        .view
-                        .overrulers(li)
-                        .iter()
-                        .all(|&a| self.surely_blocked(assign, a))
-                    && self
-                        .view
-                        .defeaters(li)
-                        .iter()
-                        .all(|&a| self.surely_blocked(assign, a))
-                {
-                    match self.atom_state(assign, r.head.atom()) {
-                        UNKNOWN => {
-                            if !self.force_lit(assign, r.head) {
-                                return Ok(false);
-                            }
-                            changed = true;
+    /// Runs P1/P2 to fixpoint over the `dirty` rule queue; `Ok(false)`
+    /// on conflict. Whenever a forced assignment lands, the watchers of
+    /// the changed atom rejoin the queue — rules none of whose watched
+    /// atoms changed are never revisited (their P1/P2 outcome is
+    /// unchanged by construction of the watch sets).
+    fn propagate(
+        &self,
+        assign: &mut [u8],
+        gov: &Governor,
+        dirty: &mut Vec<LocalIdx>,
+    ) -> Result<bool, InterruptReason> {
+        while let Some(li) = dirty.pop() {
+            gov.budget.tick().map_err(|r| gov.trip(r))?;
+            let r = self.view.rule(li);
+            // P1: forced firing.
+            if self.surely_applicable(assign, li)
+                && self
+                    .view
+                    .overrulers(li)
+                    .iter()
+                    .all(|&a| self.surely_blocked(assign, a))
+                && self
+                    .view
+                    .defeaters(li)
+                    .iter()
+                    .all(|&a| self.surely_blocked(assign, a))
+            {
+                match self.atom_state(assign, r.head.atom()) {
+                    UNKNOWN => {
+                        if !self.force_lit(assign, r.head) {
+                            return Ok(false);
                         }
-                        s => {
-                            let want = match r.head.sign() {
-                                Sign::Pos => TRUE,
-                                Sign::Neg => FALSE,
-                            };
-                            if s != want {
-                                return Ok(false);
-                            }
-                        }
+                        self.wake(r.head.atom(), dirty);
                     }
-                }
-                // P2: a true literal's unoverrulable contradictors must
-                // be blocked.
-                if self.surely_true(assign, r.head.complement())
-                    && self.view.overrulers(li).is_empty()
-                    && !self.surely_blocked(assign, li)
-                {
-                    let refutable: Vec<GLit> = r
-                        .body
-                        .iter()
-                        .copied()
-                        .filter(|&b| !self.complement_impossible(assign, b))
-                        .collect();
-                    match refutable.len() {
-                        0 => return Ok(false),
-                        1 => {
-                            if !self.force_lit(assign, refutable[0].complement()) {
-                                return Ok(false);
-                            }
-                            changed = true;
+                    s => {
+                        let want = match r.head.sign() {
+                            Sign::Pos => TRUE,
+                            Sign::Neg => FALSE,
+                        };
+                        if s != want {
+                            return Ok(false);
                         }
-                        _ => {}
                     }
                 }
             }
-            if !changed {
-                return Ok(true);
+            // P2: a true literal's unoverrulable contradictors must
+            // be blocked.
+            if self.surely_true(assign, r.head.complement())
+                && self.view.overrulers(li).is_empty()
+                && !self.surely_blocked(assign, li)
+            {
+                let refutable: Vec<GLit> = r
+                    .body
+                    .iter()
+                    .copied()
+                    .filter(|&b| !self.complement_impossible(assign, b))
+                    .collect();
+                match refutable.len() {
+                    0 => return Ok(false),
+                    1 => {
+                        if !self.force_lit(assign, refutable[0].complement()) {
+                            return Ok(false);
+                        }
+                        self.wake(refutable[0].atom(), dirty);
+                    }
+                    _ => {}
+                }
             }
         }
+        Ok(true)
     }
 
-    fn search(&mut self, assign: &mut [u8], gov: &Governor) -> Result<(), InterruptReason> {
+    fn search(
+        &mut self,
+        assign: &mut [u8],
+        gov: &Governor,
+        dirty: &mut Vec<LocalIdx>,
+    ) -> Result<(), InterruptReason> {
         gov.gate()?;
-        if !self.propagate(assign, gov)? {
+        if !self.propagate(assign, gov, dirty)? {
             return Ok(());
         }
         match assign.iter().position(|&s| s == UNKNOWN) {
@@ -313,7 +391,9 @@ impl<'a, 'g> Solver<'a, 'g> {
                 for v in options {
                     let mut child = assign.to_vec();
                     child[i] = v;
-                    self.search(&mut child, gov)?;
+                    // Only rules watching the branched atom can react.
+                    let mut child_dirty = self.watchers[i].clone();
+                    self.search(&mut child, gov, &mut child_dirty)?;
                 }
                 Ok(())
             }
@@ -357,17 +437,11 @@ pub fn enumerate_assumption_free_propagating_budgeted(
         .into_iter()
         .collect();
     atoms.sort_unstable();
-    let slot: FxHashMap<AtomId, usize> = atoms.iter().enumerate().map(|(i, &a)| (a, i)).collect();
     let gov = Governor::new(budget, max_models);
-    let mut solver = Solver {
-        view,
-        d,
-        atoms,
-        slot,
-        out: Vec::new(),
-    };
+    let mut solver = Solver::new(view, d, atoms);
     let mut assign = vec![UNKNOWN; solver.atoms.len()];
-    match solver.search(&mut assign, &gov) {
+    let mut dirty = solver.all_rules();
+    match solver.search(&mut assign, &gov, &mut dirty) {
         Ok(()) => Eval::Complete(solver.out),
         Err(reason) => Eval::Interrupted(Interrupted {
             reason,
@@ -409,6 +483,17 @@ pub fn enumerate_assumption_free_parallel_budgeted(
     budget: &Budget,
     max_models: Option<usize>,
 ) -> Eval<Vec<Interpretation>> {
+    // Group-level parallelism first: when the view splits into
+    // independent rule groups, whole groups are distributed to the
+    // workers and the per-group model sets combined as a product
+    // ([`crate::decomp`]). Prefix splitting below is the fallback for a
+    // single connected group.
+    let decomp = crate::decomp::Decomposition::new(view);
+    if decomp.groups().len() > 1 {
+        return crate::decomp::enumerate_af_groups_parallel(
+            view, &decomp, threads, budget, max_models,
+        );
+    }
     let d = match crate::stable::derivability_closure_budgeted(view, budget) {
         Ok(d) => d,
         Err(reason) => {
@@ -425,20 +510,26 @@ pub fn enumerate_assumption_free_parallel_budgeted(
         .into_iter()
         .collect();
     atoms.sort_unstable();
-    let slot: FxHashMap<AtomId, usize> = atoms.iter().enumerate().map(|(i, &a)| (a, i)).collect();
     let threads = threads.max(1);
     let gov = Governor::new(budget, max_models);
 
     // Breadth-first expansion of the prefix frontier, with propagation
     // applied at every step so dead prefixes never spawn work.
-    let seed_solver = Solver {
-        view,
-        d: d.clone(),
-        atoms: atoms.clone(),
-        slot: slot.clone(),
-        out: Vec::new(),
-    };
-    let mut frontier: Vec<Vec<u8>> = vec![vec![UNKNOWN; seed_solver.atoms.len()]];
+    let seed_solver = Solver::new(view, d, atoms);
+    let mut root = vec![UNKNOWN; seed_solver.atoms.len()];
+    let mut root_dirty = seed_solver.all_rules();
+    match seed_solver.propagate(&mut root, &gov, &mut root_dirty) {
+        Ok(true) => {}
+        // Root conflict: no assumption-free model exists at all.
+        Ok(false) => return Eval::Complete(Vec::new()),
+        Err(reason) => {
+            return Eval::Interrupted(Interrupted {
+                reason,
+                partial: Vec::new(),
+            })
+        }
+    }
+    let mut frontier: Vec<Vec<u8>> = vec![root];
     let mut leaves: Vec<Vec<u8>> = Vec::new();
     while frontier.len() < threads * 2 {
         let Some(pos) = frontier.iter().position(|a| a.contains(&UNKNOWN)) else {
@@ -460,7 +551,8 @@ pub fn enumerate_assumption_free_parallel_budgeted(
         for v in options {
             let mut child = assign.to_vec();
             child[i] = v;
-            match seed_solver.propagate(&mut child, &gov) {
+            let mut child_dirty = seed_solver.watchers[i].clone();
+            match seed_solver.propagate(&mut child, &gov, &mut child_dirty) {
                 Ok(true) => {
                     if child.contains(&UNKNOWN) {
                         frontier.push(child);
@@ -494,25 +586,19 @@ pub fn enumerate_assumption_free_parallel_budgeted(
             .map(|_| {
                 let frontier = &frontier;
                 let next = &next;
-                let d = &d;
-                let atoms = &atoms;
-                let slot = &slot;
+                let seed_solver = &seed_solver;
                 let gov = &gov;
                 scope.spawn(move |_| {
-                    let mut solver = Solver {
-                        view,
-                        d: d.clone(),
-                        atoms: atoms.clone(),
-                        slot: slot.clone(),
-                        out: Vec::new(),
-                    };
+                    let mut solver = seed_solver.clone();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= frontier.len() {
                             return solver.out;
                         }
                         let mut assign = frontier[i].clone();
-                        if solver.search(&mut assign, gov).is_err() {
+                        // Prefixes were propagated to fixpoint during
+                        // expansion, so the dirty queue starts empty.
+                        if solver.search(&mut assign, gov, &mut Vec::new()).is_err() {
                             // Keep whatever this worker verified; the
                             // reason is latched in the governor.
                             return solver.out;
@@ -573,6 +659,19 @@ mod tests {
         let mut v: Vec<String> = ms.iter().map(|m| m.render(w)).collect();
         v.sort();
         v
+    }
+
+    #[test]
+    fn interrupt_reason_codes_round_trip() {
+        use InterruptReason::*;
+        for r in [Steps, Deadline, Cancelled, ModelCap] {
+            assert_eq!(decode_reason(encode_reason(r)), r);
+            assert_ne!(
+                encode_reason(r),
+                0,
+                "0 is the governor's unset sentinel and must stay unused"
+            );
+        }
     }
 
     #[test]

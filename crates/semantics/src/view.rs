@@ -59,7 +59,20 @@ pub struct View<'g> {
 impl<'g> View<'g> {
     /// Compiles the view of component `comp`.
     pub fn new(gp: &'g GroundProgram, comp: CompId) -> Self {
-        let rules: Vec<u32> = gp.view(comp).to_vec();
+        Self::from_rules(gp, comp, gp.view(comp).to_vec())
+    }
+
+    /// Compiles a view over an **explicit rule subset** (global indices
+    /// into `gp.rules`). Head/body indices and attack lists are built
+    /// from the subset only: a rule outside `rules` neither fires nor
+    /// attacks.
+    ///
+    /// Used by the decomposition layer ([`crate::decomp`]), whose rule
+    /// groups are closed under head-atom sharing — every rule with a
+    /// head complementary to an included rule's head is also included —
+    /// so the attack structure inside the subset is exactly the attack
+    /// structure the full view assigns to those rules.
+    pub fn from_rules(gp: &'g GroundProgram, comp: CompId, rules: Vec<u32>) -> Self {
         let n = rules.len();
         let mut by_head: FxHashMap<GLit, Vec<LocalIdx>> = FxHashMap::default();
         let mut by_body: FxHashMap<GLit, Vec<LocalIdx>> = FxHashMap::default();
@@ -101,6 +114,13 @@ impl<'g> View<'g> {
             victims_overrule,
             victims_defeat,
         }
+    }
+
+    /// A sub-view over a subset of this view's rules (given as **global**
+    /// indices, e.g. collected via [`View::global_index`]). See
+    /// [`View::from_rules`] for the closure requirement on the subset.
+    pub fn restrict(&self, rules: &[u32]) -> View<'g> {
+        View::from_rules(self.gp, self.comp, rules.to_vec())
     }
 
     /// Number of rules in the view.

@@ -12,6 +12,10 @@
 //! * [`defeating_pairs`] — Fig. 2 at size N: N incomparable
 //!   expert-pairs asserting contradictory facts, all inherited by one
 //!   consumer — a pure stress test of defeat bookkeeping.
+//! * [`defeating_cliques`] — k disjoint Fig. 2-style choice cliques
+//!   (pro/con pair + two consumer rules each); the component-wise
+//!   evaluation stress test, where the model set is a cartesian
+//!   product of per-clique choices.
 //! * [`expert_panel`] — Fig. 3 at size N: numeric-threshold loan
 //!   experts with refinement edges.
 //! * [`ancestor`] — Example 6 over generated `parent` relations
@@ -142,6 +146,40 @@ pub fn defeating_pairs(world: &mut World, n_pairs: usize) -> OrderedProgram {
         let q = lit(world, Sign::Pos, &format!("q{i}"), vec![]);
         let body = lit(world, Sign::Pos, &p, vec![]);
         prog.add_rule(consumer, Rule::new(q, vec![BodyItem::Lit(body)]));
+    }
+    prog
+}
+
+/// `k` independent 3-atom "defeating cliques": clique `i` has an
+/// incomparable pro/con pair asserting `p_i.` / `-p_i.`, plus consumer
+/// rules `q_i ← p_i` and `r_i ← -p_i`. The cliques share no atoms, so
+/// the dependency graph splits into `k` independent groups: monolithic
+/// enumeration must interleave the per-clique choices (search effort
+/// multiplies across cliques), while component-wise evaluation solves
+/// each clique separately and combines the per-clique model sets as a
+/// cartesian product. This is the `decomp` benchmark workload.
+pub fn defeating_cliques(world: &mut World, k: usize) -> OrderedProgram {
+    let mut prog = OrderedProgram::new();
+    let consumer_sym = world.syms.intern("consumer");
+    let consumer = prog.add_component(consumer_sym);
+    for i in 0..k {
+        let pro_sym = world.syms.intern(&format!("pro{i}"));
+        let pro = prog.add_component(pro_sym);
+        let con_sym = world.syms.intern(&format!("con{i}"));
+        let con = prog.add_component(con_sym);
+        prog.add_edge(consumer, pro);
+        prog.add_edge(consumer, con);
+        let p = format!("p{i}");
+        let head_pos = lit(world, Sign::Pos, &p, vec![]);
+        prog.add_rule(pro, Rule::fact(head_pos));
+        let head_neg = lit(world, Sign::Neg, &p, vec![]);
+        prog.add_rule(con, Rule::fact(head_neg));
+        let q = lit(world, Sign::Pos, &format!("q{i}"), vec![]);
+        let p_pos = lit(world, Sign::Pos, &p, vec![]);
+        prog.add_rule(consumer, Rule::new(q, vec![BodyItem::Lit(p_pos)]));
+        let r = lit(world, Sign::Pos, &format!("r{i}"), vec![]);
+        let p_neg = lit(world, Sign::Neg, &p, vec![]);
+        prog.add_rule(consumer, Rule::new(r, vec![BodyItem::Lit(p_neg)]));
     }
     prog
 }
@@ -562,6 +600,18 @@ mod tests {
         let mut w = World::new();
         let p = defeating_pairs(&mut w, 5);
         assert_eq!(p.components.len(), 11);
+        let o = p.order().unwrap();
+        assert!(o.incomparable(olp_core::CompId(1), olp_core::CompId(2)));
+    }
+
+    #[test]
+    fn defeating_cliques_shape() {
+        let mut w = World::new();
+        let p = defeating_cliques(&mut w, 4);
+        // consumer + (pro, con) per clique.
+        assert_eq!(p.components.len(), 9);
+        // 2 facts + 2 consumer rules per clique.
+        assert_eq!(p.rule_count(), 16);
         let o = p.order().unwrap();
         assert!(o.incomparable(olp_core::CompId(1), olp_core::CompId(2)));
     }

@@ -8,6 +8,7 @@
 //!        --explain                         print a proof / refutation for ground queries
 //! common flags:
 //!        --exhaustive                      use the reference grounder (default: smart)
+//!        --no-decomp                       disable component-wise evaluation
 //!        --timeout SECS                    wall-clock limit; partial results, exit 124
 //!        --max-steps N                     engine work-unit limit; same degradation
 //!        --max-models N                    stop model enumeration after N models
@@ -19,8 +20,10 @@
 
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
-    credulous_consequences_budgeted, enumerate_assumption_free_budgeted, explain_in,
-    least_model_budgeted, render_why, skeptical_consequences_budgeted, stable_models_budgeted,
+    credulous_consequences_budgeted, enumerate_assumption_free_decomposed_budgeted,
+    enumerate_assumption_free_propagating_budgeted, explain_in, least_model_budgeted,
+    least_model_monolithic_budgeted, render_why, skeptical_consequences_budgeted,
+    stable_models_budgeted, stable_models_monolithic_budgeted,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -29,9 +32,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   olp check  FILE [--exhaustive]
-  olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive]
-  olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive]
-  olp repl   FILE [--exhaustive]
+  olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive] [--no-decomp]
+  olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive] [--no-decomp]
+  olp repl   FILE [--exhaustive] [--no-decomp]
+evaluation:
+  --no-decomp        disable component-wise evaluation (SCC condensation
+                     and product-form enumeration); use the monolithic engines
 resource limits (any command):
   --timeout SECS     wall-clock limit (fractions allowed); exits 124 when hit
   --max-steps N      cap on engine work units; exits 124 when hit
@@ -40,12 +46,25 @@ resource limits (any command):
     ExitCode::from(2)
 }
 
-/// Resource limits parsed from the command line.
-#[derive(Debug, Clone, Default)]
+/// Resource limits and engine choices parsed from the command line.
+#[derive(Debug, Clone)]
 struct Limits {
     timeout: Option<Duration>,
     max_steps: Option<u64>,
     max_models: Option<usize>,
+    /// Component-wise evaluation (on unless `--no-decomp`).
+    decomp: bool,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            timeout: None,
+            max_steps: None,
+            max_models: None,
+            decomp: true,
+        }
+    }
 }
 
 impl Limits {
@@ -80,6 +99,35 @@ impl Limits {
     /// A fresh budget whose deadline starts now.
     fn budget(&self) -> Budget {
         Budget::limited(self.max_steps, self.timeout.map(|t| Instant::now() + t))
+    }
+
+    /// Least model under these limits, routed through the decomposed or
+    /// monolithic engine per `--no-decomp`.
+    fn least(&self, view: &View, budget: &Budget) -> Eval<Interpretation> {
+        if self.decomp {
+            least_model_budgeted(view, budget)
+        } else {
+            least_model_monolithic_budgeted(view, budget)
+        }
+    }
+
+    /// Stable models under these limits (decomposed or monolithic).
+    fn stable(&self, view: &View, n_atoms: usize, budget: &Budget) -> Eval<Vec<Interpretation>> {
+        if self.decomp {
+            stable_models_budgeted(view, n_atoms, budget, self.max_models)
+        } else {
+            stable_models_monolithic_budgeted(view, n_atoms, budget, self.max_models)
+        }
+    }
+
+    /// Assumption-free models under these limits (decomposed or
+    /// monolithic propagating search).
+    fn af(&self, view: &View, n_atoms: usize, budget: &Budget) -> Eval<Vec<Interpretation>> {
+        if self.decomp {
+            enumerate_assumption_free_decomposed_budgeted(view, n_atoms, budget, self.max_models)
+        } else {
+            enumerate_assumption_free_propagating_budgeted(view, n_atoms, budget, self.max_models)
+        }
     }
 }
 
@@ -236,7 +284,7 @@ fn cmd_models(
         let show_sk = matches!(mode, "skeptical" | "all");
         let show_cred = matches!(mode, "credulous" | "all");
         if show_least {
-            let ev = least_model_budgeted(&view, &budget);
+            let ev = limits.least(&view, &budget);
             if let Some(reason) = ev.reason() {
                 println!("{}", partial_banner("least model", reason));
                 partial = true;
@@ -244,12 +292,7 @@ fn cmd_models(
             println!("  least model: {}", ev.value().render(&l.world));
         }
         if show_af {
-            let ev = enumerate_assumption_free_budgeted(
-                &view,
-                l.ground.n_atoms,
-                &budget,
-                limits.max_models,
-            );
+            let ev = limits.af(&view, l.ground.n_atoms, &budget);
             if let Some(reason) = ev.reason() {
                 println!("{}", partial_banner("enumeration", reason));
                 partial = true;
@@ -259,7 +302,7 @@ fn cmd_models(
             }
         }
         if show_stable {
-            let ev = stable_models_budgeted(&view, l.ground.n_atoms, &budget, limits.max_models);
+            let ev = limits.stable(&view, l.ground.n_atoms, &budget);
             if let Some(reason) = ev.reason() {
                 println!("{}", partial_banner("enumeration", reason));
                 partial = true;
@@ -309,7 +352,7 @@ fn cmd_query(
     let budget = limits.budget();
     let mut l = load(path, exhaustive, &budget)?;
     let c = find_component(&l, component)?;
-    cmd_query_loaded(&mut l, c, pattern, explain, &budget).map_err(CliFail::Msg)
+    cmd_query_loaded(&mut l, c, pattern, explain, &budget, limits).map_err(CliFail::Msg)
 }
 
 fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
@@ -352,7 +395,7 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
             },
             "models" => {
                 let view = View::new(&l.ground, current);
-                let ev = least_model_budgeted(&view, &limits.budget());
+                let ev = limits.least(&view, &limits.budget());
                 if let Some(reason) = ev.reason() {
                     println!("{}", partial_banner("least model", reason));
                 }
@@ -360,12 +403,7 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
             }
             "stable" => {
                 let view = View::new(&l.ground, current);
-                let ev = stable_models_budgeted(
-                    &view,
-                    l.ground.n_atoms,
-                    &limits.budget(),
-                    limits.max_models,
-                );
+                let ev = limits.stable(&view, l.ground.n_atoms, &limits.budget());
                 if let Some(reason) = ev.reason() {
                     println!("{}", partial_banner("enumeration", reason));
                 }
@@ -376,7 +414,7 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
             "explain" => match parse_ground_literal(&mut l.world, rest) {
                 Ok(q) => {
                     let view = View::new(&l.ground, current);
-                    let ev = least_model_budgeted(&view, &limits.budget());
+                    let ev = limits.least(&view, &limits.budget());
                     if let Some(reason) = ev.reason() {
                         println!("{}", partial_banner("least model", reason));
                     }
@@ -388,7 +426,9 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
             _ => {
                 // Treat the whole line as a query (ground or pattern).
                 let comp_name = name_of(&l, current);
-                if let Err(e) = cmd_query_loaded(&mut l, current, line, false, &limits.budget()) {
+                if let Err(e) =
+                    cmd_query_loaded(&mut l, current, line, false, &limits.budget(), limits)
+                {
                     println!("error in `{comp_name}`: {e}");
                 }
             }
@@ -406,9 +446,10 @@ fn cmd_query_loaded(
     pattern: &str,
     explain: bool,
     budget: &Budget,
+    limits: &Limits,
 ) -> Result<bool, String> {
     let view = View::new(&l.ground, c);
-    let ev = least_model_budgeted(&view, budget);
+    let ev = limits.least(&view, budget);
     let suffix = match ev.reason() {
         Some(reason) => {
             println!("{}", partial_banner("least model", reason));
@@ -510,6 +551,7 @@ fn main() -> ExitCode {
     let flags: Vec<&str> = flags.iter().map(String::as_str).collect();
     let pos: Vec<&str> = pos.iter().map(String::as_str).collect();
     let exhaustive = flags.contains(&"--exhaustive");
+    limits.decomp = !flags.contains(&"--no-decomp");
 
     let result = match pos.as_slice() {
         ["check", file] => cmd_check(file, exhaustive, &limits),
