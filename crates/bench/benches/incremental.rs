@@ -1,0 +1,98 @@
+//! Experiment B9 — incremental KB maintenance: delta grounding plus
+//! stratum-local recomputation vs a full refresh on every mutation.
+//!
+//! Workload: [`olp_workload::mutation_stream`] — an ancestor chain of
+//! `n_base` `parent` facts under the usual transitive-closure rules,
+//! mutated by asserting/retracting single `parent` edges. Both sides
+//! use the same smart grounder; the baseline merely has incremental
+//! maintenance switched off (`Kb::set_incremental(false)`), so every
+//! mutation regrounds the whole program and drops all model caches.
+//!
+//! * `assert_cycle_*` — one isolated fresh edge asserted and then
+//!   retracted (the retract restores the KB, so every iteration sees
+//!   the same state). The incremental path seeds a constant-size delta
+//!   join and replays it to a fixpoint; the full refresh recomputes the
+//!   O(n²) `anc` closure from scratch.
+//! * `stream_*` — replaying a full 32-step mutation stream (asserts
+//!   and retracts, some attached to the chain) with a least-model
+//!   query after every step, the end-to-end maintenance loop.
+//!
+//! Expected shape: the incremental side wins by a factor that grows
+//! with the chain length (the acceptance gate checked by `experiments`
+//! is ≥5x on the single assert at the largest n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olp_core::World;
+use olp_ground::GroundConfig;
+use olp_kb::{GroundStrategy, Kb, KbBuilder};
+use olp_parser::parse_program;
+use olp_workload::{mutation_stream, Mutation, MutationCfg};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn stream_cfg(n_base: usize) -> MutationCfg {
+    MutationCfg {
+        n_base,
+        ..MutationCfg::default()
+    }
+}
+
+/// Builds a KB over the `mutation_stream` base chain. `incremental`
+/// toggles delta maintenance; the grounder is Smart either way.
+fn build_kb(n_base: usize, incremental: bool) -> Kb {
+    let (base, _) = mutation_stream(&stream_cfg(n_base), 7);
+    let mut world = World::new();
+    let prog = parse_program(&mut world, &base).expect("workload parses");
+    let mut kb = KbBuilder::from_parts(world, prog)
+        .build_with(GroundStrategy::Smart, &GroundConfig::default())
+        .expect("workload grounds");
+    kb.set_incremental(incremental);
+    let _ = kb.model("main").expect("known object");
+    kb
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    const EDGE: &str = "parent(fresh_a, fresh_b).";
+    for &n in &[64usize, 128] {
+        for (label, incremental) in [
+            ("assert_cycle_incremental", true),
+            ("assert_cycle_full_refresh", false),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut kb = build_kb(n, incremental);
+                b.iter(|| {
+                    kb.assert_rule("main", EDGE).expect("assert grounds");
+                    assert!(kb.retract_rule("main", EDGE).expect("retract grounds"));
+                    black_box(kb.epoch())
+                });
+            });
+        }
+        for (label, incremental) in [("stream_incremental", true), ("stream_full_refresh", false)] {
+            let (_, muts) = mutation_stream(&stream_cfg(n), 7);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut kb = build_kb(n, incremental);
+                    for m in &muts {
+                        match m {
+                            Mutation::Assert { object, rule } => {
+                                kb.assert_rule(object, rule).expect("assert grounds");
+                            }
+                            Mutation::Retract { object, rule } => {
+                                kb.retract_rule(object, rule).expect("retract grounds");
+                            }
+                        }
+                        black_box(kb.model("main").expect("known object"));
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

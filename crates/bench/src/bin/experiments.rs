@@ -11,6 +11,7 @@ use olp_classic::{
 };
 use olp_core::{CompId, Interpretation, World};
 use olp_ground::{ground_exhaustive, GroundConfig};
+use olp_kb::{GroundStrategy, Kb, KbBuilder};
 use olp_parser::{parse_ground_literal, parse_program};
 use olp_semantics::{
     enumerate_assumption_free, enumerate_assumption_free_decomposed,
@@ -20,8 +21,8 @@ use olp_semantics::{
 };
 use olp_transform::{extended_version, ordered_version, three_level_version};
 use olp_workload::{
-    ancestor, defeating_cliques, defeating_pairs, expert_panel, taxonomy_chain,
-    taxonomy_expected_fly, GraphShape,
+    ancestor, defeating_cliques, defeating_pairs, expert_panel, mutation_stream, taxonomy_chain,
+    taxonomy_expected_fly, GraphShape, Mutation, MutationCfg,
 };
 use std::time::{Duration, Instant};
 
@@ -560,6 +561,130 @@ fn main() {
         match std::fs::write("BENCH_decomp.json", &json) {
             Ok(()) => println!("B8 decomp: wrote BENCH_decomp.json"),
             Err(e) => println!("B8 decomp: could not write BENCH_decomp.json: {e}"),
+        }
+    }
+
+    // B9: incremental maintenance — delta grounding + stratum-local
+    // recomputation vs a full smart reground on every mutation, on the
+    // mutation_stream ancestor-chain workload. Differential check
+    // (identical rendered models on both paths after every mutation)
+    // plus the ≥5x acceptance gate on the single-fact assert at the
+    // largest chain, emitted as BENCH_incremental.json.
+    {
+        fn stream_cfg(n_base: usize) -> MutationCfg {
+            MutationCfg {
+                n_base,
+                ..MutationCfg::default()
+            }
+        }
+        fn build_kb(n_base: usize, incremental: bool) -> Kb {
+            let (base, _) = mutation_stream(&stream_cfg(n_base), 7);
+            let mut w = World::new();
+            let prog = parse_program(&mut w, &base).unwrap();
+            let mut kb = KbBuilder::from_parts(w, prog)
+                .build_with(GroundStrategy::Smart, &GroundConfig::default())
+                .unwrap();
+            kb.set_incremental(incremental);
+            let _ = kb.model("main").unwrap();
+            kb
+        }
+        fn rendered(kb: &mut Kb) -> String {
+            let m = kb.model("main").unwrap().clone();
+            kb.render(&m)
+        }
+        // Best-of-3 timing of a single-edge assert; every rep is undone
+        // by an untimed retract so each one starts from the same state.
+        fn best_assert(kb: &mut Kb, rule: &str, query: bool) -> Duration {
+            let mut best = Duration::MAX;
+            for _ in 0..3 {
+                let t = Instant::now();
+                kb.assert_rule("main", rule).unwrap();
+                if query {
+                    let _ = kb.model("main").unwrap();
+                }
+                best = best.min(t.elapsed());
+                assert!(kb.retract_rule("main", rule).unwrap());
+            }
+            best
+        }
+        // Replays the whole mutation stream with a least-model read
+        // after every step (the end-to-end maintenance loop).
+        fn replay(kb: &mut Kb, muts: &[Mutation]) -> Duration {
+            let t = Instant::now();
+            for m in muts {
+                match m {
+                    Mutation::Assert { object, rule } => {
+                        kb.assert_rule(object, rule).unwrap();
+                    }
+                    Mutation::Retract { object, rule } => {
+                        kb.retract_rule(object, rule).unwrap();
+                    }
+                }
+                let _ = kb.model(m.object()).unwrap();
+            }
+            t.elapsed()
+        }
+        const EDGE: &str = "parent(fresh_a, fresh_b).";
+        let sizes = [64usize, 96, 128, 192];
+        let largest = *sizes.last().unwrap();
+        let mut json_rows = Vec::new();
+        for &n in &sizes {
+            let (_, muts) = mutation_stream(&stream_cfg(n), 7);
+            let mut inc = build_kb(n, true);
+            let mut full = build_kb(n, false);
+            // Differential check: both paths agree before, after the
+            // assert, and again after the retract.
+            assert_eq!(rendered(&mut inc), rendered(&mut full), "n={n} base");
+            inc.assert_rule("main", EDGE).unwrap();
+            full.assert_rule("main", EDGE).unwrap();
+            assert_eq!(rendered(&mut inc), rendered(&mut full), "n={n} assert");
+            assert!(inc.retract_rule("main", EDGE).unwrap());
+            assert!(full.retract_rule("main", EDGE).unwrap());
+            assert_eq!(rendered(&mut inc), rendered(&mut full), "n={n} retract");
+            let t_inc = best_assert(&mut inc, EDGE, false);
+            let t_full = best_assert(&mut full, EDGE, false);
+            let t_inc_q = best_assert(&mut inc, EDGE, true);
+            let t_full_q = best_assert(&mut full, EDGE, true);
+            let t_inc_s = replay(&mut inc, &muts);
+            let t_full_s = replay(&mut full, &muts);
+            assert_eq!(rendered(&mut inc), rendered(&mut full), "n={n} stream");
+            let speedup = t_full.as_secs_f64() / t_inc.as_secs_f64().max(1e-9);
+            let q_speedup = t_full_q.as_secs_f64() / t_inc_q.as_secs_f64().max(1e-9);
+            let s_speedup = t_full_s.as_secs_f64() / t_inc_s.as_secs_f64().max(1e-9);
+            println!(
+                "B9 incremental n={n}: assert {t_inc:?} vs full refresh {t_full:?} ({speedup:.1}x), \
+                 assert+query {t_inc_q:?} vs {t_full_q:?} ({q_speedup:.1}x), \
+                 {}-step stream {t_inc_s:?} vs {t_full_s:?} ({s_speedup:.1}x), models identical{}",
+                muts.len(),
+                if n == largest && speedup >= 5.0 {
+                    " — ≥5x gate: PASS"
+                } else if n == largest {
+                    " — ≥5x gate: FAIL"
+                } else {
+                    ""
+                }
+            );
+            json_rows.push(format!(
+                "  {{\"n_base\": {n}, \"n_mutations\": {}, \
+                 \"assert_incremental_ns\": {}, \"assert_full_refresh_ns\": {}, \"assert_speedup\": {speedup:.2}, \
+                 \"assert_query_incremental_ns\": {}, \"assert_query_full_refresh_ns\": {}, \"assert_query_speedup\": {q_speedup:.2}, \
+                 \"stream_incremental_ns\": {}, \"stream_full_refresh_ns\": {}, \"stream_speedup\": {s_speedup:.2}}}",
+                muts.len(),
+                t_inc.as_nanos(),
+                t_full.as_nanos(),
+                t_inc_q.as_nanos(),
+                t_full_q.as_nanos(),
+                t_inc_s.as_nanos(),
+                t_full_s.as_nanos(),
+            ));
+        }
+        let json = format!(
+            "{{\n\"workload\": \"mutation_stream\",\n\"rows\": [\n{}\n]\n}}\n",
+            json_rows.join(",\n")
+        );
+        match std::fs::write("BENCH_incremental.json", &json) {
+            Ok(()) => println!("B9 incremental: wrote BENCH_incremental.json"),
+            Err(e) => println!("B9 incremental: could not write BENCH_incremental.json: {e}"),
         }
     }
 }

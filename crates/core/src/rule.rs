@@ -399,6 +399,81 @@ impl Rule {
         }
         self.vars().iter().all(|v| body_vars.contains(v))
     }
+
+    /// Equality up to a consistent renaming of variables
+    /// (alpha-equivalence): `p(X) ← q(X)` equals `p(Y) ← q(Y)` but not
+    /// `p(X) ← q(Y)`. Variables are compared by their position in each
+    /// rule's first-occurrence order ([`Rule::vars`]); everything else
+    /// is compared structurally in source order.
+    pub fn alpha_eq(&self, other: &Rule) -> bool {
+        if self.body.len() != other.body.len() {
+            return false;
+        }
+        let va = self.vars();
+        let vb = other.vars();
+        if va.len() != vb.len() {
+            return false;
+        }
+        alpha_lit(&self.head, &other.head, &va, &vb)
+            && self
+                .body
+                .iter()
+                .zip(&other.body)
+                .all(|(x, y)| match (x, y) {
+                    (BodyItem::Lit(l), BodyItem::Lit(m)) => alpha_lit(l, m, &va, &vb),
+                    (BodyItem::Cmp(c), BodyItem::Cmp(d)) => alpha_cmp(c, d, &va, &vb),
+                    _ => false,
+                })
+    }
+}
+
+/// Variables are alpha-equal when they sit at the same position of
+/// their rules' first-occurrence variable lists.
+fn alpha_var(a: Sym, b: Sym, va: &[Sym], vb: &[Sym]) -> bool {
+    va.iter().position(|&v| v == a) == vb.iter().position(|&v| v == b)
+}
+
+fn alpha_term(a: &Term, b: &Term, va: &[Sym], vb: &[Sym]) -> bool {
+    match (a, b) {
+        (Term::Var(x), Term::Var(y)) => alpha_var(*x, *y, va, vb),
+        (Term::Const(c), Term::Const(d)) => c == d,
+        (Term::Int(i), Term::Int(j)) => i == j,
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            f == g
+                && fa.len() == ga.len()
+                && fa.iter().zip(ga).all(|(x, y)| alpha_term(x, y, va, vb))
+        }
+        _ => false,
+    }
+}
+
+fn alpha_aexp(a: &Aexp, b: &Aexp, va: &[Sym], vb: &[Sym]) -> bool {
+    match (a, b) {
+        (Aexp::Term(x), Aexp::Term(y)) => alpha_term(x, y, va, vb),
+        (Aexp::Add(l1, r1), Aexp::Add(l2, r2))
+        | (Aexp::Sub(l1, r1), Aexp::Sub(l2, r2))
+        | (Aexp::Mul(l1, r1), Aexp::Mul(l2, r2))
+        | (Aexp::Div(l1, r1), Aexp::Div(l2, r2))
+        | (Aexp::Mod(l1, r1), Aexp::Mod(l2, r2)) => {
+            alpha_aexp(l1, l2, va, vb) && alpha_aexp(r1, r2, va, vb)
+        }
+        (Aexp::Neg(x), Aexp::Neg(y)) => alpha_aexp(x, y, va, vb),
+        _ => false,
+    }
+}
+
+fn alpha_cmp(a: &Cmp, b: &Cmp, va: &[Sym], vb: &[Sym]) -> bool {
+    a.op == b.op && alpha_aexp(&a.lhs, &b.lhs, va, vb) && alpha_aexp(&a.rhs, &b.rhs, va, vb)
+}
+
+fn alpha_lit(a: &Literal, b: &Literal, va: &[Sym], vb: &[Sym]) -> bool {
+    a.sign == b.sign
+        && a.pred == b.pred
+        && a.args.len() == b.args.len()
+        && a.args
+            .iter()
+            .zip(&b.args)
+            .all(|(x, y)| alpha_term(x, y, va, vb))
 }
 
 #[cfg(test)]
@@ -647,6 +722,58 @@ mod tests {
             ],
         );
         assert!(!cmp_unsafe.is_safe());
+    }
+
+    #[test]
+    fn alpha_equivalence() {
+        let mut f = fix();
+        let x = f.syms.intern("X");
+        let y = f.syms.intern("Y");
+        let p = f.preds.intern(f.syms.intern("p"), 1);
+        let q = f.preds.intern(f.syms.intern("q"), 1);
+        let rule = |h: Sym, b: Sym| {
+            Rule::new(
+                Literal::pos(p, vec![Term::Var(h)]),
+                vec![BodyItem::Lit(Literal::pos(q, vec![Term::Var(b)]))],
+            )
+        };
+        // p(X) ← q(X)  ≡α  p(Y) ← q(Y), despite Rule::eq failing.
+        assert_ne!(rule(x, x), rule(y, y));
+        assert!(rule(x, x).alpha_eq(&rule(y, y)));
+        // p(X) ← q(Y) is NOT alpha-equal to p(X) ← q(X).
+        assert!(!rule(x, y).alpha_eq(&rule(x, x)));
+        assert!(rule(x, y).alpha_eq(&rule(y, x)));
+
+        // Repetition patterns matter: p(X,X) vs p(X,Y).
+        let p2 = f.preds.intern(f.syms.intern("p"), 2);
+        let rep = Rule::fact(Literal::pos(p2, vec![Term::Var(x), Term::Var(x)]));
+        let dist = Rule::fact(Literal::pos(p2, vec![Term::Var(x), Term::Var(y)]));
+        assert!(!rep.alpha_eq(&dist));
+        assert!(rep.alpha_eq(&Rule::fact(Literal::pos(
+            p2,
+            vec![Term::Var(y), Term::Var(y)]
+        ))));
+
+        // Constants, signs, and comparisons compare structurally.
+        let c = f.syms.intern("c");
+        let fc = Rule::fact(Literal::pos(p, vec![Term::Const(c)]));
+        assert!(fc.alpha_eq(&fc.clone()));
+        assert!(!fc.alpha_eq(&Rule::fact(Literal::neg(p, vec![Term::Const(c)]))));
+        let cmp_rule = |v: Sym, n: i64| {
+            Rule::new(
+                Literal::pos(p, vec![Term::Var(v)]),
+                vec![
+                    BodyItem::Lit(Literal::pos(q, vec![Term::Var(v)])),
+                    BodyItem::Cmp(Cmp {
+                        op: CmpOp::Gt,
+                        lhs: Aexp::Term(Term::Var(v)),
+                        rhs: Aexp::Term(Term::Int(n)),
+                    }),
+                ],
+            )
+        };
+        assert!(cmp_rule(x, 3).alpha_eq(&cmp_rule(y, 3)));
+        assert!(!cmp_rule(x, 3).alpha_eq(&cmp_rule(y, 4)));
     }
 
     #[test]

@@ -1,0 +1,920 @@
+//! The delta (incremental) grounder.
+//!
+//! [`crate::ground_smart`] recomputes the entire derivability closure on
+//! every call. A live knowledge base that asserts and retracts single
+//! rules pays that full cost per mutation. [`DeltaGrounder`] instead
+//! *persists* the smart grounder's state — the derivability closure
+//! `D`, the active domain, and every phase-1 firing instance tagged
+//! with the rule that produced it — and updates it per mutation:
+//!
+//! * **Assert**: the new rule is compiled and registered with the join
+//!   drivers, its constants enter the active domain, and a single seed
+//!   join runs it against the current `D`. The ordinary semi-naive
+//!   closure then propagates: newly derived literals drive old and new
+//!   rules alike, and active-domain growth re-runs the domain-dependent
+//!   rules. This grounds exactly the asserted rule's instantiations
+//!   plus the universe growth they induce.
+//! * **Retract**: derivations are *non-monotone* under rule removal, so
+//!   the grounder replays the retained instances **propositionally**: an
+//!   instance fires iff its (distinct) body literals are all (re)derived
+//!   and its recorded residual bindings lie within the rebuilt active
+//!   domain. The replay is a counter-based worklist over stored
+//!   instances — no joins, no variable matching — linear in the size of
+//!   the previous grounding, and computes the exact least fixpoint the
+//!   smart grounder would reach from scratch (the retained instance
+//!   store is a superset of the from-scratch instance set, and
+//!   admissibility re-checks exactly the conditions that gated their
+//!   original emission).
+//!
+//! Phase 2 (attacker instances, including the eternal-attacker
+//! sentinel collapse — see [`crate::smart`]) is re-run from the updated
+//! `D` on every mutation: attacks depend non-monotonically on
+//! derivability in both directions, and the phase is cheap relative to
+//! the closure (it never joins, only matches victims).
+//!
+//! **Invariant** (tested in this module and fuzzed in
+//! `tests/incremental.rs`): after every successful operation, the
+//! assembled [`GroundProgram`] is identical to what [`ground_smart`]
+//! would produce on the mutated source program. On error (budget
+//! exhaustion, instance cap) the internal state is unspecified; callers
+//! must discard the grounder and fall back to a full reground.
+
+use crate::program::{GroundProgram, GroundRule};
+use crate::universe::{GroundConfig, GroundError};
+use olp_core::term::Bindings;
+use olp_core::{
+    AtomId, Budget, CompId, FxHashMap, FxHashSet, GLit, GTerm, GTermId, Literal, Order,
+    OrderedProgram, PredId, Rule, Sign, Sym, Term, World,
+};
+use std::collections::VecDeque;
+
+/// A rule compiled for joining, with liveness and its own constants.
+#[derive(Debug)]
+struct DRule {
+    comp: CompId,
+    head: Literal,
+    lits: Vec<Literal>,
+    cmps: Vec<olp_core::Cmp>,
+    vars: Vec<Sym>,
+    /// Variables in no body literal: enumerated over the active domain.
+    residual: Vec<Sym>,
+    /// Ground constants occurring in the rule text (head and body
+    /// literal arguments) — the rule's contribution to the seed domain.
+    consts: Vec<GTermId>,
+    /// Retracted rules stay registered (indices are stable) but dead.
+    alive: bool,
+}
+
+/// A phase-1 firing instance with enough provenance to replay it.
+#[derive(Debug)]
+struct Inst {
+    /// Index of the producing rule in [`DeltaGrounder::rules`].
+    rule: u32,
+    gr: GroundRule,
+    /// The ground terms bound to the rule's residual variables at
+    /// emission, deduplicated. The instance exists only while all of
+    /// them remain in the active domain.
+    residual_terms: Box<[GTermId]>,
+}
+
+/// Identifier of a registered rule, returned by
+/// [`DeltaGrounder::assert_rule`] and consumed by
+/// [`DeltaGrounder::retract_rule`].
+pub type DeltaRuleId = u32;
+
+/// Persistent incremental grounder: smart-grounder state that survives
+/// across mutations. See the module docs for the algorithm.
+#[derive(Debug)]
+pub struct DeltaGrounder {
+    order: Order,
+    max_instances: usize,
+    max_depth: u32,
+    rules: Vec<DRule>,
+    d_set: FxHashSet<GLit>,
+    d_by: FxHashMap<(PredId, Sign), Vec<AtomId>>,
+    adom: Vec<GTermId>,
+    adom_set: FxHashSet<GTermId>,
+    queue: VecDeque<GLit>,
+    /// `(rule, body position)` join drivers per (pred, sign).
+    drivers: FxHashMap<(PredId, Sign), Vec<(usize, usize)>>,
+    /// Rules re-run whenever the active domain grows (facts and rules
+    /// with residual variables).
+    adom_dependent: Vec<usize>,
+    /// Phase-1 instances, dedup'd by `seen`.
+    insts: Vec<Inst>,
+    seen: FxHashSet<(u32, GroundRule)>,
+    /// Phase-2 output, rebuilt per mutation.
+    out2: Vec<GroundRule>,
+    /// Per-operation instance budget (reset from `max_instances`).
+    budget: usize,
+    /// Per-operation governor (deadline / steps / cancellation).
+    gov: Budget,
+}
+
+/// Collects the interned constants of a rule's literal arguments
+/// (head and body), recursing through compound terms. Mirrors what
+/// [`crate::signature`] contributes for this rule.
+fn rule_consts(world: &mut World, rule: &Rule) -> Vec<GTermId> {
+    fn walk(t: &Term, world: &mut World, out: &mut Vec<GTermId>) {
+        match t {
+            Term::Var(_) => {}
+            Term::Const(c) => {
+                let id = world.terms.constant(*c);
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+            Term::Int(i) => {
+                let id = world.terms.int(*i);
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    walk(a, world, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for t in &rule.head.args {
+        walk(t, world, &mut out);
+    }
+    for l in rule.body_lits() {
+        for t in &l.args {
+            walk(t, world, &mut out);
+        }
+    }
+    out
+}
+
+impl DeltaGrounder {
+    /// Grounds `prog` from scratch and returns the grounder together
+    /// with the initial [`GroundProgram`] — identical to what
+    /// [`crate::ground_smart`] produces.
+    pub fn new(
+        world: &mut World,
+        prog: &OrderedProgram,
+        cfg: &GroundConfig,
+    ) -> Result<(Self, GroundProgram), GroundError> {
+        let order = prog.order()?;
+        let mut g = DeltaGrounder {
+            order,
+            max_instances: cfg.max_instances,
+            max_depth: cfg.max_depth,
+            rules: Vec::new(),
+            d_set: FxHashSet::default(),
+            d_by: FxHashMap::default(),
+            adom: Vec::new(),
+            adom_set: FxHashSet::default(),
+            queue: VecDeque::new(),
+            drivers: FxHashMap::default(),
+            adom_dependent: Vec::new(),
+            insts: Vec::new(),
+            seen: FxHashSet::default(),
+            out2: Vec::new(),
+            budget: cfg.max_instances,
+            gov: cfg.budget.clone(),
+        };
+        for (comp, rule) in prog.rules() {
+            g.register(world, comp, rule);
+        }
+        for ix in 0..g.rules.len() {
+            let cs = g.rules[ix].consts.clone();
+            for c in cs {
+                g.adom_add_term(world, c);
+            }
+        }
+        g.run_closure(world)?;
+        g.attackers(world)?;
+        let gp = g.assemble(world);
+        Ok((g, gp))
+    }
+
+    /// Registers a compiled rule; returns its id. Does not ground it.
+    fn register(&mut self, world: &mut World, comp: CompId, rule: &Rule) -> DeltaRuleId {
+        let ix = self.rules.len();
+        let vars = rule.vars();
+        let lits: Vec<Literal> = rule.body_lits().cloned().collect();
+        let cmps: Vec<olp_core::Cmp> = rule.body_cmps().cloned().collect();
+        let mut body_vars = Vec::new();
+        for l in &lits {
+            l.collect_vars(&mut body_vars);
+        }
+        let residual: Vec<Sym> = vars
+            .iter()
+            .copied()
+            .filter(|v| !body_vars.contains(v))
+            .collect();
+        for (pos, l) in lits.iter().enumerate() {
+            self.drivers
+                .entry((l.pred, l.sign))
+                .or_default()
+                .push((ix, pos));
+        }
+        if lits.is_empty() || !residual.is_empty() {
+            self.adom_dependent.push(ix);
+        }
+        self.rules.push(DRule {
+            comp,
+            head: rule.head.clone(),
+            lits,
+            cmps,
+            vars,
+            residual,
+            consts: rule_consts(world, rule),
+            alive: true,
+        });
+        ix as DeltaRuleId
+    }
+
+    /// Asserts `rule` into component `comp`: grounds only the new
+    /// rule's instantiations plus whatever the derivability closure and
+    /// active-domain growth they cause make newly derivable. Returns
+    /// the rule's id (for later retraction) and the updated ground
+    /// program.
+    ///
+    /// On `Err` the grounder's state is unspecified: discard it.
+    pub fn assert_rule(
+        &mut self,
+        world: &mut World,
+        comp: CompId,
+        rule: &Rule,
+        gov: &Budget,
+    ) -> Result<(DeltaRuleId, GroundProgram), GroundError> {
+        self.budget = self.max_instances;
+        self.gov = gov.clone();
+        let id = self.register(world, comp, rule);
+        let cs = self.rules[id as usize].consts.clone();
+        for c in cs {
+            self.adom_add_term(world, c);
+        }
+        // Seed join: instances of the new rule whose bodies are already
+        // within `D` (later derivations drive it via `drivers`).
+        let positions: Vec<usize> = (0..self.rules[id as usize].lits.len()).collect();
+        let mut b = Bindings::default();
+        self.join(world, id as usize, &positions, 0, &mut b)?;
+        self.run_closure(world)?;
+        self.attackers(world)?;
+        Ok((id, self.assemble(world)))
+    }
+
+    /// Retracts a previously registered rule and replays the retained
+    /// instances to the exact from-scratch fixpoint (see module docs).
+    ///
+    /// On `Err` the grounder's state is unspecified: discard it.
+    pub fn retract_rule(
+        &mut self,
+        world: &mut World,
+        id: DeltaRuleId,
+        gov: &Budget,
+    ) -> Result<GroundProgram, GroundError> {
+        self.budget = self.max_instances;
+        self.gov = gov.clone();
+        self.rules[id as usize].alive = false;
+        self.replay(world)?;
+        self.attackers(world)?;
+        Ok(self.assemble(world))
+    }
+
+    /// Number of phase-1 + phase-2 instances currently held (diagnostic
+    /// — the CLI's timing output reports the delta between mutations).
+    pub fn instance_count(&self) -> usize {
+        self.insts.len() + self.out2.len()
+    }
+
+    fn spend(&mut self, n: usize) -> Result<(), GroundError> {
+        if self.budget < n {
+            return Err(GroundError::TooManyInstances(self.max_instances));
+        }
+        self.budget -= n;
+        self.gov.charge(n as u64)?;
+        Ok(())
+    }
+
+    fn adom_add_term(&mut self, world: &World, t: GTermId) {
+        if self.adom_set.insert(t) {
+            self.adom.push(t);
+            if let GTerm::Func(_, args) = world.terms.get(t).clone() {
+                for a in args.iter() {
+                    self.adom_add_term(world, *a);
+                }
+            }
+        }
+    }
+
+    fn d_add(&mut self, world: &World, l: GLit) {
+        if self.d_set.insert(l) {
+            let atom = world.atoms.get(l.atom()).clone();
+            self.d_by
+                .entry((atom.pred, l.sign()))
+                .or_default()
+                .push(l.atom());
+            for &t in atom.args.iter() {
+                self.adom_add_term(world, t);
+            }
+            self.queue.push_back(l);
+        }
+    }
+
+    fn intern_lit(&mut self, world: &mut World, lit: &Literal, b: &Bindings) -> GLit {
+        let mut args = Vec::with_capacity(lit.args.len());
+        for t in &lit.args {
+            args.push(
+                t.intern(&mut world.terms, b)
+                    .expect("variables bound at emission"),
+            );
+        }
+        GLit::new(lit.sign, world.atoms.intern(lit.pred, &args))
+    }
+
+    /// Completes `bindings` at a leaf of the join: enumerates residual
+    /// variables over the active domain, then emits.
+    fn finish(
+        &mut self,
+        world: &mut World,
+        rule_ix: usize,
+        b: &mut Bindings,
+    ) -> Result<(), GroundError> {
+        let residual: Vec<Sym> = self.rules[rule_ix]
+            .residual
+            .iter()
+            .copied()
+            .filter(|v| !b.contains_key(v))
+            .collect();
+        if residual.is_empty() {
+            return self.emit(world, rule_ix, b);
+        }
+        let adom = self.adom.clone();
+        if adom.is_empty() {
+            return Ok(());
+        }
+        let k = residual.len();
+        let mut idx = vec![0usize; k];
+        loop {
+            for (v, &i) in residual.iter().zip(idx.iter()) {
+                b.insert(*v, adom[i]);
+            }
+            self.emit(world, rule_ix, b)?;
+            let mut p = 0;
+            loop {
+                if p == k {
+                    for v in &residual {
+                        b.remove(v);
+                    }
+                    return Ok(());
+                }
+                idx[p] += 1;
+                if idx[p] < adom.len() {
+                    break;
+                }
+                idx[p] = 0;
+                p += 1;
+            }
+        }
+    }
+
+    fn emit(&mut self, world: &mut World, rule_ix: usize, b: &Bindings) -> Result<(), GroundError> {
+        self.spend(1)?;
+        if b.values().any(|&t| world.terms.depth(t) > self.max_depth) {
+            return Ok(());
+        }
+        for cmp in &self.rules[rule_ix].cmps {
+            match cmp.eval(&world.terms, b) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return Ok(()),
+            }
+        }
+        let head_lit = self.rules[rule_ix].head.clone();
+        let body_lits = self.rules[rule_ix].lits.clone();
+        let head = self.intern_lit(world, &head_lit, b);
+        let body: Vec<GLit> = body_lits
+            .iter()
+            .map(|l| self.intern_lit(world, l, b))
+            .collect();
+        let comp = self.rules[rule_ix].comp;
+        let gr = GroundRule::new(head, body, comp);
+        self.d_add(world, head);
+        if self.seen.insert((rule_ix as u32, gr.clone())) {
+            let mut residual_terms: Vec<GTermId> = self.rules[rule_ix]
+                .residual
+                .iter()
+                .filter_map(|v| b.get(v).copied())
+                .collect();
+            residual_terms.sort_unstable();
+            residual_terms.dedup();
+            self.insts.push(Inst {
+                rule: rule_ix as u32,
+                gr,
+                residual_terms: residual_terms.into_boxed_slice(),
+            });
+        }
+        Ok(())
+    }
+
+    fn join(
+        &mut self,
+        world: &mut World,
+        rule_ix: usize,
+        positions: &[usize],
+        from: usize,
+        b: &mut Bindings,
+    ) -> Result<(), GroundError> {
+        if from == positions.len() {
+            return self.finish(world, rule_ix, b);
+        }
+        let pos = positions[from];
+        let lit = self.rules[rule_ix].lits[pos].clone();
+        let candidates: Vec<AtomId> = self
+            .d_by
+            .get(&(lit.pred, lit.sign))
+            .cloned()
+            .unwrap_or_default();
+        let mut lit_vars = Vec::new();
+        lit.collect_vars(&mut lit_vars);
+        for cand in candidates {
+            self.spend(1)?;
+            let preexisting: Vec<Sym> = lit_vars
+                .iter()
+                .copied()
+                .filter(|v| b.contains_key(v))
+                .collect();
+            if self.match_lit(world, &lit, cand, b) {
+                self.join(world, rule_ix, positions, from + 1, b)?;
+            }
+            for v in &lit_vars {
+                if !preexisting.contains(v) {
+                    b.remove(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn match_lit(&self, world: &World, lit: &Literal, atom: AtomId, b: &mut Bindings) -> bool {
+        let args = world.atoms.get(atom).args.clone();
+        debug_assert_eq!(args.len(), lit.args.len());
+        lit.args
+            .iter()
+            .zip(args.iter())
+            .all(|(pat, &g)| pat.match_ground(g, &world.terms, b))
+    }
+
+    fn process(&mut self, world: &mut World, l: GLit) -> Result<(), GroundError> {
+        let pred = world.atoms.get(l.atom()).pred;
+        let driven = self
+            .drivers
+            .get(&(pred, l.sign()))
+            .cloned()
+            .unwrap_or_default();
+        for (rule_ix, pos) in driven {
+            if !self.rules[rule_ix].alive {
+                continue;
+            }
+            let lit = self.rules[rule_ix].lits[pos].clone();
+            let mut b = Bindings::default();
+            if !self.match_lit(world, &lit, l.atom(), &mut b) {
+                continue;
+            }
+            let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len())
+                .filter(|&p| p != pos)
+                .collect();
+            self.join(world, rule_ix, &positions, 0, &mut b)?;
+        }
+        Ok(())
+    }
+
+    /// Semi-naive closure: drains the derivation queue, re-running the
+    /// active-domain-dependent rules whenever the domain grows. All
+    /// emissions are deduplicated against `seen`, so re-running is
+    /// idempotent.
+    fn run_closure(&mut self, world: &mut World) -> Result<(), GroundError> {
+        let mut last_adom = usize::MAX;
+        loop {
+            if self.adom.len() != last_adom {
+                last_adom = self.adom.len();
+                for rule_ix in self.adom_dependent.clone() {
+                    if !self.rules[rule_ix].alive {
+                        continue;
+                    }
+                    let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len()).collect();
+                    let mut b = Bindings::default();
+                    self.join(world, rule_ix, &positions, 0, &mut b)?;
+                }
+                continue;
+            }
+            match self.queue.pop_front() {
+                Some(l) => self.process(world, l)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Propositional replay after a retraction: rebuilds `D`, the
+    /// active domain, and the instance store from the retained
+    /// instances alone, by a counter-based worklist. An instance fires
+    /// iff all its body literals are (re)derived and all its recorded
+    /// residual terms are (re)admitted to the domain; firing derives
+    /// its head, which admits the head's terms.
+    fn replay(&mut self, world: &mut World) -> Result<(), GroundError> {
+        let cands: Vec<Inst> = std::mem::take(&mut self.insts)
+            .into_iter()
+            .filter(|i| self.rules[i.rule as usize].alive)
+            .collect();
+        self.d_set.clear();
+        self.d_by.clear();
+        self.adom.clear();
+        self.adom_set.clear();
+        self.queue.clear();
+        self.seen.clear();
+        for ix in 0..self.rules.len() {
+            if !self.rules[ix].alive {
+                continue;
+            }
+            let cs = self.rules[ix].consts.clone();
+            for c in cs {
+                self.adom_add_term(world, c);
+            }
+        }
+        let mut waiters_lit: FxHashMap<GLit, Vec<usize>> = FxHashMap::default();
+        let mut waiters_term: FxHashMap<GTermId, Vec<usize>> = FxHashMap::default();
+        // Per candidate: (#body literals not yet derived, #residual
+        // terms not yet in the domain). Bodies are already distinct
+        // (canonicalised); residual terms are deduplicated at emission.
+        let mut missing: Vec<(usize, usize)> = Vec::with_capacity(cands.len());
+        let mut fired = vec![false; cands.len()];
+        let mut ready: Vec<usize> = Vec::new();
+        for (i, inst) in cands.iter().enumerate() {
+            self.spend(1)?;
+            for &l in inst.gr.body.iter() {
+                waiters_lit.entry(l).or_default().push(i);
+            }
+            for &t in inst.residual_terms.iter() {
+                waiters_term.entry(t).or_default().push(i);
+            }
+            missing.push((inst.gr.body.len(), inst.residual_terms.len()));
+            if inst.gr.body.is_empty() && inst.residual_terms.is_empty() {
+                ready.push(i);
+            }
+        }
+        // The seed-domain terms admitted above are processed through
+        // the same cursor as replay-time admissions.
+        let mut adom_cursor = 0usize;
+        loop {
+            if adom_cursor < self.adom.len() {
+                let t = self.adom[adom_cursor];
+                adom_cursor += 1;
+                if let Some(ws) = waiters_term.get(&t) {
+                    for &i in ws {
+                        missing[i].1 -= 1;
+                        if missing[i] == (0, 0) {
+                            ready.push(i);
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(l) = self.queue.pop_front() {
+                if let Some(ws) = waiters_lit.get(&l) {
+                    for &i in ws {
+                        missing[i].0 -= 1;
+                        if missing[i] == (0, 0) {
+                            ready.push(i);
+                        }
+                    }
+                }
+                continue;
+            }
+            match ready.pop() {
+                Some(i) => {
+                    if !fired[i] {
+                        fired[i] = true;
+                        self.d_add(world, cands[i].gr.head);
+                    }
+                }
+                None => break,
+            }
+        }
+        for (i, inst) in cands.into_iter().enumerate() {
+            if fired[i] {
+                self.seen.insert((inst.rule, inst.gr.clone()));
+                self.insts.push(inst);
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2: attacker instances, identical construction to
+    /// [`crate::smart`] (blockable instances kept precise; eternal
+    /// attackers collapsed to one sentinel-bodied representative per
+    /// (victim, component)). Rebuilt in full every mutation.
+    fn attackers(&mut self, world: &mut World) -> Result<(), GroundError> {
+        self.out2.clear();
+        let mut sentinel: Option<GLit> = None;
+        let mut eternal_seen: FxHashSet<(GLit, CompId)> = FxHashSet::default();
+        let adom = self.adom.clone();
+
+        for rule_ix in 0..self.rules.len() {
+            if !self.rules[rule_ix].alive {
+                continue;
+            }
+            let head = self.rules[rule_ix].head.clone();
+            let victims: Vec<AtomId> = if head.is_ground() {
+                let empty = Bindings::default();
+                let mut args = Vec::with_capacity(head.args.len());
+                for t in &head.args {
+                    args.push(
+                        t.intern(&mut world.terms, &empty)
+                            .expect("ground head interning cannot fail"),
+                    );
+                }
+                let atom = world.atoms.intern(head.pred, &args);
+                if self.d_set.contains(&GLit::new(head.sign.flip(), atom)) {
+                    vec![atom]
+                } else {
+                    Vec::new()
+                }
+            } else {
+                self.d_by
+                    .get(&(head.pred, head.sign.flip()))
+                    .cloned()
+                    .unwrap_or_default()
+            };
+            'victims: for victim in victims {
+                let mut b = Bindings::default();
+                if !self.match_lit(world, &head, victim, &mut b) {
+                    continue;
+                }
+                let free: Vec<Sym> = self.rules[rule_ix]
+                    .vars
+                    .iter()
+                    .copied()
+                    .filter(|v| !b.contains_key(v))
+                    .collect();
+                let k = free.len();
+                let mut idx = vec![0usize; k];
+                if k > 0 && adom.is_empty() {
+                    continue;
+                }
+                loop {
+                    for (v, &i) in free.iter().zip(idx.iter()) {
+                        b.insert(*v, adom[i]);
+                    }
+                    self.spend(1)?;
+                    let cmps_ok = self.rules[rule_ix]
+                        .cmps
+                        .iter()
+                        .all(|c| matches!(c.eval(&world.terms, &b), Ok(true)))
+                        && !b.values().any(|&t| world.terms.depth(t) > self.max_depth);
+                    if cmps_ok {
+                        let body_lits = self.rules[rule_ix].lits.clone();
+                        let mut body = Vec::with_capacity(body_lits.len());
+                        let mut blockable = false;
+                        let mut body_derivable = true;
+                        for l in &body_lits {
+                            let gl = self.intern_lit(world, l, &b);
+                            if self.d_set.contains(&gl.complement()) {
+                                blockable = true;
+                            }
+                            if !self.d_set.contains(&gl) {
+                                body_derivable = false;
+                            }
+                            body.push(gl);
+                        }
+                        let head_glit = GLit::new(head.sign, victim);
+                        let comp = self.rules[rule_ix].comp;
+                        if blockable {
+                            self.out2.push(GroundRule::new(head_glit, body, comp));
+                        } else if body_derivable {
+                            continue 'victims;
+                        } else {
+                            if eternal_seen.insert((head_glit, comp)) {
+                                let s = *sentinel.get_or_insert_with(|| {
+                                    GLit::pos(world.ground_atom("#undef", &[]))
+                                });
+                                self.out2.push(GroundRule::new(head_glit, vec![s], comp));
+                            }
+                            continue 'victims;
+                        }
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    let mut p = 0;
+                    loop {
+                        if p == k {
+                            break;
+                        }
+                        idx[p] += 1;
+                        if idx[p] < adom.len() {
+                            break;
+                        }
+                        idx[p] = 0;
+                        p += 1;
+                    }
+                    if p == k {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the current state into a canonical [`GroundProgram`].
+    fn assemble(&self, world: &World) -> GroundProgram {
+        let mut rules: Vec<GroundRule> = Vec::with_capacity(self.insts.len() + self.out2.len());
+        rules.extend(self.insts.iter().map(|i| i.gr.clone()));
+        rules.extend(self.out2.iter().cloned());
+        GroundProgram::new(rules, self.order.clone(), world.atoms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smart::ground_smart;
+    use olp_parser::{parse_program, parse_rule};
+
+    /// Asserts that `gp` equals a from-scratch smart grounding of
+    /// `prog` (rendered, so differences print usefully).
+    fn assert_matches_scratch(world: &mut World, prog: &OrderedProgram, gp: &GroundProgram) {
+        let scratch = ground_smart(world, prog, &GroundConfig::default()).unwrap();
+        assert_eq!(
+            gp.render(world),
+            scratch.render(world),
+            "delta grounding diverged from scratch"
+        );
+    }
+
+    fn setup(src: &str) -> (World, OrderedProgram, DeltaGrounder, GroundProgram) {
+        let mut w = World::new();
+        let p = parse_program(&mut w, src).unwrap();
+        let (g, gp) = DeltaGrounder::new(&mut w, &p, &GroundConfig::default()).unwrap();
+        (w, p, g, gp)
+    }
+
+    #[test]
+    fn initial_grounding_matches_ground_smart() {
+        for src in [
+            "parent(a,b). parent(b,c).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+            "q(a). q(b). -p(X).",
+            "module c2 { a. }
+             module c1 < c2 { -a :- b. }",
+            "module c2 { a. b. }
+             module c1 < c2 { -a :- b. -b :- a. }",
+            "inflation(12). take_loan :- inflation(X), X > 11.",
+            "even(zero). even(s(s(X))) :- even(X).",
+        ] {
+            let (mut w, p, _, gp) = setup(src);
+            assert_matches_scratch(&mut w, &p, &gp);
+        }
+    }
+
+    #[test]
+    fn assert_fact_grounds_incrementally_and_exactly() {
+        let (mut w, mut p, mut g, _) = setup(
+            "parent(a,b). parent(b,c).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        );
+        let c = p.component_by_name(w.syms.intern("main")).unwrap();
+        let r = parse_rule(&mut w, "parent(c,d).").unwrap();
+        let (_, gp) = g.assert_rule(&mut w, c, &r, &Budget::unlimited()).unwrap();
+        p.add_rule(c, r);
+        // The new edge extends the transitive closure: anc(a,d) etc.
+        assert_matches_scratch(&mut w, &p, &gp);
+    }
+
+    #[test]
+    fn assert_rule_with_residual_and_fresh_constant() {
+        // Asserting a CWA-style non-ground fact instantiates it over
+        // the whole active domain; asserting a fact with a fresh
+        // constant afterwards must extend those instantiations.
+        let (mut w, mut p, mut g, _) = setup("q(a). q(b).");
+        let c = p.component_by_name(w.syms.intern("main")).unwrap();
+        let cwa = parse_rule(&mut w, "-p(X).").unwrap();
+        let (_, gp) = g
+            .assert_rule(&mut w, c, &cwa, &Budget::unlimited())
+            .unwrap();
+        p.add_rule(c, cwa);
+        assert_matches_scratch(&mut w, &p, &gp);
+        let fresh = parse_rule(&mut w, "q(c).").unwrap();
+        let (_, gp) = g
+            .assert_rule(&mut w, c, &fresh, &Budget::unlimited())
+            .unwrap();
+        p.add_rule(c, fresh);
+        assert_matches_scratch(&mut w, &p, &gp); // -p(c) now instantiated
+    }
+
+    #[test]
+    fn retract_replays_to_scratch_fixpoint() {
+        let (mut w, mut p, mut g, _) = setup(
+            "parent(a,b). parent(b,c). parent(c,d).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        );
+        let c = p.component_by_name(w.syms.intern("main")).unwrap();
+        // parent(b,c) is rule index 1 in registration order.
+        let gp = g.retract_rule(&mut w, 1, &Budget::unlimited()).unwrap();
+        p.components[c.index()].rules.remove(1);
+        // The chain is broken: anc(a,c), anc(a,d), anc(b,*) vanish.
+        assert_matches_scratch(&mut w, &p, &gp);
+    }
+
+    #[test]
+    fn retract_shrinks_cwa_instantiations() {
+        // Retracting the only rule mentioning constant `b` must remove
+        // -p(b): a stale active domain would unsoundly keep it.
+        let (mut w, mut p, mut g, _) = setup("q(a). q(b). -p(X).");
+        let c = p.component_by_name(w.syms.intern("main")).unwrap();
+        let gp = g.retract_rule(&mut w, 1, &Budget::unlimited()).unwrap();
+        p.components[c.index()].rules.remove(1);
+        assert_matches_scratch(&mut w, &p, &gp);
+    }
+
+    #[test]
+    fn assert_retract_roundtrip_restores_grounding() {
+        let (mut w, p, mut g, gp0) = setup(
+            "module c2 { a. b. }
+             module c1 < c2 { -a :- b. -b :- a. }",
+        );
+        let c2 = p.component_by_name(w.syms.intern("c2")).unwrap();
+        let r = parse_rule(&mut w, "c :- a.").unwrap();
+        let (id, _) = g.assert_rule(&mut w, c2, &r, &Budget::unlimited()).unwrap();
+        let gp = g.retract_rule(&mut w, id, &Budget::unlimited()).unwrap();
+        assert_eq!(gp.render(&w), gp0.render(&w));
+    }
+
+    #[test]
+    fn attacker_classification_tracks_mutations() {
+        // Initially `-a :- b.` has an underivable body → eternal
+        // sentinel. Asserting `b.` makes the body derivable → the
+        // sentinel disappears in favour of the phase-1 instance.
+        let (mut w, mut p, mut g, gp0) = setup(
+            "module c2 { a. }
+             module c1 < c2 { -a :- b. }",
+        );
+        assert!(gp0
+            .rules
+            .iter()
+            .any(|r| r.body.len() == 1 && w.atom_str(r.body[0].atom()) == "#undef"));
+        let c2 = p.component_by_name(w.syms.intern("c2")).unwrap();
+        let b = parse_rule(&mut w, "b.").unwrap();
+        let (_, gp) = g.assert_rule(&mut w, c2, &b, &Budget::unlimited()).unwrap();
+        p.add_rule(c2, b);
+        assert_matches_scratch(&mut w, &p, &gp);
+        assert!(!gp
+            .rules
+            .iter()
+            .any(|r| r.body.len() == 1 && w.atom_str(r.body[0].atom()) == "#undef"));
+    }
+
+    #[test]
+    fn budget_trips_on_oversized_assert() {
+        let (mut w, p, mut g, _) = setup("p(a). p(b). p(c).");
+        let c = p.component_by_name(w.syms.intern("main")).unwrap();
+        let big = parse_rule(&mut w, "q(X,Y,Z) :- p(X), p(Y), p(Z).").unwrap();
+        let gov = Budget::limited(Some(5), None);
+        assert!(matches!(
+            g.assert_rule(&mut w, c, &big, &gov),
+            Err(GroundError::Interrupted(_))
+        ));
+    }
+
+    #[test]
+    fn random_mutation_sequence_stays_exact() {
+        // A scripted assert/retract sequence over a mixed program; the
+        // fuzz suite (tests/incremental.rs) does this at scale.
+        let (mut w, mut p, mut g, _) = setup(
+            "module c2 { bird(tweety). fly(X) :- bird(X). }
+             module c1 < c2 { penguin(opus). -fly(X) :- penguin(X). }",
+        );
+        let c1 = p.component_by_name(w.syms.intern("c1")).unwrap();
+        let c2 = p.component_by_name(w.syms.intern("c2")).unwrap();
+        let mut ids = Vec::new();
+        for (comp, src) in [
+            (c2, "bird(opus)."),
+            (c1, "penguin(tweety)."),
+            (c2, "sings(X) :- bird(X), fly(X)."),
+        ] {
+            let r = parse_rule(&mut w, src).unwrap();
+            let (id, gp) = g
+                .assert_rule(&mut w, comp, &r, &Budget::unlimited())
+                .unwrap();
+            p.add_rule(comp, r);
+            ids.push((comp, id));
+            assert_matches_scratch(&mut w, &p, &gp);
+        }
+        // Retract the middle assertion (penguin(tweety), first rule
+        // appended to c1 → source index 2 in that component).
+        let (comp, id) = ids[1];
+        let gp = g.retract_rule(&mut w, id, &Budget::unlimited()).unwrap();
+        let n = p.components[comp.index()].rules.len();
+        p.components[comp.index()].rules.remove(n - 1);
+        assert_matches_scratch(&mut w, &p, &gp);
+    }
+}

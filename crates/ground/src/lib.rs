@@ -40,12 +40,14 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod demand;
 pub mod exhaustive;
 pub mod program;
 pub mod smart;
 pub mod universe;
 
+pub use delta::{DeltaGrounder, DeltaRuleId};
 pub use demand::{ground_smart_for, relevant_predicates};
 pub use exhaustive::ground_exhaustive;
 pub use program::{GroundProgram, GroundRule, RuleIdx};

@@ -11,16 +11,26 @@
 
 use crate::relation::Relation;
 use olp_core::{
-    Budget, CompId, Eval, FxHashMap, Interpretation, Literal, Rule, Term, Truth, World,
+    Budget, CompId, Eval, FxHashMap, FxHashSet, Interpretation, Interrupted, Literal, Rule, Term,
+    Truth, World,
 };
-use olp_ground::{ground_exhaustive, ground_smart, GroundConfig, GroundError, GroundProgram};
+use olp_ground::{
+    ground_exhaustive, ground_smart, DeltaGrounder, DeltaRuleId, GroundConfig, GroundError,
+    GroundProgram, GroundRule,
+};
 use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
 use olp_semantics::{
-    least_model, least_model_budgeted, least_model_monolithic_budgeted, stable_models,
-    stable_models_budgeted, stable_models_monolithic_budgeted, View,
+    least_model, least_model_budgeted, least_model_delta, least_model_monolithic_budgeted,
+    stable_models_decomposed_cached, stable_models_monolithic_budgeted, Decomposition, View,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Per-object cap on memoised stable-model group entries; exceeding it
+/// clears that object's cache (simple, bounded, and mutation-friendly:
+/// keys are group rule sets, so entries for unchanged groups re-fill on
+/// the next query).
+const STABLE_CACHE_CAP: usize = 256;
 
 /// Which grounder [`KbBuilder::build`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -229,25 +239,55 @@ impl KbBuilder {
         self.build_with(strategy, &GroundConfig::default())
     }
 
+    /// Wraps an already-parsed world + program (e.g. a file parsed with
+    /// [`olp_parser::parse_program`]) so it can be built into a [`Kb`].
+    pub fn from_parts(world: World, prog: olp_core::OrderedProgram) -> Self {
+        Self { world, prog }
+    }
+
     /// [`KbBuilder::build`] with explicit grounding bounds.
     pub fn build_with(
         mut self,
         strategy: GroundStrategy,
         cfg: &GroundConfig,
     ) -> Result<Kb, KbError> {
-        let ground = match strategy {
-            GroundStrategy::Smart => ground_smart(&mut self.world, &self.prog, cfg)?,
-            GroundStrategy::Exhaustive => ground_exhaustive(&mut self.world, &self.prog, cfg)?,
+        let (ground, delta, delta_ids) = match strategy {
+            GroundStrategy::Smart => {
+                let (delta, gp) = DeltaGrounder::new(&mut self.world, &self.prog, cfg)?;
+                let ids = sequential_ids(&self.prog);
+                (gp, Some(delta), ids)
+            }
+            GroundStrategy::Exhaustive => (
+                ground_exhaustive(&mut self.world, &self.prog, cfg)?,
+                None,
+                Vec::new(),
+            ),
         };
         Ok(Kb {
             world: self.world,
             prog: self.prog,
             ground,
             least_cache: FxHashMap::default(),
+            stable_cache: FxHashMap::default(),
             strategy,
             cfg: cfg.clone(),
+            delta,
+            delta_ids,
+            incremental: strategy == GroundStrategy::Smart,
+            epoch: 0,
+            touched_log: Vec::new(),
         })
     }
+}
+
+/// The delta-grounder ids of a freshly grounded program: registration
+/// follows `prog.rules()` order, so ids are sequential per component.
+fn sequential_ids(prog: &olp_core::OrderedProgram) -> Vec<Vec<DeltaRuleId>> {
+    let mut ids: Vec<Vec<DeltaRuleId>> = vec![Vec::new(); prog.components.len()];
+    for (next, (c, _)) in (0..).zip(prog.rules()) {
+        ids[c.index()].push(next);
+    }
+    ids
 }
 
 /// Converts an interned ground term back to a syntax [`Term`] (used
@@ -266,15 +306,52 @@ fn ground_term_to_term(world: &World, t: olp_core::GTermId) -> Term {
     }
 }
 
+/// A least model cached at the knowledge-base epoch it was computed in.
+/// A stale entry (older epoch) is never served directly; it is first
+/// revalidated with [`least_model_delta`], recomputing only the strata
+/// downstream of the atoms touched since.
+#[derive(Debug)]
+struct CachedModel {
+    model: Interpretation,
+    epoch: u64,
+}
+
 /// A ground, queryable knowledge base.
+///
+/// Mutations ([`Kb::assert_rule`] / [`Kb::retract_rule`]) are
+/// **incremental** by default under [`GroundStrategy::Smart`]: a
+/// [`DeltaGrounder`] re-grounds only the affected instantiations, model
+/// caches are kept and revalidated per stratum instead of being thrown
+/// away, and stable-model results for untouched independent rule groups
+/// are reused from a per-object memo. [`Kb::set_incremental`] toggles
+/// the behaviour (off = the original full re-ground on every mutation,
+/// also the differential baseline the fuzz suite compares against).
 #[derive(Debug)]
 pub struct Kb {
     world: World,
     prog: olp_core::OrderedProgram,
     ground: GroundProgram,
-    least_cache: FxHashMap<CompId, Interpretation>,
+    least_cache: FxHashMap<CompId, CachedModel>,
+    /// Per object: memoised stable enumerations keyed by independent
+    /// rule-group contents (see [`stable_models_decomposed_cached`]).
+    stable_cache: FxHashMap<CompId, FxHashMap<Vec<GroundRule>, Vec<Interpretation>>>,
     strategy: GroundStrategy,
     cfg: GroundConfig,
+    /// Persistent incremental grounder (Smart strategy only). `None`
+    /// after a full refresh or an incremental failure; rebuilt lazily by
+    /// the next incremental mutation.
+    delta: Option<DeltaGrounder>,
+    /// `delta_ids[c][i]` is the grounder id of `prog.components[c].rules[i]`
+    /// (kept aligned with `prog`; empty while `delta` is `None`).
+    delta_ids: Vec<Vec<DeltaRuleId>>,
+    incremental: bool,
+    /// Bumped once per applied mutation; cache entries carry the epoch
+    /// they were computed in.
+    epoch: u64,
+    /// `touched_log[e]` = dense atom indices touched by the mutation
+    /// that advanced epoch `e` to `e+1` (heads and bodies of all ground
+    /// instances added or removed).
+    touched_log: Vec<Vec<usize>>,
 }
 
 impl Kb {
@@ -289,29 +366,93 @@ impl Kb {
             .ok_or_else(|| KbError::UnknownObject(object.to_string()))
     }
 
-    /// The least model of the program *in* `object`, cached.
+    /// The union of atoms touched by every mutation since epoch
+    /// `since`, as sorted dense indices.
+    fn touched_since(&self, since: u64) -> Vec<usize> {
+        let mut set: FxHashSet<usize> = FxHashSet::default();
+        for v in &self.touched_log[since as usize..] {
+            set.extend(v.iter().copied());
+        }
+        let mut out: Vec<usize> = set.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Makes `least_cache[c]` present and current (epoch == now). A
+    /// stale entry is revalidated with [`least_model_delta`] —
+    /// recomputing only the strata downstream of atoms touched since it
+    /// was cached — instead of from scratch.
+    fn ensure_model(&mut self, c: CompId) {
+        let stale = match self.least_cache.get(&c) {
+            Some(e) if e.epoch == self.epoch => return,
+            Some(e) => Some(e.epoch),
+            None => None,
+        };
+        let model = match stale {
+            Some(since) => {
+                let touched = self.touched_since(since);
+                let view = View::new(&self.ground, c);
+                let d = Decomposition::new(&view);
+                let old = &self.least_cache[&c].model;
+                least_model_delta(&view, &d, old, &touched, &Budget::unlimited())
+                    .expect_complete("unlimited delta revalidation always completes")
+            }
+            None => least_model(&View::new(&self.ground, c)),
+        };
+        self.least_cache.insert(
+            c,
+            CachedModel {
+                model,
+                epoch: self.epoch,
+            },
+        );
+    }
+
+    /// The least model of the program *in* `object`, cached across
+    /// queries **and mutations** (stale entries are delta-revalidated,
+    /// not recomputed).
     pub fn model(&mut self, object: &str) -> Result<&Interpretation, KbError> {
         let c = self.comp(object)?;
-        if !self.least_cache.contains_key(&c) {
-            let m = least_model(&View::new(&self.ground, c));
-            self.least_cache.insert(c, m);
-        }
-        Ok(&self.least_cache[&c])
+        self.ensure_model(c);
+        Ok(&self.least_cache[&c].model)
     }
 
     /// [`Kb::model`] under [`QueryOptions`] limits. Only a `Complete`
     /// model is cached; an `Interrupted` result carries the partial
     /// interpretation computed so far, which is a **sound
     /// under-approximation** of the least model (every literal in it is
-    /// genuinely derivable).
+    /// genuinely derivable). A stale cached model (the KB mutated since
+    /// it was computed) is revalidated by stratum-local recomputation
+    /// under the same budget; if that is interrupted, the stale entry is
+    /// kept (never served) and the partial revalidation is returned.
     pub fn model_with(
         &mut self,
         object: &str,
         opts: &QueryOptions,
     ) -> Result<Eval<Interpretation>, KbError> {
         let c = self.comp(object)?;
-        if let Some(m) = self.least_cache.get(&c) {
-            return Ok(Eval::Complete(m.clone()));
+        let stale = match self.least_cache.get(&c) {
+            Some(e) if e.epoch == self.epoch => return Ok(Eval::Complete(e.model.clone())),
+            Some(e) => Some(e.epoch),
+            None => None,
+        };
+        if let (Some(since), true) = (stale, opts.decomp) {
+            let touched = self.touched_since(since);
+            let view = View::new(&self.ground, c);
+            let d = Decomposition::new(&view);
+            let old = &self.least_cache[&c].model;
+            let eval = least_model_delta(&view, &d, old, &touched, &opts.budget());
+            if let Eval::Complete(m) = &eval {
+                let model = m.clone();
+                self.least_cache.insert(
+                    c,
+                    CachedModel {
+                        model,
+                        epoch: self.epoch,
+                    },
+                );
+            }
+            return Ok(eval);
         }
         let view = View::new(&self.ground, c);
         let eval = if opts.decomp {
@@ -320,7 +461,14 @@ impl Kb {
             least_model_monolithic_budgeted(&view, &opts.budget())
         };
         if let Eval::Complete(m) = &eval {
-            self.least_cache.insert(c, m.clone());
+            let model = m.clone();
+            self.least_cache.insert(
+                c,
+                CachedModel {
+                    model,
+                    epoch: self.epoch,
+                },
+            );
         }
         Ok(eval)
     }
@@ -390,11 +538,8 @@ impl Kb {
             None => return Ok(Vec::new()),
         };
         let c = self.comp(object)?;
-        if !self.least_cache.contains_key(&c) {
-            let m = least_model(&View::new(&self.ground, c));
-            self.least_cache.insert(c, m);
-        }
-        let m = &self.least_cache[&c];
+        self.ensure_model(c);
+        let m = &self.least_cache[&c].model;
         let mut out: Vec<String> = self
             .world
             .atoms
@@ -415,11 +560,8 @@ impl Kb {
     pub fn query(&mut self, object: &str, pattern: &str) -> Result<Vec<String>, KbError> {
         let lit = olp_parser::parse_literal(&mut self.world, pattern).map_err(KbError::Parse)?;
         let c = self.comp(object)?;
-        if !self.least_cache.contains_key(&c) {
-            let m = least_model(&View::new(&self.ground, c));
-            self.least_cache.insert(c, m);
-        }
-        Ok(self.enumerate_bindings(&lit, &self.least_cache[&c]))
+        self.ensure_model(c);
+        Ok(self.enumerate_bindings(&lit, &self.least_cache[&c].model))
     }
 
     /// [`Kb::query`] under [`QueryOptions`] limits. On a partial
@@ -471,11 +613,8 @@ impl Kb {
         let lit = parse_ground_literal(&mut self.world, query)
             .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
         let c = self.comp(object)?;
-        if !self.least_cache.contains_key(&c) {
-            let m = least_model(&View::new(&self.ground, c));
-            self.least_cache.insert(c, m);
-        }
-        let m = &self.least_cache[&c];
+        self.ensure_model(c);
+        let m = &self.least_cache[&c].model;
         let view = View::new(&self.ground, c);
         let why = olp_semantics::explain_in(&view, m, lit);
         Ok(olp_semantics::render_why(&self.world, &view, &why))
@@ -491,43 +630,208 @@ impl Kb {
         Ok(olp_semantics::prove(&View::new(&self.ground, c), lit))
     }
 
-    /// Asserts a new rule (or fact) into `object` and re-grounds. All
-    /// cached models are invalidated — mutation is coarse-grained by
-    /// design (grounding is the cheap part at KB scale; model caches
-    /// are the expensive state).
-    pub fn assert_rule(&mut self, object: &str, src: &str) -> Result<(), KbError> {
-        let c = self.comp(object)?;
-        let r = parse_rule(&mut self.world, src)?;
-        self.prog.add_rule(c, r);
-        self.refresh()
+    /// Whether mutations go through the delta grounder + stratum-local
+    /// cache revalidation (Smart strategy only; on by default).
+    pub fn is_incremental(&self) -> bool {
+        self.incremental && self.strategy == GroundStrategy::Smart
     }
 
-    /// Retracts the first rule of `object` syntactically equal to `src`
-    /// (after parsing); returns whether one was removed. Re-grounds on
-    /// success.
-    pub fn retract_rule(&mut self, object: &str, src: &str) -> Result<bool, KbError> {
-        let c = self.comp(object)?;
-        let r = parse_rule(&mut self.world, src)?;
-        let rules = &mut self.prog.components[c.index()].rules;
-        match rules.iter().position(|existing| *existing == r) {
-            Some(i) => {
-                rules.remove(i);
-                self.refresh()?;
-                Ok(true)
-            }
-            None => Ok(false),
+    /// Toggles incremental maintenance. Turning it off makes every
+    /// mutation a full re-ground (the differential baseline); turning
+    /// it back on rebuilds the delta grounder lazily on the next
+    /// mutation.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            self.delta = None;
+            self.delta_ids.clear();
         }
     }
 
-    fn refresh(&mut self) -> Result<(), KbError> {
-        self.least_cache.clear();
-        self.ground = match self.strategy {
-            GroundStrategy::Smart => ground_smart(&mut self.world, &self.prog, &self.cfg)?,
-            GroundStrategy::Exhaustive => {
-                ground_exhaustive(&mut self.world, &self.prog, &self.cfg)?
+    /// The mutation epoch: bumped once per applied assert/retract.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Installs `new_ground` as the current ground program, logging the
+    /// atoms touched by the symmetric difference of rule instances so
+    /// stale model caches can be delta-revalidated rather than dropped.
+    fn commit(&mut self, new_ground: GroundProgram) {
+        let old: FxHashSet<&GroundRule> = self.ground.rules.iter().collect();
+        let new: FxHashSet<&GroundRule> = new_ground.rules.iter().collect();
+        let mut touched: FxHashSet<usize> = FxHashSet::default();
+        for r in old.symmetric_difference(&new) {
+            touched.insert(r.head.atom().index());
+            for b in r.body.iter() {
+                touched.insert(b.atom().index());
             }
-        };
+        }
+        let mut touched: Vec<usize> = touched.into_iter().collect();
+        touched.sort_unstable();
+        self.touched_log.push(touched);
+        self.epoch += 1;
+        self.ground = new_ground;
+    }
+
+    /// Rebuilds the delta grounder from the current program if it was
+    /// dropped (full refresh, incremental failure, or a KB built before
+    /// `set_incremental(true)`).
+    fn ensure_delta(&mut self) -> Result<(), KbError> {
+        if self.delta.is_some() {
+            return Ok(());
+        }
+        let (delta, gp) = DeltaGrounder::new(&mut self.world, &self.prog, &self.cfg)?;
+        self.delta_ids = sequential_ids(&self.prog);
+        self.delta = Some(delta);
+        // Same program, same deterministic output as the ground program
+        // already installed — no epoch bump.
+        self.ground = gp;
         Ok(())
+    }
+
+    /// Full re-ground under `gov` (the non-incremental mutation path).
+    /// The caller has already mutated `prog`; on interruption or error
+    /// the caller rolls that back.
+    fn refresh_with(&mut self, gov: &Budget) -> Result<Eval<()>, KbError> {
+        self.delta = None;
+        self.delta_ids.clear();
+        let mut cfg = self.cfg.clone();
+        cfg.budget = gov.clone();
+        let res = match self.strategy {
+            GroundStrategy::Smart => ground_smart(&mut self.world, &self.prog, &cfg),
+            GroundStrategy::Exhaustive => ground_exhaustive(&mut self.world, &self.prog, &cfg),
+        };
+        match res {
+            Ok(gp) => {
+                self.commit(gp);
+                Ok(Eval::Complete(()))
+            }
+            Err(GroundError::Interrupted(reason)) => Ok(Eval::Interrupted(Interrupted {
+                reason,
+                partial: (),
+            })),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Asserts a new rule (or fact) into `object`. Under incremental
+    /// maintenance (Smart strategy, the default) only the new rule's
+    /// instantiations and their consequences are grounded, and cached
+    /// models stay valid up to stratum-local revalidation.
+    pub fn assert_rule(&mut self, object: &str, src: &str) -> Result<(), KbError> {
+        self.assert_rule_with(object, src, &QueryOptions::new())
+            .map(|ev| ev.expect_complete("unlimited assert cannot be interrupted"))
+    }
+
+    /// [`Kb::assert_rule`] under [`QueryOptions`] limits (the budget
+    /// governs the grounding work; model recomputation stays lazy).
+    ///
+    /// On `Interrupted` the mutation is **not applied**: the KB still
+    /// answers queries exactly as before the call. An incremental
+    /// attempt that trips also drops the delta grounder; the next
+    /// mutation rebuilds it from the unchanged program.
+    pub fn assert_rule_with(
+        &mut self,
+        object: &str,
+        src: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<()>, KbError> {
+        let c = self.comp(object)?;
+        let r = parse_rule(&mut self.world, src)?;
+        let gov = opts.budget();
+        if self.is_incremental() {
+            self.ensure_delta()?;
+            let mut delta = self.delta.take().expect("ensure_delta installed one");
+            match delta.assert_rule(&mut self.world, c, &r, &gov) {
+                Ok((id, gp)) => {
+                    self.prog.add_rule(c, r);
+                    self.delta_ids[c.index()].push(id);
+                    self.delta = Some(delta);
+                    self.commit(gp);
+                    return Ok(Eval::Complete(()));
+                }
+                // Grounder state is unspecified after an error: leave
+                // `delta` as None and keep the pre-mutation KB intact.
+                Err(GroundError::Interrupted(reason)) => {
+                    return Ok(Eval::Interrupted(Interrupted {
+                        reason,
+                        partial: (),
+                    }))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.prog.add_rule(c, r);
+        let res = self.refresh_with(&gov);
+        if !matches!(res, Ok(Eval::Complete(()))) {
+            self.prog.components[c.index()].rules.pop();
+        }
+        res
+    }
+
+    /// Retracts the first rule of `object` equal to `src` after parsing
+    /// — up to **renaming of variables** (`p(X) :- q(X).` retracts
+    /// `p(Y) :- q(Y).`); returns whether one was removed.
+    pub fn retract_rule(&mut self, object: &str, src: &str) -> Result<bool, KbError> {
+        self.retract_rule_with(object, src, &QueryOptions::new())
+            .map(|ev| ev.expect_complete("unlimited retract cannot be interrupted"))
+    }
+
+    /// [`Kb::retract_rule`] under [`QueryOptions`] limits.
+    ///
+    /// On `Interrupted` the mutation is **not applied** (the partial
+    /// payload is `false`): the matched rule is still present and the
+    /// KB answers queries exactly as before the call.
+    pub fn retract_rule_with(
+        &mut self,
+        object: &str,
+        src: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<bool>, KbError> {
+        let c = self.comp(object)?;
+        let r = parse_rule(&mut self.world, src)?;
+        let pos = self.prog.components[c.index()]
+            .rules
+            .iter()
+            .position(|existing| *existing == r || existing.alpha_eq(&r));
+        let Some(i) = pos else {
+            return Ok(Eval::Complete(false));
+        };
+        let gov = opts.budget();
+        if self.is_incremental() {
+            self.ensure_delta()?;
+            let mut delta = self.delta.take().expect("ensure_delta installed one");
+            let id = self.delta_ids[c.index()][i];
+            match delta.retract_rule(&mut self.world, id, &gov) {
+                Ok(gp) => {
+                    self.prog.components[c.index()].rules.remove(i);
+                    self.delta_ids[c.index()].remove(i);
+                    self.delta = Some(delta);
+                    self.commit(gp);
+                    return Ok(Eval::Complete(true));
+                }
+                Err(GroundError::Interrupted(reason)) => {
+                    return Ok(Eval::Interrupted(Interrupted {
+                        reason,
+                        partial: false,
+                    }))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let removed = self.prog.components[c.index()].rules.remove(i);
+        let res = self.refresh_with(&gov);
+        if !matches!(res, Ok(Eval::Complete(()))) {
+            self.prog.components[c.index()].rules.insert(i, removed);
+        }
+        match res {
+            Ok(Eval::Complete(())) => Ok(Eval::Complete(true)),
+            Ok(Eval::Interrupted(i)) => Ok(Eval::Interrupted(Interrupted {
+                reason: i.reason,
+                partial: false,
+            })),
+            Err(e) => Err(e),
+        }
     }
 
     /// The skeptical consequences in `object`: literals true in every
@@ -562,12 +866,14 @@ impl Kb {
 
     /// The stable models of the program in `object` (Definition 9).
     /// Exponential in the contested part; use for choice-style KBs.
+    /// Independent rule groups are memoised per object: after a
+    /// mutation, groups whose rule instances did not change answer from
+    /// the cache.
     pub fn stable(&mut self, object: &str) -> Result<Vec<Interpretation>, KbError> {
         let c = self.comp(object)?;
-        Ok(stable_models(
-            &View::new(&self.ground, c),
-            self.ground.n_atoms,
-        ))
+        Ok(self
+            .stable_cached(c, &Budget::unlimited(), None)
+            .expect_complete("unlimited stable enumeration cannot be interrupted"))
     }
 
     /// [`Kb::stable`] under [`QueryOptions`] limits (including
@@ -580,17 +886,34 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<Vec<Interpretation>>, KbError> {
         let c = self.comp(object)?;
-        let view = View::new(&self.ground, c);
         Ok(if opts.decomp {
-            stable_models_budgeted(&view, self.ground.n_atoms, &opts.budget(), opts.max_models)
+            self.stable_cached(c, &opts.budget(), opts.max_models)
         } else {
             stable_models_monolithic_budgeted(
-                &view,
+                &View::new(&self.ground, c),
                 self.ground.n_atoms,
                 &opts.budget(),
                 opts.max_models,
             )
         })
+    }
+
+    /// Decomposed stable enumeration through the per-object group memo
+    /// (bounded by [`STABLE_CACHE_CAP`]).
+    fn stable_cached(
+        &mut self,
+        c: CompId,
+        budget: &Budget,
+        max_models: Option<usize>,
+    ) -> Eval<Vec<Interpretation>> {
+        let cache = self.stable_cache.entry(c).or_default();
+        let view = View::new(&self.ground, c);
+        let eval =
+            stable_models_decomposed_cached(&view, self.ground.n_atoms, budget, max_models, cache);
+        if cache.len() > STABLE_CACHE_CAP {
+            cache.clear();
+        }
+        eval
     }
 
     /// Differences between two objects' least models: the literals on
@@ -603,8 +926,8 @@ impl Kb {
         self.model(b)?;
         let ca = self.comp(a)?;
         let cb = self.comp(b)?;
-        let ma = self.least_cache[&ca].clone();
-        let mb = &self.least_cache[&cb];
+        let ma = self.least_cache[&ca].model.clone();
+        let mb = &self.least_cache[&cb].model;
         let mut out = Vec::new();
         for i in 0..self.ground.n_atoms {
             let atom = olp_core::AtomId(i as u32);
@@ -932,6 +1255,146 @@ mod tests {
         for m in st_mono.value() {
             assert!(st_dec.value().contains(m));
         }
+    }
+
+    #[test]
+    fn retract_matches_up_to_variable_renaming() {
+        // Regression: retraction used plain syntactic equality, so a
+        // renamed copy of a rule could not be retracted.
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        assert_eq!(
+            kb.truth("penguin_view", "fly(penguin)").unwrap(),
+            Truth::False
+        );
+        assert!(kb
+            .retract_rule("penguin_view", "-fly(Z) :- ground_animal(Z).")
+            .unwrap());
+        assert_eq!(
+            kb.truth("penguin_view", "fly(penguin)").unwrap(),
+            Truth::True
+        );
+        // Distinct variable *patterns* still do not match.
+        let mut b = KbBuilder::new();
+        b.rule("g", "p(X,Y) :- q(X), q(Y).").unwrap();
+        b.rule("g", "q(a).").unwrap();
+        let mut kb2 = b.build(GroundStrategy::Smart).unwrap();
+        assert!(!kb2.retract_rule("g", "p(X,X) :- q(X), q(X).").unwrap());
+        assert!(kb2.retract_rule("g", "p(U,V) :- q(U), q(V).").unwrap());
+        assert_eq!(kb2.truth("g", "p(a,a)").unwrap(), Truth::Undefined);
+    }
+
+    #[test]
+    fn incremental_mutations_match_full_refresh() {
+        let mut inc = penguin_kb(GroundStrategy::Smart);
+        let mut full = penguin_kb(GroundStrategy::Smart);
+        full.set_incremental(false);
+        assert!(inc.is_incremental());
+        assert!(!full.is_incremental());
+        let script: &[(&str, &str, bool)] = &[
+            ("bird", "bird(sparrow).", true),
+            ("penguin_view", "ground_animal(sparrow).", true),
+            ("bird", "swims(X) :- ground_animal(X).", true),
+            ("penguin_view", "ground_animal(sparrow).", false),
+            ("bird", "fly(X) :- bird(X).", false),
+        ];
+        for &(obj, src, is_assert) in script {
+            if is_assert {
+                inc.assert_rule(obj, src).unwrap();
+                full.assert_rule(obj, src).unwrap();
+            } else {
+                assert_eq!(
+                    inc.retract_rule(obj, src).unwrap(),
+                    full.retract_rule(obj, src).unwrap()
+                );
+            }
+            for obj in ["bird", "penguin_view"] {
+                let mi = inc.model(obj).unwrap().clone();
+                let mf = full.model(obj).unwrap().clone();
+                assert_eq!(inc.render(&mi), full.render(&mf), "after mutating {obj}");
+                let si: Vec<String> = inc
+                    .stable(obj)
+                    .unwrap()
+                    .iter()
+                    .map(|m| inc.render(m))
+                    .collect();
+                let sf: Vec<String> = full
+                    .stable(obj)
+                    .unwrap()
+                    .iter()
+                    .map(|m| full.render(m))
+                    .collect();
+                assert_eq!(si, sf);
+            }
+        }
+        assert_eq!(inc.epoch(), 5);
+    }
+
+    #[test]
+    fn stale_model_cache_revalidates_by_stratum() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        // Populate the cache, mutate, then query again: the cached
+        // entry is delta-revalidated, not recomputed from scratch.
+        let m = kb.model("penguin_view").unwrap().clone();
+        let before = kb.render(&m);
+        kb.assert_rule("bird", "bird(sparrow).").unwrap();
+        assert_eq!(kb.epoch(), 1);
+        let m = kb.model("penguin_view").unwrap().clone();
+        let after = kb.render(&m);
+        assert_ne!(before, after);
+        assert!(after.contains("fly(sparrow)"));
+        // A fresh KB with the same rules agrees exactly.
+        let mut fresh = penguin_kb(GroundStrategy::Smart);
+        fresh.assert_rule("bird", "bird(sparrow).").unwrap();
+        let m = fresh.model("penguin_view").unwrap().clone();
+        let reference = fresh.render(&m);
+        assert_eq!(after, reference);
+        // Budgeted revalidation of a stale entry is a sound partial.
+        kb.assert_rule("bird", "bird(robin).").unwrap();
+        let ev = kb
+            .model_with("penguin_view", &QueryOptions::new().max_steps(1))
+            .unwrap();
+        if ev.is_partial() {
+            let full = kb.model("penguin_view").unwrap();
+            assert!(ev.value().is_subset(full));
+        }
+    }
+
+    #[test]
+    fn interrupted_assert_leaves_kb_unchanged() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        let m = kb.model("penguin_view").unwrap().clone();
+        let before = kb.render(&m);
+        let ev = kb
+            .assert_rule_with("bird", "bird(sparrow).", &QueryOptions::new().max_steps(0))
+            .unwrap();
+        assert!(ev.is_partial(), "zero budget must interrupt the mutation");
+        assert_eq!(kb.epoch(), 0);
+        let m = kb.model("penguin_view").unwrap().clone();
+        assert_eq!(
+            kb.render(&m),
+            before,
+            "an interrupted mutation must not change the KB"
+        );
+        assert_eq!(
+            kb.truth("penguin_view", "fly(sparrow)").unwrap(),
+            Truth::Undefined
+        );
+        // The same mutation succeeds unbudgeted afterwards.
+        kb.assert_rule("bird", "bird(sparrow).").unwrap();
+        assert_eq!(
+            kb.truth("penguin_view", "fly(sparrow)").unwrap(),
+            Truth::True
+        );
+        // Interrupted retract reports "not removed" and changes nothing.
+        let ev = kb
+            .retract_rule_with("bird", "bird(sparrow).", &QueryOptions::new().max_steps(0))
+            .unwrap();
+        assert!(ev.is_partial());
+        assert!(!ev.value());
+        assert_eq!(
+            kb.truth("penguin_view", "fly(sparrow)").unwrap(),
+            Truth::True
+        );
     }
 
     #[test]

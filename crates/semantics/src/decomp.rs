@@ -299,6 +299,184 @@ pub fn least_model_stratified_with(
     }
 }
 
+/// [`least_model_stratified_with`] that recomputes **only the strata
+/// downstream of `touched` atoms**, copying every other stratum's
+/// literals from a previously computed least model `old` of the
+/// pre-mutation view.
+///
+/// `touched` are the (dense indices of) atoms occurring in rule
+/// instances added or removed by the mutation — heads *and* bodies.
+/// Dirtiness propagates along reverse dependency edges of the **new**
+/// view (body atom → head atom): an atom's value can only change if it
+/// transitively depends on a touched atom. Removed derivation chains
+/// are covered because any broken chain ends at a removed instance,
+/// whose head is touched. SCCs are strongly connected in the reverse
+/// graph too, so the dirty set is automatically SCC-closed.
+///
+/// Soundness of copying: a clean stratum's rules are unchanged (a
+/// changed instance would have touched its head atom), its attackers
+/// share the stratum (hence are unchanged), and every body atom —
+/// living in an earlier stratum — is clean, so by induction over the
+/// topological stratum order the stratum computes exactly its old
+/// values. See `docs/SEMANTICS.md` §"Incremental maintenance".
+///
+/// On interruption the partial result is the copied clean strata
+/// processed so far plus a monotone prefix of the current dirty
+/// stratum — always a subset of the new least model.
+pub fn least_model_delta(
+    view: &View,
+    d: &Decomposition,
+    old: &Interpretation,
+    touched: &[usize],
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    let n_atoms = view.gp.n_atoms;
+    // Reverse dependency edges: body atom → head atom.
+    let mut radj: Vec<Vec<u32>> = vec![Vec::new(); n_atoms];
+    for (_, r) in view.rules() {
+        let h = r.head.atom().index() as u32;
+        for &b in r.body.iter() {
+            radj[b.atom().index()].push(h);
+        }
+    }
+    let mut dirty_atom = vec![false; n_atoms];
+    let mut stack: Vec<usize> = Vec::new();
+    for &a in touched {
+        if a < n_atoms && !dirty_atom[a] {
+            dirty_atom[a] = true;
+            stack.push(a);
+        }
+    }
+    while let Some(a) = stack.pop() {
+        for &h in &radj[a] {
+            if !dirty_atom[h as usize] {
+                dirty_atom[h as usize] = true;
+                stack.push(h as usize);
+            }
+        }
+    }
+    let mut dirty_stratum = vec![false; d.strata.len()];
+    for (a, &dirt) in dirty_atom.iter().enumerate() {
+        if dirt {
+            dirty_stratum[d.scc_of[a] as usize] = true;
+        }
+    }
+    // Bucket the old model's literals by their stratum in the *new*
+    // condensation (atom indices are stable across mutations; the new
+    // universe is a superset).
+    let mut old_by_stratum: Vec<Vec<olp_core::GLit>> = vec![Vec::new(); d.strata.len()];
+    for l in old.literals() {
+        let a = l.atom().index();
+        if a < n_atoms {
+            old_by_stratum[d.scc_of[a] as usize].push(l);
+        }
+    }
+
+    let n = view.len();
+    let mut unsat = vec![0u32; n];
+    let mut over = vec![0u32; n];
+    let mut defeat = vec![0u32; n];
+    let mut blocked = vec![false; n];
+    let mut fired = vec![false; n];
+
+    let mut i = Interpretation::new();
+    let mut queue: Vec<olp_core::GLit> = Vec::new();
+    let mut interrupted = None;
+    let mut ticker = budget.ticker();
+
+    macro_rules! try_fire {
+        ($li:expr) => {{
+            let l = $li as usize;
+            if unsat[l] == 0 && over[l] == 0 && defeat[l] == 0 && !fired[l] {
+                fired[l] = true;
+                let head = view.rule($li).head;
+                if i.insert(head).expect("V preserves consistency") {
+                    queue.push(head);
+                }
+            }
+        }};
+    }
+
+    'strata: for (s, stratum) in d.strata.iter().enumerate() {
+        if !dirty_stratum[s] {
+            // Clean stratum: its old values are its new values.
+            for &l in &old_by_stratum[s] {
+                if let Err(reason) = ticker.tick() {
+                    interrupted = Some(reason);
+                    break 'strata;
+                }
+                i.insert(l).expect("old model is consistent");
+            }
+            continue;
+        }
+        if stratum.is_empty() {
+            continue;
+        }
+        let s = s as u32;
+        for &li in stratum {
+            if let Err(reason) = ticker.tick() {
+                interrupted = Some(reason);
+                break 'strata;
+            }
+            let r = view.rule(li);
+            let l = li as usize;
+            blocked[l] = r.body.iter().any(|&b| i.holds(b.complement()));
+            unsat[l] = r.body.iter().filter(|&&b| !i.holds(b)).count() as u32;
+        }
+        for &li in stratum {
+            let l = li as usize;
+            over[l] = view
+                .overrulers(li)
+                .iter()
+                .filter(|&&a| !blocked[a as usize])
+                .count() as u32;
+            defeat[l] = view
+                .defeaters(li)
+                .iter()
+                .filter(|&&a| !blocked[a as usize])
+                .count() as u32;
+        }
+        for &li in stratum {
+            if let Err(reason) = ticker.tick() {
+                interrupted = Some(reason);
+                break 'strata;
+            }
+            try_fire!(li);
+        }
+        while let Some(lit) = queue.pop() {
+            if let Err(reason) = ticker.tick() {
+                interrupted = Some(reason);
+                break 'strata;
+            }
+            for &li in view.rules_with_body_lit(lit) {
+                if d.rule_stratum[li as usize] != s {
+                    continue;
+                }
+                unsat[li as usize] -= 1;
+                try_fire!(li);
+            }
+            for &li in view.rules_with_body_lit(lit.complement()) {
+                if d.rule_stratum[li as usize] != s || blocked[li as usize] {
+                    continue;
+                }
+                blocked[li as usize] = true;
+                for &v in view.victims_overrule(li) {
+                    over[v as usize] -= 1;
+                    try_fire!(v);
+                }
+                for &v in view.victims_defeat(li) {
+                    defeat[v as usize] -= 1;
+                    try_fire!(v);
+                }
+            }
+        }
+    }
+    match interrupted {
+        None => Eval::Complete(i),
+        Some(reason) => Eval::Interrupted(Interrupted { reason, partial: i }),
+    }
+}
+
 // ---- Product-form enumeration ---------------------------------------
 
 /// Cartesian product of per-group model sets. Groups have pairwise
@@ -461,6 +639,71 @@ pub fn stable_models_decomposed_budgeted(
                     // Cheap-filter guard as in `stable_models_budgeted`:
                     // never follow an exhausted budget with a quadratic
                     // pass over a huge list.
+                    const CHEAP_FILTER: usize = 1024;
+                    let partial = if partial.len() <= CHEAP_FILTER {
+                        maximal_only(partial)
+                    } else {
+                        partial
+                    };
+                    per_group.push(partial);
+                    return combine(per_group, Some(reason), cap, budget);
+                }
+                return Eval::Interrupted(Interrupted {
+                    reason,
+                    partial: Vec::new(),
+                });
+            }
+        }
+    }
+    combine(per_group, None, cap, budget)
+}
+
+/// [`stable_models_decomposed_budgeted`] with a **per-group memo
+/// cache**, the stable-model side of incremental maintenance: a
+/// mutation that leaves a weakly connected group's rule set unchanged
+/// re-uses the group's maximal-AF-model set verbatim instead of
+/// re-enumerating its 3-valued search space. The cache key is the
+/// group's canonicalised rule multiset (sorted by `(comp, head, body)`
+/// — a group's semantics within a fixed view depends on nothing else),
+/// so a retract-then-reassert also hits. Only **complete** per-group
+/// results are cached; interrupted enumerations are never stored.
+///
+/// The caller owns `cache` and is responsible for keying it per
+/// consumer component (group semantics depends on the view's vantage
+/// component through the attack relations) and for bounding its size.
+pub fn stable_models_decomposed_cached(
+    view: &View,
+    n_atoms: usize,
+    budget: &Budget,
+    max_models: Option<usize>,
+    cache: &mut FxHashMap<Vec<olp_ground::GroundRule>, Vec<Interpretation>>,
+) -> Eval<Vec<Interpretation>> {
+    let d = Decomposition::new(view);
+    if d.groups().len() <= 1 {
+        return crate::stable::stable_models_monolithic_budgeted(view, n_atoms, budget, max_models);
+    }
+    let cap = max_models.unwrap_or(usize::MAX);
+    let n_groups = d.groups().len();
+    let mut per_group: Vec<Vec<Interpretation>> = Vec::with_capacity(n_groups);
+    for (gi, rules) in d.groups().iter().enumerate() {
+        let mut key: Vec<olp_ground::GroundRule> = rules
+            .iter()
+            .map(|&g| view.gp.rules[g as usize].clone())
+            .collect();
+        key.sort_unstable_by(|a, b| (a.comp, a.head, &a.body).cmp(&(b.comp, b.head, &b.body)));
+        if let Some(ms) = cache.get(&key) {
+            per_group.push(ms.clone());
+            continue;
+        }
+        let sub = view.restrict(rules);
+        match enumerate_assumption_free_propagating_budgeted(&sub, n_atoms, budget, None) {
+            Eval::Complete(ms) => {
+                let ms = maximal_only(ms);
+                cache.insert(key, ms.clone());
+                per_group.push(ms);
+            }
+            Eval::Interrupted(Interrupted { reason, partial }) => {
+                if gi + 1 == n_groups {
                     const CHEAP_FILTER: usize = 1024;
                     let partial = if partial.len() <= CHEAP_FILTER {
                         maximal_only(partial)
@@ -723,6 +966,125 @@ mod tests {
                 assert!(full.contains(&m), "steps={steps}: {m} not in full set");
             }
         }
+    }
+
+    /// Differential harness for [`least_model_delta`]: grounds `before`
+    /// and `after`, computes the touched atoms as the symmetric
+    /// difference of the instance sets, and checks the delta result
+    /// equals a from-scratch stratified run on every component.
+    fn check_delta(before: &str, after: &str) {
+        let mut w = World::new();
+        let p0 = parse_program(&mut w, before).unwrap();
+        let g0 = ground_exhaustive(&mut w, &p0, &GroundConfig::default()).unwrap();
+        let p1 = parse_program(&mut w, after).unwrap();
+        let g1 = ground_exhaustive(&mut w, &p1, &GroundConfig::default()).unwrap();
+        let old_set: std::collections::HashSet<_> = g0.rules.iter().cloned().collect();
+        let new_set: std::collections::HashSet<_> = g1.rules.iter().cloned().collect();
+        let mut touched = Vec::new();
+        for r in old_set.symmetric_difference(&new_set) {
+            touched.push(r.head.atom().index());
+            for &b in r.body.iter() {
+                touched.push(b.atom().index());
+            }
+        }
+        for c in 0..g1.order.len() {
+            let c = CompId(c as u32);
+            let v0 = View::new(&g0, c);
+            let old = least_model_stratified(&v0);
+            let v1 = View::new(&g1, c);
+            let d = Decomposition::new(&v1);
+            let got = least_model_delta(&v1, &d, &old, &touched, &Budget::unlimited()).into_value();
+            assert_eq!(
+                got,
+                least_model_stratified(&v1),
+                "delta vs scratch: {before:?} -> {after:?} in {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_recomputation_matches_scratch() {
+        // Assert a fact that extends a chain.
+        check_delta(
+            "parent(a,b). anc(X,Y) :- parent(X,Y). anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+            "parent(a,b). anc(X,Y) :- parent(X,Y). anc(X,Y) :- parent(X,Z), anc(Z,Y). parent(b,c).",
+        );
+        // Retract: a derivation chain collapses.
+        check_delta("b. a :- b. c :- a.", "a :- b. c :- a.");
+        // Mutation flips an attack outcome in an ordered program.
+        check_delta(
+            "module c2 { a. }
+             module c1 < c2 { b :- a. }",
+            "module c2 { a. }
+             module c1 < c2 { b :- a. -a. }",
+        );
+        // Unrelated stratum untouched (the copy path must carry it).
+        check_delta("p. q :- p. x. y :- x.", "p. q :- p. x. y :- x. z :- y.");
+        // No-op mutation (identical programs): everything clean.
+        check_delta("a. b :- a.", "a. b :- a.");
+    }
+
+    #[test]
+    fn delta_partial_is_subset_under_budget() {
+        let mut w = World::new();
+        let p = parse_program(&mut w, TWO_FIG2).unwrap();
+        let g = ground_exhaustive(&mut w, &p, &GroundConfig::default()).unwrap();
+        let v = View::new(&g, CompId(2));
+        let full = least_model_stratified(&v);
+        let d = Decomposition::new(&v);
+        // Everything touched → everything dirty: worst case.
+        let touched: Vec<usize> = (0..g.n_atoms).collect();
+        for steps in [1u64, 4, 16, 64, 256] {
+            match least_model_delta(
+                &v,
+                &d,
+                &Interpretation::new(),
+                &touched,
+                &Budget::with_steps(steps),
+            ) {
+                Eval::Complete(m) => assert_eq!(m, full),
+                Eval::Interrupted(Interrupted { partial, .. }) => {
+                    assert!(partial.is_subset(&full), "steps={steps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_stable_enumeration_matches_and_reuses() {
+        let (w, g) = ground(
+            "module c2 { a. b. c. x. y. z. }
+             module c1 < c2 { -a :- b, c. -b :- a. -b :- -b.
+                              -x :- y, z. -y :- x. -y :- -y. }",
+        );
+        let v = View::new(&g, CompId(1));
+        let mut cache = FxHashMap::default();
+        let first =
+            stable_models_decomposed_cached(&v, g.n_atoms, &Budget::unlimited(), None, &mut cache)
+                .into_value();
+        assert_eq!(
+            renders(&w, &first),
+            renders(&w, &stable_models_decomposed(&v, g.n_atoms))
+        );
+        assert_eq!(cache.len(), 2, "one entry per group");
+        // Second run must be answered from cache alone: 64 steps is one
+        // ticker batch — enough for the final product only. Uncached,
+        // the two per-group enumerations each pre-pay a batch and the
+        // run trips with an empty result; with cache hits both are
+        // skipped and the full set comes back Complete.
+        let budget = Budget::with_steps(64);
+        let again = stable_models_decomposed_cached(&v, g.n_atoms, &budget, None, &mut cache)
+            .expect_complete("cache hits answer within one ticker batch");
+        assert_eq!(renders(&w, &again), renders(&w, &first));
+        let mut empty_cache = FxHashMap::default();
+        let uncached = stable_models_decomposed_cached(
+            &v,
+            g.n_atoms,
+            &Budget::with_steps(64),
+            None,
+            &mut empty_cache,
+        );
+        assert!(uncached.is_partial(), "64 steps cannot re-enumerate");
     }
 
     #[test]

@@ -73,8 +73,9 @@ pub use assumption::{
 };
 pub use decomp::{
     enumerate_assumption_free_decomposed, enumerate_assumption_free_decomposed_budgeted,
-    least_model_stratified, least_model_stratified_budgeted, least_model_stratified_with,
-    stable_models_decomposed, stable_models_decomposed_budgeted, Decomposition,
+    least_model_delta, least_model_stratified, least_model_stratified_budgeted,
+    least_model_stratified_with, stable_models_decomposed, stable_models_decomposed_budgeted,
+    stable_models_decomposed_cached, Decomposition,
 };
 pub use explain::{explain, explain_budgeted, explain_in, render_why, Fate, Proof, Why};
 pub use fixpoint::{

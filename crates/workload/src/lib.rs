@@ -563,6 +563,109 @@ pub fn random_negative(world: &mut World, cfg: &RandomCfg, seed: u64) -> Ordered
     random_ordered(world, &flat, seed)
 }
 
+/// One step of a [`mutation_stream`] workload, in surface syntax ready
+/// for `Kb::assert_rule` / `Kb::retract_rule`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Assert this rule into the named object.
+    Assert {
+        /// Target object.
+        object: String,
+        /// Rule text, e.g. `"parent(m3_a, m3_b)."`.
+        rule: String,
+    },
+    /// Retract this rule from the named object.
+    Retract {
+        /// Target object.
+        object: String,
+        /// Rule text of a previously asserted rule.
+        rule: String,
+    },
+}
+
+impl Mutation {
+    /// The rule text of either variant.
+    pub fn rule(&self) -> &str {
+        match self {
+            Mutation::Assert { rule, .. } | Mutation::Retract { rule, .. } => rule,
+        }
+    }
+
+    /// The target object of either variant.
+    pub fn object(&self) -> &str {
+        match self {
+            Mutation::Assert { object, .. } | Mutation::Retract { object, .. } => object,
+        }
+    }
+}
+
+/// Configuration for [`mutation_stream`].
+#[derive(Debug, Clone)]
+pub struct MutationCfg {
+    /// Length of the base ancestor chain (`parent` facts `a0→a1→…`).
+    pub n_base: usize,
+    /// Number of mutations in the stream.
+    pub n_mutations: usize,
+    /// Probability that a step retracts a previously asserted rule
+    /// instead of asserting a fresh one.
+    pub retract_prob: f64,
+    /// Probability that an asserted edge attaches to the base chain
+    /// (`parent(aI, mK_b)`) rather than being an isolated fresh edge.
+    pub attach_prob: f64,
+}
+
+impl Default for MutationCfg {
+    fn default() -> Self {
+        Self {
+            n_base: 64,
+            n_mutations: 32,
+            retract_prob: 0.25,
+            attach_prob: 0.25,
+        }
+    }
+}
+
+/// The incremental-maintenance workload: a base ancestor-chain program
+/// (object `"main"`, surface syntax) plus a deterministic stream of
+/// assert/retract mutations against it. Asserts add `parent` edges —
+/// mostly between fresh constants, sometimes attached to the chain —
+/// and retracts remove a uniformly chosen still-live earlier assert, so
+/// the stream exercises both delta grounding paths without ever
+/// retracting a base rule.
+pub fn mutation_stream(cfg: &MutationCfg, seed: u64) -> (String, Vec<Mutation>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut base = String::new();
+    for i in 0..cfg.n_base.saturating_sub(1) {
+        base.push_str(&format!("parent(a{i}, a{}).\n", i + 1));
+    }
+    base.push_str("anc(X,Y) :- parent(X,Y).\nanc(X,Y) :- parent(X,Z), anc(Z,Y).\n");
+    let mut out = Vec::with_capacity(cfg.n_mutations);
+    // Rules asserted by the stream and not yet retracted.
+    let mut live: Vec<String> = Vec::new();
+    for k in 0..cfg.n_mutations {
+        if !live.is_empty() && rng.gen_bool(cfg.retract_prob) {
+            let rule = live.swap_remove(rng.gen_range(0..live.len()));
+            out.push(Mutation::Retract {
+                object: "main".to_string(),
+                rule,
+            });
+            continue;
+        }
+        let rule = if cfg.n_base > 0 && rng.gen_bool(cfg.attach_prob) {
+            let i = rng.gen_range(0..cfg.n_base);
+            format!("parent(a{i}, m{k}_b).")
+        } else {
+            format!("parent(m{k}_a, m{k}_b).")
+        };
+        live.push(rule.clone());
+        out.push(Mutation::Assert {
+            object: "main".to_string(),
+            rule,
+        });
+    }
+    (base, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +758,39 @@ mod tests {
                 assert!(r.is_ground());
             }
         }
+    }
+
+    #[test]
+    fn mutation_stream_is_deterministic_and_retracts_live_asserts() {
+        let cfg = MutationCfg::default();
+        let (base1, muts1) = mutation_stream(&cfg, 11);
+        let (base2, muts2) = mutation_stream(&cfg, 11);
+        assert_eq!(base1, base2);
+        assert_eq!(muts1, muts2);
+        assert_eq!(muts1.len(), cfg.n_mutations);
+        assert!(base1.contains("parent(a0, a1)."));
+        assert!(base1.contains("anc(X,Y) :- parent(X,Z), anc(Z,Y)."));
+        // Every retract targets a still-live earlier assert.
+        let mut live: Vec<&str> = Vec::new();
+        let mut saw_retract = false;
+        for m in &muts1 {
+            match m {
+                Mutation::Assert { object, rule } => {
+                    assert_eq!(object, "main");
+                    live.push(rule);
+                }
+                Mutation::Retract { object, rule } => {
+                    assert_eq!(object, "main");
+                    saw_retract = true;
+                    let i = live.iter().position(|r| *r == rule).expect("live");
+                    live.swap_remove(i);
+                }
+            }
+        }
+        assert!(saw_retract, "default config should produce retracts");
+        // A different seed produces a different stream.
+        let (_, muts3) = mutation_stream(&cfg, 12);
+        assert_ne!(muts1, muts3);
     }
 
     #[test]

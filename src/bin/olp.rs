@@ -6,6 +6,8 @@
 //!        --least (default) | --stable | --af | --skeptical | --all-semantics
 //! olp query  FILE COMPONENT PATTERN        answer a query (ground or with variables)
 //!        --explain                         print a proof / refutation for ground queries
+//! olp repl FILE | olp --interactive FILE   live session over a knowledge base:
+//!        assert <rule> / retract <rule>    incremental re-grounding with timing output
 //! common flags:
 //!        --exhaustive                      use the reference grounder (default: smart)
 //!        --no-decomp                       disable component-wise evaluation
@@ -18,6 +20,7 @@
 //! marks it with a `PARTIAL` banner, and exits with code **124** (the
 //! `timeout(1)` convention).
 
+use ordered_logic::kb::KbError;
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
     credulous_consequences_budgeted, enumerate_assumption_free_decomposed_budgeted,
@@ -34,7 +37,10 @@ fn usage() -> ExitCode {
   olp check  FILE [--exhaustive]
   olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive] [--no-decomp]
   olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive] [--no-decomp]
-  olp repl   FILE [--exhaustive] [--no-decomp]
+  olp repl   FILE [--exhaustive] [--no-decomp]     (also: olp --interactive FILE)
+             live session: use <component> | models | stable | explain <literal> |
+             assert <rule> | retract <rule> (incremental re-grounding, timed) |
+             <query> | quit
 evaluation:
   --no-decomp        disable component-wise evaluation (SCC condensation
                      and product-form enumeration); use the monolithic engines
@@ -355,25 +361,106 @@ fn cmd_query(
     cmd_query_loaded(&mut l, c, pattern, explain, &budget, limits).map_err(CliFail::Msg)
 }
 
+/// [`QueryOptions`] matching the command-line limits (fresh deadline
+/// per command).
+fn repl_opts(limits: &Limits) -> QueryOptions {
+    let mut o = QueryOptions::new();
+    if let Some(t) = limits.timeout {
+        o = o.timeout(t);
+    }
+    if let Some(s) = limits.max_steps {
+        o = o.max_steps(s);
+    }
+    if let Some(m) = limits.max_models {
+        o = o.max_models(m);
+    }
+    if !limits.decomp {
+        o = o.no_decomp();
+    }
+    o
+}
+
+/// Applies one live mutation with timing and instance-count output.
+/// The budget governs the (incremental) re-grounding; on interruption
+/// the mutation is not applied and the KB stays queryable as before.
+fn repl_mutate(kb: &mut Kb, object: &str, rule: &str, assert: bool, limits: &Limits) {
+    if rule.is_empty() {
+        println!(
+            "usage: {} <rule>.",
+            if assert { "assert" } else { "retract" }
+        );
+        return;
+    }
+    let before = kb.ground_program().len();
+    let start = Instant::now();
+    let res = if assert {
+        kb.assert_rule_with(object, rule, &repl_opts(limits))
+            .map(|ev| ev.map(|()| true))
+    } else {
+        kb.retract_rule_with(object, rule, &repl_opts(limits))
+    };
+    let elapsed = start.elapsed();
+    match res {
+        Ok(ev) => {
+            if let Some(reason) = ev.reason() {
+                println!("{}", partial_banner("mutation", reason));
+                println!("  mutation not applied; knowledge base unchanged");
+                return;
+            }
+            if !ev.into_value() {
+                println!("no rule matching `{rule}` in `{object}` (nothing retracted)");
+                return;
+            }
+            let after = kb.ground_program().len() as i64;
+            let delta = after - before as i64;
+            println!(
+                "{} `{object}` in {elapsed:.2?}: {after} ground instances ({}{delta}), epoch {}",
+                if assert {
+                    "asserted into"
+                } else {
+                    "retracted from"
+                },
+                if delta >= 0 { "+" } else { "" },
+                kb.epoch()
+            );
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
+
 fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
     use std::io::{BufRead, Write};
-    // The REPL applies limits per command, not to the whole session.
-    let mut l = load(path, exhaustive, &limits.budget())?;
-    let mut current = CompId(0);
-    let name_of = |l: &Loaded, c: CompId| -> String {
-        l.world
-            .syms
-            .name(l.prog.components[c.index()].name)
-            .to_string()
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliFail::Msg(format!("cannot read {path}: {e}")))?;
+    let mut world = World::new();
+    let prog = parse_program(&mut world, &src).map_err(|e| CliFail::Msg(e.to_string()))?;
+    let cfg = GroundConfig {
+        budget: limits.budget(),
+        ..GroundConfig::default()
+    };
+    let strategy = if exhaustive {
+        GroundStrategy::Exhaustive
+    } else {
+        GroundStrategy::Smart
+    };
+    // The REPL holds a `Kb` so that assert/retract go through
+    // incremental maintenance (delta grounding + stratum-local cache
+    // revalidation) and limits apply per command, not per session.
+    let mut kb = KbBuilder::from_parts(world, prog)
+        .build_with(strategy, &cfg)
+        .map_err(|e| CliFail::Msg(e.to_string()))?;
+    let mut current = match kb.objects().first() {
+        Some(first) => first.to_string(),
+        None => return Err(CliFail::Msg(format!("{path}: program has no components"))),
     };
     println!(
         "loaded {path}: {} components. Commands: use <component> | models | stable | \
-         explain <literal> | <query> | quit",
-        l.prog.components.len()
+         explain <literal> | assert <rule> | retract <rule> | <query> | quit",
+        kb.objects().len()
     );
     let stdin = std::io::stdin();
     loop {
-        print!("olp:{}> ", name_of(&l, current));
+        print!("olp:{current}> ");
         std::io::stdout().flush().ok();
         let mut line = String::new();
         if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
@@ -389,47 +476,76 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
         };
         match cmd {
             "quit" | "exit" | ":q" => return Ok(false),
-            "use" => match find_component(&l, rest) {
-                Ok(c) => current = c,
-                Err(e) => println!("error: {e}"),
-            },
-            "models" => {
-                let view = View::new(&l.ground, current);
-                let ev = limits.least(&view, &limits.budget());
-                if let Some(reason) = ev.reason() {
-                    println!("{}", partial_banner("least model", reason));
-                }
-                println!("least model: {}", ev.value().render(&l.world));
-            }
-            "stable" => {
-                let view = View::new(&l.ground, current);
-                let ev = limits.stable(&view, l.ground.n_atoms, &limits.budget());
-                if let Some(reason) = ev.reason() {
-                    println!("{}", partial_banner("enumeration", reason));
-                }
-                for m in ev.value() {
-                    println!("stable: {}", m.render(&l.world));
+            "use" => {
+                if kb.objects().contains(&rest) {
+                    current = rest.to_string();
+                } else {
+                    println!(
+                        "error: unknown component `{rest}` (have: {})",
+                        kb.objects().join(", ")
+                    );
                 }
             }
-            "explain" => match parse_ground_literal(&mut l.world, rest) {
-                Ok(q) => {
-                    let view = View::new(&l.ground, current);
-                    let ev = limits.least(&view, &limits.budget());
+            "models" => match kb.model_with(&current, &repl_opts(limits)) {
+                Ok(ev) => {
                     if let Some(reason) = ev.reason() {
                         println!("{}", partial_banner("least model", reason));
                     }
-                    let why = explain_in(&view, ev.value(), q);
-                    print!("{}", render_why(&l.world, &view, &why));
+                    println!("least model: {}", kb.render(ev.value()));
                 }
                 Err(e) => println!("error: {e}"),
             },
+            "stable" => match kb.stable_with(&current, &repl_opts(limits)) {
+                Ok(ev) => {
+                    if let Some(reason) = ev.reason() {
+                        println!("{}", partial_banner("enumeration", reason));
+                    }
+                    for m in ev.value() {
+                        println!("stable: {}", kb.render(m));
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "explain" => match kb.explain(&current, rest) {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "assert" => repl_mutate(&mut kb, &current, rest, true, limits),
+            "retract" => repl_mutate(&mut kb, &current, rest, false, limits),
             _ => {
-                // Treat the whole line as a query (ground or pattern).
-                let comp_name = name_of(&l, current);
-                if let Err(e) =
-                    cmd_query_loaded(&mut l, current, line, false, &limits.budget(), limits)
-                {
-                    println!("error in `{comp_name}`: {e}");
+                // Treat the whole line as a query: ground literals get a
+                // verdict, patterns enumerate bindings.
+                match kb.truth_with(&current, line, &repl_opts(limits)) {
+                    Ok(ev) => {
+                        let suffix = match ev.reason() {
+                            Some(reason) => {
+                                println!("{}", partial_banner("least model", reason));
+                                " (partial)"
+                            }
+                            None => "",
+                        };
+                        println!("{line} in `{current}`: {}{suffix}", ev.value());
+                    }
+                    Err(KbError::NonGroundQuery(_)) => {
+                        match kb.query_with(&current, line, &repl_opts(limits)) {
+                            Ok(ev) => {
+                                let suffix = match ev.reason() {
+                                    Some(reason) => {
+                                        println!("{}", partial_banner("least model", reason));
+                                        " (partial)"
+                                    }
+                                    None => "",
+                                };
+                                let bindings = ev.value();
+                                for b in bindings {
+                                    println!("{b}");
+                                }
+                                println!("({} answers){suffix}", bindings.len());
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
                 }
             }
         }
@@ -580,6 +696,7 @@ fn main() -> ExitCode {
             &limits,
         ),
         ["repl", file] => cmd_repl(file, exhaustive, &limits),
+        [file] if flags.contains(&"--interactive") => cmd_repl(file, exhaustive, &limits),
         _ => return usage(),
     };
     match result {

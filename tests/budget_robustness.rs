@@ -13,11 +13,15 @@
 //!   explored portion, so the reference is the AF enumeration, not the
 //!   stable list);
 //! * a partial `prove` never answers `true` wrongly;
+//! * an interrupted **incremental mutation** is not applied: the KB
+//!   stays queryable and exactly consistent with its pre-mutation
+//!   state;
 //! * unlimited budgets always complete with the exact answers.
 
 use olp_workload::{random_ordered, RandomCfg};
 use ordered_logic::core::{Budget, Eval, InterruptReason, World};
 use ordered_logic::ground::{ground_exhaustive, GroundConfig, GroundError, GroundProgram};
+use ordered_logic::kb::{GroundStrategy, KbBuilder, QueryOptions};
 use ordered_logic::semantics::{
     credulous_consequences_budgeted, enumerate_assumption_free_budgeted,
     enumerate_assumption_free_parallel_budgeted, enumerate_assumption_free_propagating,
@@ -236,6 +240,77 @@ fn cancellation_stops_the_parallel_enumerator() {
         // Tiny searches may finish inside the first probe interval.
         Eval::Complete(_) => {}
         Eval::Interrupted(i) => assert_eq!(i.reason, InterruptReason::Cancelled),
+    }
+}
+
+proptest! {
+    /// A budget that trips mid-incremental-update must leave the KB
+    /// queryable and **exactly** consistent with its pre-mutation
+    /// state: interrupted mutations are not applied (no torn ground
+    /// programs, no half-invalidated caches), and the same KB keeps
+    /// accepting unbudgeted mutations afterwards.
+    #[test]
+    fn interrupted_incremental_mutation_keeps_kb_consistent(
+        seed in 0u64..40,
+        steps in 0u64..400,
+        is_assert in any::<bool>(),
+    ) {
+        let mut world = World::new();
+        let cfg = RandomCfg {
+            n_atoms: 6,
+            n_rules: 12,
+            max_body: 3,
+            neg_head_prob: 0.35,
+            neg_body_prob: 0.4,
+            n_components: 3,
+            edge_prob: 0.5,
+        };
+        let prog = random_ordered(&mut world, &cfg, seed);
+        let mut kb = KbBuilder::from_parts(world, prog)
+            .build_with(GroundStrategy::Smart, &GroundConfig::default())
+            .expect("propositional programs always ground");
+        let objects = ["c0", "c1", "c2"];
+        let before: Vec<String> = objects
+            .iter()
+            .map(|o| {
+                let m = kb.model(o).expect("known object").clone();
+                kb.render(&m)
+            })
+            .collect();
+        let epoch_before = kb.epoch();
+        let opts = QueryOptions::new().max_steps(steps);
+        let ev = if is_assert {
+            kb.assert_rule_with("c0", "p0 :- p1, -p2.", &opts)
+                .expect("no hard error")
+                .map(|()| true)
+        } else {
+            kb.retract_rule_with("c0", "p0 :- p1, -p2.", &opts)
+                .expect("no hard error")
+        };
+        if ev.is_partial() {
+            prop_assert_eq!(kb.epoch(), epoch_before, "interrupted mutation must not commit");
+            for (o, expected) in objects.iter().zip(&before) {
+                let m = kb.model(o).expect("still queryable").clone();
+                prop_assert_eq!(
+                    &kb.render(&m), expected,
+                    "KB diverged from pre-mutation state after interrupted mutation"
+                );
+            }
+        }
+        // Interrupted or not, the KB remains fully usable: an
+        // unbudgeted mutation applies and is immediately visible (the
+        // probe atom is outside the generator's vocabulary, so nothing
+        // in the random program can overrule or defeat it).
+        kb.assert_rule("c1", "probe_alive.").expect("unbudgeted assert succeeds");
+        prop_assert!(kb.ask("c1", "probe_alive").expect("queryable"));
+        // …and a budgeted revalidation of the now-stale caches yields a
+        // sound under-approximation of the new least model.
+        let ev = kb
+            .model_with("c0", &QueryOptions::new().max_steps(steps))
+            .expect("queryable");
+        let partial = ev.into_value();
+        let full = kb.model("c0").expect("queryable");
+        prop_assert!(partial.is_subset(full), "partial revalidation must under-approximate");
     }
 }
 

@@ -157,6 +157,56 @@ fn exhaustive_flag_accepted() {
     assert!(out.contains("OK"));
 }
 
+/// Runs the repl with the given stdin script and returns stdout.
+fn repl(args: &[&str], script: &str) -> String {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_olp"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn repl_live_updates_assert_and_retract() {
+    let out = repl(
+        &["repl", &sample("penguin.olp")],
+        "fly(sparrow)\nassert bird(sparrow).\nfly(sparrow)\nretract bird(sparrow).\nfly(sparrow)\nretract bird(dodo).\nquit\n",
+    );
+    assert!(out.contains("asserted into `c2`"), "{out}");
+    assert!(out.contains("epoch 1"), "timing/epoch line expected: {out}");
+    assert!(out.contains("retracted from `c2`"), "{out}");
+    assert!(out.contains("nothing retracted"), "{out}");
+    // Verdict flips with the mutations: undefined -> true -> undefined.
+    let verdicts: Vec<&str> = out
+        .lines()
+        .filter(|l| l.contains("fly(sparrow) in `c2`:"))
+        .collect();
+    assert_eq!(verdicts.len(), 3, "{out}");
+    assert!(verdicts[0].contains("undefined"));
+    assert!(verdicts[1].contains("true"));
+    assert!(verdicts[2].contains("undefined"));
+}
+
+#[test]
+fn interactive_flag_is_a_repl_alias() {
+    let out = repl(&["--interactive", &sample("penguin.olp")], "models\nquit\n");
+    assert!(out.contains("least model:"), "{out}");
+    assert!(out.contains("fly(pigeon)"), "{out}");
+}
+
 // ---- resource limits ------------------------------------------------
 
 #[test]

@@ -17,9 +17,15 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // Real proptest defaults to 256; these suites drive whole-engine
-        // evaluations per case, so keep the unconfigured default modest.
-        ProptestConfig { cases: 64 }
+        // Real proptest defaults to 256 and honours PROPTEST_CASES;
+        // these suites drive whole-engine evaluations per case, so keep
+        // the unconfigured default modest and let the env var scale it
+        // up (the nightly deep-fuzz CI job sets PROPTEST_CASES=256).
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
