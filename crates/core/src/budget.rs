@@ -250,19 +250,65 @@ impl Budget {
         self.probe(inner)
     }
 
-    /// An amortised per-item ticker for single-threaded hot loops.
+    /// An amortised per-item ticker for hot loops.
     ///
-    /// [`Ticker::tick`] pays for items in pre-charged batches of
+    /// [`Ticker::tick`] pays for items in pre-claimed batches of up to
     /// [`TICK_BATCH`], so the loop performs one atomic RMW per batch
     /// instead of one per item (measured ≤5% overhead on the worklist
-    /// fixpoint vs ~20% for per-item [`Budget::tick`]). The trade-off
-    /// is granularity: exhaustion is detected at batch boundaries, and
-    /// `steps_used` may overshoot the items actually processed by up
-    /// to `TICK_BATCH - 1` pre-paid-but-unused steps.
+    /// fixpoint vs ~20% for per-item [`Budget::tick`]). A batch claims
+    /// `min(TICK_BATCH, steps remaining)` and any unused credit is
+    /// refunded when the ticker drops, so step accounting is **exact**
+    /// at ticker-drop boundaries: a loop of `n` items charges exactly
+    /// `n` steps no matter how many tickers served it.
+    ///
+    /// Parallel engines give **each worker its own ticker** over the
+    /// same shared budget: the step counter stays global (all clones
+    /// share one atomic), while the worker-local credit keeps cache-line
+    /// contention to one RMW per batch per worker. In-flight credit can
+    /// transiently overstate usage by up to `workers × (TICK_BATCH - 1)`
+    /// steps, which near exhaustion may trip a concurrent claimer a few
+    /// steps early — a conservative error the anytime contract already
+    /// absorbs — and is returned at drop. A deadline or cancellation
+    /// trip is observed by every worker at its next batch boundary.
     pub fn ticker(&self) -> Ticker<'_> {
         Ticker {
             budget: self,
             credit: 0,
+        }
+    }
+
+    /// Atomically claims up to `n` steps: charges `min(n, remaining)`
+    /// and returns the claimed amount. `Err(Steps)` when none remain;
+    /// also probes deadline/cancellation (refunding the claim on trip).
+    fn claim(&self, n: u64) -> Result<u64, InterruptReason> {
+        let Some(inner) = &self.0 else {
+            return Ok(n);
+        };
+        let mut claimed = 0;
+        inner
+            .steps
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                claimed = inner.max_steps.saturating_sub(s).min(n);
+                if claimed == 0 {
+                    None
+                } else {
+                    Some(s + claimed)
+                }
+            })
+            .map_err(|_| InterruptReason::Steps)?;
+        if let Err(reason) = self.probe(inner) {
+            self.refund(claimed);
+            return Err(reason);
+        }
+        Ok(claimed)
+    }
+
+    /// Returns unclaimed-but-charged steps to the pool.
+    fn refund(&self, n: u64) {
+        if n > 0 {
+            if let Some(inner) = &self.0 {
+                inner.steps.fetch_sub(n, Ordering::Relaxed);
+            }
         }
     }
 
@@ -293,29 +339,36 @@ impl Budget {
     }
 }
 
-/// How many steps a [`Ticker`] pre-pays per batch. Small enough that
-/// overshoot is negligible against any human-scale budget, large
-/// enough to amortise the atomic away.
+/// How many steps a [`Ticker`] claims per batch (fewer near the step
+/// limit). Small enough that transient in-flight credit is negligible
+/// against any human-scale budget, large enough to amortise the atomic
+/// away.
 pub const TICK_BATCH: u32 = 64;
 
-/// Batched front-end to a [`Budget`] for hot single-threaded loops;
-/// see [`Budget::ticker`].
+/// Batched front-end to a [`Budget`] for hot loops; see
+/// [`Budget::ticker`]. Unused credit is refunded on drop.
 #[derive(Debug)]
 pub struct Ticker<'b> {
     budget: &'b Budget,
-    credit: u32,
+    credit: u64,
 }
 
 impl Ticker<'_> {
-    /// Charge one item, paying the budget in [`TICK_BATCH`] batches.
+    /// Charge one item, claiming the budget in batches of up to
+    /// [`TICK_BATCH`].
     #[inline]
     pub fn tick(&mut self) -> Result<(), InterruptReason> {
         if self.credit == 0 {
-            self.budget.charge(TICK_BATCH as u64)?;
-            self.credit = TICK_BATCH;
+            self.credit = self.budget.claim(TICK_BATCH as u64)?;
         }
         self.credit -= 1;
         Ok(())
+    }
+}
+
+impl Drop for Ticker<'_> {
+    fn drop(&mut self) {
+        self.budget.refund(self.credit);
     }
 }
 
@@ -366,6 +419,32 @@ mod tests {
             assert!(t.tick().is_ok());
         }
         assert_eq!(u.steps_used(), 0);
+    }
+
+    #[test]
+    fn ticker_accounting_is_exact() {
+        // A short-lived ticker refunds its unused credit: n ticks cost
+        // exactly n steps at drop, no matter how the batches fell.
+        let b = Budget::with_steps(1_000);
+        {
+            let mut t = b.ticker();
+            for _ in 0..5 {
+                assert!(t.tick().is_ok());
+            }
+        }
+        assert_eq!(b.steps_used(), 5);
+        // Near the cap the claim shrinks to what remains, so a budget
+        // smaller than one batch still admits exactly max_steps items —
+        // even spread across several tickers (one per stratum/worker).
+        let b = Budget::with_steps(10);
+        for _ in 0..2 {
+            let mut t = b.ticker();
+            for _ in 0..5 {
+                assert!(t.tick().is_ok());
+            }
+        }
+        assert_eq!(b.steps_used(), 10);
+        assert_eq!(b.ticker().tick(), Err(InterruptReason::Steps));
     }
 
     #[test]

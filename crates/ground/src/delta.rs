@@ -26,11 +26,20 @@
 //!   admissibility re-checks exactly the conditions that gated their
 //!   original emission).
 //!
+//! The closure and the seed join run through the same batch-synchronous
+//! join engine as the smart grounder ([`crate::join`]): the read-only
+//! match phase fans out over [`GroundConfig::threads`] workers (paying
+//! off on large assert deltas), the commit phase is sequential, and the
+//! result is independent of the thread count.
+//!
 //! Phase 2 (attacker instances, including the eternal-attacker
 //! sentinel collapse — see [`crate::smart`]) is re-run from the updated
 //! `D` on every mutation: attacks depend non-monotonically on
 //! derivability in both directions, and the phase is cheap relative to
-//! the closure (it never joins, only matches victims).
+//! the closure (it never joins, only matches victims). Like the smart
+//! grounder it enumerates a *sorted* copy of the active domain, so the
+//! attacker set matches a from-scratch grounding even though the delta
+//! grounder admits domain terms in a different order.
 //!
 //! **Invariant** (tested in this module and fuzzed in
 //! `tests/incremental.rs`): after every successful operation, the
@@ -39,6 +48,7 @@
 //! exhaustion, instance cap) the internal state is unspecified; callers
 //! must discard the grounder and fall back to a full reground.
 
+use crate::join::{compile_body, frontier_join, match_lit, BodyPlan, DIndex, Item, Rec, SpendPool};
 use crate::program::{GroundProgram, GroundRule};
 use crate::universe::{GroundConfig, GroundError};
 use olp_core::term::Bindings;
@@ -49,11 +59,11 @@ use olp_core::{
 use std::collections::VecDeque;
 
 /// A rule compiled for joining, with liveness and its own constants.
+/// The body literal patterns live in the parallel [`BodyPlan`] vector.
 #[derive(Debug)]
 struct DRule {
     comp: CompId,
     head: Literal,
-    lits: Vec<Literal>,
     cmps: Vec<olp_core::Cmp>,
     vars: Vec<Sym>,
     /// Variables in no body literal: enumerated over the active domain.
@@ -90,8 +100,10 @@ pub struct DeltaGrounder {
     max_instances: usize,
     max_depth: u32,
     rules: Vec<DRule>,
+    /// Compiled body plans, indexed like `rules`.
+    plans: Vec<BodyPlan>,
     d_set: FxHashSet<GLit>,
-    d_by: FxHashMap<(PredId, Sign), Vec<AtomId>>,
+    index: DIndex,
     adom: Vec<GTermId>,
     adom_set: FxHashSet<GTermId>,
     queue: VecDeque<GLit>,
@@ -105,10 +117,11 @@ pub struct DeltaGrounder {
     seen: FxHashSet<(u32, GroundRule)>,
     /// Phase-2 output, rebuilt per mutation.
     out2: Vec<GroundRule>,
-    /// Per-operation instance budget (reset from `max_instances`).
-    budget: usize,
-    /// Per-operation governor (deadline / steps / cancellation).
-    gov: Budget,
+    /// Per-operation instance/step meter (rebuilt from `max_instances`
+    /// and the caller's governor at the start of each mutation).
+    pool: SpendPool,
+    threads: usize,
+    planner: bool,
 }
 
 /// Collects the interned constants of a rule's literal arguments
@@ -164,8 +177,9 @@ impl DeltaGrounder {
             max_instances: cfg.max_instances,
             max_depth: cfg.max_depth,
             rules: Vec::new(),
+            plans: Vec::new(),
             d_set: FxHashSet::default(),
-            d_by: FxHashMap::default(),
+            index: DIndex::default(),
             adom: Vec::new(),
             adom_set: FxHashSet::default(),
             queue: VecDeque::new(),
@@ -174,8 +188,9 @@ impl DeltaGrounder {
             insts: Vec::new(),
             seen: FxHashSet::default(),
             out2: Vec::new(),
-            budget: cfg.max_instances,
-            gov: cfg.budget.clone(),
+            pool: SpendPool::new(cfg.max_instances, cfg.budget.clone()),
+            threads: cfg.threads.max(1),
+            planner: cfg.plan,
         };
         for (comp, rule) in prog.rules() {
             g.register(world, comp, rule);
@@ -216,10 +231,10 @@ impl DeltaGrounder {
         if lits.is_empty() || !residual.is_empty() {
             self.adom_dependent.push(ix);
         }
+        self.plans.push(compile_body(world, &lits));
         self.rules.push(DRule {
             comp,
             head: rule.head.clone(),
-            lits,
             cmps,
             vars,
             residual,
@@ -243,8 +258,7 @@ impl DeltaGrounder {
         rule: &Rule,
         gov: &Budget,
     ) -> Result<(DeltaRuleId, GroundProgram), GroundError> {
-        self.budget = self.max_instances;
-        self.gov = gov.clone();
+        self.pool = SpendPool::new(self.max_instances, gov.clone());
         let id = self.register(world, comp, rule);
         let cs = self.rules[id as usize].consts.clone();
         for c in cs {
@@ -252,9 +266,7 @@ impl DeltaGrounder {
         }
         // Seed join: instances of the new rule whose bodies are already
         // within `D` (later derivations drive it via `drivers`).
-        let positions: Vec<usize> = (0..self.rules[id as usize].lits.len()).collect();
-        let mut b = Bindings::default();
-        self.join(world, id as usize, &positions, 0, &mut b)?;
+        self.run_batch(world, &[Item::Seed { rule: id as usize }])?;
         self.run_closure(world)?;
         self.attackers(world)?;
         Ok((id, self.assemble(world)))
@@ -270,8 +282,7 @@ impl DeltaGrounder {
         id: DeltaRuleId,
         gov: &Budget,
     ) -> Result<GroundProgram, GroundError> {
-        self.budget = self.max_instances;
-        self.gov = gov.clone();
+        self.pool = SpendPool::new(self.max_instances, gov.clone());
         self.rules[id as usize].alive = false;
         self.replay(world)?;
         self.attackers(world)?;
@@ -282,15 +293,6 @@ impl DeltaGrounder {
     /// — the CLI's timing output reports the delta between mutations).
     pub fn instance_count(&self) -> usize {
         self.insts.len() + self.out2.len()
-    }
-
-    fn spend(&mut self, n: usize) -> Result<(), GroundError> {
-        if self.budget < n {
-            return Err(GroundError::TooManyInstances(self.max_instances));
-        }
-        self.budget -= n;
-        self.gov.charge(n as u64)?;
-        Ok(())
     }
 
     fn adom_add_term(&mut self, world: &World, t: GTermId) {
@@ -306,11 +308,8 @@ impl DeltaGrounder {
 
     fn d_add(&mut self, world: &World, l: GLit) {
         if self.d_set.insert(l) {
+            self.index.add(world, l);
             let atom = world.atoms.get(l.atom()).clone();
-            self.d_by
-                .entry((atom.pred, l.sign()))
-                .or_default()
-                .push(l.atom());
             for &t in atom.args.iter() {
                 self.adom_add_term(world, t);
             }
@@ -329,22 +328,18 @@ impl DeltaGrounder {
         GLit::new(lit.sign, world.atoms.intern(lit.pred, &args))
     }
 
-    /// Completes `bindings` at a leaf of the join: enumerates residual
-    /// variables over the active domain, then emits.
-    fn finish(
-        &mut self,
-        world: &mut World,
-        rule_ix: usize,
-        b: &mut Bindings,
-    ) -> Result<(), GroundError> {
-        let residual: Vec<Sym> = self.rules[rule_ix]
+    /// Commits one phase-A match: enumerates residual variables over
+    /// the active domain, then emits.
+    fn commit(&mut self, world: &mut World, rec: Rec) -> Result<(), GroundError> {
+        let Rec { rule, mut b, body } = rec;
+        let residual: Vec<Sym> = self.rules[rule]
             .residual
             .iter()
             .copied()
             .filter(|v| !b.contains_key(v))
             .collect();
         if residual.is_empty() {
-            return self.emit(world, rule_ix, b);
+            return self.emit(world, rule, &b, &body);
         }
         let adom = self.adom.clone();
         if adom.is_empty() {
@@ -356,13 +351,10 @@ impl DeltaGrounder {
             for (v, &i) in residual.iter().zip(idx.iter()) {
                 b.insert(*v, adom[i]);
             }
-            self.emit(world, rule_ix, b)?;
+            self.emit(world, rule, &b, &body)?;
             let mut p = 0;
             loop {
                 if p == k {
-                    for v in &residual {
-                        b.remove(v);
-                    }
                     return Ok(());
                 }
                 idx[p] += 1;
@@ -375,8 +367,14 @@ impl DeltaGrounder {
         }
     }
 
-    fn emit(&mut self, world: &mut World, rule_ix: usize, b: &Bindings) -> Result<(), GroundError> {
-        self.spend(1)?;
+    fn emit(
+        &mut self,
+        world: &mut World,
+        rule_ix: usize,
+        b: &Bindings,
+        body: &[GLit],
+    ) -> Result<(), GroundError> {
+        self.pool.spend(1)?;
         if b.values().any(|&t| world.terms.depth(t) > self.max_depth) {
             return Ok(());
         }
@@ -387,14 +385,9 @@ impl DeltaGrounder {
             }
         }
         let head_lit = self.rules[rule_ix].head.clone();
-        let body_lits = self.rules[rule_ix].lits.clone();
         let head = self.intern_lit(world, &head_lit, b);
-        let body: Vec<GLit> = body_lits
-            .iter()
-            .map(|l| self.intern_lit(world, l, b))
-            .collect();
         let comp = self.rules[rule_ix].comp;
-        let gr = GroundRule::new(head, body, comp);
+        let gr = GroundRule::new(head, body.to_vec(), comp);
         self.d_add(world, head);
         if self.seen.insert((rule_ix as u32, gr.clone())) {
             let mut residual_terms: Vec<GTermId> = self.rules[rule_ix]
@@ -413,101 +406,63 @@ impl DeltaGrounder {
         Ok(())
     }
 
-    fn join(
-        &mut self,
-        world: &mut World,
-        rule_ix: usize,
-        positions: &[usize],
-        from: usize,
-        b: &mut Bindings,
-    ) -> Result<(), GroundError> {
-        if from == positions.len() {
-            return self.finish(world, rule_ix, b);
-        }
-        let pos = positions[from];
-        let lit = self.rules[rule_ix].lits[pos].clone();
-        let candidates: Vec<AtomId> = self
-            .d_by
-            .get(&(lit.pred, lit.sign))
-            .cloned()
-            .unwrap_or_default();
-        let mut lit_vars = Vec::new();
-        lit.collect_vars(&mut lit_vars);
-        for cand in candidates {
-            self.spend(1)?;
-            let preexisting: Vec<Sym> = lit_vars
-                .iter()
-                .copied()
-                .filter(|v| b.contains_key(v))
-                .collect();
-            if self.match_lit(world, &lit, cand, b) {
-                self.join(world, rule_ix, positions, from + 1, b)?;
-            }
-            for v in &lit_vars {
-                if !preexisting.contains(v) {
-                    b.remove(v);
-                }
+    /// One batch: phase-A join (parallel) + phase-B commit (in order).
+    fn run_batch(&mut self, world: &mut World, items: &[Item]) -> Result<(), GroundError> {
+        let recs = frontier_join(
+            world,
+            &self.plans,
+            &self.index,
+            items,
+            self.threads,
+            self.planner,
+            &self.pool,
+        )?;
+        for per_item in recs {
+            for rec in per_item {
+                self.commit(world, rec)?;
             }
         }
         Ok(())
     }
 
-    fn match_lit(&self, world: &World, lit: &Literal, atom: AtomId, b: &mut Bindings) -> bool {
-        let args = world.atoms.get(atom).args.clone();
-        debug_assert_eq!(args.len(), lit.args.len());
-        lit.args
-            .iter()
-            .zip(args.iter())
-            .all(|(pat, &g)| pat.match_ground(g, &world.terms, b))
-    }
-
-    fn process(&mut self, world: &mut World, l: GLit) -> Result<(), GroundError> {
-        let pred = world.atoms.get(l.atom()).pred;
-        let driven = self
-            .drivers
-            .get(&(pred, l.sign()))
-            .cloned()
-            .unwrap_or_default();
-        for (rule_ix, pos) in driven {
-            if !self.rules[rule_ix].alive {
-                continue;
-            }
-            let lit = self.rules[rule_ix].lits[pos].clone();
-            let mut b = Bindings::default();
-            if !self.match_lit(world, &lit, l.atom(), &mut b) {
-                continue;
-            }
-            let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len())
-                .filter(|&p| p != pos)
-                .collect();
-            self.join(world, rule_ix, &positions, 0, &mut b)?;
-        }
-        Ok(())
-    }
-
-    /// Semi-naive closure: drains the derivation queue, re-running the
-    /// active-domain-dependent rules whenever the domain grows. All
-    /// emissions are deduplicated against `seen`, so re-running is
-    /// idempotent.
+    /// Semi-naive closure: drains the derivation queue batchwise,
+    /// re-running the active-domain-dependent rules whenever the domain
+    /// grows. All emissions are deduplicated against `seen`, so
+    /// re-running is idempotent.
     fn run_closure(&mut self, world: &mut World) -> Result<(), GroundError> {
         let mut last_adom = usize::MAX;
+        let mut items: Vec<Item> = Vec::new();
         loop {
+            items.clear();
             if self.adom.len() != last_adom {
                 last_adom = self.adom.len();
-                for rule_ix in self.adom_dependent.clone() {
-                    if !self.rules[rule_ix].alive {
-                        continue;
+                items.extend(
+                    self.adom_dependent
+                        .iter()
+                        .filter(|&&r| self.rules[r].alive)
+                        .map(|&r| Item::Seed { rule: r }),
+                );
+            } else if !self.queue.is_empty() {
+                while let Some(l) = self.queue.pop_front() {
+                    let pred = world.atoms.get(l.atom()).pred;
+                    if let Some(driven) = self.drivers.get(&(pred, l.sign())) {
+                        items.extend(
+                            driven
+                                .iter()
+                                .filter(|&&(rule, _)| self.rules[rule].alive)
+                                .map(|&(rule, pos)| Item::Drive { lit: l, rule, pos }),
+                        );
                     }
-                    let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len()).collect();
-                    let mut b = Bindings::default();
-                    self.join(world, rule_ix, &positions, 0, &mut b)?;
                 }
+            } else {
+                return Ok(());
+            }
+            if items.is_empty() {
                 continue;
             }
-            match self.queue.pop_front() {
-                Some(l) => self.process(world, l)?,
-                None => return Ok(()),
-            }
+            let batch = std::mem::take(&mut items);
+            self.run_batch(world, &batch)?;
+            items = batch;
         }
     }
 
@@ -523,7 +478,7 @@ impl DeltaGrounder {
             .filter(|i| self.rules[i.rule as usize].alive)
             .collect();
         self.d_set.clear();
-        self.d_by.clear();
+        self.index.clear();
         self.adom.clear();
         self.adom_set.clear();
         self.queue.clear();
@@ -546,7 +501,7 @@ impl DeltaGrounder {
         let mut fired = vec![false; cands.len()];
         let mut ready: Vec<usize> = Vec::new();
         for (i, inst) in cands.iter().enumerate() {
-            self.spend(1)?;
+            self.pool.spend(1)?;
             for &l in inst.gr.body.iter() {
                 waiters_lit.entry(l).or_default().push(i);
             }
@@ -608,12 +563,14 @@ impl DeltaGrounder {
     /// Phase 2: attacker instances, identical construction to
     /// [`crate::smart`] (blockable instances kept precise; eternal
     /// attackers collapsed to one sentinel-bodied representative per
-    /// (victim, component)). Rebuilt in full every mutation.
+    /// (victim, component)). Rebuilt in full every mutation, over a
+    /// sorted domain copy so it matches a from-scratch grounding.
     fn attackers(&mut self, world: &mut World) -> Result<(), GroundError> {
         self.out2.clear();
         let mut sentinel: Option<GLit> = None;
         let mut eternal_seen: FxHashSet<(GLit, CompId)> = FxHashSet::default();
-        let adom = self.adom.clone();
+        let mut adom = self.adom.clone();
+        adom.sort_unstable();
 
         for rule_ix in 0..self.rules.len() {
             if !self.rules[rule_ix].alive {
@@ -636,14 +593,11 @@ impl DeltaGrounder {
                     Vec::new()
                 }
             } else {
-                self.d_by
-                    .get(&(head.pred, head.sign.flip()))
-                    .cloned()
-                    .unwrap_or_default()
+                self.index.candidates(head.pred, head.sign.flip()).to_vec()
             };
             'victims: for victim in victims {
                 let mut b = Bindings::default();
-                if !self.match_lit(world, &head, victim, &mut b) {
+                if !match_lit(world, &head, victim, &mut b) {
                     continue;
                 }
                 let free: Vec<Sym> = self.rules[rule_ix]
@@ -661,14 +615,18 @@ impl DeltaGrounder {
                     for (v, &i) in free.iter().zip(idx.iter()) {
                         b.insert(*v, adom[i]);
                     }
-                    self.spend(1)?;
+                    self.pool.spend(1)?;
                     let cmps_ok = self.rules[rule_ix]
                         .cmps
                         .iter()
                         .all(|c| matches!(c.eval(&world.terms, &b), Ok(true)))
                         && !b.values().any(|&t| world.terms.depth(t) > self.max_depth);
                     if cmps_ok {
-                        let body_lits = self.rules[rule_ix].lits.clone();
+                        let body_lits: Vec<Literal> = self.plans[rule_ix]
+                            .lits
+                            .iter()
+                            .map(|jl| jl.lit.clone())
+                            .collect();
                         let mut body = Vec::with_capacity(body_lits.len());
                         let mut blockable = false;
                         let mut body_derivable = true;
@@ -916,5 +874,37 @@ mod tests {
         let n = p.components[comp.index()].rules.len();
         p.components[comp.index()].rules.remove(n - 1);
         assert_matches_scratch(&mut w, &p, &gp);
+    }
+
+    #[test]
+    fn parallel_delta_matches_sequential_delta() {
+        // Same mutation sequence at threads=1 and threads=4 in separate
+        // worlds: identical instance sets after every step.
+        let run = |threads: usize| {
+            let mut w = World::new();
+            let p = parse_program(
+                &mut w,
+                "parent(a,b). parent(b,c).
+                 anc(X,Y) :- parent(X,Y).
+                 anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+            )
+            .unwrap();
+            let cfg = GroundConfig {
+                threads,
+                ..Default::default()
+            };
+            let (mut g, _) = DeltaGrounder::new(&mut w, &p, &cfg).unwrap();
+            let c = p.component_by_name(w.syms.intern("main")).unwrap();
+            let mut renders = Vec::new();
+            for src in ["parent(c,d).", "parent(d,e).", "anc2(X,Y) :- anc(X,Y)."] {
+                let r = parse_rule(&mut w, src).unwrap();
+                let (_, gp) = g.assert_rule(&mut w, c, &r, &Budget::unlimited()).unwrap();
+                renders.push(gp.render(&w));
+            }
+            let gp = g.retract_rule(&mut w, 0, &Budget::unlimited()).unwrap();
+            renders.push(gp.render(&w));
+            renders
+        };
+        assert_eq!(run(1), run(4));
     }
 }

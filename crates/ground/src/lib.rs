@@ -43,6 +43,7 @@
 pub mod delta;
 pub mod demand;
 pub mod exhaustive;
+mod join;
 pub mod program;
 pub mod smart;
 pub mod universe;

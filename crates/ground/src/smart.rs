@@ -38,6 +38,24 @@
 //! attacker instances are emitted as-is, so the engine can observe
 //! their blocking literals precisely.
 //!
+//! ## Batch-synchronous closure and parallelism
+//!
+//! The semi-naive closure runs in batches (see [`crate::join`]): phase
+//! A joins the whole frontier against a frozen derivability index —
+//! read-only, so it fans out over [`GroundConfig::threads`] workers —
+//! and phase B commits the matches sequentially in item order. Since
+//! batch composition and commit order never depend on the thread
+//! count, the ground program (including atom/term interning order) is
+//! **bit-identical** for every `threads` value; the emitted instance
+//! *set* is additionally invariant under join order, which is what
+//! licenses the selectivity planner ([`GroundConfig::plan`]). The
+//! attacker phase stays sequential: it is match-only (no joins) and
+//! cheap relative to the closure. Its active-domain enumeration runs
+//! over a sorted copy of the domain so that the emitted attacker set
+//! depends only on the *set* of derivable literals and domain terms —
+//! the delta grounder reaches the same state along a different history
+//! and must produce the same phase-2 instances.
+//!
 //! ## Scope
 //!
 //! The result is sound and complete w.r.t. the exhaustive grounding for
@@ -48,6 +66,7 @@
 //! its scope; use the exhaustive grounder for those. The equivalence is
 //! property-tested in `tests/smart_vs_exhaustive.rs`.
 
+use crate::join::{compile_body, frontier_join, match_lit, BodyPlan, DIndex, Item, Rec, SpendPool};
 use crate::program::{GroundProgram, GroundRule};
 use crate::universe::{signature, GroundConfig, GroundError};
 use olp_core::term::Bindings;
@@ -57,11 +76,11 @@ use olp_core::{
 };
 use std::collections::VecDeque;
 
-/// A rule compiled for joining.
+/// A rule compiled for joining. The body literal patterns live in the
+/// parallel [`BodyPlan`] vector (shared with the join engine).
 struct CRule {
     comp: CompId,
     head: Literal,
-    lits: Vec<Literal>,
     cmps: Vec<olp_core::Cmp>,
     vars: Vec<Sym>,
     /// Variables that appear in no body literal (head-only or
@@ -72,9 +91,11 @@ struct CRule {
 struct Smart<'w> {
     world: &'w mut World,
     rules: Vec<CRule>,
-    /// Derivability closure, as a set and a per-(pred, sign) index.
+    /// Compiled body plans, indexed like `rules`.
+    plans: Vec<BodyPlan>,
+    /// Derivability closure, as a set and a positional join index.
     d_set: FxHashSet<GLit>,
-    d_by: FxHashMap<(PredId, Sign), Vec<AtomId>>,
+    index: DIndex,
     /// Active domain: ground terms occurring in derivable atoms or in
     /// the program text.
     adom: Vec<GTermId>,
@@ -87,28 +108,19 @@ struct Smart<'w> {
     /// whenever the active domain grows.
     adom_dependent: Vec<usize>,
     out: Vec<GroundRule>,
-    budget: usize,
-    max_instances: usize,
-    /// Shared governor (deadline / step budget / cancellation); charged
-    /// alongside the local instance budget in [`Smart::spend`].
-    gov: olp_core::Budget,
+    /// Shared instance/step meter (max_instances + governor), drawn
+    /// from concurrently by phase-A workers.
+    pool: SpendPool,
     /// Same depth bound as the exhaustive grounder: an instance whose
     /// variable bindings exceed it is dropped, which keeps derivations
     /// through function symbols (e.g. `even(s(s(X))) ← even(X)`)
     /// terminating and matches the exhaustive universe bound.
     max_depth: u32,
+    threads: usize,
+    planner: bool,
 }
 
 impl<'w> Smart<'w> {
-    fn spend(&mut self, n: usize) -> Result<(), GroundError> {
-        if self.budget < n {
-            return Err(GroundError::TooManyInstances(self.max_instances));
-        }
-        self.budget -= n;
-        self.gov.charge(n as u64)?;
-        Ok(())
-    }
-
     fn adom_add_term(&mut self, t: GTermId) {
         if self.adom_set.insert(t) {
             self.adom.push(t);
@@ -122,12 +134,9 @@ impl<'w> Smart<'w> {
 
     fn d_add(&mut self, l: GLit) {
         if self.d_set.insert(l) {
-            let atom = self.world.atoms.get(l.atom()).clone();
-            self.d_by
-                .entry((atom.pred, l.sign()))
-                .or_default()
-                .push(l.atom());
-            for &t in atom.args.iter() {
+            self.index.add(self.world, l);
+            let args = self.world.atoms.get(l.atom()).args.clone();
+            for &t in args.iter() {
                 self.adom_add_term(t);
             }
             self.queue.push_back(l);
@@ -145,18 +154,18 @@ impl<'w> Smart<'w> {
         GLit::new(lit.sign, self.world.atoms.intern(lit.pred, &args))
     }
 
-    /// Completes `bindings` at a leaf of the join: enumerates residual
-    /// variables over the active domain, checks comparisons, and emits
-    /// the instance (adding its head to `D`).
-    fn finish(&mut self, rule_ix: usize, b: &mut Bindings) -> Result<(), GroundError> {
-        let residual: Vec<Sym> = self.rules[rule_ix]
+    /// Commits one phase-A match: enumerates residual variables over
+    /// the active domain and emits each completed instance.
+    fn commit(&mut self, rec: Rec) -> Result<(), GroundError> {
+        let Rec { rule, mut b, body } = rec;
+        let residual: Vec<Sym> = self.rules[rule]
             .residual
             .iter()
             .copied()
             .filter(|v| !b.contains_key(v))
             .collect();
         if residual.is_empty() {
-            return self.emit(rule_ix, b);
+            return self.emit(rule, &b, &body);
         }
         let adom = self.adom.clone();
         if adom.is_empty() {
@@ -168,13 +177,10 @@ impl<'w> Smart<'w> {
             for (v, &i) in residual.iter().zip(idx.iter()) {
                 b.insert(*v, adom[i]);
             }
-            self.emit(rule_ix, b)?;
+            self.emit(rule, &b, &body)?;
             let mut p = 0;
             loop {
                 if p == k {
-                    for v in &residual {
-                        b.remove(v);
-                    }
                     return Ok(());
                 }
                 idx[p] += 1;
@@ -187,8 +193,11 @@ impl<'w> Smart<'w> {
         }
     }
 
-    fn emit(&mut self, rule_ix: usize, b: &Bindings) -> Result<(), GroundError> {
-        self.spend(1)?;
+    /// Emits one instance: the body ground literals are the candidates
+    /// the join matched (pattern interned under `b` = matched atom), so
+    /// only the head needs interning here.
+    fn emit(&mut self, rule_ix: usize, b: &Bindings, body: &[GLit]) -> Result<(), GroundError> {
+        self.pool.spend(1)?;
         if b.values()
             .any(|&t| self.world.terms.depth(t) > self.max_depth)
         {
@@ -201,117 +210,71 @@ impl<'w> Smart<'w> {
             }
         }
         let head_lit = self.rules[rule_ix].head.clone();
-        let body_lits = self.rules[rule_ix].lits.clone();
         let head = self.intern_lit(&head_lit, b);
-        let body: Vec<GLit> = body_lits.iter().map(|l| self.intern_lit(l, b)).collect();
         let comp = self.rules[rule_ix].comp;
         self.d_add(head);
-        self.out.push(GroundRule::new(head, body, comp));
+        self.out.push(GroundRule::new(head, body.to_vec(), comp));
         Ok(())
     }
 
-    /// Joins body positions `order[from..]` against the current `D`.
-    fn join(
-        &mut self,
-        rule_ix: usize,
-        positions: &[usize],
-        from: usize,
-        b: &mut Bindings,
-    ) -> Result<(), GroundError> {
-        if from == positions.len() {
-            return self.finish(rule_ix, b);
-        }
-        let pos = positions[from];
-        let lit = self.rules[rule_ix].lits[pos].clone();
-        let candidates: Vec<AtomId> = self
-            .d_by
-            .get(&(lit.pred, lit.sign))
-            .cloned()
-            .unwrap_or_default();
-        // Variables this literal can newly bind (everything else in `b`
-        // predates the match and must survive the undo).
-        let mut lit_vars = Vec::new();
-        lit.collect_vars(&mut lit_vars);
-        for cand in candidates {
-            self.spend(1)?;
-            let preexisting: Vec<Sym> = lit_vars
-                .iter()
-                .copied()
-                .filter(|v| b.contains_key(v))
-                .collect();
-            if self.match_lit(&lit, cand, b) {
-                self.join(rule_ix, positions, from + 1, b)?;
-            }
-            // Undo: drop exactly the variables this match introduced.
-            for v in &lit_vars {
-                if !preexisting.contains(v) {
-                    b.remove(v);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn match_lit(&self, lit: &Literal, atom: AtomId, b: &mut Bindings) -> bool {
-        let args = self.world.atoms.get(atom).args.clone();
-        debug_assert_eq!(args.len(), lit.args.len());
-        lit.args
-            .iter()
-            .zip(args.iter())
-            .all(|(pat, &g)| pat.match_ground(g, &self.world.terms, b))
-    }
-
-    /// Processes one derived literal against every rule position it can
-    /// drive.
-    fn process(&mut self, l: GLit) -> Result<(), GroundError> {
-        let pred = self.world.atoms.get(l.atom()).pred;
-        let driven = self
-            .drivers
-            .get(&(pred, l.sign()))
-            .cloned()
-            .unwrap_or_default();
-        for (rule_ix, pos) in driven {
-            let lit = self.rules[rule_ix].lits[pos].clone();
-            let mut b = Bindings::default();
-            if !self.match_lit(&lit, l.atom(), &mut b) {
-                continue;
-            }
-            let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len())
-                .filter(|&p| p != pos)
-                .collect();
-            self.join(rule_ix, &positions, 0, &mut b)?;
-        }
-        Ok(())
-    }
-
-    /// Phase 1: derivability closure + firing instances.
+    /// Phase 1: derivability closure + firing instances, as a
+    /// batch-synchronous loop — collect the frontier, join it in
+    /// parallel against the frozen index (phase A), commit in item
+    /// order (phase B).
     fn closure(&mut self) -> Result<(), GroundError> {
         let mut last_adom = usize::MAX;
+        let mut items: Vec<Item> = Vec::new();
         loop {
-            // (Re-)run active-domain-dependent rules (facts — which also
-            // seeds the closure — and rules with residual variables)
-            // whenever the domain has grown.
+            items.clear();
             if self.adom.len() != last_adom {
+                // (Re-)run active-domain-dependent rules (facts — which
+                // also seed the closure — and rules with residual
+                // variables) whenever the domain has grown.
                 last_adom = self.adom.len();
-                for rule_ix in self.adom_dependent.clone() {
-                    let positions: Vec<usize> = (0..self.rules[rule_ix].lits.len()).collect();
-                    let mut b = Bindings::default();
-                    self.join(rule_ix, &positions, 0, &mut b)?;
+                items.extend(self.adom_dependent.iter().map(|&r| Item::Seed { rule: r }));
+            } else if !self.queue.is_empty() {
+                while let Some(l) = self.queue.pop_front() {
+                    let pred = self.world.atoms.get(l.atom()).pred;
+                    if let Some(driven) = self.drivers.get(&(pred, l.sign())) {
+                        items.extend(driven.iter().map(|&(rule, pos)| Item::Drive {
+                            lit: l,
+                            rule,
+                            pos,
+                        }));
+                    }
                 }
-                continue; // emissions may have grown the domain again
+            } else {
+                return Ok(());
             }
-            match self.queue.pop_front() {
-                Some(l) => self.process(l)?,
-                None => return Ok(()),
+            if items.is_empty() {
+                continue; // domain grew but nothing depends on it
+            }
+            let recs = frontier_join(
+                self.world,
+                &self.plans,
+                &self.index,
+                &items,
+                self.threads,
+                self.planner,
+                &self.pool,
+            )?;
+            for per_item in recs {
+                for rec in per_item {
+                    self.commit(rec)?;
+                }
             }
         }
     }
 
     /// Phase 2: attacker instances (real + eternal representatives).
+    /// Sequential (it interns new atoms); the domain enumeration runs
+    /// over a sorted copy so the result depends only on the derivable
+    /// *set* (see the module docs).
     fn attackers(&mut self) -> Result<(), GroundError> {
         let mut sentinel: Option<GLit> = None;
         let mut eternal_seen: FxHashSet<(GLit, CompId)> = FxHashSet::default();
-        let adom = self.adom.clone();
+        let mut adom = self.adom.clone();
+        adom.sort_unstable();
 
         for rule_ix in 0..self.rules.len() {
             let head = self.rules[rule_ix].head.clone();
@@ -337,14 +300,11 @@ impl<'w> Smart<'w> {
                     Vec::new()
                 }
             } else {
-                self.d_by
-                    .get(&(head.pred, head.sign.flip()))
-                    .cloned()
-                    .unwrap_or_default()
+                self.index.candidates(head.pred, head.sign.flip()).to_vec()
             };
             'victims: for victim in victims {
                 let mut b = Bindings::default();
-                if !self.match_lit(&head, victim, &mut b) {
+                if !match_lit(self.world, &head, victim, &mut b) {
                     continue;
                 }
                 // Enumerate all remaining variables over the active
@@ -364,7 +324,7 @@ impl<'w> Smart<'w> {
                     for (v, &i) in free.iter().zip(idx.iter()) {
                         b.insert(*v, adom[i]);
                     }
-                    self.spend(1)?;
+                    self.pool.spend(1)?;
                     // Comparisons must hold (and bindings must respect
                     // the depth bound) for the instance to exist.
                     let cmps_ok = self.rules[rule_ix]
@@ -384,7 +344,11 @@ impl<'w> Smart<'w> {
                         // single sentinel-bodied representative
                         // suffices (its potential firings were already
                         // emitted by phase 1).
-                        let body_lits = self.rules[rule_ix].lits.clone();
+                        let body_lits: Vec<Literal> = self.plans[rule_ix]
+                            .lits
+                            .iter()
+                            .map(|jl| jl.lit.clone())
+                            .collect();
                         let mut body = Vec::with_capacity(body_lits.len());
                         let mut blockable = false;
                         let mut body_derivable = true;
@@ -479,6 +443,7 @@ pub fn ground_smart_seeded(
     let order = prog.order()?;
     let sig = signature(world, prog);
     let mut rules = Vec::new();
+    let mut plans = Vec::new();
     for (comp, rule) in prog.rules() {
         let vars = rule.vars();
         let lits: Vec<Literal> = rule.body_lits().cloned().collect();
@@ -492,10 +457,10 @@ pub fn ground_smart_seeded(
             .copied()
             .filter(|v| !body_vars.contains(v))
             .collect();
+        plans.push(compile_body(world, &lits));
         rules.push(CRule {
             comp,
             head: rule.head.clone(),
-            lits,
             cmps,
             vars,
             residual,
@@ -504,11 +469,14 @@ pub fn ground_smart_seeded(
 
     let mut drivers: FxHashMap<(PredId, Sign), Vec<(usize, usize)>> = FxHashMap::default();
     let mut adom_dependent = Vec::new();
-    for (ix, r) in rules.iter().enumerate() {
-        for (pos, l) in r.lits.iter().enumerate() {
-            drivers.entry((l.pred, l.sign)).or_default().push((ix, pos));
+    for (ix, (r, plan)) in rules.iter().zip(plans.iter()).enumerate() {
+        for (pos, jl) in plan.lits.iter().enumerate() {
+            drivers
+                .entry((jl.lit.pred, jl.lit.sign))
+                .or_default()
+                .push((ix, pos));
         }
-        if r.lits.is_empty() || !r.residual.is_empty() {
+        if plan.lits.is_empty() || !r.residual.is_empty() {
             adom_dependent.push(ix);
         }
     }
@@ -516,18 +484,19 @@ pub fn ground_smart_seeded(
     let mut s = Smart {
         world,
         rules,
+        plans,
         d_set: FxHashSet::default(),
-        d_by: FxHashMap::default(),
+        index: DIndex::default(),
         adom: Vec::new(),
         adom_set: FxHashSet::default(),
         queue: VecDeque::new(),
         drivers,
         adom_dependent,
         out: Vec::new(),
-        budget: cfg.max_instances,
-        max_instances: cfg.max_instances,
-        gov: cfg.budget.clone(),
+        pool: SpendPool::new(cfg.max_instances, cfg.budget.clone()),
         max_depth: cfg.max_depth,
+        threads: cfg.threads.max(1),
+        planner: cfg.plan,
     };
     for &c in &sig.constants {
         s.adom_add_term(c);
@@ -697,5 +666,52 @@ mod tests {
         assert!(g.rules.iter().any(|r| r.head == e4));
         let e6 = parse_ground_literal(&mut w, "even(s(s(s(s(s(s(zero)))))))").unwrap();
         assert!(!g.rules.iter().any(|r| r.head == e6));
+    }
+
+    #[test]
+    fn thread_counts_give_bitwise_identical_programs() {
+        let src = "parent(a,b). parent(b,c). parent(c,d). parent(d,e).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).
+             module low < main { -anc(X,X) :- anc(X,Y). }";
+        let ground_at = |threads: usize| {
+            let mut w = World::new();
+            let p = parse_program(&mut w, src).unwrap();
+            let cfg = GroundConfig {
+                threads,
+                ..Default::default()
+            };
+            let g = ground_smart(&mut w, &p, &cfg).unwrap();
+            let rendered = g.render(&w);
+            (g, rendered)
+        };
+        let (g1, r1) = ground_at(1);
+        for t in [2, 8] {
+            let (gt, rt) = ground_at(t);
+            assert_eq!(g1.rules, gt.rules, "threads=1 vs threads={t} instances");
+            assert_eq!(r1, rt, "threads=1 vs threads={t} rendering");
+        }
+    }
+
+    #[test]
+    fn planner_off_gives_same_instance_set() {
+        let src = "parent(a,b). parent(b,c). parent(c,d).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).
+             q(a). q(b). -p(X).";
+        let ground_with = |plan: bool| {
+            let mut w = World::new();
+            let p = parse_program(&mut w, src).unwrap();
+            let cfg = GroundConfig {
+                plan,
+                ..Default::default()
+            };
+            let g = ground_smart(&mut w, &p, &cfg).unwrap();
+            let rendered = g.render(&w);
+            let mut lines: Vec<String> = rendered.lines().map(str::to_owned).collect();
+            lines.sort();
+            lines
+        };
+        assert_eq!(ground_with(true), ground_with(false));
     }
 }

@@ -24,6 +24,18 @@ pub struct GroundConfig {
     /// Shared resource governor: deadline, step budget, cancellation.
     /// The default is unlimited; the instance caps above still apply.
     pub budget: Budget,
+    /// Worker threads for the frontier-join phase of the smart/delta
+    /// grounders. `1` (the default) runs everything on the calling
+    /// thread; any value produces a bit-identical ground program (see
+    /// `crate::smart` — phase A is read-only and phase B commits in a
+    /// fixed order).
+    pub threads: usize,
+    /// Enables the selectivity-driven join planner (greedy body-literal
+    /// reordering over the positional derivability index). `false`
+    /// falls back to textual join order over unfiltered candidate
+    /// lists — kept as an ablation baseline; the instance *set* is
+    /// identical either way.
+    pub plan: bool,
 }
 
 impl Default for GroundConfig {
@@ -33,6 +45,8 @@ impl Default for GroundConfig {
             max_terms: 100_000,
             max_instances: 10_000_000,
             budget: Budget::unlimited(),
+            threads: 1,
+            plan: true,
         }
     }
 }

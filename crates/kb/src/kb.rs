@@ -21,10 +21,28 @@ use olp_ground::{
 use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
 use olp_semantics::{
     least_model, least_model_budgeted, least_model_delta, least_model_monolithic_budgeted,
-    stable_models_decomposed_cached, stable_models_monolithic_budgeted, Decomposition, View,
+    least_model_parallel, least_model_parallel_budgeted, stable_models_decomposed_cached,
+    stable_models_monolithic_budgeted, stable_models_parallel_budgeted, Decomposition, View,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Worker threads to use when none are configured explicitly: the
+/// `OLP_THREADS` environment variable when set to a positive integer,
+/// else the machine's available parallelism. Every engine produces the
+/// same answers at any thread count (see `olp_semantics` /
+/// `olp_ground`); this only picks how wide evaluation runs by default.
+pub fn default_threads() -> usize {
+    std::env::var("OLP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
 
 /// Per-object cap on memoised stable-model group entries; exceeding it
 /// clears that object's cache (simple, bounded, and mutation-friendly:
@@ -101,6 +119,11 @@ pub struct QueryOptions {
     /// groups). On by default; [`QueryOptions::no_decomp`] forces the
     /// monolithic engines (escape hatch and differential baseline).
     pub decomp: bool,
+    /// Worker threads for query evaluation: the stratum-wavefront least
+    /// model and the parallel stable enumerator. Defaults to
+    /// [`default_threads`]; `1` takes the sequential code paths exactly.
+    /// Results are identical at every value.
+    pub threads: usize,
 }
 
 impl Default for QueryOptions {
@@ -110,6 +133,7 @@ impl Default for QueryOptions {
             max_steps: None,
             max_models: None,
             decomp: true,
+            threads: default_threads(),
         }
     }
 }
@@ -142,6 +166,12 @@ impl QueryOptions {
     /// monolithic fixpoint / enumeration engines instead).
     pub fn no_decomp(mut self) -> Self {
         self.decomp = false;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -276,6 +306,7 @@ impl KbBuilder {
             incremental: strategy == GroundStrategy::Smart,
             epoch: 0,
             touched_log: Vec::new(),
+            threads: default_threads(),
         })
     }
 }
@@ -352,6 +383,11 @@ pub struct Kb {
     /// that advanced epoch `e` to `e+1` (heads and bodies of all ground
     /// instances added or removed).
     touched_log: Vec<Vec<usize>>,
+    /// Worker threads for **unbudgeted** query evaluation ([`Kb::model`]
+    /// and friends; budgeted calls take [`QueryOptions::threads`]).
+    /// Initialised to [`default_threads`]; results are identical at
+    /// every value.
+    threads: usize,
 }
 
 impl Kb {
@@ -396,6 +432,9 @@ impl Kb {
                 let old = &self.least_cache[&c].model;
                 least_model_delta(&view, &d, old, &touched, &Budget::unlimited())
                     .expect_complete("unlimited delta revalidation always completes")
+            }
+            None if self.threads > 1 => {
+                least_model_parallel(&View::new(&self.ground, c), self.threads)
             }
             None => least_model(&View::new(&self.ground, c)),
         };
@@ -455,10 +494,12 @@ impl Kb {
             return Ok(eval);
         }
         let view = View::new(&self.ground, c);
-        let eval = if opts.decomp {
-            least_model_budgeted(&view, &opts.budget())
-        } else {
+        let eval = if !opts.decomp {
             least_model_monolithic_budgeted(&view, &opts.budget())
+        } else if opts.threads > 1 {
+            least_model_parallel_budgeted(&view, opts.threads, &opts.budget())
+        } else {
+            least_model_budgeted(&view, &opts.budget())
         };
         if let Eval::Complete(m) = &eval {
             let model = m.clone();
@@ -651,6 +692,18 @@ impl Kb {
     /// The mutation epoch: bumped once per applied assert/retract.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Worker threads used by unbudgeted query evaluation.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker-thread count for unbudgeted query evaluation
+    /// (clamped to at least 1). `1` takes the sequential code paths
+    /// exactly; any value yields identical answers.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Installs `new_ground` as the current ground program, logging the
@@ -886,15 +939,28 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<Vec<Interpretation>>, KbError> {
         let c = self.comp(object)?;
-        Ok(if opts.decomp {
-            self.stable_cached(c, &opts.budget(), opts.max_models)
-        } else {
+        Ok(if !opts.decomp {
             stable_models_monolithic_budgeted(
                 &View::new(&self.ground, c),
                 self.ground.n_atoms,
                 &opts.budget(),
                 opts.max_models,
             )
+        } else if opts.threads > 1 {
+            // Parallel enumeration explores independent rule groups (or
+            // propagated search prefixes) on worker threads; budgeted
+            // maximality filtering afterwards yields the same stable set
+            // as the sequential engine. This path skips the per-group
+            // memo.
+            stable_models_parallel_budgeted(
+                &View::new(&self.ground, c),
+                self.ground.n_atoms,
+                opts.threads,
+                &opts.budget(),
+                opts.max_models,
+            )
+        } else {
+            self.stable_cached(c, &opts.budget(), opts.max_models)
         })
     }
 

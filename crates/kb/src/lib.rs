@@ -33,6 +33,6 @@
 pub mod kb;
 pub mod relation;
 
-pub use kb::{GroundStrategy, Kb, KbBuilder, KbError, QueryOptions};
+pub use kb::{default_threads, GroundStrategy, Kb, KbBuilder, KbError, QueryOptions};
 pub use olp_core::{Budget, Eval, InterruptReason, Interrupted};
 pub use relation::{ArityMismatch, Relation};

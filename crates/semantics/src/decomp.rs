@@ -61,7 +61,8 @@ use crate::stable::maximal_only;
 use crate::stable_solver::enumerate_assumption_free_propagating_budgeted;
 use crate::view::{LocalIdx, View};
 use olp_core::{tarjan_scc, Budget, Eval, FxHashMap, Interpretation, InterruptReason, Interrupted};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 /// The condensation of a view's dependency graph: SCC strata in
 /// topological order plus weakly connected rule groups.
@@ -471,6 +472,276 @@ pub fn least_model_delta(
             }
         }
     }
+    match interrupted {
+        None => Eval::Complete(i),
+        Some(reason) => Eval::Interrupted(Interrupted { reason, partial: i }),
+    }
+}
+
+// ---- Stratum-wavefront least fixpoint --------------------------------
+
+/// Evaluates one stratum's fixpoint against a frozen `global`
+/// interpretation holding the final values of every earlier-level
+/// stratum. Pure function of `(stratum, global)`: all scratch state is
+/// local, so same-level strata can run on different threads.
+///
+/// This is exactly the per-stratum body of
+/// [`least_model_stratified_with`] with `i` split into `global`
+/// (read-only, earlier strata) and `local` (this stratum's derivations;
+/// atom-disjoint from `global` since an atom's rules all share its
+/// stratum). On a budget trip the monotone local prefix derived so far
+/// is returned — a sound under-approximation of the stratum's fixpoint.
+fn wavefront_stratum(
+    view: &View,
+    d: &Decomposition,
+    s: usize,
+    global: &Interpretation,
+    budget: &Budget,
+) -> Result<Interpretation, (InterruptReason, Interpretation)> {
+    let stratum = &d.strata[s];
+    let k = stratum.len();
+    let mut pos_of: FxHashMap<LocalIdx, usize> = FxHashMap::default();
+    for (p, &li) in stratum.iter().enumerate() {
+        pos_of.insert(li, p);
+    }
+    let mut unsat = vec![0u32; k];
+    let mut over = vec![0u32; k];
+    let mut defeat = vec![0u32; k];
+    let mut blocked = vec![false; k];
+    let mut fired = vec![false; k];
+
+    let mut local = Interpretation::new();
+    let mut queue: Vec<olp_core::GLit> = Vec::new();
+    let mut ticker = budget.ticker();
+
+    macro_rules! try_fire {
+        ($p:expr, $li:expr) => {{
+            let p = $p;
+            if unsat[p] == 0 && over[p] == 0 && defeat[p] == 0 && !fired[p] {
+                fired[p] = true;
+                let head = view.rule($li).head;
+                // The head atom belongs to this stratum, so `global`
+                // cannot mention it; consistency is local.
+                if local.insert(head).expect("V preserves consistency") {
+                    queue.push(head);
+                }
+            }
+        }};
+    }
+
+    for (p, &li) in stratum.iter().enumerate() {
+        if let Err(reason) = ticker.tick() {
+            return Err((reason, local));
+        }
+        let r = view.rule(li);
+        blocked[p] = r.body.iter().any(|&b| global.holds(b.complement()));
+        unsat[p] = r.body.iter().filter(|&&b| !global.holds(b)).count() as u32;
+    }
+    for (p, &li) in stratum.iter().enumerate() {
+        // Attackers share the victim's head atom, hence its stratum.
+        over[p] = view
+            .overrulers(li)
+            .iter()
+            .filter(|&&a| !blocked[pos_of[&a]])
+            .count() as u32;
+        defeat[p] = view
+            .defeaters(li)
+            .iter()
+            .filter(|&&a| !blocked[pos_of[&a]])
+            .count() as u32;
+    }
+    for (p, &li) in stratum.iter().enumerate() {
+        if let Err(reason) = ticker.tick() {
+            return Err((reason, local));
+        }
+        try_fire!(p, li);
+    }
+    while let Some(lit) = queue.pop() {
+        if let Err(reason) = ticker.tick() {
+            return Err((reason, local));
+        }
+        let s = s as u32;
+        for &li in view.rules_with_body_lit(lit) {
+            if d.rule_stratum[li as usize] != s {
+                continue;
+            }
+            let p = pos_of[&li];
+            unsat[p] -= 1;
+            try_fire!(p, li);
+        }
+        for &li in view.rules_with_body_lit(lit.complement()) {
+            if d.rule_stratum[li as usize] != s {
+                continue;
+            }
+            let p = pos_of[&li];
+            if blocked[p] {
+                continue;
+            }
+            blocked[p] = true;
+            for &v in view.victims_overrule(li) {
+                let pv = pos_of[&v];
+                over[pv] -= 1;
+                try_fire!(pv, v);
+            }
+            for &v in view.victims_defeat(li) {
+                let pv = pos_of[&v];
+                defeat[pv] -= 1;
+                try_fire!(pv, v);
+            }
+        }
+    }
+    Ok(local)
+}
+
+/// [`least_model_stratified`] with a **stratum-wavefront scheduler**:
+/// strata are bucketed by dependency level (a stratum's level is one
+/// more than the deepest level among its rules' out-of-stratum body
+/// atoms) and all strata of a level run concurrently on `threads`
+/// workers. Same result as the sequential engine for every thread
+/// count; `threads <= 1` takes the sequential code path verbatim.
+pub fn least_model_wavefront(view: &View, threads: usize, budget: &Budget) -> Eval<Interpretation> {
+    let d = Decomposition::new(view);
+    least_model_wavefront_with(view, &d, threads, budget)
+}
+
+/// [`least_model_wavefront`] over a precomputed condensation.
+///
+/// **Soundness of levels.** Body atoms of a stratum-`s` rule (its own
+/// and — since attackers share their victim's stratum — its attackers')
+/// live in SCCs `t <= s`; for `t != s` the level recurrence puts `t`
+/// strictly below `s`. So when a level starts, every out-of-stratum
+/// input is final, same-level strata touch pairwise disjoint atoms, and
+/// each stratum's fixpoint equals its sequential value by induction
+/// over levels.
+///
+/// **Anytime guarantee.** On a budget trip the partial result is the
+/// union of all completed strata plus the monotone local prefixes of
+/// the strata in flight when the trip happened — always a subset of the
+/// least model, the same contract as [`least_model_stratified_budgeted`].
+pub fn least_model_wavefront_with(
+    view: &View,
+    d: &Decomposition,
+    threads: usize,
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return least_model_stratified_with(view, d, budget);
+    }
+    // Dependency level per stratum, ascending over SCC ids (reverse
+    // topological: body SCCs have smaller ids, so they are done).
+    let n_strata = d.strata.len();
+    let mut level = vec![0u32; n_strata];
+    let mut max_level = 0u32;
+    for s in 0..n_strata {
+        let mut lv = 0u32;
+        for &li in &d.strata[s] {
+            for &b in view.rule(li).body.iter() {
+                let t = d.scc_of[b.atom().index()] as usize;
+                if t != s {
+                    lv = lv.max(level[t] + 1);
+                }
+            }
+        }
+        level[s] = lv;
+        if !d.strata[s].is_empty() {
+            max_level = max_level.max(lv);
+        }
+    }
+    // Flatten the non-empty strata into level-contiguous windows.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+    for (s, stratum) in d.strata.iter().enumerate() {
+        if !stratum.is_empty() {
+            buckets[level[s] as usize].push(s as u32);
+        }
+    }
+    let mut flat: Vec<u32> = Vec::new();
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
+    for b in &buckets {
+        if b.is_empty() {
+            continue;
+        }
+        let lo = flat.len();
+        flat.extend_from_slice(b);
+        bounds.push((lo, flat.len()));
+    }
+    if flat.is_empty() {
+        return Eval::Complete(Interpretation::new());
+    }
+
+    // Persistent workers; two barriers per level (start, end). Between
+    // the end barrier and the next start barrier only the main thread
+    // runs, merging the level's results into the global interpretation.
+    let barrier = Barrier::new(threads + 1);
+    let next = AtomicUsize::new(0);
+    let hi = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let global = RwLock::new(Interpretation::new());
+    type StratumResult = Result<Interpretation, (InterruptReason, Interpretation)>;
+    let slots: Vec<Mutex<Option<StratumResult>>> = flat.iter().map(|_| Mutex::new(None)).collect();
+    let mut interrupted: Option<InterruptReason> = None;
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (barrier, next, hi, done, stop) = (&barrier, &next, &hi, &done, &stop);
+            let (global, slots, flat) = (&global, &slots, &flat);
+            scope.spawn(move |_| loop {
+                barrier.wait();
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                let g = global.read().expect("global interpretation lock");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= hi.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let r = wavefront_stratum(view, d, flat[i] as usize, &g, budget);
+                    if r.is_err() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("slot") = Some(r);
+                }
+                drop(g);
+                barrier.wait();
+            });
+        }
+        for &(lo, hi_b) in &bounds {
+            next.store(lo, Ordering::Relaxed);
+            hi.store(hi_b, Ordering::Relaxed);
+            barrier.wait(); // release the level
+            barrier.wait(); // level finished
+            let mut g = global.write().expect("global interpretation lock");
+            for slot in &slots[lo..hi_b] {
+                // `None` = skipped after a sibling's budget trip set
+                // `stop`; the trip itself recorded an `Err` slot.
+                match slot.lock().expect("slot").take() {
+                    Some(Ok(local)) => {
+                        for l in local.literals() {
+                            g.insert(l).expect("strata are atom-disjoint");
+                        }
+                    }
+                    Some(Err((reason, partial))) => {
+                        interrupted.get_or_insert(reason);
+                        for l in partial.literals() {
+                            g.insert(l).expect("strata are atom-disjoint");
+                        }
+                    }
+                    None => {}
+                }
+            }
+            drop(g);
+            if interrupted.is_some() {
+                break;
+            }
+        }
+        done.store(true, Ordering::Release);
+        barrier.wait(); // wake the workers so they observe `done`
+    })
+    .expect("scope");
+
+    let i = global.into_inner().expect("global interpretation lock");
     match interrupted {
         None => Eval::Complete(i),
         Some(reason) => Eval::Interrupted(Interrupted { reason, partial: i }),
@@ -944,6 +1215,56 @@ mod tests {
                 Eval::Complete(m) => assert_eq!(m, full),
                 Eval::Interrupted(Interrupted { partial, .. }) => {
                     assert!(partial.is_subset(&full), "steps={steps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_agrees_with_stratified() {
+        for src in [
+            TWO_FIG2,
+            "module c2 { bird(penguin). bird(pigeon). fly(X) :- bird(X).
+                -ground_animal(X) :- bird(X). }
+             module c1 < c2 { ground_animal(penguin). -fly(X) :- ground_animal(X). }",
+            "a :- b. -a :- b. b.",
+            "p. -p.",
+            "module c2 { a. b. c. }
+             module c1 < c2 { -a :- b, c. -b :- a. -b :- -b. }",
+            "p :- q. q :- p. r :- p.",
+        ] {
+            let (_, g) = ground(src);
+            for c in 0..g.order.len() {
+                let v = View::new(&g, CompId(c as u32));
+                let seq = least_model_stratified(&v);
+                for threads in [1, 2, 4] {
+                    assert_eq!(
+                        least_model_wavefront(&v, threads, &Budget::unlimited())
+                            .expect_complete("unlimited budget"),
+                        seq,
+                        "wavefront({threads}) vs stratified on {src} in component {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tripped_wavefront_yields_subset_of_least_model() {
+        // A budget-tripped wavefront run returns the union of completed
+        // strata plus monotone prefixes of in-flight ones — always a
+        // subset of the least model, at any thread count.
+        let (_, g) = ground(TWO_FIG2);
+        let v = View::new(&g, CompId(2));
+        let full = least_model_stratified(&v);
+        for threads in [2, 4] {
+            for steps in [1u64, 2, 4, 8, 16, 32, 64] {
+                let b = Budget::with_steps(steps);
+                match least_model_wavefront(&v, threads, &b) {
+                    Eval::Complete(m) => assert_eq!(m, full),
+                    Eval::Interrupted(Interrupted { partial, .. }) => {
+                        assert!(partial.is_subset(&full), "threads={threads} steps={steps}");
+                    }
                 }
             }
         }

@@ -96,6 +96,28 @@ pub fn least_model_budgeted(view: &View, budget: &Budget) -> Eval<Interpretation
     crate::decomp::least_model_stratified_budgeted(view, budget)
 }
 
+/// [`least_model`] with the stratum-wavefront scheduler: independent
+/// strata of the SCC condensation run concurrently on `threads` worker
+/// threads. The result is identical to [`least_model`] for every thread
+/// count, and `threads <= 1` takes the sequential code path verbatim.
+pub fn least_model_parallel(view: &View, threads: usize) -> Interpretation {
+    crate::decomp::least_model_wavefront(view, threads, &Budget::unlimited()).into_value()
+}
+
+/// [`least_model_parallel`] under a [`Budget`].
+///
+/// Same anytime contract as [`least_model_budgeted`]: the partial
+/// result is the union of every completed stratum plus monotone
+/// prefixes of the strata in flight — always a subset of the unbudgeted
+/// least model.
+pub fn least_model_parallel_budgeted(
+    view: &View,
+    threads: usize,
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    crate::decomp::least_model_wavefront(view, threads, budget)
+}
+
 /// Least fixpoint of `V_{P,C}` by a single monolithic worklist, without
 /// the stratified decomposition. Kept as the `--no-decomp` escape hatch
 /// and the differential-testing baseline for [`least_model`].

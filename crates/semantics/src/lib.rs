@@ -74,14 +74,15 @@ pub use assumption::{
 pub use decomp::{
     enumerate_assumption_free_decomposed, enumerate_assumption_free_decomposed_budgeted,
     least_model_delta, least_model_stratified, least_model_stratified_budgeted,
-    least_model_stratified_with, stable_models_decomposed, stable_models_decomposed_budgeted,
-    stable_models_decomposed_cached, Decomposition,
+    least_model_stratified_with, least_model_wavefront, least_model_wavefront_with,
+    stable_models_decomposed, stable_models_decomposed_budgeted, stable_models_decomposed_cached,
+    Decomposition,
 };
 pub use explain::{explain, explain_budgeted, explain_in, render_why, Fate, Proof, Why};
 pub use fixpoint::{
     least_model, least_model_budgeted, least_model_monolithic, least_model_monolithic_budgeted,
-    least_model_naive, least_model_naive_budgeted, least_model_restricted,
-    least_model_restricted_budgeted, v_step,
+    least_model_naive, least_model_naive_budgeted, least_model_parallel,
+    least_model_parallel_budgeted, least_model_restricted, least_model_restricted_budgeted, v_step,
 };
 pub use model::{check_model, is_model, ModelViolation};
 pub use olp_core::{
@@ -95,12 +96,13 @@ pub use skeptical::{
 pub use stable::{
     derivability_closure, enumerate_assumption_free, enumerate_assumption_free_budgeted,
     enumerate_models, extend_to_exhaustive, has_total_model, is_exhaustive, maximal_only,
-    stable_models, stable_models_budgeted, stable_models_monolithic_budgeted, stable_models_naive,
+    maximal_only_budgeted, stable_models, stable_models_budgeted,
+    stable_models_monolithic_budgeted, stable_models_naive,
 };
 pub use stable_solver::{
     enumerate_assumption_free_parallel, enumerate_assumption_free_parallel_budgeted,
     enumerate_assumption_free_propagating, enumerate_assumption_free_propagating_budgeted,
-    stable_models_parallel, stable_models_propagating,
+    stable_models_parallel, stable_models_parallel_budgeted, stable_models_propagating,
 };
 pub use view::{LocalIdx, View, ViewStats};
 

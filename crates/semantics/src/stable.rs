@@ -244,6 +244,61 @@ pub fn maximal_only(models: Vec<Interpretation>) -> Vec<Interpretation> {
     out
 }
 
+/// Budgeted [`maximal_only`]: same result on completion, but the
+/// quadratic pairwise filter ticks the budget once per comparison, so
+/// a deadline or cancellation stops it promptly even over a huge model
+/// set (an interrupted enumeration can hand this function hundreds of
+/// thousands of candidates). On interruption no enumerated model is
+/// dropped: the not-yet-confirmed remainder is appended unfiltered, so
+/// the partial set may contain non-maximal assumption-free models —
+/// which the `Interrupted` wrapper already signals.
+pub fn maximal_only_budgeted(
+    models: Vec<Interpretation>,
+    budget: &Budget,
+) -> Eval<Vec<Interpretation>> {
+    if budget.is_unlimited() {
+        return Eval::Complete(maximal_only(models));
+    }
+    let mut ticker = budget.ticker();
+    let mut out: Vec<Interpretation> = Vec::new();
+    for (i, m) in models.iter().enumerate() {
+        let mut interrupted = None;
+        let mut keep = true;
+        for n in &models {
+            if let Err(reason) = ticker.tick() {
+                interrupted = Some(reason);
+                break;
+            }
+            if m.is_proper_subset(n) {
+                keep = false;
+                break;
+            }
+        }
+        if keep && interrupted.is_none() {
+            for n in &out {
+                if let Err(reason) = ticker.tick() {
+                    interrupted = Some(reason);
+                    break;
+                }
+                if n == m {
+                    keep = false;
+                    break;
+                }
+            }
+        }
+        if let Some(reason) = interrupted {
+            drop(ticker);
+            let mut partial = out;
+            partial.extend_from_slice(&models[i..]);
+            return Eval::Interrupted(Interrupted { reason, partial });
+        }
+        if keep {
+            out.push(m.clone());
+        }
+    }
+    Eval::Complete(out)
+}
+
 /// The **stable models**: maximal assumption-free models (Definition 9).
 ///
 /// Splits the view into independent rule groups first

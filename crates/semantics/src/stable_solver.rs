@@ -640,6 +640,37 @@ pub fn stable_models_parallel(view: &View, n_atoms: usize, threads: usize) -> Ve
     maximal_only(enumerate_assumption_free_parallel(view, n_atoms, threads))
 }
 
+/// Budgeted stable models via the parallel enumerator: parallel
+/// assumption-free enumeration followed by the **budgeted** maximality
+/// filter ([`crate::stable::maximal_only_budgeted`]). The filter must
+/// share the budget: an enumeration interrupted by a deadline can hand
+/// it a huge candidate set, and an unbudgeted quadratic pass would then
+/// dwarf the deadline it was meant to honour. When the enumeration was
+/// itself interrupted its reason wins, and the partial set may contain
+/// non-maximal assumption-free models (the filter gets no budget left).
+pub fn stable_models_parallel_budgeted(
+    view: &View,
+    n_atoms: usize,
+    threads: usize,
+    budget: &Budget,
+    max_models: Option<usize>,
+) -> Eval<Vec<Interpretation>> {
+    let (af, reason) = match enumerate_assumption_free_parallel_budgeted(
+        view, n_atoms, threads, budget, max_models,
+    ) {
+        Eval::Complete(ms) => (ms, None),
+        Eval::Interrupted(i) => (i.partial, Some(i.reason)),
+    };
+    let filtered = crate::stable::maximal_only_budgeted(af, budget);
+    match reason {
+        None => filtered,
+        Some(reason) => Eval::Interrupted(Interrupted {
+            reason,
+            partial: filtered.into_value(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,7 @@
 //! common flags:
 //!        --exhaustive                      use the reference grounder (default: smart)
 //!        --no-decomp                       disable component-wise evaluation
+//!        --threads N                       worker threads (grounding + evaluation)
 //!        --timeout SECS                    wall-clock limit; partial results, exit 124
 //!        --max-steps N                     engine work-unit limit; same degradation
 //!        --max-models N                    stop model enumeration after N models
@@ -20,13 +21,14 @@
 //! marks it with a `PARTIAL` banner, and exits with code **124** (the
 //! `timeout(1)` convention).
 
-use ordered_logic::kb::KbError;
+use ordered_logic::kb::{default_threads, KbError};
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
     credulous_consequences_budgeted, enumerate_assumption_free_decomposed_budgeted,
-    enumerate_assumption_free_propagating_budgeted, explain_in, least_model_budgeted,
-    least_model_monolithic_budgeted, render_why, skeptical_consequences_budgeted,
-    stable_models_budgeted, stable_models_monolithic_budgeted,
+    enumerate_assumption_free_parallel_budgeted, enumerate_assumption_free_propagating_budgeted,
+    explain_in, least_model_budgeted, least_model_monolithic_budgeted,
+    least_model_parallel_budgeted, render_why, skeptical_consequences_budgeted,
+    stable_models_budgeted, stable_models_monolithic_budgeted, stable_models_parallel_budgeted,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -44,6 +46,10 @@ fn usage() -> ExitCode {
 evaluation:
   --no-decomp        disable component-wise evaluation (SCC condensation
                      and product-form enumeration); use the monolithic engines
+  --threads N        worker threads for grounding, the stratum-wavefront
+                     least model, and stable enumeration (default: the
+                     OLP_THREADS env var, else all cores; 1 = sequential;
+                     results are identical at every value)
 resource limits (any command):
   --timeout SECS     wall-clock limit (fractions allowed); exits 124 when hit
   --max-steps N      cap on engine work units; exits 124 when hit
@@ -60,6 +66,8 @@ struct Limits {
     max_models: Option<usize>,
     /// Component-wise evaluation (on unless `--no-decomp`).
     decomp: bool,
+    /// Worker threads (`--threads N`, default [`default_threads`]).
+    threads: usize,
 }
 
 impl Default for Limits {
@@ -69,6 +77,7 @@ impl Default for Limits {
             max_steps: None,
             max_models: None,
             decomp: true,
+            threads: default_threads(),
         }
     }
 }
@@ -97,6 +106,15 @@ impl Limits {
                         format!("--max-models: `{val}` is not a non-negative integer")
                     })?);
             }
+            "threads" => {
+                let n: usize = val
+                    .parse()
+                    .map_err(|_| format!("--threads: `{val}` is not a positive integer"))?;
+                if n == 0 {
+                    return Err(format!("--threads: `{val}` must be at least 1"));
+                }
+                self.threads = n;
+            }
             _ => return Err(format!("unknown limit flag --{name}")),
         }
         Ok(())
@@ -107,32 +125,45 @@ impl Limits {
         Budget::limited(self.max_steps, self.timeout.map(|t| Instant::now() + t))
     }
 
-    /// Least model under these limits, routed through the decomposed or
-    /// monolithic engine per `--no-decomp`.
+    /// Least model under these limits, routed through the wavefront,
+    /// decomposed, or monolithic engine per `--threads`/`--no-decomp`.
     fn least(&self, view: &View, budget: &Budget) -> Eval<Interpretation> {
-        if self.decomp {
-            least_model_budgeted(view, budget)
-        } else {
+        if !self.decomp {
             least_model_monolithic_budgeted(view, budget)
+        } else if self.threads > 1 {
+            least_model_parallel_budgeted(view, self.threads, budget)
+        } else {
+            least_model_budgeted(view, budget)
         }
     }
 
-    /// Stable models under these limits (decomposed or monolithic).
+    /// Stable models under these limits (parallel, decomposed, or
+    /// monolithic).
     fn stable(&self, view: &View, n_atoms: usize, budget: &Budget) -> Eval<Vec<Interpretation>> {
-        if self.decomp {
-            stable_models_budgeted(view, n_atoms, budget, self.max_models)
-        } else {
+        if !self.decomp {
             stable_models_monolithic_budgeted(view, n_atoms, budget, self.max_models)
+        } else if self.threads > 1 {
+            stable_models_parallel_budgeted(view, n_atoms, self.threads, budget, self.max_models)
+        } else {
+            stable_models_budgeted(view, n_atoms, budget, self.max_models)
         }
     }
 
-    /// Assumption-free models under these limits (decomposed or
-    /// monolithic propagating search).
+    /// Assumption-free models under these limits (parallel, decomposed,
+    /// or monolithic propagating search).
     fn af(&self, view: &View, n_atoms: usize, budget: &Budget) -> Eval<Vec<Interpretation>> {
-        if self.decomp {
-            enumerate_assumption_free_decomposed_budgeted(view, n_atoms, budget, self.max_models)
-        } else {
+        if !self.decomp {
             enumerate_assumption_free_propagating_budgeted(view, n_atoms, budget, self.max_models)
+        } else if self.threads > 1 {
+            enumerate_assumption_free_parallel_budgeted(
+                view,
+                n_atoms,
+                self.threads,
+                budget,
+                self.max_models,
+            )
+        } else {
+            enumerate_assumption_free_decomposed_budgeted(view, n_atoms, budget, self.max_models)
         }
     }
 }
@@ -160,7 +191,7 @@ struct Loaded {
     ground: GroundProgram,
 }
 
-fn load(path: &str, exhaustive: bool, budget: &Budget) -> Result<Loaded, CliFail> {
+fn load(path: &str, exhaustive: bool, budget: &Budget, threads: usize) -> Result<Loaded, CliFail> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| CliFail::Msg(format!("cannot read {path}: {e}")))?;
     let mut world = World::new();
@@ -168,6 +199,7 @@ fn load(path: &str, exhaustive: bool, budget: &Budget) -> Result<Loaded, CliFail
     prog.order().map_err(|e| CliFail::Msg(e.to_string()))?;
     let cfg = GroundConfig {
         budget: budget.clone(),
+        threads,
         ..GroundConfig::default()
     };
     let ground = if exhaustive {
@@ -211,7 +243,7 @@ fn partial_banner(what: &str, reason: InterruptReason) -> String {
 
 fn cmd_check(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
     let budget = limits.budget();
-    let l = load(path, exhaustive, &budget)?;
+    let l = load(path, exhaustive, &budget, limits.threads)?;
     println!(
         "{path}: OK — {} components, {} rules, {} ground instances, {} atoms",
         l.prog.components.len(),
@@ -274,7 +306,7 @@ fn cmd_models(
     limits: &Limits,
 ) -> CmdResult {
     let budget = limits.budget();
-    let l = load(path, exhaustive, &budget)?;
+    let l = load(path, exhaustive, &budget, limits.threads)?;
     let comps: Vec<CompId> = match component {
         Some(name) => vec![find_component(&l, name)?],
         None => (0..l.prog.components.len() as u32).map(CompId).collect(),
@@ -356,7 +388,7 @@ fn cmd_query(
     limits: &Limits,
 ) -> CmdResult {
     let budget = limits.budget();
-    let mut l = load(path, exhaustive, &budget)?;
+    let mut l = load(path, exhaustive, &budget, limits.threads)?;
     let c = find_component(&l, component)?;
     cmd_query_loaded(&mut l, c, pattern, explain, &budget, limits).map_err(CliFail::Msg)
 }
@@ -377,7 +409,7 @@ fn repl_opts(limits: &Limits) -> QueryOptions {
     if !limits.decomp {
         o = o.no_decomp();
     }
-    o
+    o.threads(limits.threads)
 }
 
 /// Applies one live mutation with timing and instance-count output.
@@ -436,6 +468,7 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
     let prog = parse_program(&mut world, &src).map_err(|e| CliFail::Msg(e.to_string()))?;
     let cfg = GroundConfig {
         budget: limits.budget(),
+        threads: limits.threads,
         ..GroundConfig::default()
     };
     let strategy = if exhaustive {
@@ -449,6 +482,7 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
     let mut kb = KbBuilder::from_parts(world, prog)
         .build_with(strategy, &cfg)
         .map_err(|e| CliFail::Msg(e.to_string()))?;
+    kb.set_threads(limits.threads);
     let mut current = match kb.objects().first() {
         Some(first) => first.to_string(),
         None => return Err(CliFail::Msg(format!("{path}: program has no components"))),
@@ -638,7 +672,7 @@ fn main() -> ExitCode {
                 Some((n, v)) => (n, Some(v.to_string())),
                 None => (body, None),
             };
-            if matches!(name, "timeout" | "max-steps" | "max-models") {
+            if matches!(name, "timeout" | "max-steps" | "max-models" | "threads") {
                 let val = match inline_val {
                     Some(v) => v,
                     None => {

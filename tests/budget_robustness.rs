@@ -230,6 +230,67 @@ fn expired_deadline_interrupts_immediately() {
 }
 
 #[test]
+fn cancellation_stops_parallel_grounding_promptly() {
+    // A cancelled budget must stop every grounding worker at the next
+    // spend-pool flush: the call returns `Cancelled` without grounding
+    // the whole (deliberately large) workload, and well within a bound
+    // that full grounding of a hung worker would blow through.
+    use olp_workload::GraphShape;
+    let mut w = World::new();
+    let prog = olp_workload::ancestor(
+        &mut w,
+        GraphShape::Random {
+            edges: 900,
+            seed: 5,
+        },
+        300,
+    );
+    let budget = Budget::cancellable();
+    budget.cancel();
+    let cfg = GroundConfig {
+        budget: budget.clone(),
+        threads: 8,
+        ..GroundConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let res = ordered_logic::ground::ground_smart(&mut w, &prog, &cfg);
+    assert!(
+        matches!(
+            res,
+            Err(GroundError::Interrupted(InterruptReason::Cancelled))
+        ),
+        "pre-cancelled budget must interrupt parallel grounding, got {res:?}"
+    );
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "workers did not observe cancellation promptly"
+    );
+}
+
+#[test]
+fn cancellation_stops_the_wavefront_fixpoint() {
+    // Same contract for the stratum-wavefront least model: every worker
+    // shares the budget, so a cancellation trips all in-flight strata
+    // and the merged partial under-approximates the least model.
+    use ordered_logic::semantics::least_model_parallel_budgeted;
+    let (_, g) = workload(11);
+    for ci in 0..g.order.len() {
+        let view = View::new(&g, ordered_logic::core::CompId(ci as u32));
+        let full = least_model(&view);
+        let budget = Budget::cancellable();
+        budget.cancel();
+        match least_model_parallel_budgeted(&view, 4, &budget) {
+            // An empty level schedule can finish before the first probe.
+            Eval::Complete(m) => assert_eq!(m, full),
+            Eval::Interrupted(i) => {
+                assert_eq!(i.reason, InterruptReason::Cancelled);
+                assert!(i.partial.is_subset(&full));
+            }
+        }
+    }
+}
+
+#[test]
 fn cancellation_stops_the_parallel_enumerator() {
     let (_, g) = workload(3);
     let view = View::new(&g, ordered_logic::core::CompId(g.order.len() as u32 - 1));
@@ -254,6 +315,7 @@ proptest! {
         seed in 0u64..40,
         steps in 0u64..400,
         is_assert in any::<bool>(),
+        threads in prop_oneof![Just(1usize), Just(4usize)],
     ) {
         let mut world = World::new();
         let cfg = RandomCfg {
@@ -266,9 +328,18 @@ proptest! {
             edge_prob: 0.5,
         };
         let prog = random_ordered(&mut world, &cfg, seed);
+        // `threads` exercises budget atomicity on both the sequential
+        // and the parallel (BSP) delta-grounding paths: a tripped
+        // mutation must be all-or-nothing regardless of how many
+        // workers were in flight when the budget ran out.
+        let gcfg = GroundConfig {
+            threads,
+            ..GroundConfig::default()
+        };
         let mut kb = KbBuilder::from_parts(world, prog)
-            .build_with(GroundStrategy::Smart, &GroundConfig::default())
+            .build_with(GroundStrategy::Smart, &gcfg)
             .expect("propositional programs always ground");
+        kb.set_threads(threads);
         let objects = ["c0", "c1", "c2"];
         let before: Vec<String> = objects
             .iter()
@@ -278,7 +349,7 @@ proptest! {
             })
             .collect();
         let epoch_before = kb.epoch();
-        let opts = QueryOptions::new().max_steps(steps);
+        let opts = QueryOptions::new().max_steps(steps).threads(threads);
         let ev = if is_assert {
             kb.assert_rule_with("c0", "p0 :- p1, -p2.", &opts)
                 .expect("no hard error")
@@ -306,7 +377,7 @@ proptest! {
         // …and a budgeted revalidation of the now-stale caches yields a
         // sound under-approximation of the new least model.
         let ev = kb
-            .model_with("c0", &QueryOptions::new().max_steps(steps))
+            .model_with("c0", &QueryOptions::new().max_steps(steps).threads(threads))
             .expect("queryable");
         let partial = ev.into_value();
         let full = kb.model("c0").expect("queryable");
