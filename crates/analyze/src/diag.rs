@@ -1,0 +1,320 @@
+//! Diagnostics: codes, severities, rendering (human and JSON).
+//!
+//! A [`Diagnostic`] is the analyzer's unit of output: a stable [`Code`],
+//! a [`Severity`], a human-readable message, and — when the program came
+//! through the parser — the component, rule index, and source [`Pos`] of
+//! the offending syntax. Rendering follows the `file:line:col:
+//! severity[CODE]: message` convention so editors and CI log matchers
+//! can jump to the site.
+
+use olp_core::{CompId, Pos};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never gates.
+    Info,
+    /// Probable authoring mistake; gates under `--deny warnings`.
+    Warn,
+    /// The program is ill-formed (e.g. a cyclic component order);
+    /// always gates.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable diagnostic codes, one per analysis (see `docs/ANALYSIS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// W01 — a rule variable is not bound by any body literal.
+    UnsafeRule,
+    /// W02 — a body literal's predicate (with its sign) has no defining
+    /// rule in any view the rule participates in.
+    UndefinedPredicate,
+    /// W03 — one predicate symbol used at several arities.
+    ArityMismatch,
+    /// W04 — a variable occurs exactly once in a rule.
+    SingletonVariable,
+    /// W05 — a rule head is complementary to an unconditional rule of a
+    /// strictly more specific component: matching instances are always
+    /// overruled.
+    AlwaysOverruled,
+    /// W06 — complementary unconditional heads in mutually defeating
+    /// components: both conclusions are statically undefined.
+    GuaranteedDefeat,
+    /// W07 — a declared `<` edge already follows from the other
+    /// declarations.
+    RedundantOrderEdge,
+    /// W08 — a rule body depends, through the dependency graph, on a
+    /// predicate that can never be derived.
+    DeadRule,
+    /// E01 — the declared component order is not a strict partial order.
+    OrderCycle,
+}
+
+/// Every code, in rendering order.
+pub const ALL_CODES: &[Code] = &[
+    Code::OrderCycle,
+    Code::UnsafeRule,
+    Code::UndefinedPredicate,
+    Code::ArityMismatch,
+    Code::SingletonVariable,
+    Code::AlwaysOverruled,
+    Code::GuaranteedDefeat,
+    Code::RedundantOrderEdge,
+    Code::DeadRule,
+];
+
+impl Code {
+    /// The stable short code (`W01`…`W08`, `E01`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnsafeRule => "W01",
+            Code::UndefinedPredicate => "W02",
+            Code::ArityMismatch => "W03",
+            Code::SingletonVariable => "W04",
+            Code::AlwaysOverruled => "W05",
+            Code::GuaranteedDefeat => "W06",
+            Code::RedundantOrderEdge => "W07",
+            Code::DeadRule => "W08",
+            Code::OrderCycle => "E01",
+        }
+    }
+
+    /// A short kebab-case name for the analysis.
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::UnsafeRule => "unsafe-rule",
+            Code::UndefinedPredicate => "undefined-predicate",
+            Code::ArityMismatch => "arity-mismatch",
+            Code::SingletonVariable => "singleton-variable",
+            Code::AlwaysOverruled => "always-overruled",
+            Code::GuaranteedDefeat => "guaranteed-defeat",
+            Code::RedundantOrderEdge => "redundant-order-edge",
+            Code::DeadRule => "dead-rule",
+            Code::OrderCycle => "order-cycle",
+        }
+    }
+
+    /// The code's severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::OrderCycle => Severity::Error,
+            _ => Severity::Warn,
+        }
+    }
+
+    /// Parses a short code (`"W05"`) back to a [`Code`].
+    pub fn parse(s: &str) -> Option<Code> {
+        ALL_CODES.iter().copied().find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which analysis fired.
+    pub code: Code,
+    /// Its severity (normally [`Code::severity`]).
+    pub severity: Severity,
+    /// Human-readable description, with names already rendered.
+    pub message: String,
+    /// The component the finding is attributed to, if any.
+    pub comp: Option<CompId>,
+    /// Rule index within that component, if the finding is rule-level.
+    pub rule: Option<usize>,
+    /// Source position, when the parser recorded spans.
+    pub pos: Option<Pos>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            comp: None,
+            rule: None,
+            pos: None,
+        }
+    }
+
+    /// Attributes the finding to a component.
+    #[must_use]
+    pub fn in_comp(mut self, comp: CompId) -> Self {
+        self.comp = Some(comp);
+        self
+    }
+
+    /// Attributes the finding to a rule of the component.
+    #[must_use]
+    pub fn at_rule(mut self, rule: usize) -> Self {
+        self.rule = Some(rule);
+        self
+    }
+
+    /// Attaches a source position.
+    #[must_use]
+    pub fn at(mut self, pos: Option<Pos>) -> Self {
+        self.pos = pos;
+        self
+    }
+
+    /// Renders as `file:line:col: severity[CODE]: message` (the
+    /// location is dropped when no span was recorded).
+    pub fn render(&self, file: &str) -> String {
+        match self.pos {
+            Some(p) => format!(
+                "{file}:{p}: {}[{}]: {}",
+                self.severity.label(),
+                self.code,
+                self.message
+            ),
+            None => format!(
+                "{file}: {}[{}]: {}",
+                self.severity.label(),
+                self.code,
+                self.message
+            ),
+        }
+    }
+
+    /// Renders as one JSON object (no trailing newline).
+    pub fn to_json(&self, file: &str) -> String {
+        let mut s = String::from("{");
+        push_json_kv(&mut s, "file", file);
+        s.push(',');
+        push_json_kv(&mut s, "code", self.code.as_str());
+        s.push(',');
+        push_json_kv(&mut s, "name", self.code.name());
+        s.push(',');
+        push_json_kv(&mut s, "severity", self.severity.label());
+        s.push(',');
+        push_json_kv(&mut s, "message", &self.message);
+        if let Some(p) = self.pos {
+            let _ = write!(s, ",\"line\":{},\"col\":{}", p.line, p.col);
+        }
+        if let Some(c) = self.comp {
+            let _ = write!(s, ",\"component\":{}", c.0);
+        }
+        if let Some(r) = self.rule {
+            let _ = write!(s, ",\"rule\":{r}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The highest severity among `diags`, if any.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// Renders a full diagnostic list as a JSON array (pretty enough for
+/// logs: one object per line).
+pub fn to_json_array(diags: &[Diagnostic], file: &str) -> String {
+    if diags.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> = diags
+        .iter()
+        .map(|d| format!("  {}", d.to_json(file)))
+        .collect();
+    format!("[\n{}\n]", body.join(",\n"))
+}
+
+fn push_json_kv(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for ch in val.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_have_severities() {
+        for &c in ALL_CODES {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            match c {
+                Code::OrderCycle => assert_eq!(c.severity(), Severity::Error),
+                _ => assert_eq!(c.severity(), Severity::Warn),
+            }
+        }
+        assert_eq!(Code::parse("W99"), None);
+    }
+
+    #[test]
+    fn render_with_and_without_pos() {
+        let d = Diagnostic::new(Code::AlwaysOverruled, "shadowed");
+        assert_eq!(d.render("p.olp"), "p.olp: warning[W05]: shadowed");
+        let d = d.at(Some(Pos { line: 5, col: 5 }));
+        assert_eq!(d.render("p.olp"), "p.olp:5:5: warning[W05]: shadowed");
+    }
+
+    #[test]
+    fn json_escapes_and_carries_span() {
+        let d = Diagnostic::new(Code::UnsafeRule, "a \"quoted\"\nthing")
+            .at(Some(Pos { line: 2, col: 3 }))
+            .in_comp(CompId(1))
+            .at_rule(4);
+        let j = d.to_json("a b.olp");
+        assert!(j.contains("\"code\":\"W01\""));
+        assert!(j.contains("\\\"quoted\\\"\\n"));
+        assert!(j.contains("\"line\":2,\"col\":3"));
+        assert!(j.contains("\"component\":1"));
+        assert!(j.contains("\"rule\":4"));
+        assert!(to_json_array(&[], "x").starts_with('['));
+        let arr = to_json_array(&[d.clone(), d], "x.olp");
+        assert!(arr.starts_with("[\n") && arr.ends_with("\n]"));
+    }
+
+    #[test]
+    fn severity_ordering_and_max() {
+        assert!(Severity::Info < Severity::Warn && Severity::Warn < Severity::Error);
+        assert_eq!(max_severity(&[]), None);
+        let w = Diagnostic::new(Code::UnsafeRule, "w");
+        let e = Diagnostic::new(Code::OrderCycle, "e");
+        assert_eq!(max_severity(std::slice::from_ref(&w)), Some(Severity::Warn));
+        assert_eq!(max_severity(&[w, e]), Some(Severity::Error));
+    }
+}

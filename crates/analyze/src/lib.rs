@@ -1,0 +1,59 @@
+//! `olp-analyze` — order-aware static analysis for ordered logic
+//! programs.
+//!
+//! The analyzer runs a battery of lints over a parsed (non-ground)
+//! [`OrderedProgram`](olp_core::OrderedProgram) and returns structured
+//! [`Diagnostic`]s. Several lints are specific to *ordered* logic
+//! programming: they read the component order `≤` as a static object
+//! and predict, before any fixpoint runs, which rules can never
+//! contribute to a model (always overruled by a more specific
+//! component, guaranteed to be defeated by an incomparable one, or dead
+//! because the dependency graph bottoms out in undefined predicates).
+//!
+//! | Code | Name | Meaning |
+//! |------|------|---------|
+//! | W01  | unsafe-rule | rule variable unbound by any body literal |
+//! | W02  | undefined-predicate | body literal underivable in every view |
+//! | W03  | arity-mismatch | one predicate symbol, several arities |
+//! | W04  | singleton-variable | variable occurs exactly once |
+//! | W05  | always-overruled | head complementary to a more specific fact |
+//! | W06  | guaranteed-defeat | complementary facts defeat each other |
+//! | W07  | redundant-order-edge | `<` edge implied by the others |
+//! | W08  | dead-rule | body depends transitively on undefined predicates |
+//! | E01  | order-cycle | `<` is not a strict partial order |
+//!
+//! See `docs/ANALYSIS.md` for examples of each. Typical use:
+//!
+//! ```
+//! use olp_core::World;
+//! use olp_parser::parse_program;
+//!
+//! let mut world = World::new();
+//! let prog = parse_program(
+//!     &mut world,
+//!     "module c1 < c2 { bird(tweety). }\n\
+//!      module c2 { fly(X) :- bird(X), winged(X). }",
+//! )
+//! .unwrap();
+//! let diags = olp_analyze::analyze(&world, &prog);
+//! assert_eq!(diags.len(), 1); // W02: `winged` is never defined
+//! assert_eq!(diags[0].code, olp_analyze::Code::UndefinedPredicate);
+//! assert_eq!(diags[0].pos.unwrap().line, 2);
+//! ```
+
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::must_use_candidate,
+    clippy::missing_panics_doc,
+    clippy::module_name_repetitions,
+    clippy::cast_possible_truncation,
+    clippy::doc_markdown,
+    clippy::too_many_lines,
+    clippy::similar_names
+)]
+
+mod diag;
+mod lints;
+
+pub use diag::{max_severity, to_json_array, Code, Diagnostic, Severity, ALL_CODES};
+pub use lints::analyze;

@@ -1,0 +1,683 @@
+//! The analyses (W01–W08, E01).
+//!
+//! Every lint works on the *non-ground* program — the analyzer runs
+//! before grounding, so findings point at the rules as written. The
+//! order-aware lints (W02, W05–W08, E01) treat the component order as a
+//! statically analyzable object, in the spirit of Defs. 2–4 of the
+//! paper: which rules can ever be applicable, overruled, or defeated is
+//! decidable from heads, facts, and `≤` alone.
+
+use crate::diag::{Code, Diagnostic};
+use olp_core::{
+    tarjan_scc, BodyItem, CompId, FxHashMap, FxHashSet, Literal, Order, OrderError, OrderedProgram,
+    Pos, PredId, Rule, Sign, Sym, Term, World,
+};
+
+/// A signed predicate: the unit of definition/derivability tracking.
+/// Body negation is classical in this language, so `-q(X)` requires a
+/// rule with head `-q`, not the absence of `q`.
+type Key = (PredId, Sign);
+
+/// Runs every analysis over `prog`, returning diagnostics sorted by
+/// source position (component, rule, span, code). Deterministic: equal
+/// inputs produce byte-identical output.
+pub fn analyze(world: &World, prog: &OrderedProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let order = match prog.order() {
+        Ok(o) => Some(o),
+        Err(e) => {
+            diags.push(e01_order_error(world, prog, &e));
+            None
+        }
+    };
+    w01_unsafe_rules(world, prog, &mut diags);
+    w03_arity_mismatch(world, prog, &mut diags);
+    w04_singleton_variables(world, prog, &mut diags);
+    if let Some(order) = &order {
+        let avail = available_components(prog, order);
+        w02_w08_definedness(world, prog, &avail, &mut diags);
+        w05_always_overruled(world, prog, order, &mut diags);
+        w06_guaranteed_defeat(world, prog, order, &mut diags);
+        w07_redundant_edges(world, prog, &mut diags);
+    }
+    diags.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    diags
+}
+
+#[allow(clippy::type_complexity)]
+fn sort_key(d: &Diagnostic) -> (u32, usize, u32, u32, &'static str, &str) {
+    let (line, col) = d.pos.map_or((u32::MAX, u32::MAX), |p| (p.line, p.col));
+    (
+        d.comp.map_or(u32::MAX, |c| c.0),
+        d.rule.unwrap_or(usize::MAX),
+        line,
+        col,
+        d.code.as_str(),
+        &d.message,
+    )
+}
+
+fn comp_name<'w>(world: &'w World, prog: &OrderedProgram, c: CompId) -> &'w str {
+    world.syms.name(prog.components[c.index()].name)
+}
+
+fn rule_pos(prog: &OrderedProgram, c: CompId, r: usize) -> Option<Pos> {
+    prog.spans.rule_pos(c.index(), r)
+}
+
+fn body_pos(prog: &OrderedProgram, c: CompId, r: usize, item: usize) -> Option<Pos> {
+    prog.spans
+        .rule(c.index(), r)
+        .and_then(|s| s.body_pos(item))
+        .or_else(|| rule_pos(prog, c, r))
+}
+
+// ---- E01: order errors ------------------------------------------------
+
+fn e01_order_error(world: &World, prog: &OrderedProgram, e: &OrderError) -> Diagnostic {
+    let (comp, msg) = match e {
+        OrderError::Cycle(c) => {
+            (*c, {
+                let name = comp_name(world, prog, *c);
+                format!("component order is cyclic through `{name}`: `<` must be a strict partial order")
+            })
+        }
+        OrderError::SelfEdge(c) => (*c, {
+            let name = comp_name(world, prog, *c);
+            format!("component `{name}` is declared below itself")
+        }),
+        OrderError::UnknownComponent(c) => {
+            (*c, format!("order edge mentions unknown component {}", c.0))
+        }
+    };
+    // Best-effort span: the first declared edge touching the component.
+    let pos = prog
+        .edges
+        .iter()
+        .position(|&(lo, hi)| lo == comp || hi == comp)
+        .and_then(|i| prog.spans.edge_pos(i));
+    Diagnostic::new(Code::OrderCycle, msg).in_comp(comp).at(pos)
+}
+
+// ---- W01: unsafe rules ------------------------------------------------
+
+fn w01_unsafe_rules(world: &World, prog: &OrderedProgram, diags: &mut Vec<Diagnostic>) {
+    for &(c, ri) in &prog.unsafe_rules() {
+        let rule = &prog.components[c.index()].rules[ri];
+        let mut body_vars = Vec::new();
+        for l in rule.body_lits() {
+            l.collect_vars(&mut body_vars);
+        }
+        let unbound: Vec<&str> = rule
+            .vars()
+            .into_iter()
+            .filter(|v| !body_vars.contains(v))
+            .map(|v| world.syms.name(v))
+            .collect();
+        diags.push(
+            Diagnostic::new(
+                Code::UnsafeRule,
+                format!(
+                    "unsafe rule: variable{} {} not bound by any body literal in `{}`",
+                    if unbound.len() == 1 { "" } else { "s" },
+                    unbound
+                        .iter()
+                        .map(|v| format!("`{v}`"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    world.rule_str(rule)
+                ),
+            )
+            .in_comp(c)
+            .at_rule(ri)
+            .at(rule_pos(prog, c, ri)),
+        );
+    }
+}
+
+// ---- W03: arity mismatches --------------------------------------------
+
+fn w03_arity_mismatch(world: &World, prog: &OrderedProgram, diags: &mut Vec<Diagnostic>) {
+    // First use of each predicate *symbol* fixes the expected arity;
+    // later uses at a different arity are flagged once per new arity.
+    let mut first: FxHashMap<Sym, u32> = FxHashMap::default();
+    let mut reported: FxHashSet<(Sym, u32)> = FxHashSet::default();
+    let mut visit = |world: &World,
+                     diags: &mut Vec<Diagnostic>,
+                     lit: &Literal,
+                     c: CompId,
+                     ri: usize,
+                     pos: Option<Pos>| {
+        let info = world.preds.info(lit.pred);
+        let arity = lit.args.len() as u32;
+        match first.get(&info.name) {
+            None => {
+                first.insert(info.name, arity);
+            }
+            Some(&a) if a != arity && reported.insert((info.name, arity)) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::ArityMismatch,
+                        format!(
+                            "predicate `{}` used with arity {arity} but first used with arity {a}",
+                            world.syms.name(info.name)
+                        ),
+                    )
+                    .in_comp(c)
+                    .at_rule(ri)
+                    .at(pos),
+                );
+            }
+            Some(_) => {}
+        }
+    };
+    for (ci, comp) in prog.components.iter().enumerate() {
+        let c = CompId(ci as u32);
+        for (ri, rule) in comp.rules.iter().enumerate() {
+            visit(world, diags, &rule.head, c, ri, rule_pos(prog, c, ri));
+            for (bi, item) in rule.body.iter().enumerate() {
+                if let BodyItem::Lit(l) = item {
+                    visit(world, diags, l, c, ri, body_pos(prog, c, ri, bi));
+                }
+            }
+        }
+    }
+}
+
+// ---- W04: singleton variables -----------------------------------------
+
+/// Where a variable occurrence sits in a rule.
+#[derive(Clone, Copy)]
+struct VarUse {
+    count: usize,
+    /// Body-item index of the first occurrence, if it is a body literal.
+    first_body_lit: Option<usize>,
+}
+
+fn w04_singleton_variables(world: &World, prog: &OrderedProgram, diags: &mut Vec<Diagnostic>) {
+    for (ci, comp) in prog.components.iter().enumerate() {
+        let c = CompId(ci as u32);
+        for (ri, rule) in comp.rules.iter().enumerate() {
+            let mut uses: Vec<(Sym, VarUse)> = Vec::new();
+            let mut bump =
+                |v: Sym, body_lit: Option<usize>| match uses.iter_mut().find(|(s, _)| *s == v) {
+                    Some((_, u)) => u.count += 1,
+                    None => uses.push((
+                        v,
+                        VarUse {
+                            count: 1,
+                            first_body_lit: body_lit,
+                        },
+                    )),
+                };
+            for t in &rule.head.args {
+                count_term_vars(t, &mut |v| bump(v, None));
+            }
+            for (bi, item) in rule.body.iter().enumerate() {
+                match item {
+                    BodyItem::Lit(l) => {
+                        for t in &l.args {
+                            count_term_vars(t, &mut |v| bump(v, Some(bi)));
+                        }
+                    }
+                    BodyItem::Cmp(cmp) => {
+                        let mut vars = Vec::new();
+                        cmp.collect_vars(&mut vars);
+                        // collect_vars dedups per call; comparisons only
+                        // ever *consume* bindings, so one count is right
+                        // for singleton detection.
+                        for v in vars {
+                            bump(v, None);
+                        }
+                    }
+                }
+            }
+            for (v, u) in uses {
+                let name = world.syms.name(v);
+                // `_`-prefixed names opt out, Prolog-style; a lone
+                // occurrence outside a body literal is W01's business
+                // (the rule is unsafe there).
+                if u.count == 1 && !name.starts_with('_') {
+                    if let Some(bi) = u.first_body_lit {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::SingletonVariable,
+                                format!(
+                                    "singleton variable `{name}` in `{}` (rename to `_{name}` if intentional)",
+                                    world.rule_str(rule)
+                                ),
+                            )
+                            .in_comp(c)
+                            .at_rule(ri)
+                            .at(body_pos(prog, c, ri, bi)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Calls `f` once per variable *occurrence* (no deduplication — unlike
+/// `Term::collect_vars`, which is first-occurrence-only).
+fn count_term_vars(t: &Term, f: &mut impl FnMut(Sym)) {
+    match t {
+        Term::Var(v) => f(*v),
+        Term::Const(_) | Term::Int(_) => {}
+        Term::App(_, args) => {
+            for a in args {
+                count_term_vars(a, f);
+            }
+        }
+    }
+}
+
+// ---- W02 + W08: definedness and static deadness ------------------------
+
+/// `avail[j]` = the components whose rules are visible from *some* view
+/// that contains component `j`'s rules, i.e. `{k | ∃c ≤ j with c ≤ k}`.
+/// A rule of `j` participates exactly in the views of components `c ≤
+/// j`, so a body predicate undefined across `avail[j]` is undefined in
+/// every view where the rule could ever fire.
+fn available_components(prog: &OrderedProgram, order: &Order) -> Vec<Vec<u32>> {
+    let n = prog.components.len();
+    let mut avail = vec![vec![false; n]; n];
+    for c in 0..n {
+        let up: Vec<usize> = order.upset(CompId(c as u32)).map(CompId::index).collect();
+        for (j, row) in avail.iter_mut().enumerate() {
+            if order.leq(CompId(c as u32), CompId(j as u32)) {
+                for &k in &up {
+                    row[k] = true;
+                }
+            }
+        }
+    }
+    avail
+        .into_iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter_map(|(k, &b)| b.then_some(k as u32))
+                .collect()
+        })
+        .collect()
+}
+
+/// Definedness facts for one set of visible components, shared between
+/// W02 and W08.
+struct Definedness {
+    /// Signed predicates with at least one defining rule head.
+    defined: Vec<Key>,
+    /// Signed predicates that could be derived by *some* chain of rules
+    /// (greatest fixpoint: cyclic self-support counts, so stable-model
+    /// style choices like `-b :- -b.` are not flagged). Everything not
+    /// here is statically underivable.
+    supportable: Vec<Key>,
+}
+
+impl Definedness {
+    fn is_defined(&self, k: Key) -> bool {
+        self.defined.binary_search(&k).is_ok()
+    }
+    fn is_supportable(&self, k: Key) -> bool {
+        self.supportable.binary_search(&k).is_ok()
+    }
+}
+
+fn w02_w08_definedness(
+    world: &World,
+    prog: &OrderedProgram,
+    avail: &[Vec<u32>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Memoise per distinct visible-component set: many components share
+    // one (e.g. every leaf of a chain sees the whole program).
+    let mut memo: FxHashMap<Vec<u32>, Definedness> = FxHashMap::default();
+    for (ci, comp) in prog.components.iter().enumerate() {
+        let c = CompId(ci as u32);
+        let visible = &avail[ci];
+        if !memo.contains_key(visible) {
+            let rules: Vec<&Rule> = visible
+                .iter()
+                .flat_map(|&k| prog.components[k as usize].rules.iter())
+                .collect();
+            memo.insert(visible.clone(), definedness(&rules));
+        }
+        let def = &memo[visible];
+        for (ri, rule) in comp.rules.iter().enumerate() {
+            let mut direct_undefined = false;
+            let mut dead_via: Option<(usize, &Literal)> = None;
+            for (bi, item) in rule.body.iter().enumerate() {
+                let BodyItem::Lit(l) = item else { continue };
+                let key = (l.pred, l.sign);
+                if !def.is_defined(key) {
+                    direct_undefined = true;
+                    diags.push(
+                        Diagnostic::new(
+                            Code::UndefinedPredicate,
+                            format!(
+                                "body literal `{}` can never hold: no rule or fact in any view of `{}` has a {} `{}` head",
+                                world.lit_str(l),
+                                comp_name(world, prog, c),
+                                if l.sign == Sign::Pos { "positive" } else { "negative" },
+                                world.syms.name(world.preds.info(l.pred).name),
+                            ),
+                        )
+                        .in_comp(c)
+                        .at_rule(ri)
+                        .at(body_pos(prog, c, ri, bi)),
+                    );
+                } else if !def.is_supportable(key) && dead_via.is_none() {
+                    dead_via = Some((bi, l));
+                }
+            }
+            // W08 only when no body literal is *directly* undefined —
+            // that case is W02's, and repeating it as W08 is noise.
+            if let (false, Some((bi, l))) = (direct_undefined, dead_via) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::DeadRule,
+                        format!(
+                            "rule `{}` is statically dead: body literal `{}` is defined but every derivation chain for it bottoms out in an undefined predicate",
+                            world.rule_str(rule),
+                            world.lit_str(l),
+                        ),
+                    )
+                    .in_comp(c)
+                    .at_rule(ri)
+                    .at(body_pos(prog, c, ri, bi)),
+                );
+            }
+        }
+    }
+}
+
+/// Computes defined + supportable signed predicates for a rule set.
+///
+/// Supportability is evaluated SCC-by-SCC on the signed dependency
+/// graph (head → body edges, condensed with [`olp_core::tarjan_scc`]),
+/// in reverse-topological component order so every dependency is
+/// resolved before its dependents; within an SCC a greatest-fixpoint
+/// pruning loop keeps cyclic self-support alive.
+fn definedness(rules: &[&Rule]) -> Definedness {
+    // Dense ids for every signed predicate mentioned anywhere.
+    let mut ids: FxHashMap<Key, u32> = FxHashMap::default();
+    let mut keys: Vec<Key> = Vec::new();
+    let mut id_of = |k: Key, keys: &mut Vec<Key>| -> u32 {
+        *ids.entry(k).or_insert_with(|| {
+            keys.push(k);
+            (keys.len() - 1) as u32
+        })
+    };
+    let mut heads: Vec<Vec<usize>> = Vec::new(); // node -> rule indices
+    let mut bodies: Vec<Vec<u32>> = Vec::new(); // rule -> body nodes
+    let mut adj: Vec<Vec<u32>> = Vec::new();
+    let ensure_node = |n: u32, heads: &mut Vec<Vec<usize>>, adj: &mut Vec<Vec<u32>>| {
+        while heads.len() <= n as usize {
+            heads.push(Vec::new());
+            adj.push(Vec::new());
+        }
+    };
+    for (ri, rule) in rules.iter().enumerate() {
+        let h = id_of((rule.head.pred, rule.head.sign), &mut keys);
+        ensure_node(h, &mut heads, &mut adj);
+        heads[h as usize].push(ri);
+        let mut body_nodes = Vec::new();
+        for l in rule.body_lits() {
+            let b = id_of((l.pred, l.sign), &mut keys);
+            ensure_node(b, &mut heads, &mut adj);
+            adj[h as usize].push(b);
+            body_nodes.push(b);
+        }
+        bodies.push(body_nodes);
+    }
+    let n = keys.len();
+    let defined: Vec<bool> = (0..n).map(|v| !heads[v].is_empty()).collect();
+    let (scc_of, n_sccs) = tarjan_scc(&adj);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_sccs];
+    for (v, &s) in scc_of.iter().enumerate() {
+        members[s as usize].push(v);
+    }
+    let mut supportable = vec![false; n];
+    // Component id 0 is a sink; increasing id order visits dependencies
+    // first (tarjan_scc's reverse-topological guarantee).
+    for scc in &members {
+        // Optimistic start: every defined member might be supportable.
+        let mut live: Vec<bool> = scc.iter().map(|&v| defined[v]).collect();
+        loop {
+            let mut changed = false;
+            for (i, &v) in scc.iter().enumerate() {
+                if !live[i] {
+                    continue;
+                }
+                let supported = heads[v].iter().any(|&ri| {
+                    bodies[ri].iter().all(|&b| {
+                        let b = b as usize;
+                        match scc.iter().position(|&m| m == b) {
+                            Some(j) => live[j],
+                            None => supportable[b],
+                        }
+                    })
+                });
+                if !supported {
+                    live[i] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (i, &v) in scc.iter().enumerate() {
+            supportable[v] = live[i];
+        }
+    }
+    let mut defined_keys: Vec<Key> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &k)| defined[v].then_some(k))
+        .collect();
+    let mut supportable_keys: Vec<Key> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &k)| supportable[v].then_some(k))
+        .collect();
+    defined_keys.sort_unstable();
+    supportable_keys.sort_unstable();
+    Definedness {
+        defined: defined_keys,
+        supportable: supportable_keys,
+    }
+}
+
+// ---- W05: always-overruled rules --------------------------------------
+
+/// A ground fact in a strictly more specific component is unconditional:
+/// always applicable, never blocked. Any less specific rule whose head
+/// unifies with the fact's complement is overruled on every matching
+/// instance (Fig. 1's penguin shadow, read off the order alone).
+fn w05_always_overruled(
+    world: &World,
+    prog: &OrderedProgram,
+    order: &Order,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let facts = ground_facts(prog);
+    for (cj, comp) in prog.components.iter().enumerate() {
+        let victim_comp = CompId(cj as u32);
+        for (rj, rule) in comp.rules.iter().enumerate() {
+            let mut attackers: Vec<&(CompId, usize, &Literal)> = facts
+                .iter()
+                .filter(|(ci, _, f)| {
+                    order.lt(*ci, victim_comp)
+                        && f.pred == rule.head.pred
+                        && f.sign == rule.head.sign.flip()
+                        && match_pattern(&rule.head.args, &f.args)
+                })
+                .collect();
+            attackers.sort_by_key(|(ci, fi, _)| (ci.0, *fi));
+            if let Some((ci, _, f)) = attackers.first() {
+                let extra = if attackers.len() > 1 {
+                    format!(" (and {} more)", attackers.len() - 1)
+                } else {
+                    String::new()
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::AlwaysOverruled,
+                        format!(
+                            "rule `{}` is always overruled on instances matching `{}`: more specific component `{}` asserts the complement unconditionally{extra}",
+                            world.rule_str(rule),
+                            world.lit_str(f),
+                            comp_name(world, prog, *ci),
+                        ),
+                    )
+                    .in_comp(victim_comp)
+                    .at_rule(rj)
+                    .at(rule_pos(prog, victim_comp, rj)),
+                );
+            }
+        }
+    }
+}
+
+// ---- W06: guaranteed-defeat pairs -------------------------------------
+
+/// Complementary ground facts in components that defeat each other
+/// (equal or incomparable) knock each other out in every view that sees
+/// both: both conclusions are statically undefined (Fig. 2's `mimmo`).
+fn w06_guaranteed_defeat(
+    world: &World,
+    prog: &OrderedProgram,
+    order: &Order,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let facts = ground_facts(prog);
+    let n = prog.components.len();
+    for (i, (c1, _r1, f1)) in facts.iter().enumerate() {
+        for (c2, r2, f2) in facts.iter().skip(i + 1) {
+            if f1.pred != f2.pred || f1.sign != f2.sign.flip() || f1.args != f2.args {
+                continue;
+            }
+            if !order.can_defeat(*c1, *c2) {
+                continue;
+            }
+            // Only meaningful if some view contains both facts.
+            let co_occur = (0..n)
+                .any(|w| order.leq(CompId(w as u32), *c1) && order.leq(CompId(w as u32), *c2));
+            if !co_occur {
+                continue;
+            }
+            let where_ = if c1 == c2 {
+                format!("within module `{}`", comp_name(world, prog, *c1))
+            } else {
+                format!(
+                    "from incomparable modules `{}` and `{}`",
+                    comp_name(world, prog, *c1),
+                    comp_name(world, prog, *c2),
+                )
+            };
+            diags.push(
+                Diagnostic::new(
+                    Code::GuaranteedDefeat,
+                    format!(
+                        "facts `{}` and `{}` {where_} defeat each other: both conclusions are statically undefined in every view that sees them",
+                        world.lit_str(f1),
+                        world.lit_str(f2),
+                    ),
+                )
+                .in_comp(*c2)
+                .at_rule(*r2)
+                .at(rule_pos(prog, *c2, *r2)),
+            );
+        }
+    }
+}
+
+/// All ground facts as `(component, rule index, head literal)`.
+fn ground_facts(prog: &OrderedProgram) -> Vec<(CompId, usize, &Literal)> {
+    let mut out = Vec::new();
+    for (ci, comp) in prog.components.iter().enumerate() {
+        for (ri, rule) in comp.rules.iter().enumerate() {
+            if rule.is_fact() && rule.head.is_ground() {
+                out.push((CompId(ci as u32), ri, &rule.head));
+            }
+        }
+    }
+    out
+}
+
+/// Matches pattern terms (may contain variables, bound consistently)
+/// against ground terms.
+fn match_pattern(pattern: &[Term], ground: &[Term]) -> bool {
+    let mut bindings: Vec<(Sym, &Term)> = Vec::new();
+    pattern
+        .iter()
+        .zip(ground)
+        .all(|(p, g)| term_match(p, g, &mut bindings))
+}
+
+fn term_match<'a>(p: &Term, g: &'a Term, bindings: &mut Vec<(Sym, &'a Term)>) -> bool {
+    match p {
+        Term::Var(v) => {
+            if let Some((_, bound)) = bindings.iter().find(|(s, _)| s == v) {
+                *bound == g
+            } else {
+                bindings.push((*v, g));
+                true
+            }
+        }
+        Term::Const(c) => matches!(g, Term::Const(d) if c == d),
+        Term::Int(i) => matches!(g, Term::Int(j) if i == j),
+        Term::App(f, fargs) => match g {
+            Term::App(gf, gargs) if gf == f && gargs.len() == fargs.len() => fargs
+                .iter()
+                .zip(gargs)
+                .all(|(a, b)| term_match(a, b, bindings)),
+            _ => false,
+        },
+    }
+}
+
+// ---- W07: redundant order edges ---------------------------------------
+
+/// A declared `<` edge already implied by the others (transitively, or
+/// an outright duplicate) adds nothing to the order.
+fn w07_redundant_edges(world: &World, prog: &OrderedProgram, diags: &mut Vec<Diagnostic>) {
+    for (ei, &(lo, hi)) in prog.edges.iter().enumerate() {
+        let duplicate = prog.edges[..ei].contains(&(lo, hi));
+        let implied = duplicate || {
+            // Exclude *every* copy of this edge, so a duplicated pair
+            // is reported once (as a duplicate) rather than twice.
+            let rest: Vec<(CompId, CompId)> = prog
+                .edges
+                .iter()
+                .filter(|&&e| e != (lo, hi))
+                .copied()
+                .collect();
+            match Order::from_edges(prog.components.len(), &rest) {
+                Ok(o) => o.lt(lo, hi),
+                Err(_) => false,
+            }
+        };
+        if implied {
+            diags.push(
+                Diagnostic::new(
+                    Code::RedundantOrderEdge,
+                    format!(
+                        "order edge `{} < {}` is {}",
+                        comp_name(world, prog, lo),
+                        comp_name(world, prog, hi),
+                        if duplicate {
+                            "declared more than once"
+                        } else {
+                            "already implied transitively by the other declarations"
+                        },
+                    ),
+                )
+                .in_comp(lo)
+                .at(prog.spans.edge_pos(ei)),
+            );
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Positive and negative cases for every analysis (W01–W08, E01).
+
+use olp_analyze::{analyze, max_severity, Code, Diagnostic, Severity};
+use olp_core::World;
+use olp_parser::parse_program;
+
+fn run(src: &str) -> Vec<Diagnostic> {
+    let mut world = World::new();
+    let prog = parse_program(&mut world, src).expect("test program must parse");
+    analyze(&world, &prog)
+}
+
+fn codes(src: &str) -> Vec<&'static str> {
+    run(src).iter().map(|d| d.code.as_str()).collect()
+}
+
+// ---- W01: unsafe rule -------------------------------------------------
+
+#[test]
+fn w01_fires_on_head_var_unbound_by_body() {
+    assert_eq!(codes("q(a). p(X) :- q(a)."), vec!["W01"]);
+}
+
+#[test]
+fn w01_fires_on_unsafe_fact() {
+    let diags = run("p(X).");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::UnsafeRule);
+    assert!(diags[0].message.contains("`X`"));
+}
+
+#[test]
+fn w01_quiet_when_body_binds_all_vars() {
+    assert_eq!(codes("q(a). p(X) :- q(X)."), Vec::<&str>::new());
+}
+
+// ---- W02: undefined predicate -----------------------------------------
+
+#[test]
+fn w02_fires_on_undefined_body_predicate() {
+    assert_eq!(codes("p(a) :- q(a)."), vec!["W02"]);
+}
+
+#[test]
+fn w02_is_sign_aware() {
+    // `q` is defined positively but `-q` never is: classical negation
+    // in the body needs its own rules.
+    assert_eq!(codes("q(a). p(a) :- -q(a)."), vec!["W02"]);
+}
+
+#[test]
+fn w02_sees_definitions_from_lower_components() {
+    // `hi`'s rule participates in the view of `lo`, which contains
+    // `lo`'s rules — so `q` counts as defined.
+    let src = "module lo < hi { q(a). }\nmodule hi { p(X) :- q(X). }";
+    assert_eq!(codes(src), Vec::<&str>::new());
+}
+
+#[test]
+fn w02_fires_when_definition_is_in_unreachable_component() {
+    // `a` and `b` are incomparable with nothing below both: no view
+    // ever contains `a`'s facts alongside `b`'s rule.
+    let src = "module a { q(1). }\nmodule b { p :- q(1). }";
+    assert_eq!(codes(src), vec!["W02"]);
+}
+
+#[test]
+fn w02_quiet_when_defined() {
+    assert_eq!(codes("q(a). p(a) :- q(a)."), Vec::<&str>::new());
+}
+
+// ---- W03: arity mismatch ----------------------------------------------
+
+#[test]
+fn w03_fires_on_mixed_arity() {
+    let diags = run("p(a). p(a, b).");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::ArityMismatch]
+    );
+    assert!(diags[0].message.contains("arity 2"));
+    assert!(diags[0].message.contains("arity 1"));
+}
+
+#[test]
+fn w03_reports_each_new_arity_once() {
+    assert_eq!(codes("p(a). p(a, b). p(b, c). p."), vec!["W03", "W03"]);
+}
+
+#[test]
+fn w03_quiet_on_consistent_arity() {
+    assert_eq!(codes("p(a). p(b)."), Vec::<&str>::new());
+}
+
+// ---- W04: singleton variable ------------------------------------------
+
+#[test]
+fn w04_fires_on_body_singleton() {
+    let diags = run("q(a, b). p(X) :- q(X, Y).");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::SingletonVariable]
+    );
+    assert!(diags[0].message.contains("`Y`"));
+    assert!(diags[0].message.contains("`_Y`"));
+}
+
+#[test]
+fn w04_quiet_on_underscore_prefix() {
+    assert_eq!(codes("q(a, b). p(X) :- q(X, _Y)."), Vec::<&str>::new());
+}
+
+#[test]
+fn w04_quiet_on_repeated_var_and_defers_head_singletons_to_w01() {
+    // `X` used twice: fine. A head-only singleton is W01's finding, not
+    // a W04 on top.
+    assert_eq!(codes("q(a). r(X) :- q(X), q(X)."), Vec::<&str>::new());
+    assert_eq!(codes("q(a). p(X) :- q(a)."), vec!["W01"]);
+}
+
+#[test]
+fn w04_counts_comparison_uses() {
+    assert_eq!(codes("q(1). p(X) :- q(X), X > 0."), Vec::<&str>::new());
+}
+
+// ---- W05: always-overruled rule ---------------------------------------
+
+const PENGUIN: &str = "module c1 < c2 {\n    bird(penguin).\n    ground_animal(penguin).\n}\nmodule c2 {\n    -ground_animal(X) :- bird(X).\n}\n";
+
+#[test]
+fn w05_fires_on_fig1_penguin_shadow() {
+    let diags = run(PENGUIN);
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::AlwaysOverruled]
+    );
+    assert!(diags[0].message.contains("ground_animal(penguin)"));
+    assert!(diags[0].message.contains("`c1`"));
+}
+
+#[test]
+fn w05_quiet_without_matching_fact() {
+    // The specific component talks about a different individual, so the
+    // heads don't unify.
+    let src = "module c1 < c2 {\n    bird(penguin).\n    ground_animal(emu).\n}\nmodule c2 {\n    -ground_animal(penguin) :- bird(penguin).\n}\n";
+    assert_eq!(codes(src), Vec::<&str>::new());
+}
+
+#[test]
+fn w05_quiet_when_attacker_not_strictly_lower() {
+    // Same program, order removed: the components are incomparable, so
+    // the fact defeats rather than overrules (and W06 needs
+    // co-occurrence, which also fails here).
+    let src = "module c1 {\n    bird(penguin).\n    ground_animal(penguin).\n}\nmodule c2 {\n    -ground_animal(X) :- bird(X).\n}\n";
+    let found = codes(src);
+    assert!(!found.contains(&"W05"), "got {found:?}");
+}
+
+// ---- W06: guaranteed-defeat pair --------------------------------------
+
+#[test]
+fn w06_fires_on_fig2_incomparable_complementary_facts() {
+    // Fig. 2: birds and penguins are incomparable; any view built below
+    // both sees `fly(mimmo)` and `-fly(mimmo)` defeat each other.
+    let src = "module birds { fly(mimmo). }\nmodule penguins { -fly(mimmo). }\nmodule obs < birds, penguins { bird(mimmo). }";
+    let diags = run(src);
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::GuaranteedDefeat]
+    );
+    assert!(diags[0].message.contains("fly(mimmo)"));
+}
+
+#[test]
+fn w06_fires_within_one_module() {
+    let diags = run("p(a). -p(a).");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::GuaranteedDefeat]
+    );
+    assert!(diags[0].message.contains("within module"));
+}
+
+#[test]
+fn w06_quiet_without_a_view_containing_both() {
+    // Incomparable and nothing below both: the facts never meet.
+    let src = "module birds { fly(mimmo). }\nmodule penguins { -fly(mimmo). }";
+    assert_eq!(codes(src), Vec::<&str>::new());
+}
+
+#[test]
+fn w06_becomes_w05_when_order_decides() {
+    // Once `penguins < birds`, the specific fact overrules instead of
+    // defeating: W05 on the general fact, no W06.
+    let src = "module penguins < birds { -fly(mimmo). }\nmodule birds { fly(mimmo). }";
+    let found = codes(src);
+    assert_eq!(found, vec!["W05"]);
+}
+
+#[test]
+fn w06_quiet_on_different_arguments() {
+    assert_eq!(codes("p(a). -p(b)."), Vec::<&str>::new());
+}
+
+// ---- W07: redundant order edge ----------------------------------------
+
+#[test]
+fn w07_fires_on_transitively_implied_edge() {
+    let diags = run("module a {} module b {} module c {}\norder a < b < c.\norder a < c.");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::RedundantOrderEdge]
+    );
+    assert!(diags[0].message.contains("implied transitively"));
+}
+
+#[test]
+fn w07_fires_on_duplicate_edge() {
+    let diags = run("module a {} module b {}\norder a < b.\norder a < b.");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::RedundantOrderEdge]
+    );
+    assert!(diags[0].message.contains("more than once"));
+}
+
+#[test]
+fn w07_quiet_on_a_chain() {
+    assert_eq!(
+        codes("module a {} module b {} module c {}\norder a < b < c."),
+        Vec::<&str>::new()
+    );
+}
+
+// ---- W08: statically dead rule ----------------------------------------
+
+#[test]
+fn w08_fires_on_transitive_undefinedness() {
+    // `u` is defined but underivable (its only rule needs `missing`),
+    // so `p`'s rule is dead — but only `u`'s own rule gets the W02.
+    let diags = run("u(a) :- missing(a).\np(a) :- u(a).");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::UndefinedPredicate, Code::DeadRule]
+    );
+    assert!(diags[1].message.contains("u(a)"));
+}
+
+#[test]
+fn w08_keeps_self_supporting_cycles_alive() {
+    // `-b :- -b.` licenses choosing `-b` (p5.olp): a least-fixpoint
+    // analysis would flag it, the greatest fixpoint correctly does not.
+    assert_eq!(codes("-b :- -b."), Vec::<&str>::new());
+    assert_eq!(codes("a :- b.\nb :- a.\nc :- a."), Vec::<&str>::new());
+}
+
+#[test]
+fn w08_quiet_on_derivable_chain() {
+    assert_eq!(
+        codes("base(a).\nu(X) :- base(X).\np(X) :- u(X)."),
+        Vec::<&str>::new()
+    );
+}
+
+// ---- E01: order errors ------------------------------------------------
+
+#[test]
+fn e01_fires_on_order_cycle() {
+    let diags = run("module a {} module b {}\norder a < b.\norder b < a.");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::OrderCycle]
+    );
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert_eq!(max_severity(&diags), Some(Severity::Error));
+}
+
+#[test]
+fn e01_fires_on_self_edge() {
+    let diags = run("module a < a {}");
+    assert_eq!(
+        diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+        vec![Code::OrderCycle]
+    );
+    assert!(diags[0].message.contains("below itself"));
+}
+
+#[test]
+fn e01_skips_order_dependent_lints_but_not_the_rest() {
+    // The cycle makes W02/W05-W08 unanswerable; W01 still runs.
+    let diags = run("module a { p(X). }\nmodule b {}\norder a < b.\norder b < a.");
+    let mut found: Vec<_> = diags.iter().map(|d| d.code).collect();
+    found.sort();
+    assert_eq!(found, vec![Code::UnsafeRule, Code::OrderCycle]);
+}
+
+#[test]
+fn e01_quiet_on_valid_order() {
+    assert_eq!(
+        codes("module a {} module b {}\norder a < b."),
+        Vec::<&str>::new()
+    );
+}
+
+// ---- cross-cutting ----------------------------------------------------
+
+#[test]
+fn diagnostics_are_sorted_and_deterministic() {
+    let src =
+        "module m1 { p(X) :- miss_one(X). }\nmodule m2 { q(Y) :- miss_two(Y). }\norder m1 < m2.";
+    let a = run(src);
+    let b = run(src);
+    assert_eq!(a, b);
+    let comps: Vec<_> = a.iter().map(|d| d.comp.unwrap().0).collect();
+    let mut sorted = comps.clone();
+    sorted.sort_unstable();
+    assert_eq!(comps, sorted);
+}
+
+#[test]
+fn clean_program_has_no_diagnostics() {
+    let src = "module c1 < c2 {\n    bird(tweety).\n}\nmodule c2 {\n    fly(X) :- bird(X).\n}\n";
+    assert_eq!(run(src), Vec::<Diagnostic>::new());
+}

@@ -1,0 +1,89 @@
+//! Span regression tests: positions recorded by the lexer must survive
+//! parsing and come out of the analyzer attached to the right
+//! diagnostic — including through comments and multi-line rules.
+
+use olp_analyze::{analyze, Code, Diagnostic};
+use olp_core::{Pos, World};
+use olp_parser::parse_program;
+
+fn run(src: &str) -> Vec<Diagnostic> {
+    let mut world = World::new();
+    let prog = parse_program(&mut world, src).expect("test program must parse");
+    analyze(&world, &prog)
+}
+
+fn pos(d: &Diagnostic) -> Pos {
+    d.pos.expect("diagnostic should carry a span")
+}
+
+#[test]
+fn rule_head_position_reaches_the_diagnostic() {
+    // W01 anchors at the rule head.
+    let src = "q(a).\n  p(X) :- q(a).\n";
+    let diags = run(src);
+    assert_eq!(diags[0].code, Code::UnsafeRule);
+    assert_eq!(pos(&diags[0]), Pos { line: 2, col: 3 });
+}
+
+#[test]
+fn body_literal_position_survives_comments_and_newlines() {
+    // W02 anchors at the offending body literal, which sits on its own
+    // line after a `%` comment and a blank line.
+    let src =
+        "% leading comment\nq(a).\n\np(X) :-\n    q(X),\n    missing(X). % trailing comment\n";
+    let diags = run(src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::UndefinedPredicate);
+    assert_eq!(pos(&diags[0]), Pos { line: 6, col: 5 });
+}
+
+#[test]
+fn slash_slash_comments_do_not_shift_spans() {
+    let src = "// comment\nq(a). // same line\np(a) :- missing(a).\n";
+    let diags = run(src);
+    assert_eq!(diags[0].code, Code::UndefinedPredicate);
+    assert_eq!(pos(&diags[0]), Pos { line: 3, col: 9 });
+}
+
+#[test]
+fn penguin_w05_span_points_at_the_shadowed_rule() {
+    // Mirrors examples/programs/penguin.olp: the always-overruled rule
+    // is the module body's rule on line 5, indented four spaces.
+    let src = "module c1 < c2 {\n    bird(penguin).\n    ground_animal(penguin).\n}\nmodule c2 {\n    -ground_animal(X) :- bird(X).\n}\n";
+    let diags = run(src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::AlwaysOverruled);
+    assert_eq!(pos(&diags[0]), Pos { line: 6, col: 5 });
+}
+
+#[test]
+fn order_edge_position_reaches_e01_and_w07() {
+    // The edge span is the position of the upper module name.
+    let cyc = "module a {}\nmodule b {}\norder a < b.\norder b < a.\n";
+    let diags = run(cyc);
+    assert_eq!(diags[0].code, Code::OrderCycle);
+    // First edge mentioning the cyclic component: `a < b` on line 3,
+    // where `b` starts at column 11.
+    assert_eq!(pos(&diags[0]), Pos { line: 3, col: 11 });
+
+    let red = "module a {}\nmodule b {}\nmodule c {}\norder a < b < c.\norder a < c.\n";
+    let diags = run(red);
+    assert_eq!(diags[0].code, Code::RedundantOrderEdge);
+    assert_eq!(pos(&diags[0]), Pos { line: 5, col: 11 });
+}
+
+#[test]
+fn spans_track_rules_inside_module_bodies() {
+    let src = "module m {\n    q(a).\n    p(a, b) :- q(a).\n    p(a) :- q(a).\n}\n";
+    let diags = run(src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::ArityMismatch);
+    // `p(a)` head on line 4, col 5 (first use fixed arity 2).
+    assert_eq!(pos(&diags[0]), Pos { line: 4, col: 5 });
+}
+
+#[test]
+fn multibyte_free_ascii_columns_are_one_based() {
+    let diags = run("p(X).");
+    assert_eq!(pos(&diags[0]), Pos { line: 1, col: 1 });
+}

@@ -231,7 +231,7 @@ impl Budget {
             return Err(InterruptReason::Steps);
         }
         if prior % PROBE_INTERVAL == 0 {
-            return self.probe(inner);
+            return Self::probe(inner);
         }
         Ok(())
     }
@@ -247,7 +247,7 @@ impl Budget {
         if prior.saturating_add(n) > inner.max_steps {
             return Err(InterruptReason::Steps);
         }
-        self.probe(inner)
+        Self::probe(inner)
     }
 
     /// An amortised per-item ticker for hot loops.
@@ -296,7 +296,7 @@ impl Budget {
                 }
             })
             .map_err(|_| InterruptReason::Steps)?;
-        if let Err(reason) = self.probe(inner) {
+        if let Err(reason) = Self::probe(inner) {
             self.refund(claimed);
             return Err(reason);
         }
@@ -320,13 +320,13 @@ impl Budget {
                 if inner.steps.load(Ordering::Relaxed) > inner.max_steps {
                     return Err(InterruptReason::Steps);
                 }
-                self.probe(inner)
+                Self::probe(inner)
             }
         }
     }
 
     #[inline(never)]
-    fn probe(&self, inner: &Inner) -> Result<(), InterruptReason> {
+    fn probe(inner: &Inner) -> Result<(), InterruptReason> {
         if inner.cancelled.load(Ordering::Relaxed) {
             return Err(InterruptReason::Cancelled);
         }
@@ -359,7 +359,7 @@ impl Ticker<'_> {
     #[inline]
     pub fn tick(&mut self) -> Result<(), InterruptReason> {
         if self.credit == 0 {
-            self.credit = self.budget.claim(TICK_BATCH as u64)?;
+            self.credit = self.budget.claim(u64::from(TICK_BATCH))?;
         }
         self.credit -= 1;
         Ok(())
@@ -402,7 +402,7 @@ mod tests {
     fn ticker_amortises_but_still_trips() {
         // Budget for two batches: the ticker must allow at most
         // 2 * TICK_BATCH items and then fail with Steps.
-        let b = Budget::with_steps(2 * TICK_BATCH as u64);
+        let b = Budget::with_steps(2 * u64::from(TICK_BATCH));
         let mut t = b.ticker();
         for _ in 0..2 * TICK_BATCH {
             assert!(t.tick().is_ok());

@@ -48,12 +48,12 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write_u8(&mut self, i: u8) {
-        self.add_to_hash(i as u64);
+        self.add_to_hash(u64::from(i));
     }
 
     #[inline]
     fn write_u32(&mut self, i: u32) {
-        self.add_to_hash(i as u64);
+        self.add_to_hash(u64::from(i));
     }
 
     #[inline]
@@ -124,7 +124,7 @@ mod tests {
         assert_eq!(m[&1], "one");
         let mut s: FxHashSet<u64> = FxHashSet::default();
         for i in 0..1000 {
-            s.insert(i * 2654435761 % 97);
+            s.insert(i * 2_654_435_761 % 97);
         }
         assert_eq!(s.len(), 97);
     }

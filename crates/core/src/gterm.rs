@@ -191,10 +191,7 @@ impl AtomStore {
 
     /// All atoms of predicate `pred`, in interning order.
     pub fn of_pred(&self, pred: PredId) -> &[AtomId] {
-        self.by_pred
-            .get(pred.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_pred.get(pred.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Number of distinct ground atoms materialised. This is the size of

@@ -43,9 +43,29 @@
 //!   deadlines, cancellation, anytime [`Eval`] outcomes).
 //! * [`scc`] — generic iterative Tarjan strongly-connected components,
 //!   shared by every dependency-graph consumer.
+//! * [`span`] — source positions ([`Pos`]) and the per-program
+//!   [`SpanTable`] recorded by the parser for diagnostics.
 //! * [`world`] — the [`World`] bundle of interners.
 
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// Pedantic lints we deliberately opt out of: this is an interner-heavy
+// crate where u32 ids and usize indices interconvert constantly, most
+// constructors are obviously-useful without `#[must_use]`, and the
+// panics are index-contract violations already documented on the types.
+#![allow(
+    clippy::must_use_candidate,
+    clippy::missing_panics_doc,
+    clippy::missing_errors_doc,
+    clippy::module_name_repetitions,
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::doc_markdown,
+    clippy::too_many_lines,
+    clippy::similar_names,
+    clippy::many_single_char_names,
+    clippy::return_self_not_must_use
+)]
 
 pub mod bitset;
 pub mod budget;
@@ -57,6 +77,7 @@ pub mod pred;
 pub mod program;
 pub mod rule;
 pub mod scc;
+pub mod span;
 pub mod symbol;
 pub mod term;
 pub mod world;
@@ -71,6 +92,7 @@ pub use pred::{PredId, PredTable};
 pub use program::{CompId, Component, Order, OrderError, OrderedProgram};
 pub use rule::{Aexp, BodyItem, Cmp, CmpOp, EvalError, Rule};
 pub use scc::tarjan_scc;
+pub use span::{Pos, RuleSpan, SpanTable};
 pub use symbol::{Sym, SymbolTable};
 pub use term::Term;
 pub use world::World;

@@ -14,6 +14,7 @@
 
 use crate::bitset::BitSet;
 use crate::rule::Rule;
+use crate::span::{Pos, RuleSpan, SpanTable};
 use crate::symbol::Sym;
 use std::fmt;
 
@@ -88,6 +89,22 @@ impl Order {
     /// Builds the closure from covering edges `(lower, upper)` over `n`
     /// components.
     pub fn from_edges(n: usize, edges: &[(CompId, CompId)]) -> Result<Order, OrderError> {
+        fn dfs_cycle(v: usize, adj: &[Vec<usize>], colour: &mut [u8]) -> Option<usize> {
+            colour[v] = 1;
+            for &w in &adj[v] {
+                match colour[w] {
+                    1 => return Some(w),
+                    0 => {
+                        if let Some(c) = dfs_cycle(w, adj, colour) {
+                            return Some(c);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            colour[v] = 2;
+            None
+        }
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(lo, hi) in edges {
             if lo.index() >= n {
@@ -107,22 +124,6 @@ impl Order {
         let mut leq: Vec<BitSet> = (0..n).map(|_| BitSet::with_capacity(n)).collect();
         // Detect cycles with a colour DFS first.
         let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
-        fn dfs_cycle(v: usize, adj: &[Vec<usize>], colour: &mut [u8]) -> Option<usize> {
-            colour[v] = 1;
-            for &w in &adj[v] {
-                match colour[w] {
-                    1 => return Some(w),
-                    0 => {
-                        if let Some(c) = dfs_cycle(w, adj, colour) {
-                            return Some(c);
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            colour[v] = 2;
-            None
-        }
         for v in 0..n {
             if colour[v] == 0 {
                 if let Some(c) = dfs_cycle(v, &adj, &mut colour) {
@@ -206,6 +207,10 @@ pub struct OrderedProgram {
     pub components: Vec<Component>,
     /// Declared covering edges `(lower, upper)`, i.e. `lower < upper`.
     pub edges: Vec<(CompId, CompId)>,
+    /// Source spans recorded by the parser (empty for programs built
+    /// programmatically). Kept beside the AST so rule equality and
+    /// printing are position-independent.
+    pub spans: SpanTable,
 }
 
 impl OrderedProgram {
@@ -226,9 +231,48 @@ impl OrderedProgram {
         self.components[c.index()].rules.push(rule);
     }
 
+    /// Adds a rule to component `c` with its source span.
+    pub fn add_rule_spanned(&mut self, c: CompId, rule: Rule, span: RuleSpan) {
+        self.spans
+            .set_rule(c.index(), self.components[c.index()].rules.len(), span);
+        self.add_rule(c, rule);
+    }
+
+    /// Removes (and returns) rule `i` of component `c`, keeping the
+    /// span table aligned. Mutating `components[c].rules` directly
+    /// leaves stale spans behind; use this instead.
+    pub fn remove_rule(&mut self, c: CompId, i: usize) -> Rule {
+        self.spans.remove_rule(c.index(), i);
+        self.components[c.index()].rules.remove(i)
+    }
+
+    /// Inserts `rule` at index `i` of component `c`, keeping the span
+    /// table aligned (the inserted rule itself gets no span; restore
+    /// one via `spans.set_rule` if known). Inverse of
+    /// [`OrderedProgram::remove_rule`].
+    pub fn insert_rule(&mut self, c: CompId, i: usize, rule: Rule) {
+        self.spans.insert_rule(c.index(), i);
+        self.components[c.index()].rules.insert(i, rule);
+    }
+
+    /// Removes the last rule of component `c` (rollback helper).
+    pub fn pop_rule(&mut self, c: CompId) -> Option<Rule> {
+        let n = self.components[c.index()].rules.len();
+        if n == 0 {
+            return None;
+        }
+        Some(self.remove_rule(c, n - 1))
+    }
+
     /// Declares `lower < upper`.
     pub fn add_edge(&mut self, lower: CompId, upper: CompId) {
         self.edges.push((lower, upper));
+    }
+
+    /// Declares `lower < upper` with the declaration's source position.
+    pub fn add_edge_spanned(&mut self, lower: CompId, upper: CompId, pos: Pos) {
+        self.spans.set_edge(self.edges.len(), pos);
+        self.add_edge(lower, upper);
     }
 
     /// Finds a component by name.

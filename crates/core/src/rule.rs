@@ -353,7 +353,7 @@ impl Rule {
             && self
                 .body
                 .iter()
-                .all(|b| b.as_lit().map(|l| l.sign == Sign::Pos).unwrap_or(true))
+                .all(|b| b.as_lit().is_none_or(|l| l.sign == Sign::Pos))
     }
 
     /// Whether the rule is variable-free.

@@ -1,0 +1,207 @@
+//! Source positions and the program span table.
+//!
+//! The lexer stamps every token with a [`Pos`]; the parser threads those
+//! positions onto rules and order edges via a [`SpanTable`] kept *beside*
+//! the AST (on [`crate::OrderedProgram`]) rather than inside it, so that
+//! rule equality, hashing, alpha-equivalence, and printed round-trips are
+//! unaffected by where a rule happened to be written. Programs built
+//! programmatically simply have an empty table; consumers (the
+//! `olp_analyze` lint pass, error reporting) treat missing spans as
+//! "location unknown".
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// A source position (1-based line and column) for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Where the pieces of one rule start: the head literal and each body
+/// item, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSpan {
+    /// Start of the head literal (for a negated head, the `-`/`~`).
+    pub head: Pos,
+    /// Start of each body item (literal or comparison), aligned with
+    /// `Rule::body`.
+    pub body: Vec<Pos>,
+}
+
+impl RuleSpan {
+    /// The span of body item `i`, if recorded.
+    pub fn body_pos(&self, i: usize) -> Option<Pos> {
+        self.body.get(i).copied()
+    }
+}
+
+/// Source spans for a program, keyed by `(component index, rule index)`
+/// for rules and by declaration order for `<` edges.
+///
+/// The table is *best effort*: entries exist only for syntax that came
+/// through the parser. Rule removal must go through
+/// [`crate::OrderedProgram::remove_rule`] so that the indices stay
+/// aligned.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTable {
+    rules: FxHashMap<(u32, u32), RuleSpan>,
+    edges: FxHashMap<u32, Pos>,
+}
+
+impl SpanTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the span of `components[comp].rules[rule]`.
+    pub fn set_rule(&mut self, comp: usize, rule: usize, span: RuleSpan) {
+        self.rules.insert((comp as u32, rule as u32), span);
+    }
+
+    /// The span of `components[comp].rules[rule]`, if recorded.
+    pub fn rule(&self, comp: usize, rule: usize) -> Option<&RuleSpan> {
+        self.rules.get(&(comp as u32, rule as u32))
+    }
+
+    /// Start of the rule (its head), if recorded.
+    pub fn rule_pos(&self, comp: usize, rule: usize) -> Option<Pos> {
+        self.rule(comp, rule).map(|s| s.head)
+    }
+
+    /// Records the span of declared edge number `edge`.
+    pub fn set_edge(&mut self, edge: usize, pos: Pos) {
+        self.edges.insert(edge as u32, pos);
+    }
+
+    /// The span of declared edge number `edge`, if recorded.
+    pub fn edge_pos(&self, edge: usize) -> Option<Pos> {
+        self.edges.get(&(edge as u32)).copied()
+    }
+
+    /// Keeps the table aligned after `components[comp].rules.remove(rule)`:
+    /// drops the removed rule's entry and shifts later entries down.
+    pub fn remove_rule(&mut self, comp: usize, rule: usize) {
+        let comp = comp as u32;
+        let rule = rule as u32;
+        self.rules.remove(&(comp, rule));
+        let shifted: Vec<((u32, u32), RuleSpan)> = self
+            .rules
+            .iter()
+            .filter(|&(&(c, r), _)| c == comp && r > rule)
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        for ((c, r), span) in shifted {
+            self.rules.remove(&(c, r));
+            self.rules.insert((c, r - 1), span);
+        }
+    }
+
+    /// Keeps the table aligned after
+    /// `components[comp].rules.insert(rule, …)`: shifts entries at or
+    /// after `rule` up. The inserted rule itself gets no span (use
+    /// [`SpanTable::set_rule`] if one is known).
+    pub fn insert_rule(&mut self, comp: usize, rule: usize) {
+        let comp = comp as u32;
+        let rule = rule as u32;
+        let mut shifted: Vec<((u32, u32), RuleSpan)> = self
+            .rules
+            .iter()
+            .filter(|&(&(c, r), _)| c == comp && r >= rule)
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        // Highest index first, so an insert never clobbers an entry
+        // that still needs to move.
+        shifted.sort_by_key(|&((_, r), _)| std::cmp::Reverse(r));
+        for ((c, r), span) in shifted {
+            self.rules.remove(&(c, r));
+            self.rules.insert((c, r + 1), span);
+        }
+    }
+
+    /// Whether any spans are recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(line: u32) -> RuleSpan {
+        RuleSpan {
+            head: Pos { line, col: 1 },
+            body: vec![Pos { line, col: 10 }],
+        }
+    }
+
+    #[test]
+    fn pos_renders_line_colon_col() {
+        assert_eq!(Pos { line: 3, col: 7 }.to_string(), "3:7");
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = SpanTable::new();
+        assert!(t.is_empty());
+        t.set_rule(0, 0, span(1));
+        t.set_rule(0, 1, span(2));
+        t.set_edge(0, Pos { line: 9, col: 1 });
+        assert_eq!(t.rule_pos(0, 0), Some(Pos { line: 1, col: 1 }));
+        assert_eq!(
+            t.rule(0, 1).unwrap().body_pos(0),
+            Some(Pos { line: 2, col: 10 })
+        );
+        assert_eq!(t.rule_pos(1, 0), None);
+        assert_eq!(t.edge_pos(0), Some(Pos { line: 9, col: 1 }));
+        assert_eq!(t.edge_pos(1), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn remove_shifts_later_rules_down() {
+        let mut t = SpanTable::new();
+        for r in 0..4 {
+            t.set_rule(0, r, span(r as u32 + 1));
+        }
+        t.set_rule(1, 2, span(50));
+        t.remove_rule(0, 1);
+        assert_eq!(t.rule_pos(0, 0), Some(Pos { line: 1, col: 1 }));
+        assert_eq!(t.rule_pos(0, 1), Some(Pos { line: 3, col: 1 }));
+        assert_eq!(t.rule_pos(0, 2), Some(Pos { line: 4, col: 1 }));
+        assert_eq!(t.rule_pos(0, 3), None);
+        // Other components untouched.
+        assert_eq!(t.rule_pos(1, 2), Some(Pos { line: 50, col: 1 }));
+    }
+
+    #[test]
+    fn insert_shifts_later_rules_up_and_inverts_remove() {
+        let mut t = SpanTable::new();
+        for r in 0..3 {
+            t.set_rule(0, r, span(r as u32 + 1));
+        }
+        t.insert_rule(0, 1);
+        assert_eq!(t.rule_pos(0, 0), Some(Pos { line: 1, col: 1 }));
+        assert_eq!(t.rule_pos(0, 1), None, "inserted slot has no span");
+        assert_eq!(t.rule_pos(0, 2), Some(Pos { line: 2, col: 1 }));
+        assert_eq!(t.rule_pos(0, 3), Some(Pos { line: 3, col: 1 }));
+        // Restoring the removed rule's span completes the round trip.
+        t.set_rule(0, 1, span(2));
+        t.remove_rule(0, 1);
+        t.insert_rule(0, 1);
+        t.set_rule(0, 1, span(2));
+        assert_eq!(t.rule_pos(0, 1), Some(Pos { line: 2, col: 1 }));
+        assert_eq!(t.rule_pos(0, 2), Some(Pos { line: 2, col: 1 }));
+    }
+}

@@ -79,13 +79,14 @@ impl Term {
     pub fn match_ground(&self, g: GTermId, store: &TermStore, bindings: &mut Bindings) -> bool {
         use crate::gterm::GTerm;
         match self {
-            Term::Var(v) => match bindings.get(v) {
-                Some(&bound) => bound == g,
-                None => {
+            Term::Var(v) => {
+                if let Some(&bound) = bindings.get(v) {
+                    bound == g
+                } else {
                     bindings.insert(*v, g);
                     true
                 }
-            },
+            }
             Term::Const(c) => matches!(store.get(g), GTerm::Const(c2) if c2 == c),
             Term::Int(i) => matches!(store.get(g), GTerm::Int(i2) if i2 == i),
             Term::App(f, args) => match store.get(g) {

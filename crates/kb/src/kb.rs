@@ -10,6 +10,7 @@
 //! for the choice-style programs.
 
 use crate::relation::Relation;
+use olp_analyze::{analyze, Diagnostic};
 use olp_core::{
     Budget, CompId, Eval, FxHashMap, FxHashSet, Interpretation, Interrupted, Literal, Rule, Term,
     Truth, World,
@@ -72,6 +73,11 @@ pub enum KbError {
     UnknownObject(String),
     /// The query literal was not ground.
     NonGroundQuery(String),
+    /// Static analysis rejected the program or mutation (the
+    /// [`QueryOptions::deny_warnings`] knob, or
+    /// [`KbBuilder::build_checked`]). Carries the offending findings;
+    /// for mutations, only findings *introduced* by the mutation.
+    Rejected(Vec<Diagnostic>),
 }
 
 impl fmt::Display for KbError {
@@ -81,6 +87,18 @@ impl fmt::Display for KbError {
             KbError::Ground(e) => write!(f, "{e}"),
             KbError::UnknownObject(n) => write!(f, "unknown object `{n}`"),
             KbError::NonGroundQuery(q) => write!(f, "query `{q}` is not ground"),
+            KbError::Rejected(diags) => {
+                write!(
+                    f,
+                    "rejected by static analysis ({} finding{}):",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" }
+                )?;
+                for d in diags {
+                    write!(f, " [{}] {};", d.code, d.message)?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -124,6 +142,11 @@ pub struct QueryOptions {
     /// [`default_threads`]; `1` takes the sequential code paths exactly.
     /// Results are identical at every value.
     pub threads: usize,
+    /// Reject mutations that *introduce* new static-analysis findings
+    /// ([`Kb::assert_rule_with`] / [`Kb::retract_rule_with`] return
+    /// [`KbError::Rejected`] and leave the KB unchanged). Off by
+    /// default: the lint pass only runs when this is set.
+    pub deny_warnings: bool,
 }
 
 impl Default for QueryOptions {
@@ -134,6 +157,7 @@ impl Default for QueryOptions {
             max_models: None,
             decomp: true,
             threads: default_threads(),
+            deny_warnings: false,
         }
     }
 }
@@ -172,6 +196,13 @@ impl QueryOptions {
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Makes mutations reject programs that would introduce new
+    /// static-analysis findings (see [`QueryOptions::deny_warnings`]).
+    pub fn deny_warnings(mut self) -> Self {
+        self.deny_warnings = true;
         self
     }
 
@@ -275,6 +306,18 @@ impl KbBuilder {
         Self { world, prog }
     }
 
+    /// [`KbBuilder::build`], but runs the `olp_analyze` lint pass first
+    /// and refuses ([`KbError::Rejected`]) if *any* finding fires —
+    /// warnings included. The strict entry point for loading programs
+    /// that are expected to be lint-clean.
+    pub fn build_checked(self, strategy: GroundStrategy) -> Result<Kb, KbError> {
+        let diags = analyze(&self.world, &self.prog);
+        if !diags.is_empty() {
+            return Err(KbError::Rejected(diags));
+        }
+        self.build(strategy)
+    }
+
     /// [`KbBuilder::build`] with explicit grounding bounds.
     pub fn build_with(
         mut self,
@@ -309,6 +352,26 @@ impl KbBuilder {
             threads: default_threads(),
         })
     }
+}
+
+/// The findings in `after` that are not already in `before`, as a
+/// multiset difference keyed on `(code, message)` — rule indices shift
+/// under mutation, but the rendered message pins down the finding.
+fn findings_introduced(after: Vec<Diagnostic>, before: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut seen: FxHashMap<(olp_analyze::Code, String), usize> = FxHashMap::default();
+    for d in before {
+        *seen.entry((d.code, d.message.clone())).or_insert(0) += 1;
+    }
+    after
+        .into_iter()
+        .filter(|d| match seen.get_mut(&(d.code, d.message.clone())) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        })
+        .collect()
 }
 
 /// The delta-grounder ids of a freshly grounded program: registration
@@ -767,6 +830,14 @@ impl Kb {
         }
     }
 
+    /// Runs the `olp_analyze` lint pass over the current program,
+    /// returning its findings (sorted, deterministic). Programs
+    /// assembled through the builder API carry no spans, so these
+    /// diagnostics have `pos: None` but keep component/rule indices.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        analyze(&self.world, &self.prog)
+    }
+
     /// Asserts a new rule (or fact) into `object`. Under incremental
     /// maintenance (Smart strategy, the default) only the new rule's
     /// instantiations and their consequences are grounded, and cached
@@ -791,6 +862,19 @@ impl Kb {
     ) -> Result<Eval<()>, KbError> {
         let c = self.comp(object)?;
         let r = parse_rule(&mut self.world, src)?;
+        if opts.deny_warnings {
+            // Tentative AST-only application: analyze, then roll back
+            // before any grounding. `add_rule` records no span, so
+            // `pop_rule` restores the table exactly.
+            let before = analyze(&self.world, &self.prog);
+            self.prog.add_rule(c, r.clone());
+            let after = analyze(&self.world, &self.prog);
+            self.prog.pop_rule(c);
+            let new = findings_introduced(after, &before);
+            if !new.is_empty() {
+                return Err(KbError::Rejected(new));
+            }
+        }
         let gov = opts.budget();
         if self.is_incremental() {
             self.ensure_delta()?;
@@ -817,7 +901,7 @@ impl Kb {
         self.prog.add_rule(c, r);
         let res = self.refresh_with(&gov);
         if !matches!(res, Ok(Eval::Complete(()))) {
-            self.prog.components[c.index()].rules.pop();
+            self.prog.pop_rule(c);
         }
         res
     }
@@ -850,6 +934,24 @@ impl Kb {
         let Some(i) = pos else {
             return Ok(Eval::Complete(false));
         };
+        if opts.deny_warnings {
+            // Retraction can also introduce findings (e.g. removing the
+            // last definition of a predicate others depend on makes
+            // their rules W02). Tentative removal + rollback, with the
+            // removed rule's span saved and restored.
+            let before = analyze(&self.world, &self.prog);
+            let saved_span = self.prog.spans.rule(c.index(), i).cloned();
+            let removed = self.prog.remove_rule(c, i);
+            let after = analyze(&self.world, &self.prog);
+            self.prog.insert_rule(c, i, removed);
+            if let Some(span) = saved_span {
+                self.prog.spans.set_rule(c.index(), i, span);
+            }
+            let new = findings_introduced(after, &before);
+            if !new.is_empty() {
+                return Err(KbError::Rejected(new));
+            }
+        }
         let gov = opts.budget();
         if self.is_incremental() {
             self.ensure_delta()?;
@@ -857,7 +959,7 @@ impl Kb {
             let id = self.delta_ids[c.index()][i];
             match delta.retract_rule(&mut self.world, id, &gov) {
                 Ok(gp) => {
-                    self.prog.components[c.index()].rules.remove(i);
+                    self.prog.remove_rule(c, i);
                     self.delta_ids[c.index()].remove(i);
                     self.delta = Some(delta);
                     self.commit(gp);
@@ -872,10 +974,14 @@ impl Kb {
                 Err(e) => return Err(e.into()),
             }
         }
-        let removed = self.prog.components[c.index()].rules.remove(i);
+        let saved_span = self.prog.spans.rule(c.index(), i).cloned();
+        let removed = self.prog.remove_rule(c, i);
         let res = self.refresh_with(&gov);
         if !matches!(res, Ok(Eval::Complete(()))) {
-            self.prog.components[c.index()].rules.insert(i, removed);
+            self.prog.insert_rule(c, i, removed);
+            if let Some(span) = saved_span {
+                self.prog.spans.set_rule(c.index(), i, span);
+            }
         }
         match res {
             Ok(Eval::Complete(())) => Ok(Eval::Complete(true)),

@@ -9,20 +9,10 @@
 
 use std::fmt;
 
-/// A source position (1-based line and column) for error reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Pos {
-    /// 1-based line.
-    pub line: u32,
-    /// 1-based column.
-    pub col: u32,
-}
-
-impl fmt::Display for Pos {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
+// The position type lives in `olp-core` (diagnostics produced by the
+// `olp_analyze` lint pass carry it without depending on the parser);
+// re-exported here so `olp_parser::Pos` keeps working.
+pub use olp_core::span::Pos;
 
 /// Token kinds.
 #[derive(Debug, Clone, PartialEq, Eq)]

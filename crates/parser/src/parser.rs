@@ -29,7 +29,7 @@
 
 use crate::lexer::{lex, LexError, Pos, Tok, Token};
 use olp_core::{
-    Aexp, BodyItem, Cmp, CmpOp, GLit, Literal, OrderedProgram, Rule, Sign, Term, World,
+    Aexp, BodyItem, Cmp, CmpOp, GLit, Literal, OrderedProgram, Rule, RuleSpan, Sign, Term, World,
 };
 use std::fmt;
 
@@ -299,18 +299,34 @@ impl<'w> Parser<'w> {
     }
 
     fn rule(&mut self) -> Result<Rule, ParseError> {
+        self.rule_spanned().map(|(r, _)| r)
+    }
+
+    /// Parses a rule, also recording where the head and each body item
+    /// start (threaded into [`olp_core::SpanTable`] by [`Parser::program`]).
+    fn rule_spanned(&mut self) -> Result<(Rule, RuleSpan), ParseError> {
+        let head_pos = self.pos();
         let head = self.literal()?;
         let mut body = Vec::new();
+        let mut body_pos = Vec::new();
         if *self.peek() == Tok::If {
             self.bump();
+            body_pos.push(self.pos());
             body.push(self.body_item()?);
             while *self.peek() == Tok::Comma {
                 self.bump();
+                body_pos.push(self.pos());
                 body.push(self.body_item()?);
             }
         }
         self.expect(&Tok::Dot, "`.` ending the rule")?;
-        Ok(Rule { head, body })
+        Ok((
+            Rule { head, body },
+            RuleSpan {
+                head: head_pos,
+                body: body_pos,
+            },
+        ))
     }
 
     // ---- program ---------------------------------------------------------
@@ -331,12 +347,13 @@ impl<'w> Parser<'w> {
                     if *self.peek() == Tok::Lt {
                         self.bump();
                         loop {
+                            let edge_pos = self.pos();
                             let upper_name = self.ident("a module name after `<`")?;
                             let upper_sym = self.world.syms.intern(&upper_name);
                             let upper = prog
                                 .component_by_name(upper_sym)
                                 .unwrap_or_else(|| prog.add_component(upper_sym));
-                            prog.add_edge(comp, upper);
+                            prog.add_edge_spanned(comp, upper, edge_pos);
                             if *self.peek() == Tok::Comma {
                                 self.bump();
                             } else {
@@ -349,8 +366,8 @@ impl<'w> Parser<'w> {
                         if *self.peek() == Tok::Eof {
                             return self.err("unterminated module body (missing `}`)");
                         }
-                        let r = self.rule()?;
-                        prog.add_rule(comp, r);
+                        let (r, span) = self.rule_spanned()?;
+                        prog.add_rule_spanned(comp, r, span);
                     }
                     self.bump(); // consume `}`
                 }
@@ -363,12 +380,13 @@ impl<'w> Parser<'w> {
                         .unwrap_or_else(|| prog.add_component(cur_sym));
                     self.expect(&Tok::Lt, "`<` in order declaration")?;
                     loop {
+                        let edge_pos = self.pos();
                         let next = self.ident("a module name")?;
                         cur_sym = self.world.syms.intern(&next);
                         let next_id = prog
                             .component_by_name(cur_sym)
                             .unwrap_or_else(|| prog.add_component(cur_sym));
-                        prog.add_edge(cur, next_id);
+                        prog.add_edge_spanned(cur, next_id, edge_pos);
                         cur = next_id;
                         if *self.peek() == Tok::Lt {
                             self.bump();
@@ -379,13 +397,13 @@ impl<'w> Parser<'w> {
                     self.expect(&Tok::Dot, "`.` ending the order declaration")?;
                 }
                 _ => {
-                    let r = self.rule()?;
+                    let (r, span) = self.rule_spanned()?;
                     let comp = *default_comp.get_or_insert_with(|| {
                         let sym = self.world.syms.intern("main");
                         prog.component_by_name(sym)
                             .unwrap_or_else(|| prog.add_component(sym))
                     });
-                    prog.add_rule(comp, r);
+                    prog.add_rule_spanned(comp, r, span);
                 }
             }
         }

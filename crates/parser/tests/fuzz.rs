@@ -96,6 +96,70 @@ proptest! {
     }
 }
 
+/// Anything that parses must also analyze: no panic, and two runs over
+/// the same program agree byte-for-byte (sorted, deterministic output).
+fn check_analyze(world: &olp_core::World, prog: &olp_core::OrderedProgram) {
+    let a = olp_analyze::analyze(world, prog);
+    let b = olp_analyze::analyze(world, prog);
+    assert_eq!(a, b, "analyze must be deterministic");
+    let n_comps = prog.components.len();
+    for d in &a {
+        assert!(olp_analyze::Code::parse(d.code.as_str()).is_some());
+        if let Some(c) = d.comp {
+            assert!((c.index()) < n_comps, "component index out of range");
+        }
+        if let (Some(c), Some(r)) = (d.comp, d.rule) {
+            assert!(
+                r < prog.components[c.index()].rules.len(),
+                "rule index out of range"
+            );
+        }
+        assert!(!d.message.is_empty());
+    }
+}
+
+proptest! {
+    /// Grammar-flavored soup that happens to parse must analyze without
+    /// panicking, deterministically, with in-range attributions.
+    #[test]
+    fn analyzer_survives_parsed_soup(
+        picks in prop::collection::vec(0usize..20, 0..64)
+    ) {
+        const FRAGMENTS: &[&str] = &[
+            "module ", "order ", "< ", "{ ", "} ", ":- ", ". ", ", ",
+            "-", "p(X)", "q(a, b)", "X > Y + 2", "f(s(zero))", "%c\n",
+            "take_loan", "17", "(", ")", "!=", "\n",
+        ];
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let mut w = World::new();
+        if let Ok(prog) = parse_program(&mut w, &src) {
+            check_analyze(&w, &prog);
+        }
+    }
+
+    /// Random ordered programs from the workload generator (the same
+    /// generator `tests/theorems.rs` uses). These carry no span table,
+    /// so this also exercises every `pos: None` path.
+    #[test]
+    fn analyzer_survives_random_ordered_programs(seed in 0u64..500) {
+        let mut w = World::new();
+        let prog = olp_workload::random_ordered(
+            &mut w,
+            &olp_workload::RandomCfg {
+                n_atoms: 8,
+                n_rules: 24,
+                max_body: 3,
+                neg_head_prob: 0.35,
+                neg_body_prob: 0.4,
+                n_components: 4,
+                edge_prob: 0.5,
+            },
+            seed,
+        );
+        check_analyze(&w, &prog);
+    }
+}
+
 #[test]
 fn samples_parse_clean() {
     // Baseline: the unmutated samples are valid, so the fuzz tests

@@ -1,7 +1,9 @@
 //! `olp` — command-line front end for ordered logic programs.
 //!
 //! ```text
-//! olp check  FILE                          parse, order-check, ground, print stats
+//! olp check  FILE                          parse, lint (W01–W08/E01), ground, print stats
+//!        --deny warnings                   exit 1 if any warning fires (CI gate)
+//!        --format json                     emit diagnostics as a JSON array
 //! olp models FILE [COMPONENT] [FLAGS]      print models per component
 //!        --least (default) | --stable | --af | --skeptical | --all-semantics
 //! olp query  FILE COMPONENT PATTERN        answer a query (ground or with variables)
@@ -21,6 +23,7 @@
 //! marks it with a `PARTIAL` banner, and exits with code **124** (the
 //! `timeout(1)` convention).
 
+use ordered_logic::analyze::{analyze, Severity};
 use ordered_logic::kb::{default_threads, KbError};
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
@@ -36,7 +39,10 @@ use std::time::{Duration, Instant};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  olp check  FILE [--exhaustive]
+  olp check  FILE [--deny warnings] [--format json|text] [--exhaustive]
+             runs the order-aware lints (W01–W08, E01; see docs/ANALYSIS.md)
+             and prints positioned diagnostics before the structure report;
+             errors always exit 1, warnings only under --deny warnings
   olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive] [--no-decomp]
   olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive] [--no-decomp]
   olp repl   FILE [--exhaustive] [--no-decomp]     (also: olp --interactive FILE)
@@ -68,6 +74,10 @@ struct Limits {
     decomp: bool,
     /// Worker threads (`--threads N`, default [`default_threads`]).
     threads: usize,
+    /// `check --deny warnings`: warnings become fatal (exit 1).
+    deny_warnings: bool,
+    /// `check --format json`: emit diagnostics as a JSON array.
+    json: bool,
 }
 
 impl Default for Limits {
@@ -78,6 +88,8 @@ impl Default for Limits {
             max_models: None,
             decomp: true,
             threads: default_threads(),
+            deny_warnings: false,
+            json: false,
         }
     }
 }
@@ -115,6 +127,15 @@ impl Limits {
                 }
                 self.threads = n;
             }
+            "deny" => match val {
+                "warnings" => self.deny_warnings = true,
+                _ => return Err(format!("--deny: `{val}` unsupported (only `warnings`)")),
+            },
+            "format" => match val {
+                "text" => self.json = false,
+                "json" => self.json = true,
+                _ => return Err(format!("--format: `{val}` unsupported (text or json)")),
+            },
             _ => return Err(format!("unknown limit flag --{name}")),
         }
         Ok(())
@@ -242,6 +263,46 @@ fn partial_banner(what: &str, reason: InterruptReason) -> String {
 }
 
 fn cmd_check(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
+    // Analyze the *parsed* program first: lint findings (including E01
+    // order errors) come out as positioned diagnostics before any
+    // grounding work happens.
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliFail::Msg(format!("cannot read {path}: {e}")))?;
+    let mut world = World::new();
+    let prog = parse_program(&mut world, &src).map_err(|e| CliFail::Msg(e.to_string()))?;
+    let diags = analyze(&world, &prog);
+    if limits.json {
+        println!("{}", ordered_logic::analyze::to_json_array(&diags, path));
+    } else {
+        for d in &diags {
+            println!("{}", d.render(path));
+        }
+    }
+    let n_errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let n_warns = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    if n_errors > 0 {
+        return Err(CliFail::Msg(format!(
+            "{path}: {n_errors} error{} found",
+            if n_errors == 1 { "" } else { "s" }
+        )));
+    }
+    if limits.deny_warnings && n_warns > 0 {
+        return Err(CliFail::Msg(format!(
+            "{path}: {n_warns} warning{} denied (--deny warnings)",
+            if n_warns == 1 { "" } else { "s" }
+        )));
+    }
+    if limits.json {
+        // Machine-readable mode: the diagnostics array is the whole
+        // output; skip the human-oriented structure report.
+        return Ok(false);
+    }
     let budget = limits.budget();
     let l = load(path, exhaustive, &budget, limits.threads)?;
     println!(
@@ -251,14 +312,6 @@ fn cmd_check(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
         l.ground.len(),
         l.ground.n_atoms
     );
-    let unsafe_rules = l.prog.unsafe_rules();
-    for (c, ri) in &unsafe_rules {
-        println!(
-            "  warning: unsafe rule (variable unbound by any body literal): {} in module {}",
-            l.world.rule_str(&l.prog.components[c.index()].rules[*ri]),
-            l.world.syms.name(l.prog.components[c.index()].name)
-        );
-    }
     let order = l.prog.order().map_err(|e| CliFail::Msg(e.to_string()))?;
     for (ci, c) in l.prog.components.iter().enumerate() {
         let id = CompId(ci as u32);
@@ -672,7 +725,10 @@ fn main() -> ExitCode {
                 Some((n, v)) => (n, Some(v.to_string())),
                 None => (body, None),
             };
-            if matches!(name, "timeout" | "max-steps" | "max-models" | "threads") {
+            if matches!(
+                name,
+                "timeout" | "max-steps" | "max-models" | "threads" | "deny" | "format"
+            ) {
                 let val = match inline_val {
                     Some(v) => v,
                     None => {

@@ -17,6 +17,7 @@
 //! |---|---|
 //! | [`core`] | terms, literals, rules, components, ordered programs |
 //! | [`parser`] | surface syntax |
+//! | [`analyze`] | order-aware lints: W01–W08 / E01 diagnostics with spans |
 //! | [`ground`] | exhaustive + smart grounders |
 //! | [`semantics`] | Def. 2–9: statuses, `V` fixpoint, models, assumption-free & stable models |
 //! | [`classic`] | classical baselines: `T_P`, stratified, WFS, GL-stable, founded |
@@ -46,6 +47,7 @@
 //! assert_eq!(kb.truth("bird", "fly(penguin)").unwrap(), Truth::True);
 //! ```
 
+pub use olp_analyze as analyze;
 pub use olp_classic as classic;
 pub use olp_core as core;
 pub use olp_ground as ground;
@@ -56,6 +58,7 @@ pub use olp_transform as transform;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use olp_analyze::{analyze, Code, Diagnostic, Severity};
     pub use olp_core::{
         Budget, CompId, Eval, GLit, Interpretation, InterruptReason, Interrupted, OrderedProgram,
         Rule, Sign, Truth, World,

@@ -1,0 +1,131 @@
+//! Golden lint results for the shipped corpus: every `.olp` example and
+//! every `prolog` snippet in the tutorial goes through the analyzer.
+//!
+//! `penguin.olp` intentionally contains the Fig. 1 shadowed rule (the
+//! analyzer's W05 showcase); everything else ships lint-clean, and CI
+//! enforces exactly that split with `olp check --deny warnings`.
+
+use ordered_logic::analyze::{analyze, Code, Diagnostic, Severity};
+use ordered_logic::prelude::*;
+
+fn lint(src: &str) -> Vec<Diagnostic> {
+    let mut world = World::new();
+    let prog = parse_program(&mut world, src).expect("corpus program parses");
+    analyze(&world, &prog)
+}
+
+fn example(name: &str) -> String {
+    let path = format!("{}/examples/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn penguin_carries_exactly_the_fig1_shadow_warning() {
+    let diags = lint(&example("penguin.olp"));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, Code::AlwaysOverruled);
+    assert_eq!(d.severity, Severity::Warn);
+    let pos = d.pos.expect("span recorded");
+    assert_eq!((pos.line, pos.col), (5, 5));
+    assert!(d.message.contains("ground_animal(penguin)"));
+}
+
+#[test]
+fn loan_and_p5_lint_clean() {
+    for name in ["loan.olp", "p5.olp"] {
+        let diags = lint(&example(name));
+        assert!(diags.is_empty(), "{name} should be clean, got {diags:?}");
+    }
+}
+
+#[test]
+fn every_shipped_example_is_error_free() {
+    // New examples may ship with intentional warnings (like penguin),
+    // but never with analyzer *errors* — those mean the program has no
+    // well-defined semantics.
+    let dir = format!("{}/examples/programs", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "olp") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).expect("read example");
+        let diags = lint(&src);
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Error),
+            "{} has analyzer errors: {diags:?}",
+            path.display()
+        );
+    }
+    assert!(seen >= 3, "expected the three shipped examples, saw {seen}");
+}
+
+/// Extracts the bodies of ```prolog fenced blocks from markdown.
+fn prolog_snippets(md: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut block: Option<String> = None;
+    for line in md.lines() {
+        match &mut block {
+            None if line.trim_start().starts_with("```prolog") => block = Some(String::new()),
+            None => {}
+            Some(b) => {
+                if line.trim_start().starts_with("```") {
+                    out.push(block.take().unwrap());
+                } else {
+                    b.push_str(line);
+                    b.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn tutorial_snippets_parse_and_lint_without_errors() {
+    let md = std::fs::read_to_string(format!("{}/docs/TUTORIAL.md", env!("CARGO_MANIFEST_DIR")))
+        .expect("tutorial exists");
+    let snippets = prolog_snippets(&md);
+    assert!(
+        snippets.len() >= 4,
+        "tutorial should keep its prolog examples, found {}",
+        snippets.len()
+    );
+    let mut parsed = 0;
+    for (i, snip) in snippets.iter().enumerate() {
+        let mut world = World::new();
+        // Some snippets are deliberately elided fragments; those may
+        // fail to parse, but anything that parses must lint error-free.
+        let Ok(prog) = parse_program(&mut world, snip) else {
+            continue;
+        };
+        parsed += 1;
+        let diags = analyze(&world, &prog);
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Error),
+            "tutorial snippet #{i} has analyzer errors: {diags:?}"
+        );
+    }
+    assert!(
+        parsed >= 3,
+        "most tutorial snippets are complete programs, parsed {parsed}"
+    );
+}
+
+#[test]
+fn tutorial_checking_section_documents_every_code() {
+    // The tutorial's "Checking your program" section and the analyzer
+    // must agree on the code inventory.
+    let md = std::fs::read_to_string(format!("{}/docs/ANALYSIS.md", env!("CARGO_MANIFEST_DIR")))
+        .expect("docs/ANALYSIS.md exists");
+    for code in ordered_logic::analyze::ALL_CODES {
+        assert!(
+            md.contains(code.as_str()),
+            "docs/ANALYSIS.md is missing {}",
+            code.as_str()
+        );
+    }
+}

@@ -145,9 +145,65 @@ p(X) :- q(Y).
     )
     .unwrap();
     let (out, _, ok) = olp(&["check", dir.to_str().unwrap()]);
-    assert!(ok);
-    assert!(out.contains("warning: unsafe rule"), "{out}");
+    assert!(ok, "warnings alone must not change the exit code: {out}");
+    assert!(out.contains("warning[W01]"), "{out}");
+    assert!(out.contains("unsafe rule"), "{out}");
     assert!(out.contains("p(X) :- q(Y)."));
+    // The diagnostic carries the position of the offending rule.
+    assert!(out.contains(":2:1:"), "span for line 2, col 1: {out}");
+}
+
+#[test]
+fn check_deny_warnings_gates_the_exit_code() {
+    // penguin.olp ships with an intentional W05 (the Fig. 1 shadowed
+    // rule), so the gate must trip there and stay quiet on loan.olp.
+    let (out, err, code) = olp_code(&["check", &sample("penguin.olp"), "--deny", "warnings"]);
+    assert_eq!(code, 1, "{out}{err}");
+    assert!(out.contains("warning[W05]"), "{out}");
+    assert!(err.contains("denied"), "{err}");
+    let (out, _, code) = olp_code(&["check", &sample("loan.olp"), "--deny", "warnings"]);
+    assert_eq!(code, 0, "loan.olp lints clean: {out}");
+}
+
+#[test]
+fn check_format_json_emits_positioned_diagnostics() {
+    let (out, _, code) = olp_code(&["check", &sample("penguin.olp"), "--format", "json"]);
+    assert_eq!(code, 0);
+    assert!(out.trim_start().starts_with('['), "{out}");
+    assert!(out.contains("\"code\":\"W05\""), "{out}");
+    assert!(out.contains("\"line\":5,\"col\":5"), "{out}");
+    assert!(
+        !out.contains("components"),
+        "json mode suppresses the human report: {out}"
+    );
+    // A clean program yields an empty array.
+    let (out, _, code) = olp_code(&["check", &sample("p5.olp"), "--format", "json"]);
+    assert_eq!(code, 0);
+    assert_eq!(out.trim(), "[]");
+}
+
+#[test]
+fn check_rejects_bad_deny_and_format_values() {
+    let (_, err, code) = olp_code(&["check", &sample("p5.olp"), "--deny", "everything"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--deny"), "{err}");
+    let (_, err, code) = olp_code(&["check", &sample("p5.olp"), "--format", "xml"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--format"), "{err}");
+}
+
+#[test]
+fn check_order_cycle_is_an_error_even_without_deny() {
+    let dir = std::env::temp_dir().join("olp_cli_cycle.olp");
+    std::fs::write(
+        &dir,
+        "module a { p. }\nmodule b { q. }\norder a < b.\norder b < a.\n",
+    )
+    .unwrap();
+    let (out, err, code) = olp_code(&["check", dir.to_str().unwrap()]);
+    assert_eq!(code, 1, "{out}{err}");
+    assert!(out.contains("error[E01]"), "{out}");
+    assert!(out.contains("cyclic"), "{out}");
 }
 
 #[test]

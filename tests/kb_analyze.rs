@@ -1,0 +1,137 @@
+//! Knowledge-base-level analyzer wiring: `Kb::analyze`,
+//! `KbBuilder::build_checked`, the `QueryOptions::deny_warnings` knob on
+//! mutations, and span-table alignment across live retraction.
+
+use ordered_logic::analyze::Code;
+use ordered_logic::kb::KbError;
+use ordered_logic::prelude::*;
+
+#[test]
+fn kb_analyze_reports_findings_without_spans() {
+    let mut b = KbBuilder::new();
+    b.rules("main", "q(a). p(X) :- q(a).").unwrap();
+    let kb = b.build(GroundStrategy::Smart).unwrap();
+    let diags = kb.analyze();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::UnsafeRule);
+    // Builder-assembled programs carry no source spans...
+    assert!(diags[0].pos.is_none());
+    // ...but still pinpoint the rule structurally.
+    assert_eq!(diags[0].rule, Some(1));
+}
+
+#[test]
+fn build_checked_accepts_clean_and_rejects_warned_programs() {
+    let mut b = KbBuilder::new();
+    b.rules("main", "q(a). p(X) :- q(X).").unwrap();
+    assert!(b.build_checked(GroundStrategy::Smart).is_ok());
+
+    let mut b = KbBuilder::new();
+    b.rules("main", "q(a). p(X) :- q(a).").unwrap();
+    match b.build_checked(GroundStrategy::Smart) {
+        Err(KbError::Rejected(diags)) => {
+            assert_eq!(diags[0].code, Code::UnsafeRule);
+            let rendered = KbError::Rejected(diags).to_string();
+            assert!(rendered.contains("W01"), "{rendered}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn deny_warnings_rejects_asserts_that_introduce_findings() {
+    let mut b = KbBuilder::new();
+    b.rules("main", "q(a). p(X) :- q(X).").unwrap();
+    let mut kb = b.build(GroundStrategy::Smart).unwrap();
+    let deny = QueryOptions::new().deny_warnings();
+
+    // `t` is undefined: the new rule brings a W02 with it.
+    match kb.assert_rule_with("main", "s(X) :- t(X).", &deny) {
+        Err(KbError::Rejected(diags)) => {
+            assert!(diags.iter().any(|d| d.code == Code::UndefinedPredicate));
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // Rolled back: the program is unchanged and still clean.
+    assert!(kb.analyze().is_empty());
+    assert_eq!(kb.truth("main", "p(a)").unwrap(), Truth::True);
+
+    // A benign assert passes the same gate and is applied.
+    kb.assert_rule_with("main", "q(b).", &deny)
+        .unwrap()
+        .expect_complete("unlimited");
+    assert_eq!(kb.truth("main", "p(b)").unwrap(), Truth::True);
+
+    // Without the knob the warned assert is accepted (back-compat).
+    kb.assert_rule("main", "s(X) :- t(X).").unwrap();
+    assert!(!kb.analyze().is_empty());
+}
+
+#[test]
+fn deny_warnings_rejects_retracts_that_orphan_dependents() {
+    let mut b = KbBuilder::new();
+    b.rules("main", "q(a). p(a) :- q(a).").unwrap();
+    let mut kb = b.build(GroundStrategy::Smart).unwrap();
+    let deny = QueryOptions::new().deny_warnings();
+
+    // Removing the only `q` definition makes `p`'s body undefined.
+    match kb.retract_rule_with("main", "q(a).", &deny) {
+        Err(KbError::Rejected(diags)) => {
+            assert!(diags.iter().any(|d| d.code == Code::UndefinedPredicate));
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert_eq!(kb.truth("main", "q(a)").unwrap(), Truth::True, "unchanged");
+
+    // Plain options still allow it.
+    let removed = kb.retract_rule("main", "q(a).").unwrap();
+    assert!(removed);
+    assert_eq!(kb.truth("main", "q(a)").unwrap(), Truth::Undefined);
+}
+
+#[test]
+fn spans_stay_aligned_across_live_retraction() {
+    // Load through the parser so the span table is populated, retract a
+    // *middle* rule, and check the surviving finding still points at
+    // its original source line.
+    let src = "q(a).\nr(a).\np(X) :- q(X), q(Y).\n";
+    let mut world = World::new();
+    let prog = parse_program(&mut world, src).unwrap();
+    let mut kb = KbBuilder::from_parts(world, prog)
+        .build(GroundStrategy::Smart)
+        .unwrap();
+
+    let before = kb.analyze();
+    assert_eq!(before.len(), 1, "{before:?}");
+    assert_eq!(before[0].code, Code::SingletonVariable);
+    assert_eq!(before[0].pos.unwrap().line, 3);
+
+    let removed = kb.retract_rule("main", "r(a).").unwrap();
+    assert!(removed);
+
+    let after = kb.analyze();
+    assert_eq!(after.len(), 1, "{after:?}");
+    assert_eq!(after[0].code, Code::SingletonVariable);
+    assert_eq!(
+        after[0].pos.unwrap().line,
+        3,
+        "span must survive removal of an earlier rule"
+    );
+    assert_eq!(after[0].rule, Some(1), "rule index shifted down with it");
+}
+
+#[test]
+fn exhaustive_strategy_takes_the_same_gates() {
+    let mut b = KbBuilder::new();
+    b.rules("main", "q(a). p(a) :- q(a).").unwrap();
+    let mut kb = b.build(GroundStrategy::Exhaustive).unwrap();
+    let deny = QueryOptions::new().deny_warnings();
+    assert!(matches!(
+        kb.retract_rule_with("main", "q(a).", &deny),
+        Err(KbError::Rejected(_))
+    ));
+    kb.assert_rule_with("main", "q(b).", &deny)
+        .unwrap()
+        .expect_complete("unlimited");
+    assert_eq!(kb.truth("main", "p(a)").unwrap(), Truth::True);
+}
