@@ -880,4 +880,191 @@ fn main() {
             Err(e) => println!("B10 parallel: could not write BENCH_parallel.json: {e}"),
         }
     }
+
+    // B11: durability — reloading a KB from its checksummed snapshot
+    // (decode + install, no parsing, no grounding) vs rebuilding it
+    // from source (parse + ground + re-apply the mutation history).
+    // Differential check (identical least model after reload) plus an
+    // acceptance gate, emitted as BENCH_durability.json:
+    //   * ≥5x reload-vs-rebuild on the scaled mutation_stream KB —
+    //     evaluated only when a writable tmpdir exists (a read-only
+    //     filesystem cannot measure file-backed reload; the gate is
+    //     then reported as SKIP with the in-memory encode/decode
+    //     numbers, never as a fake PASS, mirroring the B10 <8-core
+    //     convention);
+    // plus per-policy logging throughput (off / on-commit / batched).
+    {
+        use olp_kb::{Durability, DurableKb};
+        use olp_store::{decode_snapshot, encode_snapshot};
+
+        const N_BASE: usize = 192;
+        const N_MUTS: usize = 200;
+        let cfg = MutationCfg {
+            n_base: N_BASE,
+            n_mutations: N_MUTS,
+            ..MutationCfg::default()
+        };
+        let (base, ops) = mutation_stream(&cfg, 42);
+
+        fn best_of_3<T>(mut f: impl FnMut() -> T) -> (Duration, T) {
+            let mut best = Duration::MAX;
+            let mut out = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let v = f();
+                best = best.min(t.elapsed());
+                out = Some(v);
+            }
+            (best, out.unwrap())
+        }
+        let apply = |kb: &mut Kb, ops: &[Mutation]| {
+            for op in ops {
+                match op {
+                    Mutation::Assert { object, rule } => {
+                        kb.assert_rule(object, rule).expect("assert applies")
+                    }
+                    Mutation::Retract { object, rule } => {
+                        assert!(kb.retract_rule(object, rule).expect("retract applies"));
+                    }
+                }
+            }
+        };
+        // The from-source baseline: what recovery costs WITHOUT the
+        // store — parse the program, ground it, re-apply the history.
+        let rebuild = || {
+            let mut b = KbBuilder::new();
+            b.rules("main", &base).expect("base parses");
+            let mut kb = b.build(GroundStrategy::Smart).expect("base grounds");
+            apply(&mut kb, &ops);
+            kb
+        };
+        let (t_rebuild, mut reference) = best_of_3(rebuild);
+        let ref_model = {
+            let m = reference.model("main").expect("least model").clone();
+            reference.render(&m)
+        };
+        println!(
+            "B11 durability mutation_stream base={N_BASE} ops={N_MUTS}: \
+             rebuild from source {t_rebuild:?} ({} ground instances)",
+            reference.ground_program().len()
+        );
+
+        // In-memory encode/decode numbers: measurable even with no
+        // writable filesystem, and reported in the SKIP line.
+        let snap_bytes = encode_snapshot(
+            reference.world(),
+            reference.program(),
+            reference.ground_program(),
+            N_MUTS as u64,
+        );
+        let (t_decode, _) = best_of_3(|| {
+            decode_snapshot(&snap_bytes, std::path::Path::new("bench.olps")).expect("decodes")
+        });
+        println!(
+            "B11 durability: snapshot {} bytes, in-memory decode {t_decode:?}",
+            snap_bytes.len()
+        );
+
+        let dir = std::env::temp_dir().join(format!("olp_bench_durability_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writable = std::fs::create_dir_all(&dir).is_ok()
+            && std::fs::write(dir.join(".probe"), b"w").is_ok();
+        let mut json_extra = String::new();
+        let (reload_gate, reload_speedup) = if writable {
+            // Build the database once: full state in the snapshot.
+            let d =
+                DurableKb::create(&dir, rebuild(), Durability::OnCommit).expect("database created");
+            drop(d);
+            let (t_reload, mut reloaded) = best_of_3(|| {
+                let (d, _) = DurableKb::open(&dir, Durability::OnCommit).expect("database opens");
+                d
+            });
+            let m = reloaded
+                .kb_mut()
+                .model("main")
+                .expect("least model")
+                .clone();
+            assert_eq!(
+                ref_model,
+                reloaded.kb_mut().render(&m),
+                "reloaded KB's least model differs from the rebuilt one"
+            );
+            let speedup = t_rebuild.as_secs_f64() / t_reload.as_secs_f64().max(1e-9);
+            let gate = if speedup >= 5.0 { "pass" } else { "fail" };
+            println!(
+                "B11 durability: reload {t_reload:?} vs rebuild {t_rebuild:?} \
+                 ({speedup:.2}x, model identical) — ≥5x gate: {}",
+                if speedup >= 5.0 { "PASS" } else { "FAIL" }
+            );
+
+            // Logging throughput per durability policy (fresh db per
+            // policy, same op stream).
+            let mut policy_rows = Vec::new();
+            for (name, policy) in [
+                ("off", Durability::Off),
+                ("on_commit", Durability::OnCommit),
+                ("batched", Durability::Batched),
+            ] {
+                let pdir = dir.join(name);
+                let _ = std::fs::remove_dir_all(&pdir);
+                let mut b = KbBuilder::new();
+                b.rules("main", &base).expect("base parses");
+                let kb = b.build(GroundStrategy::Smart).expect("base grounds");
+                let mut d = DurableKb::create(&pdir, kb, policy).expect("database created");
+                let t = Instant::now();
+                for op in &ops {
+                    match op {
+                        Mutation::Assert { object, rule } => {
+                            d.assert_rule(object, rule).expect("assert applies")
+                        }
+                        Mutation::Retract { object, rule } => {
+                            assert!(d.retract_rule(object, rule).expect("retract applies"));
+                        }
+                    }
+                }
+                let elapsed = t.elapsed();
+                let ops_per_s = N_MUTS as f64 / elapsed.as_secs_f64().max(1e-9);
+                println!(
+                    "B11 durability policy {name}: {N_MUTS} logged ops in {elapsed:?} \
+                     ({ops_per_s:.0} ops/s)"
+                );
+                policy_rows.push(format!(
+                    "  {{\"policy\": \"{name}\", \"ops\": {N_MUTS}, \"elapsed_ns\": {}, \"ops_per_s\": {ops_per_s:.0}}}",
+                    elapsed.as_nanos(),
+                ));
+            }
+            json_extra = format!(
+                ",\n\"reload_ns\": {},\n\"policies\": [\n{}\n]",
+                t_reload.as_nanos(),
+                policy_rows.join(",\n"),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            (gate, speedup)
+        } else {
+            let speedup = t_rebuild.as_secs_f64() / t_decode.as_secs_f64().max(1e-9);
+            println!(
+                "B11 durability: ≥5x reload gate SKIP — no writable tmpdir at {}; \
+                 file-backed reload is unmeasurable here (in-memory decode {t_decode:?} \
+                 vs rebuild {t_rebuild:?}, {speedup:.2}x)",
+                dir.display()
+            );
+            ("skipped_no_writable_tmpdir", speedup)
+        };
+
+        let json = format!(
+            "{{\n\"workload\": \"mutation_stream\",\n\"n_base\": {N_BASE}, \"n_mutations\": {N_MUTS},\n\
+             \"rebuild_ns\": {},\n\"snapshot_bytes\": {},\n\"decode_ns\": {}{json_extra},\n\
+             \"gates\": {{\n\
+             \"reload_min\": 5.0, \"reload_speedup\": {reload_speedup:.2}, \"reload\": \"{reload_gate}\"\n\
+             }},\n\
+             \"model_identical\": true\n}}\n",
+            t_rebuild.as_nanos(),
+            snap_bytes.len(),
+            t_decode.as_nanos(),
+        );
+        match std::fs::write("BENCH_durability.json", &json) {
+            Ok(()) => println!("B11 durability: wrote BENCH_durability.json"),
+            Err(e) => println!("B11 durability: could not write BENCH_durability.json: {e}"),
+        }
+    }
 }

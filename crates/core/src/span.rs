@@ -133,6 +133,19 @@ impl SpanTable {
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty() && self.edges.is_empty()
     }
+
+    /// Iterates over all recorded rule spans as
+    /// `((component index, rule index), span)`, in unspecified order.
+    /// Serialisation (`olp-store`) sorts the pairs itself.
+    pub fn iter_rules(&self) -> impl Iterator<Item = ((u32, u32), &RuleSpan)> {
+        self.rules.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Iterates over all recorded edge spans as `(edge index, pos)`, in
+    /// unspecified order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, Pos)> + '_ {
+        self.edges.iter().map(|(&k, &v)| (k, v))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,387 @@
+//! Durable knowledge bases: a [`Kb`] backed by an `olp-store` database.
+//!
+//! [`DurableKb`] wraps a [`Kb`] and a [`Db`] so that every committed
+//! mutation is appended to the write-ahead log (fsync'd per the
+//! [`Durability`] policy) and the snapshot is refreshed by periodic
+//! compaction. Opening a database is **decode + replay**: the snapshot
+//! restores the interned arenas and the ground program without
+//! re-parsing or re-grounding, and the WAL suffix is replayed through
+//! the ordinary incremental mutation path ([`Kb::assert_rule`] /
+//! [`Kb::retract_rule`] — parser, validation, delta grounder), so a
+//! recovered KB is produced by exactly the machinery that produced the
+//! original.
+//!
+//! The write protocol is *apply-then-log*: a mutation is validated and
+//! applied to the in-memory KB first, and appended to the WAL only
+//! once it has succeeded. A crash between apply and append loses an
+//! **unacknowledged** op (the call never returned); a crash after the
+//! append is recovered by replay. Ops that fail validation are never
+//! logged, so replay cannot fail on well-formed databases.
+//!
+//! These open semantics are what a long-running `olp serve` process
+//! needs: open once at startup (crash recovery included), log per
+//! committed mutation, compact in the background, `sync` on demand.
+
+use crate::kb::{Kb, KbError, QueryOptions};
+use olp_core::Eval;
+use olp_store::wal::WalOpKind;
+use olp_store::{Db, Durability, StoreError, WalOp};
+use std::ops::{Deref, DerefMut};
+use std::path::Path;
+
+/// Compact once the WAL holds this many ops, unless reconfigured with
+/// [`DurableKb::set_compact_every`].
+pub const DEFAULT_COMPACT_EVERY: u64 = 1024;
+
+/// What [`DurableKb::open`] had to do to recover.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// WAL ops replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Bytes of torn/corrupt WAL tail dropped (0 on a clean shutdown).
+    pub wal_dropped_bytes: u64,
+    /// Why the WAL scan stopped early, if it did.
+    pub wal_torn: Option<&'static str>,
+}
+
+/// A [`Kb`] whose mutations are durably logged to a database directory.
+///
+/// Dereferences to [`Kb`] for queries; the mutation entry points are
+/// shadowed so they append to the WAL after applying. Mutating through
+/// [`DurableKb::kb_mut`] bypasses the log — only do that for state you
+/// are prepared to lose.
+#[derive(Debug)]
+pub struct DurableKb {
+    kb: Kb,
+    db: Db,
+    compact_every: u64,
+}
+
+impl Deref for DurableKb {
+    type Target = Kb;
+    fn deref(&self) -> &Kb {
+        &self.kb
+    }
+}
+
+impl DerefMut for DurableKb {
+    fn deref_mut(&mut self) -> &mut Kb {
+        &mut self.kb
+    }
+}
+
+impl DurableKb {
+    /// Creates a new database at `dir` from an existing in-memory KB
+    /// (snapshot written atomically, WAL empty). An existing database
+    /// at `dir` is replaced.
+    pub fn create(dir: &Path, kb: Kb, policy: Durability) -> Result<DurableKb, KbError> {
+        let db = Db::create(dir, kb.world(), kb.program(), kb.ground_program(), policy)?;
+        Ok(DurableKb {
+            kb,
+            db,
+            compact_every: DEFAULT_COMPACT_EVERY,
+        })
+    }
+
+    /// Opens the database at `dir`: decodes the snapshot (no re-parse,
+    /// no re-ground), truncates any torn WAL tail, and replays the
+    /// logged suffix through the incremental mutation path.
+    pub fn open(dir: &Path, policy: Durability) -> Result<(DurableKb, RecoveryReport), KbError> {
+        let opened = Db::open(dir, policy)?;
+        let snap = opened.snapshot;
+        let mut kb = Kb::from_ground_parts(snap.world, snap.prog, snap.ground);
+        let report = RecoveryReport {
+            replayed: opened.replay.len(),
+            wal_dropped_bytes: opened.wal_scan.dropped_bytes,
+            wal_torn: opened.wal_scan.torn,
+        };
+        for (index, rec) in opened.replay.iter().enumerate() {
+            let res = match rec.op.kind {
+                WalOpKind::Assert => kb.assert_rule(&rec.op.object, &rec.op.rule).map(|()| true),
+                WalOpKind::Retract => kb.retract_rule(&rec.op.object, &rec.op.rule),
+            };
+            match res {
+                Ok(_) => {}
+                Err(e) => {
+                    // A logged op that no longer applies means the
+                    // snapshot and log disagree — surface it as a
+                    // storage-level failure, never a silent skip.
+                    return Err(KbError::Store(StoreError::Replay {
+                        index,
+                        detail: e.to_string(),
+                    }));
+                }
+            }
+        }
+        Ok((
+            DurableKb {
+                kb,
+                db: opened.db,
+                compact_every: DEFAULT_COMPACT_EVERY,
+            },
+            report,
+        ))
+    }
+
+    /// Asserts a rule and logs it. See [`Kb::assert_rule`].
+    pub fn assert_rule(&mut self, object: &str, src: &str) -> Result<(), KbError> {
+        self.assert_rule_with(object, src, &QueryOptions::new())
+            .map(|ev| ev.expect_complete("unlimited assert cannot be interrupted"))
+    }
+
+    /// [`Kb::assert_rule_with`], plus WAL logging on commit. An
+    /// interrupted (not-applied) mutation is not logged. A logging
+    /// failure is reported as [`KbError::Store`]; the mutation is then
+    /// applied in memory but **not durable** until a later op or
+    /// [`DurableKb::save`] succeeds.
+    pub fn assert_rule_with(
+        &mut self,
+        object: &str,
+        src: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<()>, KbError> {
+        let ev = self.kb.assert_rule_with(object, src, opts)?;
+        if ev.is_complete() {
+            self.db.log(WalOp {
+                kind: WalOpKind::Assert,
+                object: object.to_string(),
+                rule: src.to_string(),
+            })?;
+            self.maybe_compact()?;
+        }
+        Ok(ev)
+    }
+
+    /// Retracts a rule and logs the retraction (only when a rule was
+    /// actually removed). See [`Kb::retract_rule`].
+    pub fn retract_rule(&mut self, object: &str, src: &str) -> Result<bool, KbError> {
+        self.retract_rule_with(object, src, &QueryOptions::new())
+            .map(|ev| ev.expect_complete("unlimited retract cannot be interrupted"))
+    }
+
+    /// [`Kb::retract_rule_with`], plus WAL logging on commit.
+    pub fn retract_rule_with(
+        &mut self,
+        object: &str,
+        src: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<bool>, KbError> {
+        let ev = self.kb.retract_rule_with(object, src, opts)?;
+        if ev.is_complete() && *ev.value() {
+            self.db.log(WalOp {
+                kind: WalOpKind::Retract,
+                object: object.to_string(),
+                rule: src.to_string(),
+            })?;
+            self.maybe_compact()?;
+        }
+        Ok(ev)
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), StoreError> {
+        if self.db.ops_since_snapshot() >= self.compact_every {
+            self.db
+                .compact(self.kb.world(), self.kb.program(), self.kb.ground_program())?;
+        }
+        Ok(())
+    }
+
+    /// Forces a snapshot of the current state and resets the WAL
+    /// (manual compaction).
+    pub fn save(&mut self) -> Result<(), KbError> {
+        self.db
+            .compact(self.kb.world(), self.kb.program(), self.kb.ground_program())?;
+        Ok(())
+    }
+
+    /// Writes a standalone copy of the current state as a fresh
+    /// database at `dir` (this handle keeps using its own directory).
+    pub fn save_to(&self, dir: &Path, policy: Durability) -> Result<(), KbError> {
+        Db::create(
+            dir,
+            self.kb.world(),
+            self.kb.program(),
+            self.kb.ground_program(),
+            policy,
+        )?;
+        Ok(())
+    }
+
+    /// Forces every logged op to stable storage regardless of policy.
+    pub fn sync(&mut self) -> Result<(), KbError> {
+        self.db.sync()?;
+        Ok(())
+    }
+
+    /// Sequence number of the last durably logged op.
+    pub fn seq(&self) -> u64 {
+        self.db.seq()
+    }
+
+    /// Ops logged since the last snapshot.
+    pub fn ops_since_snapshot(&self) -> u64 {
+        self.db.ops_since_snapshot()
+    }
+
+    /// Compaction threshold (ops in the WAL before a snapshot is
+    /// folded). `u64::MAX` disables automatic compaction.
+    pub fn set_compact_every(&mut self, every: u64) {
+        self.compact_every = every.max(1);
+    }
+
+    /// The underlying store handle.
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Mutable access to the wrapped [`Kb`]. Mutations through this
+    /// reference are **not logged**.
+    pub fn kb_mut(&mut self) -> &mut Kb {
+        &mut self.kb
+    }
+
+    /// Consumes the handle, returning the in-memory KB (the database
+    /// files stay on disk).
+    pub fn into_kb(self) -> Kb {
+        self.kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{GroundStrategy, KbBuilder};
+    use olp_core::Truth;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("olp-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn bird_kb() -> Kb {
+        let mut b = KbBuilder::new();
+        b.rules("bird", "bird(penguin). bird(pigeon). fly(X) :- bird(X).")
+            .unwrap();
+        b.isa("penguins", "bird");
+        b.rules(
+            "penguins",
+            "ground_animal(penguin). -fly(X) :- ground_animal(X).",
+        )
+        .unwrap();
+        b.build(GroundStrategy::Smart).unwrap()
+    }
+
+    #[test]
+    fn create_mutate_reopen_round_trips_models() {
+        let dir = tmpdir("roundtrip");
+        let mut d = DurableKb::create(&dir, bird_kb(), Durability::OnCommit).unwrap();
+        d.assert_rule("bird", "bird(sparrow).").unwrap();
+        assert!(d
+            .retract_rule("penguins", "ground_animal(penguin).")
+            .unwrap());
+        assert!(!d.retract_rule("penguins", "ground_animal(dodo).").unwrap());
+        assert_eq!(d.seq(), 2, "the no-op retract is not logged");
+        let expect = {
+            let m = d.model("penguins").unwrap().clone();
+            (
+                d.render(&m),
+                d.truth("penguins", "fly(penguin)").unwrap(),
+                d.truth("penguins", "fly(sparrow)").unwrap(),
+            )
+        };
+        drop(d);
+
+        let (mut d, report) = DurableKb::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.wal_dropped_bytes, 0);
+        let m = d.model("penguins").unwrap().clone();
+        assert_eq!(d.render(&m), expect.0);
+        assert_eq!(d.truth("penguins", "fly(penguin)").unwrap(), expect.1);
+        assert_eq!(d.truth("penguins", "fly(sparrow)").unwrap(), expect.2);
+        // Mutations keep working (and keep being logged) after reopen.
+        d.assert_rule("penguins", "ground_animal(sparrow).")
+            .unwrap();
+        assert_eq!(d.truth("penguins", "fly(sparrow)").unwrap(), Truth::False);
+        assert_eq!(d.seq(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_is_transparent() {
+        let dir = tmpdir("compact");
+        let mut d = DurableKb::create(&dir, bird_kb(), Durability::Batched).unwrap();
+        d.set_compact_every(4);
+        for i in 0..10 {
+            d.assert_rule("bird", &format!("bird(b{i}).")).unwrap();
+        }
+        assert!(
+            d.ops_since_snapshot() < 4,
+            "auto-compaction kept the WAL short"
+        );
+        drop(d);
+        let (mut d, report) = DurableKb::open(&dir, Durability::OnCommit).unwrap();
+        assert!(report.replayed < 4);
+        for i in 0..10 {
+            assert_eq!(d.truth("bird", &format!("fly(b{i})")).unwrap(), Truth::True);
+        }
+        assert_eq!(d.seq(), 10, "sequence numbers survive compaction");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_and_save_to_snapshot_now() {
+        let dir = tmpdir("save");
+        let copy = tmpdir("save-copy");
+        let mut d = DurableKb::create(&dir, bird_kb(), Durability::Off).unwrap();
+        d.assert_rule("bird", "bird(sparrow).").unwrap();
+        d.save().unwrap();
+        assert_eq!(d.ops_since_snapshot(), 0);
+        d.save_to(&copy, Durability::Off).unwrap();
+        drop(d);
+        for p in [&dir, &copy] {
+            let (mut d, report) = DurableKb::open(p, Durability::Off).unwrap();
+            assert_eq!(report.replayed, 0, "snapshot already holds everything");
+            assert_eq!(d.truth("bird", "fly(sparrow)").unwrap(), Truth::True);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&copy).ok();
+    }
+
+    #[test]
+    fn interrupted_mutation_is_not_logged() {
+        let dir = tmpdir("interrupted");
+        let mut d = DurableKb::create(&dir, bird_kb(), Durability::OnCommit).unwrap();
+        let ev = d
+            .assert_rule_with("bird", "bird(sparrow).", &QueryOptions::new().max_steps(0))
+            .unwrap();
+        assert!(ev.is_partial());
+        assert_eq!(d.seq(), 0);
+        drop(d);
+        let (d, report) = DurableKb::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(d.epoch(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_errors_are_real_errors() {
+        use std::error::Error as _;
+        let dir = tmpdir("missing");
+        let err = DurableKb::open(&dir, Durability::OnCommit).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("not a KB database") || msg.contains("failed to"),
+            "{msg}"
+        );
+        // KbError::Store chains to the StoreError for programmatic
+        // inspection.
+        assert!(matches!(err, KbError::Store(_)));
+        if let KbError::Store(ref s) = err {
+            let _ = s; // the source chain is exercised below
+        }
+        assert!(err.source().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

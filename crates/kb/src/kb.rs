@@ -78,6 +78,11 @@ pub enum KbError {
     /// [`KbBuilder::build_checked`]). Carries the offending findings;
     /// for mutations, only findings *introduced* by the mutation.
     Rejected(Vec<Diagnostic>),
+    /// Durable storage failed (opening, logging, or compacting a
+    /// database; see [`crate::DurableKb`]). The underlying
+    /// [`olp_store::StoreError`] is available via
+    /// [`std::error::Error::source`].
+    Store(olp_store::StoreError),
 }
 
 impl fmt::Display for KbError {
@@ -99,11 +104,27 @@ impl fmt::Display for KbError {
                 }
                 Ok(())
             }
+            KbError::Store(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for KbError {}
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbError::Parse(e) => Some(e),
+            KbError::Ground(e) => Some(e),
+            KbError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<olp_store::StoreError> for KbError {
+    fn from(e: olp_store::StoreError) -> Self {
+        KbError::Store(e)
+    }
+}
 
 impl From<ParseError> for KbError {
     fn from(e: ParseError) -> Self {
@@ -1136,6 +1157,41 @@ impl Kb {
     /// The underlying ground program (for diagnostics and benches).
     pub fn ground_program(&self) -> &GroundProgram {
         &self.ground
+    }
+
+    /// Read-only access to the ordered program (components, rules,
+    /// order edges, spans) — what a snapshot serialises.
+    pub fn program(&self) -> &olp_core::OrderedProgram {
+        &self.prog
+    }
+
+    /// Reassembles a KB from already-grounded parts — a decoded
+    /// snapshot (`olp-store`). **No re-parse and no re-ground happens
+    /// here**: the ground program is installed as-is; the incremental
+    /// delta grounder is rebuilt lazily by the first mutation. The
+    /// caller guarantees `ground` is the deterministic grounding of
+    /// `prog` in `world` (true for any snapshot this code base wrote —
+    /// decoding validates checksums and id ranges).
+    pub fn from_ground_parts(
+        world: World,
+        prog: olp_core::OrderedProgram,
+        ground: GroundProgram,
+    ) -> Kb {
+        Kb {
+            world,
+            prog,
+            ground,
+            least_cache: FxHashMap::default(),
+            stable_cache: FxHashMap::default(),
+            strategy: GroundStrategy::Smart,
+            cfg: GroundConfig::default(),
+            delta: None,
+            delta_ids: Vec::new(),
+            incremental: true,
+            epoch: 0,
+            touched_log: Vec::new(),
+            threads: default_threads(),
+        }
     }
 }
 

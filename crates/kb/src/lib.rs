@@ -30,9 +30,12 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod kb;
 pub mod relation;
 
+pub use durable::{DurableKb, RecoveryReport};
 pub use kb::{default_threads, GroundStrategy, Kb, KbBuilder, KbError, QueryOptions};
 pub use olp_core::{Budget, Eval, InterruptReason, Interrupted};
+pub use olp_store::{Durability, StoreError};
 pub use relation::{ArityMismatch, Relation};

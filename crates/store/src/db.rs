@@ -1,0 +1,453 @@
+//! A database directory: snapshot + WAL, tied together crash-safely.
+//!
+//! ```text
+//! mykb.olpdb/
+//!   snapshot.olps    whole-KB binary image (see `snapshot`)
+//!   wal.olpw         append-only op log since that image (see `wal`)
+//!   snapshot.olps.tmp  scratch for atomic replacement; ignored on open
+//! ```
+//!
+//! The invariants that make every crash recoverable:
+//!
+//! 1. **Snapshots are replaced atomically**: encode to `*.tmp`, fsync,
+//!    `rename(2)` into place, fsync the directory. Open never sees a
+//!    half-written snapshot — either the old or the new file.
+//! 2. **The WAL is append-only between compactions**, every record
+//!    checksummed. A crash mid-append leaves a torn tail, which open
+//!    detects and truncates at the last valid record.
+//! 3. **Records carry global sequence numbers** and the snapshot
+//!    records how many ops it has folded in (`base_ops`). Replay skips
+//!    records with `seq <= base_ops`, so compaction needs no multi-file
+//!    atomicity: after the snapshot rename lands, the old WAL's records
+//!    are all skippable, and resetting the WAL can tear anywhere (an
+//!    empty or torn-header WAL scans as empty).
+
+use crate::error::StoreError;
+use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotData};
+use crate::wal::{scan_wal, Durability, WalOp, WalRecord, WalScan, WalWriter, WAL_HEADER_LEN};
+use olp_core::{OrderedProgram, World};
+use olp_ground::GroundProgram;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Snapshot file name inside a database directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.olps";
+/// WAL file name inside a database directory.
+pub const WAL_FILE: &str = "wal.olpw";
+
+/// An open database: the WAL appender plus the op/compaction counters.
+///
+/// `Db` owns the *files*; it does not own a KB. The caller (see
+/// `DurableKb` in `olp-kb`) decodes [`DbOpen::snapshot`], replays
+/// [`DbOpen::replay`] through its own mutation path, and thereafter
+/// calls [`Db::log`] for every committed mutation and [`Db::compact`]
+/// when the log has grown enough to be worth folding in.
+#[derive(Debug)]
+pub struct Db {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// Sequence number of the last logged op (global, monotone across
+    /// compactions).
+    seq: u64,
+    /// Ops folded into the on-disk snapshot.
+    base_ops: u64,
+}
+
+/// Everything [`Db::open`] recovers from disk.
+#[derive(Debug)]
+pub struct DbOpen {
+    /// The decoded snapshot.
+    pub snapshot: SnapshotData,
+    /// WAL records not yet folded into the snapshot (`seq > base_ops`),
+    /// in append order — the caller replays these.
+    pub replay: Vec<WalRecord>,
+    /// What the WAL scan found (tail truncation is reported here; a
+    /// non-zero `dropped_bytes` means a torn tail was cut off).
+    pub wal_scan: WalScan,
+    /// The database handle, positioned to append after the last valid
+    /// record.
+    pub db: Db,
+}
+
+/// Writes `bytes` to `path` atomically: `path.tmp` + fsync + rename +
+/// directory fsync. On any failure the destination is untouched.
+fn atomic_write(dir: &Path, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("olps.tmp");
+    let mut f =
+        File::create(&tmp).map_err(|e| StoreError::io("create snapshot scratch", &tmp, e))?;
+    f.write_all(bytes)
+        .map_err(|e| StoreError::io("write snapshot", &tmp, e))?;
+    f.sync_all()
+        .map_err(|e| StoreError::io("sync snapshot", &tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| StoreError::io("install snapshot", path, e))?;
+    // Make the rename itself durable. Directory fsync can fail on
+    // exotic filesystems; treat that as best-effort only if the open
+    // itself failed (the rename is still atomic either way).
+    if let Ok(d) = File::open(dir) {
+        d.sync_all()
+            .map_err(|e| StoreError::io("sync database directory", dir, e))?;
+    }
+    Ok(())
+}
+
+impl Db {
+    /// Whether `dir` looks like a database (has a snapshot file).
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(SNAPSHOT_FILE).is_file()
+    }
+
+    /// Creates a fresh database at `dir` (created if missing) holding a
+    /// snapshot of the given KB state and an empty WAL. Refuses nothing:
+    /// an existing database at `dir` is overwritten atomically.
+    pub fn create(
+        dir: &Path,
+        world: &World,
+        prog: &OrderedProgram,
+        ground: &GroundProgram,
+        policy: Durability,
+    ) -> Result<Db, StoreError> {
+        fs::create_dir_all(dir).map_err(|e| StoreError::io("create database directory", dir, e))?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let bytes = encode_snapshot(world, prog, ground, 0);
+        atomic_write(dir, &snap_path, &bytes)?;
+        let wal = WalWriter::create(&dir.join(WAL_FILE), policy)?;
+        Ok(Db {
+            dir: dir.to_path_buf(),
+            wal,
+            seq: 0,
+            base_ops: 0,
+        })
+    }
+
+    /// Opens the database at `dir`: decodes the snapshot, scans the
+    /// WAL, truncates any torn tail, and returns the records the caller
+    /// must replay.
+    ///
+    /// Fails with [`StoreError::NotADatabase`] when `dir` has no
+    /// snapshot, and with [`StoreError::Corrupt`] (never a partial
+    /// load) when the snapshot or the WAL body fails validation.
+    pub fn open(dir: &Path, policy: Durability) -> Result<DbOpen, StoreError> {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if !snap_path.is_file() {
+            return Err(StoreError::NotADatabase {
+                path: dir.to_path_buf(),
+            });
+        }
+        let bytes =
+            fs::read(&snap_path).map_err(|e| StoreError::io("read snapshot", &snap_path, e))?;
+        let snapshot = decode_snapshot(&bytes, &snap_path)?;
+        let base_ops = snapshot.base_ops;
+
+        let wal_path = dir.join(WAL_FILE);
+        let (records, wal_scan) = if wal_path.is_file() {
+            let wal_bytes =
+                fs::read(&wal_path).map_err(|e| StoreError::io("read WAL", &wal_path, e))?;
+            scan_wal(&wal_bytes, &wal_path)?
+        } else {
+            // Crash between snapshot creation and WAL creation: the
+            // snapshot alone is the whole state.
+            (
+                Vec::new(),
+                WalScan {
+                    valid_len: 0,
+                    dropped_bytes: 0,
+                    torn: None,
+                },
+            )
+        };
+
+        // Sequence sanity: within one WAL file records are consecutive.
+        // A gap or regression means the file was assembled from
+        // mismatched pieces — refuse rather than replay garbage.
+        for pair in records.windows(2) {
+            if pair[1].seq != pair[0].seq + 1 {
+                return Err(StoreError::corrupt(
+                    &wal_path,
+                    WAL_HEADER_LEN,
+                    format!(
+                        "WAL sequence jumps from {} to {} (expected {})",
+                        pair[0].seq,
+                        pair[1].seq,
+                        pair[0].seq + 1
+                    ),
+                ));
+            }
+        }
+        let last_seq = records.last().map(|r| r.seq).unwrap_or(0);
+        // Records already folded into the snapshot are skipped; a WAL
+        // that starts *beyond* base_ops + 1 lost acknowledged ops.
+        let replay: Vec<WalRecord> = records.into_iter().filter(|r| r.seq > base_ops).collect();
+        if let Some(first) = replay.first() {
+            if first.seq != base_ops + 1 {
+                return Err(StoreError::corrupt(
+                    &wal_path,
+                    WAL_HEADER_LEN,
+                    format!(
+                        "WAL starts at op {} but the snapshot holds ops through {base_ops} \
+                         (ops {} to {} are missing)",
+                        first.seq,
+                        base_ops + 1,
+                        first.seq - 1
+                    ),
+                ));
+            }
+        }
+        let seq = last_seq.max(base_ops);
+        let wal = WalWriter::open(&wal_path, wal_scan.valid_len, policy)?;
+        Ok(DbOpen {
+            snapshot,
+            replay,
+            wal_scan,
+            db: Db {
+                dir: dir.to_path_buf(),
+                wal,
+                seq,
+                base_ops,
+            },
+        })
+    }
+
+    /// Logs one committed mutation, assigning and returning its
+    /// sequence number. The append is durable per the [`Durability`]
+    /// policy the database was opened with.
+    pub fn log(&mut self, op: WalOp) -> Result<u64, StoreError> {
+        let seq = self.seq + 1;
+        self.wal.append(&WalRecord { seq, op })?;
+        self.seq = seq;
+        Ok(seq)
+    }
+
+    /// Forces all logged ops to stable storage regardless of policy.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Folds the current KB state into a fresh snapshot and resets the
+    /// WAL.
+    ///
+    /// Crash-safe at every point: the snapshot is replaced atomically
+    /// *first* (so the old WAL's records all become skippable via
+    /// `base_ops`), and only then is the WAL reset — a tear during the
+    /// reset leaves a file that scans as empty.
+    pub fn compact(
+        &mut self,
+        world: &World,
+        prog: &OrderedProgram,
+        ground: &GroundProgram,
+    ) -> Result<(), StoreError> {
+        // Everything logged so far must be on disk before the snapshot
+        // claims to contain it.
+        self.wal.sync()?;
+        let bytes = encode_snapshot(world, prog, ground, self.seq);
+        atomic_write(&self.dir, &self.dir.join(SNAPSHOT_FILE), &bytes)?;
+        self.base_ops = self.seq;
+        let policy = self.wal.policy();
+        self.wal = WalWriter::create(&self.dir.join(WAL_FILE), policy)?;
+        Ok(())
+    }
+
+    /// Sequence number of the last logged op.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Ops folded into the on-disk snapshot.
+    pub fn base_ops(&self) -> u64 {
+        self.base_ops
+    }
+
+    /// Ops logged since the last snapshot (the WAL's replay backlog).
+    pub fn ops_since_snapshot(&self) -> u64 {
+        self.seq - self.base_ops
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active durability policy.
+    pub fn policy(&self) -> Durability {
+        self.wal.policy()
+    }
+
+    /// Changes the durability policy for subsequent appends.
+    pub fn set_policy(&mut self, policy: Durability) {
+        self.wal.set_policy(policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::WalOpKind;
+    use olp_ground::GroundConfig;
+    use olp_parser::parse_program;
+
+    fn sample() -> (World, OrderedProgram, GroundProgram) {
+        let mut w = World::new();
+        let prog = parse_program(&mut w, "module main { p(a). q(X) :- p(X). }").unwrap();
+        let ground = olp_ground::ground_smart(&mut w, &prog, &GroundConfig::default()).unwrap();
+        (w, prog, ground)
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("olp-db-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn op(kind: WalOpKind, rule: &str) -> WalOp {
+        WalOp {
+            kind,
+            object: "main".into(),
+            rule: rule.into(),
+        }
+    }
+
+    #[test]
+    fn create_log_reopen_replays_the_logged_suffix() {
+        let dir = tmpdir("basic");
+        let (w, p, g) = sample();
+        let mut db = Db::create(&dir, &w, &p, &g, Durability::OnCommit).unwrap();
+        assert!(Db::exists(&dir));
+        assert_eq!(db.log(op(WalOpKind::Assert, "p(b).")).unwrap(), 1);
+        assert_eq!(db.log(op(WalOpKind::Retract, "p(a).")).unwrap(), 2);
+        drop(db);
+
+        let opened = Db::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(opened.db.seq(), 2);
+        assert_eq!(opened.db.base_ops(), 0);
+        assert_eq!(opened.replay.len(), 2);
+        assert_eq!(opened.replay[0].op.rule, "p(b).");
+        assert_eq!(opened.replay[1].op.kind, WalOpKind::Retract);
+        assert_eq!(opened.wal_scan.dropped_bytes, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_ops_and_survives_stale_wal() {
+        let dir = tmpdir("compact");
+        let (w, p, g) = sample();
+        let mut db = Db::create(&dir, &w, &p, &g, Durability::Batched).unwrap();
+        for i in 0..5 {
+            db.log(op(WalOpKind::Assert, &format!("p(c{i})."))).unwrap();
+        }
+        db.compact(&w, &p, &g).unwrap();
+        assert_eq!(db.ops_since_snapshot(), 0);
+        db.log(op(WalOpKind::Assert, "p(z).")).unwrap();
+        db.sync().unwrap();
+        drop(db);
+
+        let opened = Db::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(opened.db.base_ops(), 5);
+        assert_eq!(opened.db.seq(), 6);
+        assert_eq!(
+            opened.replay.len(),
+            1,
+            "only the post-compaction op replays"
+        );
+        assert_eq!(opened.replay[0].seq, 6);
+
+        // Crash-between-renames simulation: restore the *old* WAL (all
+        // five pre-compaction records) next to the *new* snapshot. All
+        // its records are <= base_ops and must be skipped.
+        let mut stale = crate::wal::wal_header().to_vec();
+        for i in 0..5u64 {
+            stale.extend_from_slice(&crate::wal::encode_record(&WalRecord {
+                seq: i + 1,
+                op: op(WalOpKind::Assert, &format!("p(c{i}).")),
+            }));
+        }
+        fs::write(dir.join(WAL_FILE), &stale).unwrap();
+        let opened = Db::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(opened.replay.len(), 0);
+        assert_eq!(opened.db.seq(), 5, "seq resumes from the snapshot");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_not_a_database() {
+        let dir = tmpdir("nodb");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(!Db::exists(&dir));
+        assert!(matches!(
+            Db::open(&dir, Durability::OnCommit),
+            Err(StoreError::NotADatabase { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_and_appending_resumes() {
+        let dir = tmpdir("torn");
+        let (w, p, g) = sample();
+        let mut db = Db::create(&dir, &w, &p, &g, Durability::OnCommit).unwrap();
+        db.log(op(WalOpKind::Assert, "p(b).")).unwrap();
+        db.log(op(WalOpKind::Assert, "p(c).")).unwrap();
+        drop(db);
+        // Tear the last record.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let opened = Db::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(opened.replay.len(), 1);
+        assert!(opened.wal_scan.torn.is_some());
+        assert!(opened.wal_scan.dropped_bytes > 0);
+        let mut db = opened.db;
+        assert_eq!(db.seq(), 1);
+        assert_eq!(db.log(op(WalOpKind::Assert, "p(c).")).unwrap(), 2);
+        drop(db);
+        let opened = Db::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(opened.replay.len(), 2);
+        assert_eq!(opened.wal_scan.dropped_bytes, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_gaps_are_refused() {
+        let dir = tmpdir("gap");
+        let (w, p, g) = sample();
+        drop(Db::create(&dir, &w, &p, &g, Durability::OnCommit).unwrap());
+        let mut bytes = crate::wal::wal_header().to_vec();
+        for seq in [1u64, 3] {
+            bytes.extend_from_slice(&crate::wal::encode_record(&WalRecord {
+                seq,
+                op: op(WalOpKind::Assert, "p(b)."),
+            }));
+        }
+        fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+        assert!(matches!(
+            Db::open(&dir, Durability::OnCommit),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // A WAL starting beyond base_ops + 1 is refused too.
+        let mut bytes = crate::wal::wal_header().to_vec();
+        bytes.extend_from_slice(&crate::wal::encode_record(&WalRecord {
+            seq: 4,
+            op: op(WalOpKind::Assert, "p(b)."),
+        }));
+        fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+        assert!(matches!(
+            Db::open(&dir, Durability::OnCommit),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scratch_file_left_by_a_crash_is_ignored() {
+        let dir = tmpdir("scratch");
+        let (w, p, g) = sample();
+        let mut db = Db::create(&dir, &w, &p, &g, Durability::OnCommit).unwrap();
+        db.log(op(WalOpKind::Assert, "p(b).")).unwrap();
+        drop(db);
+        fs::write(dir.join("snapshot.olps.tmp"), b"half-written junk").unwrap();
+        let opened = Db::open(&dir, Durability::OnCommit).unwrap();
+        assert_eq!(opened.replay.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

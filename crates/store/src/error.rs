@@ -1,0 +1,163 @@
+//! Store error type.
+//!
+//! Every fallible path in `olp-store` reports a [`StoreError`]: a real
+//! `std::error::Error` with a readable `Display` and, for I/O failures,
+//! the underlying `io::Error` as `source()`. No `String` errors escape
+//! this crate.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// An error raised while reading or writing a durable KB.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, tagged with what the store was
+    /// doing and on which path.
+    Io {
+        /// Short verb phrase, e.g. `"open snapshot"`.
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The file does not start with the expected magic bytes — it is
+    /// not an olp snapshot/WAL at all (or the header itself is torn).
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+        /// What the file was expected to be, e.g. `"snapshot"`.
+        expected: &'static str,
+    },
+    /// The file is a recognised olp file but written by an incompatible
+    /// format version.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version recorded in the header.
+        found: u32,
+        /// The version this build reads.
+        supported: u32,
+    },
+    /// The file failed structural validation: a frame checksum
+    /// mismatch, a truncated section, an out-of-range id, or a missing
+    /// end marker. Corrupt data is *never* silently loaded.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset of the first bad frame, where known.
+        offset: u64,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// `open` was pointed at a directory with no snapshot file — not a
+    /// KB database.
+    NotADatabase {
+        /// The directory that was probed.
+        path: PathBuf,
+    },
+    /// A WAL op replayed on open was rejected by the KB layer (e.g. the
+    /// log references an object that the snapshot does not define).
+    /// Carries the op index and the KB's own rendering of the failure.
+    Replay {
+        /// Zero-based index of the failing op within the replayed
+        /// suffix.
+        index: usize,
+        /// The KB-layer error message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "failed to {op} at {}: {source}", path.display())
+            }
+            StoreError::BadMagic { path, expected } => {
+                write!(f, "{} is not an olp {expected} file", path.display())
+            }
+            StoreError::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{} uses format version {found}, but this build supports version {supported}",
+                path.display()
+            ),
+            StoreError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "{} is corrupt at byte {offset}: {detail}",
+                path.display()
+            ),
+            StoreError::NotADatabase { path } => {
+                write!(
+                    f,
+                    "{} is not a KB database (no snapshot found)",
+                    path.display()
+                )
+            }
+            StoreError::Replay { index, detail } => {
+                write!(f, "WAL replay failed at op {index}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    /// Wraps an `io::Error` with its operation and path.
+    pub fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Builds a [`StoreError::Corrupt`].
+    pub fn corrupt(path: impl Into<PathBuf>, offset: u64, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.into(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_readable_and_source_links_io() {
+        let e = StoreError::io(
+            "open snapshot",
+            "/tmp/db/snapshot.olps",
+            io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("open snapshot"), "{msg}");
+        assert!(msg.contains("snapshot.olps"), "{msg}");
+        assert!(e.source().is_some());
+
+        let c = StoreError::corrupt("/db/wal.olpw", 96, "checksum mismatch");
+        assert!(c.to_string().contains("byte 96"));
+        assert!(c.source().is_none());
+    }
+}

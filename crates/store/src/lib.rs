@@ -1,0 +1,40 @@
+//! `olp-store` — durable storage for ordered-logic knowledge bases.
+//!
+//! Two files make a database directory (see `docs/DURABILITY.md`):
+//!
+//! * **`snapshot.olps`** — a compact, versioned binary image of the
+//!   whole KB: interned symbol table, hash-consed term store, ordered
+//!   program (with source spans), and ground program. Every section is
+//!   a length-prefixed, CRC-32-checksummed frame; decoding re-interns
+//!   in id order, which reproduces identical arena ids, so opening a
+//!   database is decode + index rebuild — no re-parse, no re-ground.
+//! * **`wal.olpw`** — an append-only write-ahead log of assert/retract
+//!   ops in surface syntax, one checksummed frame per op, fsync'd per
+//!   the configured [`Durability`] policy. A torn or corrupt tail (the
+//!   signature of a crash mid-append) is detected by checksum and
+//!   truncated at the last valid record; replay goes through the KB's
+//!   ordinary mutation path.
+//!
+//! [`Db`] ties the two together: crash-safe open (scan, truncate,
+//! replay hand-off), logged appends, and periodic snapshot + log
+//! compaction via atomic rename-into-place. The KB-facing wrapper
+//! (`DurableKb`) lives in `olp-kb`, which owns the replay machinery.
+//!
+//! Corruption is *never* silently loaded: a snapshot failing any
+//! checksum or structural check is rejected with a positioned
+//! [`StoreError::Corrupt`]; only a WAL **tail** is recoverable by
+//! design (and the recovery is reported, not hidden).
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod db;
+pub mod error;
+pub mod format;
+pub mod snapshot;
+pub mod wal;
+
+pub use db::{Db, DbOpen, SNAPSHOT_FILE, WAL_FILE};
+pub use error::StoreError;
+pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotData, SNAPSHOT_VERSION};
+pub use wal::{Durability, WalOp, WalOpKind, WalRecord, WalScan};

@@ -1,0 +1,876 @@
+//! The snapshot format: one file holding a whole KB.
+//!
+//! A snapshot serialises the four interning arenas of a
+//! [`World`], the [`OrderedProgram`] (components, rules, order edges,
+//! source spans), and the [`GroundProgram`] — so opening a database is
+//! decode + index rebuild, with **no re-parse and no re-ground**. The
+//! arena/`u32`-id design makes this near-memcpy: every table is written
+//! in id order and re-interned in id order on decode, which reproduces
+//! identical ids (hash-consing assigns ids in insertion order, and
+//! children always have smaller ids than their parents).
+//!
+//! Layout:
+//!
+//! ```text
+//! "OLPS"  version:u32le  frame*  END-frame
+//! ```
+//!
+//! with one checksummed frame per section ([`write_frame`]): SYMS,
+//! PREDS, TERMS, ATOMS, PROG, SPANS, GROUND, META, END. A snapshot
+//! missing its END frame, failing any checksum, or containing an
+//! out-of-range id is rejected as [`StoreError::Corrupt`] — never
+//! partially loaded.
+//!
+//! Because decode rebuilds the exact interner state, `encode ∘ decode`
+//! is the identity on all serialised state and
+//! `encode ∘ decode ∘ encode` is byte-identical (property-tested in
+//! `tests/roundtrip.rs`).
+
+use crate::error::StoreError;
+use crate::format::{read_frame, write_frame, ByteReader, ByteWriter, FrameError, PayloadError};
+use olp_core::{
+    Aexp, BodyItem, Cmp, CmpOp, CompId, GLit, GTerm, GTermId, Literal, OrderedProgram, Pos, PredId,
+    Rule, RuleSpan, Sign, Sym, Term, World,
+};
+use olp_ground::{GroundProgram, GroundRule};
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"OLPS";
+/// Snapshot format version written (and the only one read) by this
+/// build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Section tags, one frame each, in file order.
+mod tag {
+    pub const SYMS: u32 = 1;
+    pub const PREDS: u32 = 2;
+    pub const TERMS: u32 = 3;
+    pub const ATOMS: u32 = 4;
+    pub const PROG: u32 = 5;
+    pub const SPANS: u32 = 6;
+    pub const GROUND: u32 = 7;
+    pub const META: u32 = 8;
+    pub const END: u32 = 9;
+}
+
+/// Everything a snapshot holds, decoded.
+#[derive(Debug)]
+pub struct SnapshotData {
+    /// The interning arenas, with ids identical to the encoding world.
+    pub world: World,
+    /// The ordered program (components, rules, edges, spans).
+    pub prog: OrderedProgram,
+    /// The ground program, views rebuilt.
+    pub ground: GroundProgram,
+    /// Number of mutation ops folded into this snapshot. WAL records
+    /// carry sequence numbers; on open, records with `seq <= base_ops`
+    /// are already reflected here and are skipped, which makes
+    /// compaction crash-safe regardless of which rename lands first.
+    pub base_ops: u64,
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_term(w: &mut ByteWriter, t: &Term) {
+    match t {
+        Term::Var(s) => {
+            w.put_u8(0);
+            w.put_u32(s.0);
+        }
+        Term::Const(s) => {
+            w.put_u8(1);
+            w.put_u32(s.0);
+        }
+        Term::Int(i) => {
+            w.put_u8(2);
+            w.put_i64(*i);
+        }
+        Term::App(f, args) => {
+            w.put_u8(3);
+            w.put_u32(f.0);
+            w.put_u32(args.len() as u32);
+            for a in args {
+                put_term(w, a);
+            }
+        }
+    }
+}
+
+fn put_literal(w: &mut ByteWriter, l: &Literal) {
+    w.put_u8(match l.sign {
+        Sign::Pos => 0,
+        Sign::Neg => 1,
+    });
+    w.put_u32(l.pred.0);
+    w.put_u32(l.args.len() as u32);
+    for t in &l.args {
+        put_term(w, t);
+    }
+}
+
+fn put_aexp(w: &mut ByteWriter, e: &Aexp) {
+    match e {
+        Aexp::Term(t) => {
+            w.put_u8(0);
+            put_term(w, t);
+        }
+        Aexp::Add(l, r) => {
+            w.put_u8(1);
+            put_aexp(w, l);
+            put_aexp(w, r);
+        }
+        Aexp::Sub(l, r) => {
+            w.put_u8(2);
+            put_aexp(w, l);
+            put_aexp(w, r);
+        }
+        Aexp::Mul(l, r) => {
+            w.put_u8(3);
+            put_aexp(w, l);
+            put_aexp(w, r);
+        }
+        Aexp::Div(l, r) => {
+            w.put_u8(4);
+            put_aexp(w, l);
+            put_aexp(w, r);
+        }
+        Aexp::Mod(l, r) => {
+            w.put_u8(5);
+            put_aexp(w, l);
+            put_aexp(w, r);
+        }
+        Aexp::Neg(x) => {
+            w.put_u8(6);
+            put_aexp(w, x);
+        }
+    }
+}
+
+fn cmp_op_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Le => 1,
+        CmpOp::Gt => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+    }
+}
+
+fn put_rule(w: &mut ByteWriter, r: &Rule) {
+    put_literal(w, &r.head);
+    w.put_u32(r.body.len() as u32);
+    for item in &r.body {
+        match item {
+            BodyItem::Lit(l) => {
+                w.put_u8(0);
+                put_literal(w, l);
+            }
+            BodyItem::Cmp(c) => {
+                w.put_u8(1);
+                w.put_u8(cmp_op_code(c.op));
+                put_aexp(w, &c.lhs);
+                put_aexp(w, &c.rhs);
+            }
+        }
+    }
+}
+
+/// Serialises a KB snapshot to bytes.
+pub fn encode_snapshot(
+    world: &World,
+    prog: &OrderedProgram,
+    ground: &GroundProgram,
+    base_ops: u64,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+
+    // SYMS: names in id order.
+    let mut w = ByteWriter::new();
+    w.put_u32(world.syms.len() as u32);
+    for (_, name) in world.syms.iter() {
+        w.put_str(name);
+    }
+    write_frame(&mut out, tag::SYMS, w.as_slice());
+
+    // PREDS: (name sym, arity) in id order.
+    let mut w = ByteWriter::new();
+    w.put_u32(world.preds.len() as u32);
+    for (_, info) in world.preds.iter() {
+        w.put_u32(info.name.0);
+        w.put_u32(info.arity);
+    }
+    write_frame(&mut out, tag::PREDS, w.as_slice());
+
+    // TERMS: shapes in id order; children precede parents by
+    // construction, so decode can re-intern left to right.
+    let mut w = ByteWriter::new();
+    w.put_u32(world.terms.len() as u32);
+    for id in world.terms.ids() {
+        match world.terms.get(id) {
+            GTerm::Const(s) => {
+                w.put_u8(0);
+                w.put_u32(s.0);
+            }
+            GTerm::Int(i) => {
+                w.put_u8(1);
+                w.put_i64(*i);
+            }
+            GTerm::Func(f, args) => {
+                w.put_u8(2);
+                w.put_u32(f.0);
+                w.put_u32(args.len() as u32);
+                for a in args.iter() {
+                    w.put_u32(a.0);
+                }
+            }
+        }
+    }
+    write_frame(&mut out, tag::TERMS, w.as_slice());
+
+    // ATOMS: (pred, args) in id order. Re-interning in this order also
+    // reproduces the per-predicate index (it is filled in id order).
+    let mut w = ByteWriter::new();
+    w.put_u32(world.atoms.len() as u32);
+    for id in world.atoms.ids() {
+        let a = world.atoms.get(id);
+        w.put_u32(a.pred.0);
+        w.put_u32(a.args.len() as u32);
+        for t in a.args.iter() {
+            w.put_u32(t.0);
+        }
+    }
+    write_frame(&mut out, tag::ATOMS, w.as_slice());
+
+    // PROG: components with their rules, then the declared order edges.
+    let mut w = ByteWriter::new();
+    w.put_u32(prog.components.len() as u32);
+    for c in &prog.components {
+        w.put_u32(c.name.0);
+        w.put_u32(c.rules.len() as u32);
+        for r in &c.rules {
+            put_rule(&mut w, r);
+        }
+    }
+    w.put_u32(prog.edges.len() as u32);
+    for &(lo, hi) in &prog.edges {
+        w.put_u32(lo.0);
+        w.put_u32(hi.0);
+    }
+    write_frame(&mut out, tag::PROG, w.as_slice());
+
+    // SPANS: rule spans sorted by (comp, rule), edge spans by edge.
+    let mut w = ByteWriter::new();
+    let mut rule_spans: Vec<((u32, u32), &RuleSpan)> = prog.spans.iter_rules().collect();
+    rule_spans.sort_by_key(|&(k, _)| k);
+    w.put_u32(rule_spans.len() as u32);
+    for ((c, r), span) in rule_spans {
+        w.put_u32(c);
+        w.put_u32(r);
+        w.put_u32(span.head.line);
+        w.put_u32(span.head.col);
+        w.put_u32(span.body.len() as u32);
+        for p in &span.body {
+            w.put_u32(p.line);
+            w.put_u32(p.col);
+        }
+    }
+    let mut edge_spans: Vec<(u32, Pos)> = prog.spans.iter_edges().collect();
+    edge_spans.sort_by_key(|&(k, _)| k);
+    w.put_u32(edge_spans.len() as u32);
+    for (e, p) in edge_spans {
+        w.put_u32(e);
+        w.put_u32(p.line);
+        w.put_u32(p.col);
+    }
+    write_frame(&mut out, tag::SPANS, w.as_slice());
+
+    // GROUND: packed rule instances (already canonically sorted inside
+    // GroundProgram); the order is recomputed from PROG edges on decode.
+    let mut w = ByteWriter::new();
+    w.put_u64(ground.n_atoms as u64);
+    w.put_u32(ground.rules.len() as u32);
+    for r in &ground.rules {
+        w.put_u32(r.head.code() as u32);
+        w.put_u32(r.comp.0);
+        w.put_u32(r.body.len() as u32);
+        for &l in r.body.iter() {
+            w.put_u32(l.code() as u32);
+        }
+    }
+    write_frame(&mut out, tag::GROUND, w.as_slice());
+
+    // META: durable op counter.
+    let mut w = ByteWriter::new();
+    w.put_u64(base_ops);
+    write_frame(&mut out, tag::META, w.as_slice());
+
+    write_frame(&mut out, tag::END, &[]);
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Decoder<'p> {
+    path: &'p Path,
+    offset: u64,
+}
+
+impl<'p> Decoder<'p> {
+    fn corrupt(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::corrupt(self.path, self.offset, detail)
+    }
+
+    fn payload(&self, e: PayloadError) -> StoreError {
+        self.corrupt(e.0)
+    }
+}
+
+fn get_sym(r: &mut ByteReader, n_syms: usize, d: &Decoder) -> Result<Sym, StoreError> {
+    let v = r.get_u32().map_err(|e| d.payload(e))?;
+    if (v as usize) < n_syms {
+        Ok(Sym(v))
+    } else {
+        Err(d.corrupt(format!("symbol id {v} out of range (table has {n_syms})")))
+    }
+}
+
+fn get_pred(r: &mut ByteReader, n_preds: usize, d: &Decoder) -> Result<PredId, StoreError> {
+    let v = r.get_u32().map_err(|e| d.payload(e))?;
+    if (v as usize) < n_preds {
+        Ok(PredId(v))
+    } else {
+        Err(d.corrupt(format!(
+            "predicate id {v} out of range (table has {n_preds})"
+        )))
+    }
+}
+
+fn get_term(r: &mut ByteReader, n_syms: usize, d: &Decoder) -> Result<Term, StoreError> {
+    match r.get_u8().map_err(|e| d.payload(e))? {
+        0 => Ok(Term::Var(get_sym(r, n_syms, d)?)),
+        1 => Ok(Term::Const(get_sym(r, n_syms, d)?)),
+        2 => Ok(Term::Int(r.get_i64().map_err(|e| d.payload(e))?)),
+        3 => {
+            let f = get_sym(r, n_syms, d)?;
+            let n = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            if n == 0 {
+                return Err(d.corrupt("0-ary compound term"));
+            }
+            let mut args = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                args.push(get_term(r, n_syms, d)?);
+            }
+            Ok(Term::App(f, args))
+        }
+        k => Err(d.corrupt(format!("unknown term kind {k}"))),
+    }
+}
+
+fn get_literal(
+    r: &mut ByteReader,
+    n_syms: usize,
+    n_preds: usize,
+    d: &Decoder,
+) -> Result<Literal, StoreError> {
+    let sign = match r.get_u8().map_err(|e| d.payload(e))? {
+        0 => Sign::Pos,
+        1 => Sign::Neg,
+        k => return Err(d.corrupt(format!("unknown sign {k}"))),
+    };
+    let pred = get_pred(r, n_preds, d)?;
+    let n = r.get_u32().map_err(|e| d.payload(e))? as usize;
+    let mut args = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        args.push(get_term(r, n_syms, d)?);
+    }
+    Ok(Literal { sign, pred, args })
+}
+
+fn get_aexp(r: &mut ByteReader, n_syms: usize, d: &Decoder) -> Result<Aexp, StoreError> {
+    let kind = r.get_u8().map_err(|e| d.payload(e))?;
+    let bin = |r: &mut ByteReader| -> Result<(Box<Aexp>, Box<Aexp>), StoreError> {
+        Ok((
+            Box::new(get_aexp(r, n_syms, d)?),
+            Box::new(get_aexp(r, n_syms, d)?),
+        ))
+    };
+    Ok(match kind {
+        0 => Aexp::Term(get_term(r, n_syms, d)?),
+        1 => {
+            let (l, x) = bin(r)?;
+            Aexp::Add(l, x)
+        }
+        2 => {
+            let (l, x) = bin(r)?;
+            Aexp::Sub(l, x)
+        }
+        3 => {
+            let (l, x) = bin(r)?;
+            Aexp::Mul(l, x)
+        }
+        4 => {
+            let (l, x) = bin(r)?;
+            Aexp::Div(l, x)
+        }
+        5 => {
+            let (l, x) = bin(r)?;
+            Aexp::Mod(l, x)
+        }
+        6 => Aexp::Neg(Box::new(get_aexp(r, n_syms, d)?)),
+        k => return Err(d.corrupt(format!("unknown arithmetic node {k}"))),
+    })
+}
+
+fn get_cmp_op(code: u8, d: &Decoder) -> Result<CmpOp, StoreError> {
+    Ok(match code {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        5 => CmpOp::Ne,
+        k => return Err(d.corrupt(format!("unknown comparison op {k}"))),
+    })
+}
+
+fn get_rule(
+    r: &mut ByteReader,
+    n_syms: usize,
+    n_preds: usize,
+    d: &Decoder,
+) -> Result<Rule, StoreError> {
+    let head = get_literal(r, n_syms, n_preds, d)?;
+    let n = r.get_u32().map_err(|e| d.payload(e))? as usize;
+    let mut body = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        match r.get_u8().map_err(|e| d.payload(e))? {
+            0 => body.push(BodyItem::Lit(get_literal(r, n_syms, n_preds, d)?)),
+            1 => {
+                let op = get_cmp_op(r.get_u8().map_err(|e| d.payload(e))?, d)?;
+                let lhs = get_aexp(r, n_syms, d)?;
+                let rhs = get_aexp(r, n_syms, d)?;
+                body.push(BodyItem::Cmp(Cmp { op, lhs, rhs }));
+            }
+            k => return Err(d.corrupt(format!("unknown body item kind {k}"))),
+        }
+    }
+    Ok(Rule { head, body })
+}
+
+/// Decodes a snapshot. `path` is used only for error context.
+///
+/// Any structural problem — bad magic, unsupported version, checksum
+/// mismatch, truncated section, out-of-range id, missing END — is
+/// reported as a [`StoreError`]; a partially valid snapshot is never
+/// returned.
+pub fn decode_snapshot(bytes: &[u8], path: &Path) -> Result<SnapshotData, StoreError> {
+    if bytes.len() < 8 || bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+            expected: "snapshot",
+        });
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+
+    let mut pos = 8usize;
+    let mut sections: Vec<(u32, &[u8], u64)> = Vec::new();
+    loop {
+        let at = pos as u64;
+        match read_frame(bytes, &mut pos) {
+            Ok(Some((t, payload))) => {
+                let end = t == tag::END;
+                sections.push((t, payload, at));
+                if end {
+                    break;
+                }
+            }
+            Ok(None) => {
+                return Err(StoreError::corrupt(
+                    path,
+                    at,
+                    "snapshot ends without END marker (truncated)",
+                ))
+            }
+            Err(FrameError::Torn { at, why }) => return Err(StoreError::corrupt(path, at, why)),
+        }
+    }
+    let expected = [
+        tag::SYMS,
+        tag::PREDS,
+        tag::TERMS,
+        tag::ATOMS,
+        tag::PROG,
+        tag::SPANS,
+        tag::GROUND,
+        tag::META,
+        tag::END,
+    ];
+    if sections.len() != expected.len()
+        || sections.iter().zip(expected).any(|(&(t, _, _), e)| t != e)
+    {
+        return Err(StoreError::corrupt(
+            path,
+            8,
+            "unexpected section sequence in snapshot",
+        ));
+    }
+    if pos != bytes.len() {
+        return Err(StoreError::corrupt(
+            path,
+            pos as u64,
+            "trailing bytes after END marker",
+        ));
+    }
+
+    let mut world = World::new();
+
+    // SYMS — re-intern in id order; duplicates would shift every later
+    // id, so they are rejected.
+    {
+        let (_, payload, off) = sections[0];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        let n = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for i in 0..n {
+            let name = r.get_str().map_err(|e| d.payload(e))?;
+            let s = world.syms.intern(&name);
+            if s.index() != i {
+                return Err(d.corrupt(format!("duplicate symbol {name:?} at id {i}")));
+            }
+        }
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+    }
+    let n_syms = world.syms.len();
+
+    // PREDS
+    {
+        let (_, payload, off) = sections[1];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        let n = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for i in 0..n {
+            let name = get_sym(&mut r, n_syms, &d)?;
+            let arity = r.get_u32().map_err(|e| d.payload(e))?;
+            let p = world.preds.intern(name, arity);
+            if p.index() != i {
+                return Err(d.corrupt(format!("duplicate predicate entry at id {i}")));
+            }
+        }
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+    }
+    let n_preds = world.preds.len();
+
+    // TERMS — children reference earlier ids only.
+    {
+        let (_, payload, off) = sections[2];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        let n = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for i in 0..n {
+            let id = match r.get_u8().map_err(|e| d.payload(e))? {
+                0 => world.terms.constant(get_sym(&mut r, n_syms, &d)?),
+                1 => {
+                    let v = r.get_i64().map_err(|e| d.payload(e))?;
+                    world.terms.int(v)
+                }
+                2 => {
+                    let f = get_sym(&mut r, n_syms, &d)?;
+                    let argc = r.get_u32().map_err(|e| d.payload(e))? as usize;
+                    if argc == 0 {
+                        return Err(d.corrupt("0-ary ground function term"));
+                    }
+                    let mut args = Vec::with_capacity(argc.min(1024));
+                    for _ in 0..argc {
+                        let a = r.get_u32().map_err(|e| d.payload(e))?;
+                        if (a as usize) >= i {
+                            return Err(d.corrupt(format!(
+                                "term {i} references child {a} with a non-smaller id"
+                            )));
+                        }
+                        args.push(GTermId(a));
+                    }
+                    world.terms.func(f, &args)
+                }
+                k => return Err(d.corrupt(format!("unknown ground term kind {k}"))),
+            };
+            if id.index() != i {
+                return Err(d.corrupt(format!("duplicate ground term at id {i}")));
+            }
+        }
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+    }
+    let n_terms = world.terms.len();
+
+    // ATOMS
+    {
+        let (_, payload, off) = sections[3];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        let n = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for i in 0..n {
+            let pred = get_pred(&mut r, n_preds, &d)?;
+            let argc = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            if argc != world.preds.arity(pred) as usize {
+                return Err(d.corrupt(format!("atom {i} arity mismatch")));
+            }
+            let mut args = Vec::with_capacity(argc.min(1024));
+            for _ in 0..argc {
+                let t = r.get_u32().map_err(|e| d.payload(e))?;
+                if (t as usize) >= n_terms {
+                    return Err(d.corrupt(format!("atom {i} references unknown term {t}")));
+                }
+                args.push(GTermId(t));
+            }
+            let id = world.atoms.intern(pred, &args);
+            if id.index() != i {
+                return Err(d.corrupt(format!("duplicate ground atom at id {i}")));
+            }
+        }
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+    }
+    let n_atoms_world = world.atoms.len();
+
+    // PROG
+    let mut prog = OrderedProgram::new();
+    {
+        let (_, payload, off) = sections[4];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        let ncomps = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for _ in 0..ncomps {
+            let name = get_sym(&mut r, n_syms, &d)?;
+            let c = prog.add_component(name);
+            let nrules = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            for _ in 0..nrules {
+                let rule = get_rule(&mut r, n_syms, n_preds, &d)?;
+                prog.add_rule(c, rule);
+            }
+        }
+        let nedges = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for _ in 0..nedges {
+            let lo = r.get_u32().map_err(|e| d.payload(e))?;
+            let hi = r.get_u32().map_err(|e| d.payload(e))?;
+            if lo as usize >= ncomps || hi as usize >= ncomps {
+                return Err(d.corrupt("order edge references unknown component"));
+            }
+            prog.add_edge(CompId(lo), CompId(hi));
+        }
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+    }
+
+    // SPANS
+    {
+        let (_, payload, off) = sections[5];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        let nrules = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for _ in 0..nrules {
+            let c = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            let ri = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            let head = Pos {
+                line: r.get_u32().map_err(|e| d.payload(e))?,
+                col: r.get_u32().map_err(|e| d.payload(e))?,
+            };
+            let nbody = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            let mut body = Vec::with_capacity(nbody.min(1024));
+            for _ in 0..nbody {
+                body.push(Pos {
+                    line: r.get_u32().map_err(|e| d.payload(e))?,
+                    col: r.get_u32().map_err(|e| d.payload(e))?,
+                });
+            }
+            prog.spans.set_rule(c, ri, RuleSpan { head, body });
+        }
+        let nedges = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        for _ in 0..nedges {
+            let e = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            let pos = Pos {
+                line: r.get_u32().map_err(|e| d.payload(e))?,
+                col: r.get_u32().map_err(|e| d.payload(e))?,
+            };
+            prog.spans.set_edge(e, pos);
+        }
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+    }
+
+    // GROUND
+    let ground;
+    {
+        let (_, payload, off) = sections[6];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        let n_atoms = r.get_u64().map_err(|e| d.payload(e))? as usize;
+        if n_atoms > n_atoms_world {
+            return Err(d.corrupt(format!(
+                "ground program claims {n_atoms} atoms but the world holds {n_atoms_world}"
+            )));
+        }
+        let nrules = r.get_u32().map_err(|e| d.payload(e))? as usize;
+        let ncomps = prog.components.len();
+        let glit = |r: &mut ByteReader| -> Result<GLit, StoreError> {
+            let code = r.get_u32().map_err(|e| d.payload(e))?;
+            if (code as usize) >> 1 >= n_atoms_world {
+                return Err(d.corrupt("ground literal references unknown atom"));
+            }
+            Ok(GLit::from_code(code as usize))
+        };
+        let mut rules = Vec::with_capacity(nrules.min(1 << 20));
+        for _ in 0..nrules {
+            let head = glit(&mut r)?;
+            let comp = r.get_u32().map_err(|e| d.payload(e))?;
+            if comp as usize >= ncomps {
+                return Err(d.corrupt("ground rule references unknown component"));
+            }
+            let nbody = r.get_u32().map_err(|e| d.payload(e))? as usize;
+            let mut body = Vec::with_capacity(nbody.min(1024));
+            for _ in 0..nbody {
+                body.push(glit(&mut r)?);
+            }
+            rules.push(GroundRule::new(head, body, CompId(comp)));
+        }
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+        let order = prog
+            .order()
+            .map_err(|e| d.corrupt(format!("invalid component order: {e}")))?;
+        ground = GroundProgram::new(rules, order, n_atoms);
+    }
+
+    // META
+    let base_ops;
+    {
+        let (_, payload, off) = sections[7];
+        let d = Decoder { path, offset: off };
+        let mut r = ByteReader::new(payload);
+        base_ops = r.get_u64().map_err(|e| d.payload(e))?;
+        r.expect_exhausted().map_err(|e| d.payload(e))?;
+    }
+
+    Ok(SnapshotData {
+        world,
+        prog,
+        ground,
+        base_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_ground::GroundConfig;
+    use olp_parser::parse_program;
+
+    fn sample() -> (World, OrderedProgram, GroundProgram) {
+        let mut w = World::new();
+        let prog = parse_program(
+            &mut w,
+            "
+            module bird {
+                bird(penguin). bird(pigeon).
+                fly(X) :- bird(X).
+                big(N) :- bird(X), size(X, N), N > 10 + 2.
+                size(penguin, 16). size(pigeon, 1).
+            }
+            module penguins < bird {
+                -fly(X) :- waddles(X).
+                waddles(penguin).
+                nested(f(g(penguin), 3)).
+            }
+            ",
+        )
+        .unwrap();
+        let ground = olp_ground::ground_smart(&mut w, &prog, &GroundConfig::default()).unwrap();
+        (w, prog, ground)
+    }
+
+    #[test]
+    fn encode_decode_identity_and_byte_stability() {
+        let (w, p, g) = sample();
+        let bytes = encode_snapshot(&w, &p, &g, 7);
+        let snap = decode_snapshot(&bytes, Path::new("test.olps")).unwrap();
+        assert_eq!(snap.base_ops, 7);
+        assert_eq!(snap.world.syms.len(), w.syms.len());
+        assert_eq!(snap.world.terms.len(), w.terms.len());
+        assert_eq!(snap.world.atoms.len(), w.atoms.len());
+        assert_eq!(snap.prog.components, p.components);
+        assert_eq!(snap.prog.edges, p.edges);
+        assert_eq!(snap.ground.rules, g.rules);
+        assert_eq!(snap.ground.n_atoms, g.n_atoms);
+        // Re-encoding the decoded state is byte-identical.
+        let again = encode_snapshot(&snap.world, &snap.prog, &snap.ground, 7);
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_reported() {
+        let (w, p, g) = sample();
+        let mut bytes = encode_snapshot(&w, &p, &g, 0);
+        assert!(matches!(
+            decode_snapshot(b"nope", Path::new("x")),
+            Err(StoreError::BadMagic { .. })
+        ));
+        bytes[4] = 99;
+        assert!(matches!(
+            decode_snapshot(&bytes, Path::new("x")),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let (w, p, g) = sample();
+        let bytes = encode_snapshot(&w, &p, &g, 0);
+        for cut in [0, 3, 8, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_snapshot(&bytes[..cut], Path::new("x")).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected_or_harmless() {
+        let (w, p, g) = sample();
+        let bytes = encode_snapshot(&w, &p, &g, 3);
+        // Flip one bit in each of a spread of positions; decode must
+        // either fail or (never) produce different content silently.
+        let step = (bytes.len() / 97).max(1);
+        for byte in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 0x08;
+            match decode_snapshot(&bad, Path::new("x")) {
+                Err(_) => {}
+                Ok(snap) => {
+                    let re = encode_snapshot(&snap.world, &snap.prog, &snap.ground, snap.base_ops);
+                    assert_eq!(re, bytes, "silent corruption via flip at byte {byte}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_survive_the_round_trip() {
+        let (w, p, g) = sample();
+        assert!(!p.spans.is_empty(), "parser should have recorded spans");
+        let bytes = encode_snapshot(&w, &p, &g, 0);
+        let snap = decode_snapshot(&bytes, Path::new("x")).unwrap();
+        for (ci, c) in p.components.iter().enumerate() {
+            for ri in 0..c.rules.len() {
+                assert_eq!(p.spans.rule(ci, ri), snap.prog.spans.rule(ci, ri));
+            }
+        }
+        for ei in 0..p.edges.len() {
+            assert_eq!(p.spans.edge_pos(ei), snap.prog.spans.edge_pos(ei));
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! The write-ahead log: an append-only file of assert/retract ops.
+//!
+//! Each mutation that survives the KB's own validation is appended as
+//! one checksummed frame ([`crate::format`]):
+//!
+//! ```text
+//! "OLPW"  version:u32le  record*
+//! record := frame(tag = op kind, payload = seq:u64 object:str rule:str)
+//! ```
+//!
+//! Records carry the **surface syntax** of the op (object name + rule
+//! text) rather than interned ids: replay goes through the ordinary
+//! `Kb::assert_rule`/`retract_rule` path — parser, validation, and the
+//! incremental `DeltaGrounder` — so a recovered KB is produced by
+//! exactly the machinery that produced the original, and the log stays
+//! readable across interner changes.
+//!
+//! Records also carry a global **sequence number**. The snapshot
+//! records how many ops it has folded in (`base_ops`); on open, records
+//! with `seq <= base_ops` are skipped. This makes snapshot compaction
+//! crash-safe without multi-file atomicity: whichever of the
+//! snapshot/WAL renames survives a crash, replay converges to the same
+//! state.
+//!
+//! A torn or corrupt **tail** (partial frame, checksum mismatch) is the
+//! expected signature of a crash mid-append: scanning stops at the last
+//! valid record and [`WalScan`] reports how many bytes are dropped; the
+//! store truncates the file there on open. Corruption *before* the tail
+//! cannot be distinguished from it — the scan simply ends earlier and
+//! the report says so.
+
+use crate::error::StoreError;
+use crate::format::{read_frame, write_frame, ByteReader, FrameError};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: [u8; 4] = *b"OLPW";
+/// WAL format version written (and the only one read) by this build.
+pub const WAL_VERSION: u32 = 1;
+/// Size of the WAL header in bytes.
+pub const WAL_HEADER_LEN: u64 = 8;
+
+/// How many appends a [`Durability::Batched`] writer buffers between
+/// fsyncs.
+pub const BATCH_SYNC_EVERY: u32 = 64;
+
+/// When the store calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Never fsync. Appends still hit the OS page cache (ordinary
+    /// process death loses nothing; power loss may lose the tail).
+    Off,
+    /// fsync after every committed op — an acknowledged mutation
+    /// survives power loss. The default.
+    #[default]
+    OnCommit,
+    /// fsync every [`BATCH_SYNC_EVERY`] ops and on explicit
+    /// [`WalWriter::sync`] — bounded loss window, much cheaper.
+    Batched,
+}
+
+/// The kind of a logged mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOpKind {
+    /// `assert(object, rule)`.
+    Assert,
+    /// `retract(object, rule)`.
+    Retract,
+}
+
+/// One logged mutation, in surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalOp {
+    /// Assert or retract.
+    pub kind: WalOpKind,
+    /// Target object (component) name.
+    pub object: String,
+    /// The rule, as written (e.g. `"fly(X) :- bird(X)."`).
+    pub rule: String,
+}
+
+impl WalOp {
+    /// An assert op.
+    pub fn assert(object: &str, rule: &str) -> WalOp {
+        WalOp {
+            kind: WalOpKind::Assert,
+            object: object.to_string(),
+            rule: rule.to_string(),
+        }
+    }
+
+    /// A retract op.
+    pub fn retract(object: &str, rule: &str) -> WalOp {
+        WalOp {
+            kind: WalOpKind::Retract,
+            object: object.to_string(),
+            rule: rule.to_string(),
+        }
+    }
+}
+
+/// A decoded WAL record: op plus its global sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// 1-based global op counter (continues across compactions).
+    pub seq: u64,
+    /// The op.
+    pub op: WalOp,
+}
+
+/// What a scan of a WAL file found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Byte length of the valid prefix (header + whole valid records).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix that were dropped as a torn or
+    /// corrupt tail.
+    pub dropped_bytes: u64,
+    /// Why scanning stopped early, if it did.
+    pub torn: Option<&'static str>,
+}
+
+const TAG_ASSERT: u32 = 1;
+const TAG_RETRACT: u32 = 2;
+
+/// The 8-byte WAL header.
+pub fn wal_header() -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[..4].copy_from_slice(&WAL_MAGIC);
+    h[4..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+/// Encodes one record as a frame (exposed for tests that build
+/// corrupted logs byte by byte).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut payload = crate::format::ByteWriter::new();
+    payload.put_u64(rec.seq);
+    payload.put_str(&rec.op.object);
+    payload.put_str(&rec.op.rule);
+    let tag = match rec.op.kind {
+        WalOpKind::Assert => TAG_ASSERT,
+        WalOpKind::Retract => TAG_RETRACT,
+    };
+    let mut out = Vec::new();
+    write_frame(&mut out, tag, payload.as_slice());
+    out
+}
+
+/// Scans WAL `bytes`, returning every valid record and where the valid
+/// prefix ends.
+///
+/// A file that does not begin with the WAL magic is a hard error; a
+/// file that ends mid-frame or with a checksum mismatch is a normal
+/// crash artefact, reported via [`WalScan`] for the caller to truncate.
+/// A header-only prefix (crash during WAL creation) scans as empty.
+pub fn scan_wal(bytes: &[u8], path: &Path) -> Result<(Vec<WalRecord>, WalScan), StoreError> {
+    let header = wal_header();
+    if bytes.len() < header.len() {
+        // Torn header: tolerable only if it is a prefix of the real
+        // header (nothing else could have been written yet).
+        if header.starts_with(bytes) {
+            return Ok((
+                Vec::new(),
+                WalScan {
+                    valid_len: 0,
+                    dropped_bytes: bytes.len() as u64,
+                    torn: Some("torn WAL header"),
+                },
+            ));
+        }
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+            expected: "write-ahead log",
+        });
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+            expected: "write-ahead log",
+        });
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != WAL_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut pos = header.len();
+    let mut torn = None;
+    loop {
+        let frame_start = pos;
+        match read_frame(bytes, &mut pos) {
+            Ok(None) => break,
+            Err(FrameError::Torn { why, .. }) => {
+                pos = frame_start;
+                torn = Some(why);
+                break;
+            }
+            Ok(Some((tag, payload))) => {
+                let kind = match tag {
+                    TAG_ASSERT => WalOpKind::Assert,
+                    TAG_RETRACT => WalOpKind::Retract,
+                    _ => {
+                        // An unknown tag with a valid checksum is not a
+                        // torn write; refuse the whole file rather than
+                        // guess.
+                        return Err(StoreError::corrupt(
+                            path,
+                            frame_start as u64,
+                            format!("unknown WAL record tag {tag}"),
+                        ));
+                    }
+                };
+                let mut r = ByteReader::new(payload);
+                let parse = (|| {
+                    let seq = r.get_u64()?;
+                    let object = r.get_str()?;
+                    let rule = r.get_str()?;
+                    r.expect_exhausted()?;
+                    Ok::<_, crate::format::PayloadError>(WalRecord {
+                        seq,
+                        op: WalOp { kind, object, rule },
+                    })
+                })();
+                match parse {
+                    Ok(rec) => records.push(rec),
+                    Err(e) => {
+                        return Err(StoreError::corrupt(path, frame_start as u64, e.0));
+                    }
+                }
+            }
+        }
+    }
+    let scan = WalScan {
+        valid_len: pos as u64,
+        dropped_bytes: (bytes.len() - pos) as u64,
+        torn,
+    };
+    Ok((records, scan))
+}
+
+/// Appending side of the WAL.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: Durability,
+    unsynced: u32,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL at `path` (truncating any existing file) and
+    /// syncs the header.
+    pub fn create(path: &Path, policy: Durability) -> Result<Self, StoreError> {
+        let mut file = File::create(path).map_err(|e| StoreError::io("create WAL", path, e))?;
+        file.write_all(&wal_header())
+            .map_err(|e| StoreError::io("write WAL header", path, e))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io("sync WAL", path, e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+        })
+    }
+
+    /// Opens an existing WAL for appending, first truncating it to
+    /// `valid_len` (dropping a torn tail found by [`scan_wal`]).
+    /// `valid_len == 0` rewrites the header (torn-header recovery).
+    pub fn open(path: &Path, valid_len: u64, policy: Durability) -> Result<Self, StoreError> {
+        if valid_len < WAL_HEADER_LEN {
+            return Self::create(path, policy);
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io("open WAL", path, e))?;
+        file.set_len(valid_len)
+            .map_err(|e| StoreError::io("truncate WAL tail", path, e))?;
+        let mut w = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+        };
+        use std::io::Seek;
+        w.file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| StoreError::io("seek WAL", path, e))?;
+        if valid_len > WAL_HEADER_LEN {
+            // The truncation itself must be durable before new appends.
+            w.file
+                .sync_all()
+                .map_err(|e| StoreError::io("sync WAL", &w.path, e))?;
+        }
+        Ok(w)
+    }
+
+    /// Appends one record and applies the durability policy.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), StoreError> {
+        let bytes = encode_record(rec);
+        self.file
+            .write_all(&bytes)
+            .map_err(|e| StoreError::io("append to WAL", &self.path, e))?;
+        match self.policy {
+            Durability::Off => Ok(()),
+            Durability::OnCommit => self.sync(),
+            Durability::Batched => {
+                self.unsynced += 1;
+                if self.unsynced >= BATCH_SYNC_EVERY {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Forces everything appended so far to stable storage, regardless
+    /// of policy.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io("sync WAL", &self.path, e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// The WAL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The active durability policy.
+    pub fn policy(&self) -> Durability {
+        self.policy
+    }
+
+    /// Changes the durability policy for subsequent appends.
+    pub fn set_policy(&mut self, policy: Durability) {
+        self.policy = policy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, kind: WalOpKind, rule: &str) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp {
+                kind,
+                object: "main".into(),
+                rule: rule.into(),
+            },
+        }
+    }
+
+    fn log_bytes(recs: &[WalRecord]) -> Vec<u8> {
+        let mut b = wal_header().to_vec();
+        for r in recs {
+            b.extend_from_slice(&encode_record(r));
+        }
+        b
+    }
+
+    #[test]
+    fn scan_round_trips_records() {
+        let recs = vec![
+            rec(1, WalOpKind::Assert, "p(a)."),
+            rec(2, WalOpKind::Retract, "p(a)."),
+            rec(3, WalOpKind::Assert, "q(X) :- p(X)."),
+        ];
+        let bytes = log_bytes(&recs);
+        let (got, scan) = scan_wal(&bytes, Path::new("w")).unwrap();
+        assert_eq!(got, recs);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert_eq!(scan.dropped_bytes, 0);
+        assert_eq!(scan.torn, None);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let recs = vec![
+            rec(1, WalOpKind::Assert, "p(a)."),
+            rec(2, WalOpKind::Assert, "p(b)."),
+        ];
+        let full = log_bytes(&recs);
+        let first_end = log_bytes(&recs[..1]).len();
+        for cut in first_end + 1..full.len() {
+            let (got, scan) = scan_wal(&full[..cut], Path::new("w")).unwrap();
+            assert_eq!(got, recs[..1], "cut at {cut}");
+            assert_eq!(scan.valid_len, first_end as u64);
+            assert_eq!(scan.dropped_bytes, (cut - first_end) as u64);
+            assert!(scan.torn.is_some());
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_tail_record_is_dropped_not_loaded() {
+        let recs = vec![
+            rec(1, WalOpKind::Assert, "p(a)."),
+            rec(2, WalOpKind::Assert, "p(b)."),
+        ];
+        let mut bytes = log_bytes(&recs);
+        let first_end = log_bytes(&recs[..1]).len();
+        // Flip a payload bit in the second record.
+        let idx = first_end + 10;
+        bytes[idx] ^= 0x40;
+        let (got, scan) = scan_wal(&bytes, Path::new("w")).unwrap();
+        assert_eq!(got, recs[..1]);
+        assert!(scan.torn.is_some());
+        assert_eq!(scan.valid_len, first_end as u64);
+    }
+
+    #[test]
+    fn torn_header_scans_as_empty_and_garbage_is_bad_magic() {
+        let h = wal_header();
+        for cut in 0..h.len() {
+            let (got, scan) = scan_wal(&h[..cut], Path::new("w")).unwrap();
+            assert!(got.is_empty());
+            assert_eq!(scan.valid_len, 0);
+        }
+        assert!(matches!(
+            scan_wal(b"GARBAGE!", Path::new("w")),
+            Err(StoreError::BadMagic { .. })
+        ));
+        let mut vers = h.to_vec();
+        vers[4] = 9;
+        assert!(matches!(
+            scan_wal(&vers, Path::new("w")),
+            Err(StoreError::UnsupportedVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn writer_appends_scannable_records() {
+        let dir = std::env::temp_dir().join(format!("olp-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.olpw");
+        let mut w = WalWriter::create(&path, Durability::OnCommit).unwrap();
+        for i in 1..=5u64 {
+            w.append(&rec(i, WalOpKind::Assert, &format!("p(c{i}).")))
+                .unwrap();
+        }
+        drop(w);
+        let bytes = std::fs::read(&path).unwrap();
+        let (got, scan) = scan_wal(&bytes, &path).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(scan.dropped_bytes, 0);
+
+        // Simulate a crash: chop the file mid-record, reopen, append.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let chopped = std::fs::read(&path).unwrap();
+        let (got, scan) = scan_wal(&chopped, &path).unwrap();
+        assert_eq!(got.len(), 4);
+        let mut w = WalWriter::open(&path, scan.valid_len, Durability::Batched).unwrap();
+        w.append(&rec(5, WalOpKind::Retract, "p(c1).")).unwrap();
+        w.sync().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let (got, _) = scan_wal(&bytes, &path).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[4].op.kind, WalOpKind::Retract);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -10,6 +10,11 @@
 //!        --explain                         print a proof / refutation for ground queries
 //! olp repl FILE | olp --interactive FILE   live session over a knowledge base:
 //!        assert <rule> / retract <rule>    incremental re-grounding with timing output
+//!        --db DIR                          durable session: open the database at DIR
+//!                                          (crash recovery included) or create it from
+//!                                          FILE; every mutation is WAL-logged
+//!        --durability off|commit|batched   fsync policy for --db (default commit)
+//!        save [DIR] / load DIR             snapshot now / switch to another database
 //! common flags:
 //!        --exhaustive                      use the reference grounder (default: smart)
 //!        --no-decomp                       disable component-wise evaluation
@@ -24,7 +29,7 @@
 //! `timeout(1)` convention).
 
 use ordered_logic::analyze::{analyze, Severity};
-use ordered_logic::kb::{default_threads, KbError};
+use ordered_logic::kb::{default_threads, DurableKb, KbError, RecoveryReport};
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
     credulous_consequences_budgeted, enumerate_assumption_free_decomposed_budgeted,
@@ -33,6 +38,7 @@ use ordered_logic::semantics::{
     least_model_parallel_budgeted, render_why, skeptical_consequences_budgeted,
     stable_models_budgeted, stable_models_monolithic_budgeted, stable_models_parallel_budgeted,
 };
+use ordered_logic::store::Db;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -45,10 +51,17 @@ fn usage() -> ExitCode {
              errors always exit 1, warnings only under --deny warnings
   olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive] [--no-decomp]
   olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive] [--no-decomp]
-  olp repl   FILE [--exhaustive] [--no-decomp]     (also: olp --interactive FILE)
+  olp repl   [FILE] [--db DIR] [--durability off|commit|batched] [--exhaustive] [--no-decomp]
              live session: use <component> | models | stable | explain <literal> |
              assert <rule> | retract <rule> (incremental re-grounding, timed) |
-             <query> | quit
+             save [DIR] | load DIR | <query> | quit    (also: olp --interactive FILE)
+persistence (see docs/DURABILITY.md):
+  --db DIR           durable session: open the database at DIR — snapshot
+                     decoded and WAL replayed, torn tails truncated — or,
+                     when DIR does not exist yet, create it from FILE;
+                     every committed assert/retract is logged
+  --durability MODE  off (no fsync) | commit (fsync per op, default) |
+                     batched (fsync every 64 ops)
 evaluation:
   --no-decomp        disable component-wise evaluation (SCC condensation
                      and product-form enumeration); use the monolithic engines
@@ -78,6 +91,10 @@ struct Limits {
     deny_warnings: bool,
     /// `check --format json`: emit diagnostics as a JSON array.
     json: bool,
+    /// `repl --db DIR`: durable session backed by this database.
+    db: Option<String>,
+    /// `--durability MODE`: fsync policy for the database.
+    durability: Durability,
 }
 
 impl Default for Limits {
@@ -90,6 +107,8 @@ impl Default for Limits {
             threads: default_threads(),
             deny_warnings: false,
             json: false,
+            db: None,
+            durability: Durability::OnCommit,
         }
     }
 }
@@ -136,6 +155,19 @@ impl Limits {
                 "json" => self.json = true,
                 _ => return Err(format!("--format: `{val}` unsupported (text or json)")),
             },
+            "db" => self.db = Some(val.to_string()),
+            "durability" => {
+                self.durability = match val {
+                    "off" => Durability::Off,
+                    "commit" => Durability::OnCommit,
+                    "batched" => Durability::Batched,
+                    _ => {
+                        return Err(format!(
+                            "--durability: `{val}` unsupported (off, commit, or batched)"
+                        ))
+                    }
+                }
+            }
             _ => return Err(format!("unknown limit flag --{name}")),
         }
         Ok(())
@@ -465,10 +497,59 @@ fn repl_opts(limits: &Limits) -> QueryOptions {
     o.threads(limits.threads)
 }
 
+/// The REPL's knowledge base: plain in-memory, or backed by an
+/// `olp-store` database (`--db DIR`) in which case every committed
+/// mutation is WAL-logged.
+enum SessionKb {
+    Plain(Kb),
+    Durable(DurableKb),
+}
+
+impl SessionKb {
+    /// The wrapped KB, for queries (which never need logging).
+    fn kb(&mut self) -> &mut Kb {
+        match self {
+            SessionKb::Plain(kb) => kb,
+            SessionKb::Durable(d) => d.kb_mut(),
+        }
+    }
+}
+
+/// Opens the database at `path`, mapping failures (missing, corrupt,
+/// unreadable) to a readable `error:` line and exit 1.
+fn open_db(path: &str, limits: &Limits) -> Result<(DurableKb, RecoveryReport), CliFail> {
+    DurableKb::open(std::path::Path::new(path), limits.durability)
+        .map_err(|e| CliFail::Msg(format!("cannot open database {path}: {e}")))
+}
+
+/// One line summarising what [`DurableKb::open`] recovered.
+fn recovery_line(path: &str, d: &DurableKb, report: &RecoveryReport) -> String {
+    let mut s = format!(
+        "opened database {path}: seq {}, {} op{} replayed",
+        d.seq(),
+        report.replayed,
+        if report.replayed == 1 { "" } else { "s" },
+    );
+    if report.wal_dropped_bytes > 0 {
+        s.push_str(&format!(
+            " ({} byte{} of torn WAL tail dropped)",
+            report.wal_dropped_bytes,
+            if report.wal_dropped_bytes == 1 {
+                ""
+            } else {
+                "s"
+            },
+        ));
+    }
+    s
+}
+
 /// Applies one live mutation with timing and instance-count output.
 /// The budget governs the (incremental) re-grounding; on interruption
 /// the mutation is not applied and the KB stays queryable as before.
-fn repl_mutate(kb: &mut Kb, object: &str, rule: &str, assert: bool, limits: &Limits) {
+/// In a durable session the committed mutation is WAL-logged before
+/// this returns (per the `--durability` policy).
+fn repl_mutate(session: &mut SessionKb, object: &str, rule: &str, assert: bool, limits: &Limits) {
     if rule.is_empty() {
         println!(
             "usage: {} <rule>.",
@@ -476,13 +557,18 @@ fn repl_mutate(kb: &mut Kb, object: &str, rule: &str, assert: bool, limits: &Lim
         );
         return;
     }
-    let before = kb.ground_program().len();
+    let before = session.kb().ground_program().len();
     let start = Instant::now();
-    let res = if assert {
-        kb.assert_rule_with(object, rule, &repl_opts(limits))
-            .map(|ev| ev.map(|()| true))
-    } else {
-        kb.retract_rule_with(object, rule, &repl_opts(limits))
+    let opts = repl_opts(limits);
+    let res = match (&mut *session, assert) {
+        (SessionKb::Plain(kb), true) => kb
+            .assert_rule_with(object, rule, &opts)
+            .map(|ev| ev.map(|()| true)),
+        (SessionKb::Plain(kb), false) => kb.retract_rule_with(object, rule, &opts),
+        (SessionKb::Durable(d), true) => d
+            .assert_rule_with(object, rule, &opts)
+            .map(|ev| ev.map(|()| true)),
+        (SessionKb::Durable(d), false) => d.retract_rule_with(object, rule, &opts),
     };
     let elapsed = start.elapsed();
     match res {
@@ -496,25 +582,31 @@ fn repl_mutate(kb: &mut Kb, object: &str, rule: &str, assert: bool, limits: &Lim
                 println!("no rule matching `{rule}` in `{object}` (nothing retracted)");
                 return;
             }
+            let kb = session.kb();
             let after = kb.ground_program().len() as i64;
             let delta = after - before as i64;
+            let epoch = kb.epoch();
             println!(
-                "{} `{object}` in {elapsed:.2?}: {after} ground instances ({}{delta}), epoch {}",
+                "{} `{object}` in {elapsed:.2?}: {after} ground instances ({}{delta}), epoch {epoch}{}",
                 if assert {
                     "asserted into"
                 } else {
                     "retracted from"
                 },
                 if delta >= 0 { "+" } else { "" },
-                kb.epoch()
+                match session {
+                    SessionKb::Plain(_) => String::new(),
+                    SessionKb::Durable(d) => format!(", logged seq {}", d.seq()),
+                }
             );
         }
         Err(e) => println!("error: {e}"),
     }
 }
 
-fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
-    use std::io::{BufRead, Write};
+/// Builds the REPL's in-memory KB from a program file (the
+/// non-durable path, and the creation path for a fresh `--db`).
+fn load_repl_kb(path: &str, exhaustive: bool, limits: &Limits) -> Result<Kb, CliFail> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| CliFail::Msg(format!("cannot read {path}: {e}")))?;
     let mut world = World::new();
@@ -532,18 +624,51 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
     // The REPL holds a `Kb` so that assert/retract go through
     // incremental maintenance (delta grounding + stratum-local cache
     // revalidation) and limits apply per command, not per session.
-    let mut kb = KbBuilder::from_parts(world, prog)
+    KbBuilder::from_parts(world, prog)
         .build_with(strategy, &cfg)
-        .map_err(|e| CliFail::Msg(e.to_string()))?;
-    kb.set_threads(limits.threads);
-    let mut current = match kb.objects().first() {
+        .map_err(|e| CliFail::Msg(e.to_string()))
+}
+
+fn cmd_repl(path: Option<&str>, exhaustive: bool, limits: &Limits) -> CmdResult {
+    use std::io::{BufRead, Write};
+    let mut session = match (&limits.db, path) {
+        (Some(db), _) if Db::exists(std::path::Path::new(db)) => {
+            let (d, report) = open_db(db, limits)?;
+            println!("{}", recovery_line(db, &d, &report));
+            if let Some(p) = path {
+                println!("note: database {db} already exists; {p} not re-read");
+            }
+            SessionKb::Durable(d)
+        }
+        (Some(db), Some(p)) => {
+            let kb = load_repl_kb(p, exhaustive, limits)?;
+            let d = DurableKb::create(std::path::Path::new(db), kb, limits.durability)
+                .map_err(|e| CliFail::Msg(format!("cannot create database {db}: {e}")))?;
+            println!("created database {db} from {p}");
+            SessionKb::Durable(d)
+        }
+        (Some(db), None) => {
+            return Err(CliFail::Msg(format!(
+                "cannot open database {db}: no database there and no FILE to create one from"
+            )))
+        }
+        (None, Some(p)) => SessionKb::Plain(load_repl_kb(p, exhaustive, limits)?),
+        (None, None) => return Err(CliFail::Msg("repl: FILE or --db DIR required".to_string())),
+    };
+    session.kb().set_threads(limits.threads);
+    let origin = path
+        .map(str::to_string)
+        .or_else(|| limits.db.clone())
+        .unwrap_or_default();
+    let mut current = match session.kb().objects().first() {
         Some(first) => first.to_string(),
-        None => return Err(CliFail::Msg(format!("{path}: program has no components"))),
+        None => return Err(CliFail::Msg(format!("{origin}: program has no components"))),
     };
     println!(
-        "loaded {path}: {} components. Commands: use <component> | models | stable | \
-         explain <literal> | assert <rule> | retract <rule> | <query> | quit",
-        kb.objects().len()
+        "loaded {origin}: {} components. Commands: use <component> | models | stable | \
+         explain <literal> | assert <rule> | retract <rule> | save [DIR] | load DIR | \
+         <query> | quit",
+        session.kb().objects().len()
     );
     let stdin = std::io::stdin();
     loop {
@@ -564,44 +689,103 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
         match cmd {
             "quit" | "exit" | ":q" => return Ok(false),
             "use" => {
-                if kb.objects().contains(&rest) {
+                if session.kb().objects().contains(&rest) {
                     current = rest.to_string();
                 } else {
                     println!(
                         "error: unknown component `{rest}` (have: {})",
-                        kb.objects().join(", ")
+                        session.kb().objects().join(", ")
                     );
                 }
             }
-            "models" => match kb.model_with(&current, &repl_opts(limits)) {
-                Ok(ev) => {
-                    if let Some(reason) = ev.reason() {
-                        println!("{}", partial_banner("least model", reason));
+            "models" => {
+                let kb = session.kb();
+                match kb.model_with(&current, &repl_opts(limits)) {
+                    Ok(ev) => {
+                        if let Some(reason) = ev.reason() {
+                            println!("{}", partial_banner("least model", reason));
+                        }
+                        println!("least model: {}", kb.render(ev.value()));
                     }
-                    println!("least model: {}", kb.render(ev.value()));
+                    Err(e) => println!("error: {e}"),
                 }
-                Err(e) => println!("error: {e}"),
-            },
-            "stable" => match kb.stable_with(&current, &repl_opts(limits)) {
-                Ok(ev) => {
-                    if let Some(reason) = ev.reason() {
-                        println!("{}", partial_banner("enumeration", reason));
+            }
+            "stable" => {
+                let kb = session.kb();
+                match kb.stable_with(&current, &repl_opts(limits)) {
+                    Ok(ev) => {
+                        if let Some(reason) = ev.reason() {
+                            println!("{}", partial_banner("enumeration", reason));
+                        }
+                        for m in ev.value() {
+                            println!("stable: {}", kb.render(m));
+                        }
                     }
-                    for m in ev.value() {
-                        println!("stable: {}", kb.render(m));
-                    }
+                    Err(e) => println!("error: {e}"),
                 }
-                Err(e) => println!("error: {e}"),
-            },
-            "explain" => match kb.explain(&current, rest) {
+            }
+            "explain" => match session.kb().explain(&current, rest) {
                 Ok(text) => print!("{text}"),
                 Err(e) => println!("error: {e}"),
             },
-            "assert" => repl_mutate(&mut kb, &current, rest, true, limits),
-            "retract" => repl_mutate(&mut kb, &current, rest, false, limits),
+            "assert" => repl_mutate(&mut session, &current, rest, true, limits),
+            "retract" => repl_mutate(&mut session, &current, rest, false, limits),
+            "save" => {
+                // `save` compacts the attached database; `save DIR`
+                // writes a standalone snapshot-only copy at DIR.
+                let res = match (&mut session, rest) {
+                    (SessionKb::Durable(d), "") => d.save().map(|()| {
+                        format!("snapshot written to {} (WAL reset)", d.db().dir().display())
+                    }),
+                    (SessionKb::Plain(_), "") => {
+                        println!(
+                            "error: no database attached (start with --db DIR, or `save DIR`)"
+                        );
+                        continue;
+                    }
+                    (SessionKb::Durable(d), dir) => d
+                        .save_to(std::path::Path::new(dir), limits.durability)
+                        .map(|()| format!("database written to {dir}")),
+                    (SessionKb::Plain(kb), dir) => Db::create(
+                        std::path::Path::new(dir),
+                        kb.world(),
+                        kb.program(),
+                        kb.ground_program(),
+                        limits.durability,
+                    )
+                    .map(|_| format!("database written to {dir}"))
+                    .map_err(KbError::from),
+                };
+                match res {
+                    Ok(msg) => println!("{msg}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "load" => {
+                if rest.is_empty() {
+                    println!("usage: load DIR");
+                    continue;
+                }
+                match open_db(rest, limits) {
+                    Ok((mut d, report)) => {
+                        println!("{}", recovery_line(rest, &d, &report));
+                        d.kb_mut().set_threads(limits.threads);
+                        current = match d.kb_mut().objects().first() {
+                            Some(first) => first.to_string(),
+                            None => {
+                                println!("error: {rest}: database has no components");
+                                continue;
+                            }
+                        };
+                        session = SessionKb::Durable(d);
+                    }
+                    Err(CliFail::Msg(e) | CliFail::Exhausted(e)) => println!("error: {e}"),
+                }
+            }
             _ => {
                 // Treat the whole line as a query: ground literals get a
                 // verdict, patterns enumerate bindings.
+                let kb = session.kb();
                 match kb.truth_with(&current, line, &repl_opts(limits)) {
                     Ok(ev) => {
                         let suffix = match ev.reason() {
@@ -637,6 +821,81 @@ fn cmd_repl(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
             }
         }
     }
+}
+
+/// Hidden subcommand driving the crash-injection harness:
+/// `olp crash-worker DIR SEED N_OPS` opens (or creates) the database at
+/// DIR and applies the deterministic [`olp_workload::mutation_stream`]
+/// workload, one durably-logged op at a time, printing `applied K`
+/// after each commit so the harness can `kill -9` it mid-stream. On
+/// restart it recovers the database and resumes from the logged
+/// sequence number; `done seq=N` marks completion. Every stream op
+/// commits exactly one WAL record, so `seq` equals the number of
+/// stream ops applied.
+fn cmd_crash_worker(dir: &str, seed: u64, n_ops: usize) -> CmdResult {
+    use std::io::Write;
+    let fail = |stage: &str, e: &dyn std::fmt::Display| {
+        CliFail::Msg(format!("crash-worker: {stage}: {e}"))
+    };
+    let cfg = olp_workload::MutationCfg {
+        n_mutations: n_ops,
+        ..olp_workload::MutationCfg::default()
+    };
+    let (base, ops) = olp_workload::mutation_stream(&cfg, seed);
+    let dirp = std::path::Path::new(dir);
+    let mut d = if Db::exists(dirp) {
+        let (d, report) =
+            DurableKb::open(dirp, Durability::OnCommit).map_err(|e| fail("recover", &e))?;
+        println!(
+            "recovered seq={} replayed={} dropped={}",
+            d.seq(),
+            report.replayed,
+            report.wal_dropped_bytes
+        );
+        d
+    } else {
+        let mut b = KbBuilder::new();
+        b.rules("main", &base)
+            .map_err(|e| fail("base program", &e))?;
+        let kb = b
+            .build(GroundStrategy::Smart)
+            .map_err(|e| fail("base program", &e))?;
+        DurableKb::create(dirp, kb, Durability::OnCommit).map_err(|e| fail("create", &e))?
+    };
+    // Compact aggressively so kills also land inside the snapshot +
+    // WAL-reset windows, not just between appends.
+    d.set_compact_every(16);
+    let start = d.seq() as usize;
+    if start > ops.len() {
+        return Err(fail(
+            "resume",
+            &format!(
+                "database is ahead of the stream (seq {start} > {})",
+                ops.len()
+            ),
+        ));
+    }
+    for (k, op) in ops.iter().enumerate().skip(start) {
+        let committed = match op {
+            olp_workload::Mutation::Assert { object, rule } => d
+                .assert_rule(object, rule)
+                .map(|()| true)
+                .map_err(|e| fail(&format!("op {k} assert"), &e))?,
+            olp_workload::Mutation::Retract { object, rule } => d
+                .retract_rule(object, rule)
+                .map_err(|e| fail(&format!("op {k} retract"), &e))?,
+        };
+        if !committed {
+            return Err(fail(
+                &format!("op {k}"),
+                &"retract matched nothing; stream out of sync with database",
+            ));
+        }
+        println!("applied {k}");
+        std::io::stdout().flush().ok();
+    }
+    println!("done seq={}", d.seq());
+    Ok(false)
 }
 
 /// Query against an already-loaded program (shared by `query` and the
@@ -727,7 +986,14 @@ fn main() -> ExitCode {
             };
             if matches!(
                 name,
-                "timeout" | "max-steps" | "max-models" | "threads" | "deny" | "format"
+                "timeout"
+                    | "max-steps"
+                    | "max-models"
+                    | "threads"
+                    | "deny"
+                    | "format"
+                    | "db"
+                    | "durability"
             ) {
                 let val = match inline_val {
                     Some(v) => v,
@@ -785,8 +1051,28 @@ fn main() -> ExitCode {
             exhaustive,
             &limits,
         ),
-        ["repl", file] => cmd_repl(file, exhaustive, &limits),
-        [file] if flags.contains(&"--interactive") => cmd_repl(file, exhaustive, &limits),
+        ["repl", file] => cmd_repl(Some(file), exhaustive, &limits),
+        ["repl"] => cmd_repl(None, exhaustive, &limits),
+        [file] if flags.contains(&"--interactive") => cmd_repl(Some(file), exhaustive, &limits),
+        // Internal: driven by the crash-injection harness
+        // (tests/durability.rs); deliberately absent from usage().
+        ["crash-worker", dir, seed, n_ops] => {
+            let seed: u64 = match seed.parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("error: crash-worker: SEED must be an integer");
+                    return ExitCode::from(2);
+                }
+            };
+            let n_ops: usize = match n_ops.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("error: crash-worker: N_OPS must be an integer");
+                    return ExitCode::from(2);
+                }
+            };
+            cmd_crash_worker(dir, seed, n_ops)
+        }
         _ => return usage(),
     };
     match result {

@@ -23,6 +23,7 @@
 //! | [`classic`] | classical baselines: `T_P`, stratified, WFS, GL-stable, founded |
 //! | [`transform`] | `OV`/`EV`/`3V` and the direct semantics of negative programs |
 //! | [`kb`] | knowledge-base layer: objects, isa, relations, queries |
+//! | [`store`] | durability: checksummed snapshots, write-ahead log, crash recovery |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use olp_ground as ground;
 pub use olp_kb as kb;
 pub use olp_parser as parser;
 pub use olp_semantics as semantics;
+pub use olp_store as store;
 pub use olp_transform as transform;
 
 /// The most common imports in one place.
@@ -64,7 +66,9 @@ pub mod prelude {
         Rule, Sign, Truth, World,
     };
     pub use olp_ground::{ground_exhaustive, ground_smart, GroundConfig, GroundProgram};
-    pub use olp_kb::{GroundStrategy, Kb, KbBuilder, QueryOptions, Relation};
+    pub use olp_kb::{
+        Durability, DurableKb, GroundStrategy, Kb, KbBuilder, QueryOptions, Relation,
+    };
     pub use olp_parser::{parse_ground_literal, parse_program, parse_rule};
     pub use olp_semantics::{
         enumerate_assumption_free, explain, is_assumption_free, is_model, least_model, prove,

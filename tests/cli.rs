@@ -377,3 +377,124 @@ fn bad_limit_value_is_a_usage_error() {
         assert!(err.contains("error:"), "{args:?}: {err}");
     }
 }
+
+/// Runs the binary with `input` piped to stdin (REPL sessions).
+fn olp_stdin(args: &[&str], input: &str) -> (String, String, i32) {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_olp"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // Error-path sessions exit before reading stdin; the broken pipe
+    // is expected there.
+    let _ = child.stdin.take().unwrap().write_all(input.as_bytes());
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("not killed by signal"),
+    )
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("olp_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn repl_db_create_mutate_reopen() {
+    let db = scratch_dir("db_roundtrip");
+    let db = db.to_str().unwrap();
+    let (out, err, code) = olp_stdin(
+        &["repl", &sample("penguin.olp"), "--db", db],
+        "assert bird(sparrow).\nfly(sparrow)\nquit\n",
+    );
+    assert_eq!(code, 0, "out: {out} err: {err}");
+    assert!(out.contains(&format!("created database {db}")), "{out}");
+    assert!(out.contains("logged seq 1"), "{out}");
+    assert!(out.contains("fly(sparrow) in `c2`: true"), "{out}");
+
+    // Reopen with no FILE: the snapshot + WAL replay restore the state.
+    let (out, err, code) = olp_stdin(&["repl", "--db", db], "fly(sparrow)\nquit\n");
+    assert_eq!(code, 0, "out: {out} err: {err}");
+    assert!(out.contains("seq 1, 1 op replayed"), "{out}");
+    assert!(out.contains("fly(sparrow) in `c2`: true"), "{out}");
+    std::fs::remove_dir_all(db).ok();
+}
+
+#[test]
+fn repl_db_corrupt_is_a_clean_error() {
+    let db = scratch_dir("db_corrupt");
+    std::fs::create_dir_all(&db).unwrap();
+    std::fs::write(db.join("snapshot.olps"), b"this is not a snapshot").unwrap();
+    let db = db.to_str().unwrap();
+    let (out, err, code) = olp_stdin(&["repl", "--db", db], "quit\n");
+    assert_eq!(code, 1, "out: {out} err: {err}");
+    assert!(
+        err.contains(&format!("error: cannot open database {db}")),
+        "{err}"
+    );
+    assert!(err.contains("not an olp snapshot"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    std::fs::remove_dir_all(db).ok();
+}
+
+#[test]
+fn repl_db_truncated_snapshot_is_a_clean_error() {
+    // Build a valid database, then chop the snapshot mid-frame: the
+    // checksum layer must reject it with a positioned corruption
+    // message rather than load garbage.
+    let db = scratch_dir("db_truncated");
+    let dbs = db.to_str().unwrap();
+    let (_, _, code) = olp_stdin(&["repl", &sample("penguin.olp"), "--db", dbs], "quit\n");
+    assert_eq!(code, 0);
+    let snap = db.join("snapshot.olps");
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &bytes[..bytes.len() / 2]).unwrap();
+    let (out, err, code) = olp_stdin(&["repl", "--db", dbs], "quit\n");
+    assert_eq!(code, 1, "out: {out} err: {err}");
+    assert!(err.contains("error: cannot open database"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    std::fs::remove_dir_all(&db).ok();
+}
+
+#[test]
+fn repl_db_missing_without_file_is_an_error() {
+    let db = scratch_dir("db_missing");
+    let (out, err, code) = olp_stdin(&["repl", "--db", db.to_str().unwrap()], "quit\n");
+    assert_eq!(code, 1, "out: {out} err: {err}");
+    assert!(err.contains("no database there"), "{err}");
+}
+
+#[test]
+fn repl_db_bad_durability_is_a_usage_error() {
+    let (_, err, code) = olp_code(&["repl", "--db", "whatever", "--durability", "paranoid"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--durability"), "{err}");
+}
+
+#[test]
+fn repl_save_without_db_reports_error_and_save_dir_works() {
+    let copy = scratch_dir("db_savecopy");
+    let copys = copy.to_str().unwrap();
+    let (out, _, code) = olp_stdin(
+        &["repl", &sample("penguin.olp")],
+        &format!("save\nsave {copys}\nquit\n"),
+    );
+    assert_eq!(code, 0);
+    assert!(out.contains("error: no database attached"), "{out}");
+    assert!(
+        out.contains(&format!("database written to {copys}")),
+        "{out}"
+    );
+    // The copy is a complete, openable database.
+    let (out, err, code) = olp_stdin(&["repl", "--db", copys], "models\nquit\n");
+    assert_eq!(code, 0, "out: {out} err: {err}");
+    assert!(out.contains("least model:"), "{out}");
+    std::fs::remove_dir_all(&copy).ok();
+}

@@ -1,0 +1,277 @@
+//! Crash-injection and corruption tests for the durable KB layer.
+//!
+//! The harness drives the hidden `olp crash-worker` subcommand — which
+//! applies the deterministic [`olp_workload::mutation_stream`] workload
+//! against a database, one durably-logged op at a time — and `kill -9`s
+//! it at random points (after a random number of committed ops, or
+//! after a random wall-clock delay, so kills also land mid-write and
+//! mid-compaction). After each crash the worker is restarted; it must
+//! recover the database and resume from the logged sequence number.
+//! Once the stream completes, the recovered KB's least and stable
+//! models must be identical to a survivor that applied the same stream
+//! in-process without ever crashing.
+//!
+//! Corruption tests flip bytes in the snapshot (must be *rejected*,
+//! never silently loaded) and append garbage to the WAL (must be
+//! *truncated* at the last valid record, with the prefix replayed).
+
+use ordered_logic::kb::{Durability, DurableKb, GroundStrategy, Kb, KbBuilder};
+use ordered_logic::store::{SNAPSHOT_FILE, WAL_FILE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Stream seed shared by workers and survivors. Changing it reshapes
+/// every test deterministically.
+const SEED: u64 = 0xC0FFEE;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("olp_durability_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn spawn_worker(dir: &Path, n_ops: usize) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_olp"))
+        .args([
+            "crash-worker",
+            dir.to_str().unwrap(),
+            &SEED.to_string(),
+            &n_ops.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("worker spawns")
+}
+
+/// The survivor: the same base program and op stream applied in-process
+/// with no crashes and no persistence.
+fn survivor(n_ops: usize) -> Kb {
+    let cfg = olp_workload::MutationCfg {
+        n_mutations: n_ops,
+        ..olp_workload::MutationCfg::default()
+    };
+    let (base, ops) = olp_workload::mutation_stream(&cfg, SEED);
+    let mut b = KbBuilder::new();
+    b.rules("main", &base).unwrap();
+    let mut kb = b.build(GroundStrategy::Smart).unwrap();
+    for op in &ops {
+        match op {
+            olp_workload::Mutation::Assert { object, rule } => {
+                kb.assert_rule(object, rule).unwrap()
+            }
+            olp_workload::Mutation::Retract { object, rule } => {
+                assert!(kb.retract_rule(object, rule).unwrap());
+            }
+        }
+    }
+    kb
+}
+
+/// Least + stable models of `main`, rendered (the comparison key for
+/// "identical models").
+fn models_key(kb: &mut Kb) -> (String, Vec<String>) {
+    let least = kb.model("main").unwrap().clone();
+    let least = kb.render(&least);
+    let stable = kb.stable("main").unwrap();
+    let stable: Vec<String> = stable.iter().map(|m| kb.render(m)).collect();
+    (least, stable)
+}
+
+/// Runs the worker to completion, killing it with SIGKILL at random
+/// points. Returns the number of crashes injected.
+fn run_with_crashes(dir: &Path, n_ops: usize, rng: &mut StdRng, deadline: Instant) -> usize {
+    let mut crashes = 0;
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "crash harness did not converge ({crashes} crashes in the budget)"
+        );
+        let mut child = spawn_worker(dir, n_ops);
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        // Alternate kill strategies: after K committed ops (lands
+        // between ops) or after D ms (lands anywhere, including inside
+        // fsync, snapshot encode, and the WAL reset of a compaction).
+        let by_time = rng.gen_bool(0.5);
+        let kill_after_ops = rng.gen_range(1u32..24);
+        let kill_after = Duration::from_millis(rng.gen_range(2u64..80));
+        let started = Instant::now();
+        let mut applied_this_run = 0u32;
+        let mut done = false;
+        for line in stdout.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break, // killed mid-write of a line
+            };
+            if line.starts_with("done ") {
+                done = true;
+                break;
+            }
+            if line.starts_with("applied ") {
+                applied_this_run += 1;
+            }
+            let fire = if by_time {
+                started.elapsed() >= kill_after
+            } else {
+                applied_this_run >= kill_after_ops
+            };
+            if fire {
+                child.kill().expect("SIGKILL delivered");
+                crashes += 1;
+                break;
+            }
+        }
+        let status = child.wait().expect("worker reaped");
+        if done {
+            assert!(status.success(), "worker reported done but failed");
+            return crashes;
+        }
+        // A worker that exited non-zero without being killed hit a
+        // real error (e.g. failed recovery): that is a test failure.
+        assert!(
+            status.code().is_none() || !status.success(),
+            "worker exited 0 without reporting done"
+        );
+        if let Some(code) = status.code() {
+            panic!("worker failed with exit code {code} instead of crashing or finishing");
+        }
+    }
+}
+
+#[test]
+fn kill9_anywhere_in_a_220_op_stream_recovers_identical_models() {
+    let n_ops = 220;
+    let dir = scratch_dir("crash");
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let crashes = run_with_crashes(&dir, n_ops, &mut rng, deadline);
+    // The workload is sized so several crashes land in the stream;
+    // with none injected the test degenerates to a plain run.
+    assert!(
+        crashes >= 3,
+        "only {crashes} crashes injected; kill windows too narrow"
+    );
+
+    let (mut recovered, report) = DurableKb::open(&dir, Durability::OnCommit).unwrap();
+    assert_eq!(
+        recovered.seq(),
+        n_ops as u64,
+        "every op durably applied exactly once"
+    );
+    let recovered_key = models_key(recovered.kb_mut());
+    let mut surv = survivor(n_ops);
+    assert_eq!(
+        recovered_key,
+        models_key(&mut surv),
+        "recovered KB (after {crashes} crashes, {} replayed on final open) diverged from survivor",
+        report.replayed
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_snapshot_is_rejected_not_loaded() {
+    let n_ops = 24;
+    let dir = scratch_dir("bitflip");
+    // A clean run; compaction inside the worker leaves a non-trivial
+    // snapshot behind.
+    let mut child = spawn_worker(&dir, n_ops);
+    assert!(child.wait().unwrap().success());
+
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let pristine = std::fs::read(&snap_path).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 2);
+    for _ in 0..32 {
+        let mut bytes = pristine.clone();
+        let pos = rng.gen_range(0..bytes.len());
+        let flip: u8 = rng.gen_range(1u8..=255);
+        bytes[pos] ^= flip;
+        std::fs::write(&snap_path, &bytes).unwrap();
+        let err = DurableKb::open(&dir, Durability::OnCommit)
+            .err()
+            .unwrap_or_else(|| panic!("flip of byte {pos} loaded silently"));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("snapshot.olps"),
+            "error does not name the corrupt file: {msg}"
+        );
+    }
+    // Restoring the pristine bytes restores the database.
+    std::fs::write(&snap_path, &pristine).unwrap();
+    let (d, _) = DurableKb::open(&dir, Durability::OnCommit).unwrap();
+    assert_eq!(d.seq(), n_ops as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_and_the_stream_resumes() {
+    let n_ops = 40;
+    let dir = scratch_dir("torn");
+    let mut child = spawn_worker(&dir, n_ops);
+    assert!(child.wait().unwrap().success());
+
+    // Simulate a torn append: garbage past the last valid record.
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x42]);
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    let (mut recovered, report) = DurableKb::open(&dir, Durability::OnCommit).unwrap();
+    assert_eq!(
+        report.wal_dropped_bytes, 5,
+        "exactly the garbage tail is dropped"
+    );
+    assert!(report.wal_torn.is_some());
+    assert_eq!(recovered.seq(), n_ops as u64);
+    let recovered_key = models_key(recovered.kb_mut());
+    drop(recovered);
+    assert_eq!(recovered_key, models_key(&mut survivor(n_ops)));
+
+    // The worker reopens the (repaired-on-open) database and agrees
+    // there is nothing left to do.
+    let mut child = spawn_worker(&dir, n_ops);
+    assert!(child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_replay_is_deterministic_byte_identical_stores() {
+    // The same op stream, applied through two independent durable KBs,
+    // must produce byte-identical snapshots: replay determinism at the
+    // store level.
+    let n_ops = 60;
+    let cfg = olp_workload::MutationCfg {
+        n_mutations: n_ops,
+        ..olp_workload::MutationCfg::default()
+    };
+    let (base, ops) = olp_workload::mutation_stream(&cfg, SEED ^ 3);
+    let dirs = [scratch_dir("det_a"), scratch_dir("det_b")];
+    let mut snapshots = Vec::new();
+    for dir in &dirs {
+        let mut b = KbBuilder::new();
+        b.rules("main", &base).unwrap();
+        let kb = b.build(GroundStrategy::Smart).unwrap();
+        let mut d = DurableKb::create(dir, kb, Durability::Off).unwrap();
+        for op in &ops {
+            match op {
+                olp_workload::Mutation::Assert { object, rule } => {
+                    d.assert_rule(object, rule).unwrap()
+                }
+                olp_workload::Mutation::Retract { object, rule } => {
+                    assert!(d.retract_rule(object, rule).unwrap());
+                }
+            }
+        }
+        d.save().unwrap();
+        snapshots.push(std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap());
+        std::fs::remove_dir_all(dir).ok();
+    }
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "same op stream produced different store states"
+    );
+}
