@@ -689,24 +689,36 @@ fn main() {
     }
 
     // B10: the parallel evaluation pipeline — multi-threaded grounding,
-    // the stratum-wavefront least model, and the join planner, on the
-    // scaled random-graph ancestor workload plus defeating cliques.
-    // Differential check (byte-identical ground program and identical
-    // least model at every thread count) plus two acceptance gates,
-    // emitted as BENCH_parallel.json:
+    // the flat-arena least model with morsel-driven work stealing, and
+    // the join planner, on the scaled random-graph ancestor workload
+    // plus defeating cliques. Differential check (byte-identical ground
+    // program and identical least model at every thread count) plus
+    // three acceptance gates, emitted as BENCH_parallel.json:
     //   * ≥2.5x end-to-end (ground + least model) at 8 threads vs 1 on
     //     the scaled ancestor — evaluated only when the host actually
-    //     has ≥8 cores (a 1-core box cannot measure parallel speedup;
-    //     the gate is then reported as SKIP, never as a fake PASS);
+    //     has ≥8 cores. Thread counts exceeding the physical core count
+    //     are not measured at all: oversubscribed timings say nothing
+    //     about the scheduler, so no row is emitted and the gate is
+    //     reported as SKIP, never as a fake PASS or FAIL;
+    //   * single-thread flat least model vs the PR 4 interpretive
+    //     wavefront number (33.12ms on the reference 1-core host) —
+    //     the flat representation must win on *one* thread before any
+    //     parallel claim matters;
     //   * ≥1.3x single-threaded from the join planner alone (plan on
     //     vs off), which is host-independent and always enforced.
     {
         use olp_ground::{ground_smart, GroundProgram};
-        use olp_semantics::{least_model_parallel, least_model_stratified};
+        use olp_semantics::{
+            flatten, least_model_flat, least_model_parallel, least_model_stratified,
+        };
 
         const N: usize = 220;
         const EDGES: usize = 660;
         const CLIQUES: usize = 10;
+        // PR 4's single-thread least_model_ns on the reference host
+        // (BENCH_parallel.json as committed there) — the bar the flat
+        // engine has to clear.
+        const PR4_LEAST_MODEL_NS: u128 = 33_124_768;
         // The planner ablation runs a smaller graph with the attempt
         // ceiling lifted: `max_instances` meters join *attempts*, and
         // the unplanned full-scan join exceeds the default 10M ceiling
@@ -746,6 +758,13 @@ fn main() {
         }
 
         let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Only thread counts the hardware can actually run in parallel
+        // are measured; a PASS/FAIL claim for an oversubscribed count
+        // would be noise dressed up as data.
+        let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+            .into_iter()
+            .filter(|&t| t <= host_cores)
+            .collect();
         let dflt = GroundConfig::default().max_instances;
         let (w1, g1) = build_ancestor(N, EDGES, 1, true, dflt);
         let ref_render = g1.render(&w1);
@@ -753,8 +772,9 @@ fn main() {
 
         let mut anc_rows = Vec::new();
         let mut e2e_1t = Duration::MAX;
-        let mut e2e_8t = Duration::MAX;
-        for &threads in &[1usize, 2, 4, 8] {
+        let mut e2e_8t = None;
+        let mut lfp_1t = Duration::MAX;
+        for &threads in &thread_counts {
             let (t_ground, (wt, gt)) = best_of_3(|| build_ancestor(N, EDGES, threads, true, dflt));
             assert_eq!(
                 ref_render,
@@ -764,7 +784,7 @@ fn main() {
             let view = View::new(&gt, CompId(0));
             let (t_lfp, model) = best_of_3(|| {
                 if threads == 1 {
-                    least_model_stratified(&view)
+                    least_model_flat(&flatten(&view))
                 } else {
                     least_model_parallel(&view, threads)
                 }
@@ -772,14 +792,15 @@ fn main() {
             assert_eq!(
                 ref_model,
                 model.render(&wt),
-                "wavefront least model differs at {threads} threads"
+                "flat least model differs at {threads} threads"
             );
             let e2e = t_ground + t_lfp;
             if threads == 1 {
                 e2e_1t = e2e;
+                lfp_1t = t_lfp;
             }
             if threads == 8 {
-                e2e_8t = e2e;
+                e2e_8t = Some(e2e);
             }
             println!(
                 "B10 parallel ancestor N={N} E={EDGES} threads={threads}: \
@@ -792,38 +813,56 @@ fn main() {
                 e2e.as_nanos(),
             ));
         }
-        let par_speedup = e2e_1t.as_secs_f64() / e2e_8t.as_secs_f64().max(1e-9);
-        let par_gate = if host_cores < 8 {
-            println!(
-                "B10 parallel ancestor: ≥2.5x@8t gate SKIP — host has {host_cores} core(s); \
-                 parallel speedup is unmeasurable here (measured {par_speedup:.2}x)"
-            );
-            "skipped_insufficient_cores"
-        } else if par_speedup >= 2.5 {
-            println!(
-                "B10 parallel ancestor: end-to-end 8t speedup {par_speedup:.2}x — ≥2.5x gate: PASS"
-            );
+        let (par_speedup_json, par_gate) = match e2e_8t {
+            None => {
+                println!(
+                    "B10 parallel ancestor: ≥2.5x@8t gate SKIP — host has {host_cores} core(s); \
+                     8-thread runs were not measured (oversubscription measures nothing)"
+                );
+                ("null".to_string(), "skipped_insufficient_cores")
+            }
+            Some(e8) => {
+                let s = e2e_1t.as_secs_f64() / e8.as_secs_f64().max(1e-9);
+                let gate = if s >= 2.5 { "pass" } else { "fail" };
+                println!(
+                    "B10 parallel ancestor: end-to-end 8t speedup {s:.2}x — ≥2.5x gate: {}",
+                    gate.to_uppercase()
+                );
+                (format!("{s:.2}"), gate)
+            }
+        };
+        // Single-thread regression gate: the flat arena engine against
+        // PR 4's interpretive number. Comparable only on the reference
+        // host class, so any cross-host run is informational — but a
+        // slower flat engine here would fail loudly either way.
+        let flat_speedup = PR4_LEAST_MODEL_NS as f64 / (lfp_1t.as_nanos() as f64).max(1.0);
+        let flat_gate = if lfp_1t.as_nanos() < PR4_LEAST_MODEL_NS {
             "pass"
         } else {
-            println!(
-                "B10 parallel ancestor: end-to-end 8t speedup {par_speedup:.2}x — ≥2.5x gate: FAIL"
-            );
             "fail"
         };
+        println!(
+            "B10 flat ancestor 1t: least model {lfp_1t:?} vs PR4 {:?} \
+             ({flat_speedup:.2}x) — improvement gate: {}",
+            Duration::from_nanos(PR4_LEAST_MODEL_NS as u64),
+            flat_gate.to_uppercase()
+        );
 
-        // Many independent strata — the wavefront's natural shape. The
-        // attacker-wiring phase of grounding stays sequential by design
-        // (determinism), so only the fixpoint is timed per thread count.
+        // Many independent strata, microsecond-scale total work — the
+        // workload where PR 4's per-round barrier turned threads into a
+        // 27x slowdown. The morsel engine's sequential fallback
+        // (weight below `seq_threshold`) must keep every thread count
+        // at the single-thread cost.
         let mut wq = World::new();
         let pq = defeating_cliques(&mut wq, CLIQUES);
         let gq = ground_smart(&mut wq, &pq, &GroundConfig::default()).expect("cliques ground");
         let qview = View::new(&gq, CompId(0));
         let clique_ref = least_model_stratified(&qview).render(&wq);
         let mut clique_rows = Vec::new();
-        for &threads in &[1usize, 2, 4, 8] {
+        for &threads in &thread_counts {
             let (t_lfp, model) = best_of_3(|| {
                 if threads == 1 {
-                    least_model_stratified(&qview)
+                    least_model_flat(&flatten(&qview))
                 } else {
                     least_model_parallel(&qview, threads)
                 }
@@ -831,7 +870,7 @@ fn main() {
             assert_eq!(
                 clique_ref,
                 model.render(&wq),
-                "wavefront least model differs on cliques at {threads} threads"
+                "flat least model differs on cliques at {threads} threads"
             );
             println!("B10 parallel cliques k={CLIQUES} threads={threads}: lfp {t_lfp:?}, model identical");
             clique_rows.push(format!(
@@ -860,20 +899,27 @@ fn main() {
             if plan_speedup >= 1.3 { "PASS" } else { "FAIL" }
         );
 
+        let measured: Vec<String> = thread_counts.iter().map(ToString::to_string).collect();
         let json = format!(
             "{{\n\"host_cores\": {host_cores},\n\
+             \"measured_thread_counts\": [{}],\n\
+             \"flat\": true,\n\
              \"ancestor\": {{\"n\": {N}, \"edges\": {EDGES}, \"rows\": [\n{}\n]}},\n\
              \"defeating_cliques\": {{\"k\": {CLIQUES}, \"rows\": [\n{}\n]}},\n\
              \"planner\": {{\"planned_ns\": {}, \"unplanned_ns\": {}, \"speedup\": {plan_speedup:.2}}},\n\
              \"gates\": {{\n\
-             \"parallel_8t_min\": 2.5, \"parallel_8t_speedup\": {par_speedup:.2}, \"parallel_8t\": \"{par_gate}\",\n\
+             \"parallel_8t_min\": 2.5, \"parallel_8t_speedup\": {par_speedup_json}, \"parallel_8t\": \"{par_gate}\",\n\
+             \"single_thread_pr4_baseline_ns\": {PR4_LEAST_MODEL_NS}, \"single_thread_least_model_ns\": {}, \
+             \"single_thread_speedup\": {flat_speedup:.2}, \"single_thread_vs_pr4\": \"{flat_gate}\",\n\
              \"planner_min\": 1.3, \"planner_speedup\": {plan_speedup:.2}, \"planner\": \"{plan_gate}\"\n\
              }},\n\
              \"models_identical\": true\n}}\n",
+            measured.join(", "),
             anc_rows.join(",\n"),
             clique_rows.join(",\n"),
             t_plan.as_nanos(),
             t_noplan.as_nanos(),
+            lfp_1t.as_nanos(),
         );
         match std::fs::write("BENCH_parallel.json", &json) {
             Ok(()) => println!("B10 parallel: wrote BENCH_parallel.json"),

@@ -1,0 +1,89 @@
+//! Parallel-regression smoke test for CI: the scaled ancestor workload
+//! at 1 and 2 threads, asserting that going wide is never a cliff.
+//!
+//! PR 4's stratum-wavefront made `--threads 8` 1.6x *slower* than
+//! `--threads 1` and nobody noticed until the numbers were published.
+//! This binary is the tripwire: it runs end-to-end (ground + least
+//! model) at 1 and 2 threads and **fails (exit 1) if the 2-thread run
+//! exceeds 1.15x the 1-thread time** — parallel evaluation may win or
+//! tie, it must not regress. The differential model check runs in both
+//! configurations either way.
+//!
+//! On hosts with fewer than 2 physical cores the timing assertion is
+//! reported as SKIP and the exit code stays 0 (a 1-core box cannot
+//! measure parallel overhead honestly), mirroring the BENCH_parallel
+//! gate convention. Set `OLP_PERF_SMOKE_FORCE=1` to assert anyway.
+
+use olp_core::{CompId, World};
+use olp_ground::{ground_smart, GroundConfig, GroundProgram};
+use olp_semantics::{flatten, least_model_flat, least_model_parallel, View};
+use olp_workload::{ancestor, GraphShape};
+use std::time::{Duration, Instant};
+
+const N: usize = 220;
+const EDGES: usize = 660;
+/// Allowed 2-thread overhead over the 1-thread run.
+const MAX_RATIO: f64 = 1.15;
+
+fn build(threads: usize) -> (World, GroundProgram) {
+    let mut w = World::new();
+    let p = ancestor(
+        &mut w,
+        GraphShape::Random {
+            edges: EDGES,
+            seed: 42,
+        },
+        N,
+    );
+    let cfg = GroundConfig {
+        threads,
+        ..GroundConfig::default()
+    };
+    let g = ground_smart(&mut w, &p, &cfg).expect("ancestor grounds");
+    (w, g)
+}
+
+fn end_to_end(threads: usize) -> (Duration, String) {
+    let mut best = Duration::MAX;
+    let mut model = String::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (w, g) = build(threads);
+        let view = View::new(&g, CompId(0));
+        let m = if threads == 1 {
+            least_model_flat(&flatten(&view))
+        } else {
+            least_model_parallel(&view, threads)
+        };
+        best = best.min(t.elapsed());
+        model = m.render(&w);
+    }
+    (best, model)
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (t1, m1) = end_to_end(1);
+    let (t2, m2) = end_to_end(2);
+    assert_eq!(m1, m2, "least model differs between 1 and 2 threads");
+    let ratio = t2.as_secs_f64() / t1.as_secs_f64().max(1e-9);
+    println!(
+        "perf-smoke ancestor N={N} E={EDGES}: 1t {t1:?}, 2t {t2:?} ({ratio:.2}x), models identical"
+    );
+    let force = std::env::var("OLP_PERF_SMOKE_FORCE").is_ok_and(|v| v == "1");
+    if host_cores < 2 && !force {
+        println!(
+            "perf-smoke: SKIP timing assertion — host has {host_cores} core(s); \
+             2-thread overhead is unmeasurable here"
+        );
+        return;
+    }
+    if ratio > MAX_RATIO {
+        eprintln!(
+            "perf-smoke: FAIL — 2 threads took {ratio:.2}x the 1-thread time \
+             (limit {MAX_RATIO}); parallel evaluation has regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("perf-smoke: PASS — 2t/1t ratio {ratio:.2} within {MAX_RATIO}");
+}

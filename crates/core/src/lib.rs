@@ -82,7 +82,7 @@ pub mod symbol;
 pub mod term;
 pub mod world;
 
-pub use bitset::BitSet;
+pub use bitset::{AtomicBitSet, BitSet};
 pub use budget::{Budget, Eval, InterruptReason, Interrupted, Ticker};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use gterm::{AtomId, AtomStore, GTerm, GTermId, GroundAtom, TermStore};
@@ -91,7 +91,7 @@ pub use literal::{GLit, Literal, Sign};
 pub use pred::{PredId, PredTable};
 pub use program::{CompId, Component, Order, OrderError, OrderedProgram};
 pub use rule::{Aexp, BodyItem, Cmp, CmpOp, EvalError, Rule};
-pub use scc::tarjan_scc;
+pub use scc::{tarjan_scc, tarjan_scc_csr};
 pub use span::{Pos, RuleSpan, SpanTable};
 pub use symbol::{Sym, SymbolTable};
 pub use term::Term;

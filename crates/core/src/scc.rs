@@ -19,8 +19,21 @@
 /// The implementation is iterative (explicit work stack), so deep
 /// chains cannot overflow the call stack.
 pub fn tarjan_scc(adj: &[Vec<u32>]) -> (Vec<u32>, usize) {
+    tarjan_scc_ranges(adj.len(), |v| &adj[v])
+}
+
+/// [`tarjan_scc`] over a CSR graph: node `v`'s successors are
+/// `edges[off[v]..off[v + 1]]`. Same contract and same component
+/// numbering as the adjacency-list form for the same edge order —
+/// this is the allocation-free fast path for large dense-id graphs
+/// (the flat ground-program compiler).
+pub fn tarjan_scc_csr(off: &[u32], edges: &[u32]) -> (Vec<u32>, usize) {
+    let n = off.len().saturating_sub(1);
+    tarjan_scc_ranges(n, |v| &edges[off[v] as usize..off[v + 1] as usize])
+}
+
+fn tarjan_scc_ranges<'g>(n: usize, succ: impl Fn(usize) -> &'g [u32]) -> (Vec<u32>, usize) {
     const UNSET: u32 = u32::MAX;
-    let n = adj.len();
     let mut index = vec![UNSET; n];
     let mut low = vec![0u32; n];
     let mut on_stack = vec![false; n];
@@ -43,7 +56,7 @@ pub fn tarjan_scc(adj: &[Vec<u32>]) -> (Vec<u32>, usize) {
                 stack.push(v);
                 on_stack[v] = true;
             }
-            if let Some(&w) = adj[v].get(*cursor) {
+            if let Some(&w) = succ(v).get(*cursor) {
                 let w = w as usize;
                 *cursor += 1;
                 if index[w] == UNSET {
@@ -123,6 +136,25 @@ mod tests {
         assert_eq!(n_sccs, n);
         // Chain v -> v-1: deeper nodes have larger ids.
         assert!(scc[0] < scc[n - 1]);
+    }
+
+    #[test]
+    fn csr_form_matches_adjacency_list() {
+        let adj = vec![vec![1, 2], vec![2], vec![3, 1], vec![], vec![0]];
+        let mut off = vec![0u32];
+        let mut edges = Vec::new();
+        for outs in &adj {
+            edges.extend_from_slice(outs);
+            off.push(edges.len() as u32);
+        }
+        assert_eq!(tarjan_scc(&adj), tarjan_scc_csr(&off, &edges));
+    }
+
+    #[test]
+    fn csr_empty_graph() {
+        let (scc, n) = tarjan_scc_csr(&[0], &[]);
+        assert!(scc.is_empty());
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -1,0 +1,794 @@
+//! Flat, stratum-sorted arena representation of a component view.
+//!
+//! The interpretive evaluators walk a [`GroundProgram`] through
+//! per-view hash maps (`by_body: FxHashMap<GLit, Vec<LocalIdx>>` and
+//! friends): every derived literal pays a hash + probe to find the
+//! rules watching it. A [`FlatView`] compiles the same view once into
+//! dense contiguous arenas so the semi-naive inner loop is pure index
+//! arithmetic:
+//!
+//! * rules live in **one** flat order, sorted by `(dependency level,
+//!   SCC)` of their head atom — every stratum is a contiguous rule
+//!   range, every level a contiguous stratum range, and stratum
+//!   membership tests collapse to a range check;
+//! * rule bodies, watch lists and attack lists are CSR
+//!   (offsets + payload) over `u32` ids;
+//! * watch lists are indexed by [`GLit::code`] — literals over atoms
+//!   `0..n` occupy codes `0..2n`, so "who watches this literal?" is an
+//!   array load, and truth state is a [`olp_core::BitSet`] indexed by
+//!   the same dense code space (one bit per signed atom);
+//! * per-stratum dependency edges (`stratum_preds`) and statistics-based
+//!   weights feed the morsel partitioner of the parallel fixpoint.
+//!
+//! The attack structure (overrulers / defeaters per Definition 2) is
+//! recomputed here from head-atom buckets plus [`olp_core::Order`]; the
+//! semantics crate differentially tests it against the interpretive
+//! `View`'s hash-map construction.
+
+use crate::program::GroundProgram;
+use olp_core::{tarjan_scc_csr, CompId, GLit, PredId, Sign, World};
+
+/// Index of a rule within a [`FlatView`] (position in the flat,
+/// stratum-sorted rule order — **not** a `GroundProgram` index; see
+/// [`FlatView::global_index`]).
+pub type FlatIdx = u32;
+
+/// A contiguous run of whole strata scheduled as one unit of parallel
+/// work. Produced by [`FlatView::morsels`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Flat rule range `[rule_lo, rule_hi)`.
+    pub rule_lo: u32,
+    /// End of the flat rule range (exclusive).
+    pub rule_hi: u32,
+    /// Stratum index range `[stratum_lo, stratum_hi)`.
+    pub stratum_lo: u32,
+    /// End of the stratum range (exclusive).
+    pub stratum_hi: u32,
+    /// The dependency level all contained strata share.
+    pub level: u32,
+}
+
+/// A component view compiled into dense contiguous arenas.
+#[derive(Debug, Clone)]
+pub struct FlatView {
+    /// The component whose view this is.
+    pub comp: CompId,
+    /// Atom universe size (truth bitsets span codes `0..2 * n_atoms`).
+    pub n_atoms: usize,
+    /// Head literal per flat rule.
+    heads: Vec<GLit>,
+    /// Component per flat rule (`C(r)`, for diagnostics).
+    comps: Vec<CompId>,
+    /// CSR offsets into `body` (length `n_rules + 1`).
+    body_off: Vec<u32>,
+    /// Concatenated rule bodies.
+    body: Vec<GLit>,
+    /// CSR offsets into `watch`, indexed by literal code (length
+    /// `2 * n_atoms + 1`).
+    watch_off: Vec<u32>,
+    /// Flat rule indices watching each literal code (a rule appears
+    /// once per distinct body literal).
+    watch: Vec<u32>,
+    /// CSR: potential overrulers per rule (flat indices).
+    over_off: Vec<u32>,
+    over: Vec<u32>,
+    /// CSR: potential defeaters per rule (flat indices).
+    defeat_off: Vec<u32>,
+    defeat: Vec<u32>,
+    /// CSR: overruling victims per rule (transposed `over`).
+    vover_off: Vec<u32>,
+    vover: Vec<u32>,
+    /// CSR: defeating victims per rule (transposed `defeat`).
+    vdefeat_off: Vec<u32>,
+    vdefeat: Vec<u32>,
+    /// Stratum boundaries in the flat rule order (length
+    /// `n_strata + 1`): stratum `s` is rules
+    /// `stratum_off[s]..stratum_off[s + 1]`.
+    stratum_off: Vec<u32>,
+    /// Level boundaries in stratum index space (length `n_levels + 1`):
+    /// level `l` spans strata `level_off[l]..level_off[l + 1]`.
+    level_off: Vec<u32>,
+    /// CSR: distinct predecessor strata per stratum (strata owning
+    /// out-of-stratum body atoms of the stratum's rules).
+    pred_off: Vec<u32>,
+    preds: Vec<u32>,
+    /// Flat index → global rule index into `GroundProgram::rules`.
+    global: Vec<u32>,
+}
+
+impl FlatView {
+    /// Compiles the flat view of component `comp`.
+    pub fn new(gp: &GroundProgram, comp: CompId) -> Self {
+        Self::from_rules(gp, comp, gp.view(comp))
+    }
+
+    /// Compiles a flat view over an explicit rule subset (global
+    /// indices into `gp.rules`). Same closure requirement as the
+    /// interpretive view: a rule outside the subset neither fires nor
+    /// attacks.
+    pub fn from_rules(gp: &GroundProgram, comp: CompId, rules: &[u32]) -> Self {
+        let n = rules.len();
+        let n_atoms = gp.n_atoms;
+
+        // --- Stratification: SCCs of the head→body atom graph, built
+        // as CSR in two counting passes (no per-atom allocation, no
+        // sort — Tarjan tolerates duplicate edges).
+        let mut adj_off = vec![0u32; n_atoms + 1];
+        for &ri in rules {
+            let r = &gp.rules[ri as usize];
+            adj_off[r.head.atom().index() + 1] += r.body.len() as u32;
+        }
+        for v in 0..n_atoms {
+            adj_off[v + 1] += adj_off[v];
+        }
+        let mut adj_edges = vec![0u32; adj_off[n_atoms] as usize];
+        let mut cursor = adj_off.clone();
+        for &ri in rules {
+            let r = &gp.rules[ri as usize];
+            let h = r.head.atom().index();
+            for &b in r.body.iter() {
+                adj_edges[cursor[h] as usize] = b.atom().index() as u32;
+                cursor[h] += 1;
+            }
+        }
+        let (scc_of, n_sccs) = tarjan_scc_csr(&adj_off, &adj_edges);
+
+        // Dependency level per SCC. Tarjan numbers SCCs
+        // reverse-topologically (edges go to smaller ids), so one
+        // ascending pass over SCC ids sees every dependency's level
+        // final before it is read. The cross-SCC edge list is grouped
+        // by source via a counting sort (duplicates are harmless to a
+        // max-fold).
+        let mut se_off = vec![0u32; n_sccs + 2];
+        for &ri in rules {
+            let r = &gp.rules[ri as usize];
+            let s = scc_of[r.head.atom().index()];
+            for &b in r.body.iter() {
+                let t = scc_of[b.atom().index()];
+                if t != s {
+                    debug_assert!(t < s, "Tarjan ids must be reverse-topological");
+                    se_off[s as usize + 1] += 1;
+                }
+            }
+        }
+        for s in 0..n_sccs.max(1) {
+            se_off[s + 1] += se_off[s];
+        }
+        let mut se_edges = vec![0u32; se_off[n_sccs.max(1)] as usize];
+        let mut se_cur = se_off.clone();
+        for &ri in rules {
+            let r = &gp.rules[ri as usize];
+            let s = scc_of[r.head.atom().index()];
+            for &b in r.body.iter() {
+                let t = scc_of[b.atom().index()];
+                if t != s {
+                    se_edges[se_cur[s as usize] as usize] = t;
+                    se_cur[s as usize] += 1;
+                }
+            }
+        }
+        let mut scc_level = vec![0u32; n_sccs.max(1)];
+        for s in 0..n_sccs {
+            let mut lv = 0u32;
+            for &t in &se_edges[se_off[s] as usize..se_off[s + 1] as usize] {
+                lv = lv.max(scc_level[t as usize] + 1);
+            }
+            scc_level[s] = lv;
+        }
+
+        // --- Flat rule order: (level, SCC, global index). ------------
+        // (level, SCC) sorting is topological — any inter-stratum body
+        // dependency crosses to a strictly lower level — and makes both
+        // strata and levels contiguous rule ranges. Instead of a
+        // comparison sort over rules, rank the (few) SCCs by
+        // (level, id) and counting-sort the rules by rank; iterating
+        // `rules` in ascending global order makes the counting sort's
+        // stability reproduce the global-index tie-break.
+        let mut scc_rank = vec![0u32; n_sccs.max(1)];
+        {
+            let mut by_level: Vec<u32> = (0..n_sccs as u32).collect();
+            by_level.sort_unstable_by_key(|&s| (scc_level[s as usize], s));
+            for (rank, &s) in by_level.iter().enumerate() {
+                scc_rank[s as usize] = rank as u32;
+            }
+        }
+        let rules_asc: std::borrow::Cow<'_, [u32]> = if rules.windows(2).all(|w| w[0] <= w[1]) {
+            std::borrow::Cow::Borrowed(rules)
+        } else {
+            let mut v = rules.to_vec();
+            v.sort_unstable();
+            std::borrow::Cow::Owned(v)
+        };
+        let mut rank_cnt = vec![0u32; n_sccs + 2];
+        for &ri in rules_asc.iter() {
+            let s = scc_of[gp.rules[ri as usize].head.atom().index()];
+            rank_cnt[scc_rank[s as usize] as usize + 1] += 1;
+        }
+        for r in 0..n_sccs.max(1) {
+            rank_cnt[r + 1] += rank_cnt[r];
+        }
+        let mut order_ri = vec![0u32; n];
+        let mut rank_cur = rank_cnt;
+        for &ri in rules_asc.iter() {
+            let s = scc_of[gp.rules[ri as usize].head.atom().index()];
+            let r = scc_rank[s as usize] as usize;
+            order_ri[rank_cur[r] as usize] = ri;
+            rank_cur[r] += 1;
+        }
+
+        let mut heads = Vec::with_capacity(n);
+        let mut comps = Vec::with_capacity(n);
+        let mut global = Vec::with_capacity(n);
+        let mut body_off = Vec::with_capacity(n + 1);
+        let mut body = Vec::new();
+        let mut rule_scc = Vec::with_capacity(n);
+        body_off.push(0u32);
+        for &ri in &order_ri {
+            let r = &gp.rules[ri as usize];
+            heads.push(r.head);
+            comps.push(r.comp);
+            global.push(ri);
+            rule_scc.push(scc_of[r.head.atom().index()]);
+            body.extend_from_slice(&r.body);
+            body_off.push(body.len() as u32);
+        }
+
+        // Stratum and level boundaries over the sorted order.
+        let mut stratum_off: Vec<u32> = vec![0];
+        let mut stratum_scc: Vec<u32> = Vec::new();
+        let mut level_off: Vec<u32> = vec![0];
+        let mut stratum_level: Vec<u32> = Vec::new();
+        for f in 0..n {
+            let s = rule_scc[f];
+            if f == 0 || s != rule_scc[f - 1] {
+                if f != 0 {
+                    stratum_off.push(f as u32);
+                }
+                let lv = scc_level[s as usize];
+                if stratum_level.last() != Some(&lv) {
+                    if !stratum_level.is_empty() {
+                        level_off.push(stratum_scc.len() as u32);
+                    }
+                    stratum_level.push(lv);
+                }
+                stratum_scc.push(s);
+            }
+        }
+        stratum_off.push(n as u32);
+        level_off.push(stratum_scc.len() as u32);
+        if n == 0 {
+            stratum_off = vec![0, 0];
+            level_off = vec![0, 0];
+            stratum_scc = vec![0];
+        }
+
+        // SCC id → stratum index (only SCCs that own rules).
+        let n_strata = stratum_scc.len();
+        let mut stratum_of_scc = vec![u32::MAX; n_sccs.max(1)];
+        for (si, &s) in stratum_scc.iter().enumerate() {
+            stratum_of_scc[s as usize] = si as u32;
+        }
+
+        // --- Watch lists: CSR over literal codes (two passes). -------
+        let codes = 2 * n_atoms;
+        let mut watch_off = vec![0u32; codes + 1];
+        for &b in &body {
+            watch_off[b.code() + 1] += 1;
+        }
+        for c in 0..codes {
+            watch_off[c + 1] += watch_off[c];
+        }
+        let mut watch = vec![0u32; body.len()];
+        let mut cursor = watch_off.clone();
+        for f in 0..n {
+            for &b in &body[body_off[f] as usize..body_off[f + 1] as usize] {
+                let c = b.code();
+                watch[cursor[c] as usize] = f as u32;
+                cursor[c] += 1;
+            }
+        }
+
+        // --- Attack lists: head buckets + Order tests (two passes). --
+        // Rules bucketed by head literal code; attackers of rule `r`
+        // are the bucket of `H(r).complement()` filtered through the
+        // component order. Victims are the transpose.
+        let mut head_off = vec![0u32; codes + 1];
+        for &h in &heads {
+            head_off[h.code() + 1] += 1;
+        }
+        for c in 0..codes {
+            head_off[c + 1] += head_off[c];
+        }
+        let mut head_bucket = vec![0u32; n];
+        let mut cursor = head_off.clone();
+        for (f, &h) in heads.iter().enumerate() {
+            let c = h.code();
+            head_bucket[cursor[c] as usize] = f as u32;
+            cursor[c] += 1;
+        }
+
+        let mut over_off = vec![0u32; n + 1];
+        let mut defeat_off = vec![0u32; n + 1];
+        let mut vover_off = vec![0u32; n + 1];
+        let mut vdefeat_off = vec![0u32; n + 1];
+        let attackers = |f: usize| {
+            let c = heads[f].complement().code();
+            &head_bucket[head_off[c] as usize..head_off[c + 1] as usize]
+        };
+        for f in 0..n {
+            for &a in attackers(f) {
+                if gp.order.can_overrule(comps[a as usize], comps[f]) {
+                    over_off[f + 1] += 1;
+                    vover_off[a as usize + 1] += 1;
+                }
+                if gp.order.can_defeat(comps[a as usize], comps[f]) {
+                    defeat_off[f + 1] += 1;
+                    vdefeat_off[a as usize + 1] += 1;
+                }
+            }
+        }
+        for f in 0..n {
+            over_off[f + 1] += over_off[f];
+            defeat_off[f + 1] += defeat_off[f];
+            vover_off[f + 1] += vover_off[f];
+            vdefeat_off[f + 1] += vdefeat_off[f];
+        }
+        let mut over = vec![0u32; over_off[n] as usize];
+        let mut defeat = vec![0u32; defeat_off[n] as usize];
+        let mut vover = vec![0u32; vover_off[n] as usize];
+        let mut vdefeat = vec![0u32; vdefeat_off[n] as usize];
+        let mut co = over_off.clone();
+        let mut cd = defeat_off.clone();
+        let mut cvo = vover_off.clone();
+        let mut cvd = vdefeat_off.clone();
+        for f in 0..n {
+            for &a in attackers(f) {
+                if gp.order.can_overrule(comps[a as usize], comps[f]) {
+                    over[co[f] as usize] = a;
+                    co[f] += 1;
+                    vover[cvo[a as usize] as usize] = f as u32;
+                    cvo[a as usize] += 1;
+                }
+                if gp.order.can_defeat(comps[a as usize], comps[f]) {
+                    defeat[cd[f] as usize] = a;
+                    cd[f] += 1;
+                    vdefeat[cvd[a as usize] as usize] = f as u32;
+                    cvd[a as usize] += 1;
+                }
+            }
+        }
+
+        // --- Per-stratum dependency edges (for the morsel graph). ----
+        let mut pred_off = vec![0u32; n_strata + 1];
+        let mut preds: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for si in 0..n_strata {
+            scratch.clear();
+            let (lo, hi) = (stratum_off[si] as usize, stratum_off[si + 1] as usize);
+            for f in lo..hi {
+                let s = rule_scc[f];
+                for &b in &body[body_off[f] as usize..body_off[f + 1] as usize] {
+                    let t = scc_of[b.atom().index()];
+                    if t != s {
+                        let ti = stratum_of_scc[t as usize];
+                        // Atoms with no defining rules never become
+                        // true; they impose no scheduling dependency.
+                        if ti != u32::MAX {
+                            scratch.push(ti);
+                        }
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            preds.extend_from_slice(&scratch);
+            pred_off[si + 1] = preds.len() as u32;
+        }
+
+        FlatView {
+            comp,
+            n_atoms,
+            heads,
+            comps,
+            body_off,
+            body,
+            watch_off,
+            watch,
+            over_off,
+            over,
+            defeat_off,
+            defeat,
+            vover_off,
+            vover,
+            vdefeat_off,
+            vdefeat,
+            stratum_off,
+            level_off,
+            pred_off,
+            preds,
+            global,
+        }
+    }
+
+    /// Number of rules.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Whether the view has no rules.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Head literal of flat rule `f`.
+    #[inline]
+    pub fn head(&self, f: FlatIdx) -> GLit {
+        self.heads[f as usize]
+    }
+
+    /// Source component of flat rule `f`.
+    #[inline]
+    pub fn rule_comp(&self, f: FlatIdx) -> CompId {
+        self.comps[f as usize]
+    }
+
+    /// Body literals of flat rule `f`.
+    #[inline]
+    pub fn body(&self, f: FlatIdx) -> &[GLit] {
+        let f = f as usize;
+        &self.body[self.body_off[f] as usize..self.body_off[f + 1] as usize]
+    }
+
+    /// Flat rules with literal `l` in the body.
+    #[inline]
+    pub fn watchers(&self, l: GLit) -> &[u32] {
+        let c = l.code();
+        &self.watch[self.watch_off[c] as usize..self.watch_off[c + 1] as usize]
+    }
+
+    /// Potential overrulers of flat rule `f`.
+    #[inline]
+    pub fn overrulers(&self, f: FlatIdx) -> &[u32] {
+        let f = f as usize;
+        &self.over[self.over_off[f] as usize..self.over_off[f + 1] as usize]
+    }
+
+    /// Potential defeaters of flat rule `f`.
+    #[inline]
+    pub fn defeaters(&self, f: FlatIdx) -> &[u32] {
+        let f = f as usize;
+        &self.defeat[self.defeat_off[f] as usize..self.defeat_off[f + 1] as usize]
+    }
+
+    /// Rules that flat rule `f` can overrule.
+    #[inline]
+    pub fn victims_overrule(&self, f: FlatIdx) -> &[u32] {
+        let f = f as usize;
+        &self.vover[self.vover_off[f] as usize..self.vover_off[f + 1] as usize]
+    }
+
+    /// Rules that flat rule `f` can defeat.
+    #[inline]
+    pub fn victims_defeat(&self, f: FlatIdx) -> &[u32] {
+        let f = f as usize;
+        &self.vdefeat[self.vdefeat_off[f] as usize..self.vdefeat_off[f + 1] as usize]
+    }
+
+    /// Number of strata (contiguous rule ranges; all non-empty unless
+    /// the view itself is empty).
+    #[inline]
+    pub fn n_strata(&self) -> usize {
+        self.stratum_off.len() - 1
+    }
+
+    /// Flat rule range of stratum `s`.
+    #[inline]
+    pub fn stratum(&self, s: usize) -> (u32, u32) {
+        (self.stratum_off[s], self.stratum_off[s + 1])
+    }
+
+    /// Number of dependency levels.
+    #[inline]
+    pub fn n_levels(&self) -> usize {
+        self.level_off.len() - 1
+    }
+
+    /// Stratum index range of level `l`.
+    #[inline]
+    pub fn level(&self, l: usize) -> (u32, u32) {
+        (self.level_off[l], self.level_off[l + 1])
+    }
+
+    /// Distinct predecessor strata of stratum `s` (strata owning
+    /// out-of-stratum body atoms of its rules).
+    #[inline]
+    pub fn stratum_preds(&self, s: usize) -> &[u32] {
+        &self.preds[self.pred_off[s] as usize..self.pred_off[s + 1] as usize]
+    }
+
+    /// Global index (into [`GroundProgram::rules`]) of flat rule `f`.
+    #[inline]
+    pub fn global_index(&self, f: FlatIdx) -> u32 {
+        self.global[f as usize]
+    }
+
+    /// Evaluation weight of stratum `s`: rules plus body and attack
+    /// edges — the work its fixpoint touches. Drives size-balanced
+    /// morsel partitioning.
+    pub fn stratum_weight(&self, s: usize) -> u64 {
+        let (lo, hi) = self.stratum(s);
+        let (lo, hi) = (lo as usize, hi as usize);
+        let rules = (hi - lo) as u64;
+        let bodies = (self.body_off[hi] - self.body_off[lo]) as u64;
+        let attacks = (self.over_off[hi] - self.over_off[lo]) as u64
+            + (self.defeat_off[hi] - self.defeat_off[lo]) as u64;
+        rules + bodies + attacks
+    }
+
+    /// Partitions the strata of every level into size-balanced
+    /// [`Morsel`]s of roughly `target` weight (see
+    /// [`FlatView::stratum_weight`]): walk the level's strata in order,
+    /// cut when the accumulated weight reaches `target` or the level
+    /// ends. Morsels never split a stratum (its worklist is inherently
+    /// sequential) and never span levels (the scheduler's dependency
+    /// counting assumes a morsel's inputs are outside it).
+    ///
+    /// The returned morsels tile the flat rule range exactly: every
+    /// rule belongs to exactly one morsel (property-tested).
+    pub fn morsels(&self, target: u64) -> Vec<Morsel> {
+        let target = target.max(1);
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        for l in 0..self.n_levels() {
+            let (slo, shi) = self.level(l);
+            let mut s = slo;
+            while s < shi {
+                let start = s;
+                let mut weight = 0u64;
+                while s < shi {
+                    weight += self.stratum_weight(s as usize);
+                    s += 1;
+                    if weight >= target {
+                        break;
+                    }
+                }
+                out.push(Morsel {
+                    rule_lo: self.stratum_off[start as usize],
+                    rule_hi: self.stratum_off[s as usize],
+                    stratum_lo: start,
+                    stratum_hi: s,
+                    level: l as u32,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Per-(predicate, sign) cardinality and distinct-value statistics of a
+/// ground program — the grounding-time statistics that drive the join
+/// planner, summarised post-hoc for inspection (`olp check`, REPL
+/// `stats`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredStats {
+    /// The predicate.
+    pub pred: PredId,
+    /// The literal sign.
+    pub sign: Sign,
+    /// Number of distinct ground atoms with this (pred, sign) occurring
+    /// in the program (heads or bodies).
+    pub cardinality: usize,
+    /// Distinct term values per argument position.
+    pub distinct: Vec<usize>,
+}
+
+/// Program-level statistics: per-(pred, sign) [`PredStats`] plus the
+/// structural counts the morsel partitioner keys on.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramStats {
+    /// Per-(pred, sign) statistics, sorted by (pred, sign).
+    pub preds: Vec<PredStats>,
+    /// Total rules inspected.
+    pub rules: usize,
+    /// Total body literals.
+    pub body_lits: usize,
+}
+
+impl ProgramStats {
+    /// Collects statistics over the rules of `gp`'s view of `comp`.
+    pub fn collect(world: &World, gp: &GroundProgram, comp: CompId) -> Self {
+        use olp_core::FxHashMap;
+        let mut seen: FxHashMap<(PredId, Sign), Vec<olp_core::AtomId>> = FxHashMap::default();
+        let mut body_lits = 0usize;
+        let mut rules = 0usize;
+        let mut note = |l: GLit| {
+            let pred = world.atoms.get(l.atom()).pred;
+            seen.entry((pred, l.sign())).or_default().push(l.atom());
+        };
+        for (_, r) in gp.view_rules(comp) {
+            rules += 1;
+            note(r.head);
+            for &b in r.body.iter() {
+                body_lits += 1;
+                note(b);
+            }
+        }
+        let mut preds: Vec<PredStats> = seen
+            .into_iter()
+            .map(|((pred, sign), mut atoms)| {
+                atoms.sort_unstable();
+                atoms.dedup();
+                let arity = world.preds.arity(pred) as usize;
+                let mut per_pos: Vec<Vec<olp_core::GTermId>> = vec![Vec::new(); arity];
+                for &a in &atoms {
+                    for (i, &t) in world.atoms.get(a).args.iter().enumerate() {
+                        per_pos[i].push(t);
+                    }
+                }
+                let distinct = per_pos
+                    .into_iter()
+                    .map(|mut v| {
+                        v.sort_unstable();
+                        v.dedup();
+                        v.len()
+                    })
+                    .collect();
+                PredStats {
+                    pred,
+                    sign,
+                    cardinality: atoms.len(),
+                    distinct,
+                }
+            })
+            .collect();
+        preds.sort_unstable_by_key(|p| (p.pred, p.sign));
+        ProgramStats {
+            preds,
+            rules,
+            body_lits,
+        }
+    }
+
+    /// Renders the statistics, one `(pred, sign)` per line.
+    pub fn render(&self, world: &World) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rules: {}, body literals: {}\n",
+            self.rules, self.body_lits
+        ));
+        for p in &self.preds {
+            let info = world.preds.info(p.pred);
+            let name = world.syms.name(info.name);
+            let sign = if p.sign == Sign::Pos { "" } else { "-" };
+            let distinct: Vec<String> = p.distinct.iter().map(usize::to_string).collect();
+            out.push_str(&format!(
+                "  {}{}/{}: {} atoms, distinct per arg [{}]\n",
+                sign,
+                name,
+                info.arity,
+                p.cardinality,
+                distinct.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::GroundRule;
+    use olp_core::{AtomId, Order};
+
+    fn order1() -> Order {
+        Order::from_edges(1, &[]).unwrap()
+    }
+
+    fn lit(a: u32) -> GLit {
+        GLit::pos(AtomId(a))
+    }
+
+    /// a :- b.  b :- c.  c.  d :- d.  (chain + self-loop)
+    fn chain() -> GroundProgram {
+        let rules = vec![
+            GroundRule::new(lit(0), vec![lit(1)], CompId(0)),
+            GroundRule::new(lit(1), vec![lit(2)], CompId(0)),
+            GroundRule::new(lit(2), vec![], CompId(0)),
+            GroundRule::new(lit(3), vec![lit(3)], CompId(0)),
+        ];
+        GroundProgram::new(rules, order1(), 4)
+    }
+
+    #[test]
+    fn strata_are_topologically_ordered_rule_ranges() {
+        let gp = chain();
+        let fv = FlatView::new(&gp, CompId(0));
+        assert_eq!(fv.len(), 4);
+        // Every body atom's defining stratum precedes (or equals) the
+        // head's stratum in flat order.
+        for s in 0..fv.n_strata() {
+            let (lo, hi) = fv.stratum(s);
+            for f in lo..hi {
+                for &b in fv.body(f) {
+                    for &w in fv.watchers(b) {
+                        assert!(w >= lo, "watcher {w} before its literal's stratum");
+                    }
+                }
+            }
+            for &p in fv.stratum_preds(s) {
+                assert!((p as usize) < s, "predecessor stratum not earlier");
+            }
+        }
+        // Levels tile the strata.
+        let mut strata_seen = 0;
+        for l in 0..fv.n_levels() {
+            let (lo, hi) = fv.level(l);
+            assert_eq!(lo, strata_seen);
+            strata_seen = hi;
+        }
+        assert_eq!(strata_seen as usize, fv.n_strata());
+    }
+
+    #[test]
+    fn watchers_and_bodies_agree() {
+        let gp = chain();
+        let fv = FlatView::new(&gp, CompId(0));
+        for f in 0..fv.len() as u32 {
+            for &b in fv.body(f) {
+                assert!(fv.watchers(b).contains(&f));
+            }
+        }
+        // Total watch entries == total body literals.
+        let total: usize = (0..fv.len() as u32).map(|f| fv.body(f).len()).sum();
+        assert_eq!(fv.watch.len(), total);
+    }
+
+    #[test]
+    fn attacks_respect_order() {
+        // p. and -p. in one component: mutual defeaters, no overruling.
+        let rules = vec![
+            GroundRule::new(GLit::pos(AtomId(0)), vec![], CompId(0)),
+            GroundRule::new(GLit::neg(AtomId(0)), vec![], CompId(0)),
+        ];
+        let gp = GroundProgram::new(rules, order1(), 1);
+        let fv = FlatView::new(&gp, CompId(0));
+        for f in 0..2u32 {
+            assert_eq!(fv.overrulers(f).len(), 0);
+            assert_eq!(fv.defeaters(f).len(), 1);
+            assert_eq!(fv.victims_defeat(f).len(), 1);
+            assert_ne!(fv.defeaters(f)[0], f);
+        }
+    }
+
+    #[test]
+    fn morsels_tile_rules_exactly() {
+        let gp = chain();
+        let fv = FlatView::new(&gp, CompId(0));
+        for target in [1u64, 2, 3, 100] {
+            let ms = fv.morsels(target);
+            let mut covered = 0u32;
+            for m in &ms {
+                assert_eq!(m.rule_lo, covered, "gap or overlap at target {target}");
+                assert!(m.rule_hi > m.rule_lo || m.stratum_hi > m.stratum_lo);
+                covered = m.rule_hi;
+            }
+            assert_eq!(covered as usize, fv.len(), "morsels must cover all rules");
+        }
+        assert!(fv.morsels(1).len() >= fv.morsels(100).len());
+    }
+
+    #[test]
+    fn empty_view_is_well_formed() {
+        let gp = GroundProgram::new(Vec::new(), order1(), 0);
+        let fv = FlatView::new(&gp, CompId(0));
+        assert!(fv.is_empty());
+        assert_eq!(fv.n_strata(), 1);
+        assert_eq!(fv.stratum(0), (0, 0));
+        assert!(fv.morsels(8).is_empty());
+    }
+}

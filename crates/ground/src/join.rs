@@ -22,16 +22,20 @@
 //!
 //! ## The join planner
 //!
-//! Body literals are joined in greedy selectivity order instead of
-//! textual order: at every join step the planner picks the remaining
-//! literal with the most bound argument positions (ground arguments, or
-//! variables bound by earlier matches), breaking ties by the smallest
-//! candidate list. Bound positions are served from the
-//! per-(predicate, sign, position) term index of [`DIndex`], which
-//! shrinks the candidate list from "every derivable atom of the
-//! predicate" to "every derivable atom with this term at this
+//! Body literals are joined in estimated-cost order instead of textual
+//! order: at every join step the planner estimates, for each remaining
+//! literal, how many matches scanning it would produce — from the real
+//! per-(predicate, sign) statistics the [`DIndex`] accumulates during
+//! grounding (candidate cardinality, exact filtered-list lengths for
+//! bound argument keys, and per-position distinct-value counts as
+//! independence-assumption divisors) — and picks the cheapest. Bound
+//! positions are served from the per-(predicate, sign, position) term
+//! index, which shrinks the candidate list from "every derivable atom
+//! of the predicate" to "every derivable atom with this term at this
 //! position". Join order never changes the *set* of complete matches —
-//! only how many partial bindings are attempted on the way.
+//! only how many partial bindings are attempted on the way. The same
+//! statistics are exported post-grounding as
+//! [`crate::flat::ProgramStats`] for `olp check` / REPL inspection.
 
 use crate::universe::GroundError;
 use olp_core::term::Bindings;
@@ -250,12 +254,19 @@ pub(crate) fn match_lit(world: &World, lit: &Literal, atom: AtomId, b: &mut Bind
         .all(|(pat, &g)| pat.match_ground(g, &world.terms, b))
 }
 
-/// Picks the next body position to join. With the planner on: the
-/// position with the most bound argument keys, tie-broken by smallest
-/// candidate list, then by textual position (every input is frozen for
-/// the batch, so the choice is deterministic). With the planner off:
-/// the textually first remaining position over the full candidate
-/// list — the pre-planner behaviour, kept as an ablation baseline.
+/// Picks the next body position to join, driven by the real statistics
+/// the index accumulated during grounding. For every remaining position
+/// the planner estimates its match count: the scanned candidate list is
+/// the shortest single-bound-key filtered list (its length is an
+/// *exact* match bound for that key), and every further bound key
+/// divides the estimate by its position's distinct-value count — the
+/// classic independence assumption, computed in `u128` cross products
+/// so no floats enter the engine. Smallest estimate wins; ties break by
+/// smaller scanned list, then by textual position. Every input is
+/// frozen for the batch, so the choice is deterministic. With the
+/// planner off: the textually first remaining position over the full
+/// candidate list — the pre-planner behaviour, kept as an ablation
+/// baseline.
 fn choose<'a>(
     plan: &BodyPlan,
     index: &'a DIndex,
@@ -272,14 +283,26 @@ fn choose<'a>(
         let jl = &plan.lits[pos];
         return (i, index.candidates(jl.lit.pred, jl.lit.sign));
     }
-    let mut best: Option<(usize, usize, usize, usize, &[AtomId])> = None;
+    // est = num / den estimated matches; compared as cross products.
+    struct Best<'a> {
+        num: u128,
+        den: u128,
+        len: usize,
+        pos: usize,
+        idx: usize,
+        cand: &'a [AtomId],
+    }
+    let mut best: Option<Best<'_>> = None;
     for (i, &pos) in remaining.iter().enumerate() {
         let jl = &plan.lits[pos];
-        let (bound, cand): (usize, &[AtomId]) = match index.get(jl.lit.pred, jl.lit.sign) {
-            None => (0, &[]),
+        let (num, den, cand): (u128, u128, &[AtomId]) = match index.get(jl.lit.pred, jl.lit.sign) {
+            // Nothing derivable for the predicate: zero matches, and
+            // choosing it first prunes the whole subtree immediately.
+            None => (0, 1, &[]),
             Some(p) => {
-                let mut bound = 0usize;
                 let mut cand: &[AtomId] = &p.atoms;
+                let mut scan_ai: Option<usize> = None;
+                let mut bound: Vec<(usize, usize)> = Vec::new(); // (ai, distinct)
                 for (ai, key) in jl.keys.iter().enumerate() {
                     let t = match key {
                         ArgKey::Ground(t) => Some(*t),
@@ -287,7 +310,6 @@ fn choose<'a>(
                         ArgKey::Open => None,
                     };
                     if let Some(t) = t {
-                        bound += 1;
                         let list = p
                             .pos
                             .get(ai)
@@ -296,25 +318,45 @@ fn choose<'a>(
                             .unwrap_or(&[]);
                         if list.len() < cand.len() {
                             cand = list;
+                            scan_ai = Some(ai);
                         }
+                        let distinct = p.pos.get(ai).map_or(1, FxHashMap::len).max(1);
+                        bound.push((ai, distinct));
                     }
                 }
-                (bound, cand)
+                // The scanned key's selectivity is already exact in
+                // `cand.len()`; the remaining bound keys contribute
+                // their distinct-count divisors.
+                let mut den: u128 = 1;
+                for &(ai, d) in &bound {
+                    if Some(ai) != scan_ai {
+                        den = den.saturating_mul(d as u128);
+                    }
+                }
+                (cand.len() as u128, den, cand)
             }
         };
         let better = match &best {
             None => true,
-            Some((bb, bl, bp, _, _)) => {
-                bound > *bb
-                    || (bound == *bb && (cand.len() < *bl || (cand.len() == *bl && pos < *bp)))
+            Some(b) => {
+                let (lhs, rhs) = (num.saturating_mul(b.den), b.num.saturating_mul(den));
+                lhs < rhs
+                    || (lhs == rhs && (cand.len() < b.len || (cand.len() == b.len && pos < b.pos)))
             }
         };
         if better {
-            best = Some((bound, cand.len(), pos, i, cand));
+            best = Some(Best {
+                num,
+                den,
+                len: cand.len(),
+                pos,
+                idx: i,
+                cand,
+            });
         }
     }
-    let (_, _, _, i, cand) = best.expect("remaining nonempty");
-    (i, cand)
+    let best = best.expect("remaining nonempty");
+    (best.idx, best.cand)
 }
 
 /// Recursive planned join over the remaining body positions; pushes a

@@ -43,6 +43,7 @@
 pub mod delta;
 pub mod demand;
 pub mod exhaustive;
+pub mod flat;
 mod join;
 pub mod program;
 pub mod smart;
@@ -51,6 +52,7 @@ pub mod universe;
 pub use delta::{DeltaGrounder, DeltaRuleId};
 pub use demand::{ground_smart_for, relevant_predicates};
 pub use exhaustive::ground_exhaustive;
+pub use flat::{FlatIdx, FlatView, Morsel, PredStats, ProgramStats};
 pub use program::{GroundProgram, GroundRule, RuleIdx};
 pub use smart::{ground_smart, ground_smart_seeded};
 pub use universe::{herbrand_universe, signature, GroundConfig, GroundError, Signature};

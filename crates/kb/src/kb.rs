@@ -16,14 +16,14 @@ use olp_core::{
     Truth, World,
 };
 use olp_ground::{
-    ground_exhaustive, ground_smart, DeltaGrounder, DeltaRuleId, GroundConfig, GroundError,
-    GroundProgram, GroundRule,
+    ground_exhaustive, ground_smart, DeltaGrounder, DeltaRuleId, FlatView, GroundConfig,
+    GroundError, GroundProgram, GroundRule, ProgramStats,
 };
 use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
 use olp_semantics::{
-    least_model, least_model_budgeted, least_model_delta, least_model_monolithic_budgeted,
-    least_model_parallel, least_model_parallel_budgeted, stable_models_decomposed_cached,
-    stable_models_monolithic_budgeted, stable_models_parallel_budgeted, Decomposition, View,
+    least_model_delta, least_model_flat, least_model_monolithic_budgeted, least_model_morsel,
+    stable_models_decomposed_cached, stable_models_monolithic_budgeted,
+    stable_models_parallel_budgeted, Decomposition, MorselCfg, View,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -43,6 +43,19 @@ pub fn default_threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// Target morsel weight for the parallel fixpoint when none is
+/// configured explicitly: the `OLP_MORSEL` environment variable when
+/// set to a positive integer, else the engine default
+/// ([`MorselCfg::default`]). Purely a scheduling knob — results are
+/// identical at every value.
+pub fn default_morsel_weight() -> u64 {
+    std::env::var("OLP_MORSEL")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(MorselCfg::default().target_weight)
 }
 
 /// Per-object cap on memoised stable-model group entries; exceeding it
@@ -158,11 +171,15 @@ pub struct QueryOptions {
     /// groups). On by default; [`QueryOptions::no_decomp`] forces the
     /// monolithic engines (escape hatch and differential baseline).
     pub decomp: bool,
-    /// Worker threads for query evaluation: the stratum-wavefront least
+    /// Worker threads for query evaluation: the morsel-driven least
     /// model and the parallel stable enumerator. Defaults to
     /// [`default_threads`]; `1` takes the sequential code paths exactly.
     /// Results are identical at every value.
     pub threads: usize,
+    /// Target morsel weight for the parallel fixpoint (rules plus
+    /// body/attack edges per work-stealing unit). Defaults to
+    /// [`default_morsel_weight`]; results are identical at every value.
+    pub morsel_weight: u64,
     /// Reject mutations that *introduce* new static-analysis findings
     /// ([`Kb::assert_rule_with`] / [`Kb::retract_rule_with`] return
     /// [`KbError::Rejected`] and leave the KB unchanged). Off by
@@ -178,6 +195,7 @@ impl Default for QueryOptions {
             max_models: None,
             decomp: true,
             threads: default_threads(),
+            morsel_weight: default_morsel_weight(),
             deny_warnings: false,
         }
     }
@@ -217,6 +235,13 @@ impl QueryOptions {
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the target morsel weight for parallel evaluation (clamped
+    /// to at least 1).
+    pub fn morsel_weight(mut self, weight: u64) -> Self {
+        self.morsel_weight = weight.max(1);
         self
     }
 
@@ -371,6 +396,7 @@ impl KbBuilder {
             epoch: 0,
             touched_log: Vec::new(),
             threads: default_threads(),
+            morsel_weight: default_morsel_weight(),
         })
     }
 }
@@ -472,6 +498,9 @@ pub struct Kb {
     /// Initialised to [`default_threads`]; results are identical at
     /// every value.
     threads: usize,
+    /// Target morsel weight for parallel evaluation (see
+    /// [`default_morsel_weight`]).
+    morsel_weight: u64,
 }
 
 impl Kb {
@@ -517,10 +546,14 @@ impl Kb {
                 least_model_delta(&view, &d, old, &touched, &Budget::unlimited())
                     .expect_complete("unlimited delta revalidation always completes")
             }
+            // Fresh computations compile the flat arena view directly —
+            // no interpretive hash-map view on the hot path.
             None if self.threads > 1 => {
-                least_model_parallel(&View::new(&self.ground, c), self.threads)
+                let fv = FlatView::new(&self.ground, c);
+                least_model_morsel(&fv, &self.morsel_cfg(self.threads), &Budget::unlimited())
+                    .expect_complete("unlimited evaluation always completes")
             }
-            None => least_model(&View::new(&self.ground, c)),
+            None => least_model_flat(&FlatView::new(&self.ground, c)),
         };
         self.least_cache.insert(
             c,
@@ -577,13 +610,16 @@ impl Kb {
             }
             return Ok(eval);
         }
-        let view = View::new(&self.ground, c);
         let eval = if !opts.decomp {
+            let view = View::new(&self.ground, c);
             least_model_monolithic_budgeted(&view, &opts.budget())
-        } else if opts.threads > 1 {
-            least_model_parallel_budgeted(&view, opts.threads, &opts.budget())
         } else {
-            least_model_budgeted(&view, &opts.budget())
+            let fv = FlatView::new(&self.ground, c);
+            let mut cfg = self.morsel_cfg(opts.threads);
+            cfg.target_weight = opts.morsel_weight.max(1);
+            // `threads <= 1` (and small programs) run the sequential
+            // flat path inside `least_model_morsel` verbatim.
+            least_model_morsel(&fv, &cfg, &opts.budget())
         };
         if let Eval::Complete(m) = &eval {
             let model = m.clone();
@@ -788,6 +824,27 @@ impl Kb {
     /// exactly; any value yields identical answers.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Target morsel weight used by parallel query evaluation.
+    pub fn morsel_weight(&self) -> u64 {
+        self.morsel_weight
+    }
+
+    /// Sets the target morsel weight for parallel query evaluation
+    /// (clamped to at least 1). Purely a scheduling knob; any value
+    /// yields identical answers.
+    pub fn set_morsel_weight(&mut self, weight: u64) {
+        self.morsel_weight = weight.max(1);
+    }
+
+    /// The morsel configuration for a `threads`-wide evaluation.
+    fn morsel_cfg(&self, threads: usize) -> MorselCfg {
+        MorselCfg {
+            threads,
+            target_weight: self.morsel_weight,
+            ..MorselCfg::default()
+        }
     }
 
     /// Installs `new_ground` as the current ground program, logging the
@@ -1139,6 +1196,32 @@ impl Kb {
         i.render(&self.world)
     }
 
+    /// Renders the evaluation plan for one object: the flat ground
+    /// representation (strata, levels, and the morsels the parallel
+    /// fixpoint would schedule at the configured weight) followed by
+    /// the per-predicate cardinality/distinct statistics that drive
+    /// the join planner's body ordering. Purely diagnostic — computing
+    /// the report never evaluates a model.
+    pub fn plan_report(&self, object: &str) -> Result<String, KbError> {
+        let c = self.comp(object)?;
+        let fv = FlatView::new(&self.ground, c);
+        let morsels = fv.morsels(self.morsel_weight);
+        let mut out = format!(
+            "plan for `{object}`: {} ground rules in {} strata over {} levels\n\
+             schedule: {} morsel{} @ target weight {}, {} thread{}\n",
+            fv.len(),
+            fv.n_strata(),
+            fv.n_levels(),
+            morsels.len(),
+            if morsels.len() == 1 { "" } else { "s" },
+            self.morsel_weight,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        );
+        out.push_str(&ProgramStats::collect(&self.world, &self.ground, c).render(&self.world));
+        Ok(out)
+    }
+
     /// The names of all objects in the knowledge base, in declaration
     /// order.
     pub fn objects(&self) -> Vec<&str> {
@@ -1191,6 +1274,7 @@ impl Kb {
             epoch: 0,
             touched_log: Vec::new(),
             threads: default_threads(),
+            morsel_weight: default_morsel_weight(),
         }
     }
 }

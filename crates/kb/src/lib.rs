@@ -35,7 +35,9 @@ pub mod kb;
 pub mod relation;
 
 pub use durable::{DurableKb, RecoveryReport};
-pub use kb::{default_threads, GroundStrategy, Kb, KbBuilder, KbError, QueryOptions};
+pub use kb::{
+    default_morsel_weight, default_threads, GroundStrategy, Kb, KbBuilder, KbError, QueryOptions,
+};
 pub use olp_core::{Budget, Eval, InterruptReason, Interrupted};
 pub use olp_store::{Durability, StoreError};
 pub use relation::{ArityMismatch, Relation};

@@ -79,12 +79,15 @@ pub fn least_model_naive_budgeted(view: &View, budget: &Budget) -> Eval<Interpre
 /// By Theorem 1(b) this is the **least model** of the program in the
 /// component, the intersection of all models, and is assumption-free.
 ///
-/// Evaluation is **stratified** by default: the worklist runs
-/// stratum-by-stratum over the SCC condensation of the dependency graph
-/// ([`crate::decomp`]). Use [`least_model_monolithic`] to skip the
-/// condensation (the `--no-decomp` escape hatch).
+/// Evaluation compiles the view into the **flat arena representation**
+/// ([`olp_ground::flat`]) and runs the stratified worklist over dense
+/// bitset truth state ([`crate::flat_eval`]) — no hashing in the inner
+/// loop. Use [`crate::decomp::least_model_stratified`] for the
+/// interpretive stratified engine or [`least_model_monolithic`] to also
+/// skip the condensation (the `--no-decomp` escape hatch); all three
+/// are differentially tested against each other.
 pub fn least_model(view: &View) -> Interpretation {
-    crate::decomp::least_model_stratified(view)
+    crate::flat_eval::least_model_flat(&crate::flat_eval::flatten(view))
 }
 
 /// [`least_model`] under a [`Budget`].
@@ -93,29 +96,34 @@ pub fn least_model(view: &View) -> Interpretation {
 /// full plus a monotone prefix of the current one — always a subset of
 /// the unbudgeted least model.
 pub fn least_model_budgeted(view: &View, budget: &Budget) -> Eval<Interpretation> {
-    crate::decomp::least_model_stratified_budgeted(view, budget)
+    crate::flat_eval::least_model_flat_budgeted(&crate::flat_eval::flatten(view), budget)
 }
 
-/// [`least_model`] with the stratum-wavefront scheduler: independent
-/// strata of the SCC condensation run concurrently on `threads` worker
-/// threads. The result is identical to [`least_model`] for every thread
-/// count, and `threads <= 1` takes the sequential code path verbatim.
+/// [`least_model`] with the morsel-driven work-stealing scheduler
+/// ([`crate::flat_eval::least_model_morsel`]): size-balanced runs of
+/// strata are scheduled over `threads` workers with per-worker deques
+/// and no global round barrier. The result is byte-identical to
+/// [`least_model`] for every thread count; `threads <= 1` and small
+/// programs take the sequential flat path verbatim.
 pub fn least_model_parallel(view: &View, threads: usize) -> Interpretation {
-    crate::decomp::least_model_wavefront(view, threads, &Budget::unlimited()).into_value()
+    least_model_parallel_budgeted(view, threads, &Budget::unlimited()).into_value()
 }
 
 /// [`least_model_parallel`] under a [`Budget`].
 ///
 /// Same anytime contract as [`least_model_budgeted`]: the partial
-/// result is the union of every completed stratum plus monotone
-/// prefixes of the strata in flight — always a subset of the unbudgeted
-/// least model.
+/// result is the union of every published morsel plus monotone
+/// prefixes of the morsels in flight — always a subset of the
+/// unbudgeted least model. Step accounting stays exact at morsel
+/// boundaries (each morsel runs under its own refunding ticker).
 pub fn least_model_parallel_budgeted(
     view: &View,
     threads: usize,
     budget: &Budget,
 ) -> Eval<Interpretation> {
-    crate::decomp::least_model_wavefront(view, threads, budget)
+    let fv = crate::flat_eval::flatten(view);
+    let cfg = crate::flat_eval::MorselCfg::with_threads(threads);
+    crate::flat_eval::least_model_morsel(&fv, &cfg, budget)
 }
 
 /// Least fixpoint of `V_{P,C}` by a single monolithic worklist, without

@@ -1,0 +1,540 @@
+//! Least-fixpoint engines over the flat arena representation
+//! ([`FlatView`]), sequential and morsel-parallel.
+//!
+//! Both engines compute the same least fixpoint of `V_{P,C}` as the
+//! interpretive worklist engines in [`crate::fixpoint`] /
+//! [`crate::decomp`], but over [`olp_ground::flat`]'s dense arenas:
+//! truth state is a [`BitSet`] indexed by [`olp_core::GLit::code`]
+//! (one bit per signed atom), watch/attack lists are CSR slices, and
+//! stratum membership is a range check — no hashing anywhere in the
+//! inner loop.
+//!
+//! ## The morsel scheduler
+//!
+//! [`least_model_morsel`] replaces the per-level `Barrier` wavefront
+//! ([`crate::decomp::least_model_wavefront`]) with **work-stealing over
+//! morsels**: contiguous runs of whole strata, size-balanced by
+//! [`FlatView::morsels`]. Each morsel is an independent scheduling unit
+//! with a precomputed set of predecessor morsels (from the flat view's
+//! stratum dependency edges); a morsel becomes runnable when its last
+//! predecessor completes, with no global round barrier anywhere.
+//! Workers keep private deques and steal when idle, so a long-running
+//! stratum never parks the rest of the pool.
+//!
+//! **Determinism.** Workers evaluate a morsel against a private
+//! [`BitSet`] plus the shared [`AtomicBitSet`] of already-published
+//! literals, and publish their derived bits only at **morsel close**
+//! (merge-at-close), after which dependent morsels are released. Every
+//! literal a morsel's rules can depend on is either derived inside the
+//! morsel (read from the private set) or owned by a predecessor stratum
+//! (published before this morsel was released), so each morsel computes
+//! exactly its strata's fragment of the least fixpoint. The least model
+//! is unique (`V_{P,C}` is monotone), hence the final bit set — and the
+//! [`Interpretation`] built from it — is byte-identical at every thread
+//! count and under every steal schedule.
+//!
+//! **Anytime contract.** Each morsel evaluation runs under its own
+//! [`olp_core::Ticker`] over the shared [`Budget`], so step accounting
+//! stays exact at morsel boundaries even under work-stealing. A tripped
+//! worker still publishes its private bits — every one of them was
+//! derived by a rule whose body held and whose attackers were blocked,
+//! conditions monotone in the growing interpretation — then raises the
+//! stop flag. The partial result is therefore always a sound monotone
+//! prefix of the least model.
+//!
+//! **Small inputs.** Parallel evaluation below
+//! [`MorselCfg::seq_threshold`] total weight is a pure loss (thread
+//! spawn + publication overhead on microsecond-scale fixpoints), so
+//! such programs take the sequential path automatically regardless of
+//! the configured thread count.
+
+use crate::view::View;
+use olp_core::{
+    AtomicBitSet, BitSet, Budget, Eval, GLit, Interpretation, InterruptReason, Interrupted, Ticker,
+};
+use olp_ground::{FlatView, Morsel};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Compiles the flat view corresponding to an interpretive [`View`]
+/// (same component, same rule subset — including restricted sub-views).
+pub fn flatten(view: &View) -> FlatView {
+    let rules: Vec<u32> = (0..view.len() as u32)
+        .map(|li| view.global_index(li))
+        .collect();
+    FlatView::from_rules(view.gp, view.comp, &rules)
+}
+
+/// Reusable per-engine scratch: one slot per flat rule. Allocated
+/// zeroed; every rule belongs to exactly one stratum and each stratum
+/// is evaluated at most once per fixpoint, so no resets are needed
+/// between strata (or between the morsels of one run).
+struct Scratch {
+    unsat: Vec<u32>,
+    over: Vec<u32>,
+    defeat: Vec<u32>,
+    blocked: Vec<bool>,
+    fired: Vec<bool>,
+    queue: Vec<GLit>,
+}
+
+impl Scratch {
+    fn new(n_rules: usize) -> Self {
+        Scratch {
+            unsat: vec![0; n_rules],
+            over: vec![0; n_rules],
+            defeat: vec![0; n_rules],
+            blocked: vec![false; n_rules],
+            fired: vec![false; n_rules],
+            queue: Vec::new(),
+        }
+    }
+}
+
+/// Runs the stratified worklist over strata `s_lo..s_hi` of `fv`.
+///
+/// Literal truth is `local ∪ upstream`: `upstream` answers for bits
+/// published by strata outside the range (the sequential engine passes
+/// the always-false closure for the first call and accumulates into
+/// `local`; the morsel workers pass the shared [`AtomicBitSet`]).
+/// Newly derived bits go to `local`. On interruption `local` still
+/// holds a sound monotone prefix of the range's derivations.
+fn eval_strata(
+    fv: &FlatView,
+    upstream: &dyn Fn(usize) -> bool,
+    local: &mut BitSet,
+    sc: &mut Scratch,
+    s_lo: u32,
+    s_hi: u32,
+    ticker: &mut Ticker<'_>,
+) -> Result<(), InterruptReason> {
+    for s in s_lo..s_hi {
+        let (lo, hi) = fv.stratum(s as usize);
+        if lo == hi {
+            continue;
+        }
+        macro_rules! holds {
+            ($code:expr) => {{
+                let c = $code;
+                local.contains(c) || upstream(c)
+            }};
+        }
+        macro_rules! try_fire {
+            ($f:expr) => {{
+                let f = $f;
+                let z = f as usize;
+                if sc.unsat[z] == 0 && sc.over[z] == 0 && sc.defeat[z] == 0 && !sc.fired[z] {
+                    sc.fired[z] = true;
+                    let head = fv.head(f);
+                    assert!(!holds!(head.complement().code()), "V preserves consistency");
+                    if local.insert(head.code()) {
+                        sc.queue.push(head);
+                    }
+                }
+            }};
+        }
+        // Initialise the stratum's counters against everything derived
+        // so far: body atoms live in strata ≤ s, attackers share the
+        // victim's head atom and hence its stratum (their `blocked`
+        // entries are initialised by the same loop).
+        for f in lo..hi {
+            ticker.tick()?;
+            let z = f as usize;
+            let mut blocked = false;
+            let mut unsat = 0u32;
+            for &b in fv.body(f) {
+                blocked |= holds!(b.complement().code());
+                unsat += u32::from(!holds!(b.code()));
+            }
+            sc.blocked[z] = blocked;
+            sc.unsat[z] = unsat;
+        }
+        for f in lo..hi {
+            let z = f as usize;
+            sc.over[z] = fv
+                .overrulers(f)
+                .iter()
+                .filter(|&&a| !sc.blocked[a as usize])
+                .count() as u32;
+            sc.defeat[z] = fv
+                .defeaters(f)
+                .iter()
+                .filter(|&&a| !sc.blocked[a as usize])
+                .count() as u32;
+        }
+        for f in lo..hi {
+            ticker.tick()?;
+            try_fire!(f);
+        }
+        while let Some(lit) = sc.queue.pop() {
+            ticker.tick()?;
+            // Only rules of the current stratum can watch `lit` among
+            // strata not yet evaluated; earlier strata are final and
+            // later ones re-initialise when their turn comes, so the
+            // range check is the entire stratum filter.
+            for &w in fv.watchers(lit) {
+                if w < lo || w >= hi {
+                    continue;
+                }
+                sc.unsat[w as usize] -= 1;
+                try_fire!(w);
+            }
+            for &w in fv.watchers(lit.complement()) {
+                if w < lo || w >= hi || sc.blocked[w as usize] {
+                    continue;
+                }
+                sc.blocked[w as usize] = true;
+                // Victims share the attacker's head atom, hence the
+                // stratum: no range check needed.
+                for &v in fv.victims_overrule(w) {
+                    sc.over[v as usize] -= 1;
+                    try_fire!(v);
+                }
+                for &v in fv.victims_defeat(w) {
+                    sc.defeat[v as usize] -= 1;
+                    try_fire!(v);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn interp_of_bits(bits: &BitSet) -> Interpretation {
+    Interpretation::from_literals(bits.iter().map(GLit::from_code))
+        .expect("least fixpoint is consistent (Lemma 1)")
+}
+
+/// Least model of a flat view, sequentially (the flat counterpart of
+/// [`crate::decomp::least_model_stratified`]; differentially tested
+/// against it).
+pub fn least_model_flat(fv: &FlatView) -> Interpretation {
+    least_model_flat_budgeted(fv, &Budget::unlimited()).into_value()
+}
+
+/// [`least_model_flat`] under a [`Budget`]. On interruption the partial
+/// result is every completed stratum plus a monotone prefix of the
+/// current one — a sound under-approximation of the least model.
+pub fn least_model_flat_budgeted(fv: &FlatView, budget: &Budget) -> Eval<Interpretation> {
+    let mut truth = BitSet::with_capacity(2 * fv.n_atoms);
+    let mut sc = Scratch::new(fv.len());
+    let mut ticker = budget.ticker();
+    let res = eval_strata(
+        fv,
+        &|_| false,
+        &mut truth,
+        &mut sc,
+        0,
+        fv.n_strata() as u32,
+        &mut ticker,
+    );
+    drop(ticker);
+    let i = interp_of_bits(&truth);
+    match res {
+        Ok(()) => Eval::Complete(i),
+        Err(reason) => Eval::Interrupted(Interrupted { reason, partial: i }),
+    }
+}
+
+/// Tuning knobs of the morsel-driven parallel fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselCfg {
+    /// Worker threads. `<= 1` always takes the sequential flat path.
+    pub threads: usize,
+    /// Target morsel weight (rules + body/attack edges; see
+    /// [`FlatView::stratum_weight`]). Smaller morsels balance better,
+    /// larger ones amortise publication; the default suits fixpoints of
+    /// thousands of rules.
+    pub target_weight: u64,
+    /// Total program weight below which the evaluation stays
+    /// sequential regardless of `threads` — spawning workers for a
+    /// microsecond-scale fixpoint is a measured net loss (the
+    /// `defeating_cliques` pathology).
+    pub seq_threshold: u64,
+}
+
+impl Default for MorselCfg {
+    fn default() -> Self {
+        MorselCfg {
+            threads: 1,
+            target_weight: 2048,
+            seq_threshold: 4096,
+        }
+    }
+}
+
+impl MorselCfg {
+    /// A config with `threads` workers and default sizing.
+    pub fn with_threads(threads: usize) -> Self {
+        MorselCfg {
+            threads,
+            ..MorselCfg::default()
+        }
+    }
+}
+
+/// Least model of a flat view under the morsel-driven work-stealing
+/// scheduler. Byte-identical to [`least_model_flat`] at every thread
+/// count (see the module docs for the argument); `threads <= 1` and
+/// programs below [`MorselCfg::seq_threshold`] run the sequential path
+/// verbatim.
+pub fn least_model_morsel(fv: &FlatView, cfg: &MorselCfg, budget: &Budget) -> Eval<Interpretation> {
+    let total: u64 = (0..fv.n_strata()).map(|s| fv.stratum_weight(s)).sum();
+    if cfg.threads <= 1 || total < cfg.seq_threshold {
+        return least_model_flat_budgeted(fv, budget);
+    }
+    let morsels = fv.morsels(cfg.target_weight);
+    if morsels.len() <= 1 {
+        return least_model_flat_budgeted(fv, budget);
+    }
+    least_model_morsel_forced(fv, &morsels, cfg.threads, budget)
+}
+
+/// The parallel scheduler proper, with no sequential fallback — exposed
+/// so tests can force the work-stealing path on arbitrarily small
+/// programs.
+pub fn least_model_morsel_forced(
+    fv: &FlatView,
+    morsels: &[Morsel],
+    threads: usize,
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    use crossbeam::deque::{Injector, Steal, Worker};
+
+    let nm = morsels.len();
+    // Morsel-granularity dependency graph from the flat view's stratum
+    // dependency edges.
+    let mut morsel_of_stratum = vec![0u32; fv.n_strata()];
+    for (mi, m) in morsels.iter().enumerate() {
+        for s in m.stratum_lo..m.stratum_hi {
+            morsel_of_stratum[s as usize] = mi as u32;
+        }
+    }
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); nm];
+    let mut indegree = vec![0usize; nm];
+    let mut scratch: Vec<u32> = Vec::new();
+    for (mi, m) in morsels.iter().enumerate() {
+        scratch.clear();
+        for s in m.stratum_lo..m.stratum_hi {
+            for &p in fv.stratum_preds(s as usize) {
+                let pm = morsel_of_stratum[p as usize];
+                if pm != mi as u32 {
+                    scratch.push(pm);
+                }
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        indegree[mi] = scratch.len();
+        for &pm in &scratch {
+            dependents[pm as usize].push(mi as u32);
+        }
+    }
+    let indegree: Vec<AtomicUsize> = indegree.into_iter().map(AtomicUsize::new).collect();
+
+    let global = AtomicBitSet::new(2 * fv.n_atoms);
+    let injector: Injector<u32> = Injector::new();
+    for (mi, d) in indegree.iter().enumerate() {
+        if d.load(Ordering::Relaxed) == 0 {
+            injector.push(mi as u32);
+        }
+    }
+    let remaining = AtomicUsize::new(nm);
+    let stop = AtomicBool::new(false);
+    let interrupted: Mutex<Option<InterruptReason>> = Mutex::new(None);
+
+    let workers: Vec<Worker<u32>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<_> = workers.iter().map(Worker::stealer).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for (wi, own) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let injector = &injector;
+            let indegree = &indegree;
+            let dependents = &dependents;
+            let global = &global;
+            let remaining = &remaining;
+            let stop = &stop;
+            let interrupted = &interrupted;
+            scope.spawn(move |_| {
+                let mut local = BitSet::with_capacity(2 * fv.n_atoms);
+                let mut sc = Scratch::new(fv.len());
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let task = own.pop().or_else(|| {
+                        injector.steal().success().or_else(|| {
+                            // Rotate the steal order so workers don't
+                            // all gang up on worker 0's deque.
+                            (0..stealers.len())
+                                .map(|k| (wi + 1 + k) % stealers.len())
+                                .filter(|&v| v != wi)
+                                .find_map(|v| match stealers[v].steal() {
+                                    Steal::Success(t) => Some(t),
+                                    _ => None,
+                                })
+                        })
+                    });
+                    let Some(mi) = task else {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            return;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let m = &morsels[mi as usize];
+                    local.clear();
+                    let mut ticker = budget.ticker();
+                    let res = eval_strata(
+                        fv,
+                        &|c| global.contains(c),
+                        &mut local,
+                        &mut sc,
+                        m.stratum_lo,
+                        m.stratum_hi,
+                        &mut ticker,
+                    );
+                    drop(ticker); // refund unused credit: exact at morsel close
+                                  // Publish even a partial morsel: every local bit was
+                                  // derived by a fired rule whose (monotone) conditions
+                                  // held — a sound prefix of the least fixpoint.
+                    global.merge(&local);
+                    match res {
+                        Ok(()) => {
+                            for &d in &dependents[mi as usize] {
+                                // The AcqRel decrement orders the
+                                // `Release` publication above before the
+                                // releasee observes its last predecessor
+                                // gone.
+                                if indegree[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    own.push(d);
+                                }
+                            }
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Err(reason) => {
+                            let mut slot = interrupted.lock().expect("interrupt slot");
+                            slot.get_or_insert(reason);
+                            stop.store(true, Ordering::Release);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("morsel workers do not panic");
+
+    let i = interp_of_bits(&global.snapshot());
+    let reason = *interrupted.lock().expect("interrupt slot");
+    match reason {
+        None => Eval::Complete(i),
+        Some(reason) => Eval::Interrupted(Interrupted { reason, partial: i }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_core::{CompId, World};
+    use olp_ground::{ground_exhaustive, GroundConfig, GroundProgram};
+    use olp_parser::parse_program;
+
+    fn ground(src: &str) -> (World, GroundProgram) {
+        let mut w = World::new();
+        let p = parse_program(&mut w, src).unwrap();
+        let g = ground_exhaustive(&mut w, &p, &GroundConfig::default()).unwrap();
+        (w, g)
+    }
+
+    const FIG1: &str = "module c2 {
+        bird(penguin). bird(pigeon).
+        fly(X) :- bird(X).
+        -ground_animal(X) :- bird(X).
+     }
+     module c1 < c2 {
+        ground_animal(penguin).
+        -fly(X) :- ground_animal(X).
+     }";
+
+    #[test]
+    fn flat_matches_interpretive_on_examples() {
+        for src in [
+            FIG1,
+            "module c3 { rich(mimmo). -poor(X) :- rich(X). }
+             module c2 { poor(mimmo). -rich(X) :- poor(X). }
+             module c1 < c2, c3 { free_ticket(X) :- poor(X). }",
+            "a :- b. -a :- b. b.",
+            "p. -p.",
+            "module c2 { a. } module c1 < c2 { -a :- b. }",
+        ] {
+            let (_, g) = ground(src);
+            for c in 0..g.order.len() {
+                let c = CompId(c as u32);
+                let view = View::new(&g, c);
+                let fv = FlatView::new(&g, c);
+                assert_eq!(
+                    least_model_flat(&fv),
+                    crate::decomp::least_model_stratified(&view),
+                    "flat != interpretive on {src} in component {}",
+                    c.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_forced_matches_sequential() {
+        let (_, g) = ground(FIG1);
+        for c in 0..g.order.len() {
+            let c = CompId(c as u32);
+            let fv = FlatView::new(&g, c);
+            let seq = least_model_flat(&fv);
+            for threads in [2, 4, 8] {
+                let morsels = fv.morsels(1); // one morsel per stratum
+                let par = least_model_morsel_forced(&fv, &morsels, threads, &Budget::unlimited())
+                    .expect_complete("unlimited budget");
+                assert_eq!(seq, par, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_programs_take_sequential_path() {
+        let (_, g) = ground(FIG1);
+        let fv = FlatView::new(&g, CompId(1));
+        // Way below the threshold: must not spawn (observable only as
+        // "still correct", but the code path is the seq fallback).
+        let cfg = MorselCfg::with_threads(8);
+        let m = least_model_morsel(&fv, &cfg, &Budget::unlimited()).expect_complete("unlimited");
+        assert_eq!(m, least_model_flat(&fv));
+    }
+
+    #[test]
+    fn budget_trip_leaves_sound_prefix() {
+        let (_, g) = ground(FIG1);
+        let fv = FlatView::new(&g, CompId(1));
+        let full = least_model_flat(&fv);
+        for steps in 0..12 {
+            let eval = least_model_flat_budgeted(&fv, &Budget::with_steps(steps));
+            if let Eval::Interrupted(i) = eval {
+                for l in i.partial.literals() {
+                    assert!(full.holds(l), "partial derived a non-model literal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_matches_direct_construction() {
+        let (_, g) = ground(FIG1);
+        for c in 0..g.order.len() {
+            let c = CompId(c as u32);
+            let view = View::new(&g, c);
+            let fv = flatten(&view);
+            assert_eq!(fv.len(), view.len());
+            assert_eq!(least_model_flat(&fv), crate::fixpoint::least_model(&view));
+        }
+    }
+}

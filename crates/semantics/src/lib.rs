@@ -61,6 +61,7 @@ pub mod assumption;
 pub mod decomp;
 pub mod explain;
 pub mod fixpoint;
+pub mod flat_eval;
 pub mod model;
 pub mod prove;
 pub mod skeptical;
@@ -83,6 +84,10 @@ pub use fixpoint::{
     least_model, least_model_budgeted, least_model_monolithic, least_model_monolithic_budgeted,
     least_model_naive, least_model_naive_budgeted, least_model_parallel,
     least_model_parallel_budgeted, least_model_restricted, least_model_restricted_budgeted, v_step,
+};
+pub use flat_eval::{
+    flatten, least_model_flat, least_model_flat_budgeted, least_model_morsel,
+    least_model_morsel_forced, MorselCfg,
 };
 pub use model::{check_model, is_model, ModelViolation};
 pub use olp_core::{

@@ -19,6 +19,7 @@
 //!        --exhaustive                      use the reference grounder (default: smart)
 //!        --no-decomp                       disable component-wise evaluation
 //!        --threads N                       worker threads (grounding + evaluation)
+//!        --morsel N                        target morsel weight for the parallel fixpoint
 //!        --timeout SECS                    wall-clock limit; partial results, exit 124
 //!        --max-steps N                     engine work-unit limit; same degradation
 //!        --max-models N                    stop model enumeration after N models
@@ -29,14 +30,17 @@
 //! `timeout(1)` convention).
 
 use ordered_logic::analyze::{analyze, Severity};
-use ordered_logic::kb::{default_threads, DurableKb, KbError, RecoveryReport};
+use ordered_logic::ground::{FlatView, ProgramStats};
+use ordered_logic::kb::{
+    default_morsel_weight, default_threads, DurableKb, KbError, RecoveryReport,
+};
 use ordered_logic::prelude::*;
 use ordered_logic::semantics::{
     credulous_consequences_budgeted, enumerate_assumption_free_decomposed_budgeted,
     enumerate_assumption_free_parallel_budgeted, enumerate_assumption_free_propagating_budgeted,
-    explain_in, least_model_budgeted, least_model_monolithic_budgeted,
-    least_model_parallel_budgeted, render_why, skeptical_consequences_budgeted,
-    stable_models_budgeted, stable_models_monolithic_budgeted, stable_models_parallel_budgeted,
+    explain_in, flatten, least_model_monolithic_budgeted, least_model_morsel, render_why,
+    skeptical_consequences_budgeted, stable_models_budgeted, stable_models_monolithic_budgeted,
+    stable_models_parallel_budgeted, MorselCfg,
 };
 use ordered_logic::store::Db;
 use std::process::ExitCode;
@@ -47,13 +51,15 @@ fn usage() -> ExitCode {
         "usage:
   olp check  FILE [--deny warnings] [--format json|text] [--exhaustive]
              runs the order-aware lints (W01–W08, E01; see docs/ANALYSIS.md)
-             and prints positioned diagnostics before the structure report;
+             and prints positioned diagnostics before the structure report
+             (per-component evaluation plan + join-planner statistics);
              errors always exit 1, warnings only under --deny warnings
   olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive] [--no-decomp]
   olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive] [--no-decomp]
   olp repl   [FILE] [--db DIR] [--durability off|commit|batched] [--exhaustive] [--no-decomp]
              live session: use <component> | models | stable | explain <literal> |
-             assert <rule> | retract <rule> (incremental re-grounding, timed) |
+             stats (evaluation plan + statistics) | assert <rule> |
+             retract <rule> (incremental re-grounding, timed) |
              save [DIR] | load DIR | <query> | quit    (also: olp --interactive FILE)
 persistence (see docs/DURABILITY.md):
   --db DIR           durable session: open the database at DIR — snapshot
@@ -65,10 +71,14 @@ persistence (see docs/DURABILITY.md):
 evaluation:
   --no-decomp        disable component-wise evaluation (SCC condensation
                      and product-form enumeration); use the monolithic engines
-  --threads N        worker threads for grounding, the stratum-wavefront
+  --threads N        worker threads for grounding, the morsel-driven flat
                      least model, and stable enumeration (default: the
                      OLP_THREADS env var, else all cores; 1 = sequential;
                      results are identical at every value)
+  --morsel N         target morsel weight (rules + body literals + attack
+                     edges) for the work-stealing fixpoint scheduler
+                     (default: the OLP_MORSEL env var, else 2048; purely
+                     a scheduling knob — results are identical)
 resource limits (any command):
   --timeout SECS     wall-clock limit (fractions allowed); exits 124 when hit
   --max-steps N      cap on engine work units; exits 124 when hit
@@ -87,6 +97,9 @@ struct Limits {
     decomp: bool,
     /// Worker threads (`--threads N`, default [`default_threads`]).
     threads: usize,
+    /// Target morsel weight for the parallel fixpoint (`--morsel N`,
+    /// default [`default_morsel_weight`]).
+    morsel: u64,
     /// `check --deny warnings`: warnings become fatal (exit 1).
     deny_warnings: bool,
     /// `check --format json`: emit diagnostics as a JSON array.
@@ -105,6 +118,7 @@ impl Default for Limits {
             max_models: None,
             decomp: true,
             threads: default_threads(),
+            morsel: default_morsel_weight(),
             deny_warnings: false,
             json: false,
             db: None,
@@ -146,6 +160,15 @@ impl Limits {
                 }
                 self.threads = n;
             }
+            "morsel" => {
+                let n: u64 = val
+                    .parse()
+                    .map_err(|_| format!("--morsel: `{val}` is not a positive integer"))?;
+                if n == 0 {
+                    return Err(format!("--morsel: `{val}` must be at least 1"));
+                }
+                self.morsel = n;
+            }
             "deny" => match val {
                 "warnings" => self.deny_warnings = true,
                 _ => return Err(format!("--deny: `{val}` unsupported (only `warnings`)")),
@@ -178,15 +201,19 @@ impl Limits {
         Budget::limited(self.max_steps, self.timeout.map(|t| Instant::now() + t))
     }
 
-    /// Least model under these limits, routed through the wavefront,
-    /// decomposed, or monolithic engine per `--threads`/`--no-decomp`.
+    /// Least model under these limits: the flat morsel engine (which
+    /// runs its sequential path at `--threads 1`), or the monolithic
+    /// interpretive engine under `--no-decomp`.
     fn least(&self, view: &View, budget: &Budget) -> Eval<Interpretation> {
         if !self.decomp {
             least_model_monolithic_budgeted(view, budget)
-        } else if self.threads > 1 {
-            least_model_parallel_budgeted(view, self.threads, budget)
         } else {
-            least_model_budgeted(view, budget)
+            let cfg = MorselCfg {
+                threads: self.threads,
+                target_weight: self.morsel,
+                ..MorselCfg::default()
+            };
+            least_model_morsel(&flatten(view), &cfg, budget)
         }
     }
 
@@ -379,6 +406,25 @@ fn cmd_check(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
         if conflicts.len() > 5 {
             println!("    … and {} more conflicts", conflicts.len() - 5);
         }
+        // The evaluation plan this component would run under: flat
+        // strata/levels, the morsel schedule at the configured weight,
+        // and the statistics that drive the join planner.
+        let fv = FlatView::new(&l.ground, id);
+        let morsels = fv.morsels(limits.morsel);
+        println!(
+            "    plan: {} strata over {} levels; {} morsel{} @ weight {}, {} thread{}",
+            fv.n_strata(),
+            fv.n_levels(),
+            morsels.len(),
+            if morsels.len() == 1 { "" } else { "s" },
+            limits.morsel,
+            limits.threads,
+            if limits.threads == 1 { "" } else { "s" },
+        );
+        let stats = ProgramStats::collect(&l.world, &l.ground, id);
+        for line in stats.render(&l.world).lines() {
+            println!("    {line}");
+        }
     }
     Ok(false)
 }
@@ -494,7 +540,7 @@ fn repl_opts(limits: &Limits) -> QueryOptions {
     if !limits.decomp {
         o = o.no_decomp();
     }
-    o.threads(limits.threads)
+    o.threads(limits.threads).morsel_weight(limits.morsel)
 }
 
 /// The REPL's knowledge base: plain in-memory, or backed by an
@@ -656,6 +702,7 @@ fn cmd_repl(path: Option<&str>, exhaustive: bool, limits: &Limits) -> CmdResult 
         (None, None) => return Err(CliFail::Msg("repl: FILE or --db DIR required".to_string())),
     };
     session.kb().set_threads(limits.threads);
+    session.kb().set_morsel_weight(limits.morsel);
     let origin = path
         .map(str::to_string)
         .or_else(|| limits.db.clone())
@@ -666,7 +713,7 @@ fn cmd_repl(path: Option<&str>, exhaustive: bool, limits: &Limits) -> CmdResult 
     };
     println!(
         "loaded {origin}: {} components. Commands: use <component> | models | stable | \
-         explain <literal> | assert <rule> | retract <rule> | save [DIR] | load DIR | \
+         explain <literal> | stats | assert <rule> | retract <rule> | save [DIR] | load DIR | \
          <query> | quit",
         session.kb().objects().len()
     );
@@ -728,6 +775,16 @@ fn cmd_repl(path: Option<&str>, exhaustive: bool, limits: &Limits) -> CmdResult 
                 Ok(text) => print!("{text}"),
                 Err(e) => println!("error: {e}"),
             },
+            "stats" => {
+                // The evaluation plan for the current component (or an
+                // explicit one): flat strata/levels, morsel schedule,
+                // and the statistics the join planner orders bodies by.
+                let target = if rest.is_empty() { &current } else { rest };
+                match session.kb().plan_report(target) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
             "assert" => repl_mutate(&mut session, &current, rest, true, limits),
             "retract" => repl_mutate(&mut session, &current, rest, false, limits),
             "save" => {
@@ -770,6 +827,7 @@ fn cmd_repl(path: Option<&str>, exhaustive: bool, limits: &Limits) -> CmdResult 
                     Ok((mut d, report)) => {
                         println!("{}", recovery_line(rest, &d, &report));
                         d.kb_mut().set_threads(limits.threads);
+                        d.kb_mut().set_morsel_weight(limits.morsel);
                         current = match d.kb_mut().objects().first() {
                             Some(first) => first.to_string(),
                             None => {
@@ -990,6 +1048,7 @@ fn main() -> ExitCode {
                     | "max-steps"
                     | "max-models"
                     | "threads"
+                    | "morsel"
                     | "deny"
                     | "format"
                     | "db"

@@ -1,15 +1,157 @@
 //! Offline drop-in subset of the `crossbeam` crate API.
 //!
-//! Only `crossbeam::thread::scope` / `Scope::spawn` are used by this
-//! workspace (the parallel stable-model enumerator). Since Rust 1.63
-//! the standard library provides scoped threads, so this shim adapts
-//! `std::thread::scope` to crossbeam's signature: the spawned closure
-//! receives a `&Scope` argument and `scope` returns a
-//! `thread::Result` (std's version propagates panics instead; this
-//! shim therefore always returns `Ok` or unwinds, which is a strict
-//! subset of crossbeam's observable behaviour).
+//! Two modules are used by this workspace:
+//!
+//! * `crossbeam::thread::scope` / `Scope::spawn` (the parallel
+//!   enumerators and the morsel fixpoint). Since Rust 1.63 the standard
+//!   library provides scoped threads, so this shim adapts
+//!   `std::thread::scope` to crossbeam's signature: the spawned closure
+//!   receives a `&Scope` argument and `scope` returns a
+//!   `thread::Result` (std's version propagates panics instead; this
+//!   shim therefore always returns `Ok` or unwinds, which is a strict
+//!   subset of crossbeam's observable behaviour).
+//! * `crossbeam::deque` — `Worker` / `Stealer` / `Injector` / `Steal`,
+//!   the work-stealing deque API used by the morsel scheduler. The shim
+//!   implements the same interface over `Mutex<VecDeque>`: correct and
+//!   contention-adequate for the coarse morsel granularity it serves
+//!   (hundreds of pops per fixpoint, not millions), without the
+//!   epoch-GC machinery of the real lock-free implementation.
 
 #![warn(missing_docs)]
+
+/// Work-stealing deques (crossbeam-deque API subset).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the source was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner side of a work-stealing deque. `push`/`pop` are used by
+    /// the owning worker thread; [`Worker::stealer`] hands out handles
+    /// for other threads to steal from the opposite end.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO deque (owner pops from the front, stealers
+        /// also steal from the front — FIFO order preserves the
+        /// push-order locality the morsel scheduler relies on).
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the deque.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque lock").push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque lock").pop_front()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque lock").is_empty()
+        }
+
+        /// Creates a [`Stealer`] handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared FIFO injector queue: the global entry point tasks are
+    /// seeded into before workers pick them up.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task into the queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Attempts to steal one task from the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("injector lock").is_empty()
+        }
+    }
+}
 
 /// Scoped threads (crossbeam-utils `thread` module subset).
 pub mod thread {
@@ -62,6 +204,57 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn deque_fifo_and_steal() {
+        use super::deque::{Injector, Steal, Worker};
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+
+        let inj = Injector::new();
+        inj.push(10);
+        assert!(!inj.is_empty());
+        assert_eq!(inj.steal().success(), Some(10));
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn deque_steal_across_threads() {
+        use super::deque::{Steal, Worker};
+        let w = Worker::new_fifo();
+        for i in 0..1000u64 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = stealers
+                .iter()
+                .map(|s| {
+                    scope.spawn(move |_| {
+                        let mut sum = 0u64;
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => sum += v,
+                                Steal::Empty => return sum,
+                                Steal::Retry => continue,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
     #[test]
     fn scoped_sum_over_borrowed_slice() {
         let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
