@@ -1113,4 +1113,168 @@ fn main() {
             Err(e) => println!("B11 durability: could not write BENCH_durability.json: {e}"),
         }
     }
+
+    // B12: serving — `olp serve` under concurrent mixed read/write
+    // traffic. Spawns the real `olp` binary (sibling of this
+    // experiments binary in the target dir) on a mutation_stream base
+    // program and drives it with the olp-workload load generator at
+    // 1/4/16/64 connections, emitted as BENCH_server.json with three
+    // acceptance gates:
+    //   * liveness  — every connection level completes >0 ops;
+    //   * no_errors — zero protocol errors across all levels;
+    //   * isolation — zero per-connection epoch regressions (responses
+    //     always report the epoch they evaluated against, and a
+    //     connection must never observe time going backwards).
+    // When the `olp` binary is not next to this one, or no writable
+    // tmpdir exists for the program file, the gates are reported as
+    // SKIP (never a fake PASS), mirroring the B10/B11 convention.
+    {
+        use olp_workload::loadgen::{run_load, LoadCfg};
+        use std::io::BufRead;
+
+        const N_BASE: usize = 64;
+        const CONN_LEVELS: [usize; 4] = [1, 4, 16, 64];
+        const SECS_PER_LEVEL: f64 = 1.0;
+
+        let olp_bin = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("olp")))
+            .filter(|p| p.exists());
+
+        let dir = std::env::temp_dir().join(format!("olp_bench_server_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (base, _) = mutation_stream(
+            &MutationCfg {
+                n_base: N_BASE,
+                n_mutations: 0,
+                ..MutationCfg::default()
+            },
+            42,
+        );
+        let program_path = dir.join("serve.olp");
+        let writable = std::fs::create_dir_all(&dir).is_ok()
+            && std::fs::write(&program_path, format!("module main {{\n{base}}}\n")).is_ok();
+
+        let mut rows = Vec::new();
+        let (gate, detail) = match (&olp_bin, writable) {
+            (None, _) => {
+                println!(
+                    "B12 server: gates SKIP — no `olp` binary next to the experiments \
+                     binary (build the workspace first: cargo build --release)"
+                );
+                ("skipped_no_olp_binary", String::new())
+            }
+            (Some(_), false) => {
+                println!(
+                    "B12 server: gates SKIP — no writable tmpdir at {} for the \
+                     served program file",
+                    dir.display()
+                );
+                ("skipped_no_writable_tmpdir", String::new())
+            }
+            (Some(bin), true) => {
+                let mut child = std::process::Command::new(bin)
+                    .arg("serve")
+                    .arg(&program_path)
+                    .args(["--listen", "127.0.0.1:0"])
+                    .stdout(std::process::Stdio::piped())
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .expect("olp serve spawns");
+                let stdout = child.stdout.take().expect("stdout piped");
+                let mut lines = std::io::BufReader::new(stdout).lines();
+                let addr: std::net::SocketAddr = loop {
+                    match lines.next() {
+                        Some(Ok(line)) => {
+                            if let Some(a) = line.strip_prefix("listening on ") {
+                                break a.trim().parse().expect("listen address parses");
+                            }
+                        }
+                        _ => panic!("olp serve exited before printing its listen address"),
+                    }
+                };
+                std::thread::spawn(move || for _ in lines {});
+
+                let mut total_errors = 0u64;
+                let mut total_regressions = 0u64;
+                let mut all_live = true;
+                for conns in CONN_LEVELS {
+                    let cfg = LoadCfg {
+                        conns,
+                        duration: Duration::from_secs_f64(SECS_PER_LEVEL),
+                        write_ratio: 0.1,
+                        seed: 42,
+                        n_base: N_BASE,
+                        ..LoadCfg::default()
+                    };
+                    let rep = run_load(addr, &cfg);
+                    total_errors += rep.errors;
+                    total_regressions += rep.epoch_regressions;
+                    all_live &= rep.ops > 0;
+                    println!("B12 server conns={conns}: {}", rep.summary());
+                    rows.push(format!(
+                        "  {{\"conns\": {conns}, \"ops\": {}, \"reads\": {}, \"writes\": {}, \
+                         \"busy\": {}, \"errors\": {}, \"epoch_regressions\": {}, \
+                         \"throughput_ops_per_sec\": {:.1}, \
+                         \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                        rep.ops,
+                        rep.reads,
+                        rep.writes,
+                        rep.busy,
+                        rep.errors,
+                        rep.epoch_regressions,
+                        rep.throughput(),
+                        rep.latency_us(0.5),
+                        rep.latency_us(0.99),
+                        rep.max_latency_us(),
+                    ));
+                }
+
+                // Shut the server down over its own protocol; fall
+                // back to kill if the socket is gone.
+                if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                    use std::io::Write as _;
+                    let _ = s.write_all(b"{\"cmd\":\"shutdown\"}\n");
+                    let mut resp = String::new();
+                    let _ = std::io::BufReader::new(&s).read_line(&mut resp);
+                } else {
+                    let _ = child.kill();
+                }
+                let _ = child.wait();
+
+                let ok = all_live && total_errors == 0 && total_regressions == 0;
+                println!(
+                    "B12 server: liveness {} / no_errors {} ({total_errors}) / \
+                     isolation {} ({total_regressions} regressions)",
+                    if all_live { "PASS" } else { "FAIL" },
+                    if total_errors == 0 { "PASS" } else { "FAIL" },
+                    if total_regressions == 0 {
+                        "PASS"
+                    } else {
+                        "FAIL"
+                    },
+                );
+                (
+                    if ok { "pass" } else { "fail" },
+                    format!(
+                        "\"total_errors\": {total_errors}, \
+                         \"total_epoch_regressions\": {total_regressions}, "
+                    ),
+                )
+            }
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let json = format!(
+            "{{\n\"workload\": \"loadgen mixed 10% writes over mutation_stream base\",\n\
+             \"n_base\": {N_BASE}, \"secs_per_level\": {SECS_PER_LEVEL},\n\
+             \"levels\": [\n{}\n],\n\
+             \"gates\": {{\n{detail}\"liveness_no_errors_isolation\": \"{gate}\"\n}}\n}}\n",
+            rows.join(",\n"),
+        );
+        match std::fs::write("BENCH_server.json", &json) {
+            Ok(()) => println!("B12 server: wrote BENCH_server.json"),
+            Err(e) => println!("B12 server: could not write BENCH_server.json: {e}"),
+        }
+    }
 }

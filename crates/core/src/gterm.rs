@@ -83,6 +83,14 @@ impl TermStore {
         &self.terms[id.index()]
     }
 
+    /// Looks up an already-interned term without interning it — the
+    /// read-only twin of the intern methods, for callers holding a
+    /// shared (`&`) world such as frozen KB snapshots. Children of a
+    /// `Func` must already be ids from *this* store.
+    pub fn lookup(&self, t: &GTerm) -> Option<GTermId> {
+        self.by_term.get(t).copied()
+    }
+
     /// If `id` is an integer constant, its value.
     pub fn as_int(&self, id: GTermId) -> Option<i64> {
         match self.terms[id.index()] {

@@ -26,6 +26,7 @@ use olp_semantics::{
     stable_models_parallel_budgeted, Decomposition, MorselCfg, View,
 };
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Worker threads to use when none are configured explicitly: the
@@ -383,10 +384,11 @@ impl KbBuilder {
             ),
         };
         Ok(Kb {
-            world: self.world,
-            prog: self.prog,
-            ground,
+            world: Arc::new(self.world),
+            prog: Arc::new(self.prog),
+            ground: Arc::new(ground),
             least_cache: FxHashMap::default(),
+            flat_cache: FxHashMap::default(),
             stable_cache: FxHashMap::default(),
             strategy,
             cfg: cfg.clone(),
@@ -450,10 +452,11 @@ fn ground_term_to_term(world: &World, t: olp_core::GTermId) -> Term {
 /// A least model cached at the knowledge-base epoch it was computed in.
 /// A stale entry (older epoch) is never served directly; it is first
 /// revalidated with [`least_model_delta`], recomputing only the strata
-/// downstream of the atoms touched since.
+/// downstream of the atoms touched since. The model is held behind an
+/// [`Arc`] so publishing it into a [`crate::KbSnapshot`] is free.
 #[derive(Debug)]
 struct CachedModel {
-    model: Interpretation,
+    model: Arc<Interpretation>,
     epoch: u64,
 }
 
@@ -469,10 +472,21 @@ struct CachedModel {
 /// also the differential baseline the fuzz suite compares against).
 #[derive(Debug)]
 pub struct Kb {
-    world: World,
-    prog: olp_core::OrderedProgram,
-    ground: GroundProgram,
+    /// Interners, ordered program, and its grounding are shared
+    /// copy-on-write: [`Kb::snapshot`] hands the same `Arc`s to a frozen
+    /// [`crate::KbSnapshot`] in O(1), and a later mutation clones only
+    /// while a snapshot is still alive ([`Arc::make_mut`]). Library use
+    /// without snapshots never pays a clone.
+    world: Arc<World>,
+    prog: Arc<olp_core::OrderedProgram>,
+    ground: Arc<GroundProgram>,
     least_cache: FxHashMap<CompId, CachedModel>,
+    /// Compiled flat arenas per component, valid for the **current
+    /// epoch only** (cleared by [`Kb::commit`]). Fresh least-model
+    /// computations used to rebuild the arena on every recompute —
+    /// the dominant cost on ancestor-shaped programs (ROADMAP 3c);
+    /// now the second query of an epoch reuses the compiled arena.
+    flat_cache: FxHashMap<CompId, Arc<FlatView>>,
     /// Per object: memoised stable enumerations keyed by independent
     /// rule-group contents (see [`stable_models_decomposed_cached`]).
     stable_cache: FxHashMap<CompId, FxHashMap<Vec<GroundRule>, Vec<Interpretation>>>,
@@ -527,6 +541,20 @@ impl Kb {
         out
     }
 
+    /// The compiled flat arena for component `c` at the current epoch,
+    /// built at most once per epoch (ROADMAP 3c: flatten construction
+    /// dominated evaluation, so rebuilding per recompute was the
+    /// per-request cost a server cannot afford). [`Kb::commit`] clears
+    /// the cache; snapshots receive the same `Arc`s for free.
+    fn flat(&mut self, c: CompId) -> Arc<FlatView> {
+        if let Some(fv) = self.flat_cache.get(&c) {
+            return fv.clone();
+        }
+        let fv = Arc::new(FlatView::new(&self.ground, c));
+        self.flat_cache.insert(c, fv.clone());
+        fv
+    }
+
     /// Makes `least_cache[c]` present and current (epoch == now). A
     /// stale entry is revalidated with [`least_model_delta`] —
     /// recomputing only the strata downstream of atoms touched since it
@@ -549,16 +577,16 @@ impl Kb {
             // Fresh computations compile the flat arena view directly —
             // no interpretive hash-map view on the hot path.
             None if self.threads > 1 => {
-                let fv = FlatView::new(&self.ground, c);
+                let fv = self.flat(c);
                 least_model_morsel(&fv, &self.morsel_cfg(self.threads), &Budget::unlimited())
                     .expect_complete("unlimited evaluation always completes")
             }
-            None => least_model_flat(&FlatView::new(&self.ground, c)),
+            None => least_model_flat(&self.flat(c)),
         };
         self.least_cache.insert(
             c,
             CachedModel {
-                model,
+                model: Arc::new(model),
                 epoch: self.epoch,
             },
         );
@@ -570,7 +598,7 @@ impl Kb {
     pub fn model(&mut self, object: &str) -> Result<&Interpretation, KbError> {
         let c = self.comp(object)?;
         self.ensure_model(c);
-        Ok(&self.least_cache[&c].model)
+        Ok(self.least_cache[&c].model.as_ref())
     }
 
     /// [`Kb::model`] under [`QueryOptions`] limits. Only a `Complete`
@@ -588,7 +616,9 @@ impl Kb {
     ) -> Result<Eval<Interpretation>, KbError> {
         let c = self.comp(object)?;
         let stale = match self.least_cache.get(&c) {
-            Some(e) if e.epoch == self.epoch => return Ok(Eval::Complete(e.model.clone())),
+            Some(e) if e.epoch == self.epoch => {
+                return Ok(Eval::Complete(e.model.as_ref().clone()))
+            }
             Some(e) => Some(e.epoch),
             None => None,
         };
@@ -599,7 +629,7 @@ impl Kb {
             let old = &self.least_cache[&c].model;
             let eval = least_model_delta(&view, &d, old, &touched, &opts.budget());
             if let Eval::Complete(m) = &eval {
-                let model = m.clone();
+                let model = Arc::new(m.clone());
                 self.least_cache.insert(
                     c,
                     CachedModel {
@@ -614,7 +644,7 @@ impl Kb {
             let view = View::new(&self.ground, c);
             least_model_monolithic_budgeted(&view, &opts.budget())
         } else {
-            let fv = FlatView::new(&self.ground, c);
+            let fv = self.flat(c);
             let mut cfg = self.morsel_cfg(opts.threads);
             cfg.target_weight = opts.morsel_weight.max(1);
             // `threads <= 1` (and small programs) run the sequential
@@ -622,7 +652,7 @@ impl Kb {
             least_model_morsel(&fv, &cfg, &opts.budget())
         };
         if let Eval::Complete(m) = &eval {
-            let model = m.clone();
+            let model = Arc::new(m.clone());
             self.least_cache.insert(
                 c,
                 CachedModel {
@@ -639,7 +669,7 @@ impl Kb {
     /// least (assumption-free) model. A negative query returns `True`
     /// when the negative literal is derivable.
     pub fn truth(&mut self, object: &str, query: &str) -> Result<Truth, KbError> {
-        let lit = parse_ground_literal(&mut self.world, query)
+        let lit = parse_ground_literal(Arc::make_mut(&mut self.world), query)
             .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
         let m = self.model(object)?;
         Ok(if m.holds(lit) {
@@ -663,7 +693,7 @@ impl Kb {
         query: &str,
         opts: &QueryOptions,
     ) -> Result<Eval<Truth>, KbError> {
-        let lit = parse_ground_literal(&mut self.world, query)
+        let lit = parse_ground_literal(Arc::make_mut(&mut self.world), query)
             .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
         Ok(self.model_with(object, opts)?.map(|m| {
             if m.holds(lit) {
@@ -719,7 +749,8 @@ impl Kb {
     /// `var=term` pairs in first-occurrence order. A ground pattern
     /// returns one empty binding when it holds and nothing otherwise.
     pub fn query(&mut self, object: &str, pattern: &str) -> Result<Vec<String>, KbError> {
-        let lit = olp_parser::parse_literal(&mut self.world, pattern).map_err(KbError::Parse)?;
+        let lit = olp_parser::parse_literal(Arc::make_mut(&mut self.world), pattern)
+            .map_err(KbError::Parse)?;
         let c = self.comp(object)?;
         self.ensure_model(c);
         Ok(self.enumerate_bindings(&lit, &self.least_cache[&c].model))
@@ -734,7 +765,8 @@ impl Kb {
         pattern: &str,
         opts: &QueryOptions,
     ) -> Result<Eval<Vec<String>>, KbError> {
-        let lit = olp_parser::parse_literal(&mut self.world, pattern).map_err(KbError::Parse)?;
+        let lit = olp_parser::parse_literal(Arc::make_mut(&mut self.world), pattern)
+            .map_err(KbError::Parse)?;
         let eval = self.model_with(object, opts)?;
         Ok(eval.map(|m| self.enumerate_bindings(&lit, &m)))
     }
@@ -771,7 +803,7 @@ impl Kb {
     /// Explains why `query` holds (a proof tree) or does not (the fate
     /// of every candidate rule), rendered as indented text.
     pub fn explain(&mut self, object: &str, query: &str) -> Result<String, KbError> {
-        let lit = parse_ground_literal(&mut self.world, query)
+        let lit = parse_ground_literal(Arc::make_mut(&mut self.world), query)
             .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
         let c = self.comp(object)?;
         self.ensure_model(c);
@@ -785,7 +817,7 @@ impl Kb {
     /// Avoids materialising the full model (useful for large KBs with
     /// small relevance cones).
     pub fn prove(&mut self, object: &str, query: &str) -> Result<bool, KbError> {
-        let lit = parse_ground_literal(&mut self.world, query)
+        let lit = parse_ground_literal(Arc::make_mut(&mut self.world), query)
             .map_err(|_| KbError::NonGroundQuery(query.to_string()))?;
         let c = self.comp(object)?;
         Ok(olp_semantics::prove(&View::new(&self.ground, c), lit))
@@ -864,7 +896,10 @@ impl Kb {
         touched.sort_unstable();
         self.touched_log.push(touched);
         self.epoch += 1;
-        self.ground = new_ground;
+        self.ground = Arc::new(new_ground);
+        // Compiled arenas index into the replaced ground program; they
+        // are rebuilt lazily at the new epoch.
+        self.flat_cache.clear();
     }
 
     /// Rebuilds the delta grounder from the current program if it was
@@ -874,12 +909,14 @@ impl Kb {
         if self.delta.is_some() {
             return Ok(());
         }
-        let (delta, gp) = DeltaGrounder::new(&mut self.world, &self.prog, &self.cfg)?;
+        let (delta, gp) =
+            DeltaGrounder::new(Arc::make_mut(&mut self.world), &self.prog, &self.cfg)?;
         self.delta_ids = sequential_ids(&self.prog);
         self.delta = Some(delta);
         // Same program, same deterministic output as the ground program
-        // already installed — no epoch bump.
-        self.ground = gp;
+        // already installed — no epoch bump, and cached flat arenas
+        // stay valid (identical rule ordering).
+        self.ground = Arc::new(gp);
         Ok(())
     }
 
@@ -892,8 +929,10 @@ impl Kb {
         let mut cfg = self.cfg.clone();
         cfg.budget = gov.clone();
         let res = match self.strategy {
-            GroundStrategy::Smart => ground_smart(&mut self.world, &self.prog, &cfg),
-            GroundStrategy::Exhaustive => ground_exhaustive(&mut self.world, &self.prog, &cfg),
+            GroundStrategy::Smart => ground_smart(Arc::make_mut(&mut self.world), &self.prog, &cfg),
+            GroundStrategy::Exhaustive => {
+                ground_exhaustive(Arc::make_mut(&mut self.world), &self.prog, &cfg)
+            }
         };
         match res {
             Ok(gp) => {
@@ -939,15 +978,15 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<()>, KbError> {
         let c = self.comp(object)?;
-        let r = parse_rule(&mut self.world, src)?;
+        let r = parse_rule(Arc::make_mut(&mut self.world), src)?;
         if opts.deny_warnings {
             // Tentative AST-only application: analyze, then roll back
             // before any grounding. `add_rule` records no span, so
             // `pop_rule` restores the table exactly.
             let before = analyze(&self.world, &self.prog);
-            self.prog.add_rule(c, r.clone());
+            Arc::make_mut(&mut self.prog).add_rule(c, r.clone());
             let after = analyze(&self.world, &self.prog);
-            self.prog.pop_rule(c);
+            Arc::make_mut(&mut self.prog).pop_rule(c);
             let new = findings_introduced(after, &before);
             if !new.is_empty() {
                 return Err(KbError::Rejected(new));
@@ -957,9 +996,9 @@ impl Kb {
         if self.is_incremental() {
             self.ensure_delta()?;
             let mut delta = self.delta.take().expect("ensure_delta installed one");
-            match delta.assert_rule(&mut self.world, c, &r, &gov) {
+            match delta.assert_rule(Arc::make_mut(&mut self.world), c, &r, &gov) {
                 Ok((id, gp)) => {
-                    self.prog.add_rule(c, r);
+                    Arc::make_mut(&mut self.prog).add_rule(c, r);
                     self.delta_ids[c.index()].push(id);
                     self.delta = Some(delta);
                     self.commit(gp);
@@ -976,10 +1015,10 @@ impl Kb {
                 Err(e) => return Err(e.into()),
             }
         }
-        self.prog.add_rule(c, r);
+        Arc::make_mut(&mut self.prog).add_rule(c, r);
         let res = self.refresh_with(&gov);
         if !matches!(res, Ok(Eval::Complete(()))) {
-            self.prog.pop_rule(c);
+            Arc::make_mut(&mut self.prog).pop_rule(c);
         }
         res
     }
@@ -1004,7 +1043,7 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<bool>, KbError> {
         let c = self.comp(object)?;
-        let r = parse_rule(&mut self.world, src)?;
+        let r = parse_rule(Arc::make_mut(&mut self.world), src)?;
         let pos = self.prog.components[c.index()]
             .rules
             .iter()
@@ -1019,11 +1058,13 @@ impl Kb {
             // removed rule's span saved and restored.
             let before = analyze(&self.world, &self.prog);
             let saved_span = self.prog.spans.rule(c.index(), i).cloned();
-            let removed = self.prog.remove_rule(c, i);
+            let removed = Arc::make_mut(&mut self.prog).remove_rule(c, i);
             let after = analyze(&self.world, &self.prog);
-            self.prog.insert_rule(c, i, removed);
+            Arc::make_mut(&mut self.prog).insert_rule(c, i, removed);
             if let Some(span) = saved_span {
-                self.prog.spans.set_rule(c.index(), i, span);
+                Arc::make_mut(&mut self.prog)
+                    .spans
+                    .set_rule(c.index(), i, span);
             }
             let new = findings_introduced(after, &before);
             if !new.is_empty() {
@@ -1035,9 +1076,9 @@ impl Kb {
             self.ensure_delta()?;
             let mut delta = self.delta.take().expect("ensure_delta installed one");
             let id = self.delta_ids[c.index()][i];
-            match delta.retract_rule(&mut self.world, id, &gov) {
+            match delta.retract_rule(Arc::make_mut(&mut self.world), id, &gov) {
                 Ok(gp) => {
-                    self.prog.remove_rule(c, i);
+                    Arc::make_mut(&mut self.prog).remove_rule(c, i);
                     self.delta_ids[c.index()].remove(i);
                     self.delta = Some(delta);
                     self.commit(gp);
@@ -1053,12 +1094,14 @@ impl Kb {
             }
         }
         let saved_span = self.prog.spans.rule(c.index(), i).cloned();
-        let removed = self.prog.remove_rule(c, i);
+        let removed = Arc::make_mut(&mut self.prog).remove_rule(c, i);
         let res = self.refresh_with(&gov);
         if !matches!(res, Ok(Eval::Complete(()))) {
-            self.prog.insert_rule(c, i, removed);
+            Arc::make_mut(&mut self.prog).insert_rule(c, i, removed);
             if let Some(span) = saved_span {
-                self.prog.spans.set_rule(c.index(), i, span);
+                Arc::make_mut(&mut self.prog)
+                    .spans
+                    .set_rule(c.index(), i, span);
             }
         }
         match res {
@@ -1248,6 +1291,57 @@ impl Kb {
         &self.prog
     }
 
+    /// Publishes an immutable, thread-safe view of the KB frozen at the
+    /// current epoch ([`crate::KbSnapshot`]).
+    ///
+    /// This is O(components): the world, program, and grounding are
+    /// shared by `Arc` (copy-on-write — a later mutation on `self`
+    /// clones them only while a snapshot is alive), and every
+    /// current-epoch cached model and compiled flat arena is handed to
+    /// the snapshot for free. Readers evaluate against the snapshot
+    /// concurrently (`&self` everywhere, `Send + Sync`) while this KB
+    /// keeps mutating; no reader ever observes a half-applied mutation.
+    pub fn snapshot(&self) -> Arc<crate::KbSnapshot> {
+        let mut models: FxHashMap<CompId, Arc<Interpretation>> = FxHashMap::default();
+        for (c, e) in &self.least_cache {
+            if e.epoch == self.epoch {
+                models.insert(*c, e.model.clone());
+            }
+        }
+        Arc::new(crate::KbSnapshot::from_parts(
+            self.world.clone(),
+            self.prog.clone(),
+            self.ground.clone(),
+            self.epoch,
+            self.threads,
+            self.morsel_weight,
+            self.flat_cache.clone(),
+            models,
+        ))
+    }
+
+    /// Brings every *previously cached* least model up to the current
+    /// epoch via stratum-local delta revalidation. A writer that calls
+    /// this between applying a mutation and publishing a
+    /// [`Kb::snapshot`] hands readers warm models, keeping the
+    /// incremental-maintenance advantage server-side; objects nobody
+    /// has queried stay lazy.
+    pub fn revalidate_cached_models(&mut self) {
+        let comps: Vec<CompId> = self.least_cache.keys().copied().collect();
+        for c in comps {
+            self.ensure_model(c);
+        }
+    }
+
+    /// Test/diagnostic hook: the compiled flat arena for `object` at
+    /// the current epoch (building and caching it if absent). Two calls
+    /// within one epoch return the same `Arc`; a mutation invalidates.
+    #[doc(hidden)]
+    pub fn flat_view(&mut self, object: &str) -> Result<Arc<FlatView>, KbError> {
+        let c = self.comp(object)?;
+        Ok(self.flat(c))
+    }
+
     /// Reassembles a KB from already-grounded parts — a decoded
     /// snapshot (`olp-store`). **No re-parse and no re-ground happens
     /// here**: the ground program is installed as-is; the incremental
@@ -1261,10 +1355,11 @@ impl Kb {
         ground: GroundProgram,
     ) -> Kb {
         Kb {
-            world,
-            prog,
-            ground,
+            world: Arc::new(world),
+            prog: Arc::new(prog),
+            ground: Arc::new(ground),
             least_cache: FxHashMap::default(),
+            flat_cache: FxHashMap::default(),
             stable_cache: FxHashMap::default(),
             strategy: GroundStrategy::Smart,
             cfg: GroundConfig::default(),
@@ -1703,6 +1798,36 @@ mod tests {
             .unwrap();
         assert!(ev.is_partial());
         assert!(!ev.value());
+        assert_eq!(
+            kb.truth("penguin_view", "fly(sparrow)").unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn flat_view_cached_per_epoch_and_invalidated_by_mutation() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        // Within one epoch the compiled arena is built once and reused.
+        let fv1 = kb.flat_view("penguin_view").unwrap();
+        let fv2 = kb.flat_view("penguin_view").unwrap();
+        assert!(Arc::ptr_eq(&fv1, &fv2), "same epoch must reuse the arena");
+        // Model computation goes through the same cache.
+        kb.model("penguin_view").unwrap();
+        let fv3 = kb.flat_view("penguin_view").unwrap();
+        assert!(Arc::ptr_eq(&fv1, &fv3));
+        // Distinct objects get distinct arenas.
+        let fv_bird = kb.flat_view("bird").unwrap();
+        assert!(!Arc::ptr_eq(&fv1, &fv_bird));
+        // A mutation bumps the epoch and invalidates: the next access
+        // compiles a fresh arena against the new ground program.
+        kb.assert_rule("bird", "bird(sparrow).").unwrap();
+        assert_eq!(kb.epoch(), 1);
+        let fv4 = kb.flat_view("penguin_view").unwrap();
+        assert!(
+            !Arc::ptr_eq(&fv1, &fv4),
+            "mutation must invalidate the cached arena"
+        );
+        // And answers stay correct against the fresh arena.
         assert_eq!(
             kb.truth("penguin_view", "fly(sparrow)").unwrap(),
             Truth::True

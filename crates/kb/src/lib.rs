@@ -33,6 +33,7 @@
 pub mod durable;
 pub mod kb;
 pub mod relation;
+pub mod snapshot;
 
 pub use durable::{DurableKb, RecoveryReport};
 pub use kb::{
@@ -41,3 +42,4 @@ pub use kb::{
 pub use olp_core::{Budget, Eval, InterruptReason, Interrupted};
 pub use olp_store::{Durability, StoreError};
 pub use relation::{ArityMismatch, Relation};
+pub use snapshot::KbSnapshot;

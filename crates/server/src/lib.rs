@@ -1,0 +1,1036 @@
+//! # olp-server — a concurrent multi-client KB server
+//!
+//! `olp serve` wraps a [`Kb`] (or [`DurableKb`]) in a long-running TCP
+//! process speaking a line-oriented JSON protocol: one request object
+//! per line in, one response object per line out (see `SERVER.md` for
+//! the grammar). The concurrency model is the paper's KB story taken
+//! seriously: many agents consult one knowledge base while it evolves.
+//!
+//! ## Snapshot-isolated reads, single-writer mutations
+//!
+//! All mutations (`assert`, `retract`, `save`) are serialised through
+//! one writer thread that owns the live KB. After each applied
+//! mutation it revalidates cached models and publishes a fresh
+//! [`KbSnapshot`] into a shared cell. Readers clone the current `Arc`
+//! out of the cell (the lock is held only for the clone) and evaluate
+//! against that frozen epoch — no reader ever blocks on a writer, and
+//! every response carries the epoch it was evaluated at, which is what
+//! makes server answers differentially testable against a sequential
+//! KB replaying the same mutation prefix.
+//!
+//! ## Admission control
+//!
+//! Two knobs bound load instead of queueing unboundedly: connections
+//! beyond `max_conns` are refused with a one-line `busy` response at
+//! accept time, and evaluation commands beyond `max_queries` in flight
+//! get a `busy` response on an otherwise healthy connection. Malformed
+//! frames get a positioned error and never wedge the accept loop.
+//!
+//! ## Shutdown
+//!
+//! SIGTERM (or a `shutdown` command) stops the accept loop, lets every
+//! in-flight request finish, drains the writer queue, and — when a
+//! durable store is attached — fsyncs the write-ahead log before the
+//! process exits.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use crate::json::{obj, str_arr, Json};
+use olp_core::Eval;
+use olp_kb::{DurableKb, Kb, KbError, KbSnapshot, QueryOptions};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hard cap on one request line; longer frames are refused and the
+/// connection closed (a client that sends an unbounded line is broken
+/// or hostile, not slow).
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Upper bound a client may set `threads` to, regardless of the
+/// server's own default.
+const MAX_CLIENT_THREADS: usize = 64;
+
+/// How long blocked reads and the accept loop sleep between polls of
+/// the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Set by the SIGTERM handler; checked by the accept loop. Process
+/// global because signal handlers cannot carry state.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm() {
+    extern "C" fn on_term(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
+
+/// Server tuning knobs; see each field.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port; the chosen
+    /// address is available from [`Server::local_addr`]).
+    pub listen: String,
+    /// Maximum concurrent connections; one worker thread each.
+    /// Connections beyond this are refused with a `busy` response.
+    pub max_conns: usize,
+    /// Maximum evaluation commands in flight across all connections;
+    /// excess requests get a `busy` response without closing the
+    /// connection.
+    pub max_queries: usize,
+    /// Default per-request evaluation timeout when neither the
+    /// connection (`set`) nor the request specifies one. `None` means
+    /// unlimited.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            max_conns: 64,
+            max_queries: 16,
+            default_timeout: None,
+        }
+    }
+}
+
+/// The knowledge base a server serves: in-memory only, or backed by a
+/// durable store whose WAL records every applied mutation.
+pub enum ServeKb {
+    /// In-memory KB; `save` requests are refused.
+    Plain(Box<Kb>),
+    /// Durable KB; applied mutations hit the write-ahead log and
+    /// `save` compacts to a fresh snapshot.
+    Durable(Box<DurableKb>),
+}
+
+impl ServeKb {
+    fn kb(&self) -> &Kb {
+        match self {
+            ServeKb::Plain(kb) => kb,
+            ServeKb::Durable(d) => d,
+        }
+    }
+
+    fn kb_mut(&mut self) -> &mut Kb {
+        match self {
+            ServeKb::Plain(kb) => kb,
+            ServeKb::Durable(d) => d.kb_mut(),
+        }
+    }
+
+    fn assert_rule_with(
+        &mut self,
+        object: &str,
+        src: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<()>, KbError> {
+        match self {
+            ServeKb::Plain(kb) => kb.assert_rule_with(object, src, opts),
+            ServeKb::Durable(d) => d.assert_rule_with(object, src, opts),
+        }
+    }
+
+    fn retract_rule_with(
+        &mut self,
+        object: &str,
+        src: &str,
+        opts: &QueryOptions,
+    ) -> Result<Eval<bool>, KbError> {
+        match self {
+            ServeKb::Plain(kb) => kb.retract_rule_with(object, src, opts),
+            ServeKb::Durable(d) => d.retract_rule_with(object, src, opts),
+        }
+    }
+
+    fn seq(&self) -> Option<u64> {
+        match self {
+            ServeKb::Plain(_) => None,
+            ServeKb::Durable(d) => Some(d.seq()),
+        }
+    }
+}
+
+/// Counters surfaced by the `stats` command. All relaxed atomics: the
+/// numbers are operational telemetry, not synchronisation.
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    queries: AtomicU64,
+    writes: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    active_conns: AtomicUsize,
+    active_queries: AtomicUsize,
+}
+
+/// State shared by the accept loop, workers, and writer.
+struct Shared {
+    /// The publish cell: the latest frozen snapshot. The lock is held
+    /// only to clone or swap the `Arc`, never across evaluation.
+    snap: Mutex<Arc<KbSnapshot>>,
+    stats: Stats,
+    shutdown: AtomicBool,
+    started: Instant,
+    /// `seq` of the durable store after the last applied mutation
+    /// (`u64::MAX` = no store attached). Kept here so `stats` can
+    /// report it without a round-trip through the writer.
+    seq: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<KbSnapshot> {
+        self.snap.lock().expect("publish cell poisoned").clone()
+    }
+
+    fn publish(&self, snap: Arc<KbSnapshot>) {
+        *self.snap.lock().expect("publish cell poisoned") = snap;
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNALED.load(Ordering::SeqCst)
+    }
+
+    fn seq_json(&self) -> Json {
+        match self.seq.load(Ordering::SeqCst) {
+            u64::MAX => Json::Null,
+            s => Json::Int(s as i64),
+        }
+    }
+}
+
+/// A mutation handed to the writer thread.
+enum WriteOp {
+    Assert { object: String, rule: String },
+    Retract { object: String, rule: String },
+    Save,
+}
+
+struct WriteReq {
+    op: WriteOp,
+    opts: QueryOptions,
+    reply: mpsc::Sender<WriteResp>,
+}
+
+enum WriteResp {
+    Applied { epoch: u64, removed: Option<bool> },
+    Interrupted { reason: String },
+    Saved,
+    NoStore,
+    Failed { error: String },
+}
+
+/// Decrements a counter on drop (connection and query permits).
+struct Permit<'a>(&'a AtomicUsize);
+
+impl<'a> Permit<'a> {
+    /// Acquires one of `max` permits, or `None` when exhausted.
+    fn acquire(counter: &'a AtomicUsize, max: usize) -> Option<Self> {
+        let mut cur = counter.load(Ordering::SeqCst);
+        loop {
+            if cur >= max {
+                return None;
+            }
+            match counter.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return Some(Permit(counter)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Per-connection defaults set with the `set` command; per-request
+/// fields override them.
+#[derive(Debug, Default, Clone)]
+struct ConnState {
+    timeout_ms: Option<u64>,
+    max_steps: Option<u64>,
+    max_models: Option<u64>,
+    threads: Option<u64>,
+    deny_warnings: bool,
+}
+
+/// A bound, not-yet-running server. [`Server::bind`] then
+/// [`Server::run`]; the split exists so callers (and tests) can learn
+/// the OS-chosen port before the accept loop starts.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    kb: ServeKb,
+}
+
+impl Server {
+    /// Binds the listen address and installs the SIGTERM handler. The
+    /// KB is not touched until [`Server::run`].
+    pub fn bind(cfg: ServerConfig, kb: ServeKb) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        install_sigterm();
+        Ok(Server { listener, cfg, kb })
+    }
+
+    /// The actual bound address (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until SIGTERM or a `shutdown` command,
+    /// then drains in-flight requests and the writer queue (fsyncing
+    /// the WAL when a durable store is attached) before returning.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            cfg,
+            mut kb,
+        } = self;
+        listener.set_nonblocking(true)?;
+
+        // Warm every object's least model before the first publish:
+        // snapshots then carry memoised models, and after each mutation
+        // the writer revalidates them incrementally (stratum-local)
+        // instead of readers recomputing from scratch every epoch.
+        let objects: Vec<String> = kb.kb().objects().iter().map(|s| s.to_string()).collect();
+        for o in &objects {
+            let _ = kb.kb_mut().model(o);
+        }
+
+        let shared = Shared {
+            snap: Mutex::new(kb.kb().snapshot()),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            seq: AtomicU64::new(kb.seq().unwrap_or(u64::MAX)),
+        };
+        let (write_tx, write_rx) = mpsc::channel::<WriteReq>();
+        let injector: crossbeam::deque::Injector<TcpStream> = crossbeam::deque::Injector::new();
+
+        std::thread::scope(|s| {
+            let shared = &shared;
+            let injector = &injector;
+            let cfg = &cfg;
+
+            // Single writer: owns the live KB, applies mutations in
+            // arrival order, publishes a snapshot after each one.
+            s.spawn(move || {
+                let stall = std::env::var("OLP_SERVE_WRITE_DELAY_MS")
+                    .ok()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_millis);
+                while let Ok(req) = write_rx.recv() {
+                    if let Some(d) = stall {
+                        // Test knob: a deliberately slow writer must
+                        // not block readers (they only touch the
+                        // publish cell).
+                        std::thread::sleep(d);
+                    }
+                    let resp = apply_write(&mut kb, shared, req.op, &req.opts);
+                    let _ = req.reply.send(resp);
+                }
+                // Channel closed: every worker is gone. Make the WAL
+                // durable before the process exits.
+                if let ServeKb::Durable(d) = &mut kb {
+                    let _ = d.sync();
+                }
+            });
+
+            // Worker pool: one thread per admitted connection slot.
+            for _ in 0..cfg.max_conns.max(1) {
+                let write_tx = write_tx.clone();
+                s.spawn(move || loop {
+                    match injector.steal() {
+                        crossbeam::deque::Steal::Success(stream) => {
+                            handle_conn(stream, shared, &write_tx, cfg);
+                            shared.stats.active_conns.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        _ => {
+                            if shared.shutting_down() {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                });
+            }
+            // Workers hold the only remaining senders; when they exit
+            // the writer sees the channel close and drains.
+            drop(write_tx);
+
+            // Accept loop with admission control.
+            while !shared.shutting_down() {
+                match listener.accept() {
+                    Ok((mut stream, _peer)) => {
+                        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        let active = shared.stats.active_conns.load(Ordering::SeqCst);
+                        if active >= cfg.max_conns.max(1) {
+                            shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+                            let resp = obj(vec![
+                                ("ok", Json::Bool(false)),
+                                ("error", Json::Str("busy".into())),
+                                ("epoch", Json::Int(shared.snapshot().epoch() as i64)),
+                            ]);
+                            let _ = write_line(&mut stream, &resp.render());
+                            continue;
+                        }
+                        shared.stats.active_conns.fetch_add(1, Ordering::SeqCst);
+                        injector.push(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(_) => std::thread::sleep(POLL),
+                }
+            }
+            // Propagate a signal-initiated shutdown to the workers.
+            shared.shutdown.store(true, Ordering::SeqCst);
+        });
+        Ok(())
+    }
+}
+
+/// Applies one mutation on the writer thread and publishes the next
+/// epoch on success.
+fn apply_write(kb: &mut ServeKb, shared: &Shared, op: WriteOp, opts: &QueryOptions) -> WriteResp {
+    let outcome = match &op {
+        WriteOp::Assert { object, rule } => kb
+            .assert_rule_with(object, rule, opts)
+            .map(|ev| ev.map(|()| None)),
+        WriteOp::Retract { object, rule } => kb
+            .retract_rule_with(object, rule, opts)
+            .map(|ev| ev.map(Some)),
+        WriteOp::Save => {
+            return match kb {
+                ServeKb::Durable(d) => match d.save() {
+                    Ok(()) => {
+                        shared.seq.store(d.seq(), Ordering::SeqCst);
+                        WriteResp::Saved
+                    }
+                    Err(e) => WriteResp::Failed {
+                        error: e.to_string(),
+                    },
+                },
+                ServeKb::Plain(_) => WriteResp::NoStore,
+            };
+        }
+    };
+    match outcome {
+        Ok(Eval::Complete(removed)) => {
+            // Refresh memoised models incrementally, then freeze the
+            // new epoch for readers. A retract that matched nothing
+            // left the epoch unchanged; republishing is harmless.
+            kb.kb_mut().revalidate_cached_models();
+            shared.publish(kb.kb().snapshot());
+            if let Some(s) = kb.seq() {
+                shared.seq.store(s, Ordering::SeqCst);
+            }
+            WriteResp::Applied {
+                epoch: kb.kb().epoch(),
+                removed,
+            }
+        }
+        // Interrupted mutations are NOT applied (the KB still answers
+        // exactly as before), so no new epoch is published.
+        Ok(Eval::Interrupted(i)) => WriteResp::Interrupted {
+            reason: i.reason.to_string(),
+        },
+        Err(e) => WriteResp::Failed {
+            error: e.to_string(),
+        },
+    }
+}
+
+/// Serves one connection until EOF, a fatal frame, `shutdown`, or
+/// server drain.
+fn handle_conn(
+    mut stream: TcpStream,
+    shared: &Shared,
+    write_tx: &mpsc::Sender<WriteReq>,
+    cfg: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut conn = ConnState::default();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let mut line = &line[..line.len() - 1];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let text = String::from_utf8_lossy(line);
+            let (resp, close) = dispatch(&text, shared, write_tx, cfg, &mut conn);
+            if write_line(&mut stream, &resp).is_err() || close {
+                return;
+            }
+            if shared.shutting_down() {
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            let resp = error_resp("line too long", shared.snapshot().epoch());
+            let _ = write_line(&mut stream, &resp);
+            return;
+        }
+        if shared.shutting_down() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn error_resp(msg: &str, epoch: u64) -> String {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.to_string())),
+        ("epoch", Json::Int(epoch as i64)),
+    ])
+    .render()
+}
+
+/// Handles one request line; returns the response line and whether the
+/// connection should close afterwards.
+fn dispatch(
+    line: &str,
+    shared: &Shared,
+    write_tx: &mpsc::Sender<WriteReq>,
+    cfg: &ServerConfig,
+    conn: &mut ConnState,
+) -> (String, bool) {
+    // Snapshot first: every response (including errors) reports the
+    // epoch it observed.
+    let snap = shared.snapshot();
+    let epoch = snap.epoch();
+    let req = match Json::parse(line) {
+        Ok(v @ Json::Obj(_)) => v,
+        Ok(_) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return (error_resp("request must be a json object", epoch), false);
+        }
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return (error_resp(&format!("bad json: {e}"), epoch), false);
+        }
+    };
+    let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return (error_resp("missing string field `cmd`", epoch), false);
+    };
+
+    match cmd {
+        "ping" => (
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("epoch", Json::Int(epoch as i64)),
+            ])
+            .render(),
+            false,
+        ),
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", Json::Int(epoch as i64)),
+                ])
+                .render(),
+                true,
+            )
+        }
+        "set" => {
+            apply_set(conn, &req);
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", Json::Int(epoch as i64)),
+                ])
+                .render(),
+                false,
+            )
+        }
+        "stats" => {
+            let st = &shared.stats;
+            (
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("epoch", Json::Int(epoch as i64)),
+                    ("objects", Json::Int(snap.objects().len() as i64)),
+                    ("atoms", Json::Int(snap.world().atoms.len() as i64)),
+                    ("rules", Json::Int(snap.n_rules() as i64)),
+                    (
+                        "conns",
+                        Json::Int(st.active_conns.load(Ordering::SeqCst) as i64),
+                    ),
+                    (
+                        "accepted",
+                        Json::Int(st.accepted.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "queries",
+                        Json::Int(st.queries.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "writes",
+                        Json::Int(st.writes.load(Ordering::Relaxed) as i64),
+                    ),
+                    ("busy", Json::Int(st.busy.load(Ordering::Relaxed) as i64)),
+                    (
+                        "errors",
+                        Json::Int(st.errors.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "uptime_ms",
+                        Json::Int(shared.started.elapsed().as_millis() as i64),
+                    ),
+                    ("seq", shared.seq_json()),
+                ])
+                .render(),
+                false,
+            )
+        }
+        "query" | "truth" | "why" => {
+            let Some(_permit) =
+                Permit::acquire(&shared.stats.active_queries, cfg.max_queries.max(1))
+            else {
+                shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+                return (error_resp("busy", epoch), false);
+            };
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let resp = handle_read(cmd, &snap, &req, conn, cfg);
+            if resp.contains("\"ok\":false") {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            (resp, false)
+        }
+        "assert" | "retract" | "save" => {
+            let opts = build_opts(&snap, conn, &req, cfg);
+            let op = match cmd {
+                "save" => WriteOp::Save,
+                _ => {
+                    let (Some(object), Some(rule)) = (
+                        req.get("object").and_then(Json::as_str),
+                        req.get("rule").and_then(Json::as_str),
+                    ) else {
+                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        return (
+                            error_resp("missing string fields `object` and `rule`", epoch),
+                            false,
+                        );
+                    };
+                    if cmd == "assert" {
+                        WriteOp::Assert {
+                            object: object.to_string(),
+                            rule: rule.to_string(),
+                        }
+                    } else {
+                        WriteOp::Retract {
+                            object: object.to_string(),
+                            rule: rule.to_string(),
+                        }
+                    }
+                }
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if write_tx
+                .send(WriteReq {
+                    op,
+                    opts,
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return (error_resp("writer unavailable", epoch), false);
+            }
+            match reply_rx.recv() {
+                Ok(WriteResp::Applied { epoch, removed }) => {
+                    shared.stats.writes.fetch_add(1, Ordering::Relaxed);
+                    let mut fields =
+                        vec![("ok", Json::Bool(true)), ("epoch", Json::Int(epoch as i64))];
+                    if let Some(r) = removed {
+                        fields.push(("removed", Json::Bool(r)));
+                    }
+                    fields.push(("seq", shared.seq_json()));
+                    (obj(fields).render(), false)
+                }
+                Ok(WriteResp::Interrupted { reason }) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        obj(vec![
+                            ("ok", Json::Bool(false)),
+                            ("error", Json::Str("interrupted".into())),
+                            ("reason", Json::Str(reason)),
+                            ("partial", Json::Bool(true)),
+                            ("epoch", Json::Int(epoch as i64)),
+                        ])
+                        .render(),
+                        false,
+                    )
+                }
+                Ok(WriteResp::Saved) => {
+                    shared.stats.writes.fetch_add(1, Ordering::Relaxed);
+                    (
+                        obj(vec![
+                            ("ok", Json::Bool(true)),
+                            ("epoch", Json::Int(epoch as i64)),
+                            ("seq", shared.seq_json()),
+                        ])
+                        .render(),
+                        false,
+                    )
+                }
+                Ok(WriteResp::NoStore) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        error_resp("no durable store attached (start with --db)", epoch),
+                        false,
+                    )
+                }
+                Ok(WriteResp::Failed { error }) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    (error_resp(&error, epoch), false)
+                }
+                Err(_) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    (error_resp("writer unavailable", epoch), false)
+                }
+            }
+        }
+        other => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            (error_resp(&format!("unknown cmd `{other}`"), epoch), false)
+        }
+    }
+}
+
+fn apply_set(conn: &mut ConnState, req: &Json) {
+    if let Some(v) = req.get("timeout_ms").and_then(Json::as_u64) {
+        conn.timeout_ms = if v == 0 { None } else { Some(v) };
+    }
+    if let Some(v) = req.get("max_steps").and_then(Json::as_u64) {
+        conn.max_steps = if v == 0 { None } else { Some(v) };
+    }
+    if let Some(v) = req.get("max_models").and_then(Json::as_u64) {
+        conn.max_models = if v == 0 { None } else { Some(v) };
+    }
+    if let Some(v) = req.get("threads").and_then(Json::as_u64) {
+        conn.threads = if v == 0 { None } else { Some(v) };
+    }
+    if let Some(v) = req.get("deny_warnings").and_then(Json::as_bool) {
+        conn.deny_warnings = v;
+    }
+}
+
+/// Resolves the effective [`QueryOptions`] for one request: snapshot
+/// defaults ← server default timeout ← connection `set` values ←
+/// per-request fields.
+fn build_opts(snap: &KbSnapshot, conn: &ConnState, req: &Json, cfg: &ServerConfig) -> QueryOptions {
+    let mut o = snap.default_opts();
+    let timeout_ms = req
+        .get("timeout_ms")
+        .and_then(Json::as_u64)
+        .or(conn.timeout_ms);
+    match timeout_ms {
+        Some(0) => {} // explicit 0 = unlimited
+        Some(ms) => o = o.timeout(Duration::from_millis(ms)),
+        None => {
+            if let Some(d) = cfg.default_timeout {
+                o = o.timeout(d);
+            }
+        }
+    }
+    if let Some(v) = req
+        .get("max_steps")
+        .and_then(Json::as_u64)
+        .or(conn.max_steps)
+    {
+        if v > 0 {
+            o = o.max_steps(v);
+        }
+    }
+    if let Some(v) = req
+        .get("max_models")
+        .and_then(Json::as_u64)
+        .or(conn.max_models)
+    {
+        if v > 0 {
+            o = o.max_models(v as usize);
+        }
+    }
+    if let Some(v) = req.get("threads").and_then(Json::as_u64).or(conn.threads) {
+        if v > 0 {
+            o = o.threads((v as usize).min(MAX_CLIENT_THREADS));
+        }
+    }
+    if req
+        .get("deny_warnings")
+        .and_then(Json::as_bool)
+        .unwrap_or(conn.deny_warnings)
+    {
+        o = o.deny_warnings();
+    }
+    o
+}
+
+/// Evaluates a read command against the frozen snapshot. Interrupted
+/// evaluations answer `ok:true` with the sound partial payload plus
+/// `partial:true` and the interrupt reason — the JSON twin of the
+/// CLI's PARTIAL banner.
+fn handle_read(
+    cmd: &str,
+    snap: &KbSnapshot,
+    req: &Json,
+    conn: &ConnState,
+    cfg: &ServerConfig,
+) -> String {
+    let epoch = snap.epoch();
+    let Some(object) = req.get("object").and_then(Json::as_str) else {
+        return error_resp("missing string field `object`", epoch);
+    };
+    let opts = build_opts(snap, conn, req, cfg);
+
+    // Assembles the common response shape: payload under `key`, with
+    // partial/reason only when interrupted.
+    fn finish(epoch: u64, key: &str, ev: Eval<Json>) -> String {
+        let mut fields = vec![("ok", Json::Bool(true)), ("epoch", Json::Int(epoch as i64))];
+        match ev {
+            Eval::Complete(payload) => fields.push((key, payload)),
+            Eval::Interrupted(i) => {
+                fields.push(("partial", Json::Bool(true)));
+                fields.push(("reason", Json::Str(i.reason.to_string())));
+                fields.push((key, i.partial));
+            }
+        }
+        obj(fields).render()
+    }
+
+    let result: Result<String, KbError> = (|| match cmd {
+        "truth" => {
+            let Some(q) = req.get("query").and_then(Json::as_str) else {
+                return Ok(error_resp("missing string field `query`", epoch));
+            };
+            let ev = snap.truth_with(object, q, &opts)?;
+            Ok(finish(epoch, "truth", ev.map(|t| Json::Str(t.to_string()))))
+        }
+        "why" => {
+            let Some(q) = req.get("query").and_then(Json::as_str) else {
+                return Ok(error_resp("missing string field `query`", epoch));
+            };
+            let ev = snap.explain_with(object, q, &opts)?;
+            Ok(finish(epoch, "text", ev.map(Json::Str)))
+        }
+        "query" => {
+            let semantics = req
+                .get("semantics")
+                .and_then(Json::as_str)
+                .unwrap_or("least");
+            match semantics {
+                "least" => {
+                    if let Some(pattern) = req.get("pattern").and_then(Json::as_str) {
+                        let ev = snap.query_with(object, pattern, &opts)?;
+                        Ok(finish(epoch, "answers", ev.map(|a| str_arr(&a))))
+                    } else {
+                        let ev = snap.model_with(object, &opts)?;
+                        Ok(finish(
+                            epoch,
+                            "model",
+                            ev.map(|m| Json::Str(snap.render(&m))),
+                        ))
+                    }
+                }
+                "stable" => {
+                    let ev = snap.stable_with(object, &opts)?;
+                    Ok(finish(
+                        epoch,
+                        "models",
+                        ev.map(|ms| {
+                            Json::Arr(ms.iter().map(|m| Json::Str(snap.render(m))).collect())
+                        }),
+                    ))
+                }
+                "skeptical" => {
+                    let ev = snap.skeptical_with(object, &opts)?;
+                    Ok(finish(
+                        epoch,
+                        "model",
+                        ev.map(|m| Json::Str(snap.render(&m))),
+                    ))
+                }
+                "credulous" => {
+                    let ev = snap.credulous_with(object, &opts)?;
+                    Ok(finish(
+                        epoch,
+                        "literals",
+                        ev.map(|ls| {
+                            Json::Arr(ls.iter().map(|&l| Json::Str(snap.render_glit(l))).collect())
+                        }),
+                    ))
+                }
+                other => Ok(error_resp(&format!("unknown semantics `{other}`"), epoch)),
+            }
+        }
+        _ => unreachable!("caller routes only read commands here"),
+    })();
+    result.unwrap_or_else(|e| error_resp(&e.to_string(), epoch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_kb::{GroundStrategy, KbBuilder};
+    use std::io::{BufRead, BufReader};
+
+    fn penguin_kb() -> Kb {
+        let mut b = KbBuilder::new();
+        b.rules("bird", "bird(penguin). bird(pigeon). fly(X) :- bird(X).")
+            .unwrap();
+        b.isa("pv", "bird");
+        b.rules("pv", "ground_animal(penguin). -fly(X) :- ground_animal(X).")
+            .unwrap();
+        b.build(GroundStrategy::Smart).unwrap()
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        stream: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client { reader, stream }
+        }
+
+        fn send(&mut self, req: &str) -> String {
+            self.stream.write_all(req.as_bytes()).unwrap();
+            self.stream.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        }
+    }
+
+    fn spawn_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let cfg = ServerConfig {
+            max_conns: 4,
+            max_queries: 4,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(cfg, ServeKb::Plain(Box::new(penguin_kb()))).unwrap();
+        let addr = server.local_addr().unwrap();
+        let h = std::thread::spawn(move || server.run().unwrap());
+        (addr, h)
+    }
+
+    #[test]
+    fn golden_protocol_round_trip() {
+        let (addr, h) = spawn_server();
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send(r#"{"cmd":"ping"}"#), r#"{"ok":true,"epoch":0}"#);
+        assert_eq!(
+            c.send(r#"{"cmd":"truth","object":"pv","query":"fly(penguin)"}"#),
+            r#"{"ok":true,"epoch":0,"truth":"false"}"#
+        );
+        assert_eq!(
+            c.send(r#"{"cmd":"query","object":"bird","pattern":"fly(X)"}"#),
+            r#"{"ok":true,"epoch":0,"answers":["X=penguin","X=pigeon"]}"#
+        );
+        assert_eq!(
+            c.send(r#"{"cmd":"assert","object":"bird","rule":"bird(sparrow)."}"#),
+            r#"{"ok":true,"epoch":1,"seq":null}"#
+        );
+        assert_eq!(
+            c.send(r#"{"cmd":"truth","object":"bird","query":"fly(sparrow)"}"#),
+            r#"{"ok":true,"epoch":1,"truth":"true"}"#
+        );
+        assert_eq!(
+            c.send(r#"{"cmd":"retract","object":"bird","rule":"bird(sparrow)."}"#),
+            r#"{"ok":true,"epoch":2,"removed":true,"seq":null}"#
+        );
+        // Errors keep the connection usable.
+        assert!(c.send("not json at all").contains(r#""ok":false"#));
+        assert!(c
+            .send(r#"{"cmd":"save"}"#)
+            .contains("no durable store attached"));
+        assert_eq!(c.send(r#"{"cmd":"ping"}"#), r#"{"ok":true,"epoch":2}"#);
+        c.send(r#"{"cmd":"shutdown"}"#);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn stats_and_set_commands() {
+        let (addr, h) = spawn_server();
+        let mut c = Client::connect(addr);
+        assert_eq!(
+            c.send(r#"{"cmd":"set","timeout_ms":5000}"#),
+            r#"{"ok":true,"epoch":0}"#
+        );
+        let stats = c.send(r#"{"cmd":"stats"}"#);
+        let v = Json::parse(&stats).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("objects").unwrap().as_i64(), Some(2));
+        assert_eq!(v.get("seq").unwrap(), &Json::Null);
+        assert!(v.get("rules").unwrap().as_i64().unwrap() >= 5);
+        c.send(r#"{"cmd":"shutdown"}"#);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_interleave() {
+        let (addr, h) = spawn_server();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    for _ in 0..20 {
+                        let r = c.send(r#"{"cmd":"query","object":"pv","pattern":"fly(X)"}"#);
+                        let v = Json::parse(&r).unwrap();
+                        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+                    }
+                });
+            }
+        });
+        let mut c = Client::connect(addr);
+        c.send(r#"{"cmd":"shutdown"}"#);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,203 @@
+//! `olp-workload` — standalone load generator for `olp serve`.
+//!
+//! ```text
+//! olp-workload --addr HOST:PORT [FLAGS]        drive an already-running server
+//! olp-workload --server-bin PATH [FLAGS]       spawn `PATH serve` on a generated
+//!                                              mutation-stream program, drive it,
+//!                                              shut it down
+//! flags:
+//!   --conns N          concurrent connections (default 4)
+//!   --secs S           run length in seconds, fractions allowed (default 2)
+//!   --write-ratio F    fraction of ops that mutate (default 0.1)
+//!   --seed N           RNG seed (default 42)
+//!   --n-base N         base ancestor-chain length (default 64)
+//!   --strict           exit 1 unless ops > 0, errors == 0, and no
+//!                      epoch regression was observed (the CI smoke gate)
+//! ```
+//!
+//! Prints one JSON report object to stdout; the human summary goes to
+//! stderr so pipelines can consume the JSON directly.
+
+use olp_workload::loadgen::{run_load, LoadCfg};
+use olp_workload::{mutation_stream, MutationCfg};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+struct SpawnedServer {
+    child: Child,
+    addr: SocketAddr,
+    _program: tempfile::TempPath,
+}
+
+/// Minimal scoped temp-file helper (the container has no tempfile
+/// crate): the file is deleted when the path guard drops.
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+fn spawn_server(bin: &str, n_base: usize, seed: u64) -> SpawnedServer {
+    let (base, _) = mutation_stream(
+        &MutationCfg {
+            n_base,
+            n_mutations: 0,
+            ..MutationCfg::default()
+        },
+        seed,
+    );
+    let program = format!("module main {{\n{base}}}\n");
+    let path = std::env::temp_dir().join(format!("olp_workload_{}_{seed}.olp", std::process::id()));
+    if std::fs::write(&path, program).is_err() {
+        die(&format!("cannot write program file {}", path.display()));
+    }
+    let guard = tempfile::TempPath(path.clone());
+    let mut child = match Command::new(bin)
+        .arg("serve")
+        .arg(&path)
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => die(&format!("cannot spawn {bin}: {e}")),
+    };
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(a) = line.strip_prefix("listening on ") {
+                    match a.trim().parse() {
+                        Ok(addr) => break addr,
+                        Err(_) => die(&format!("unparseable listen address `{a}`")),
+                    }
+                }
+            }
+            _ => die("server exited before printing its listen address"),
+        }
+    };
+    // Keep draining stdout in the background so the server never
+    // blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    SpawnedServer {
+        child,
+        addr,
+        _program: guard,
+    }
+}
+
+fn shutdown_server(mut s: SpawnedServer) {
+    if let Ok(mut stream) = TcpStream::connect(s.addr) {
+        let _ = stream.write_all(b"{\"cmd\":\"shutdown\"}\n");
+        let mut line = String::new();
+        let _ = BufReader::new(&stream).read_line(&mut line);
+    }
+    let _ = s.child.wait();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<SocketAddr> = None;
+    let mut server_bin: Option<String> = None;
+    let mut cfg = LoadCfg::default();
+    let mut strict = false;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{} requires a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                let v = val(&mut i);
+                addr = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| die(&format!("bad --addr `{v}`"))),
+                );
+            }
+            "--server-bin" => server_bin = Some(val(&mut i)),
+            "--conns" => {
+                cfg.conns = val(&mut i).parse().unwrap_or_else(|_| die("bad --conns"));
+            }
+            "--secs" => {
+                let s: f64 = val(&mut i).parse().unwrap_or_else(|_| die("bad --secs"));
+                cfg.duration = Duration::from_secs_f64(s.max(0.0));
+            }
+            "--write-ratio" => {
+                cfg.write_ratio = val(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --write-ratio"));
+            }
+            "--seed" => {
+                cfg.seed = val(&mut i).parse().unwrap_or_else(|_| die("bad --seed"));
+            }
+            "--n-base" => {
+                cfg.n_base = val(&mut i).parse().unwrap_or_else(|_| die("bad --n-base"));
+            }
+            "--strict" => strict = true,
+            other => die(&format!("unknown flag `{other}` (see the crate docs)")),
+        }
+        i += 1;
+    }
+    let spawned = match (&addr, &server_bin) {
+        (Some(_), Some(_)) => die("--addr and --server-bin are mutually exclusive"),
+        (None, None) => die("one of --addr or --server-bin is required"),
+        (Some(_), None) => None,
+        (None, Some(bin)) => Some(spawn_server(bin, cfg.n_base, cfg.seed)),
+    };
+    let target = addr.unwrap_or_else(|| spawned.as_ref().expect("spawned").addr);
+
+    let report = run_load(target, &cfg);
+
+    if let Some(s) = spawned {
+        shutdown_server(s);
+    }
+
+    eprintln!("{}", report.summary());
+    println!(
+        "{{\"conns\": {}, \"secs\": {:.3}, \"write_ratio\": {}, \"seed\": {}, \
+         \"ops\": {}, \"reads\": {}, \"writes\": {}, \"busy\": {}, \"errors\": {}, \
+         \"epoch_regressions\": {}, \"throughput_ops_per_sec\": {:.1}, \
+         \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}}}",
+        cfg.conns,
+        report.elapsed.as_secs_f64(),
+        cfg.write_ratio,
+        cfg.seed,
+        report.ops,
+        report.reads,
+        report.writes,
+        report.busy,
+        report.errors,
+        report.epoch_regressions,
+        report.throughput(),
+        report.latency_us(0.5),
+        report.latency_us(0.95),
+        report.latency_us(0.99),
+        report.max_latency_us(),
+    );
+
+    if strict && (report.ops == 0 || report.errors > 0 || report.epoch_regressions > 0) {
+        eprintln!(
+            "strict gate FAILED: ops={} errors={} epoch_regressions={}",
+            report.ops, report.errors, report.epoch_regressions
+        );
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,8 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use olp_core::{BodyItem, CmpOp, Literal, OrderedProgram, Rule, Sign, Term, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,281 @@
+//! Load generator for the `olp serve` TCP protocol.
+//!
+//! Drives an already-listening server with `conns` concurrent
+//! connections issuing a seeded mix of reads (`truth` queries over the
+//! [`super::mutation_stream`] ancestor chain) and writes
+//! (`assert`/`retract` of `parent` edges, connection-unique so streams
+//! never collide), and reports throughput plus latency percentiles.
+//! The client is pure `std::net`; responses are single-line JSON
+//! checked structurally (an `"ok":true` prefix and a monotone `epoch`
+//! field), so the generator has no dependency on the server crate.
+//!
+//! Used by the `olp-workload` binary (standalone runs and the CI
+//! smoke) and by the B12 section of the experiments binary
+//! (`BENCH_server.json`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Parameters for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadCfg {
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Fraction of operations that are writes (`0.0` = read-only).
+    pub write_ratio: f64,
+    /// RNG seed; connection `i` derives its stream from `seed + i`.
+    pub seed: u64,
+    /// Object queries and mutations target (the mutation-stream base
+    /// program serves `main`).
+    pub object: String,
+    /// Size of the served base ancestor chain; reads probe
+    /// `anc(a0, a{1..n_base})`.
+    pub n_base: usize,
+}
+
+impl Default for LoadCfg {
+    fn default() -> Self {
+        Self {
+            conns: 4,
+            duration: Duration::from_secs(2),
+            write_ratio: 0.1,
+            seed: 42,
+            object: "main".to_string(),
+            n_base: 64,
+        }
+    }
+}
+
+/// Aggregated outcome of a [`run_load`] run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Total operations that got a response.
+    pub ops: u64,
+    /// Read operations (`truth` queries).
+    pub reads: u64,
+    /// Applied write operations (`assert`/`retract` acknowledged ok).
+    pub writes: u64,
+    /// `busy` responses (admission control), not counted as errors.
+    pub busy: u64,
+    /// Protocol errors: unparseable frames, `ok:false` responses other
+    /// than `busy`, or connection failures mid-run.
+    pub errors: u64,
+    /// Responses whose `epoch` went backwards on one connection — a
+    /// snapshot-isolation violation; must stay 0.
+    pub epoch_regressions: u64,
+    /// Wall-clock time actually spent.
+    pub elapsed: Duration,
+    /// Per-op latencies, sorted ascending, microseconds.
+    latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Operations per second over the run.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The `q`-quantile latency in microseconds (`0.5` = p50); 0 when
+    /// nothing was measured.
+    pub fn latency_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_us[idx]
+    }
+
+    /// Maximum observed latency in microseconds.
+    pub fn max_latency_us(&self) -> u64 {
+        self.latencies_us.last().copied().unwrap_or(0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ops in {:.2?} ({:.0} op/s): {} reads, {} writes, {} busy, {} errors; \
+             p50 {}us p95 {}us p99 {}us max {}us",
+            self.ops,
+            self.elapsed,
+            self.throughput(),
+            self.reads,
+            self.writes,
+            self.busy,
+            self.errors,
+            self.latency_us(0.5),
+            self.latency_us(0.95),
+            self.latency_us(0.99),
+            self.max_latency_us(),
+        )
+    }
+}
+
+/// Extracts the integer value of `"key":N` from a single-line JSON
+/// response without a full parser.
+fn field_u64(resp: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = resp.find(&needle)? + needle.len();
+    let rest = &resp[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// What one connection contributes back to the aggregate.
+#[derive(Debug, Default)]
+struct ConnOutcome {
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    busy: u64,
+    errors: u64,
+    epoch_regressions: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn drive_conn(addr: SocketAddr, cfg: &LoadCfg, conn_id: usize, deadline: Instant) -> ConnOutcome {
+    let mut out = ConnOutcome::default();
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    });
+    let mut writer = stream;
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(conn_id as u64));
+    // Edges this connection asserted and has not yet retracted.
+    let mut live: Vec<String> = Vec::new();
+    let mut last_epoch: u64 = 0;
+    let mut k = 0usize;
+    while Instant::now() < deadline {
+        let is_write = rng.gen_bool(cfg.write_ratio.clamp(0.0, 1.0));
+        let req = if is_write {
+            if !live.is_empty() && rng.gen_bool(0.5) {
+                let rule = live.swap_remove(rng.gen_range(0..live.len()));
+                format!(
+                    "{{\"cmd\":\"retract\",\"object\":\"{}\",\"rule\":\"{rule}\"}}",
+                    cfg.object
+                )
+            } else {
+                let rule = format!("parent(lc{conn_id}_{k}_a, lc{conn_id}_{k}_b).");
+                k += 1;
+                live.push(rule.clone());
+                format!(
+                    "{{\"cmd\":\"assert\",\"object\":\"{}\",\"rule\":\"{rule}\"}}",
+                    cfg.object
+                )
+            }
+        } else {
+            let j = rng.gen_range(1..cfg.n_base.max(2));
+            format!(
+                "{{\"cmd\":\"truth\",\"object\":\"{}\",\"query\":\"anc(a0, a{j})\"}}",
+                cfg.object
+            )
+        };
+        let start = Instant::now();
+        if writer.write_all(req.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            out.errors += 1;
+            return out;
+        }
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(n) if n > 0 => {}
+            _ => {
+                out.errors += 1;
+                return out;
+            }
+        }
+        let lat = start.elapsed().as_micros() as u64;
+        out.ops += 1;
+        out.latencies_us.push(lat);
+        let resp = resp.trim_end();
+        if resp.starts_with("{\"ok\":true") {
+            if is_write {
+                out.writes += 1;
+            } else {
+                out.reads += 1;
+            }
+        } else if resp.contains("\"error\":\"busy\"") {
+            out.busy += 1;
+        } else {
+            out.errors += 1;
+        }
+        match field_u64(resp, "epoch") {
+            Some(e) if e < last_epoch => out.epoch_regressions += 1,
+            Some(e) => last_epoch = e,
+            None => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// Runs the mixed read/write workload against a listening server and
+/// aggregates the per-connection outcomes. Latencies are merged and
+/// sorted; `epoch_regressions` must come back 0 on a correct server.
+pub fn run_load(addr: SocketAddr, cfg: &LoadCfg) -> LoadReport {
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.conns.max(1))
+            .map(|i| s.spawn(move || drive_conn(addr, cfg, i, deadline)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let mut report = LoadReport {
+        elapsed: started.elapsed(),
+        ..LoadReport::default()
+    };
+    for o in outcomes {
+        report.ops += o.ops;
+        report.reads += o.reads;
+        report.writes += o.writes;
+        report.busy += o.busy;
+        report.errors += o.errors;
+        report.epoch_regressions += o.epoch_regressions;
+        report.latencies_us.extend(o.latencies_us);
+    }
+    report.latencies_us.sort_unstable();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_and_percentiles() {
+        assert_eq!(
+            field_u64(r#"{"ok":true,"epoch":17,"truth":"true"}"#, "epoch"),
+            Some(17)
+        );
+        assert_eq!(field_u64(r#"{"ok":false}"#, "epoch"), None);
+        let r = LoadReport {
+            ops: 4,
+            latencies_us: vec![10, 20, 30, 100],
+            elapsed: Duration::from_secs(1),
+            ..LoadReport::default()
+        };
+        assert_eq!(r.latency_us(0.0), 10);
+        assert_eq!(r.latency_us(1.0), 100);
+        assert_eq!(r.max_latency_us(), 100);
+        assert!((r.throughput() - 4.0).abs() < 1e-6);
+    }
+}

@@ -15,6 +15,10 @@
 //!                                          FILE; every mutation is WAL-logged
 //!        --durability off|commit|batched   fsync policy for --db (default commit)
 //!        save [DIR] / load DIR             snapshot now / switch to another database
+//! olp serve [FILE] [FLAGS]                 multi-client TCP server (see SERVER.md):
+//!        --listen ADDR                     bind address (default 127.0.0.1:7171; :0 = any port)
+//!        --max-conns N / --max-queries N   admission control (connections / queries in flight)
+//!        --db DIR / --durability MODE      serve a durable database (crash recovery included)
 //! common flags:
 //!        --exhaustive                      use the reference grounder (default: smart)
 //!        --no-decomp                       disable component-wise evaluation
@@ -61,6 +65,14 @@ fn usage() -> ExitCode {
              stats (evaluation plan + statistics) | assert <rule> |
              retract <rule> (incremental re-grounding, timed) |
              save [DIR] | load DIR | <query> | quit    (also: olp --interactive FILE)
+  olp serve  [FILE] [--listen ADDR] [--max-conns N] [--max-queries N]
+             [--db DIR] [--durability MODE] [--timeout SECS]
+             multi-client TCP server speaking one JSON object per line
+             (commands: query | truth | why | assert | retract | save |
+             stats | set | ping | shutdown — see SERVER.md); reads are
+             snapshot-isolated, writes serialise through one writer,
+             every response carries the epoch it was evaluated at;
+             SIGTERM drains in-flight requests and fsyncs the WAL
 persistence (see docs/DURABILITY.md):
   --db DIR           durable session: open the database at DIR — snapshot
                      decoded and WAL replayed, torn tails truncated — or,
@@ -108,6 +120,12 @@ struct Limits {
     db: Option<String>,
     /// `--durability MODE`: fsync policy for the database.
     durability: Durability,
+    /// `serve --listen ADDR`: bind address for the server.
+    listen: String,
+    /// `serve --max-conns N`: concurrent-connection cap.
+    max_conns: usize,
+    /// `serve --max-queries N`: in-flight evaluation cap.
+    max_queries: usize,
 }
 
 impl Default for Limits {
@@ -123,6 +141,9 @@ impl Default for Limits {
             json: false,
             db: None,
             durability: Durability::OnCommit,
+            listen: "127.0.0.1:7171".to_string(),
+            max_conns: 64,
+            max_queries: 16,
         }
     }
 }
@@ -179,6 +200,25 @@ impl Limits {
                 _ => return Err(format!("--format: `{val}` unsupported (text or json)")),
             },
             "db" => self.db = Some(val.to_string()),
+            "listen" => self.listen = val.to_string(),
+            "max-conns" => {
+                let n: usize = val
+                    .parse()
+                    .map_err(|_| format!("--max-conns: `{val}` is not a positive integer"))?;
+                if n == 0 {
+                    return Err(format!("--max-conns: `{val}` must be at least 1"));
+                }
+                self.max_conns = n;
+            }
+            "max-queries" => {
+                let n: usize = val
+                    .parse()
+                    .map_err(|_| format!("--max-queries: `{val}` is not a positive integer"))?;
+                if n == 0 {
+                    return Err(format!("--max-queries: `{val}` must be at least 1"));
+                }
+                self.max_queries = n;
+            }
             "durability" => {
                 self.durability = match val {
                     "off" => Durability::Off,
@@ -881,6 +921,64 @@ fn cmd_repl(path: Option<&str>, exhaustive: bool, limits: &Limits) -> CmdResult 
     }
 }
 
+/// `olp serve`: wraps the KB (plain from FILE, or durable from `--db`)
+/// in an [`olp_server::Server`] and blocks until SIGTERM or a client's
+/// `shutdown` command. Prints one `listening on ADDR` line once bound
+/// so callers using `--listen 127.0.0.1:0` can learn the chosen port.
+fn cmd_serve(path: Option<&str>, exhaustive: bool, limits: &Limits) -> CmdResult {
+    use ordered_logic::server::{ServeKb, Server, ServerConfig};
+    use std::io::Write;
+    let kb = match (&limits.db, path) {
+        (Some(db), _) if Db::exists(std::path::Path::new(db)) => {
+            let (mut d, report) = open_db(db, limits)?;
+            println!("{}", recovery_line(db, &d, &report));
+            if let Some(p) = path {
+                println!("note: database {db} already exists; {p} not re-read");
+            }
+            d.kb_mut().set_threads(limits.threads);
+            d.kb_mut().set_morsel_weight(limits.morsel);
+            ServeKb::Durable(Box::new(d))
+        }
+        (Some(db), Some(p)) => {
+            let kb = load_repl_kb(p, exhaustive, limits)?;
+            let d = DurableKb::create(std::path::Path::new(db), kb, limits.durability)
+                .map_err(|e| CliFail::Msg(format!("cannot create database {db}: {e}")))?;
+            println!("created database {db} from {p}");
+            ServeKb::Durable(Box::new(d))
+        }
+        (Some(db), None) => {
+            return Err(CliFail::Msg(format!(
+                "cannot open database {db}: no database there and no FILE to create one from"
+            )))
+        }
+        (None, Some(p)) => {
+            let mut kb = load_repl_kb(p, exhaustive, limits)?;
+            kb.set_threads(limits.threads);
+            kb.set_morsel_weight(limits.morsel);
+            ServeKb::Plain(Box::new(kb))
+        }
+        (None, None) => return Err(CliFail::Msg("serve: FILE or --db DIR required".to_string())),
+    };
+    let cfg = ServerConfig {
+        listen: limits.listen.clone(),
+        max_conns: limits.max_conns,
+        max_queries: limits.max_queries,
+        default_timeout: limits.timeout,
+    };
+    let server = Server::bind(cfg, kb)
+        .map_err(|e| CliFail::Msg(format!("cannot bind {}: {e}", limits.listen)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliFail::Msg(format!("cannot resolve bound address: {e}")))?;
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+    server
+        .run()
+        .map_err(|e| CliFail::Msg(format!("server failed: {e}")))?;
+    println!("server stopped");
+    Ok(false)
+}
+
 /// Hidden subcommand driving the crash-injection harness:
 /// `olp crash-worker DIR SEED N_OPS` opens (or creates) the database at
 /// DIR and applies the deterministic [`olp_workload::mutation_stream`]
@@ -1053,6 +1151,9 @@ fn main() -> ExitCode {
                     | "format"
                     | "db"
                     | "durability"
+                    | "listen"
+                    | "max-conns"
+                    | "max-queries"
             ) {
                 let val = match inline_val {
                     Some(v) => v,
@@ -1112,6 +1213,8 @@ fn main() -> ExitCode {
         ),
         ["repl", file] => cmd_repl(Some(file), exhaustive, &limits),
         ["repl"] => cmd_repl(None, exhaustive, &limits),
+        ["serve", file] => cmd_serve(Some(file), exhaustive, &limits),
+        ["serve"] => cmd_serve(None, exhaustive, &limits),
         [file] if flags.contains(&"--interactive") => cmd_repl(Some(file), exhaustive, &limits),
         // Internal: driven by the crash-injection harness
         // (tests/durability.rs); deliberately absent from usage().

@@ -24,6 +24,7 @@
 //! | [`transform`] | `OV`/`EV`/`3V` and the direct semantics of negative programs |
 //! | [`kb`] | knowledge-base layer: objects, isa, relations, queries |
 //! | [`store`] | durability: checksummed snapshots, write-ahead log, crash recovery |
+//! | [`server`] | `olp serve`: concurrent TCP server with snapshot-isolated reads |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use olp_ground as ground;
 pub use olp_kb as kb;
 pub use olp_parser as parser;
 pub use olp_semantics as semantics;
+pub use olp_server as server;
 pub use olp_store as store;
 pub use olp_transform as transform;
 
