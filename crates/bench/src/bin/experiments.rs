@@ -566,10 +566,12 @@ fn main() {
 
     // B9: incremental maintenance — delta grounding + stratum-local
     // recomputation vs a full smart reground on every mutation, on the
-    // mutation_stream ancestor-chain workload. Differential check
-    // (identical rendered models on both paths after every mutation)
-    // plus the ≥5x acceptance gate on the single-fact assert at the
-    // largest chain, emitted as BENCH_incremental.json.
+    // mutation_stream ancestor-chain workload, plus the flat-arena
+    // ablation (patched arenas + flat delta revalidation vs dropping
+    // the arena cache on every commit and reflattening from scratch).
+    // Differential check (identical rendered models on all paths after
+    // every mutation) plus the ≥5x acceptance gate on the single-fact
+    // assert at the largest chain, emitted as BENCH_incremental.json.
     {
         fn stream_cfg(n_base: usize) -> MutationCfg {
             MutationCfg {
@@ -608,10 +610,17 @@ fn main() {
             best
         }
         // Replays the whole mutation stream with a least-model read
-        // after every step (the end-to-end maintenance loop).
-        fn replay(kb: &mut Kb, muts: &[Mutation]) -> Duration {
+        // after every step (the end-to-end maintenance loop). With
+        // `reflatten` the compiled-arena cache is dropped before every
+        // mutation, reproducing the pre-patching commit (which cleared
+        // it wholesale): each post-step read then pays a from-scratch
+        // flatten instead of an in-place `FlatView::apply_delta` splice.
+        fn replay(kb: &mut Kb, muts: &[Mutation], reflatten: bool) -> Duration {
             let t = Instant::now();
             for m in muts {
+                if reflatten {
+                    kb.clear_flat_cache();
+                }
                 match m {
                     Mutation::Assert { object, rule } => {
                         kb.assert_rule(object, rule).unwrap();
@@ -645,16 +654,25 @@ fn main() {
             let t_full = best_assert(&mut full, EDGE, false);
             let t_inc_q = best_assert(&mut inc, EDGE, true);
             let t_full_q = best_assert(&mut full, EDGE, true);
-            let t_inc_s = replay(&mut inc, &muts);
-            let t_full_s = replay(&mut full, &muts);
+            let t_inc_s = replay(&mut inc, &muts, false);
+            let t_full_s = replay(&mut full, &muts, false);
             assert_eq!(rendered(&mut inc), rendered(&mut full), "n={n} stream");
+            // Arena-maintenance ablation: same incremental machinery,
+            // but the compiled arenas are dropped (pre-patching commit)
+            // instead of spliced in place. Models must stay identical.
+            let mut reflat = build_kb(n, true);
+            let t_reflat_s = replay(&mut reflat, &muts, true);
+            assert_eq!(rendered(&mut inc), rendered(&mut reflat), "n={n} reflat");
             let speedup = t_full.as_secs_f64() / t_inc.as_secs_f64().max(1e-9);
             let q_speedup = t_full_q.as_secs_f64() / t_inc_q.as_secs_f64().max(1e-9);
             let s_speedup = t_full_s.as_secs_f64() / t_inc_s.as_secs_f64().max(1e-9);
+            let flat_speedup = t_reflat_s.as_secs_f64() / t_inc_s.as_secs_f64().max(1e-9);
             println!(
                 "B9 incremental n={n}: assert {t_inc:?} vs full refresh {t_full:?} ({speedup:.1}x), \
                  assert+query {t_inc_q:?} vs {t_full_q:?} ({q_speedup:.1}x), \
-                 {}-step stream {t_inc_s:?} vs {t_full_s:?} ({s_speedup:.1}x), models identical{}",
+                 {}-step stream {t_inc_s:?} vs {t_full_s:?} ({s_speedup:.1}x), \
+                 patched arenas vs clear+reflatten {t_inc_s:?} vs {t_reflat_s:?} ({flat_speedup:.1}x), \
+                 models identical{}",
                 muts.len(),
                 if n == largest && speedup >= 5.0 {
                     " — ≥5x gate: PASS"
@@ -668,7 +686,8 @@ fn main() {
                 "  {{\"n_base\": {n}, \"n_mutations\": {}, \
                  \"assert_incremental_ns\": {}, \"assert_full_refresh_ns\": {}, \"assert_speedup\": {speedup:.2}, \
                  \"assert_query_incremental_ns\": {}, \"assert_query_full_refresh_ns\": {}, \"assert_query_speedup\": {q_speedup:.2}, \
-                 \"stream_incremental_ns\": {}, \"stream_full_refresh_ns\": {}, \"stream_speedup\": {s_speedup:.2}}}",
+                 \"stream_incremental_ns\": {}, \"stream_full_refresh_ns\": {}, \"stream_speedup\": {s_speedup:.2}, \
+                 \"stream_flat_patched_ns\": {}, \"stream_flat_reflatten_ns\": {}, \"stream_flat_speedup\": {flat_speedup:.2}}}",
                 muts.len(),
                 t_inc.as_nanos(),
                 t_full.as_nanos(),
@@ -676,6 +695,8 @@ fn main() {
                 t_full_q.as_nanos(),
                 t_inc_s.as_nanos(),
                 t_full_s.as_nanos(),
+                t_inc_s.as_nanos(),
+                t_reflat_s.as_nanos(),
             ));
         }
         let json = format!(

@@ -13,17 +13,33 @@
 //! reported as SKIP and the exit code stays 0 (a 1-core box cannot
 //! measure parallel overhead honestly), mirroring the BENCH_parallel
 //! gate convention. Set `OLP_PERF_SMOKE_FORCE=1` to assert anyway.
+//!
+//! A second, single-threaded case guards the **mutation path**: a
+//! mutation stream replayed with a model read after every step, with
+//! arenas maintained in place (`FlatView::apply_delta` + flat delta
+//! revalidation) vs the pre-patching behaviour of dropping the arena
+//! cache on every commit and reflattening from scratch. The patched
+//! path must not be slower than clear+reflatten (small tolerance for
+//! timer noise); it needs no second core, so it is asserted on every
+//! host.
 
 use olp_core::{CompId, World};
 use olp_ground::{ground_smart, GroundConfig, GroundProgram};
+use olp_kb::{GroundStrategy, Kb, KbBuilder};
+use olp_parser::parse_program;
 use olp_semantics::{flatten, least_model_flat, least_model_parallel, View};
-use olp_workload::{ancestor, GraphShape};
+use olp_workload::{ancestor, mutation_stream, GraphShape, Mutation, MutationCfg};
 use std::time::{Duration, Instant};
 
 const N: usize = 220;
 const EDGES: usize = 660;
 /// Allowed 2-thread overhead over the 1-thread run.
 const MAX_RATIO: f64 = 1.15;
+/// Base chain length for the mutation-path case.
+const MUT_N_BASE: usize = 128;
+/// Allowed patched-arena overhead over clear+reflatten: patching may
+/// win big or tie, it must never regress the mutation path.
+const MAX_MUT_RATIO: f64 = 1.10;
 
 fn build(threads: usize) -> (World, GroundProgram) {
     let mut w = World::new();
@@ -61,6 +77,62 @@ fn end_to_end(threads: usize) -> (Duration, String) {
     (best, model)
 }
 
+/// A warm single-object KB over the mutation-stream base chain.
+fn build_mut_kb() -> Kb {
+    let (base, _) = mutation_stream(
+        &MutationCfg {
+            n_base: MUT_N_BASE,
+            ..MutationCfg::default()
+        },
+        7,
+    );
+    let mut w = World::new();
+    let prog = parse_program(&mut w, &base).expect("generated program parses");
+    let mut kb = KbBuilder::from_parts(w, prog)
+        .build_with(GroundStrategy::Smart, &GroundConfig::default())
+        .expect("chain programs ground");
+    kb.set_threads(1);
+    let _ = kb.model("main").expect("main exists");
+    kb
+}
+
+/// Replays the stream with a model read per step; `reflatten` drops
+/// the compiled-arena cache before every mutation (the pre-patching
+/// commit behaviour). Returns best-of-3 time and the final model.
+fn mutation_path(reflatten: bool) -> (Duration, String) {
+    let (_, muts) = mutation_stream(
+        &MutationCfg {
+            n_base: MUT_N_BASE,
+            ..MutationCfg::default()
+        },
+        7,
+    );
+    let mut best = Duration::MAX;
+    let mut model = String::new();
+    for _ in 0..3 {
+        let mut kb = build_mut_kb();
+        let t = Instant::now();
+        for m in &muts {
+            if reflatten {
+                kb.clear_flat_cache();
+            }
+            match m {
+                Mutation::Assert { object, rule } => {
+                    kb.assert_rule(object, rule).expect("assert grounds");
+                }
+                Mutation::Retract { object, rule } => {
+                    kb.retract_rule(object, rule).expect("retract grounds");
+                }
+            }
+            let _ = kb.model(m.object()).expect("object exists");
+        }
+        best = best.min(t.elapsed());
+        let m = kb.model("main").expect("main exists").clone();
+        model = kb.render(&m);
+    }
+    (best, model)
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (t1, m1) = end_to_end(1);
@@ -70,6 +142,29 @@ fn main() {
     println!(
         "perf-smoke ancestor N={N} E={EDGES}: 1t {t1:?}, 2t {t2:?} ({ratio:.2}x), models identical"
     );
+
+    // Mutation path: patched arenas vs clear+reflatten. Differential
+    // and timing checks are both host-independent (single-threaded).
+    let (t_patched, m_patched) = mutation_path(false);
+    let (t_reflat, m_reflat) = mutation_path(true);
+    assert_eq!(
+        m_patched, m_reflat,
+        "final model differs between patched and reflattened arenas"
+    );
+    let mut_ratio = t_patched.as_secs_f64() / t_reflat.as_secs_f64().max(1e-9);
+    println!(
+        "perf-smoke mutation n_base={MUT_N_BASE}: patched {t_patched:?} vs \
+         clear+reflatten {t_reflat:?} ({mut_ratio:.2}x), models identical"
+    );
+    if mut_ratio > MAX_MUT_RATIO {
+        eprintln!(
+            "perf-smoke: FAIL — patched-arena revalidation took {mut_ratio:.2}x the \
+             clear+reflatten time (limit {MAX_MUT_RATIO}); the mutation path has regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("perf-smoke: mutation-path ratio {mut_ratio:.2} within {MAX_MUT_RATIO}");
+
     let force = std::env::var("OLP_PERF_SMOKE_FORCE").is_ok_and(|v| v == "1");
     if host_cores < 2 && !force {
         println!(

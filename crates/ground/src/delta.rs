@@ -689,6 +689,128 @@ impl DeltaGrounder {
     }
 }
 
+/// The exact rule-level difference between two ground programs — what a
+/// mutation through [`DeltaGrounder`] actually changed, expressed as
+/// instance ids per program.
+///
+/// [`GroundProgram::new`] canonicalises `rules`: sorted by
+/// `(comp, head, body)` and deduplicated. The programs before and after
+/// a mutation are therefore two sorted sequences over the same key, and
+/// the difference falls out of a single linear merge — no hashing, no
+/// cloning. Retained rules keep their relative order on both sides,
+/// which is what lets `FlatView::apply_delta` splice arenas instead of
+/// rebuilding them.
+#[derive(Debug, Clone, Default)]
+pub struct GroundDelta {
+    /// Indices into the *new* program's rules absent from the old one.
+    pub added: Vec<u32>,
+    /// Indices into the *old* program's rules absent from the new one.
+    pub removed: Vec<u32>,
+}
+
+impl GroundDelta {
+    /// Computes the delta between two canonicalised ground programs by
+    /// one sorted merge over `(comp, head, body)`.
+    pub fn between(old: &GroundProgram, new: &GroundProgram) -> Self {
+        use std::cmp::Ordering;
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.rules.len() && j < new.rules.len() {
+            let a = &old.rules[i];
+            let b = &new.rules[j];
+            match (a.comp, a.head, &a.body).cmp(&(b.comp, b.head, &b.body)) {
+                Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                Ordering::Less => {
+                    removed.push(i as u32);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    added.push(j as u32);
+                    j += 1;
+                }
+            }
+        }
+        while i < old.rules.len() {
+            removed.push(i as u32);
+            i += 1;
+        }
+        while j < new.rules.len() {
+            added.push(j as u32);
+            j += 1;
+        }
+        GroundDelta { added, removed }
+    }
+
+    /// Whether the two programs have identical rule sets.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Sorted, deduplicated indices of every atom occurring in a
+    /// changed rule (head or body) — the seed set for dirty-stratum
+    /// revalidation.
+    pub fn touched_atoms(&self, old: &GroundProgram, new: &GroundProgram) -> Vec<usize> {
+        let mut touched = Vec::new();
+        {
+            let mut note = |r: &GroundRule| {
+                touched.push(r.head.atom().index());
+                for &b in r.body.iter() {
+                    touched.push(b.atom().index());
+                }
+            };
+            for &i in &self.removed {
+                note(&old.rules[i as usize]);
+            }
+            for &j in &self.added {
+                note(&new.rules[j as usize]);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Restricts the delta to the view of component `c`: the added
+    /// indices (into the new program) and removed indices (into the
+    /// old) whose rules are visible from `c` per [`Order::in_view`].
+    pub fn for_view(
+        &self,
+        old: &GroundProgram,
+        new: &GroundProgram,
+        c: CompId,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let added = self
+            .added
+            .iter()
+            .copied()
+            .filter(|&j| new.order.in_view(c, new.rules[j as usize].comp))
+            .collect();
+        let removed = self
+            .removed
+            .iter()
+            .copied()
+            .filter(|&i| old.order.in_view(c, old.rules[i as usize].comp))
+            .collect();
+        (added, removed)
+    }
+
+    /// Whether any changed rule is visible from component `c` — the
+    /// per-`CompId` invalidation test for cached arenas and models.
+    pub fn affects_view(&self, old: &GroundProgram, new: &GroundProgram, c: CompId) -> bool {
+        self.added
+            .iter()
+            .any(|&j| new.order.in_view(c, new.rules[j as usize].comp))
+            || self
+                .removed
+                .iter()
+                .any(|&i| old.order.in_view(c, old.rules[i as usize].comp))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +996,46 @@ mod tests {
         let n = p.components[comp.index()].rules.len();
         p.components[comp.index()].rules.remove(n - 1);
         assert_matches_scratch(&mut w, &p, &gp);
+    }
+
+    #[test]
+    fn ground_delta_is_exact_and_view_filtered() {
+        let (mut w, mut p, mut g, gp0) = setup(
+            "module c2 { bird(tweety). fly(X) :- bird(X). }
+             module c1 < c2 { penguin(opus). }",
+        );
+        let c1 = p.component_by_name(w.syms.intern("c1")).unwrap();
+        let c2 = p.component_by_name(w.syms.intern("c2")).unwrap();
+        let r = parse_rule(&mut w, "bird(opus).").unwrap();
+        let (_, gp1) = g.assert_rule(&mut w, c2, &r, &Budget::unlimited()).unwrap();
+        p.add_rule(c2, r);
+        let d = GroundDelta::between(&gp0, &gp1);
+        assert!(!d.is_empty());
+        assert!(d.removed.is_empty(), "a pure assert removes nothing");
+        // Every reported index points at a rule absent from the other
+        // side, and retained rules are exactly the intersection.
+        assert_eq!(gp0.len() + d.added.len(), gp1.len());
+        for &j in &d.added {
+            assert!(!gp0.rules.contains(&gp1.rules[j as usize]));
+        }
+        // Atoms of the changed rules (bird(opus), fly(opus)) are
+        // touched; the untouched base atoms are not.
+        let touched = d.touched_atoms(&gp0, &gp1);
+        for &j in &d.added {
+            let r = &gp1.rules[j as usize];
+            assert!(touched.contains(&r.head.atom().index()));
+        }
+        // The changed rules live in c2, so both views (c1 sees c2's
+        // rules through the order) are affected.
+        assert!(d.affects_view(&gp0, &gp1, c1));
+        assert!(d.affects_view(&gp0, &gp1, c2));
+        let (a1, r1) = d.for_view(&gp0, &gp1, c1);
+        let (a2, r2) = d.for_view(&gp0, &gp1, c2);
+        assert!(r1.is_empty() && r2.is_empty());
+        assert_eq!(a1, d.added, "c1's view includes all of c2's rules");
+        assert_eq!(a2, d.added);
+        // A no-op delta is empty.
+        assert!(GroundDelta::between(&gp1, &gp1).is_empty());
     }
 
     #[test]

@@ -16,14 +16,14 @@ use olp_core::{
     Truth, World,
 };
 use olp_ground::{
-    ground_exhaustive, ground_smart, DeltaGrounder, DeltaRuleId, FlatView, GroundConfig,
-    GroundError, GroundProgram, GroundRule, ProgramStats,
+    ground_exhaustive, ground_smart, DeltaGrounder, DeltaRuleId, FlatPatch, FlatView, GroundConfig,
+    GroundDelta, GroundError, GroundProgram, GroundRule, ProgramStats,
 };
 use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
 use olp_semantics::{
-    least_model_delta, least_model_flat, least_model_monolithic_budgeted, least_model_morsel,
+    least_model_delta_flat, least_model_flat, least_model_monolithic_budgeted, least_model_morsel,
     stable_models_decomposed_cached, stable_models_monolithic_budgeted,
-    stable_models_parallel_budgeted, Decomposition, MorselCfg, View,
+    stable_models_parallel_budgeted, MorselCfg, View,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -383,6 +383,7 @@ impl KbBuilder {
                 Vec::new(),
             ),
         };
+        let n_comps = self.prog.components.len();
         Ok(Kb {
             world: Arc::new(self.world),
             prog: Arc::new(self.prog),
@@ -390,6 +391,7 @@ impl KbBuilder {
             least_cache: FxHashMap::default(),
             flat_cache: FxHashMap::default(),
             stable_cache: FxHashMap::default(),
+            stable_results: FxHashMap::default(),
             strategy,
             cfg: cfg.clone(),
             delta,
@@ -397,6 +399,7 @@ impl KbBuilder {
             incremental: strategy == GroundStrategy::Smart,
             epoch: 0,
             touched_log: Vec::new(),
+            view_version: vec![0; n_comps],
             threads: default_threads(),
             morsel_weight: default_morsel_weight(),
         })
@@ -451,13 +454,20 @@ fn ground_term_to_term(world: &World, t: olp_core::GTermId) -> Term {
 
 /// A least model cached at the knowledge-base epoch it was computed in.
 /// A stale entry (older epoch) is never served directly; it is first
-/// revalidated with [`least_model_delta`], recomputing only the strata
-/// downstream of the atoms touched since. The model is held behind an
-/// [`Arc`] so publishing it into a [`crate::KbSnapshot`] is free.
+/// revalidated. Revalidation is O(1) when no mutation since the entry
+/// was cached changed a rule visible from the component (the per-view
+/// version counter did not move — a view's least model depends only on
+/// the view's rules); otherwise [`least_model_delta_flat`] recomputes
+/// only the strata downstream of the atoms touched since. The model is
+/// held behind an [`Arc`] so publishing it into a [`crate::KbSnapshot`]
+/// is free.
 #[derive(Debug)]
 struct CachedModel {
     model: Arc<Interpretation>,
     epoch: u64,
+    /// The component's view version this model was computed against
+    /// (see [`Kb::view_version`]).
+    view_version: u64,
 }
 
 /// A ground, queryable knowledge base.
@@ -481,15 +491,24 @@ pub struct Kb {
     prog: Arc<olp_core::OrderedProgram>,
     ground: Arc<GroundProgram>,
     least_cache: FxHashMap<CompId, CachedModel>,
-    /// Compiled flat arenas per component, valid for the **current
-    /// epoch only** (cleared by [`Kb::commit`]). Fresh least-model
-    /// computations used to rebuild the arena on every recompute —
-    /// the dominant cost on ancestor-shaped programs (ROADMAP 3c);
-    /// now the second query of an epoch reuses the compiled arena.
+    /// Compiled flat arenas per component, maintained **across
+    /// mutations**: [`Kb::commit`] diffs the old and new ground
+    /// programs ([`GroundDelta`]) and, per cached component, keeps the
+    /// arena untouched (no visible change), splices the changed rules
+    /// in place ([`FlatView::apply_delta`]), or drops the entry for a
+    /// lazy rebuild when the patch would change the SCC condensation.
+    /// Rebuilding the arena from scratch was the dominant cost of the
+    /// mutation path (ROADMAP 3c); patching keeps it linear in the
+    /// component's rules rather than in Tarjan + rank-sort work.
     flat_cache: FxHashMap<CompId, Arc<FlatView>>,
     /// Per object: memoised stable enumerations keyed by independent
     /// rule-group contents (see [`stable_models_decomposed_cached`]).
     stable_cache: FxHashMap<CompId, FxHashMap<Vec<GroundRule>, Vec<Interpretation>>>,
+    /// Per object: the last **complete, uncapped** stable enumeration,
+    /// keyed by the view version it was computed at. Serves repeat
+    /// `stable()` calls in O(1) when no visible rule changed (the group
+    /// memo above still softens recomputation when one did).
+    stable_results: FxHashMap<CompId, (u64, Vec<Interpretation>)>,
     strategy: GroundStrategy,
     cfg: GroundConfig,
     /// Persistent incremental grounder (Smart strategy only). `None`
@@ -507,6 +526,13 @@ pub struct Kb {
     /// that advanced epoch `e` to `e+1` (heads and bodies of all ground
     /// instances added or removed).
     touched_log: Vec<Vec<usize>>,
+    /// `view_version[c]` counts the mutations that changed a ground
+    /// instance **visible from** component `c` (bumped by
+    /// [`Kb::commit`] using the exact rule diff). A cache entry tagged
+    /// with the current version is exact regardless of the global
+    /// epoch, which is what makes revalidation O(1) for bystander
+    /// components.
+    view_version: Vec<u64>,
     /// Worker threads for **unbudgeted** query evaluation ([`Kb::model`]
     /// and friends; budgeted calls take [`QueryOptions::threads`]).
     /// Initialised to [`default_threads`]; results are identical at
@@ -544,8 +570,11 @@ impl Kb {
     /// The compiled flat arena for component `c` at the current epoch,
     /// built at most once per epoch (ROADMAP 3c: flatten construction
     /// dominated evaluation, so rebuilding per recompute was the
-    /// per-request cost a server cannot afford). [`Kb::commit`] clears
-    /// the cache; snapshots receive the same `Arc`s for free.
+    /// per-request cost a server cannot afford). [`Kb::commit`] keeps
+    /// the cache warm across mutations — untouched components keep
+    /// their arena, touched ones get a spliced patch, and only an
+    /// SCC-reshaping change falls back to this lazy rebuild; snapshots
+    /// receive the same `Arc`s for free.
     fn flat(&mut self, c: CompId) -> Arc<FlatView> {
         if let Some(fv) = self.flat_cache.get(&c) {
             return fv.clone();
@@ -555,23 +584,36 @@ impl Kb {
         fv
     }
 
+    /// The current view version of component `c` (see the field doc).
+    /// Versions start at 0 for components unknown to the log.
+    fn view_version(&self, c: CompId) -> u64 {
+        self.view_version.get(c.index()).copied().unwrap_or(0)
+    }
+
     /// Makes `least_cache[c]` present and current (epoch == now). A
-    /// stale entry is revalidated with [`least_model_delta`] —
-    /// recomputing only the strata downstream of atoms touched since it
-    /// was cached — instead of from scratch.
+    /// stale entry whose view version did not move is re-tagged in O(1)
+    /// (its view's rules are unchanged, so its model is still exact);
+    /// otherwise it is revalidated with [`least_model_delta_flat`] over
+    /// the maintained arena — recomputing only the strata downstream of
+    /// atoms touched since it was cached — instead of from scratch.
     fn ensure_model(&mut self, c: CompId) {
-        let stale = match self.least_cache.get(&c) {
-            Some(e) if e.epoch == self.epoch => return,
+        let vv = self.view_version(c);
+        let epoch = self.epoch;
+        let stale = match self.least_cache.get_mut(&c) {
+            Some(e) if e.epoch == epoch => return,
+            Some(e) if e.view_version == vv => {
+                e.epoch = epoch;
+                return;
+            }
             Some(e) => Some(e.epoch),
             None => None,
         };
         let model = match stale {
             Some(since) => {
                 let touched = self.touched_since(since);
-                let view = View::new(&self.ground, c);
-                let d = Decomposition::new(&view);
-                let old = &self.least_cache[&c].model;
-                least_model_delta(&view, &d, old, &touched, &Budget::unlimited())
+                let old = self.least_cache[&c].model.clone();
+                let fv = self.flat(c);
+                least_model_delta_flat(&fv, &old, &touched, &Budget::unlimited())
                     .expect_complete("unlimited delta revalidation always completes")
             }
             // Fresh computations compile the flat arena view directly —
@@ -588,6 +630,7 @@ impl Kb {
             CachedModel {
                 model: Arc::new(model),
                 epoch: self.epoch,
+                view_version: vv,
             },
         );
     }
@@ -615,19 +658,24 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<Interpretation>, KbError> {
         let c = self.comp(object)?;
-        let stale = match self.least_cache.get(&c) {
-            Some(e) if e.epoch == self.epoch => {
-                return Ok(Eval::Complete(e.model.as_ref().clone()))
+        let vv = self.view_version(c);
+        let epoch = self.epoch;
+        let stale = match self.least_cache.get_mut(&c) {
+            Some(e) if e.epoch == epoch => return Ok(Eval::Complete(e.model.as_ref().clone())),
+            Some(e) if e.view_version == vv => {
+                // Mutations happened, but none changed a rule visible
+                // from `c`: the cached model is exact at this epoch.
+                e.epoch = epoch;
+                return Ok(Eval::Complete(e.model.as_ref().clone()));
             }
             Some(e) => Some(e.epoch),
             None => None,
         };
         if let (Some(since), true) = (stale, opts.decomp) {
             let touched = self.touched_since(since);
-            let view = View::new(&self.ground, c);
-            let d = Decomposition::new(&view);
-            let old = &self.least_cache[&c].model;
-            let eval = least_model_delta(&view, &d, old, &touched, &opts.budget());
+            let old = self.least_cache[&c].model.clone();
+            let fv = self.flat(c);
+            let eval = least_model_delta_flat(&fv, &old, &touched, &opts.budget());
             if let Eval::Complete(m) = &eval {
                 let model = Arc::new(m.clone());
                 self.least_cache.insert(
@@ -635,6 +683,7 @@ impl Kb {
                     CachedModel {
                         model,
                         epoch: self.epoch,
+                        view_version: vv,
                     },
                 );
             }
@@ -658,6 +707,7 @@ impl Kb {
                 CachedModel {
                     model,
                     epoch: self.epoch,
+                    view_version: vv,
                 },
             );
         }
@@ -879,27 +929,66 @@ impl Kb {
         }
     }
 
-    /// Installs `new_ground` as the current ground program, logging the
-    /// atoms touched by the symmetric difference of rule instances so
-    /// stale model caches can be delta-revalidated rather than dropped.
+    /// Installs `new_ground` as the current ground program. The exact
+    /// rule-level diff ([`GroundDelta::between`] — a linear sorted
+    /// merge, both programs being canonically ordered) drives all
+    /// cache maintenance:
+    ///
+    /// * the touched-atom log (heads and bodies of changed instances)
+    ///   feeding stratum-local model revalidation;
+    /// * per-component view versions: a component whose view contains
+    ///   no changed instance keeps its version, so its cached model
+    ///   revalidates in O(1) and its compiled arena survives by
+    ///   pointer;
+    /// * compiled arenas of affected components are **patched in
+    ///   place** ([`FlatView::apply_delta`]) when the change is
+    ///   stratum-local, and dropped for a lazy rebuild when the patch
+    ///   honestly reports [`FlatPatch::Rebuild`] (the SCC condensation
+    ///   moved under the view).
     fn commit(&mut self, new_ground: GroundProgram) {
-        let old: FxHashSet<&GroundRule> = self.ground.rules.iter().collect();
-        let new: FxHashSet<&GroundRule> = new_ground.rules.iter().collect();
-        let mut touched: FxHashSet<usize> = FxHashSet::default();
-        for r in old.symmetric_difference(&new) {
-            touched.insert(r.head.atom().index());
-            for b in r.body.iter() {
-                touched.insert(b.atom().index());
+        let delta = GroundDelta::between(&self.ground, &new_ground);
+        self.touched_log
+            .push(delta.touched_atoms(&self.ground, &new_ground));
+        self.epoch += 1;
+        if self.view_version.len() < self.prog.components.len() {
+            self.view_version.resize(self.prog.components.len(), 0);
+        }
+        for ci in 0..self.view_version.len() {
+            if delta.affects_view(&self.ground, &new_ground, CompId(ci as u32)) {
+                self.view_version[ci] += 1;
             }
         }
-        let mut touched: Vec<usize> = touched.into_iter().collect();
-        touched.sort_unstable();
-        self.touched_log.push(touched);
-        self.epoch += 1;
+        let cached: Vec<CompId> = self.flat_cache.keys().copied().collect();
+        for c in cached {
+            let (added, removed) = delta.for_view(&self.ground, &new_ground, c);
+            if added.is_empty() && removed.is_empty() {
+                // Nothing visible from `c` changed: the arena is still
+                // exact (its rules are the view's rules), atom growth
+                // included — truth queries on it only involve atoms it
+                // indexes.
+                continue;
+            }
+            let fv = &self.flat_cache[&c];
+            let removed_rules: Vec<&GroundRule> = removed
+                .iter()
+                .map(|&i| &self.ground.rules[i as usize])
+                .collect();
+            let patched = fv.locate(&removed_rules).and_then(|flat_removed| {
+                match fv.apply_delta(&new_ground, &added, &flat_removed) {
+                    FlatPatch::Patched(nv) => Some(nv),
+                    FlatPatch::Rebuild => None,
+                }
+            });
+            match patched {
+                Some(nv) => {
+                    self.flat_cache.insert(c, Arc::new(nv));
+                }
+                None => {
+                    self.flat_cache.remove(&c);
+                }
+            }
+        }
         self.ground = Arc::new(new_ground);
-        // Compiled arenas index into the replaced ground program; they
-        // are rebuilt lazily at the new epoch.
-        self.flat_cache.clear();
     }
 
     /// Rebuilds the delta grounder from the current program if it was
@@ -1191,20 +1280,36 @@ impl Kb {
         })
     }
 
-    /// Decomposed stable enumeration through the per-object group memo
-    /// (bounded by [`STABLE_CACHE_CAP`]).
+    /// Decomposed stable enumeration through two layers of memoisation:
+    /// a whole-result memo keyed by view version (O(1) when no visible
+    /// rule changed since the last complete, uncapped enumeration) and
+    /// the per-group memo (bounded by [`STABLE_CACHE_CAP`]) that reuses
+    /// unchanged independent rule groups when one did.
     fn stable_cached(
         &mut self,
         c: CompId,
         budget: &Budget,
         max_models: Option<usize>,
     ) -> Eval<Vec<Interpretation>> {
+        let vv = self.view_version(c);
+        if max_models.is_none() {
+            if let Some((v, models)) = self.stable_results.get(&c) {
+                if *v == vv {
+                    return Eval::Complete(models.clone());
+                }
+            }
+        }
         let cache = self.stable_cache.entry(c).or_default();
         let view = View::new(&self.ground, c);
         let eval =
             stable_models_decomposed_cached(&view, self.ground.n_atoms, budget, max_models, cache);
         if cache.len() > STABLE_CACHE_CAP {
             cache.clear();
+        }
+        if max_models.is_none() {
+            if let Eval::Complete(models) = &eval {
+                self.stable_results.insert(c, (vv, models.clone()));
+            }
         }
         eval
     }
@@ -1333,9 +1438,23 @@ impl Kb {
         }
     }
 
+    /// Bench/diagnostic hook: drops every compiled flat arena, forcing
+    /// the next evaluation of each component to reflatten from scratch.
+    /// Calling this after every mutation reproduces the pre-patching
+    /// mutation path (commit used to clear the cache wholesale) — the
+    /// differential baseline for the arena-maintenance benchmarks.
+    /// Models, epochs, and view versions are untouched.
+    #[doc(hidden)]
+    pub fn clear_flat_cache(&mut self) {
+        self.flat_cache.clear();
+    }
+
     /// Test/diagnostic hook: the compiled flat arena for `object` at
     /// the current epoch (building and caching it if absent). Two calls
-    /// within one epoch return the same `Arc`; a mutation invalidates.
+    /// within one epoch return the same `Arc`; a mutation that changes
+    /// a rule visible from `object` replaces the arena (patched in
+    /// place or rebuilt), while mutations confined to unrelated
+    /// components leave the `Arc` untouched.
     #[doc(hidden)]
     pub fn flat_view(&mut self, object: &str) -> Result<Arc<FlatView>, KbError> {
         let c = self.comp(object)?;
@@ -1354,6 +1473,7 @@ impl Kb {
         prog: olp_core::OrderedProgram,
         ground: GroundProgram,
     ) -> Kb {
+        let n_comps = prog.components.len();
         Kb {
             world: Arc::new(world),
             prog: Arc::new(prog),
@@ -1361,6 +1481,7 @@ impl Kb {
             least_cache: FxHashMap::default(),
             flat_cache: FxHashMap::default(),
             stable_cache: FxHashMap::default(),
+            stable_results: FxHashMap::default(),
             strategy: GroundStrategy::Smart,
             cfg: GroundConfig::default(),
             delta: None,
@@ -1368,6 +1489,7 @@ impl Kb {
             incremental: true,
             epoch: 0,
             touched_log: Vec::new(),
+            view_version: vec![0; n_comps],
             threads: default_threads(),
             morsel_weight: default_morsel_weight(),
         }
@@ -1832,6 +1954,73 @@ mod tests {
             kb.truth("penguin_view", "fly(sparrow)").unwrap(),
             Truth::True
         );
+    }
+
+    /// Two objects with no isa relation and disjoint predicates: a
+    /// mutation to one is invisible from the other.
+    fn two_island_kb() -> Kb {
+        let mut b = KbBuilder::new();
+        b.rules("left", "p(a). q(X) :- p(X).").unwrap();
+        b.rules("right", "r(z). s(X) :- r(X).").unwrap();
+        b.build(GroundStrategy::Smart).unwrap()
+    }
+
+    #[test]
+    fn untouched_component_keeps_arena_and_model_across_mutation() {
+        // Regression for the over-broad invalidation in the mutation
+        // path: `commit` used to clear the whole flat cache, so a write
+        // to any object forced every reader-side component to recompile
+        // its arena and recompute its model from scratch.
+        let mut kb = two_island_kb();
+        let left = kb.comp("left").unwrap();
+        let right = kb.comp("right").unwrap();
+        let left_fv = kb.flat_view("left").unwrap();
+        let right_fv = kb.flat_view("right").unwrap();
+        kb.model("left").unwrap();
+        kb.model("right").unwrap();
+        let left_model = kb.least_cache[&left].model.clone();
+
+        kb.assert_rule("right", "r(w).").unwrap();
+        assert_eq!(kb.epoch(), 1);
+
+        // The untouched component's compiled arena survives by pointer…
+        let left_fv2 = kb.flat_view("left").unwrap();
+        assert!(
+            Arc::ptr_eq(&left_fv, &left_fv2),
+            "mutation to `right` must not invalidate `left`'s arena"
+        );
+        // …and so does its cached model (O(1) re-tag, no recompute).
+        kb.model("left").unwrap();
+        assert!(
+            Arc::ptr_eq(&left_model, &kb.least_cache[&left].model),
+            "mutation to `right` must not recompute `left`'s model"
+        );
+        // The touched component was patched eagerly (the entry is
+        // present without an intervening query) and not served stale.
+        assert!(kb.flat_cache.contains_key(&right));
+        let right_fv2 = kb.flat_view("right").unwrap();
+        assert!(!Arc::ptr_eq(&right_fv, &right_fv2));
+        // Answers stay exact on both sides.
+        assert_eq!(kb.truth("right", "s(w)").unwrap(), Truth::True);
+        assert_eq!(kb.truth("right", "s(z)").unwrap(), Truth::True);
+        assert_eq!(kb.truth("left", "q(a)").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn stable_results_memo_hits_for_unaffected_views() {
+        let mut kb = two_island_kb();
+        let s1 = kb.stable("left").unwrap();
+        // A write to `right` leaves `left`'s view version alone, so the
+        // whole-result memo answers; a write to `left` moves it.
+        kb.assert_rule("right", "r(w).").unwrap();
+        let left = kb.comp("left").unwrap();
+        assert_eq!(kb.stable_results[&left].0, kb.view_version(left));
+        let s2 = kb.stable("left").unwrap();
+        assert_eq!(s1, s2);
+        kb.assert_rule("left", "p(b).").unwrap();
+        assert_ne!(kb.stable_results[&left].0, kb.view_version(left));
+        let s3 = kb.stable("left").unwrap();
+        assert!(s3.len() == 1 && s3[0].literals().count() == 4);
     }
 
     #[test]

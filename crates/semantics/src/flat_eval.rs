@@ -50,7 +50,8 @@
 
 use crate::view::View;
 use olp_core::{
-    AtomicBitSet, BitSet, Budget, Eval, GLit, Interpretation, InterruptReason, Interrupted, Ticker,
+    AtomId, AtomicBitSet, BitSet, Budget, Eval, GLit, Interpretation, InterruptReason, Interrupted,
+    Ticker,
 };
 use olp_ground::{FlatView, Morsel};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -228,6 +229,111 @@ pub fn least_model_flat_budgeted(fv: &FlatView, budget: &Budget) -> Eval<Interpr
         fv.n_strata() as u32,
         &mut ticker,
     );
+    drop(ticker);
+    let i = interp_of_bits(&truth);
+    match res {
+        Ok(()) => Eval::Complete(i),
+        Err(reason) => Eval::Interrupted(Interrupted { reason, partial: i }),
+    }
+}
+
+/// Incremental least model over flat arenas: the compiled counterpart
+/// of [`crate::decomp::least_model_delta`], differentially tested
+/// against it and against from-scratch [`least_model_flat`].
+///
+/// `old` is the least model of this view before the mutation and
+/// `touched` the sorted atom indices occurring in any changed rule —
+/// head *and* body literals of every added or removed instance (the
+/// set `olp_ground::GroundDelta::touched_atoms` computes). `fv` is the
+/// view *after* the mutation: either freshly built or spliced by
+/// `FlatView::apply_delta` — the algorithm only relies on the
+/// invariants both constructions guarantee (topological stratum order,
+/// rules sharing a head atom sharing a stratum).
+///
+/// **Dirty closure.** An atom is dirty if it is touched or if some
+/// rule watching a dirty atom derives it: the reverse dependency walk
+/// of `least_model_delta`, re-expressed over the packed watch lists
+/// (`watchers(+a)` / `watchers(-a)` *are* the body→head reverse
+/// adjacency, so no radjacency map is materialised). Attack edges need
+/// no separate traversal — an attacker shares its victim's head atom,
+/// so a change in the attacker's blockedness reaches the victim's atom
+/// through the attacker's own body watches.
+///
+/// **Clean-bit copy.** A stratum none of whose head atoms is dirty is
+/// *clean*: its rules are unchanged (a changed rule's head atom is
+/// touched) and every literal they depend on is clean (a dirty body
+/// atom would have dirtied the head through the watch list), so by
+/// induction over the topological stratum order the old model's bits
+/// for its head atoms are exact — they are copied verbatim, one budget
+/// tick per rule. Dirty strata re-run the semi-naive worklist over
+/// their contiguous rule ranges against the accumulated bits.
+///
+/// **Anytime contract.** Same as [`least_model_flat_budgeted`]: on
+/// interruption the partial result is the copied clean bits plus every
+/// completed dirty stratum plus a monotone prefix of the current one —
+/// a sound under-approximation of the new least model.
+pub fn least_model_delta_flat(
+    fv: &FlatView,
+    old: &Interpretation,
+    touched: &[usize],
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    let n_atoms = fv.n_atoms;
+    // Transitive dirty closure over the watch lists.
+    let mut dirty = vec![false; n_atoms];
+    let mut stack: Vec<u32> = Vec::new();
+    for &a in touched {
+        if a < n_atoms && !dirty[a] {
+            dirty[a] = true;
+            stack.push(a as u32);
+        }
+    }
+    while let Some(a) = stack.pop() {
+        let atom = AtomId(a);
+        for l in [GLit::pos(atom), GLit::neg(atom)] {
+            for &w in fv.watchers(l) {
+                let h = fv.head(w).atom().index();
+                if !dirty[h] {
+                    dirty[h] = true;
+                    stack.push(h as u32);
+                }
+            }
+        }
+    }
+
+    let mut truth = BitSet::with_capacity(2 * n_atoms);
+    let mut sc = Scratch::new(fv.len());
+    let mut ticker = budget.ticker();
+    let mut res = Ok(());
+    'strata: for s in 0..fv.n_strata() {
+        let (lo, hi) = fv.stratum(s);
+        let is_dirty = (lo..hi).any(|f| dirty[fv.head(f).atom().index()]);
+        if !is_dirty {
+            for f in lo..hi {
+                if let Err(r) = ticker.tick() {
+                    res = Err(r);
+                    break 'strata;
+                }
+                let h = fv.head(f).atom();
+                for l in [GLit::pos(h), GLit::neg(h)] {
+                    if old.holds(l) {
+                        truth.insert(l.code());
+                    }
+                }
+            }
+        } else if let Err(r) = eval_strata(
+            fv,
+            &|_| false,
+            &mut truth,
+            &mut sc,
+            s as u32,
+            s as u32 + 1,
+            &mut ticker,
+        ) {
+            res = Err(r);
+            break 'strata;
+        }
+    }
     drop(ticker);
     let i = interp_of_bits(&truth);
     match res {
@@ -518,6 +624,112 @@ mod tests {
         let full = least_model_flat(&fv);
         for steps in 0..12 {
             let eval = least_model_flat_budgeted(&fv, &Budget::with_steps(steps));
+            if let Eval::Interrupted(i) = eval {
+                for l in i.partial.literals() {
+                    assert!(full.holds(l), "partial derived a non-model literal");
+                }
+            }
+        }
+    }
+
+    /// Drives the full incremental pipeline between two groundings of
+    /// the same world: diff → per-view patch (or honest rebuild) →
+    /// `least_model_delta_flat`, checked against a from-scratch flat
+    /// evaluation of the new program.
+    fn check_delta_flat(old_gp: &GroundProgram, new_gp: &GroundProgram) {
+        use olp_ground::{FlatPatch, FlatView, GroundDelta, GroundRule};
+        let delta = GroundDelta::between(old_gp, new_gp);
+        let touched = delta.touched_atoms(old_gp, new_gp);
+        for c in 0..old_gp.order.len() {
+            let c = CompId(c as u32);
+            let fv_old = FlatView::new(old_gp, c);
+            let old_model = least_model_flat(&fv_old);
+            let (added, removed) = delta.for_view(old_gp, new_gp, c);
+            let refs: Vec<&GroundRule> =
+                removed.iter().map(|&i| &old_gp.rules[i as usize]).collect();
+            let fv_new = match fv_old
+                .locate(&refs)
+                .map(|flat| fv_old.apply_delta(new_gp, &added, &flat))
+            {
+                Some(FlatPatch::Patched(p)) => p,
+                _ => FlatView::new(new_gp, c),
+            };
+            let scratch = least_model_flat(&FlatView::new(new_gp, c));
+            // The (possibly patched) arena evaluates identically from
+            // scratch…
+            assert_eq!(least_model_flat(&fv_new), scratch);
+            // …and the delta evaluator reproduces it from the old
+            // model plus the touched set.
+            let inc = least_model_delta_flat(&fv_new, &old_model, &touched, &Budget::unlimited())
+                .expect_complete("unlimited budget");
+            assert_eq!(
+                inc, scratch,
+                "delta evaluation diverged in component {}",
+                c.0
+            );
+        }
+    }
+
+    #[test]
+    fn delta_flat_matches_scratch_after_mutations() {
+        // Propositional programs with contested atoms so the dirty
+        // closure crosses attack edges, not just positive deps.
+        let base = "p. q :- p. -r :- q. r :- p. s :- r.";
+        let mutations = [
+            "p. q :- p. -r :- q. r :- p. s :- r. t :- s.", // fresh-atom tail
+            "p. q :- p. -r :- q. r :- p. s :- r. q :- s.", // back edge → rebuild path
+            "p. q :- p. r :- p. s :- r.",                  // retract -r :- q.
+            "q :- p. -r :- q. r :- p. s :- r.",            // retract the fact p.
+        ];
+        for m in mutations {
+            let mut w = World::new();
+            let p1 = parse_program(&mut w, base).unwrap();
+            let g1 = ground_exhaustive(&mut w, &p1, &GroundConfig::default()).unwrap();
+            let p2 = parse_program(&mut w, m).unwrap();
+            let g2 = ground_exhaustive(&mut w, &p2, &GroundConfig::default()).unwrap();
+            check_delta_flat(&g1, &g2);
+            check_delta_flat(&g2, &g1); // and the reverse mutation
+        }
+    }
+
+    #[test]
+    fn delta_flat_matches_scratch_with_variables() {
+        let mut w = World::new();
+        let p1 = parse_program(
+            &mut w,
+            "parent(a,b). anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        )
+        .unwrap();
+        let g1 = ground_exhaustive(&mut w, &p1, &GroundConfig::default()).unwrap();
+        let p2 = parse_program(
+            &mut w,
+            "parent(a,b). parent(b,c). anc(X,Y) :- parent(X,Y).
+             anc(X,Y) :- parent(X,Z), anc(Z,Y).",
+        )
+        .unwrap();
+        let g2 = ground_exhaustive(&mut w, &p2, &GroundConfig::default()).unwrap();
+        check_delta_flat(&g1, &g2);
+        check_delta_flat(&g2, &g1);
+    }
+
+    #[test]
+    fn delta_flat_budget_trip_leaves_sound_prefix() {
+        let mut w = World::new();
+        let p1 = parse_program(&mut w, "p. q :- p. -r :- q. r :- p. s :- r.").unwrap();
+        let g1 = ground_exhaustive(&mut w, &p1, &GroundConfig::default()).unwrap();
+        let p2 = parse_program(&mut w, "p. q :- p. r :- p. s :- r. t :- s.").unwrap();
+        let g2 = ground_exhaustive(&mut w, &p2, &GroundConfig::default()).unwrap();
+        use olp_ground::GroundDelta;
+        let delta = GroundDelta::between(&g1, &g2);
+        let touched = delta.touched_atoms(&g1, &g2);
+        let c = CompId(0);
+        let old_model = least_model_flat(&FlatView::new(&g1, c));
+        let fv = FlatView::new(&g2, c);
+        let full = least_model_flat(&fv);
+        for steps in 0..16 {
+            let eval =
+                least_model_delta_flat(&fv, &old_model, &touched, &Budget::with_steps(steps));
             if let Eval::Interrupted(i) = eval {
                 for l in i.partial.literals() {
                     assert!(full.holds(l), "partial derived a non-model literal");

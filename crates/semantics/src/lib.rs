@@ -86,8 +86,8 @@ pub use fixpoint::{
     least_model_parallel_budgeted, least_model_restricted, least_model_restricted_budgeted, v_step,
 };
 pub use flat_eval::{
-    flatten, least_model_flat, least_model_flat_budgeted, least_model_morsel,
-    least_model_morsel_forced, MorselCfg,
+    flatten, least_model_delta_flat, least_model_flat, least_model_flat_budgeted,
+    least_model_morsel, least_model_morsel_forced, MorselCfg,
 };
 pub use model::{check_model, is_model, ModelViolation};
 pub use olp_core::{

@@ -9,6 +9,8 @@
 //!   --conns N          concurrent connections (default 4)
 //!   --secs S           run length in seconds, fractions allowed (default 2)
 //!   --write-ratio F    fraction of ops that mutate (default 0.1)
+//!   --write-pct P      same knob as a percentage (0-100); the report
+//!                      splits read and write latency percentiles either way
 //!   --seed N           RNG seed (default 42)
 //!   --n-base N         base ancestor-chain length (default 64)
 //!   --strict           exit 1 unless ops > 0, errors == 0, and no
@@ -145,6 +147,15 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("bad --write-ratio"));
             }
+            "--write-pct" => {
+                let pct: f64 = val(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --write-pct"));
+                if !(0.0..=100.0).contains(&pct) {
+                    die("--write-pct must be in 0..=100");
+                }
+                cfg.write_ratio = pct / 100.0;
+            }
             "--seed" => {
                 cfg.seed = val(&mut i).parse().unwrap_or_else(|_| die("bad --seed"));
             }
@@ -175,7 +186,9 @@ fn main() {
         "{{\"conns\": {}, \"secs\": {:.3}, \"write_ratio\": {}, \"seed\": {}, \
          \"ops\": {}, \"reads\": {}, \"writes\": {}, \"busy\": {}, \"errors\": {}, \
          \"epoch_regressions\": {}, \"throughput_ops_per_sec\": {:.1}, \
-         \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}}}",
+         \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}, \
+         \"read_latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}, \
+         \"write_latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}}}",
         cfg.conns,
         report.elapsed.as_secs_f64(),
         cfg.write_ratio,
@@ -191,6 +204,14 @@ fn main() {
         report.latency_us(0.95),
         report.latency_us(0.99),
         report.max_latency_us(),
+        report.read_latency_us(0.5),
+        report.read_latency_us(0.95),
+        report.read_latency_us(0.99),
+        report.max_read_latency_us(),
+        report.write_latency_us(0.5),
+        report.write_latency_us(0.95),
+        report.write_latency_us(0.99),
+        report.max_write_latency_us(),
     );
 
     if strict && (report.ops == 0 || report.errors > 0 || report.epoch_regressions > 0) {

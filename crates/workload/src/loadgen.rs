@@ -72,6 +72,20 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Per-op latencies, sorted ascending, microseconds.
     latencies_us: Vec<u64>,
+    /// Read-op latencies only (`truth` queries), sorted ascending.
+    read_latencies_us: Vec<u64>,
+    /// Write-op latencies only (`assert`/`retract`), sorted ascending.
+    write_latencies_us: Vec<u64>,
+}
+
+/// The `q`-quantile of an ascending-sorted latency vector; 0 when
+/// nothing was measured.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
 }
 
 impl LoadReport {
@@ -80,14 +94,23 @@ impl LoadReport {
         self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// The `q`-quantile latency in microseconds (`0.5` = p50); 0 when
-    /// nothing was measured.
+    /// The `q`-quantile latency over all operations in microseconds
+    /// (`0.5` = p50); 0 when nothing was measured.
     pub fn latency_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let idx = ((self.latencies_us.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        self.latencies_us[idx]
+        quantile(&self.latencies_us, q)
+    }
+
+    /// The `q`-quantile latency over read operations only. Reads ride
+    /// the snapshot path; their tail is the number to watch when the
+    /// writer is busy patching arenas.
+    pub fn read_latency_us(&self, q: f64) -> u64 {
+        quantile(&self.read_latencies_us, q)
+    }
+
+    /// The `q`-quantile latency over write operations only (the full
+    /// mutate → revalidate → publish round-trip).
+    pub fn write_latency_us(&self, q: f64) -> u64 {
+        quantile(&self.write_latencies_us, q)
     }
 
     /// Maximum observed latency in microseconds.
@@ -95,11 +118,22 @@ impl LoadReport {
         self.latencies_us.last().copied().unwrap_or(0)
     }
 
+    /// Maximum observed read latency in microseconds.
+    pub fn max_read_latency_us(&self) -> u64 {
+        self.read_latencies_us.last().copied().unwrap_or(0)
+    }
+
+    /// Maximum observed write latency in microseconds.
+    pub fn max_write_latency_us(&self) -> u64 {
+        self.write_latencies_us.last().copied().unwrap_or(0)
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
             "{} ops in {:.2?} ({:.0} op/s): {} reads, {} writes, {} busy, {} errors; \
-             p50 {}us p95 {}us p99 {}us max {}us",
+             p50 {}us p95 {}us p99 {}us max {}us \
+             (read p50 {}us p99 {}us / write p50 {}us p99 {}us)",
             self.ops,
             self.elapsed,
             self.throughput(),
@@ -111,6 +145,10 @@ impl LoadReport {
             self.latency_us(0.95),
             self.latency_us(0.99),
             self.max_latency_us(),
+            self.read_latency_us(0.5),
+            self.read_latency_us(0.99),
+            self.write_latency_us(0.5),
+            self.write_latency_us(0.99),
         )
     }
 }
@@ -137,6 +175,8 @@ struct ConnOutcome {
     errors: u64,
     epoch_regressions: u64,
     latencies_us: Vec<u64>,
+    read_latencies_us: Vec<u64>,
+    write_latencies_us: Vec<u64>,
 }
 
 fn drive_conn(addr: SocketAddr, cfg: &LoadCfg, conn_id: usize, deadline: Instant) -> ConnOutcome {
@@ -203,6 +243,11 @@ fn drive_conn(addr: SocketAddr, cfg: &LoadCfg, conn_id: usize, deadline: Instant
         let lat = start.elapsed().as_micros() as u64;
         out.ops += 1;
         out.latencies_us.push(lat);
+        if is_write {
+            out.write_latencies_us.push(lat);
+        } else {
+            out.read_latencies_us.push(lat);
+        }
         let resp = resp.trim_end();
         if resp.starts_with("{\"ok\":true") {
             if is_write {
@@ -251,8 +296,12 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadCfg) -> LoadReport {
         report.errors += o.errors;
         report.epoch_regressions += o.epoch_regressions;
         report.latencies_us.extend(o.latencies_us);
+        report.read_latencies_us.extend(o.read_latencies_us);
+        report.write_latencies_us.extend(o.write_latencies_us);
     }
     report.latencies_us.sort_unstable();
+    report.read_latencies_us.sort_unstable();
+    report.write_latencies_us.sort_unstable();
     report
 }
 
@@ -270,6 +319,8 @@ mod tests {
         let r = LoadReport {
             ops: 4,
             latencies_us: vec![10, 20, 30, 100],
+            read_latencies_us: vec![10, 20],
+            write_latencies_us: vec![30, 100],
             elapsed: Duration::from_secs(1),
             ..LoadReport::default()
         };
@@ -277,5 +328,14 @@ mod tests {
         assert_eq!(r.latency_us(1.0), 100);
         assert_eq!(r.max_latency_us(), 100);
         assert!((r.throughput() - 4.0).abs() < 1e-6);
+        // Split percentiles answer from their own populations.
+        assert_eq!(r.read_latency_us(1.0), 20);
+        assert_eq!(r.write_latency_us(0.0), 30);
+        assert_eq!(r.max_read_latency_us(), 20);
+        assert_eq!(r.max_write_latency_us(), 100);
+        // Empty splits stay 0 rather than panicking.
+        let empty = LoadReport::default();
+        assert_eq!(empty.read_latency_us(0.5), 0);
+        assert_eq!(empty.max_write_latency_us(), 0);
     }
 }

@@ -20,8 +20,9 @@
 
 use olp_workload::{random_ordered, RandomCfg};
 use ordered_logic::core::CompId;
+use ordered_logic::ground::FlatView;
 use ordered_logic::prelude::*;
-use ordered_logic::semantics::{enumerate_models, interp_intersection, View};
+use ordered_logic::semantics::{enumerate_models, interp_intersection, least_model_flat, View};
 use proptest::prelude::*;
 
 const N_ATOMS: usize = 6;
@@ -188,6 +189,57 @@ proptest! {
                 inc.ground_program().render(inc.world()),
                 scratch.ground_program().render(scratch.world())
             );
+        }
+    }
+
+    /// The flat mutation path end to end: after **every** step of a
+    /// random mutation script, the incremental KB's stale-cache
+    /// revalidation — [`least_model_delta_flat`] over arenas maintained
+    /// by `FlatView::apply_delta` inside `Kb::commit` — must render
+    /// byte-identically to a from-scratch reground of the mutated
+    /// program evaluated with [`least_model_flat`] on a freshly
+    /// compiled arena, at 1 and 4 worker threads.
+    ///
+    /// The model caches are warmed before each mutation, so every
+    /// post-step query takes the stale → delta path (not a fresh
+    /// computation), and the arenas it runs over are the
+    /// patched-or-rebuilt ones the commit left behind.
+    ///
+    /// [`least_model_delta_flat`]: ordered_logic::semantics::least_model_delta_flat
+    /// [`least_model_flat`]: ordered_logic::semantics::least_model_flat
+    #[test]
+    fn flat_delta_revalidation_matches_scratch_flat(
+        seed in 0u64..300,
+        steps in proptest::collection::vec(mutation(), 1..6),
+    ) {
+        for threads in [1usize, 4] {
+            let mut inc = build_kb(seed, GroundStrategy::Smart);
+            inc.set_threads(threads);
+            for c in 0..N_COMPONENTS {
+                let _ = render_model(&mut inc, &format!("c{c}"));
+            }
+            for (step, (comp, is_assert, rule)) in steps.iter().enumerate() {
+                let obj = format!("c{comp}");
+                if *is_assert {
+                    inc.assert_rule(&obj, rule).expect("assert grounds");
+                } else {
+                    inc.retract_rule(&obj, rule).expect("retract grounds");
+                }
+                let scratch = KbBuilder::from_parts(inc.world().clone(), inc.program().clone())
+                    .build_with(GroundStrategy::Smart, &GroundConfig::default())
+                    .expect("propositional programs always ground");
+                for c in 0..N_COMPONENTS {
+                    let obj = format!("c{c}");
+                    let fv = FlatView::new(scratch.ground_program(), CompId(c as u32));
+                    let reference = scratch.render(&least_model_flat(&fv));
+                    prop_assert_eq!(
+                        render_model(&mut inc, &obj),
+                        reference,
+                        "flat delta path diverged in {} after step {} ({} into c{}, {} threads)",
+                        obj, step, rule, comp, threads
+                    );
+                }
+            }
         }
     }
 }
