@@ -65,13 +65,31 @@ pub enum Code {
     /// W08 — a rule body depends, through the dependency graph, on a
     /// predicate that can never be derived.
     DeadRule,
+    /// W09 — a component's view is unstratified: an attack edge closes
+    /// a dependency cycle, so stable models may branch. Informational —
+    /// choice via unresolved conflicts is a legitimate modelling idiom.
+    UnstratifiedView,
+    /// W10 — a declared `<` edge that never decides a conflict (no
+    /// complementary-head rule pair becomes comparable through it), in
+    /// a program where the order decides at least one conflict.
+    InertOrderEdge,
+    /// W11 — a component is provably single-model (conflict-free or
+    /// stratified) but was queried with `stable`: enumeration adds
+    /// nothing over the least model. Emitted at query sites, not by
+    /// [`crate::lints::analyze`].
+    SingleModelStable,
     /// E01 — the declared component order is not a strict partial order.
     OrderCycle,
+    /// E02 — the source is not syntactically well-formed. Produced by
+    /// the CLI's machine-readable mode so `check --format json` always
+    /// emits a JSON array, never a bare text line.
+    ParseError,
 }
 
 /// Every code, in rendering order.
 pub const ALL_CODES: &[Code] = &[
     Code::OrderCycle,
+    Code::ParseError,
     Code::UnsafeRule,
     Code::UndefinedPredicate,
     Code::ArityMismatch,
@@ -80,6 +98,9 @@ pub const ALL_CODES: &[Code] = &[
     Code::GuaranteedDefeat,
     Code::RedundantOrderEdge,
     Code::DeadRule,
+    Code::UnstratifiedView,
+    Code::InertOrderEdge,
+    Code::SingleModelStable,
 ];
 
 impl Code {
@@ -94,7 +115,11 @@ impl Code {
             Code::GuaranteedDefeat => "W06",
             Code::RedundantOrderEdge => "W07",
             Code::DeadRule => "W08",
+            Code::UnstratifiedView => "W09",
+            Code::InertOrderEdge => "W10",
+            Code::SingleModelStable => "W11",
             Code::OrderCycle => "E01",
+            Code::ParseError => "E02",
         }
     }
 
@@ -109,14 +134,21 @@ impl Code {
             Code::GuaranteedDefeat => "guaranteed-defeat",
             Code::RedundantOrderEdge => "redundant-order-edge",
             Code::DeadRule => "dead-rule",
+            Code::UnstratifiedView => "unstratified-view",
+            Code::InertOrderEdge => "inert-order-edge",
+            Code::SingleModelStable => "single-model-stable",
             Code::OrderCycle => "order-cycle",
+            Code::ParseError => "parse-error",
         }
     }
 
     /// The code's severity.
     pub fn severity(self) -> Severity {
         match self {
-            Code::OrderCycle => Severity::Error,
+            Code::OrderCycle | Code::ParseError => Severity::Error,
+            Code::UnstratifiedView | Code::InertOrderEdge | Code::SingleModelStable => {
+                Severity::Info
+            }
             _ => Severity::Warn,
         }
     }
@@ -276,7 +308,12 @@ mod tests {
         for &c in ALL_CODES {
             assert_eq!(Code::parse(c.as_str()), Some(c));
             match c {
-                Code::OrderCycle => assert_eq!(c.severity(), Severity::Error),
+                Code::OrderCycle | Code::ParseError => {
+                    assert_eq!(c.severity(), Severity::Error);
+                }
+                Code::UnstratifiedView | Code::InertOrderEdge | Code::SingleModelStable => {
+                    assert_eq!(c.severity(), Severity::Info);
+                }
                 _ => assert_eq!(c.severity(), Severity::Warn),
             }
         }

@@ -20,7 +20,15 @@
 //! | W06  | guaranteed-defeat | complementary facts defeat each other |
 //! | W07  | redundant-order-edge | `<` edge implied by the others |
 //! | W08  | dead-rule | body depends transitively on undefined predicates |
+//! | W09  | unstratified-view | attack edge closes a dependency cycle |
+//! | W10  | inert-order-edge | `<` edge never decides any conflict |
+//! | W11  | single-model-stable | `stable` query on a provably single-model view |
 //! | E01  | order-cycle | `<` is not a strict partial order |
+//!
+//! Beyond the lints, [`profile`](profile()) computes a semantic
+//! [`ProgramProfile`] per component — stratification class,
+//! conflict-freedom, order-relevance, and counting-domain cardinality
+//! bounds — which the engine consults to pick fast paths.
 //!
 //! See `docs/ANALYSIS.md` for examples of each. Typical use:
 //!
@@ -54,6 +62,10 @@
 
 mod diag;
 mod lints;
+mod profile;
 
 pub use diag::{max_severity, to_json_array, Code, Diagnostic, Severity, ALL_CODES};
 pub use lints::analyze;
+pub use profile::{
+    component_profile, profile, ComponentProfile, PredBound, ProgramProfile, StratClass,
+};

@@ -39,6 +39,7 @@ pub fn analyze(world: &World, prog: &OrderedProgram) -> Vec<Diagnostic> {
         w05_always_overruled(world, prog, order, &mut diags);
         w06_guaranteed_defeat(world, prog, order, &mut diags);
         w07_redundant_edges(world, prog, &mut diags);
+        crate::profile::w09_w10_profile(world, prog, order, &mut diags);
     }
     diags.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
     diags

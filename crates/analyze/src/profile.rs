@@ -1,0 +1,625 @@
+//! Program profiles: per-component abstract interpretation over the
+//! predicate graph.
+//!
+//! Where the lints (W01–W08) point at probable authoring mistakes, the
+//! profile answers *semantic* questions the engine can act on, computed
+//! from the non-ground program alone:
+//!
+//! * **conflict-freedom** — can any pair of complementary heads ever be
+//!   co-derived? If not, no rule is ever overruled or defeated and the
+//!   view has exactly one stable model (the least model).
+//! * **stratification class** — negation-free / stratified /
+//!   unstratified, over the signed predicate dependency graph with
+//!   *attack edges* (victim head → complement of attacker body
+//!   literal, the literals whose derivation *blocks* the attacker). A
+//!   stratified view resolves every attack strictly below the attacked
+//!   stratum, so the least fixpoint is its unique stable model and
+//!   enumeration is unnecessary.
+//! * **order-relevance** — does any declared `<` edge ever decide a
+//!   conflict (overrule rather than defeat)? If not, preference never
+//!   changes a model.
+//! * **cardinality bounds** — a counting abstract domain per signed
+//!   predicate: how many ground facts define it and whether non-fact
+//!   rules can grow it (seed statistics for the join planner before any
+//!   measured stats exist).
+//!
+//! Everything here **over-approximates** the ground program: the
+//! abstraction maps every ground instance of a rule onto its predicate
+//! skeleton, so any ground attack or dependency edge has a pre-image in
+//! the abstract graph (see `docs/ANALYSIS.md`, "Program profiles", for
+//! the soundness argument). The profile may therefore miss a fast path
+//! (claim `Unstratified` for a semantically tame program) but never
+//! claims one that does not hold.
+
+use crate::diag::{Code, Diagnostic};
+use olp_core::{
+    tarjan_scc, CompId, FxHashMap, FxHashSet, Literal, Order, OrderedProgram, PredId, Rule, Sign,
+    Sym, Term, World,
+};
+
+/// Stratification class of a component's view, coarsest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StratClass {
+    /// No negative heads and no negative body literals anywhere in the
+    /// view: a plain definite program. No attack machinery is needed at
+    /// all.
+    NegationFree,
+    /// Negation (complementary heads) occurs, but every attack is
+    /// resolved strictly below the attacked stratum: the least model is
+    /// the unique stable model.
+    Stratified,
+    /// Some strongly connected component of the dependency graph
+    /// contains an attack edge: stable models may branch.
+    Unstratified,
+}
+
+impl StratClass {
+    /// Lower-case label used in rendered profiles.
+    pub fn label(self) -> &'static str {
+        match self {
+            StratClass::NegationFree => "negation-free",
+            StratClass::Stratified => "stratified",
+            StratClass::Unstratified => "unstratified",
+        }
+    }
+}
+
+/// Counting-domain bound for one signed predicate of a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredBound {
+    /// The predicate.
+    pub pred: PredId,
+    /// Which sign of it this bound describes.
+    pub sign: Sign,
+    /// Distinct ground facts with this signed head in the view.
+    pub facts: usize,
+    /// `true` when no non-fact rule can derive it: `facts` is then the
+    /// exact cardinality of the predicate in every model.
+    pub exact: bool,
+}
+
+/// The profile of one component's view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentProfile {
+    /// The component this profile describes (the view is `C*`).
+    pub comp: CompId,
+    /// Rules visible from the component (its own plus all inherited).
+    pub rules_in_view: usize,
+    /// Rule pairs with complementary, unifiable heads: the potential
+    /// attacks (overrules and defeats) of the view.
+    pub conflict_pairs: usize,
+    /// Conflict pairs whose components are strictly ordered — the
+    /// attacks the preference order *decides* (overrules).
+    pub ordered_conflicts: usize,
+    /// Whether any preference edge can ever change a model of this
+    /// view: `ordered_conflicts > 0`.
+    pub order_relevant: bool,
+    /// Stratification class of the view (see [`StratClass`]).
+    pub strat: StratClass,
+    /// No conflict pairs at all: no rule is ever overruled or defeated.
+    pub conflict_free: bool,
+    /// Provably exactly one stable model (= the least model): the view
+    /// is conflict-free or stratified.
+    pub single_model: bool,
+    /// A witness for unstratifiedness: the signed predicate at the head
+    /// of an attack edge that closes a cycle.
+    pub unstrat_witness: Option<(PredId, Sign)>,
+    /// Counting-domain cardinality bounds, sorted by `(pred, sign)`.
+    pub pred_bounds: Vec<PredBound>,
+}
+
+impl ComponentProfile {
+    /// One-line machine-greppable summary (used by `olp check
+    /// --explain` and the CI profile gate).
+    pub fn summary(&self) -> String {
+        format!(
+            "strat={} order={} conflicts={} overrules={} single-model={} rules-in-view={}",
+            self.strat.label(),
+            if self.order_relevant {
+                "relevant"
+            } else {
+                "irrelevant"
+            },
+            self.conflict_pairs,
+            self.ordered_conflicts,
+            if self.single_model { "yes" } else { "no" },
+            self.rules_in_view,
+        )
+    }
+
+    /// The bound for one signed predicate, if the view mentions it.
+    pub fn bound(&self, pred: PredId, sign: Sign) -> Option<&PredBound> {
+        self.pred_bounds
+            .iter()
+            .find(|b| b.pred == pred && b.sign == sign)
+    }
+}
+
+/// The whole program's profile: one [`ComponentProfile`] per component,
+/// in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramProfile {
+    /// Per-component profiles, indexed by [`CompId::index`].
+    pub components: Vec<ComponentProfile>,
+}
+
+/// Profiles every component of `prog`. Returns `None` when the
+/// declared order is not a strict partial order (E01 territory — there
+/// is no well-defined view to profile).
+pub fn profile(prog: &OrderedProgram) -> Option<ProgramProfile> {
+    let order = prog.order().ok()?;
+    Some(ProgramProfile {
+        components: (0..prog.components.len())
+            .map(|ci| component_profile(prog, &order, CompId(ci as u32)))
+            .collect(),
+    })
+}
+
+/// Profiles a single component's view `C*` (see module docs).
+pub fn component_profile(prog: &OrderedProgram, order: &Order, c: CompId) -> ComponentProfile {
+    let rules = view_rules(prog, order, c);
+    let (conflicts, ordered_conflicts) = conflict_pairs(&rules, order);
+    let negation_free = rules
+        .iter()
+        .all(|(_, r)| r.head.sign == Sign::Pos && r.body_lits().all(|l| l.sign == Sign::Pos));
+    let (strat, unstrat_witness) = if negation_free {
+        (StratClass::NegationFree, None)
+    } else {
+        stratify(&rules, &conflicts)
+    };
+    let conflict_free = conflicts.is_empty();
+    ComponentProfile {
+        comp: c,
+        rules_in_view: rules.len(),
+        conflict_pairs: conflicts.len(),
+        ordered_conflicts,
+        order_relevant: ordered_conflicts > 0,
+        strat,
+        conflict_free,
+        single_model: conflict_free || strat != StratClass::Unstratified,
+        unstrat_witness,
+        pred_bounds: pred_bounds(&rules),
+    }
+}
+
+/// The rules of the view `C*`: every rule of a component `d` with
+/// `c ≤ d`, tagged with its component.
+fn view_rules<'p>(prog: &'p OrderedProgram, order: &Order, c: CompId) -> Vec<(CompId, &'p Rule)> {
+    let mut out = Vec::new();
+    for (di, comp) in prog.components.iter().enumerate() {
+        let d = CompId(di as u32);
+        if order.leq(c, d) {
+            out.extend(comp.rules.iter().map(|r| (d, r)));
+        }
+    }
+    out
+}
+
+/// All conflict pairs of a rule set — indices `(i, j)` with `i < j`
+/// whose heads are complementary and unifiable — plus how many of them
+/// are decided by a strict order edge.
+fn conflict_pairs(rules: &[(CompId, &Rule)], order: &Order) -> (Vec<(usize, usize)>, usize) {
+    // Bucket rule indices by head predicate so the quadratic pass only
+    // runs within a predicate.
+    let mut by_pred: FxHashMap<PredId, Vec<usize>> = FxHashMap::default();
+    for (i, (_, r)) in rules.iter().enumerate() {
+        by_pred.entry(r.head.pred).or_default().push(i);
+    }
+    let mut pairs = Vec::new();
+    let mut ordered = 0usize;
+    for idxs in by_pred.values() {
+        for (k, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[k + 1..] {
+                let (ci, ri) = rules[i];
+                let (cj, rj) = rules[j];
+                if ri.head.sign == rj.head.sign.flip() && heads_unify(&ri.head, &rj.head) {
+                    if order.lt(ci, cj) || order.lt(cj, ci) {
+                        ordered += 1;
+                    }
+                    pairs.push((i, j));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    (pairs, ordered)
+}
+
+/// Stratification over the signed predicate graph: positive edges `head
+/// → body literal` per rule, attack edges `victim head → complement of
+/// attacker body literal` per conflict pair. The attack edges encode
+/// *blocking*: a suppressed victim can only start firing once some
+/// attacker body literal's **complement** is derived, so the victim's
+/// derivation depends on those complements. A view is stratified iff no
+/// SCC contains an attack edge — every blocking resolution then lives
+/// strictly below the victim, the least fixpoint decides every attack
+/// the same way modelhood does, and the least model is the unique
+/// stable model (`docs/ANALYSIS.md` has the full argument). Note the
+/// complement is essential: `-p. p :- q, p.` has the attack edge
+/// `(p,-) → (p,-)` (deriving `-p` is what blocks the attacker), a
+/// self-loop — pointing at the body literal `(p,+)` instead would
+/// wrongly classify this self-justifying pattern as stratified.
+fn stratify(
+    rules: &[(CompId, &Rule)],
+    conflicts: &[(usize, usize)],
+) -> (StratClass, Option<(PredId, Sign)>) {
+    let mut ids: FxHashMap<(PredId, Sign), u32> = FxHashMap::default();
+    let mut keys: Vec<(PredId, Sign)> = Vec::new();
+    let mut adj: Vec<Vec<u32>> = Vec::new();
+    let mut id_of = |k: (PredId, Sign), keys: &mut Vec<(PredId, Sign)>, adj: &mut Vec<Vec<u32>>| {
+        *ids.entry(k).or_insert_with(|| {
+            keys.push(k);
+            adj.push(Vec::new());
+            (keys.len() - 1) as u32
+        })
+    };
+    let mut neg_edges: Vec<(u32, u32)> = Vec::new();
+    for (_, r) in rules {
+        let h = id_of((r.head.pred, r.head.sign), &mut keys, &mut adj);
+        for l in r.body_lits() {
+            let b = id_of((l.pred, l.sign), &mut keys, &mut adj);
+            adj[h as usize].push(b);
+        }
+    }
+    // Attack edges, both directions of each conflict pair: a suppressed
+    // victim fires only after some attacker body literal's *complement*
+    // is derived (blocking), so the victim's head depends on those
+    // complements.
+    for &(i, j) in conflicts {
+        for (victim, attacker) in [(i, j), (j, i)] {
+            let vh = rules[victim].1.head.clone();
+            let v = id_of((vh.pred, vh.sign), &mut keys, &mut adj);
+            for l in rules[attacker].1.body_lits() {
+                let b = id_of((l.pred, l.sign.flip()), &mut keys, &mut adj);
+                adj[v as usize].push(b);
+                neg_edges.push((v, b));
+            }
+        }
+    }
+    let (scc_of, _) = tarjan_scc(&adj);
+    for &(u, v) in &neg_edges {
+        if scc_of[u as usize] == scc_of[v as usize] {
+            return (StratClass::Unstratified, Some(keys[u as usize]));
+        }
+    }
+    (StratClass::Stratified, None)
+}
+
+/// Counting-domain bounds: distinct ground facts per signed head, and
+/// whether non-fact rules (or non-ground facts) can derive more.
+fn pred_bounds(rules: &[(CompId, &Rule)]) -> Vec<PredBound> {
+    let mut facts: FxHashMap<(PredId, Sign), FxHashSet<&Literal>> = FxHashMap::default();
+    let mut open: FxHashSet<(PredId, Sign)> = FxHashSet::default();
+    for (_, r) in rules {
+        let key = (r.head.pred, r.head.sign);
+        if r.is_fact() && r.head.is_ground() {
+            facts.entry(key).or_default().insert(&r.head);
+        } else {
+            open.insert(key);
+            facts.entry(key).or_default();
+        }
+    }
+    let mut out: Vec<PredBound> = facts
+        .into_iter()
+        .map(|((pred, sign), heads)| PredBound {
+            pred,
+            sign,
+            facts: heads.len(),
+            exact: !open.contains(&(pred, sign)),
+        })
+        .collect();
+    out.sort_unstable_by_key(|b| (b.pred.0, b.sign == Sign::Neg));
+    out
+}
+
+/// Two-sided unification of head literals (variables of the two rules
+/// are distinct namespaces). Over-approximates: no occurs check, so a
+/// cyclic binding counts as unifiable — the sound direction for
+/// conflict detection.
+pub(crate) fn heads_unify(a: &Literal, b: &Literal) -> bool {
+    if a.pred != b.pred || a.args.len() != b.args.len() {
+        return false;
+    }
+    let mut sub: FxHashMap<(bool, Sym), (bool, Term)> = FxHashMap::default();
+    a.args
+        .iter()
+        .zip(&b.args)
+        .all(|(x, y)| unify((false, x.clone()), (true, y.clone()), &mut sub))
+}
+
+fn resolve(
+    mut side: bool,
+    mut t: Term,
+    sub: &FxHashMap<(bool, Sym), (bool, Term)>,
+) -> (bool, Term) {
+    while let Term::Var(v) = &t {
+        match sub.get(&(side, *v)) {
+            Some((s2, t2)) => {
+                side = *s2;
+                t = t2.clone();
+            }
+            None => break,
+        }
+    }
+    (side, t)
+}
+
+fn unify(a: (bool, Term), b: (bool, Term), sub: &mut FxHashMap<(bool, Sym), (bool, Term)>) -> bool {
+    let (sa, ta) = resolve(a.0, a.1, sub);
+    let (sb, tb) = resolve(b.0, b.1, sub);
+    match (ta, tb) {
+        (Term::Var(v), Term::Var(w)) if sa == sb && v == w => true,
+        (Term::Var(v), tb) => {
+            sub.insert((sa, v), (sb, tb));
+            true
+        }
+        (ta, Term::Var(v)) => {
+            sub.insert((sb, v), (sa, ta));
+            true
+        }
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            f == g
+                && fa.len() == ga.len()
+                && fa
+                    .into_iter()
+                    .zip(ga)
+                    .all(|(x, y)| unify((sa, x), (sb, y), sub))
+        }
+        _ => false,
+    }
+}
+
+// ---- W09 + W10: profile-derived notes ----------------------------------
+
+/// Emits the informational profile lints:
+///
+/// * **W09** — a component whose view is unstratified (stable
+///   enumeration may branch there);
+/// * **W10** — a declared order edge that never decides a conflict, in
+///   a program where the order *does* decide at least one (edges in a
+///   wholly order-irrelevant program are the profile's business, not a
+///   per-edge note; edges already implied transitively are W07's).
+pub(crate) fn w09_w10_profile(
+    world: &World,
+    prog: &OrderedProgram,
+    order: &Order,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let comp_name = |c: CompId| world.syms.name(prog.components[c.index()].name);
+    let mut any_ordered_conflict = false;
+    // Global conflict comp-pairs drive W10; per-view profiles drive W09.
+    let all_rules = view_all(prog);
+    let (global_conflicts, _) = conflict_pairs(&all_rules, order);
+    let conflict_comps: FxHashSet<(CompId, CompId)> = global_conflicts
+        .iter()
+        .map(|&(i, j)| {
+            let (a, b) = (all_rules[i].0, all_rules[j].0);
+            if a.0 <= b.0 {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect();
+    for &(a, b) in &conflict_comps {
+        if order.lt(a, b) || order.lt(b, a) {
+            any_ordered_conflict = true;
+        }
+    }
+    for ci in 0..prog.components.len() {
+        let c = CompId(ci as u32);
+        let p = component_profile(prog, order, c);
+        if p.strat == StratClass::Unstratified {
+            let through = p.unstrat_witness.map_or(String::new(), |(pred, sign)| {
+                format!(
+                    " through `{}{}`",
+                    if sign == Sign::Neg { "-" } else { "" },
+                    world.syms.name(world.preds.info(pred).name)
+                )
+            });
+            diags.push(
+                Diagnostic::new(
+                    Code::UnstratifiedView,
+                    format!(
+                        "view of `{}` is unstratified: a negation cycle{through} lets stable \
+                         models branch (enumeration may be exponential; the least model stays \
+                         polynomial)",
+                        comp_name(c),
+                    ),
+                )
+                .in_comp(c),
+            );
+        }
+    }
+    if !any_ordered_conflict {
+        return;
+    }
+    for (ei, &(lo, hi)) in prog.edges.iter().enumerate() {
+        // Skip duplicates/implied edges (W07 reports those) and edges
+        // whose removal leaves no valid order to compare against.
+        let rest: Vec<(CompId, CompId)> = prog
+            .edges
+            .iter()
+            .filter(|&&e| e != (lo, hi))
+            .copied()
+            .collect();
+        let Ok(reduced) = Order::from_edges(prog.components.len(), &rest) else {
+            continue;
+        };
+        if reduced.lt(lo, hi) {
+            continue;
+        }
+        let decides = conflict_comps.iter().any(|&(a, b)| {
+            let full = order.lt(a, b) || order.lt(b, a);
+            let without = reduced.lt(a, b) || reduced.lt(b, a);
+            full != without
+        });
+        if !decides {
+            diags.push(
+                Diagnostic::new(
+                    Code::InertOrderEdge,
+                    format!(
+                        "order edge `{} < {}` never decides a conflict: no complementary-head \
+                         rule pair becomes comparable through it (the edge only imports rules)",
+                        comp_name(lo),
+                        comp_name(hi),
+                    ),
+                )
+                .in_comp(lo)
+                .at(prog.spans.edge_pos(ei)),
+            );
+        }
+    }
+}
+
+/// Every rule of the program, tagged with its component (the "view"
+/// used for global conflict detection).
+fn view_all(prog: &OrderedProgram) -> Vec<(CompId, &Rule)> {
+    let mut out = Vec::new();
+    for (ci, comp) in prog.components.iter().enumerate() {
+        out.extend(comp.rules.iter().map(|r| (CompId(ci as u32), r)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_parser::parse_program;
+
+    fn profiled(src: &str) -> (World, OrderedProgram, ProgramProfile) {
+        let mut world = World::new();
+        let prog = parse_program(&mut world, src).expect("test program parses");
+        let p = profile(&prog).expect("valid order");
+        (world, prog, p)
+    }
+
+    fn by_name<'p>(
+        world: &World,
+        prog: &OrderedProgram,
+        p: &'p ProgramProfile,
+        name: &str,
+    ) -> &'p ComponentProfile {
+        let c = prog
+            .component_by_name(world.syms.get(name).unwrap())
+            .unwrap();
+        &p.components[c.index()]
+    }
+
+    const PENGUIN: &str = "
+        module c2 {
+            bird(penguin). bird(pigeon).
+            fly(X) :- bird(X).
+            -ground_animal(X) :- bird(X).
+        }
+        module c1 < c2 {
+            ground_animal(penguin).
+            -fly(X) :- ground_animal(X).
+        }";
+
+    #[test]
+    fn penguin_is_order_relevant_stratified_single_model() {
+        let (world, prog, p) = profiled(PENGUIN);
+        let c1 = by_name(&world, &prog, &p, "c1");
+        assert_eq!(c1.strat, StratClass::Stratified);
+        assert!(c1.order_relevant && c1.single_model && !c1.conflict_free);
+        // fly and ground_animal are each contested once.
+        assert_eq!(c1.conflict_pairs, 2);
+        assert_eq!(c1.ordered_conflicts, 2);
+        // c2 sees only its own rules: no conflicts at all.
+        let c2 = by_name(&world, &prog, &p, "c2");
+        assert!(c2.conflict_free && c2.single_model && !c2.order_relevant);
+        assert_eq!(c2.strat, StratClass::Stratified, "has a negative head");
+    }
+
+    #[test]
+    fn p5_choice_program_is_unstratified() {
+        let (world, prog, p) = profiled(
+            "module c2 { a. b. c. }
+             module c1 < c2 { -a :- b, c. -b :- a. -b :- -b. }",
+        );
+        let c1 = by_name(&world, &prog, &p, "c1");
+        assert_eq!(c1.strat, StratClass::Unstratified);
+        assert!(!c1.single_model);
+        assert!(c1.unstrat_witness.is_some());
+        let c2 = by_name(&world, &prog, &p, "c2");
+        assert_eq!(c2.strat, StratClass::NegationFree);
+        assert!(c2.single_model && c2.conflict_free);
+    }
+
+    #[test]
+    fn self_attack_is_conservatively_unstratified() {
+        let (world, prog, p) = profiled("a. -a :- a.");
+        let m = by_name(&world, &prog, &p, "main");
+        assert_eq!(m.strat, StratClass::Unstratified);
+        assert!(!m.single_model);
+    }
+
+    #[test]
+    fn fact_only_defeat_is_stratified_single_model() {
+        // Mutual defeat between facts: the attack is decided trivially
+        // (facts are never blocked), no cycle through any body.
+        let (world, prog, p) =
+            profiled("module a { hire. } module b { -hire. } module c < a, b {}");
+        let c = by_name(&world, &prog, &p, "c");
+        assert_eq!(c.strat, StratClass::Stratified);
+        assert!(c.single_model && !c.conflict_free && !c.order_relevant);
+    }
+
+    #[test]
+    fn counting_bounds_are_exact_without_rules() {
+        let (world, prog, p) = profiled("p(a). p(b). q(X) :- p(X). q(c).");
+        let m = by_name(&world, &prog, &p, "main");
+        let wp = world.syms.get("p").unwrap();
+        let pb = m
+            .pred_bounds
+            .iter()
+            .find(|b| world.preds.info(b.pred).name == wp)
+            .unwrap();
+        assert_eq!((pb.facts, pb.exact), (2, true));
+        let wq = world.syms.get("q").unwrap();
+        let qb = m
+            .pred_bounds
+            .iter()
+            .find(|b| world.preds.info(b.pred).name == wq)
+            .unwrap();
+        assert_eq!((qb.facts, qb.exact), (1, false));
+    }
+
+    #[test]
+    fn heads_unify_respects_bindings_across_sides() {
+        let mut world = World::new();
+        let prog = parse_program(
+            &mut world,
+            "p(X, X) :- q(X). -p(a, b) :- q(a). -p(Y, Y) :- q(Y).",
+        )
+        .unwrap();
+        let rules = &prog.components[0].rules;
+        // p(X,X) cannot unify with -p(a,b) (X would need a = b)…
+        assert!(!heads_unify(&rules[0].head, &rules[1].head));
+        // …but unifies with -p(Y,Y).
+        assert!(heads_unify(&rules[0].head, &rules[2].head));
+    }
+
+    #[test]
+    fn summary_is_greppable() {
+        let (world, prog, p) = profiled(PENGUIN);
+        let s = by_name(&world, &prog, &p, "c1").summary();
+        assert!(s.contains("strat=stratified"), "{s}");
+        assert!(s.contains("order=relevant"), "{s}");
+        assert!(s.contains("single-model=yes"), "{s}");
+    }
+
+    #[test]
+    fn invalid_order_yields_no_profile() {
+        let mut world = World::new();
+        let prog = parse_program(
+            &mut world,
+            "module a {} module b {}\norder a < b.\norder b < a.",
+        )
+        .unwrap();
+        assert!(profile(&prog).is_none());
+    }
+}

@@ -1298,4 +1298,97 @@ fn main() {
             Err(e) => println!("B12 server: could not write BENCH_server.json: {e}"),
         }
     }
+
+    // B13: analysis-guided evaluation — the semantic profile proves the
+    // taxonomy view stratified and single-model, so `stable` collapses
+    // to the least model instead of enumerating assumption-free models.
+    // Emitted as BENCH_analysis.json with two gates:
+    //   * identical  — the guided stable set is byte-identical to the
+    //     general engine's (the fast path may never change an answer);
+    //   * speedup    — guided `stable` is ≥1.3x faster than the general
+    //     engine on this provably-stratified workload.
+    // If the analyzer fails to prove the workload single-model the
+    // gates are reported as SKIP (never a fake PASS): a weaker analysis
+    // must show up as lost coverage, not as a fabricated speedup.
+    {
+        const N_SPECIES: usize = 512;
+        const N_LAYERS: usize = 4;
+        const SPEEDUP_GATE: f64 = 1.3;
+
+        let build = |guided: bool| -> Kb {
+            let mut w = World::new();
+            let prog = taxonomy_chain(&mut w, N_SPECIES, N_LAYERS);
+            let mut kb = KbBuilder::from_parts(w, prog)
+                .build_with(GroundStrategy::Smart, &GroundConfig::default())
+                .expect("taxonomy grounds");
+            kb.set_profile_guided(guided);
+            kb.set_threads(1);
+            kb
+        };
+
+        let profile = build(true)
+            .component_profile("layer0")
+            .expect("layer0 exists")
+            .expect("chain order is valid");
+        let summary = profile.summary();
+        println!("B13 analysis taxonomy S={N_SPECIES} L={N_LAYERS}: profile {summary}");
+
+        let timed_stable = |guided: bool| -> (Duration, Vec<String>) {
+            let mut best = Duration::MAX;
+            let mut rendered = Vec::new();
+            for _ in 0..3 {
+                let mut kb = build(guided);
+                let t = Instant::now();
+                let models = kb.stable("layer0").expect("layer0 exists");
+                best = best.min(t.elapsed());
+                rendered = models.iter().map(|m| kb.render(m)).collect();
+                rendered.sort();
+            }
+            (best, rendered)
+        };
+
+        let (gate, detail) = if !(profile.single_model && profile.order_relevant) {
+            println!(
+                "B13 analysis: gates SKIP — the analyzer no longer proves the taxonomy \
+                 view single-model ({summary}); nothing honest to time"
+            );
+            ("skipped_profile_not_single_model", String::new())
+        } else {
+            let (t_guided, m_guided) = timed_stable(true);
+            let (t_general, m_general) = timed_stable(false);
+            let identical = m_guided == m_general && m_guided.len() == 1;
+            let speedup = t_general.as_secs_f64() / t_guided.as_secs_f64().max(1e-9);
+            println!(
+                "B13 analysis stable layer0: guided {t_guided:?} vs general {t_general:?} \
+                 ({speedup:.2}x) — identical {} / ≥{SPEEDUP_GATE}x gate: {}",
+                if identical { "PASS" } else { "FAIL" },
+                if speedup >= SPEEDUP_GATE {
+                    "PASS"
+                } else {
+                    "FAIL"
+                },
+            );
+            let ok = identical && speedup >= SPEEDUP_GATE;
+            (
+                if ok { "pass" } else { "fail" },
+                format!(
+                    "\"guided_us\": {}, \"general_us\": {}, \"speedup\": {speedup:.2}, \
+                     \"stable_models\": {}, \"identical\": {identical}, ",
+                    t_guided.as_micros(),
+                    t_general.as_micros(),
+                    m_guided.len(),
+                ),
+            )
+        };
+        let json = format!(
+            "{{\n\"workload\": \"taxonomy_chain stratified exceptions\",\n\
+             \"n_species\": {N_SPECIES}, \"n_layers\": {N_LAYERS},\n\
+             \"profile\": \"{summary}\",\n\
+             \"gates\": {{\n{detail}\"identical_and_speedup_{SPEEDUP_GATE}x\": \"{gate}\"\n}}\n}}\n",
+        );
+        match std::fs::write("BENCH_analysis.json", &json) {
+            Ok(()) => println!("B13 analysis: wrote BENCH_analysis.json"),
+            Err(e) => println!("B13 analysis: could not write BENCH_analysis.json: {e}"),
+        }
+    }
 }

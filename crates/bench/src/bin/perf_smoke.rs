@@ -22,13 +22,21 @@
 //! path must not be slower than clear+reflatten (small tolerance for
 //! timer noise); it needs no second core, so it is asserted on every
 //! host.
+//!
+//! A third case guards the **analysis-guided fast path** (experiment
+//! B13): on the stratified taxonomy workload the semantic profile
+//! proves the view single-model, so `stable` must collapse to the
+//! least model and beat the general enumeration by ≥1.3x — with
+//! byte-identical results. If the analyzer stops proving the workload
+//! single-model, that is reported as FAIL too (lost fast-path
+//! coverage is a perf regression, not a skip).
 
 use olp_core::{CompId, World};
 use olp_ground::{ground_smart, GroundConfig, GroundProgram};
 use olp_kb::{GroundStrategy, Kb, KbBuilder};
 use olp_parser::parse_program;
 use olp_semantics::{flatten, least_model_flat, least_model_parallel, View};
-use olp_workload::{ancestor, mutation_stream, GraphShape, Mutation, MutationCfg};
+use olp_workload::{ancestor, mutation_stream, taxonomy_chain, GraphShape, Mutation, MutationCfg};
 use std::time::{Duration, Instant};
 
 const N: usize = 220;
@@ -40,6 +48,13 @@ const MUT_N_BASE: usize = 128;
 /// Allowed patched-arena overhead over clear+reflatten: patching may
 /// win big or tie, it must never regress the mutation path.
 const MAX_MUT_RATIO: f64 = 1.10;
+/// Taxonomy size for the analysis fast-path case (experiment B13).
+const TAX_SPECIES: usize = 512;
+const TAX_LAYERS: usize = 4;
+/// Required speedup of profile-guided `stable` over the general
+/// engine on the provably single-model taxonomy view (B13 gate;
+/// measured ~5x, gated loosely against timer noise).
+const MIN_ANALYSIS_SPEEDUP: f64 = 1.3;
 
 fn build(threads: usize) -> (World, GroundProgram) {
     let mut w = World::new();
@@ -133,6 +148,29 @@ fn mutation_path(reflatten: bool) -> (Duration, String) {
     (best, model)
 }
 
+/// Best-of-3 `stable("layer0")` on the taxonomy workload, with the
+/// analysis-guided fast paths on or off. Fresh KB per run so neither
+/// configuration benefits from the other's caches.
+fn analysis_stable(guided: bool) -> (Duration, Vec<String>) {
+    let mut best = Duration::MAX;
+    let mut rendered = Vec::new();
+    for _ in 0..3 {
+        let mut w = World::new();
+        let prog = taxonomy_chain(&mut w, TAX_SPECIES, TAX_LAYERS);
+        let mut kb = KbBuilder::from_parts(w, prog)
+            .build_with(GroundStrategy::Smart, &GroundConfig::default())
+            .expect("taxonomy grounds");
+        kb.set_profile_guided(guided);
+        kb.set_threads(1);
+        let t = Instant::now();
+        let models = kb.stable("layer0").expect("layer0 exists");
+        best = best.min(t.elapsed());
+        rendered = models.iter().map(|m| kb.render(m)).collect();
+        rendered.sort();
+    }
+    (best, rendered)
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (t1, m1) = end_to_end(1);
@@ -164,6 +202,28 @@ fn main() {
         std::process::exit(1);
     }
     println!("perf-smoke: mutation-path ratio {mut_ratio:.2} within {MAX_MUT_RATIO}");
+
+    // Analysis fast path (B13): profile-guided stable must match the
+    // general engine and beat it. Single-threaded, asserted everywhere.
+    let (t_guided, m_guided) = analysis_stable(true);
+    let (t_general, m_general) = analysis_stable(false);
+    assert_eq!(
+        m_guided, m_general,
+        "guided stable set differs from the general engine"
+    );
+    let speedup = t_general.as_secs_f64() / t_guided.as_secs_f64().max(1e-9);
+    println!(
+        "perf-smoke analysis taxonomy S={TAX_SPECIES} L={TAX_LAYERS}: guided {t_guided:?} vs \
+         general {t_general:?} ({speedup:.2}x), stable sets identical"
+    );
+    if speedup < MIN_ANALYSIS_SPEEDUP {
+        eprintln!(
+            "perf-smoke: FAIL — profile-guided stable is only {speedup:.2}x the general \
+             engine (need ≥{MIN_ANALYSIS_SPEEDUP}x); the analysis fast path has regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("perf-smoke: analysis fast-path speedup {speedup:.2}x meets ≥{MIN_ANALYSIS_SPEEDUP}x");
 
     let force = std::env::var("OLP_PERF_SMOKE_FORCE").is_ok_and(|v| v == "1");
     if host_cores < 2 && !force {

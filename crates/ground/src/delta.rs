@@ -231,6 +231,13 @@ impl DeltaGrounder {
         if lits.is_empty() || !residual.is_empty() {
             self.adom_dependent.push(ix);
         }
+        // Counting-domain seed: a ground fact bumps the planner's
+        // statistics prior for its (pred, sign) (re-asserting the same
+        // fact bumps it again — seeds are priors, not exact counts,
+        // and are superseded by measured statistics anyway).
+        if rule.head.is_ground() && lits.is_empty() && cmps.is_empty() {
+            self.index.seed(rule.head.pred, rule.head.sign, 1);
+        }
         self.plans.push(compile_body(world, &lits));
         self.rules.push(DRule {
             comp,
@@ -299,7 +306,7 @@ impl DeltaGrounder {
         if self.adom_set.insert(t) {
             self.adom.push(t);
             if let GTerm::Func(_, args) = world.terms.get(t).clone() {
-                for a in args.iter() {
+                for a in &args {
                     self.adom_add_term(world, *a);
                 }
             }
@@ -310,14 +317,14 @@ impl DeltaGrounder {
         if self.d_set.insert(l) {
             self.index.add(world, l);
             let atom = world.atoms.get(l.atom()).clone();
-            for &t in atom.args.iter() {
+            for &t in &atom.args {
                 self.adom_add_term(world, t);
             }
             self.queue.push_back(l);
         }
     }
 
-    fn intern_lit(&mut self, world: &mut World, lit: &Literal, b: &Bindings) -> GLit {
+    fn intern_lit(world: &mut World, lit: &Literal, b: &Bindings) -> GLit {
         let mut args = Vec::with_capacity(lit.args.len());
         for t in &lit.args {
             args.push(
@@ -385,7 +392,7 @@ impl DeltaGrounder {
             }
         }
         let head_lit = self.rules[rule_ix].head.clone();
-        let head = self.intern_lit(world, &head_lit, b);
+        let head = Self::intern_lit(world, &head_lit, b);
         let comp = self.rules[rule_ix].comp;
         let gr = GroundRule::new(head, body.to_vec(), comp);
         self.d_add(world, head);
@@ -502,10 +509,10 @@ impl DeltaGrounder {
         let mut ready: Vec<usize> = Vec::new();
         for (i, inst) in cands.iter().enumerate() {
             self.pool.spend(1)?;
-            for &l in inst.gr.body.iter() {
+            for &l in &inst.gr.body {
                 waiters_lit.entry(l).or_default().push(i);
             }
-            for &t in inst.residual_terms.iter() {
+            for &t in &inst.residual_terms {
                 waiters_term.entry(t).or_default().push(i);
             }
             missing.push((inst.gr.body.len(), inst.residual_terms.len()));
@@ -631,7 +638,7 @@ impl DeltaGrounder {
                         let mut blockable = false;
                         let mut body_derivable = true;
                         for l in &body_lits {
-                            let gl = self.intern_lit(world, l, &b);
+                            let gl = Self::intern_lit(world, l, &b);
                             if self.d_set.contains(&gl.complement()) {
                                 blockable = true;
                             }
@@ -758,7 +765,7 @@ impl GroundDelta {
         {
             let mut note = |r: &GroundRule| {
                 touched.push(r.head.atom().index());
-                for &b in r.body.iter() {
+                for &b in &r.body {
                     touched.push(b.atom().index());
                 }
             };

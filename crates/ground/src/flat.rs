@@ -143,7 +143,7 @@ impl FlatView {
         for &ri in rules {
             let r = &gp.rules[ri as usize];
             let h = r.head.atom().index();
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 adj_edges[cursor[h] as usize] = b.atom().index() as u32;
                 cursor[h] += 1;
             }
@@ -160,7 +160,7 @@ impl FlatView {
         for &ri in rules {
             let r = &gp.rules[ri as usize];
             let s = scc_of[r.head.atom().index()];
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 let t = scc_of[b.atom().index()];
                 if t != s {
                     debug_assert!(t < s, "Tarjan ids must be reverse-topological");
@@ -176,7 +176,7 @@ impl FlatView {
         for &ri in rules {
             let r = &gp.rules[ri as usize];
             let s = scc_of[r.head.atom().index()];
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 let t = scc_of[b.atom().index()];
                 if t != s {
                     se_edges[se_cur[s as usize] as usize] = t;
@@ -529,9 +529,8 @@ impl FlatView {
         let mut tail_slot = vec![u32::MAX; n_atoms];
         let mut tail_atoms: Vec<u32> = Vec::new();
         for &ri in added {
-            let r = match gp.rules.get(ri as usize) {
-                Some(r) => r,
-                None => return FlatPatch::Rebuild, // malformed request
+            let Some(r) = gp.rules.get(ri as usize) else {
+                return FlatPatch::Rebuild; // malformed request
             };
             let h = r.head.atom().index();
             if stratum_of_atom[h] == u32::MAX && tail_slot[h] == u32::MAX {
@@ -558,8 +557,17 @@ impl FlatView {
             let r = &gp.rules[ri as usize];
             let h = r.head.atom().index();
             let hs = stratum_of_atom[h];
-            if hs != u32::MAX {
-                for &b in r.body.iter() {
+            if hs == u32::MAX {
+                let slot = tail_slot[h];
+                for &b in &r.body {
+                    let ba = b.atom().index();
+                    if tail_slot[ba] != u32::MAX && ba != h {
+                        tail_edges.push((slot, tail_slot[ba]));
+                    }
+                }
+                tail_rules[slot as usize].push(ri);
+            } else {
+                for &b in &r.body {
                     let ba = b.atom().index();
                     if tail_slot[ba] != u32::MAX {
                         return FlatPatch::Rebuild; // depends on a later stratum
@@ -572,15 +580,6 @@ impl FlatView {
                     // never derives, no ordering constraint.
                 }
                 into_stratum[hs as usize].push(ri);
-            } else {
-                let slot = tail_slot[h];
-                for &b in r.body.iter() {
-                    let ba = b.atom().index();
-                    if tail_slot[ba] != u32::MAX && ba != h {
-                        tail_edges.push((slot, tail_slot[ba]));
-                    }
-                }
-                tail_rules[slot as usize].push(ri);
             }
         }
 
@@ -927,9 +926,9 @@ impl FlatView {
         let (lo, hi) = self.stratum(s);
         let (lo, hi) = (lo as usize, hi as usize);
         let rules = (hi - lo) as u64;
-        let bodies = (self.body_off[hi] - self.body_off[lo]) as u64;
-        let attacks = (self.over_off[hi] - self.over_off[lo]) as u64
-            + (self.defeat_off[hi] - self.defeat_off[lo]) as u64;
+        let bodies = u64::from(self.body_off[hi] - self.body_off[lo]);
+        let attacks = u64::from(self.over_off[hi] - self.over_off[lo])
+            + u64::from(self.defeat_off[hi] - self.defeat_off[lo]);
         rules + bodies + attacks
     }
 
@@ -1018,7 +1017,7 @@ impl ProgramStats {
         for (_, r) in gp.view_rules(comp) {
             rules += 1;
             note(r.head);
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 body_lits += 1;
                 note(b);
             }
@@ -1061,24 +1060,27 @@ impl ProgramStats {
 
     /// Renders the statistics, one `(pred, sign)` per line.
     pub fn render(&self, world: &World) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
-        out.push_str(&format!(
-            "rules: {}, body literals: {}\n",
+        let _ = writeln!(
+            out,
+            "rules: {}, body literals: {}",
             self.rules, self.body_lits
-        ));
+        );
         for p in &self.preds {
             let info = world.preds.info(p.pred);
             let name = world.syms.name(info.name);
             let sign = if p.sign == Sign::Pos { "" } else { "-" };
             let distinct: Vec<String> = p.distinct.iter().map(usize::to_string).collect();
-            out.push_str(&format!(
-                "  {}{}/{}: {} atoms, distinct per arg [{}]\n",
+            let _ = writeln!(
+                out,
+                "  {}{}/{}: {} atoms, distinct per arg [{}]",
                 sign,
                 name,
                 info.arity,
                 p.cardinality,
                 distinct.join(", ")
-            ));
+            );
         }
         out
     }
@@ -1220,7 +1222,8 @@ mod tests {
             prev = hi;
         }
         assert_eq!(prev as usize, fv.n_strata());
-        let mut stratum_of_atom: std::collections::HashMap<usize, usize> = Default::default();
+        let mut stratum_of_atom: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
         for s in 0..fv.n_strata() {
             let (lo, hi) = fv.stratum(s);
             for f in lo..hi {

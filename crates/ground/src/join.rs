@@ -121,6 +121,16 @@ pub(crate) struct PredIndex {
 #[derive(Debug, Default)]
 pub(crate) struct DIndex {
     by: FxHashMap<(PredId, Sign), PredIndex>,
+    /// Static cardinality seeds from the counting abstract domain
+    /// (distinct ground-fact heads per (pred, sign), counted over the
+    /// AST before grounding). They stand in for measured statistics
+    /// while a predicate has no indexed atoms yet: the planner uses
+    /// the seed as that position's match estimate, so it prefers
+    /// provably-empty predicates (seed 0 ⇒ immediate prune) over ones
+    /// whose facts merely have not been committed yet. As soon as the
+    /// first atom of a (pred, sign) is indexed, measured statistics
+    /// take over and the seed is ignored.
+    seeds: FxHashMap<(PredId, Sign), u64>,
 }
 
 impl DIndex {
@@ -145,12 +155,22 @@ impl DIndex {
     /// The plain candidate list for `(pred, sign)` (no positional
     /// filtering) — what the unplanned join iterates.
     pub fn candidates(&self, pred: PredId, sign: Sign) -> &[AtomId] {
-        self.get(pred, sign)
-            .map(|p| p.atoms.as_slice())
-            .unwrap_or(&[])
+        self.get(pred, sign).map_or(&[], |p| p.atoms.as_slice())
     }
 
-    /// Drops every entry (used by the delta grounder's replay).
+    /// Adds `n` to the static cardinality seed of `(pred, sign)`.
+    pub fn seed(&mut self, pred: PredId, sign: Sign, n: u64) {
+        *self.seeds.entry((pred, sign)).or_insert(0) += n;
+    }
+
+    /// The static cardinality seed for `(pred, sign)` (0 if unseeded).
+    pub fn seed_bound(&self, pred: PredId, sign: Sign) -> u64 {
+        self.seeds.get(&(pred, sign)).copied().unwrap_or(0)
+    }
+
+    /// Drops every measured entry (used by the delta grounder's
+    /// replay). Seeds are program-text facts, not grounding state, so
+    /// they survive: the replayed closure starts from the same priors.
     pub fn clear(&mut self) {
         self.by.clear();
     }
@@ -296,9 +316,18 @@ fn choose<'a>(
     for (i, &pos) in remaining.iter().enumerate() {
         let jl = &plan.lits[pos];
         let (num, den, cand): (u128, u128, &[AtomId]) = match index.get(jl.lit.pred, jl.lit.sign) {
-            // Nothing derivable for the predicate: zero matches, and
-            // choosing it first prunes the whole subtree immediately.
-            None => (0, 1, &[]),
+            // No measured statistics for the predicate yet: fall back
+            // to the static cardinality seed. A seed of 0 means the
+            // predicate is provably empty — choosing it first prunes
+            // the whole subtree immediately; a positive seed defers
+            // the position behind cheaper measured ones (the scan is
+            // still free either way, since the candidate list is
+            // empty until the facts commit).
+            None => (
+                u128::from(index.seed_bound(jl.lit.pred, jl.lit.sign)),
+                1,
+                &[],
+            ),
             Some(p) => {
                 let mut cand: &[AtomId] = &p.atoms;
                 let mut scan_ai: Option<usize> = None;
@@ -314,8 +343,7 @@ fn choose<'a>(
                             .pos
                             .get(ai)
                             .and_then(|m| m.get(&t))
-                            .map(|v| v.as_slice())
-                            .unwrap_or(&[]);
+                            .map_or(&[][..], std::vec::Vec::as_slice);
                         if list.len() < cand.len() {
                             cand = list;
                             scan_ai = Some(ai);
@@ -540,4 +568,51 @@ pub(crate) fn frontier_join(
             _ => unreachable!("item skipped without a recorded error"),
         })
         .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olp_core::Term;
+
+    #[test]
+    fn planner_consults_seeds_before_measured_stats() {
+        let mut world = World::new();
+        let p = world.pred("p", 1);
+        let q = world.pred("q", 1);
+        let x = world.syms.intern("X");
+        let body = vec![
+            Literal::pos(p, vec![Term::Var(x)]),
+            Literal::pos(q, vec![Term::Var(x)]),
+        ];
+        let plan = compile_body(&mut world, &body);
+        let mut index = DIndex::default();
+        // Three measured q atoms; p has nothing derivable yet.
+        for name in ["a", "b", "c"] {
+            let s = world.syms.intern(name);
+            let t = world.terms.constant(s);
+            let atom = world.atoms.intern(q, &[t]);
+            index.add(&world, GLit::pos(atom));
+        }
+        let b = Bindings::default();
+        // Unseeded: the p position (no stats ⇒ estimate 0) is chosen
+        // first — a free prune of the whole subtree.
+        let (_, cand) = choose(&plan, &index, &[0, 1], &b, true);
+        assert!(cand.is_empty(), "unseeded empty predicate scans first");
+        // Seeded with 100 expected facts, p is deferred behind the
+        // cheaper measured q scan until its facts actually commit.
+        index.seed(p, Sign::Pos, 100);
+        assert_eq!(index.seed_bound(p, Sign::Pos), 100);
+        let (idx, cand) = choose(&plan, &index, &[0, 1], &b, true);
+        assert_eq!(idx, 1, "measured 3-atom scan beats the 100-fact prior");
+        assert_eq!(cand.len(), 3);
+        // Measured statistics supersede the seed entirely.
+        let s = world.syms.intern("d");
+        let t = world.terms.constant(s);
+        let atom = world.atoms.intern(p, &[t]);
+        index.add(&world, GLit::pos(atom));
+        let (idx, cand) = choose(&plan, &index, &[0, 1], &b, true);
+        assert_eq!(idx, 0, "one measured p atom beats three q atoms");
+        assert_eq!(cand.len(), 1);
+    }
 }

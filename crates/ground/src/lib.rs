@@ -39,6 +39,23 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::must_use_candidate,
+    clippy::missing_panics_doc,
+    clippy::missing_errors_doc,
+    clippy::module_name_repetitions,
+    clippy::cast_possible_truncation,
+    clippy::doc_markdown,
+    clippy::too_many_lines,
+    clippy::similar_names,
+    // Fixpoint/join code is written in the paper's notation: single
+    // letters (rule r, literal l, component c) are the clearest names.
+    clippy::many_single_char_names,
+    // Local helper items next to their single use site read better
+    // than hoisting them above unrelated setup code.
+    clippy::items_after_statements
+)]
 
 pub mod delta;
 pub mod demand;

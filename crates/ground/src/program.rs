@@ -111,10 +111,11 @@ impl GroundProgram {
     /// debugging view (the `semantics_explorer` example prints it with
     /// `--dump`).
     pub fn render(&self, world: &World) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
         for c in 0..self.order.len() {
             let c = CompId(c as u32);
-            out.push_str(&format!("component {}:\n", c.0));
+            let _ = writeln!(out, "component {}:", c.0);
             for (i, r) in self.rules.iter().enumerate() {
                 if r.comp == c {
                     out.push_str("  ");

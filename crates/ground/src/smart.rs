@@ -72,7 +72,7 @@ use crate::universe::{signature, GroundConfig, GroundError};
 use olp_core::term::Bindings;
 use olp_core::{
     AtomId, CompId, FxHashMap, FxHashSet, GLit, GTerm, GTermId, Literal, OrderedProgram, PredId,
-    Sign, Sym, World,
+    Sign, Sym, Term, World,
 };
 use std::collections::VecDeque;
 
@@ -120,12 +120,12 @@ struct Smart<'w> {
     planner: bool,
 }
 
-impl<'w> Smart<'w> {
+impl Smart<'_> {
     fn adom_add_term(&mut self, t: GTermId) {
         if self.adom_set.insert(t) {
             self.adom.push(t);
             if let GTerm::Func(_, args) = self.world.terms.get(t).clone() {
-                for a in args.iter() {
+                for a in &args {
                     self.adom_add_term(*a);
                 }
             }
@@ -136,7 +136,7 @@ impl<'w> Smart<'w> {
         if self.d_set.insert(l) {
             self.index.add(self.world, l);
             let args = self.world.atoms.get(l.atom()).args.clone();
-            for &t in args.iter() {
+            for &t in &args {
                 self.adom_add_term(t);
             }
             self.queue.push_back(l);
@@ -498,6 +498,27 @@ pub fn ground_smart_seeded(
         threads: cfg.threads.max(1),
         planner: cfg.plan,
     };
+    // Counting-domain seeds: distinct ground-fact heads per
+    // (pred, sign), counted over the program text and handed to the
+    // join planner as statistics priors for predicates it has not
+    // measured yet (see `DIndex::seed`). Counted structurally so no
+    // atoms are interned before grounding proper begins.
+    let mut fact_heads: FxHashSet<(PredId, Sign, Vec<Term>)> = FxHashSet::default();
+    for (_, rule) in prog.rules() {
+        if rule.head.is_ground()
+            && rule.body_lits().next().is_none()
+            && rule.body_cmps().next().is_none()
+        {
+            fact_heads.insert((rule.head.pred, rule.head.sign, rule.head.args.clone()));
+        }
+    }
+    let mut fact_counts: FxHashMap<(PredId, Sign), u64> = FxHashMap::default();
+    for (pred, sign, _) in &fact_heads {
+        *fact_counts.entry((*pred, *sign)).or_insert(0) += 1;
+    }
+    for ((pred, sign), n) in fact_counts {
+        s.index.seed(pred, sign, n);
+    }
     for &c in &sig.constants {
         s.adom_add_term(c);
     }

@@ -10,7 +10,7 @@
 //! for the choice-style programs.
 
 use crate::relation::Relation;
-use olp_analyze::{analyze, Diagnostic};
+use olp_analyze::{analyze, ComponentProfile, Diagnostic, Severity, StratClass};
 use olp_core::{
     Budget, CompId, Eval, FxHashMap, FxHashSet, Interpretation, Interrupted, Literal, Rule, Term,
     Truth, World,
@@ -21,9 +21,9 @@ use olp_ground::{
 };
 use olp_parser::{parse_ground_literal, parse_program, parse_rule, ParseError};
 use olp_semantics::{
-    least_model_delta_flat, least_model_flat, least_model_monolithic_budgeted, least_model_morsel,
-    stable_models_decomposed_cached, stable_models_monolithic_budgeted,
-    stable_models_parallel_budgeted, MorselCfg, View,
+    least_model_delta_flat, least_model_flat, least_model_flat_definite,
+    least_model_monolithic_budgeted, least_model_morsel, stable_models_decomposed_cached,
+    stable_models_monolithic_budgeted, stable_models_parallel_budgeted, MorselCfg, View,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -358,7 +358,12 @@ impl KbBuilder {
     /// warnings included. The strict entry point for loading programs
     /// that are expected to be lint-clean.
     pub fn build_checked(self, strategy: GroundStrategy) -> Result<Kb, KbError> {
-        let diags = analyze(&self.world, &self.prog);
+        // Info-severity findings (profile notes like W09/W10) never
+        // gate: only warnings and errors reject the build.
+        let diags: Vec<Diagnostic> = analyze(&self.world, &self.prog)
+            .into_iter()
+            .filter(|d| d.severity >= Severity::Warn)
+            .collect();
         if !diags.is_empty() {
             return Err(KbError::Rejected(diags));
         }
@@ -400,8 +405,11 @@ impl KbBuilder {
             epoch: 0,
             touched_log: Vec::new(),
             view_version: vec![0; n_comps],
+            ast_version: vec![0; n_comps],
             threads: default_threads(),
             morsel_weight: default_morsel_weight(),
+            profiles: FxHashMap::default(),
+            profile_guided: true,
         })
     }
 }
@@ -416,6 +424,8 @@ fn findings_introduced(after: Vec<Diagnostic>, before: &[Diagnostic]) -> Vec<Dia
     }
     after
         .into_iter()
+        // Info-severity findings (profile notes) never gate mutations.
+        .filter(|d| d.severity >= Severity::Warn)
         .filter(|d| match seen.get_mut(&(d.code, d.message.clone())) {
             Some(n) if *n > 0 => {
                 *n -= 1;
@@ -533,6 +543,15 @@ pub struct Kb {
     /// epoch, which is what makes revalidation O(1) for bystander
     /// components.
     view_version: Vec<u64>,
+    /// `ast_version[c]` counts the **rule-text** mutations visible from
+    /// component `c`'s view: every successful assert/retract on a
+    /// component `d` bumps the version of each `c` with `order.leq(c,
+    /// d)`. This is deliberately coarser than `view_version` (which
+    /// tracks the *ground* diff): an asserted rule that grounds to
+    /// nothing still changes the AST view, and the semantic profile is
+    /// a function of the AST view — keying the profile cache on the
+    /// ground version would leave it stale exactly there.
+    ast_version: Vec<u64>,
     /// Worker threads for **unbudgeted** query evaluation ([`Kb::model`]
     /// and friends; budgeted calls take [`QueryOptions::threads`]).
     /// Initialised to [`default_threads`]; results are identical at
@@ -541,6 +560,21 @@ pub struct Kb {
     /// Target morsel weight for parallel evaluation (see
     /// [`default_morsel_weight`]).
     morsel_weight: u64,
+    /// Per-component semantic profiles ([`olp_analyze::profile`]),
+    /// keyed by the **AST version** they were computed at. The profile
+    /// depends only on the component's AST view and the order, and
+    /// every successful rule mutation bumps `ast_version` for each
+    /// component whose view contains the mutated one
+    /// ([`Kb::note_ast_mutation`]) — so a cached entry whose version
+    /// matches is exact, and a bumped one is recomputed from the
+    /// current program on next use.
+    profiles: FxHashMap<CompId, (u64, Arc<ComponentProfile>)>,
+    /// Consult profiles to pick fast evaluation paths (stable/skeptical
+    /// collapse to the least model on provably single-model views,
+    /// negation-free views skip attack bookkeeping). On by default;
+    /// [`Kb::set_profile_guided`] turns it off — the differential
+    /// baseline the fast-path proptests compare against.
+    profile_guided: bool,
 }
 
 impl Kb {
@@ -590,6 +624,38 @@ impl Kb {
         self.view_version.get(c.index()).copied().unwrap_or(0)
     }
 
+    /// The current AST version of component `c` (see the field doc).
+    fn ast_version(&self, c: CompId) -> u64 {
+        self.ast_version.get(c.index()).copied().unwrap_or(0)
+    }
+
+    /// Records a successful rule mutation on `target`: bumps the AST
+    /// version of every component whose view contains `target` (i.e.
+    /// each `c` with `order.leq(c, target)`), invalidating exactly the
+    /// cached profiles the mutation can change. If the order is invalid
+    /// (no well-defined views) every version is bumped — profiles are
+    /// `None` in that state anyway, so over-invalidation is free.
+    fn note_ast_mutation(&mut self, target: CompId) {
+        let n = self.prog.components.len();
+        if self.ast_version.len() < n {
+            self.ast_version.resize(n, 0);
+        }
+        match self.prog.order() {
+            Ok(order) => {
+                for ci in 0..n {
+                    if order.leq(CompId(ci as u32), target) {
+                        self.ast_version[ci] += 1;
+                    }
+                }
+            }
+            Err(_) => {
+                for v in &mut self.ast_version {
+                    *v += 1;
+                }
+            }
+        }
+    }
+
     /// Makes `least_cache[c]` present and current (epoch == now). A
     /// stale entry whose view version did not move is re-tagged in O(1)
     /// (its view's rules are unchanged, so its model is still exact);
@@ -619,8 +685,15 @@ impl Kb {
             // Fresh computations compile the flat arena view directly —
             // no interpretive hash-map view on the hot path.
             None if self.threads > 1 => {
+                let mut cfg = self.morsel_cfg(self.threads);
+                cfg.assume_definite = self.proved_definite(c);
                 let fv = self.flat(c);
-                least_model_morsel(&fv, &self.morsel_cfg(self.threads), &Budget::unlimited())
+                least_model_morsel(&fv, &cfg, &Budget::unlimited())
+                    .expect_complete("unlimited evaluation always completes")
+            }
+            None if self.proved_definite(c) => {
+                let fv = self.flat(c);
+                least_model_flat_definite(&fv, &Budget::unlimited())
                     .expect_complete("unlimited evaluation always completes")
             }
             None => least_model_flat(&self.flat(c)),
@@ -658,15 +731,21 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<Interpretation>, KbError> {
         let c = self.comp(object)?;
+        Ok(self.model_eval(c, opts))
+    }
+
+    /// [`Kb::model_with`] at component granularity (also the engine
+    /// behind the profile-guided stable/skeptical fast paths).
+    fn model_eval(&mut self, c: CompId, opts: &QueryOptions) -> Eval<Interpretation> {
         let vv = self.view_version(c);
         let epoch = self.epoch;
         let stale = match self.least_cache.get_mut(&c) {
-            Some(e) if e.epoch == epoch => return Ok(Eval::Complete(e.model.as_ref().clone())),
+            Some(e) if e.epoch == epoch => return Eval::Complete(e.model.as_ref().clone()),
             Some(e) if e.view_version == vv => {
                 // Mutations happened, but none changed a rule visible
                 // from `c`: the cached model is exact at this epoch.
                 e.epoch = epoch;
-                return Ok(Eval::Complete(e.model.as_ref().clone()));
+                return Eval::Complete(e.model.as_ref().clone());
             }
             Some(e) => Some(e.epoch),
             None => None,
@@ -687,15 +766,16 @@ impl Kb {
                     },
                 );
             }
-            return Ok(eval);
+            return eval;
         }
         let eval = if !opts.decomp {
             let view = View::new(&self.ground, c);
             least_model_monolithic_budgeted(&view, &opts.budget())
         } else {
-            let fv = self.flat(c);
             let mut cfg = self.morsel_cfg(opts.threads);
             cfg.target_weight = opts.morsel_weight.max(1);
+            cfg.assume_definite = self.proved_definite(c);
+            let fv = self.flat(c);
             // `threads <= 1` (and small programs) run the sequential
             // flat path inside `least_model_morsel` verbatim.
             least_model_morsel(&fv, &cfg, &opts.budget())
@@ -711,7 +791,7 @@ impl Kb {
                 },
             );
         }
-        Ok(eval)
+        eval
     }
 
     /// Truth of a ground literal (e.g. `"fly(penguin)"` or
@@ -929,6 +1009,63 @@ impl Kb {
         }
     }
 
+    /// The semantic profile of `object`'s view — stratification class,
+    /// conflict-freedom, order-relevance, and per-predicate cardinality
+    /// bounds ([`olp_analyze::component_profile`]). Cached per AST
+    /// version: recomputed only after a mutation asserted or retracted
+    /// a rule visible from the component. `None` when the declared
+    /// order is invalid
+    /// (no well-defined view to profile).
+    pub fn component_profile(
+        &mut self,
+        object: &str,
+    ) -> Result<Option<Arc<ComponentProfile>>, KbError> {
+        let c = self.comp(object)?;
+        Ok(self.profile_of(c))
+    }
+
+    fn profile_of(&mut self, c: CompId) -> Option<Arc<ComponentProfile>> {
+        let av = self.ast_version(c);
+        if let Some((v, p)) = self.profiles.get(&c) {
+            if *v == av {
+                return Some(p.clone());
+            }
+        }
+        let order = self.prog.order().ok()?;
+        let p = Arc::new(olp_analyze::component_profile(&self.prog, &order, c));
+        self.profiles.insert(c, (av, p.clone()));
+        Some(p)
+    }
+
+    /// Whether analysis-guided fast paths are enabled (they are by
+    /// default).
+    pub fn profile_guided(&self) -> bool {
+        self.profile_guided
+    }
+
+    /// Enables or disables analysis-guided fast paths. With them off,
+    /// every query runs the general engine unconditionally — the
+    /// differential baseline the `profile_fastpath_matches_general`
+    /// proptest compares byte-for-byte against.
+    pub fn set_profile_guided(&mut self, on: bool) {
+        self.profile_guided = on;
+    }
+
+    /// Profile-proved: `c`'s view is negation-free, so evaluation may
+    /// skip all blockedness/attack bookkeeping.
+    fn proved_definite(&mut self, c: CompId) -> bool {
+        self.profile_guided
+            && self
+                .profile_of(c)
+                .is_some_and(|p| p.strat == StratClass::NegationFree)
+    }
+
+    /// Profile-proved: `c`'s view has exactly one stable model — the
+    /// least model (conflict-free, or every attack stratified away).
+    fn proved_single_model(&mut self, c: CompId) -> bool {
+        self.profile_guided && self.profile_of(c).is_some_and(|p| p.single_model)
+    }
+
     /// Installs `new_ground` as the current ground program. The exact
     /// rule-level diff ([`GroundDelta::between`] — a linear sorted
     /// merge, both programs being canonically ordered) drives all
@@ -1080,6 +1217,9 @@ impl Kb {
             if !new.is_empty() {
                 return Err(KbError::Rejected(new));
             }
+            // (`findings_introduced` already drops Info-severity notes —
+            // a mutation that merely changes a profile note must not be
+            // rejected under `deny_warnings`.)
         }
         let gov = opts.budget();
         if self.is_incremental() {
@@ -1091,6 +1231,7 @@ impl Kb {
                     self.delta_ids[c.index()].push(id);
                     self.delta = Some(delta);
                     self.commit(gp);
+                    self.note_ast_mutation(c);
                     return Ok(Eval::Complete(()));
                 }
                 // Grounder state is unspecified after an error: leave
@@ -1106,7 +1247,9 @@ impl Kb {
         }
         Arc::make_mut(&mut self.prog).add_rule(c, r);
         let res = self.refresh_with(&gov);
-        if !matches!(res, Ok(Eval::Complete(()))) {
+        if matches!(res, Ok(Eval::Complete(()))) {
+            self.note_ast_mutation(c);
+        } else {
             Arc::make_mut(&mut self.prog).pop_rule(c);
         }
         res
@@ -1171,6 +1314,7 @@ impl Kb {
                     self.delta_ids[c.index()].remove(i);
                     self.delta = Some(delta);
                     self.commit(gp);
+                    self.note_ast_mutation(c);
                     return Ok(Eval::Complete(true));
                 }
                 Err(GroundError::Interrupted(reason)) => {
@@ -1185,7 +1329,9 @@ impl Kb {
         let saved_span = self.prog.spans.rule(c.index(), i).cloned();
         let removed = Arc::make_mut(&mut self.prog).remove_rule(c, i);
         let res = self.refresh_with(&gov);
-        if !matches!(res, Ok(Eval::Complete(()))) {
+        if matches!(res, Ok(Eval::Complete(()))) {
+            self.note_ast_mutation(c);
+        } else {
             Arc::make_mut(&mut self.prog).insert_rule(c, i, removed);
             if let Some(span) = saved_span {
                 Arc::make_mut(&mut self.prog)
@@ -1208,6 +1354,12 @@ impl Kb {
     /// [`olp_semantics::skeptical_consequences`]).
     pub fn skeptical(&mut self, object: &str) -> Result<Interpretation, KbError> {
         let c = self.comp(object)?;
+        if self.proved_single_model(c) {
+            // Profile fast path: one stable model, so the skeptical
+            // consequences are exactly the least model.
+            self.ensure_model(c);
+            return Ok(self.least_cache[&c].model.as_ref().clone());
+        }
         Ok(olp_semantics::skeptical_consequences(
             &View::new(&self.ground, c),
             self.ground.n_atoms,
@@ -1220,12 +1372,18 @@ impl Kb {
     /// models found before interruption, so it may *over*-approximate
     /// (contain literals a complete run would drop). Treat it as
     /// "consequences of the explored models", not safe conclusions.
+    /// Exception: on a profile-proved single-model view (the fast
+    /// path) the partial result is a prefix of the least model and
+    /// therefore *under*-approximates, like [`Kb::model_with`].
     pub fn skeptical_with(
         &mut self,
         object: &str,
         opts: &QueryOptions,
     ) -> Result<Eval<Interpretation>, KbError> {
         let c = self.comp(object)?;
+        if opts.decomp && self.proved_single_model(c) {
+            return Ok(self.model_eval(c, opts));
+        }
         Ok(olp_semantics::skeptical_consequences_budgeted(
             &View::new(&self.ground, c),
             self.ground.n_atoms,
@@ -1240,6 +1398,15 @@ impl Kb {
     /// the cache.
     pub fn stable(&mut self, object: &str) -> Result<Vec<Interpretation>, KbError> {
         let c = self.comp(object)?;
+        if self.proved_single_model(c) {
+            // Profile fast path: the view is conflict-free or
+            // stratified, so the unique stable model is the least model
+            // — one fixpoint instead of assumption-set enumeration plus
+            // maximality filtering. Differentially tested byte-identical
+            // to the general engine (`profile_fastpath_matches_general`).
+            self.ensure_model(c);
+            return Ok(vec![self.least_cache[&c].model.as_ref().clone()]);
+        }
         Ok(self
             .stable_cached(c, &Budget::unlimited(), None)
             .expect_complete("unlimited stable enumeration cannot be interrupted"))
@@ -1255,6 +1422,23 @@ impl Kb {
         opts: &QueryOptions,
     ) -> Result<Eval<Vec<Interpretation>>, KbError> {
         let c = self.comp(object)?;
+        // Profile fast path: provably exactly one stable model — the
+        // least model. `no_decomp` stays on the general engine (it is
+        // the differential baseline), and a cap below 2 keeps the
+        // general truncation semantics (`Interrupted(ModelCap)`).
+        if opts.decomp && opts.max_models.is_none_or(|cap| cap >= 2) && self.proved_single_model(c)
+        {
+            return Ok(match self.model_eval(c, opts) {
+                Eval::Complete(m) => Eval::Complete(vec![m]),
+                // A partial least model is not a stable model: report
+                // the interruption with no models, like a search that
+                // tripped before its first complete model.
+                Eval::Interrupted(i) => Eval::Interrupted(Interrupted {
+                    reason: i.reason,
+                    partial: Vec::new(),
+                }),
+            });
+        }
         Ok(if !opts.decomp {
             stable_models_monolithic_budgeted(
                 &View::new(&self.ground, c),
@@ -1413,6 +1597,16 @@ impl Kb {
                 models.insert(*c, e.model.clone());
             }
         }
+        // Hand over the current-version profiles (the writer warms them
+        // with `warm_profiles`); snapshots never recompute analysis.
+        let mut profiles: FxHashMap<CompId, Arc<ComponentProfile>> = FxHashMap::default();
+        if self.profile_guided {
+            for (c, (av, p)) in &self.profiles {
+                if *av == self.ast_version(*c) {
+                    profiles.insert(*c, p.clone());
+                }
+            }
+        }
         Arc::new(crate::KbSnapshot::from_parts(
             self.world.clone(),
             self.prog.clone(),
@@ -1422,7 +1616,18 @@ impl Kb {
             self.morsel_weight,
             self.flat_cache.clone(),
             models,
+            profiles,
         ))
+    }
+
+    /// Computes (or revalidates) the semantic profile of every
+    /// component, so the next [`Kb::snapshot`] publishes them all — the
+    /// server calls this alongside [`Kb::revalidate_cached_models`]
+    /// before each publish.
+    pub fn warm_profiles(&mut self) {
+        for ci in 0..self.prog.components.len() {
+            self.profile_of(CompId(ci as u32));
+        }
     }
 
     /// Brings every *previously cached* least model up to the current
@@ -1490,8 +1695,11 @@ impl Kb {
             epoch: 0,
             touched_log: Vec::new(),
             view_version: vec![0; n_comps],
+            ast_version: vec![0; n_comps],
             threads: default_threads(),
             morsel_weight: default_morsel_weight(),
+            profiles: FxHashMap::default(),
+            profile_guided: true,
         }
     }
 }
@@ -2009,6 +2217,10 @@ mod tests {
     #[test]
     fn stable_results_memo_hits_for_unaffected_views() {
         let mut kb = two_island_kb();
+        // The islands are definite, so the profile-guided fast path
+        // would answer `stable` from the least model without ever
+        // touching the memo under test; disable it here.
+        kb.set_profile_guided(false);
         let s1 = kb.stable("left").unwrap();
         // A write to `right` leaves `left`'s view version alone, so the
         // whole-result memo answers; a write to `left` moves it.
@@ -2021,6 +2233,43 @@ mod tests {
         assert_ne!(kb.stable_results[&left].0, kb.view_version(left));
         let s3 = kb.stable("left").unwrap();
         assert!(s3.len() == 1 && s3[0].literals().count() == 4);
+    }
+
+    #[test]
+    fn profile_fast_paths_match_general_and_cache_revalidates() {
+        let mut kb = penguin_kb(GroundStrategy::Smart);
+        // penguin_view is stratified and order-relevant: the profile
+        // proves exactly one stable model, so `stable` answers from
+        // the least model without enumerating.
+        let p = kb
+            .component_profile("penguin_view")
+            .unwrap()
+            .expect("order is valid");
+        assert!(p.single_model, "{}", p.summary());
+        assert!(p.order_relevant, "{}", p.summary());
+        let fast = kb.stable("penguin_view").unwrap();
+        kb.set_profile_guided(false);
+        let slow = kb.stable("penguin_view").unwrap();
+        assert_eq!(fast, slow, "fast path must be byte-identical");
+        kb.set_profile_guided(true);
+
+        // Repeat lookups hit the cache (same Arc, no recompute)…
+        let p_again = kb.component_profile("penguin_view").unwrap().unwrap();
+        assert!(Arc::ptr_eq(&p, &p_again));
+
+        // …until a mutation bumps the view version, after which the
+        // recomputed profile agrees with a from-scratch analysis.
+        kb.assert_rule("bird", "bird(ostrich).").unwrap();
+        let p2 = kb.component_profile("penguin_view").unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&p, &p2), "stale profile must be dropped");
+        let c = kb.comp("penguin_view").unwrap();
+        let order = kb.prog.order().expect("order stays valid");
+        let fresh = olp_analyze::component_profile(&kb.prog, &order, c);
+        assert_eq!(*p2, fresh, "revalidated profile == scratch analysis");
+        assert_eq!(
+            kb.truth("penguin_view", "fly(ostrich)").unwrap(),
+            Truth::True
+        );
     }
 
     #[test]

@@ -26,8 +26,10 @@
 //! [`AtomStore::get_id`]: olp_core::AtomStore::get_id
 
 use crate::kb::{KbError, QueryOptions};
+use olp_analyze::ComponentProfile;
 use olp_core::{
-    CompId, Eval, FxHashMap, GLit, GTerm, GTermId, Interpretation, Literal, Sym, Term, Truth, World,
+    CompId, Eval, FxHashMap, GLit, GTerm, GTermId, Interpretation, Interrupted, Literal, Sym, Term,
+    Truth, World,
 };
 use olp_ground::{FlatView, GroundProgram};
 use olp_parser::{parse_ground_literal, parse_literal};
@@ -59,6 +61,11 @@ pub struct KbSnapshot {
     /// Memoised least models, seeded from the publishing KB's
     /// current-epoch cache and extended on first read.
     models: Mutex<FxHashMap<CompId, Arc<Interpretation>>>,
+    /// Per-component semantic profiles frozen at this epoch (only the
+    /// ones the publishing KB had warm — see [`crate::Kb::warm_profiles`]).
+    /// Never recomputed snapshot-side; an absent entry just means no
+    /// fast path and no `stats` profile line for that component.
+    profiles: FxHashMap<CompId, Arc<ComponentProfile>>,
 }
 
 impl KbSnapshot {
@@ -74,6 +81,7 @@ impl KbSnapshot {
         morsel_weight: u64,
         flat: FxHashMap<CompId, Arc<FlatView>>,
         models: FxHashMap<CompId, Arc<Interpretation>>,
+        profiles: FxHashMap<CompId, Arc<ComponentProfile>>,
     ) -> Self {
         Self {
             world,
@@ -84,7 +92,31 @@ impl KbSnapshot {
             morsel_weight,
             flat: Mutex::new(flat),
             models: Mutex::new(models),
+            profiles,
         }
+    }
+
+    /// The frozen semantic profile of `object`'s component, when the
+    /// publishing KB had one warm at this epoch.
+    pub fn profile(&self, object: &str) -> Result<Option<&ComponentProfile>, KbError> {
+        let c = self.comp(object)?;
+        Ok(self.profiles.get(&c).map(Arc::as_ref))
+    }
+
+    /// Every frozen profile, `(object name, profile)` in declaration
+    /// order — what the server's `stats` response renders.
+    pub fn profiles(&self) -> Vec<(&str, &ComponentProfile)> {
+        let mut out: Vec<(CompId, &Arc<ComponentProfile>)> =
+            self.profiles.iter().map(|(c, p)| (*c, p)).collect();
+        out.sort_unstable_by_key(|(c, _)| c.0);
+        out.into_iter()
+            .map(|(c, p)| {
+                (
+                    self.world.syms.name(self.prog.components[c.index()].name),
+                    p.as_ref(),
+                )
+            })
+            .collect()
     }
 
     /// The mutation epoch this snapshot was frozen at.
@@ -264,6 +296,21 @@ impl KbSnapshot {
         opts: &QueryOptions,
     ) -> Result<Eval<Vec<Interpretation>>, KbError> {
         let c = self.comp(object)?;
+        // Profile fast path, mirroring [`crate::Kb::stable_with`]: a
+        // frozen profile proving the view single-model collapses stable
+        // enumeration to the least model.
+        if opts.decomp
+            && opts.max_models.is_none_or(|cap| cap >= 2)
+            && self.profiles.get(&c).is_some_and(|p| p.single_model)
+        {
+            return Ok(match self.model_eval(c, opts) {
+                Eval::Complete(m) => Eval::Complete(vec![m.as_ref().clone()]),
+                Eval::Interrupted(i) => Eval::Interrupted(Interrupted {
+                    reason: i.reason,
+                    partial: Vec::new(),
+                }),
+            });
+        }
         Ok(if !opts.decomp {
             stable_models_monolithic_budgeted(
                 &View::new(&self.ground, c),
@@ -298,6 +345,11 @@ impl KbSnapshot {
         opts: &QueryOptions,
     ) -> Result<Eval<Interpretation>, KbError> {
         let c = self.comp(object)?;
+        if opts.decomp && self.profiles.get(&c).is_some_and(|p| p.single_model) {
+            // One stable model: the skeptical consequences are the
+            // least model (partial results under-approximate here).
+            return Ok(self.model_eval(c, opts).map(|m| m.as_ref().clone()));
+        }
         Ok(skeptical_consequences_budgeted(
             &View::new(&self.ground, c),
             self.ground.n_atoms,

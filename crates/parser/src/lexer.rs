@@ -219,10 +219,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 '*' => (Tok::Star, 1),
                 '/' => (Tok::Slash, 1),
                 _ => {
+                    // Escape for display exactly once, here: a raw
+                    // control character must not reach a terminal
+                    // verbatim, and downstream encoders (the CLI's
+                    // JSON mode) must see plain text they can quote
+                    // without guessing whether it was pre-escaped.
                     return Err(LexError {
                         pos: start,
-                        msg: format!("unexpected character `{c}`"),
-                    })
+                        msg: format!("unexpected character `{}`", c.escape_default()),
+                    });
                 }
             },
         };

@@ -52,7 +52,7 @@ pub fn t_fixpoint(rules: &[(GLit, Box<[GLit]>)]) -> Interpretation {
     let mut unsat: Vec<u32> = rules.iter().map(|(_, b)| b.len() as u32).collect();
     let mut by_body: FxHashMap<GLit, Vec<u32>> = FxHashMap::default();
     for (ri, (_, body)) in rules.iter().enumerate() {
-        for &b in body.iter() {
+        for &b in body {
             by_body.entry(b).or_default().push(ri as u32);
         }
     }

@@ -108,13 +108,13 @@ impl Decomposition {
         let mut parent: Vec<u32> = (0..n_atoms as u32).collect();
         for (_, r) in view.rules() {
             let h = r.head.atom().index();
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 let ba = b.atom().index() as u32;
                 adj[h].push(ba);
                 uf_union(&mut parent, h as u32, ba);
             }
         }
-        for outs in adj.iter_mut() {
+        for outs in &mut adj {
             outs.sort_unstable();
             outs.dedup();
         }
@@ -336,7 +336,7 @@ pub fn least_model_delta(
     let mut radj: Vec<Vec<u32>> = vec![Vec::new(); n_atoms];
     for (_, r) in view.rules() {
         let h = r.head.atom().index() as u32;
-        for &b in r.body.iter() {
+        for &b in &r.body {
             radj[b.atom().index()].push(h);
         }
     }
@@ -636,7 +636,7 @@ pub fn least_model_wavefront_with(
     for s in 0..n_strata {
         let mut lv = 0u32;
         for &li in &d.strata[s] {
-            for &b in view.rule(li).body.iter() {
+            for &b in &view.rule(li).body {
                 let t = d.scc_of[b.atom().index()] as usize;
                 if t != s {
                     lv = lv.max(level[t] + 1);
@@ -760,7 +760,7 @@ fn product(
     cap: usize,
     budget: &Budget,
 ) -> Result<Vec<Interpretation>, Interrupted<Vec<Interpretation>>> {
-    if groups.iter().any(|g| g.is_empty()) {
+    if groups.iter().any(std::vec::Vec::is_empty) {
         return Ok(Vec::new());
     }
     let mut idx = vec![0usize; groups.len()];
@@ -804,12 +804,12 @@ fn product(
 
 /// Per-group enumeration results combined as a product.
 fn combine(
-    per_group: Vec<Vec<Interpretation>>,
+    per_group: &[Vec<Interpretation>],
     interrupted: Option<InterruptReason>,
     cap: usize,
     budget: &Budget,
 ) -> Eval<Vec<Interpretation>> {
-    match (product(&per_group, cap, budget), interrupted) {
+    match (product(per_group, cap, budget), interrupted) {
         (Ok(ms), None) => Eval::Complete(ms),
         (Ok(ms), Some(reason)) => Eval::Interrupted(Interrupted {
             reason,
@@ -863,7 +863,7 @@ pub fn enumerate_assumption_free_decomposed_budgeted(
                     // Every earlier group is complete: tuples ending in
                     // a verified model of the last group are sound.
                     per_group.push(partial);
-                    return combine(per_group, Some(reason), cap, budget);
+                    return combine(&per_group, Some(reason), cap, budget);
                 }
                 return Eval::Interrupted(Interrupted {
                     reason,
@@ -872,7 +872,7 @@ pub fn enumerate_assumption_free_decomposed_budgeted(
             }
         }
     }
-    combine(per_group, None, cap, budget)
+    combine(&per_group, None, cap, budget)
 }
 
 /// Stable models (Def. 9) via per-group enumeration: maximality under
@@ -917,7 +917,7 @@ pub fn stable_models_decomposed_budgeted(
                         partial
                     };
                     per_group.push(partial);
-                    return combine(per_group, Some(reason), cap, budget);
+                    return combine(&per_group, Some(reason), cap, budget);
                 }
                 return Eval::Interrupted(Interrupted {
                     reason,
@@ -926,7 +926,7 @@ pub fn stable_models_decomposed_budgeted(
             }
         }
     }
-    combine(per_group, None, cap, budget)
+    combine(&per_group, None, cap, budget)
 }
 
 /// [`stable_models_decomposed_budgeted`] with a **per-group memo
@@ -942,6 +942,7 @@ pub fn stable_models_decomposed_budgeted(
 /// The caller owns `cache` and is responsible for keying it per
 /// consumer component (group semantics depends on the view's vantage
 /// component through the attack relations) and for bounding its size.
+#[allow(clippy::implicit_hasher)] // the cache type is FxHashMap by design, not a generic map
 pub fn stable_models_decomposed_cached(
     view: &View,
     n_atoms: usize,
@@ -982,7 +983,7 @@ pub fn stable_models_decomposed_cached(
                         partial
                     };
                     per_group.push(partial);
-                    return combine(per_group, Some(reason), cap, budget);
+                    return combine(&per_group, Some(reason), cap, budget);
                 }
                 return Eval::Interrupted(Interrupted {
                     reason,
@@ -991,7 +992,7 @@ pub fn stable_models_decomposed_cached(
             }
         }
     }
-    combine(per_group, None, cap, budget)
+    combine(&per_group, None, cap, budget)
 }
 
 /// Parallel group-level enumeration: whole groups are distributed to the
@@ -1054,7 +1055,7 @@ pub(crate) fn enumerate_af_groups_parallel(
         }
     }
     combine(
-        per_group,
+        &per_group,
         first_reason,
         max_models.unwrap_or(usize::MAX),
         budget,
@@ -1304,7 +1305,7 @@ mod tests {
         let mut touched = Vec::new();
         for r in old_set.symmetric_difference(&new_set) {
             touched.push(r.head.atom().index());
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 touched.push(b.atom().index());
             }
         }

@@ -17,6 +17,7 @@
 use crate::fixpoint::{least_model, least_model_budgeted};
 use crate::view::{LocalIdx, View};
 use olp_core::{Budget, Eval, FxHashMap, GLit, Interpretation, World};
+use std::fmt::Write as _;
 
 /// A proof tree for a derived literal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -210,30 +211,34 @@ pub fn render_why(world: &World, view: &View, why: &Why) -> String {
                     let rule = view.gp.rule_str(world, view_global(view, *li));
                     match fate {
                         Fate::Blocked { on } => {
-                            out.push_str(&format!(
-                                "  rule {rule} — blocked: {} holds\n",
+                            let _ = writeln!(
+                                out,
+                                "  rule {rule} — blocked: {} holds",
                                 world.glit_str(on.complement())
-                            ));
+                            );
                         }
                         Fate::Overruled { by } => {
-                            out.push_str(&format!(
-                                "  rule {rule} — overruled by {}\n",
+                            let _ = writeln!(
+                                out,
+                                "  rule {rule} — overruled by {}",
                                 view.gp.rule_str(world, view_global(view, *by))
-                            ));
+                            );
                         }
                         Fate::Defeated { by } => {
-                            out.push_str(&format!(
-                                "  rule {rule} — defeated by {}\n",
+                            let _ = writeln!(
+                                out,
+                                "  rule {rule} — defeated by {}",
                                 view.gp.rule_str(world, view_global(view, *by))
-                            ));
+                            );
                         }
                         Fate::NotApplicable { missing } => {
                             let ms: Vec<String> =
                                 missing.iter().map(|&l| world.glit_str(l)).collect();
-                            out.push_str(&format!(
-                                "  rule {rule} — not applicable: missing {}\n",
+                            let _ = writeln!(
+                                out,
+                                "  rule {rule} — not applicable: missing {}",
                                 ms.join(", ")
-                            ));
+                            );
                         }
                     }
                 }
@@ -245,11 +250,12 @@ pub fn render_why(world: &World, view: &View, why: &Why) -> String {
 
 fn render_proof(world: &World, view: &View, p: &Proof, depth: usize, out: &mut String) {
     let indent = "  ".repeat(depth);
-    out.push_str(&format!(
-        "{indent}{} — by {}\n",
+    let _ = writeln!(
+        out,
+        "{indent}{} — by {}",
         world.glit_str(p.lit),
         view.gp.rule_str(world, view_global(view, p.rule))
-    ));
+    );
     for prem in &p.premises {
         render_proof(world, view, prem, depth + 1, out);
     }

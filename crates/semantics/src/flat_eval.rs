@@ -100,11 +100,19 @@ impl Scratch {
 /// `local`; the morsel workers pass the shared [`AtomicBitSet`]).
 /// Newly derived bits go to `local`. On interruption `local` still
 /// holds a sound monotone prefix of the range's derivations.
+/// When `definite` is set the caller asserts the view is **negation-free**
+/// (no negative heads, no negative body literals — e.g. proved by
+/// `olp-analyze`'s program profile): no literal can ever be blocked and
+/// the attack lists are empty, so the blockedness bookkeeping and the
+/// complement watch scan are skipped wholesale. Passing `definite` on a
+/// view that does contain negation is unsound.
+#[allow(clippy::too_many_arguments)] // the hot inner loop: one arg per piece of scratch state
 fn eval_strata(
     fv: &FlatView,
     upstream: &dyn Fn(usize) -> bool,
     local: &mut BitSet,
     sc: &mut Scratch,
+    definite: bool,
     s_lo: u32,
     s_hi: u32,
     ticker: &mut Ticker<'_>,
@@ -127,7 +135,10 @@ fn eval_strata(
                 if sc.unsat[z] == 0 && sc.over[z] == 0 && sc.defeat[z] == 0 && !sc.fired[z] {
                     sc.fired[z] = true;
                     let head = fv.head(f);
-                    assert!(!holds!(head.complement().code()), "V preserves consistency");
+                    debug_assert!(
+                        definite || !holds!(head.complement().code()),
+                        "V preserves consistency"
+                    );
                     if local.insert(head.code()) {
                         sc.queue.push(head);
                     }
@@ -144,24 +155,28 @@ fn eval_strata(
             let mut blocked = false;
             let mut unsat = 0u32;
             for &b in fv.body(f) {
-                blocked |= holds!(b.complement().code());
+                if !definite {
+                    blocked |= holds!(b.complement().code());
+                }
                 unsat += u32::from(!holds!(b.code()));
             }
             sc.blocked[z] = blocked;
             sc.unsat[z] = unsat;
         }
-        for f in lo..hi {
-            let z = f as usize;
-            sc.over[z] = fv
-                .overrulers(f)
-                .iter()
-                .filter(|&&a| !sc.blocked[a as usize])
-                .count() as u32;
-            sc.defeat[z] = fv
-                .defeaters(f)
-                .iter()
-                .filter(|&&a| !sc.blocked[a as usize])
-                .count() as u32;
+        if !definite {
+            for f in lo..hi {
+                let z = f as usize;
+                sc.over[z] = fv
+                    .overrulers(f)
+                    .iter()
+                    .filter(|&&a| !sc.blocked[a as usize])
+                    .count() as u32;
+                sc.defeat[z] = fv
+                    .defeaters(f)
+                    .iter()
+                    .filter(|&&a| !sc.blocked[a as usize])
+                    .count() as u32;
+            }
         }
         for f in lo..hi {
             ticker.tick()?;
@@ -179,6 +194,9 @@ fn eval_strata(
                 }
                 sc.unsat[w as usize] -= 1;
                 try_fire!(w);
+            }
+            if definite {
+                continue;
             }
             for &w in fv.watchers(lit.complement()) {
                 if w < lo || w >= hi || sc.blocked[w as usize] {
@@ -217,6 +235,18 @@ pub fn least_model_flat(fv: &FlatView) -> Interpretation {
 /// result is every completed stratum plus a monotone prefix of the
 /// current one — a sound under-approximation of the least model.
 pub fn least_model_flat_budgeted(fv: &FlatView, budget: &Budget) -> Eval<Interpretation> {
+    least_model_flat_cfg(fv, false, budget)
+}
+
+/// [`least_model_flat_budgeted`] for a view proved **negation-free**
+/// (by `olp-analyze`'s program profile): skips all blockedness and
+/// attack bookkeeping. Unsound — and differentially caught — if the
+/// view actually contains negation; the caller owns the proof.
+pub fn least_model_flat_definite(fv: &FlatView, budget: &Budget) -> Eval<Interpretation> {
+    least_model_flat_cfg(fv, true, budget)
+}
+
+fn least_model_flat_cfg(fv: &FlatView, definite: bool, budget: &Budget) -> Eval<Interpretation> {
     let mut truth = BitSet::with_capacity(2 * fv.n_atoms);
     let mut sc = Scratch::new(fv.len());
     let mut ticker = budget.ticker();
@@ -225,6 +255,7 @@ pub fn least_model_flat_budgeted(fv: &FlatView, budget: &Budget) -> Eval<Interpr
         &|_| false,
         &mut truth,
         &mut sc,
+        definite,
         0,
         fv.n_strata() as u32,
         &mut ticker,
@@ -326,6 +357,7 @@ pub fn least_model_delta_flat(
             &|_| false,
             &mut truth,
             &mut sc,
+            false,
             s as u32,
             s as u32 + 1,
             &mut ticker,
@@ -357,6 +389,10 @@ pub struct MorselCfg {
     /// microsecond-scale fixpoint is a measured net loss (the
     /// `defeating_cliques` pathology).
     pub seq_threshold: u64,
+    /// The caller proved the view negation-free (e.g. via
+    /// `olp-analyze`'s program profile): skip blockedness and attack
+    /// bookkeeping entirely. Unsound if the view contains negation.
+    pub assume_definite: bool,
 }
 
 impl Default for MorselCfg {
@@ -365,6 +401,7 @@ impl Default for MorselCfg {
             threads: 1,
             target_weight: 2048,
             seq_threshold: 4096,
+            assume_definite: false,
         }
     }
 }
@@ -387,13 +424,13 @@ impl MorselCfg {
 pub fn least_model_morsel(fv: &FlatView, cfg: &MorselCfg, budget: &Budget) -> Eval<Interpretation> {
     let total: u64 = (0..fv.n_strata()).map(|s| fv.stratum_weight(s)).sum();
     if cfg.threads <= 1 || total < cfg.seq_threshold {
-        return least_model_flat_budgeted(fv, budget);
+        return least_model_flat_cfg(fv, cfg.assume_definite, budget);
     }
     let morsels = fv.morsels(cfg.target_weight);
     if morsels.len() <= 1 {
-        return least_model_flat_budgeted(fv, budget);
+        return least_model_flat_cfg(fv, cfg.assume_definite, budget);
     }
-    least_model_morsel_forced(fv, &morsels, cfg.threads, budget)
+    least_model_morsel_definite(fv, &morsels, cfg.threads, cfg.assume_definite, budget)
 }
 
 /// The parallel scheduler proper, with no sequential fallback — exposed
@@ -403,6 +440,16 @@ pub fn least_model_morsel_forced(
     fv: &FlatView,
     morsels: &[Morsel],
     threads: usize,
+    budget: &Budget,
+) -> Eval<Interpretation> {
+    least_model_morsel_definite(fv, morsels, threads, false, budget)
+}
+
+fn least_model_morsel_definite(
+    fv: &FlatView,
+    morsels: &[Morsel],
+    threads: usize,
+    definite: bool,
     budget: &Budget,
 ) -> Eval<Interpretation> {
     use crossbeam::deque::{Injector, Steal, Worker};
@@ -497,6 +544,7 @@ pub fn least_model_morsel_forced(
                         &|c| global.contains(c),
                         &mut local,
                         &mut sc,
+                        definite,
                         m.stratum_lo,
                         m.stratum_hi,
                         &mut ticker,
@@ -603,6 +651,31 @@ mod tests {
                     .expect_complete("unlimited budget");
                 assert_eq!(seq, par, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn definite_path_matches_general_on_positive_programs() {
+        for src in [
+            "p. q :- p. r :- q, p.",
+            "edge(a,b). edge(b,c). edge(c,d). path(X,Y) :- edge(X,Y).
+             path(X,Z) :- edge(X,Y), path(Y,Z).",
+        ] {
+            let (_, g) = ground(src);
+            let fv = FlatView::new(&g, CompId(0));
+            let general = least_model_flat(&fv);
+            let definite =
+                least_model_flat_definite(&fv, &Budget::unlimited()).expect_complete("unlimited");
+            assert_eq!(general, definite, "{src}");
+            let cfg = MorselCfg {
+                threads: 4,
+                target_weight: 1,
+                seq_threshold: 0,
+                assume_definite: true,
+            };
+            let par =
+                least_model_morsel(&fv, &cfg, &Budget::unlimited()).expect_complete("unlimited");
+            assert_eq!(general, par, "{src} (parallel)");
         }
     }
 

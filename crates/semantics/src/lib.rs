@@ -56,6 +56,23 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::must_use_candidate,
+    clippy::missing_panics_doc,
+    clippy::missing_errors_doc,
+    clippy::module_name_repetitions,
+    clippy::cast_possible_truncation,
+    clippy::doc_markdown,
+    clippy::too_many_lines,
+    clippy::similar_names,
+    // Fixpoint/join code is written in the paper's notation: single
+    // letters (rule r, literal l, component c) are the clearest names.
+    clippy::many_single_char_names,
+    // Local helper items next to their single use site read better
+    // than hoisting them above unrelated setup code.
+    clippy::items_after_statements
+)]
 
 pub mod assumption;
 pub mod decomp;
@@ -87,7 +104,7 @@ pub use fixpoint::{
 };
 pub use flat_eval::{
     flatten, least_model_delta_flat, least_model_flat, least_model_flat_budgeted,
-    least_model_morsel, least_model_morsel_forced, MorselCfg,
+    least_model_flat_definite, least_model_morsel, least_model_morsel_forced, MorselCfg,
 };
 pub use model::{check_model, is_model, ModelViolation};
 pub use olp_core::{

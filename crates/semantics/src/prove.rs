@@ -57,7 +57,7 @@ pub fn relevance_cone_budgeted(
             if !rules.insert(li) {
                 continue;
             }
-            for &b in view.rule(li).body.iter() {
+            for &b in &view.rule(li).body {
                 lit_stack.push(b);
                 lit_stack.push(b.complement());
             }
@@ -203,7 +203,7 @@ mod tests {
             let c_hi = prog.add_component(w.syms.intern("hi"));
             prog.add_edge(c_lo, c_hi);
             // xorshift-ish deterministic rule soup over 5 atoms.
-            let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+            let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(1);
             let mut next = || {
                 state ^= state << 13;
                 state ^= state >> 7;

@@ -235,10 +235,14 @@ fn search_all(
 
 /// Keeps only the maximal interpretations under literal-set inclusion.
 pub fn maximal_only(models: Vec<Interpretation>) -> Vec<Interpretation> {
+    let keep: Vec<bool> = models
+        .iter()
+        .map(|m| !models.iter().any(|n| m.is_proper_subset(n)))
+        .collect();
     let mut out: Vec<Interpretation> = Vec::new();
-    for m in &models {
-        if !models.iter().any(|n| m.is_proper_subset(n)) && !out.contains(m) {
-            out.push(m.clone());
+    for (m, k) in models.into_iter().zip(keep) {
+        if k && !out.contains(&m) {
+            out.push(m);
         }
     }
     out

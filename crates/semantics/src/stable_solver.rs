@@ -153,11 +153,11 @@ impl<'a, 'g> Solver<'a, 'g> {
                 }
             };
             add(r.head.atom(), &mut watched);
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 add(b.atom(), &mut watched);
             }
             for &a in view.overrulers(li).iter().chain(view.defeaters(li)) {
-                for &b in view.rule(a).body.iter() {
+                for &b in &view.rule(a).body {
                     add(b.atom(), &mut watched);
                 }
             }
@@ -549,7 +549,7 @@ pub fn enumerate_assumption_free_parallel_budgeted(
             options.push(FALSE);
         }
         for v in options {
-            let mut child = assign.to_vec();
+            let mut child = assign.clone();
             child[i] = v;
             let mut child_dirty = seed_solver.watchers[i].clone();
             match seed_solver.propagate(&mut child, &gov, &mut child_dirty) {
@@ -770,9 +770,10 @@ mod tests {
         // solver must find it without exponential branching (this test
         // is fast *because* propagation collapses the space; the naive
         // enumerator would branch 3^40).
+        use std::fmt::Write as _;
         let mut src = String::from("p0.\n");
         for i in 1..40 {
-            src.push_str(&format!("p{} :- p{}.\n", i, i - 1));
+            let _ = writeln!(src, "p{} :- p{}.", i, i - 1);
         }
         let (_, g) = ground(&src);
         let v = View::new(&g, CompId(0));

@@ -79,7 +79,7 @@ impl<'g> View<'g> {
         for (li, &ri) in rules.iter().enumerate() {
             let r = &gp.rules[ri as usize];
             by_head.entry(r.head).or_default().push(li as LocalIdx);
-            for &b in r.body.iter() {
+            for &b in &r.body {
                 by_body.entry(b).or_default().push(li as LocalIdx);
             }
         }
@@ -119,6 +119,7 @@ impl<'g> View<'g> {
     /// A sub-view over a subset of this view's rules (given as **global**
     /// indices, e.g. collected via [`View::global_index`]). See
     /// [`View::from_rules`] for the closure requirement on the subset.
+    #[must_use]
     pub fn restrict(&self, rules: &[u32]) -> View<'g> {
         View::from_rules(self.gp, self.comp, rules.to_vec())
     }
@@ -157,12 +158,12 @@ impl<'g> View<'g> {
 
     /// Rules with head literal `h`.
     pub fn rules_with_head(&self, h: GLit) -> &[LocalIdx] {
-        self.by_head.get(&h).map(Vec::as_slice).unwrap_or(&[])
+        self.by_head.get(&h).map_or(&[], Vec::as_slice)
     }
 
     /// Rules with `l` in the body.
     pub fn rules_with_body_lit(&self, l: GLit) -> &[LocalIdx] {
-        self.by_body.get(&l).map(Vec::as_slice).unwrap_or(&[])
+        self.by_body.get(&l).map_or(&[], Vec::as_slice)
     }
 
     /// Potential overrulers of rule `li`.
@@ -322,8 +323,7 @@ mod tests {
                     b == want
                 }
             })
-            .map(|(li, _)| li)
-            .unwrap_or_else(|| panic!("rule {head} :- {body:?} not found"))
+            .map_or_else(|| panic!("rule {head} :- {body:?} not found"), |(li, _)| li)
     }
 
     #[test]

@@ -314,6 +314,10 @@ impl Server {
         for o in &objects {
             let _ = kb.kb_mut().model(o);
         }
+        // Warm the analysis profiles too: snapshots only carry
+        // profiles already cached at the current view versions, and
+        // readers never compute analysis themselves.
+        kb.kb_mut().warm_profiles();
 
         let shared = Shared {
             snap: Mutex::new(kb.kb().snapshot()),
@@ -439,6 +443,7 @@ fn apply_write(kb: &mut ServeKb, shared: &Shared, op: WriteOp, opts: &QueryOptio
             // new epoch for readers. A retract that matched nothing
             // left the epoch unchanged; republishing is harmless.
             kb.kb_mut().revalidate_cached_models();
+            kb.kb_mut().warm_profiles();
             shared.publish(kb.kb().snapshot());
             if let Some(s) = kb.seq() {
                 shared.seq.store(s, Ordering::SeqCst);
@@ -621,6 +626,18 @@ fn dispatch(
                         Json::Int(shared.started.elapsed().as_millis() as i64),
                     ),
                     ("seq", shared.seq_json()),
+                    // The analysis profile of every component, as the
+                    // writer proved it for this epoch (what the engine
+                    // keys its fast paths on; see docs/ANALYSIS.md).
+                    (
+                        "profiles",
+                        Json::Obj(
+                            snap.profiles()
+                                .into_iter()
+                                .map(|(name, p)| (name.to_string(), Json::Str(p.summary())))
+                                .collect(),
+                        ),
+                    ),
                 ])
                 .render(),
                 false,

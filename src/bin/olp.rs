@@ -1,9 +1,12 @@
 //! `olp` — command-line front end for ordered logic programs.
 //!
 //! ```text
-//! olp check  FILE                          parse, lint (W01–W08/E01), ground, print stats
+//! olp check  FILE                          parse, lint (W01–W11/E01), ground, print stats
 //!        --deny warnings                   exit 1 if any warning fires (CI gate)
 //!        --format json                     emit diagnostics as a JSON array
+//!        --explain                         print each component's program profile
+//!                                          (stratification class, order-relevance,
+//!                                          conflict counts, cardinality bounds)
 //! olp models FILE [COMPONENT] [FLAGS]      print models per component
 //!        --least (default) | --stable | --af | --skeptical | --all-semantics
 //! olp query  FILE COMPONENT PATTERN        answer a query (ground or with variables)
@@ -53,10 +56,12 @@ use std::time::{Duration, Instant};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  olp check  FILE [--deny warnings] [--format json|text] [--exhaustive]
-             runs the order-aware lints (W01–W08, E01; see docs/ANALYSIS.md)
+  olp check  FILE [--deny warnings] [--format json|text] [--explain] [--exhaustive]
+             runs the order-aware lints (W01–W11, E01; see docs/ANALYSIS.md)
              and prints positioned diagnostics before the structure report
              (per-component evaluation plan + join-planner statistics);
+             --explain adds each component's program profile (stratification
+             class, order-relevance, conflict counts, cardinality bounds);
              errors always exit 1, warnings only under --deny warnings
   olp models FILE [COMPONENT] [--least|--stable|--af|--skeptical|--credulous|--all-semantics] [--exhaustive] [--no-decomp]
   olp query  FILE COMPONENT PATTERN [--explain] [--exhaustive] [--no-decomp]
@@ -361,14 +366,32 @@ fn partial_banner(what: &str, reason: InterruptReason) -> String {
     format!("  PARTIAL {what} ({reason}): showing results computed so far")
 }
 
-fn cmd_check(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
+fn cmd_check(path: &str, exhaustive: bool, explain: bool, limits: &Limits) -> CmdResult {
     // Analyze the *parsed* program first: lint findings (including E01
     // order errors) come out as positioned diagnostics before any
     // grounding work happens.
     let src = std::fs::read_to_string(path)
         .map_err(|e| CliFail::Msg(format!("cannot read {path}: {e}")))?;
     let mut world = World::new();
-    let prog = parse_program(&mut world, &src).map_err(|e| CliFail::Msg(e.to_string()))?;
+    let prog = match parse_program(&mut world, &src) {
+        Ok(p) => p,
+        Err(e) if limits.json => {
+            // Machine-readable mode promises a JSON array on stdout no
+            // matter what; a parse failure becomes an E02 diagnostic
+            // (escaped exactly once by the JSON renderer) instead of a
+            // bare text line.
+            use ordered_logic::analyze::{Code, Diagnostic};
+            let d = Diagnostic::new(Code::ParseError, e.msg.clone()).at(Some(
+                ordered_logic::core::Pos {
+                    line: e.pos.line,
+                    col: e.pos.col,
+                },
+            ));
+            println!("{}", ordered_logic::analyze::to_json_array(&[d], path));
+            return Err(CliFail::Msg(format!("{path}: 1 error found")));
+        }
+        Err(e) => return Err(CliFail::Msg(e.to_string())),
+    };
     let diags = analyze(&world, &prog);
     if limits.json {
         println!("{}", ordered_logic::analyze::to_json_array(&diags, path));
@@ -449,6 +472,33 @@ fn cmd_check(path: &str, exhaustive: bool, limits: &Limits) -> CmdResult {
         // The evaluation plan this component would run under: flat
         // strata/levels, the morsel schedule at the configured weight,
         // and the statistics that drive the join planner.
+        // `--explain`: the semantic profile the analysis pass proved
+        // for this component — what the engine's fast-path selection
+        // keys on (see docs/ANALYSIS.md, "Program profiles").
+        if explain {
+            let p = ordered_logic::analyze::component_profile(&l.prog, &order, id);
+            println!("    profile: {}", p.summary());
+            for bnd in &p.pred_bounds {
+                let info = l.world.preds.info(bnd.pred);
+                println!(
+                    "      bound {}{}/{}: {} ground fact{} ({})",
+                    if bnd.sign == ordered_logic::core::Sign::Pos {
+                        ""
+                    } else {
+                        "-"
+                    },
+                    l.world.syms.name(info.name),
+                    info.arity,
+                    bnd.facts,
+                    if bnd.facts == 1 { "" } else { "s" },
+                    if bnd.exact {
+                        "exact"
+                    } else {
+                        "lower bound; derived heads open"
+                    },
+                );
+            }
+        }
         let fv = FlatView::new(&l.ground, id);
         let morsels = fv.morsels(limits.morsel);
         println!(
@@ -511,6 +561,25 @@ fn cmd_models(
             }
         }
         if show_stable {
+            // W11: the profile proves exactly one stable model here, so
+            // `--stable` pays for enumeration machinery that `--least`
+            // answers outright. Advisory only — printed to stderr so
+            // scripted consumers of the model lines are unaffected.
+            if let Ok(order) = l.prog.order() {
+                let p = ordered_logic::analyze::component_profile(&l.prog, &order, c);
+                if p.single_model {
+                    let d = ordered_logic::analyze::Diagnostic::new(
+                        ordered_logic::analyze::Code::SingleModelStable,
+                        format!(
+                            "component `{name}` provably has exactly one stable model \
+                             ({}); `--least` computes it without enumeration",
+                            p.summary()
+                        ),
+                    )
+                    .in_comp(c);
+                    eprintln!("{}", d.render(path));
+                }
+            }
             let ev = limits.stable(&view, l.ground.n_atoms, &budget);
             if let Some(reason) = ev.reason() {
                 println!("{}", partial_banner("enumeration", reason));
@@ -1186,7 +1255,7 @@ fn main() -> ExitCode {
     limits.decomp = !flags.contains(&"--no-decomp");
 
     let result = match pos.as_slice() {
-        ["check", file] => cmd_check(file, exhaustive, &limits),
+        ["check", file] => cmd_check(file, exhaustive, flags.contains(&"--explain"), &limits),
         ["models", file, rest @ ..] => {
             let mode = if flags.contains(&"--stable") {
                 "stable"

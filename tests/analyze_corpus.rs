@@ -33,10 +33,28 @@ fn penguin_carries_exactly_the_fig1_shadow_warning() {
 
 #[test]
 fn loan_and_p5_lint_clean() {
+    // Clean of warnings — profile notes (Info) are expected: loan's
+    // import-only edges are W10, p5's choice cycle is W09.
     for name in ["loan.olp", "p5.olp"] {
         let diags = lint(&example(name));
-        assert!(diags.is_empty(), "{name} should be clean, got {diags:?}");
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Warn),
+            "{name} should be warning-clean, got {diags:?}"
+        );
     }
+    let p5 = lint(&example("p5.olp"));
+    assert!(
+        p5.iter().any(|d| d.code == Code::UnstratifiedView),
+        "p5 is a choice program; expected W09, got {p5:?}"
+    );
+    let loan = lint(&example("loan.olp"));
+    assert_eq!(
+        loan.iter()
+            .filter(|d| d.code == Code::InertOrderEdge)
+            .count(),
+        2,
+        "loan's myself<expert2 and myself<expert3 edges only import rules: {loan:?}"
+    );
 }
 
 #[test]
@@ -113,6 +131,106 @@ fn tutorial_snippets_parse_and_lint_without_errors() {
         parsed >= 3,
         "most tutorial snippets are complete programs, parsed {parsed}"
     );
+}
+
+// ---- JSON round-trip over the golden corpus ---------------------------
+
+use ordered_logic::analyze::to_json_array;
+use ordered_logic::server::json::Json;
+
+/// Decodes `to_json_array` output with the server's strict JSON parser
+/// and checks every field against the original diagnostics. This is
+/// the single-escape proof: any double-escaping (or raw control byte)
+/// either fails to parse or fails the byte-for-byte field comparison.
+fn assert_round_trips(diags: &[Diagnostic], file: &str) {
+    let rendered = to_json_array(diags, file);
+    let parsed = Json::parse(&rendered)
+        .unwrap_or_else(|e| panic!("emitted JSON does not re-parse ({e}): {rendered}"));
+    let Json::Arr(items) = parsed else {
+        panic!("expected a JSON array, got {rendered}");
+    };
+    assert_eq!(items.len(), diags.len());
+    for (d, j) in diags.iter().zip(&items) {
+        assert_eq!(j.get("file").and_then(Json::as_str), Some(file));
+        assert_eq!(
+            j.get("code").and_then(Json::as_str),
+            Some(d.code.as_str()),
+            "in {rendered}"
+        );
+        assert_eq!(j.get("name").and_then(Json::as_str), Some(d.code.name()));
+        assert_eq!(
+            j.get("severity").and_then(Json::as_str),
+            Some(d.severity.label())
+        );
+        assert_eq!(
+            j.get("message").and_then(Json::as_str),
+            Some(d.message.as_str()),
+            "message must decode to the exact original in {rendered}"
+        );
+        match d.pos {
+            Some(p) => {
+                assert_eq!(j.get("line"), Some(&Json::Int(i64::from(p.line))));
+                assert_eq!(j.get("col"), Some(&Json::Int(i64::from(p.col))));
+            }
+            None => assert_eq!(j.get("line"), None),
+        }
+    }
+}
+
+#[test]
+fn check_json_round_trips_over_the_golden_corpus() {
+    let dir = format!("{}/examples/programs", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "olp") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).expect("read example");
+        let diags = lint(&src);
+        assert_round_trips(&diags, &path.display().to_string());
+    }
+    assert!(seen >= 3, "expected the shipped examples, saw {seen}");
+}
+
+#[test]
+fn check_json_escapes_control_characters_exactly_once() {
+    // Adversarial messages and file names: quotes, backslashes, and
+    // every class the escaper treats specially, including raw control
+    // characters. The decoded string must equal the input — escaping
+    // a sequence twice (control byte → `\\u0001` → `\\\\u0001`) would fail
+    // the comparison inside `assert_round_trips`.
+    let nasty = "quote \" backslash \\ newline \n tab \t cr \r bell \u{0007} del \u{0001}";
+    let diags = vec![
+        Diagnostic::new(Code::ParseError, nasty)
+            .at(Some(ordered_logic::core::Pos { line: 3, col: 9 })),
+        Diagnostic::new(Code::DeadRule, "plain"),
+    ];
+    assert_round_trips(&diags, "dir/we\tird\" name.olp");
+}
+
+#[test]
+fn parse_errors_display_escape_control_characters_once() {
+    // The lexer escapes unprintable input for display exactly once;
+    // the JSON layer must quote that text without re-escaping it.
+    let mut world = World::new();
+    let err =
+        parse_program(&mut world, "p :- \u{0001}q.\n").expect_err("control char is a lex error");
+    assert_eq!(err.msg, "unexpected character `\\u{1}`");
+    let d = Diagnostic::new(Code::ParseError, err.msg.clone());
+    let rendered = to_json_array(std::slice::from_ref(&d), "ctl.olp");
+    // Exactly one JSON escape of the backslash, and no raw control
+    // bytes beyond the array's own line breaks.
+    assert!(
+        rendered.contains(r"unexpected character `\\u{1}`"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.bytes().all(|b| b >= 0x20 || b == b'\n'),
+        "{rendered}"
+    );
+    assert_round_trips(std::slice::from_ref(&d), "ctl.olp");
 }
 
 #[test]

@@ -176,8 +176,15 @@ fn check_format_json_emits_positioned_diagnostics() {
         !out.contains("components"),
         "json mode suppresses the human report: {out}"
     );
-    // A clean program yields an empty array.
+    // p5 carries the W09 profile note (Info severity, exit still 0).
     let (out, _, code) = olp_code(&["check", &sample("p5.olp"), "--format", "json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"code\":\"W09\""), "{out}");
+    assert!(out.contains("\"severity\":\"info\""), "{out}");
+    // A clean program yields an empty array.
+    let clean = std::env::temp_dir().join("olp_cli_clean.olp");
+    std::fs::write(&clean, "p(a). q(X) :- p(X), p(X).\n").unwrap();
+    let (out, _, code) = olp_code(&["check", clean.to_str().unwrap(), "--format", "json"]);
     assert_eq!(code, 0);
     assert_eq!(out.trim(), "[]");
 }

@@ -227,6 +227,15 @@ fn golden_protocol_over_tcp() {
     assert!(stats.contains(r#""objects":2"#), "{stats}");
     assert!(stats.contains(r#""seq":null"#), "{stats}");
     assert_eq!(field_u64(&stats, "epoch"), Some(2));
+    // The writer publishes each component's analysis profile with the
+    // snapshot; the penguin program is stratified and order-relevant
+    // in c1 (the engine's single-model fast path applies).
+    assert!(stats.contains(r#""profiles":{"#), "{stats}");
+    assert!(
+        stats.contains(r#""c1":"strat=stratified order=relevant"#),
+        "{stats}"
+    );
+    assert!(stats.contains("single-model=yes"), "{stats}");
 
     // Graceful protocol shutdown: acknowledged, then EOF, exit 0.
     assert_eq!(c.send(r#"{"cmd":"shutdown"}"#), r#"{"ok":true,"epoch":2}"#);
